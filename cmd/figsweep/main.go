@@ -1,0 +1,62 @@
+// Command figsweep regenerates Figures 6–8 at a configurable sweep size —
+// the full 9-weight grid with a tunable day count, for machines where the
+// 30-day paper sweep is impractical.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"jarvis/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "figsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("figsweep", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	days := fs.Int("days", 8, "evaluation days per weight")
+	episodes := fs.Int("episodes", 150, "training episodes per cell")
+	restarts := fs.Int("restarts", 2, "training restarts per cell")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	metrics := map[string]experiment.Metric{
+		"fig6": experiment.MetricEnergy,
+		"fig7": experiment.MetricCost,
+		"fig8": experiment.MetricComfort,
+	}
+	names := fs.Args()
+	if len(names) == 0 {
+		names = []string{"fig6", "fig7", "fig8"}
+	}
+	for _, name := range names {
+		m, ok := metrics[name]
+		if !ok {
+			return fmt.Errorf("unknown figure %q", name)
+		}
+		start := time.Now()
+		res, err := experiment.Functionality(experiment.FunctionalityConfig{
+			Seed:     *seed,
+			Metric:   m,
+			Weights:  []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+			Days:     *days,
+			Episodes: *episodes,
+			Restarts: *restarts,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		fmt.Printf("[%s: %d days × 9 weights × %d restarts in %v]\n\n",
+			name, *days, *restarts, time.Since(start).Round(time.Second))
+	}
+	return nil
+}

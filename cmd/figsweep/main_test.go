@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestRunArgValidation(t *testing.T) {
+	if err := run([]string{"nope"}); err == nil {
+		t.Error("unknown figure should error")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}

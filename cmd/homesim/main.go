@@ -1,0 +1,168 @@
+// Command homesim generates the reproduction's synthetic datasets as JSON
+// lines: simulated resident days (home A or home B profile), SIMADL-style
+// benign anomalies, the 214-violation attack corpus, and day-ahead-market
+// price curves.
+//
+// Usage:
+//
+//	homesim [-seed N] [-days N] [-profile a|b] [-start YYYY-MM-DD] <what>
+//
+// where <what> is one of days, anomalies, attacks, prices.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"jarvis/internal/attack"
+	"jarvis/internal/dataset"
+	"jarvis/internal/smarthome"
+	"math/rand"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "homesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("homesim", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "random seed")
+	days := fs.Int("days", 7, "number of days to simulate")
+	profile := fs.String("profile", "a", "resident profile: a (OpenSHS-style) or b (Smart*-calibrated)")
+	startStr := fs.String("start", "2020-09-07", "first day (YYYY-MM-DD)")
+	count := fs.Int("count", 1000, "sample count for anomalies")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected one dataset: days|anomalies|attacks|prices")
+	}
+	start, err := time.Parse("2006-01-02", *startStr)
+	if err != nil {
+		return fmt.Errorf("bad -start: %w", err)
+	}
+	cfg := dataset.HomeAConfig()
+	if *profile == "b" {
+		cfg = dataset.HomeBConfig()
+	}
+	home := smarthome.NewFullHome()
+	gen := dataset.NewGenerator(home, cfg)
+	rng := rand.New(rand.NewSource(*seed))
+	enc := json.NewEncoder(out)
+
+	switch fs.Arg(0) {
+	case "days":
+		ds, err := gen.Days(start, *days, rng)
+		if err != nil {
+			return err
+		}
+		for _, d := range ds {
+			rec := dayRecord{
+				Date:      d.Context.Date.Format("2006-01-02"),
+				EnergyKWh: d.EnergyKWh(home.Env),
+				CostUSD:   d.CostUSD(home.Env),
+				WakeAt:    d.Context.WakeAt,
+				LeaveAt:   d.Context.LeaveAt,
+				ReturnAt:  d.Context.ReturnAt,
+				SleepAt:   d.Context.SleepAt,
+			}
+			for t, a := range d.Episode.Actions {
+				if a.IsNoOp() {
+					continue
+				}
+				rec.Events = append(rec.Events, eventRecord{
+					Minute: t,
+					Action: home.Env.FormatAction(a),
+				})
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+	case "anomalies":
+		ds, err := gen.Days(start, *days, rng)
+		if err != nil {
+			return err
+		}
+		anoms, err := dataset.SynthesizeAnomalies(home, ds, *count, rng)
+		if err != nil {
+			return err
+		}
+		for _, a := range anoms {
+			if err := enc.Encode(anomalyRecord{
+				At:     a.Tr.At.Format(time.RFC3339),
+				Minute: a.Tr.Instance,
+				Action: home.Env.FormatAction(a.Tr.Act),
+				Benign: a.Benign,
+			}); err != nil {
+				return err
+			}
+		}
+	case "attacks":
+		for _, v := range attack.Corpus(home) {
+			if err := enc.Encode(attackRecord{
+				ID:          v.ID,
+				Type:        v.Type.String(),
+				Name:        v.Name,
+				Description: v.Description,
+				Context:     v.Context.Name,
+			}); err != nil {
+				return err
+			}
+		}
+	case "prices":
+		ctx := dataset.NewDayContext(start, dataset.DefaultContext(), rng)
+		for h := 0; h < 24; h++ {
+			if err := enc.Encode(priceRecord{Hour: h, USDPerKWh: ctx.Prices[h*60]}); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown dataset %q", fs.Arg(0))
+	}
+	return nil
+}
+
+type dayRecord struct {
+	Date      string        `json:"date"`
+	EnergyKWh float64       `json:"energyKWh"`
+	CostUSD   float64       `json:"costUSD"`
+	WakeAt    int           `json:"wakeAtMin"`
+	LeaveAt   int           `json:"leaveAtMin"`
+	ReturnAt  int           `json:"returnAtMin"`
+	SleepAt   int           `json:"sleepAtMin"`
+	Events    []eventRecord `json:"events"`
+}
+
+type eventRecord struct {
+	Minute int    `json:"minute"`
+	Action string `json:"action"`
+}
+
+type anomalyRecord struct {
+	At     string `json:"at"`
+	Minute int    `json:"minute"`
+	Action string `json:"action"`
+	Benign bool   `json:"benign"`
+}
+
+type attackRecord struct {
+	ID          int    `json:"id"`
+	Type        string `json:"type"`
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Context     string `json:"context,omitempty"`
+}
+
+type priceRecord struct {
+	Hour      int     `json:"hour"`
+	USDPerKWh float64 `json:"usdPerKWh"`
+}

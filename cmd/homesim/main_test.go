@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func runSim(t *testing.T, args ...string) []string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	var lines []string
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	return lines
+}
+
+func TestDays(t *testing.T) {
+	lines := runSim(t, "-days", "2", "-seed", "3", "days")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	var rec dayRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if rec.EnergyKWh <= 0 || len(rec.Events) == 0 {
+		t.Errorf("record looks empty: %+v", rec)
+	}
+}
+
+func TestDaysProfileB(t *testing.T) {
+	lines := runSim(t, "-days", "1", "-profile", "b", "days")
+	if len(lines) != 1 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+}
+
+func TestAnomalies(t *testing.T) {
+	lines := runSim(t, "-days", "2", "-count", "50", "anomalies")
+	if len(lines) != 50 {
+		t.Fatalf("lines = %d, want 50", len(lines))
+	}
+	var rec anomalyRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if !rec.Benign {
+		t.Error("anomalies must be labelled benign")
+	}
+}
+
+func TestAttacks(t *testing.T) {
+	lines := runSim(t, "attacks")
+	if len(lines) != 214 {
+		t.Fatalf("lines = %d, want 214", len(lines))
+	}
+	counts := map[string]int{}
+	for _, l := range lines {
+		var rec attackRecord
+		if err := json.Unmarshal([]byte(l), &rec); err != nil {
+			t.Fatalf("bad JSON: %v", err)
+		}
+		counts[rec.Type]++
+	}
+	if counts["type1-ta-safety"] != 114 {
+		t.Errorf("type1 = %d, want 114", counts["type1-ta-safety"])
+	}
+}
+
+func TestPrices(t *testing.T) {
+	lines := runSim(t, "prices")
+	if len(lines) != 24 {
+		t.Fatalf("lines = %d, want 24", len(lines))
+	}
+	var rec priceRecord
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &rec); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if rec.Hour != 23 || rec.USDPerKWh <= 0 {
+		t.Errorf("record = %+v", rec)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"nope"}, &buf); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("unknown dataset: %v", err)
+	}
+	if err := run([]string{"-start", "bogus", "days"}, &buf); err == nil {
+		t.Error("bad start date should error")
+	}
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("missing dataset should error")
+	}
+}

@@ -1,0 +1,130 @@
+// Command jarvis runs the reproduction experiments: every table and figure
+// of the paper's evaluation, at paper scale or a quick reduced scale.
+//
+// Usage:
+//
+//	jarvis [-seed N] [-quick] <experiment>
+//
+// where <experiment> is one of table1, table2, table3, security, roc,
+// fig6, fig7, fig8, fig9, or all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"jarvis/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jarvis:", err)
+		os.Exit(1)
+	}
+}
+
+type stringer interface{ String() string }
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("jarvis", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "random seed (all experiments are deterministic per seed)")
+	quick := fs.Bool("quick", false, "reduced scale (seconds instead of minutes)")
+	homeB := fs.Bool("homeb", false, "use the Smart*-calibrated home-B profile where applicable")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected one experiment: table1|table2|table3|security|roc|fig6|fig7|fig8|fig9|ablation|all")
+	}
+	name := fs.Arg(0)
+	if name == "all" {
+		for _, n := range []string{"table1", "table2", "table3", "security", "roc", "fig6", "fig7", "fig8", "fig9", "ablation"} {
+			if err := runOne(n, *seed, *quick, *homeB, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(name, *seed, *quick, *homeB, out)
+}
+
+func runOne(name string, seed int64, quick, homeB bool, out *os.File) error {
+	start := time.Now()
+	res, err := dispatch(name, seed, quick, homeB)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, res.String())
+	fmt.Fprintf(out, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func dispatch(name string, seed int64, quick, homeB bool) (stringer, error) {
+	switch name {
+	case "table1":
+		return experiment.Table1(), nil
+	case "table2":
+		cfg := experiment.Table2Config{Seed: seed}
+		if quick {
+			cfg.LearningDays = 3
+		}
+		return experiment.Table2(cfg)
+	case "table3":
+		cfg := experiment.Table3Config{Seed: seed}
+		if quick {
+			cfg.LearningDays = 5
+		}
+		return experiment.Table3(cfg)
+	case "security":
+		cfg := experiment.SecurityConfig{Seed: seed, HomeB: homeB} // 214 × 100 = 21,400
+		if quick {
+			cfg.EpisodesPerViolation = 5
+			cfg.BaseDays = 2
+			cfg.LearningDays = 4
+		}
+		return experiment.Security(cfg)
+	case "roc":
+		cfg := experiment.DefaultROCConfig(seed)
+		if quick {
+			cfg.TrainAnomalies, cfg.TrainNormals = 2000, 2000
+			cfg.EvalEpisodes = 500
+			cfg.LearningDays = 4
+			cfg.FilterEpochs = 8
+		}
+		return experiment.ROC(cfg)
+	case "fig6", "fig7", "fig8":
+		metric := map[string]experiment.Metric{
+			"fig6": experiment.MetricEnergy,
+			"fig7": experiment.MetricCost,
+			"fig8": experiment.MetricComfort,
+		}[name]
+		cfg := experiment.DefaultFunctionalityConfig(seed, metric)
+		cfg.HomeB = homeB
+		if quick {
+			cfg.Weights = []float64{0.1, 0.5, 0.9}
+			cfg.Days = 2
+			cfg.LearningDays = 4
+			cfg.Restarts = 2
+		}
+		return experiment.Functionality(cfg)
+	case "ablation":
+		cfg := experiment.AblationConfig{Seed: seed}
+		if quick {
+			cfg.LearningDays = 3
+			cfg.Anomalies = 150
+			cfg.Episodes = 8
+		}
+		return experiment.Ablation(cfg)
+	case "fig9":
+		cfg := experiment.BenefitSpaceConfig{Seed: seed, Episodes: 200}
+		if quick {
+			cfg.Episodes = 60
+			cfg.LearningDays = 4
+		}
+		return experiment.BenefitSpace(cfg)
+	}
+	return nil, fmt.Errorf("unknown experiment %q", name)
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDispatchQuickExperiments(t *testing.T) {
+	// The heavy figure experiments are covered in internal/experiment;
+	// here we exercise the CLI plumbing on the fast ones.
+	for _, name := range []string{"table1", "table2", "table3"} {
+		t.Run(name, func(t *testing.T) {
+			res, err := dispatch(name, 1, true, false)
+			if err != nil {
+				t.Fatalf("dispatch(%s): %v", name, err)
+			}
+			if res.String() == "" {
+				t.Error("empty result")
+			}
+		})
+	}
+}
+
+func TestDispatchUnknown(t *testing.T) {
+	if _, err := dispatch("nope", 1, true, false); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Fatalf("unknown experiment should error, got %v", err)
+	}
+}
+
+func TestRunArgValidation(t *testing.T) {
+	if err := run([]string{}, nil); err == nil {
+		t.Error("no experiment should error")
+	}
+	if err := run([]string{"-bogus"}, nil); err == nil {
+		t.Error("bad flag should error")
+	}
+}

@@ -1,0 +1,124 @@
+// Command jarvisctl is a tiny client for the jarvisd hub daemon:
+//
+//	jarvisctl -addr 127.0.0.1:7463 state
+//	jarvisctl event oven power_on
+//	jarvisctl recommend
+//	jarvisctl violations
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jarvisctl:", err)
+		os.Exit(1)
+	}
+}
+
+// request mirrors jarvisd's protocol.
+type request struct {
+	Op     string `json:"op"`
+	Device string `json:"device,omitempty"`
+	Action string `json:"action,omitempty"`
+}
+
+// response mirrors jarvisd's protocol.
+type response struct {
+	OK         bool     `json:"ok"`
+	Error      string   `json:"error,omitempty"`
+	State      []string `json:"state,omitempty"`
+	Action     string   `json:"action,omitempty"`
+	Unsafe     bool     `json:"unsafe,omitempty"`
+	Violations int      `json:"violations,omitempty"`
+	Minute     int      `json:"minute,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("jarvisctl", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7463", "jarvisd address")
+	timeout := fs.Duration("timeout", 5*time.Second, "dial/roundtrip timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req, err := buildRequest(fs.Args())
+	if err != nil {
+		return err
+	}
+	resp, err := roundTrip(*addr, *timeout, req)
+	if err != nil {
+		return err
+	}
+	return render(out, req, resp)
+}
+
+func buildRequest(args []string) (request, error) {
+	if len(args) == 0 {
+		return request{}, fmt.Errorf("expected a command: state|event <device> <action>|recommend|violations")
+	}
+	switch args[0] {
+	case "state", "recommend", "violations":
+		if len(args) != 1 {
+			return request{}, fmt.Errorf("%s takes no arguments", args[0])
+		}
+		return request{Op: args[0]}, nil
+	case "event":
+		if len(args) != 3 {
+			return request{}, fmt.Errorf("usage: event <device> <action>")
+		}
+		return request{Op: "event", Device: args[1], Action: args[2]}, nil
+	}
+	return request{}, fmt.Errorf("unknown command %q", args[0])
+}
+
+func roundTrip(addr string, timeout time.Duration, req request) (response, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return response{}, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return response{}, err
+	}
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return response{}, fmt.Errorf("send: %w", err)
+	}
+	var resp response
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		return response{}, fmt.Errorf("receive: %w", err)
+	}
+	return resp, nil
+}
+
+func render(out io.Writer, req request, resp response) error {
+	if !resp.OK {
+		return fmt.Errorf("daemon: %s", resp.Error)
+	}
+	switch req.Op {
+	case "state":
+		fmt.Fprintf(out, "minute %02d:%02d, %d violation(s)\n", resp.Minute/60, resp.Minute%60, resp.Violations)
+		for _, s := range resp.State {
+			fmt.Fprintln(out, " ", s)
+		}
+	case "event":
+		verdict := "safe"
+		if resp.Unsafe {
+			verdict = "UNSAFE (flagged)"
+		}
+		fmt.Fprintf(out, "applied [%s]; state now:\n  %s\n", verdict, strings.Join(resp.State, "\n  "))
+	case "recommend":
+		fmt.Fprintf(out, "recommended action at %02d:%02d: %s\n", resp.Minute/60, resp.Minute%60, resp.Action)
+	case "violations":
+		fmt.Fprintf(out, "%d violation(s) observed\n", resp.Violations)
+	}
+	return nil
+}

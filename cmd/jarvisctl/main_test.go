@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeDaemon answers one request per connection with canned responses.
+func fakeDaemon(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				var req request
+				if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&req); err != nil {
+					return
+				}
+				resp := response{OK: true, Minute: 600}
+				switch req.Op {
+				case "state":
+					resp.State = []string{"oven=off"}
+					resp.Violations = 2
+				case "event":
+					if req.Device == "ghost" {
+						resp = response{Error: "unknown device"}
+					} else {
+						resp.State = []string{req.Device + "=on"}
+						resp.Unsafe = req.Device == "door-sensor"
+					}
+				case "recommend":
+					resp.Action = "(O, O)"
+				case "violations":
+					resp.Violations = 3
+				}
+				_ = json.NewEncoder(conn).Encode(resp)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestCommands(t *testing.T) {
+	addr := fakeDaemon(t)
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"state"}, "oven=off"},
+		{[]string{"event", "oven", "power_on"}, "oven=on"},
+		{[]string{"event", "door-sensor", "power_off"}, "UNSAFE"},
+		{[]string{"recommend"}, "(O, O)"},
+		{[]string{"violations"}, "3 violation"},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		args := append([]string{"-addr", addr}, c.args...)
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("run(%v): %v", c.args, err)
+		}
+		if !strings.Contains(buf.String(), c.want) {
+			t.Errorf("run(%v) = %q, want it to contain %q", c.args, buf.String(), c.want)
+		}
+	}
+}
+
+func TestDaemonError(t *testing.T) {
+	addr := fakeDaemon(t)
+	var buf bytes.Buffer
+	err := run([]string{"-addr", addr, "event", "ghost", "x"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "unknown device") {
+		t.Fatalf("daemon error not surfaced: %v", err)
+	}
+}
+
+func TestArgValidation(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{},
+		{"bogus"},
+		{"event", "oven"},
+		{"state", "extra"},
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) should error", args)
+		}
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-addr", "127.0.0.1:1", "-timeout", (200 * time.Millisecond).String(), "state"}, &buf)
+	if err == nil {
+		t.Skip("port 1 unexpectedly reachable")
+	}
+}

@@ -1,0 +1,59 @@
+// Command jarvisd runs a Jarvis hub daemon: it builds the 11-device smart
+// home, runs a simulated learning phase, trains the constrained optimizer,
+// and then serves a JSON-lines protocol over TCP:
+//
+//	{"op":"state"}                                   → current environment state
+//	{"op":"event","device":"oven","action":"power_on"} → apply a device action
+//	{"op":"recommend"}                               → Jarvis's best safe action now
+//	{"op":"violations"}                              → unsafe transitions seen so far
+//
+// Every applied event is checked against the learned P_safe; unsafe
+// transitions are executed (the hub is a monitor, not a gate) but flagged
+// and counted, mirroring the paper's enforcement discussion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jarvisd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("jarvisd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7463", "listen address")
+	seed := fs.Int64("seed", 1, "random seed for the learning phase")
+	learningDays := fs.Int("learning-days", 7, "simulated learning-phase length")
+	episodes := fs.Int("episodes", 60, "optimizer training episodes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "jarvisd: learning phase (%d days) and optimizer training...\n", *learningDays)
+	srv, err := newServer(serverConfig{
+		Seed:         *seed,
+		LearningDays: *learningDays,
+		Episodes:     *episodes,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.listen(*addr); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "jarvisd: listening on %s (P_safe: %d transitions)\n", srv.Addr(), srv.tableSize())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "jarvisd: shutting down")
+	return srv.Close()
+}

@@ -1,0 +1,254 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"jarvis"
+	"jarvis/internal/dataset"
+	"jarvis/internal/env"
+	"jarvis/internal/reward"
+	"jarvis/internal/rl"
+	"jarvis/internal/smarthome"
+)
+
+// serverConfig sizes the daemon's startup learning phase.
+type serverConfig struct {
+	Seed         int64
+	LearningDays int
+	Episodes     int
+}
+
+// request is one JSON line from a client.
+type request struct {
+	Op     string `json:"op"`
+	Device string `json:"device,omitempty"`
+	Action string `json:"action,omitempty"`
+}
+
+// response is one JSON line back.
+type response struct {
+	OK         bool     `json:"ok"`
+	Error      string   `json:"error,omitempty"`
+	State      []string `json:"state,omitempty"`
+	Action     string   `json:"action,omitempty"`
+	Unsafe     bool     `json:"unsafe,omitempty"`
+	Violations int      `json:"violations,omitempty"`
+	Minute     int      `json:"minute,omitempty"`
+}
+
+// server owns the environment state and the trained Jarvis system. All
+// state mutations are serialized by mu; connections are handled
+// concurrently.
+type server struct {
+	home *smarthome.FullHome
+	sys  *jarvis.System
+
+	mu         sync.Mutex
+	state      env.State
+	startOfDay time.Time
+	violations int
+
+	ln   net.Listener
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+func newServer(cfg serverConfig) (*server, error) {
+	if cfg.LearningDays <= 0 {
+		cfg.LearningDays = 7
+	}
+	if cfg.Episodes <= 0 {
+		cfg.Episodes = 60
+	}
+	home := smarthome.NewFullHome()
+	sys, err := jarvis.New(home.Env, jarvis.Config{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := dataset.NewGenerator(home, dataset.HomeAConfig())
+	start := time.Date(2020, 9, 7, 0, 0, 0, 0, time.UTC)
+	days, err := gen.Days(start, cfg.LearningDays, rng)
+	if err != nil {
+		return nil, fmt.Errorf("learning phase: %w", err)
+	}
+	eps := dataset.Episodes(days)
+	sys.Learn(eps)
+	if err := sys.AllowManual(home.Thermostat, smarthome.ThermostatActOff); err != nil {
+		return nil, err
+	}
+
+	ctx := days[len(days)-1].Context
+	rs, err := reward.New(home.Env, reward.Config{
+		Functionalities: smarthome.Functionalities(
+			home.Env, home.TempSensor, home.Thermostat, ctx.Prices, 0.4, 0.3, 0.3),
+		Preferred: sys.PreferredTimes(eps),
+		Instances: smarthome.InstancesPerDay,
+		Routine: map[int]bool{
+			home.LivingLight: true, home.BedLight: true, home.Thermostat: true,
+			home.Oven: true, home.TV: true, home.Washer: true, home.Dishwasher: true,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sys.Train(rl.SimConfig{
+		Initial: home.InitialState(),
+		Reward:  rs,
+	}, jarvis.TrainConfig{Agent: rl.AgentConfig{
+		Episodes: cfg.Episodes, DecideEvery: 15, ReplayEvery: 4,
+	}}); err != nil {
+		return nil, fmt.Errorf("optimizer training: %w", err)
+	}
+
+	return &server{
+		home:       home,
+		sys:        sys,
+		state:      home.InitialState(),
+		startOfDay: time.Now().Truncate(24 * time.Hour),
+		stop:       make(chan struct{}),
+	}, nil
+}
+
+func (s *server) tableSize() int { return s.sys.SafeTable().Len() }
+
+// listen starts accepting connections.
+func (s *server) listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound address.
+func (s *server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and waits for all connections to drain.
+func (s *server) Close() error {
+	close(s.stop)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stop:
+				return
+			default:
+				return // listener failed; daemon exits on signal anyway
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serve(conn)
+		}()
+	}
+}
+
+func (s *server) serve(conn net.Conn) {
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+	}
+}
+
+// minuteOfDay maps wall time onto the episode's time instance.
+func (s *server) minuteOfDay(now time.Time) int {
+	m := int(now.Sub(s.startOfDay).Minutes()) % smarthome.InstancesPerDay
+	if m < 0 {
+		m += smarthome.InstancesPerDay
+	}
+	return m
+}
+
+func (s *server) handle(req request) response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.home.Env
+	minute := s.minuteOfDay(time.Now())
+
+	switch req.Op {
+	case "state":
+		return response{OK: true, State: stateNames(e, s.state), Minute: minute, Violations: s.violations}
+
+	case "event":
+		di, ok := e.DeviceIndex(req.Device)
+		if !ok {
+			return response{Error: fmt.Sprintf("unknown device %q", req.Device)}
+		}
+		act, ok := e.Device(di).ActionID(req.Action)
+		if !ok {
+			return response{Error: fmt.Sprintf("device %q has no action %q", req.Device, req.Action)}
+		}
+		a := env.NoOp(e.K())
+		a[di] = act
+		next, err := e.Transition(s.state, a)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		table := s.sys.SafeTable()
+		unsafe := !table.SafeTransition(e.StateKey(s.state), e.StateKey(next), a)
+		if unsafe {
+			s.violations++
+		}
+		s.state = next
+		return response{OK: true, State: stateNames(e, s.state), Unsafe: unsafe, Minute: minute, Violations: s.violations}
+
+	case "recommend":
+		act, err := s.sys.Recommend(s.state, minute)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true, Action: e.FormatAction(act), Minute: minute}
+
+	case "violations":
+		return response{OK: true, Violations: s.violations, Minute: minute}
+	}
+	return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+}
+
+func stateNames(e *env.Environment, s env.State) []string {
+	out := make([]string, len(s))
+	for i, st := range s {
+		out[i] = e.Device(i).Name() + "=" + e.Device(i).StateName(st)
+	}
+	return out
+}

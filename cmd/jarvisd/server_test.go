@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+)
+
+func startTestServer(t *testing.T) *server {
+	t.Helper()
+	srv, err := newServer(serverConfig{Seed: 1, LearningDays: 2, Episodes: 2})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	if err := srv.listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return srv
+}
+
+func roundTrip(t *testing.T, enc *json.Encoder, dec *json.Decoder, req request) response {
+	t.Helper()
+	if err := enc.Encode(req); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var resp response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp
+}
+
+func TestServerProtocol(t *testing.T) {
+	srv := startTestServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(bufio.NewReader(conn))
+
+	// state
+	resp := roundTrip(t, enc, dec, request{Op: "state"})
+	if !resp.OK || len(resp.State) != 11 {
+		t.Fatalf("state: %+v", resp)
+	}
+
+	// benign event: open the fridge
+	resp = roundTrip(t, enc, dec, request{Op: "event", Device: "fridge", Action: "open_door"})
+	if !resp.OK {
+		t.Fatalf("event: %+v", resp)
+	}
+	found := false
+	for _, s := range resp.State {
+		if s == "fridge=open" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fridge should be open: %v", resp.State)
+	}
+
+	// unsafe event: power off the door sensor (never natural)
+	resp = roundTrip(t, enc, dec, request{Op: "event", Device: "door-sensor", Action: "power_off"})
+	if !resp.OK || !resp.Unsafe {
+		t.Fatalf("sensor-off should be flagged unsafe: %+v", resp)
+	}
+	if resp.Violations == 0 {
+		t.Error("violation counter should increment")
+	}
+
+	// recommend
+	resp = roundTrip(t, enc, dec, request{Op: "recommend"})
+	if !resp.OK || !strings.HasPrefix(resp.Action, "(") {
+		t.Fatalf("recommend: %+v", resp)
+	}
+
+	// violations
+	resp = roundTrip(t, enc, dec, request{Op: "violations"})
+	if !resp.OK || resp.Violations == 0 {
+		t.Fatalf("violations: %+v", resp)
+	}
+
+	// errors
+	resp = roundTrip(t, enc, dec, request{Op: "event", Device: "ghost", Action: "x"})
+	if resp.OK || resp.Error == "" {
+		t.Fatalf("unknown device should error: %+v", resp)
+	}
+	resp = roundTrip(t, enc, dec, request{Op: "event", Device: "tv", Action: "explode"})
+	if resp.OK {
+		t.Fatalf("unknown action should error: %+v", resp)
+	}
+	resp = roundTrip(t, enc, dec, request{Op: "selfdestruct"})
+	if resp.OK {
+		t.Fatalf("unknown op should error: %+v", resp)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	srv := startTestServer(t)
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			conn, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer conn.Close()
+			enc := json.NewEncoder(conn)
+			dec := json.NewDecoder(bufio.NewReader(conn))
+			for j := 0; j < 20; j++ {
+				if err := enc.Encode(request{Op: "state"}); err != nil {
+					done <- err
+					return
+				}
+				var resp response
+				if err := dec.Decode(&resp); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("client: %v", err)
+		}
+	}
+}

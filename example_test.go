@@ -1,0 +1,108 @@
+package jarvis_test
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"jarvis"
+	"jarvis/internal/dataset"
+	"jarvis/internal/env"
+	"jarvis/internal/reward"
+	"jarvis/internal/rl"
+	"jarvis/internal/smarthome"
+)
+
+// Example runs the full pipeline: learn safe policies from a simulated
+// week, train a small constrained optimizer, and audit a benign day.
+func Example() {
+	home := smarthome.NewFullHome()
+	rng := rand.New(rand.NewSource(42))
+	gen := dataset.NewGenerator(home, dataset.HomeAConfig())
+	days, err := gen.Days(time.Date(2020, 9, 7, 0, 0, 0, 0, time.UTC), 3, rng)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	episodes := dataset.Episodes(days)
+
+	sys, err := jarvis.New(home.Env, jarvis.Config{Seed: 42})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sys.Learn(episodes)
+
+	rs, err := reward.New(home.Env, reward.Config{
+		Functionalities: smarthome.Functionalities(
+			home.Env, home.TempSensor, home.Thermostat, days[0].Context.Prices, 0.6, 0.2, 0.2),
+		Preferred: sys.PreferredTimes(episodes),
+		Instances: smarthome.InstancesPerDay,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	stats, err := sys.Train(rl.SimConfig{
+		Initial: home.InitialState(),
+		Reward:  rs,
+	}, jarvis.TrainConfig{Agent: rl.AgentConfig{
+		Episodes: 2, DecideEvery: 60, ReplayEvery: 16,
+	}})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	violations, err := sys.Audit(episodes[:1])
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("episodes trained:", len(stats.EpisodeRewards))
+	fmt.Println("training violations:", stats.Violations)
+	fmt.Println("benign-day violations:", len(violations))
+	// Output:
+	// episodes trained: 2
+	// training violations: 0
+	// benign-day violations: 0
+}
+
+// ExampleSystem_Audit flags an engineered unsafe transition.
+func ExampleSystem_Audit() {
+	home := smarthome.NewFullHome()
+	rng := rand.New(rand.NewSource(7))
+	gen := dataset.NewGenerator(home, dataset.HomeAConfig())
+	days, err := gen.Days(time.Date(2020, 9, 7, 0, 0, 0, 0, time.UTC), 2, rng)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sys, err := jarvis.New(home.Env, jarvis.Config{Seed: 7})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sys.Learn(dataset.Episodes(days))
+
+	// Tamper with a benign day: disable the door sensor at 02:00.
+	base := days[0].Episode
+	actions := make([]env.Action, base.Len())
+	for i, a := range base.Actions {
+		actions[i] = a.Clone()
+	}
+	actions[2*60][home.DoorSensor] = 0 // power_off
+	tampered, err := env.ReplayActions(home.Env, base.States[0], base.Start, base.I, actions)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	violations, err := sys.Audit([]env.Episode{tampered})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("flagged:", len(violations) > 0)
+	// Output:
+	// flagged: true
+}

@@ -1,0 +1,91 @@
+// Quickstart: wire the whole Jarvis pipeline on the 11-device smart home —
+// simulate a one-week learning phase, learn the safe-transition table
+// P_safe, train the constrained optimizer for an energy-saving goal, and
+// ask for safe action recommendations.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"jarvis"
+	"jarvis/internal/dataset"
+	"jarvis/internal/reward"
+	"jarvis/internal/rl"
+	"jarvis/internal/smarthome"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. The environment: the paper's k=11 device smart home.
+	home := smarthome.NewFullHome()
+	fmt.Printf("home: %d devices, %d composite states\n",
+		home.K(), home.Env.NumStateCombinations())
+
+	// 2. The learning phase: one week of natural resident behavior.
+	rng := rand.New(rand.NewSource(42))
+	gen := dataset.NewGenerator(home, dataset.HomeAConfig())
+	days, err := gen.Days(time.Date(2020, 9, 7, 0, 0, 0, 0, time.UTC), 7, rng)
+	if err != nil {
+		return err
+	}
+	episodes := dataset.Episodes(days)
+
+	sys, err := jarvis.New(home.Env, jarvis.Config{Seed: 42})
+	if err != nil {
+		return err
+	}
+	sys.Learn(episodes)
+	fmt.Printf("learned P_safe: %d whitelisted transitions\n", sys.SafeTable().Len())
+
+	// Manual fail-safe (Section V-B1): HVAC off is always safe.
+	if err := sys.AllowManual(home.Thermostat, smarthome.ThermostatActOff); err != nil {
+		return err
+	}
+
+	// 3. The goal: mostly energy conservation, with cost and comfort as
+	// secondary objectives.
+	ctx := days[len(days)-1].Context
+	rs, err := reward.New(home.Env, reward.Config{
+		Functionalities: smarthome.Functionalities(
+			home.Env, home.TempSensor, home.Thermostat, ctx.Prices, 0.6, 0.2, 0.2),
+		Preferred: sys.PreferredTimes(episodes),
+		Instances: smarthome.InstancesPerDay,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("utility/dis-utility ratio χ = %.2f\n", rs.Chi())
+
+	// 4. Train the constrained optimizer (Algorithm 2).
+	stats, err := sys.Train(rl.SimConfig{
+		Initial: home.InitialState(),
+		Reward:  rs,
+	}, jarvis.TrainConfig{Agent: rl.AgentConfig{
+		Episodes: 40, DecideEvery: 15, ReplayEvery: 4,
+	}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained %d episodes, final ε=%.2f, safety violations: %d\n",
+		len(stats.EpisodeRewards), stats.FinalEpsilon, stats.Violations)
+
+	// 5. Ask Jarvis what to do at a few times of day.
+	state := home.InitialState()
+	for _, minute := range []int{8 * 60, 13 * 60, 20 * 60} {
+		act, err := sys.Recommend(state, minute)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("at %02d:%02d in %s\n  recommend %s\n",
+			minute/60, minute%60, home.Env.FormatState(state), home.Env.FormatAction(act))
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+// Package anomaly implements the benign-anomaly filter of the Jarvis SPL
+// (Section IV-A and V-A3): a feed-forward multi-layer perceptron with a
+// single hidden layer, trained by back-propagation on user-labelled benign
+// anomalous activities. During the learning phase the filter removes benign
+// device malfunctions and human errors from the training data so that they
+// are neither learned as natural behavior nor later flagged as violations.
+package anomaly
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+	"jarvis/internal/nn"
+)
+
+// Encoder maps environment transitions to fixed-width feature vectors:
+// a one-hot encoding of every device's current state, a one-hot encoding of
+// every device's action (with an extra "no action" slot), and a cyclic
+// (sin/cos) encoding of the time of day and day of week.
+type Encoder struct {
+	env *env.Environment
+	dim int
+}
+
+// NewEncoder builds an encoder for the environment.
+func NewEncoder(e *env.Environment) *Encoder {
+	dim := 4 // sin/cos hour-of-day, sin/cos day-of-week
+	for _, d := range e.Devices() {
+		dim += d.NumStates() + d.NumActions() + 1
+	}
+	return &Encoder{env: e, dim: dim}
+}
+
+// Dim returns the feature-vector width.
+func (enc *Encoder) Dim() int { return enc.dim }
+
+// Encode writes the transition's features into a fresh vector.
+func (enc *Encoder) Encode(tr env.Transition) []float64 {
+	x := make([]float64, enc.dim)
+	i := 0
+	for di, d := range enc.env.Devices() {
+		if s := int(tr.From[di]); s >= 0 && s < d.NumStates() {
+			x[i+s] = 1
+		}
+		i += d.NumStates()
+		a := tr.Act[di]
+		if a == device.NoAction {
+			x[i] = 1
+		} else if int(a) < d.NumActions() {
+			x[i+1+int(a)] = 1
+		}
+		i += d.NumActions() + 1
+	}
+	h := timeOfDay(tr.At)
+	x[i] = math.Sin(2 * math.Pi * h / 24)
+	x[i+1] = math.Cos(2 * math.Pi * h / 24)
+	w := float64(tr.At.Weekday())
+	x[i+2] = math.Sin(2 * math.Pi * w / 7)
+	x[i+3] = math.Cos(2 * math.Pi * w / 7)
+	return x
+}
+
+func timeOfDay(t time.Time) float64 {
+	return float64(t.Hour()) + float64(t.Minute())/60
+}
+
+// Labeled is one training example for the filter: a transition and whether
+// the user labelled it a benign anomaly.
+type Labeled struct {
+	Tr     env.Transition
+	Benign bool // true = benign anomaly (positive class)
+}
+
+// Config parameterizes the filter's MLP and training run.
+type Config struct {
+	// Hidden is the hidden-layer width (default 32). The paper prescribes
+	// a single hidden layer.
+	Hidden int
+	// Threshold is the decision threshold on the benign-anomaly
+	// probability (default 0.5).
+	Threshold float64
+	// Epochs (default 30), BatchSize (default 32) and LR (default 0.01)
+	// control back-propagation training.
+	Epochs, BatchSize int
+	LR                float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden <= 0 {
+		c.Hidden = 32
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 30
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LR <= 0 {
+		c.LR = 0.01
+	}
+	return c
+}
+
+// Filter is the trained ANN benign-anomaly classifier. It implements
+// policy.Filter.
+type Filter struct {
+	enc       *Encoder
+	net       *nn.Network
+	threshold float64
+}
+
+// NewFilter constructs an untrained filter for the environment.
+func NewFilter(e *env.Environment, cfg Config, rng *rand.Rand) (*Filter, error) {
+	cfg = cfg.withDefaults()
+	enc := NewEncoder(e)
+	net, err := nn.New(nn.Config{
+		Inputs: enc.Dim(),
+		Layers: []nn.LayerSpec{
+			{Units: cfg.Hidden, Act: nn.Tanh},
+			{Units: 1, Act: nn.Sigmoid},
+		},
+	}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("anomaly: %w", err)
+	}
+	return &Filter{enc: enc, net: net, threshold: cfg.Threshold}, nil
+}
+
+// Train fits the MLP by back-propagation on the labelled data and returns
+// the final epoch's mean loss.
+func (f *Filter) Train(data []Labeled, cfg Config, rng *rand.Rand) (float64, error) {
+	cfg = cfg.withDefaults()
+	if len(data) == 0 {
+		return 0, errors.New("anomaly: no training data")
+	}
+	samples := make([]nn.Sample, len(data))
+	for i, d := range data {
+		y := 0.0
+		if d.Benign {
+			y = 1
+		}
+		samples[i] = nn.Sample{X: f.enc.Encode(d.Tr), Y: []float64{y}}
+	}
+	loss, err := f.net.Fit(samples, cfg.Epochs, cfg.BatchSize, nn.BCE, nn.NewAdam(cfg.LR), rng)
+	if err != nil {
+		return 0, fmt.Errorf("anomaly: train: %w", err)
+	}
+	return loss, nil
+}
+
+// Score returns the benign-anomaly probability of a transition.
+func (f *Filter) Score(tr env.Transition) float64 {
+	return f.net.Forward(f.enc.Encode(tr))[0]
+}
+
+// BenignAnomaly reports whether the transition scores above the decision
+// threshold. It implements policy.Filter.
+func (f *Filter) BenignAnomaly(tr env.Transition) bool {
+	return f.Score(tr) >= f.threshold
+}
+
+// Threshold returns the filter's decision threshold.
+func (f *Filter) Threshold() float64 { return f.threshold }
+
+// SetThreshold adjusts the decision threshold (used to trace the ROC
+// curve).
+func (f *Filter) SetThreshold(t float64) { f.threshold = t }
+
+// Save persists the trained network.
+func (f *Filter) Save(w io.Writer) error { return f.net.Save(w) }
+
+// Load restores a filter's network from r. The architecture must match the
+// filter's encoder.
+func (f *Filter) Load(r io.Reader) error {
+	net, err := nn.Load(r)
+	if err != nil {
+		return err
+	}
+	if net.Inputs() != f.enc.Dim() || net.Outputs() != 1 {
+		return fmt.Errorf("anomaly: model shape %d->%d incompatible with encoder dim %d",
+			net.Inputs(), net.Outputs(), f.enc.Dim())
+	}
+	f.net = net
+	return nil
+}

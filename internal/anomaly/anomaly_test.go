@@ -1,0 +1,211 @@
+package anomaly
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+	"jarvis/internal/policy"
+)
+
+func testEnv(t *testing.T) *env.Environment {
+	t.Helper()
+	oven := device.NewBuilder("oven", device.TypeOven).
+		States("off", "on").
+		Actions("power_off", "power_on").
+		Transition("on", "power_off", "off").
+		Transition("off", "power_on", "on").
+		MustBuild()
+	lock := device.NewBuilder("lock", device.TypeLock).
+		States("locked", "unlocked").
+		Actions("lock", "unlock").
+		Transition("unlocked", "lock", "locked").
+		Transition("locked", "unlock", "unlocked").
+		MustBuild()
+	b := env.NewBuilder()
+	b.AddDevice(oven, env.Placement{})
+	b.AddDevice(lock, env.Placement{})
+	b.AddApp("manual", 0, 1)
+	b.AddUser("u", 0)
+	return b.MustBuild()
+}
+
+func tr(t *testing.T, e *env.Environment, from env.State, act env.Action, at time.Time) env.Transition {
+	t.Helper()
+	to, err := e.Transition(from, act)
+	if err != nil {
+		t.Fatalf("transition: %v", err)
+	}
+	return env.Transition{From: from, Act: act, To: to, At: at}
+}
+
+func TestEncoderDimAndOneHot(t *testing.T) {
+	e := testEnv(t)
+	enc := NewEncoder(e)
+	// oven: 2 states + 2 actions + 1; lock: 2 states + 2 actions + 1; time: 4
+	want := (2 + 3) + (2 + 3) + 4
+	if enc.Dim() != want {
+		t.Fatalf("Dim = %d, want %d", enc.Dim(), want)
+	}
+	at := time.Date(2020, 1, 6, 6, 0, 0, 0, time.UTC)
+	x := enc.Encode(tr(t, e, env.State{0, 0}, env.Action{1, device.NoAction}, at))
+	if len(x) != want {
+		t.Fatalf("len(x) = %d", len(x))
+	}
+	// oven state off -> x[0] = 1; oven action power_on -> x[2+1+1] = x[4] = 1
+	if x[0] != 1 || x[1] != 0 {
+		t.Errorf("oven state one-hot wrong: %v", x[:2])
+	}
+	if x[2] != 0 || x[4] != 1 {
+		t.Errorf("oven action one-hot wrong: %v", x[2:5])
+	}
+	// lock: state locked -> x[5]=1; NoAction -> x[7]=1
+	if x[5] != 1 || x[7] != 1 {
+		t.Errorf("lock features wrong: %v", x[5:10])
+	}
+}
+
+func TestEncoderTimeFeatures(t *testing.T) {
+	e := testEnv(t)
+	enc := NewEncoder(e)
+	morning := enc.Encode(tr(t, e, env.State{0, 0}, env.NoOp(2), time.Date(2020, 1, 6, 6, 0, 0, 0, time.UTC)))
+	evening := enc.Encode(tr(t, e, env.State{0, 0}, env.NoOp(2), time.Date(2020, 1, 6, 18, 0, 0, 0, time.UTC)))
+	d := enc.Dim()
+	if morning[d-4] == evening[d-4] && morning[d-3] == evening[d-3] {
+		t.Error("hour-of-day features should differ between 6am and 6pm")
+	}
+}
+
+// TestFilterLearnsTimePattern trains the filter to recognize "oven turned
+// on at night" as a benign anomaly while daytime oven use is normal, which
+// is exactly the shape of SIMADL-style labelled anomalies.
+func TestFilterLearnsTimePattern(t *testing.T) {
+	e := testEnv(t)
+	rng := rand.New(rand.NewSource(42))
+	f, err := NewFilter(e, Config{Hidden: 16}, rng)
+	if err != nil {
+		t.Fatalf("NewFilter: %v", err)
+	}
+
+	var data []Labeled
+	base := time.Date(2020, 1, 6, 0, 0, 0, 0, time.UTC)
+	on := env.Action{1, device.NoAction}
+	for day := 0; day < 40; day++ {
+		// normal: oven on around noon
+		data = append(data, Labeled{
+			Tr:     tr(t, e, env.State{0, 0}, on, base.AddDate(0, 0, day).Add(12*time.Hour)),
+			Benign: false,
+		})
+		// benign anomaly: oven on around 3am
+		data = append(data, Labeled{
+			Tr:     tr(t, e, env.State{0, 0}, on, base.AddDate(0, 0, day).Add(3*time.Hour)),
+			Benign: true,
+		})
+	}
+	loss, err := f.Train(data, Config{Epochs: 200, BatchSize: 16, LR: 0.02}, rng)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if loss > 0.2 {
+		t.Fatalf("final loss %g too high", loss)
+	}
+
+	night := tr(t, e, env.State{0, 0}, on, base.Add(3*time.Hour+5*time.Minute))
+	noon := tr(t, e, env.State{0, 0}, on, base.Add(12*time.Hour+5*time.Minute))
+	if !f.BenignAnomaly(night) {
+		t.Errorf("night oven-on should be a benign anomaly (score %g)", f.Score(night))
+	}
+	if f.BenignAnomaly(noon) {
+		t.Errorf("noon oven-on should be normal (score %g)", f.Score(noon))
+	}
+}
+
+func TestFilterImplementsPolicyFilter(t *testing.T) {
+	var _ policy.Filter = (*Filter)(nil)
+}
+
+func TestTrainErrors(t *testing.T) {
+	e := testEnv(t)
+	rng := rand.New(rand.NewSource(1))
+	f, err := NewFilter(e, Config{}, rng)
+	if err != nil {
+		t.Fatalf("NewFilter: %v", err)
+	}
+	if _, err := f.Train(nil, Config{}, rng); err == nil {
+		t.Error("empty training set should error")
+	}
+}
+
+func TestNewFilterNilRng(t *testing.T) {
+	e := testEnv(t)
+	if _, err := NewFilter(e, Config{}, nil); err == nil {
+		t.Error("nil rng should error")
+	}
+}
+
+func TestThresholdAccessors(t *testing.T) {
+	e := testEnv(t)
+	f, err := NewFilter(e, Config{Threshold: 0.7}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("NewFilter: %v", err)
+	}
+	if f.Threshold() != 0.7 {
+		t.Errorf("Threshold = %g", f.Threshold())
+	}
+	f.SetThreshold(0.25)
+	if f.Threshold() != 0.25 {
+		t.Errorf("SetThreshold did not take: %g", f.Threshold())
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	e := testEnv(t)
+	rng := rand.New(rand.NewSource(9))
+	f, err := NewFilter(e, Config{Hidden: 8}, rng)
+	if err != nil {
+		t.Fatalf("NewFilter: %v", err)
+	}
+	sample := tr(t, e, env.State{0, 0}, env.Action{1, device.NoAction},
+		time.Date(2020, 1, 6, 12, 0, 0, 0, time.UTC))
+	want := f.Score(sample)
+
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	g, err := NewFilter(e, Config{Hidden: 8}, rng)
+	if err != nil {
+		t.Fatalf("NewFilter: %v", err)
+	}
+	if err := g.Load(&buf); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got := g.Score(sample); got != want {
+		t.Errorf("loaded score %g, want %g", got, want)
+	}
+	if err := g.Load(bytes.NewBufferString("junk")); err == nil {
+		t.Error("junk model should fail to load")
+	}
+	// architecture mismatch: model trained for a different env shape
+	var other bytes.Buffer
+	smallEnv := func() *env.Environment {
+		d := device.NewBuilder("d", "t").States("a", "b").Actions("go").
+			Transition("a", "go", "b").MustBuild()
+		eb := env.NewBuilder()
+		eb.AddDevice(d, env.Placement{})
+		return eb.MustBuild()
+	}()
+	sf, err := NewFilter(smallEnv, Config{Hidden: 8}, rng)
+	if err != nil {
+		t.Fatalf("NewFilter: %v", err)
+	}
+	if err := sf.Save(&other); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := g.Load(&other); err == nil {
+		t.Error("shape mismatch should fail to load")
+	}
+}

@@ -1,0 +1,489 @@
+// Package attack reproduces the malicious dataset of Section VI-B: 214
+// manually crafted security-violation instances collected from the prior
+// work the paper reviews (SOTERIA, IoTGuard, physical-interaction studies),
+// with the paper's exact per-type breakdown:
+//
+//	Type 1 — T/A safety violations (114)
+//	Type 2 — integrity / access-control violations (40)
+//	Type 3 — conflicting actions / race-condition violations (40)
+//	Type 4 — malicious apps causing safety violations (10)
+//	Type 5 — insider attacks (10)
+//
+// Types 1, 4 and 5 are state-transition payloads injected into otherwise
+// benign episodes and detected by the SPL's P_safe table; Types 2 and 3 are
+// request-level payloads detected by the environment's access-control and
+// conflict constraints.
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+	"jarvis/internal/smarthome"
+)
+
+// Type classifies a violation per the paper's taxonomy.
+type Type int
+
+// Violation types.
+const (
+	Type1TASafety Type = iota + 1
+	Type2AccessControl
+	Type3Conflict
+	Type4MaliciousApp
+	Type5Insider
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case Type1TASafety:
+		return "type1-ta-safety"
+	case Type2AccessControl:
+		return "type2-access-control"
+	case Type3Conflict:
+		return "type3-conflict"
+	case Type4MaliciousApp:
+		return "type4-malicious-app"
+	case Type5Insider:
+		return "type5-insider"
+	default:
+		return "unknown"
+	}
+}
+
+// Context is the time-of-day slot a violation is staged in.
+type Context struct {
+	Name   string
+	Minute int
+}
+
+// Contexts lists the six default staging slots Type 1 violations are
+// multiplied across (19 base rules × 6 contexts = 114 instances).
+func Contexts() []Context {
+	return []Context{
+		{"asleep-night", 2 * 60},
+		{"asleep-early", 5 * 60},
+		{"away-morning", 10 * 60},
+		{"home-noon", 12*60 + 30},
+		{"away-afternoon", 14 * 60},
+		{"home-evening", 20 * 60},
+	}
+}
+
+// unattendedContexts stages violations only while the household is away or
+// asleep — rules like "TV on" or "washer start" are perfectly natural in
+// the evening and only constitute violations when nobody could have issued
+// them.
+func unattendedContexts() []Context {
+	return []Context{
+		{"asleep-night", 2 * 60},
+		{"asleep-early", 4*60 + 30},
+		{"away-morning", 9*60 + 30},
+		{"away-latemorning", 11 * 60},
+		{"away-afternoon", 14 * 60},
+		{"away-late", 16 * 60},
+	}
+}
+
+// Step is one interval's worth of malicious device actions.
+type Step map[int]device.ActionID
+
+// Violation is one instance of the corpus.
+type Violation struct {
+	ID          int
+	Type        Type
+	Name        string
+	Description string
+	// StageIn optionally restricts the contexts a base rule is multiplied
+	// across (defaults to Contexts()).
+	StageIn []Context
+	Context Context
+	// Steps, for transition-based violations (Types 1, 4, 5): composite
+	// actions injected at consecutive instances starting at
+	// Context.Minute.
+	Steps []Step
+	// Requests, for request-based violations (Types 2, 3): submitted in a
+	// single interval and expected to be denied by the environment
+	// constraints.
+	Requests []env.Request
+}
+
+// TransitionBased reports whether the violation is detected through
+// P_safe (vs. through request constraints).
+func (v Violation) TransitionBased() bool {
+	return v.Type == Type1TASafety || v.Type == Type4MaliciousApp || v.Type == Type5Insider
+}
+
+// type1Rules returns the 19 base unsafe trigger→action rules.
+func type1Rules(h *smarthome.FullHome) []Violation {
+	on, off := device.ActionID(1), device.ActionID(0)
+	unlock := device.ActionID(1)
+	return []Violation{
+		{Name: "door-sensor-off", Description: "disable the door touch sensor", Steps: []Step{{h.DoorSensor: off}}},
+		{Name: "temp-sensor-off", Description: "disable the temperature sensor", Steps: []Step{{h.TempSensor: off}}},
+		{Name: "lock-power-off", Description: "power off the smart lock", Steps: []Step{{h.Lock: 2}}},
+		{Name: "unlock-no-arrival", Description: "unlock the door with nobody at it", Steps: []Step{{h.Lock: unlock}}, StageIn: unattendedContexts()},
+		{Name: "oven-unattended", Description: "turn the oven on unattended", Steps: []Step{{h.Oven: on}}, StageIn: unattendedContexts()},
+		{Name: "washer-unattended", Description: "start the washer unattended", Steps: []Step{{h.Washer: 0}}, StageIn: unattendedContexts()},
+		{Name: "dishwasher-unattended", Description: "start the dishwasher unattended", Steps: []Step{{h.Dishwasher: 0}}, StageIn: unattendedContexts()},
+		{Name: "overheat", Description: "force heating regardless of temperature", Steps: []Step{{h.TempSensor: 2 /* read_above */}, {h.Thermostat: smarthome.ThermostatActHeat}}},
+		{Name: "freeze", Description: "force cooling regardless of temperature", Steps: []Step{{h.TempSensor: 3 /* read_below */}, {h.Thermostat: smarthome.ThermostatActCool}}},
+		{Name: "fridge-power-off", Description: "power off the fridge (spoilage)", Steps: []Step{{h.Fridge: 2}}},
+		{Name: "fridge-door-open-attack", Description: "open the fridge door and leave it", Steps: []Step{{h.Fridge: 0}}, StageIn: unattendedContexts()},
+		{Name: "spoofed-entry", Description: "spoof an unauthorized detection while unlocking", Steps: []Step{{h.DoorSensor: 3 /* detect_unauth */, h.Lock: unlock}}},
+		{Name: "false-fire-alarm", Description: "raise a false fire alarm (door unlocks via app 4)", Steps: []Step{{h.TempSensor: 5 /* raise_alarm */}, {h.Lock: unlock, h.LivingLight: on}}},
+		{Name: "alarm-clear-spoof", Description: "clear a (spoofed) fire alarm to suppress the response", Steps: []Step{{h.TempSensor: 5 /* raise */}, {h.TempSensor: 6 /* clear */}}},
+		{Name: "sensor-spoof-unauth", Description: "spoof an unauthorized-user detection", Steps: []Step{{h.DoorSensor: 3}}},
+		{Name: "darkness", Description: "kill all lights", Steps: []Step{{h.LivingLight: off, h.BedLight: off}}},
+		{Name: "decoy-tv", Description: "turn the TV on as a decoy", Steps: []Step{{h.TV: on}}, StageIn: unattendedContexts()},
+		{Name: "hvac-and-sensor-kill", Description: "kill the HVAC and its sensor together (freeze risk)", Steps: []Step{{h.Thermostat: smarthome.ThermostatActOff, h.TempSensor: off}}},
+		{Name: "lockout", Description: "dead-lock the resident out", Steps: []Step{{h.Lock: 4 /* lock_inside */}}, StageIn: unattendedContexts()},
+	}
+}
+
+// type2Violations returns the 40 access-control violations: guests using
+// apps they are not authorized for, apps acting on devices they are not
+// subscribed to.
+func type2Violations(h *smarthome.FullHome) []Violation {
+	var out []Violation
+	allDevices := []int{
+		h.Lock, h.DoorSensor, h.LivingLight, h.BedLight, h.Thermostat,
+		h.TempSensor, h.Fridge, h.Oven, h.TV, h.Washer, h.Dishwasher,
+	}
+	// Guest drives the manual app (11) and the rogue app (11).
+	for _, dev := range allDevices {
+		out = append(out, Violation{
+			Type: Type2AccessControl, Name: "guest-manual",
+			Description: "unauthorized user operates a device through the manual app",
+			Requests:    []env.Request{{User: h.Guest, App: h.ManualApp, Device: dev, Action: firstAction(h, dev)}},
+		})
+	}
+	for _, dev := range allDevices {
+		out = append(out, Violation{
+			Type: Type2AccessControl, Name: "guest-rogue-app",
+			Description: "unauthorized user operates a device through an unsubscribed app",
+			Requests:    []env.Request{{User: h.Guest, App: h.RogueApp, Device: dev, Action: firstAction(h, dev)}},
+		})
+	}
+	// Resident drives the rogue app (11): the app has no subscriptions.
+	for _, dev := range allDevices {
+		out = append(out, Violation{
+			Type: Type2AccessControl, Name: "rogue-app-subscription",
+			Description: "app acts on a device it is not subscribed to",
+			Requests:    []env.Request{{User: h.Resident, App: h.RogueApp, Device: dev, Action: firstAction(h, dev)}},
+		})
+	}
+	// App 1 (lock + door sensor only) reaching into 7 other devices.
+	for _, dev := range []int{h.LivingLight, h.BedLight, h.Thermostat, h.TempSensor, h.Oven, h.TV, h.Washer} {
+		out = append(out, Violation{
+			Type: Type2AccessControl, Name: "app1-overreach",
+			Description: "app 1 acts outside its device subscription policy",
+			Requests:    []env.Request{{User: h.Resident, App: h.AppIDs[1], Device: dev, Action: firstAction(h, dev)}},
+		})
+	}
+	return out
+}
+
+// type3Violations returns the 40 conflicting-action / race-condition
+// violations: two apps claiming the same device with opposing commands in
+// one interval, staged in two contexts and both submission orders.
+func type3Violations(h *smarthome.FullHome) []Violation {
+	type pair struct {
+		name string
+		dev  int
+		a, b device.ActionID
+	}
+	pairs := []pair{
+		{"lock-race", h.Lock, 0, 1},                // lock vs unlock
+		{"living-light-race", h.LivingLight, 1, 0}, // on vs off
+		{"bed-light-race", h.BedLight, 1, 0},
+		{"thermostat-race", h.Thermostat, smarthome.ThermostatActHeat, smarthome.ThermostatActCool},
+		{"oven-race", h.Oven, 1, 0},
+		{"tv-race", h.TV, 1, 0},
+		{"washer-race", h.Washer, 0, 1},
+		{"dishwasher-race", h.Dishwasher, 0, 1},
+		{"fridge-race", h.Fridge, 0, 1},
+		{"sensor-race", h.TempSensor, 0, 1}, // off vs on
+	}
+	contexts := []Context{{"home-noon", 12 * 60}, {"home-evening", 20 * 60}}
+	var out []Violation
+	for _, p := range pairs {
+		for _, ctx := range contexts {
+			for order := 0; order < 2; order++ {
+				a1, a2 := p.a, p.b
+				if order == 1 {
+					a1, a2 = a2, a1
+				}
+				out = append(out, Violation{
+					Type: Type3Conflict, Name: p.name, Context: ctx,
+					Description: "two apps issue conflicting commands on one device in one interval",
+					Requests: []env.Request{
+						{User: h.Resident, App: h.ManualApp, Device: p.dev, Action: a1},
+						{User: h.Resident, App: h.AppIDs[5], Device: p.dev, Action: a2},
+					},
+				})
+			}
+		}
+	}
+	return out
+}
+
+// type4Violations returns the 10 malicious-app attack chains.
+func type4Violations(h *smarthome.FullHome) []Violation {
+	on, off := device.ActionID(1), device.ActionID(0)
+	unlock := device.ActionID(1)
+	mk := func(name, desc string, minute int, steps ...Step) Violation {
+		return Violation{
+			Type: Type4MaliciousApp, Name: name, Description: desc,
+			Context: Context{Name: "staged", Minute: minute}, Steps: steps,
+		}
+	}
+	return []Violation{
+		mk("blind-then-unlock", "disable both sensors, then unlock the door", 3*60,
+			Step{h.DoorSensor: off, h.TempSensor: off}, Step{h.Lock: unlock}),
+		mk("power-surge", "switch every heavy appliance on at once", 4*60,
+			Step{h.Oven: on, h.TV: on, h.Washer: 0, h.Dishwasher: 0}),
+		mk("thermostat-flap", "flap the HVAC between heat and cool", 11*60,
+			Step{h.Thermostat: smarthome.ThermostatActHeat},
+			Step{h.Thermostat: smarthome.ThermostatActCool},
+			Step{h.Thermostat: smarthome.ThermostatActHeat}),
+		mk("alarm-storm", "raise and clear the fire alarm repeatedly", 13*60,
+			Step{h.TempSensor: 5}, Step{h.TempSensor: 6}, Step{h.TempSensor: 5}),
+		mk("night-oven", "preheat the oven while the household sleeps", 1*60+30,
+			Step{h.Oven: on}),
+		mk("fake-arrival", "spoof an authorized arrival to open the door", 2*60+30,
+			Step{h.DoorSensor: 2}, Step{h.Lock: unlock, h.LivingLight: on}),
+		mk("sensor-blackout", "power off every sensor", 15*60,
+			Step{h.DoorSensor: off, h.TempSensor: off}),
+		mk("fridge-sabotage", "open the fridge and kill its power", 9*60+30,
+			Step{h.Fridge: 0}, Step{h.Fridge: 2}),
+		mk("lock-cycle", "rapidly unlock and relock the door", 3*60+30,
+			Step{h.Lock: unlock}, Step{h.Lock: 0}, Step{h.Lock: unlock}),
+		mk("midnight-party", "lights and TV on at 02:00", 2*60,
+			Step{h.LivingLight: on, h.BedLight: on, h.TV: on}),
+	}
+}
+
+// type5Violations returns the 10 insider attacks: actions through fully
+// authorized credentials that deviate from all natural behavior.
+func type5Violations(h *smarthome.FullHome) []Violation {
+	on, off := device.ActionID(1), device.ActionID(0)
+	unlock := device.ActionID(1)
+	mk := func(name, desc string, minute int, steps ...Step) Violation {
+		return Violation{
+			Type: Type5Insider, Name: name, Description: desc,
+			Context: Context{Name: "staged", Minute: minute}, Steps: steps,
+		}
+	}
+	return []Violation{
+		mk("insider-night-unlock", "authorized unlock at 03:00", 3*60, Step{h.Lock: unlock}),
+		mk("insider-disable-door-sensor", "door sensor disabled before leaving", 7*60+30, Step{h.DoorSensor: off}),
+		mk("insider-disable-temp-sensor", "temperature sensor disabled at night", 23*60+30, Step{h.TempSensor: off}),
+		mk("insider-lock-off", "lock powered down during the day", 11*60, Step{h.Lock: 2}),
+		{
+			Type: Type5Insider, Name: "insider-unattended-oven",
+			Description: "oven switched on while the house is empty",
+			Context:     Context{Name: "away-morning", Minute: 10 * 60},
+			Steps:       []Step{{h.Oven: on}},
+		},
+		mk("insider-night-washer", "washer started at 02:30", 2*60+30, Step{h.Washer: 0}),
+		mk("insider-heat-blast", "heating forced during a hot afternoon", 14*60+30,
+			Step{h.TempSensor: 2}, Step{h.Thermostat: smarthome.ThermostatActHeat}),
+		mk("insider-blackout", "all lights killed in the evening", 21*60, Step{h.LivingLight: off, h.BedLight: off}),
+		mk("insider-fridge-open", "fridge door opened overnight", 0*60+45, Step{h.Fridge: 0}),
+		mk("insider-decoy-alarm", "false fire alarm raised manually", 16*60, Step{h.TempSensor: 5}),
+	}
+}
+
+func firstAction(h *smarthome.FullHome, dev int) device.ActionID {
+	if h.Env.Device(dev).NumActions() == 0 {
+		return device.NoAction
+	}
+	return 0
+}
+
+// Corpus generates the full 214-instance violation corpus over the
+// 11-device home, with the paper's exact type breakdown.
+func Corpus(h *smarthome.FullHome) []Violation {
+	var out []Violation
+	// Type 1: 19 base rules × 6 contexts = 114.
+	for _, base := range type1Rules(h) {
+		contexts := base.StageIn
+		if len(contexts) == 0 {
+			contexts = Contexts()
+		}
+		for _, ctx := range contexts {
+			v := base
+			v.Type = Type1TASafety
+			v.Context = ctx
+			out = append(out, v)
+		}
+	}
+	out = append(out, type2Violations(h)...)
+	out = append(out, type3Violations(h)...)
+	out = append(out, type4Violations(h)...)
+	out = append(out, type5Violations(h)...)
+	for i := range out {
+		out[i].ID = i + 1
+	}
+	return out
+}
+
+// CountByType tallies a corpus.
+func CountByType(vs []Violation) map[Type]int {
+	out := make(map[Type]int, 5)
+	for _, v := range vs {
+		out[v.Type]++
+	}
+	return out
+}
+
+// Inject splices a transition-based violation into a base episode at its
+// staged context minute (jittered ±30 by rng). When a payload action is
+// FSM-invalid in the state reached, a short "bridge" of preparatory device
+// actions (found by BFS over the device's own FSM) is inserted first —
+// this mirrors how the paper's violations are manually engineered into
+// random episodes. It returns the malicious episode, the first injected
+// payload instance, and whether the payload took effect.
+func Inject(e *env.Environment, base env.Episode, v Violation, rng *rand.Rand) (env.Episode, int, bool, error) {
+	if !v.TransitionBased() {
+		return env.Episode{}, 0, false, fmt.Errorf("attack: violation %d (%v) is request-based", v.ID, v.Type)
+	}
+	n := base.Len()
+	for attempt := 0; attempt < 16; attempt++ {
+		at := v.Context.Minute + rng.Intn(61) - 30
+		if at < 0 {
+			at = 0
+		}
+		if at+len(v.Steps)+4 >= n {
+			at = n - len(v.Steps) - 5
+		}
+		actions := make([]env.Action, n)
+		for i, a := range base.Actions {
+			actions[i] = a.Clone()
+		}
+		payloadAt, ok := overlayWithBridges(e, base.States[0], actions, v, at)
+		if !ok {
+			continue
+		}
+		ep, err := env.ReplayActions(e, base.States[0], base.Start, base.I, actions)
+		if err != nil {
+			return env.Episode{}, 0, false, err
+		}
+		if payloadApplied(ep, v, payloadAt) {
+			return ep, payloadAt, true, nil
+		}
+	}
+	return env.Episode{}, 0, false, nil
+}
+
+// overlayWithBridges writes the payload (and any required preparatory
+// bridges) into actions, returning the instance the payload starts at.
+// Device state is tracked locally: composite transitions decompose
+// per-device, so each device's trajectory depends only on its own actions.
+func overlayWithBridges(e *env.Environment, s0 env.State, actions []env.Action, v Violation, at int) (int, bool) {
+	// Devices touched by the payload, with the action of their first step.
+	firstAct := make(map[int]device.ActionID)
+	for _, step := range v.Steps {
+		for dev, act := range step {
+			if _, seen := firstAct[dev]; !seen {
+				firstAct[dev] = act
+			}
+		}
+	}
+	// Per-device bridge paths.
+	bridges := make(map[int][]device.ActionID, len(firstAct))
+	maxLen := 0
+	for dev, act := range firstAct {
+		s := localStateAt(e, s0, actions, dev, at)
+		path, ok := pathToValid(e.Device(dev), s, act)
+		if !ok {
+			return 0, false
+		}
+		bridges[dev] = path
+		if len(path) > maxLen {
+			maxLen = len(path)
+		}
+	}
+	payloadAt := at + maxLen
+	if payloadAt+len(v.Steps) > len(actions) {
+		return 0, false
+	}
+	// Clear the bridge window for payload devices, then lay the bridges so
+	// each finishes right before the payload.
+	for dev := range firstAct {
+		for t := at; t < payloadAt; t++ {
+			actions[t][dev] = device.NoAction
+		}
+		path := bridges[dev]
+		for i, act := range path {
+			actions[payloadAt-len(path)+i][dev] = act
+		}
+	}
+	for i, step := range v.Steps {
+		for dev, act := range step {
+			actions[payloadAt+i][dev] = act
+		}
+	}
+	return payloadAt, true
+}
+
+// localStateAt replays a single device's action history (with the hub's
+// drop-invalid semantics) up to instance at.
+func localStateAt(e *env.Environment, s0 env.State, actions []env.Action, dev, at int) device.StateID {
+	d := e.Device(dev)
+	s := s0[dev]
+	for t := 0; t < at && t < len(actions); t++ {
+		if next, ok := d.Next(s, actions[t][dev]); ok {
+			s = next
+		}
+	}
+	return s
+}
+
+// pathToValid finds the shortest action sequence driving the device from s
+// to any state where act is valid (empty when it already is).
+func pathToValid(d *device.Device, s device.StateID, act device.ActionID) ([]device.ActionID, bool) {
+	if _, ok := d.Next(s, act); ok {
+		return nil, true
+	}
+	type node struct {
+		s    device.StateID
+		path []device.ActionID
+	}
+	seen := map[device.StateID]bool{s: true}
+	queue := []node{{s: s}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, a := range d.ValidActions(cur.s) {
+			next, _ := d.Next(cur.s, a)
+			if seen[next] {
+				continue
+			}
+			seen[next] = true
+			path := append(append([]device.ActionID(nil), cur.path...), a)
+			if _, ok := d.Next(next, act); ok {
+				return path, true
+			}
+			queue = append(queue, node{s: next, path: path})
+		}
+	}
+	return nil, false
+}
+
+// payloadApplied checks that every injected device action survived replay
+// (was FSM-valid in the state reached).
+func payloadApplied(ep env.Episode, v Violation, at int) bool {
+	for i, step := range v.Steps {
+		for dev, act := range step {
+			if ep.Actions[at+i][dev] != act {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,124 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jarvis/internal/dataset"
+	"jarvis/internal/env"
+	"jarvis/internal/smarthome"
+)
+
+func TestCorpusBreakdownMatchesPaper(t *testing.T) {
+	h := smarthome.NewFullHome()
+	corpus := Corpus(h)
+	if len(corpus) != 214 {
+		t.Fatalf("corpus size = %d, want 214", len(corpus))
+	}
+	counts := CountByType(corpus)
+	want := map[Type]int{
+		Type1TASafety:      114,
+		Type2AccessControl: 40,
+		Type3Conflict:      40,
+		Type4MaliciousApp:  10,
+		Type5Insider:       10,
+	}
+	for typ, n := range want {
+		if counts[typ] != n {
+			t.Errorf("%v = %d, want %d", typ, counts[typ], n)
+		}
+	}
+	// IDs are unique and sequential.
+	for i, v := range corpus {
+		if v.ID != i+1 {
+			t.Fatalf("violation %d has ID %d", i, v.ID)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for _, typ := range []Type{Type1TASafety, Type2AccessControl, Type3Conflict, Type4MaliciousApp, Type5Insider} {
+		if typ.String() == "unknown" {
+			t.Errorf("type %d has no name", typ)
+		}
+	}
+	if Type(0).String() != "unknown" {
+		t.Error("zero type should be unknown")
+	}
+}
+
+func TestTransitionBased(t *testing.T) {
+	if !(Violation{Type: Type1TASafety}).TransitionBased() {
+		t.Error("type 1 is transition-based")
+	}
+	if (Violation{Type: Type2AccessControl}).TransitionBased() {
+		t.Error("type 2 is request-based")
+	}
+	if (Violation{Type: Type3Conflict}).TransitionBased() {
+		t.Error("type 3 is request-based")
+	}
+}
+
+func TestRequestViolationsAreDenied(t *testing.T) {
+	h := smarthome.NewFullHome()
+	s := h.InitialState()
+	for _, v := range Corpus(h) {
+		if v.TransitionBased() {
+			continue
+		}
+		_, _, denials := h.Env.Apply(s, v.Requests)
+		if len(denials) == 0 {
+			t.Errorf("violation %d (%s/%s) produced no denial", v.ID, v.Type, v.Name)
+		}
+	}
+}
+
+func TestInjectTransitionViolations(t *testing.T) {
+	h := smarthome.NewFullHome()
+	gen := dataset.NewGenerator(h, dataset.HomeAConfig())
+	rng := rand.New(rand.NewSource(1))
+	days, err := gen.Days(time.Date(2020, 1, 6, 0, 0, 0, 0, time.UTC), 2, rng)
+	if err != nil {
+		t.Fatalf("Days: %v", err)
+	}
+
+	applied, skipped := 0, 0
+	for _, v := range Corpus(h) {
+		if !v.TransitionBased() {
+			continue
+		}
+		day := days[rng.Intn(len(days))]
+		ep, at, ok, err := Inject(h.Env, day.Episode, v, rng)
+		if err != nil {
+			t.Fatalf("Inject(%d %s): %v", v.ID, v.Name, err)
+		}
+		if !ok {
+			skipped++
+			continue
+		}
+		applied++
+		if err := ep.Validate(h.Env); err != nil {
+			t.Fatalf("injected episode invalid (%s): %v", v.Name, err)
+		}
+		if at < 0 || at+len(v.Steps) > ep.Len() {
+			t.Fatalf("injection window out of range: %d + %d", at, len(v.Steps))
+		}
+	}
+	if applied == 0 {
+		t.Fatal("no violation could be injected")
+	}
+	// The vast majority of payloads must be injectable.
+	if skipped > applied/10 {
+		t.Errorf("too many uninjectable payloads: %d skipped vs %d applied", skipped, applied)
+	}
+}
+
+func TestInjectRejectsRequestViolations(t *testing.T) {
+	h := smarthome.NewFullHome()
+	rng := rand.New(rand.NewSource(2))
+	v := Violation{Type: Type2AccessControl}
+	if _, _, _, err := Inject(h.Env, env.Episode{}, v, rng); err == nil {
+		t.Error("request-based violation should not inject")
+	}
+}

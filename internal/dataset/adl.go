@@ -1,0 +1,338 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+	"jarvis/internal/smarthome"
+)
+
+// GeneratorConfig parameterizes the resident-behavior simulator.
+type GeneratorConfig struct {
+	// Context drives occupancy, weather and prices.
+	Context ContextConfig
+	// Thermal is the house model configuration.
+	Thermal smarthome.ThermalConfig
+	// Appliance usage probabilities per day.
+	BreakfastOven, DinnerOven, Washer, Dishwasher, EveningTV float64
+	// HVACWhileAway keeps the thermostat maintaining temperature during
+	// away periods — the paper's "normal device behavior" baseline lets
+	// apps run context-free, which is exactly the waste Jarvis recovers.
+	HVACWhileAway bool
+}
+
+// HomeAConfig is the OpenSHS-style simulated-activity profile (home A).
+func HomeAConfig() GeneratorConfig {
+	return GeneratorConfig{
+		Context:       DefaultContext(),
+		Thermal:       smarthome.DefaultThermalConfig(),
+		BreakfastOven: 0.5,
+		DinnerOven:    0.85,
+		Washer:        0.3,
+		Dishwasher:    0.6,
+		EveningTV:     0.9,
+		HVACWhileAway: true,
+	}
+}
+
+// HomeBConfig is the Smart*-calibrated profile (home B): noisier schedule,
+// heavier appliance usage, the load shapes of the published UMass traces.
+func HomeBConfig() GeneratorConfig {
+	cfg := HomeAConfig()
+	cfg.Context.Schedule = ScheduleConfig{
+		Wake: 7 * 60, Leave: 8*60 + 30, Return: 17*60 + 30, Sleep: 23*60 + 30,
+		Jitter:          45,
+		WeekendStayHome: 0.6,
+	}
+	cfg.BreakfastOven = 0.35
+	cfg.DinnerOven = 0.7
+	cfg.Washer = 0.45
+	cfg.Dishwasher = 0.75
+	cfg.EveningTV = 0.95
+	return cfg
+}
+
+// Day is one simulated day of normal resident behavior: the recorded
+// episode, the exogenous context, and the continuous indoor-temperature
+// trace.
+type Day struct {
+	Episode env.Episode
+	Context *DayContext
+	// Indoor[t] is the indoor temperature after instance t.
+	Indoor []float64
+}
+
+// EnergyKWh returns the day's metered energy use.
+func (d *Day) EnergyKWh(e *env.Environment) float64 {
+	var kwh float64
+	for _, s := range d.Episode.States[1:] {
+		kwh += smarthome.PowerDraw(e, s) / 1000 / 60 // one minute per state
+	}
+	return kwh
+}
+
+// CostUSD returns the day's electricity cost under the context's DAM
+// prices.
+func (d *Day) CostUSD(e *env.Environment) float64 {
+	var usd float64
+	for t, s := range d.Episode.States[1:] {
+		price := d.Context.Prices[t%len(d.Context.Prices)]
+		usd += smarthome.PowerDraw(e, s) / 1000 / 60 * price
+	}
+	return usd
+}
+
+// AvgComfortError returns the mean |T_in − forecast target| over occupied
+// instances, the paper's temperature-difference metric.
+func (d *Day) AvgComfortError(target float64) float64 {
+	var sum float64
+	var n int
+	for t, temp := range d.Indoor {
+		if d.Context.Occupancy[t] == Away {
+			continue
+		}
+		diff := temp - target
+		if diff < 0 {
+			diff = -diff
+		}
+		sum += diff
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Generator simulates normal resident behavior in the 11-device home. It
+// is the source of learning episodes (the paper's 1-week learning phase)
+// and of the "normal user behavior" baseline in Figures 6–8.
+type Generator struct {
+	home *smarthome.FullHome
+	cfg  GeneratorConfig
+}
+
+// NewGenerator builds a generator over the given home.
+func NewGenerator(home *smarthome.FullHome, cfg GeneratorConfig) *Generator {
+	return &Generator{home: home, cfg: cfg}
+}
+
+// plan is the day's scripted device actions: instance → (device, action).
+type plannedAct struct {
+	dev int
+	act device.ActionID
+}
+
+// Day simulates one day starting from s0 and returns the day plus the
+// final state (the next day's S_0).
+func (g *Generator) Day(date time.Time, s0 env.State, rng *rand.Rand) (*Day, env.State, error) {
+	return g.SimulateDay(NewDayContext(date, g.cfg.Context, rng), s0, rng)
+}
+
+// SimulateDay simulates normal resident behavior against a pre-built
+// context — the experiments reuse one context for both the normal-behavior
+// baseline and the Jarvis run so the comparison is apples-to-apples.
+func (g *Generator) SimulateDay(ctx *DayContext, s0 env.State, rng *rand.Rand) (*Day, env.State, error) {
+	date := ctx.Date
+	n := len(ctx.Occupancy)
+	h := g.home
+	e := h.Env
+
+	plan := make(map[int][]plannedAct, 64)
+	add := func(t int, dev int, act device.ActionID) {
+		if t >= 0 && t < n {
+			plan[t] = append(plan[t], plannedAct{dev: dev, act: act})
+		}
+	}
+	g.scriptDay(ctx, add, rng)
+
+	thermal := smarthome.NewThermal(g.cfg.Thermal)
+	rec := env.NewRecorder(e, s0, date, time.Duration(n)*time.Minute, time.Minute)
+	indoor := make([]float64, 0, n)
+
+	for t := 0; t < n; t++ {
+		s := rec.State()
+		act := env.NoOp(e.K())
+
+		// House physics first: the sensor publishes a new reading when the
+		// discretized temperature moves (and the sensor is powered).
+		thermal.Step(ctx.Outdoor[t], s[h.Thermostat])
+		indoor = append(indoor, thermal.Inside())
+		if want := thermal.SensorState(); s[h.TempSensor] != smarthome.TempOff &&
+			s[h.TempSensor] != smarthome.TempFireAlarm && want != s[h.TempSensor] {
+			act[h.TempSensor] = readAction(want)
+		}
+
+		// App 2: maintain optimal temperature (context-free normal
+		// behavior), unless configured to respect occupancy.
+		hvacActive := g.cfg.HVACWhileAway || ctx.Occupancy[t] != Away
+		if hvacActive {
+			switch s[h.TempSensor] {
+			case smarthome.TempBelow:
+				if s[h.Thermostat] != smarthome.ThermostatHeat {
+					act[h.Thermostat] = smarthome.ThermostatActHeat
+				}
+			case smarthome.TempAbove:
+				if s[h.Thermostat] != smarthome.ThermostatCool {
+					act[h.Thermostat] = smarthome.ThermostatActCool
+				}
+			case smarthome.TempOptimal:
+				if s[h.Thermostat] != smarthome.ThermostatOff {
+					act[h.Thermostat] = smarthome.ThermostatActOff
+				}
+			}
+		} else if s[h.Thermostat] != smarthome.ThermostatOff {
+			act[h.Thermostat] = smarthome.ThermostatActOff
+		}
+
+		// Scripted resident actions override the automations.
+		for _, p := range plan[t] {
+			act[p.dev] = p.act
+		}
+
+		// Drop whatever is invalid in the current state (stale commands).
+		for dev, a := range act {
+			if a == device.NoAction {
+				continue
+			}
+			if _, ok := e.Device(dev).Next(s[dev], a); !ok {
+				act[dev] = device.NoAction
+			}
+		}
+		if err := rec.Step(act); err != nil {
+			return nil, nil, fmt.Errorf("dataset: day %s instance %d: %w", date.Format("2006-01-02"), t, err)
+		}
+	}
+	ep := rec.Episode()
+	final := ep.States[len(ep.States)-1].Clone()
+	return &Day{Episode: ep, Context: ctx, Indoor: indoor}, final, nil
+}
+
+// Days simulates a run of consecutive days, chaining end states.
+func (g *Generator) Days(start time.Time, days int, rng *rand.Rand) ([]*Day, error) {
+	s := g.home.InitialState()
+	out := make([]*Day, 0, days)
+	for i := 0; i < days; i++ {
+		d, next, err := g.Day(start.AddDate(0, 0, i), s, rng)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, d)
+		s = next
+	}
+	return out, nil
+}
+
+// Episodes extracts the episodes of a day run.
+func Episodes(days []*Day) []env.Episode {
+	out := make([]env.Episode, len(days))
+	for i, d := range days {
+		out[i] = d.Episode
+	}
+	return out
+}
+
+func readAction(want device.StateID) device.ActionID {
+	switch want {
+	case smarthome.TempAbove:
+		return 2 // read_above
+	case smarthome.TempBelow:
+		return 3 // read_below
+	default:
+		return 4 // read_optimal
+	}
+}
+
+// scriptDay lays out the resident's planned actions for the day.
+func (g *Generator) scriptDay(ctx *DayContext, add func(int, int, device.ActionID), rng *rand.Rand) {
+	h := g.home
+	lightOn, lightOff := device.ActionID(1), device.ActionID(0)
+	wake, sleep := ctx.WakeAt, ctx.SleepAt
+
+	// Morning: bedroom and living lights, fridge, optional breakfast oven.
+	add(wake, h.BedLight, lightOn)
+	add(wake+25, h.BedLight, lightOff)
+	add(wake+20, h.LivingLight, lightOn)
+	add(wake+5, h.Fridge, 0) // open_door
+	add(wake+8, h.Fridge, 1) // close_door
+	if rng.Float64() < g.cfg.BreakfastOven {
+		add(wake+10, h.Oven, 1)
+		add(wake+30, h.Oven, 0)
+	}
+
+	if ctx.LeaveAt >= 0 {
+		leave, ret := ctx.LeaveAt, ctx.ReturnAt
+		// Departure: unlock to exit, lock from outside; then app 5 fires
+		// on the (locked_outside, sensing) trigger and shuts the lights
+		// and thermostat down in one composite action.
+		add(leave-1, h.Lock, 1) // unlock (was locked_inside overnight)
+		add(leave, h.Lock, 0)   // lock -> locked_outside
+		add(leave+1, h.LivingLight, lightOff)
+		add(leave+1, h.BedLight, lightOff)
+		add(leave+1, h.Thermostat, 2) // power_off (app 5)
+		// Return: sensor detects the resident, app 1 unlocks, app 3 turns
+		// the lights on, the resident enters and locks from inside.
+		add(ret, h.DoorSensor, 2) // detect_auth
+		add(ret+1, h.Lock, 1)     // unlock
+		add(ret+1, h.LivingLight, lightOn)
+		add(ret+2, h.DoorSensor, 4) // clear
+		add(ret+3, h.Lock, 4)       // lock_inside
+		// Dinner after returning.
+		dinner := ret + 45
+		if rng.Float64() < g.cfg.DinnerOven {
+			add(dinner, h.Oven, 1)
+			add(dinner+35, h.Oven, 0)
+		}
+		add(dinner-5, h.Fridge, 0)
+		add(dinner-2, h.Fridge, 1)
+		if rng.Float64() < g.cfg.Dishwasher {
+			add(dinner+40, h.Dishwasher, 0) // start
+			add(dinner+40+90, h.Dishwasher, 1)
+		}
+		if rng.Float64() < g.cfg.EveningTV {
+			add(ret+90, h.TV, 1)
+			add(min(sleep-5, ret+90+150), h.TV, 0)
+		}
+	} else {
+		// Stay-home day: lights with daylight, lunch, TV in the afternoon.
+		add(wake+30, h.LivingLight, lightOn)
+		lunch := 12*60 + 30
+		add(lunch-5, h.Fridge, 0)
+		add(lunch-2, h.Fridge, 1)
+		if rng.Float64() < g.cfg.DinnerOven {
+			add(lunch, h.Oven, 1)
+			add(lunch+25, h.Oven, 0)
+		}
+		if rng.Float64() < g.cfg.EveningTV {
+			add(14*60, h.TV, 1)
+			add(16*60+30, h.TV, 0)
+		}
+		dinner := 18*60 + 30
+		if rng.Float64() < g.cfg.DinnerOven {
+			add(dinner, h.Oven, 1)
+			add(dinner+35, h.Oven, 0)
+		}
+		if rng.Float64() < g.cfg.Dishwasher {
+			add(dinner+40, h.Dishwasher, 0)
+			add(dinner+40+90, h.Dishwasher, 1)
+		}
+	}
+	if rng.Float64() < g.cfg.Washer {
+		// Laundry starts once the resident is home for the evening.
+		earliest := 17 * 60
+		if ctx.ReturnAt >= 0 && ctx.ReturnAt+20 > earliest {
+			earliest = ctx.ReturnAt + 20
+		}
+		start := earliest + rng.Intn(90)
+		add(start, h.Washer, 0)
+		add(start+60, h.Washer, 1)
+	}
+	// Bedtime: everything off, bedroom light briefly, lock from inside.
+	add(sleep-15, h.BedLight, lightOn)
+	add(sleep-10, h.LivingLight, lightOff)
+	add(sleep-10, h.TV, lightOff)
+	add(sleep, h.BedLight, lightOff)
+}

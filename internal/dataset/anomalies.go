@@ -1,0 +1,191 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jarvis/internal/anomaly"
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+	"jarvis/internal/smarthome"
+)
+
+// AnomalyClass enumerates the benign-anomaly families the SIMADL study's
+// participants defined (Section V-A3 examples: leaving the fridge/oven
+// door open, TV/oven on for short periods, plus off-schedule usage).
+type AnomalyClass int
+
+// Benign anomaly classes.
+const (
+	FridgeDoorLeftOpen AnomalyClass = iota + 1
+	OvenAtOddHours
+	TVOnAtNight
+	LightsOnWhileAway
+	OffScheduleAppliance
+	DoorCycleAtNight
+)
+
+// String implements fmt.Stringer.
+func (c AnomalyClass) String() string {
+	switch c {
+	case FridgeDoorLeftOpen:
+		return "fridge-door-left-open"
+	case OvenAtOddHours:
+		return "oven-at-odd-hours"
+	case TVOnAtNight:
+		return "tv-on-at-night"
+	case LightsOnWhileAway:
+		return "lights-on-while-away"
+	case OffScheduleAppliance:
+		return "off-schedule-appliance"
+	case DoorCycleAtNight:
+		return "door-cycle-at-night"
+	default:
+		return "unknown"
+	}
+}
+
+// AllAnomalyClasses lists every class.
+func AllAnomalyClasses() []AnomalyClass {
+	return []AnomalyClass{
+		FridgeDoorLeftOpen, OvenAtOddHours, TVOnAtNight,
+		LightsOnWhileAway, OffScheduleAppliance, DoorCycleAtNight,
+	}
+}
+
+// BenignAnomaly is one synthesized benign anomalous device action.
+type BenignAnomaly struct {
+	Class    AnomalyClass
+	Device   int
+	Action   device.ActionID
+	Instance int // minute of day
+}
+
+// anomalyAction picks the (device, action, instance) of one anomaly of the
+// given class. The second return is false when the class needs an away
+// period and the day has none.
+func anomalyAction(h *smarthome.FullHome, class AnomalyClass, ctx *DayContext, rng *rand.Rand) (BenignAnomaly, bool) {
+	nightAt := func() int { return 1*60 + rng.Intn(4*60) } // 01:00–05:00
+	switch class {
+	case FridgeDoorLeftOpen:
+		// Door opened off-meal (and simply not closed) — the marker event
+		// the SIMADL participants labelled. Meal-time opens are normal.
+		slots := []int{10*60 + 30, 15 * 60, 22*60 + 30}
+		at := slots[rng.Intn(len(slots))] + rng.Intn(45)
+		return BenignAnomaly{class, h.Fridge, 0 /* open_door */, at}, true
+	case OvenAtOddHours:
+		return BenignAnomaly{class, h.Oven, 1 /* power_on */, nightAt()}, true
+	case TVOnAtNight:
+		return BenignAnomaly{class, h.TV, 1, nightAt()}, true
+	case LightsOnWhileAway:
+		if ctx.LeaveAt < 0 || ctx.ReturnAt <= ctx.LeaveAt+10 {
+			return BenignAnomaly{}, false
+		}
+		at := ctx.LeaveAt + 5 + rng.Intn(ctx.ReturnAt-ctx.LeaveAt-5)
+		dev := h.LivingLight
+		if rng.Intn(2) == 0 {
+			dev = h.BedLight
+		}
+		return BenignAnomaly{class, dev, 1, at}, true
+	case OffScheduleAppliance:
+		dev := h.Washer
+		if rng.Intn(2) == 0 {
+			dev = h.Dishwasher
+		}
+		return BenignAnomaly{class, dev, 0 /* start */, nightAt()}, true
+	case DoorCycleAtNight:
+		return BenignAnomaly{class, h.Lock, 1 /* unlock */, nightAt()}, true
+	default:
+		return BenignAnomaly{}, false
+	}
+}
+
+// SynthesizeAnomalies produces count labelled benign-anomaly transitions
+// drawn over the given simulated days — the stand-in for the 55,156
+// user-generated SIMADL samples. Each sample is a transition the ANN must
+// learn to recognize as benign.
+func SynthesizeAnomalies(h *smarthome.FullHome, days []*Day, count int, rng *rand.Rand) ([]anomaly.Labeled, error) {
+	if len(days) == 0 {
+		return nil, fmt.Errorf("dataset: no base days")
+	}
+	classes := AllAnomalyClasses()
+	out := make([]anomaly.Labeled, 0, count)
+	e := h.Env
+	for len(out) < count {
+		day := days[rng.Intn(len(days))]
+		ba, ok := anomalyAction(h, classes[rng.Intn(len(classes))], day.Context, rng)
+		if !ok {
+			continue
+		}
+		from := day.Episode.States[ba.Instance]
+		// Overlay the anomaly onto whatever the day was already doing at
+		// that instant, exactly as injection does — the classifier must
+		// see the same distribution it will filter.
+		act := day.Episode.Actions[ba.Instance].Clone()
+		act[ba.Device] = ba.Action
+		to, err := e.Transition(from, act)
+		if err != nil {
+			continue // action not applicable in that day's state: redraw
+		}
+		out = append(out, anomaly.Labeled{
+			Tr: env.Transition{
+				From: from, Act: act, To: to,
+				Instance: ba.Instance, At: day.Episode.At(ba.Instance),
+			},
+			Benign: true,
+		})
+	}
+	return out, nil
+}
+
+// NormalSamples draws count non-anomalous transitions from the simulated
+// days, labelled as normal. Idle transitions are skipped so the classifier
+// trains on actual device activity.
+func NormalSamples(days []*Day, count int, rng *rand.Rand) ([]anomaly.Labeled, error) {
+	if len(days) == 0 {
+		return nil, fmt.Errorf("dataset: no base days")
+	}
+	out := make([]anomaly.Labeled, 0, count)
+	for attempts := 0; len(out) < count && attempts < count*100; attempts++ {
+		day := days[rng.Intn(len(days))]
+		t := rng.Intn(day.Episode.Len())
+		if day.Episode.Actions[t].IsNoOp() {
+			continue
+		}
+		out = append(out, anomaly.Labeled{
+			Tr: env.Transition{
+				From:     day.Episode.States[t],
+				Act:      day.Episode.Actions[t],
+				To:       day.Episode.States[t+1],
+				Instance: t,
+				At:       day.Episode.At(t),
+			},
+			Benign: false,
+		})
+	}
+	if len(out) < count {
+		return out, fmt.Errorf("dataset: only %d/%d active transitions available", len(out), count)
+	}
+	return out, nil
+}
+
+// InjectAnomaly splices one benign anomaly of the given class into a
+// simulated day and returns the resulting episode together with the
+// injection point. The remainder of the day is replayed through Δ so the
+// episode stays consistent.
+func InjectAnomaly(h *smarthome.FullHome, day *Day, class AnomalyClass, rng *rand.Rand) (env.Episode, int, error) {
+	ba, ok := anomalyAction(h, class, day.Context, rng)
+	if !ok {
+		return env.Episode{}, 0, fmt.Errorf("dataset: class %v not applicable to this day", class)
+	}
+	actions := make([]env.Action, day.Episode.Len())
+	for i, a := range day.Episode.Actions {
+		actions[i] = a.Clone()
+	}
+	actions[ba.Instance][ba.Device] = ba.Action
+	ep, err := env.ReplayActions(h.Env, day.Episode.States[0], day.Episode.Start, day.Episode.I, actions)
+	if err != nil {
+		return env.Episode{}, 0, err
+	}
+	return ep, ba.Instance, nil
+}

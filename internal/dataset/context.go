@@ -1,0 +1,264 @@
+// Package dataset synthesizes the data sources the paper's evaluation
+// consumes but which cannot be redistributed: OpenSHS-style simulated
+// activities of daily living for home A, Smart*-calibrated traces for
+// home B, SIMADL-style user-labelled benign anomalies, ERCOT-shaped
+// day-ahead-market electricity prices, and outdoor weather with a
+// day-ahead forecast. Every generator takes an explicit seed and is
+// bit-for-bit reproducible.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Occupancy describes where the resident is during one time instance.
+type Occupancy int
+
+// Occupancy values.
+const (
+	Away Occupancy = iota + 1
+	Home
+	Asleep
+)
+
+// String implements fmt.Stringer.
+func (o Occupancy) String() string {
+	switch o {
+	case Away:
+		return "away"
+	case Home:
+		return "home"
+	case Asleep:
+		return "asleep"
+	default:
+		return "unknown"
+	}
+}
+
+// DayContext bundles the exogenous signals for one simulated day at
+// one-minute resolution: resident occupancy, outdoor temperature, its
+// day-ahead forecast, and DAM electricity prices.
+type DayContext struct {
+	// Date is the local midnight the day starts at.
+	Date time.Time
+	// Occupancy, Outdoor, Forecast and Prices all have length n (minutes
+	// per day).
+	Occupancy []Occupancy
+	Outdoor   []float64
+	Forecast  []float64
+	Prices    []float64
+	// WakeAt, LeaveAt, ReturnAt and SleepAt are the day's schedule in
+	// minutes from midnight; LeaveAt/ReturnAt are -1 on stay-home days.
+	WakeAt, LeaveAt, ReturnAt, SleepAt int
+}
+
+// N returns the number of time instances in the day.
+func (c *DayContext) MinutesHome() int {
+	n := 0
+	for _, o := range c.Occupancy {
+		if o == Home {
+			n++
+		}
+	}
+	return n
+}
+
+// ScheduleConfig parameterizes the resident's daily routine. All times are
+// minutes from midnight; Jitter is the standard deviation applied to each.
+type ScheduleConfig struct {
+	Wake, Leave, Return, Sleep int
+	Jitter                     float64
+	// WeekendStayHome is the probability a weekend day has no work
+	// departure.
+	WeekendStayHome float64
+}
+
+// DefaultSchedule mirrors the working-resident profile of the OpenSHS
+// activity scripts: wake 06:30, leave 08:00, return 18:00, sleep 23:00.
+func DefaultSchedule() ScheduleConfig {
+	return ScheduleConfig{
+		Wake: 6*60 + 30, Leave: 8 * 60, Return: 18 * 60, Sleep: 23 * 60,
+		Jitter:          20,
+		WeekendStayHome: 0.75,
+	}
+}
+
+// WeatherConfig parameterizes the outdoor temperature model.
+type WeatherConfig struct {
+	// AnnualMean and AnnualSwing set the seasonal sinusoid (°C).
+	AnnualMean, AnnualSwing float64
+	// DiurnalSwing is the day/night amplitude (°C).
+	DiurnalSwing float64
+	// Noise is the per-minute Gaussian noise (°C).
+	Noise float64
+	// ForecastError is the day-ahead forecast's noise (°C).
+	ForecastError float64
+}
+
+// DefaultWeather approximates a temperate continental climate.
+func DefaultWeather() WeatherConfig {
+	return WeatherConfig{
+		AnnualMean: 12, AnnualSwing: 14,
+		DiurnalSwing:  5,
+		Noise:         0.3,
+		ForecastError: 1.0,
+	}
+}
+
+// PriceConfig parameterizes the day-ahead-market price curve.
+type PriceConfig struct {
+	// Base is the off-peak price ($/kWh); MorningPeak and EveningPeak the
+	// added peak premiums.
+	Base, MorningPeak, EveningPeak float64
+	// Noise is multiplicative lognormal-ish noise.
+	Noise float64
+}
+
+// DefaultPrices approximates the ERCOT DAM diurnal double peak.
+func DefaultPrices() PriceConfig {
+	return PriceConfig{Base: 0.04, MorningPeak: 0.06, EveningPeak: 0.12, Noise: 0.15}
+}
+
+// ContextConfig bundles the generators for NewDayContext.
+type ContextConfig struct {
+	Schedule ScheduleConfig
+	Weather  WeatherConfig
+	Prices   PriceConfig
+	// Minutes per day; 0 defaults to 1440.
+	N int
+}
+
+// DefaultContext returns the configuration used by the experiments.
+func DefaultContext() ContextConfig {
+	return ContextConfig{
+		Schedule: DefaultSchedule(),
+		Weather:  DefaultWeather(),
+		Prices:   DefaultPrices(),
+		N:        1440,
+	}
+}
+
+// NewDayContext synthesizes one day of exogenous signals.
+func NewDayContext(date time.Time, cfg ContextConfig, rng *rand.Rand) *DayContext {
+	n := cfg.N
+	if n <= 0 {
+		n = 1440
+	}
+	c := &DayContext{
+		Date:      date,
+		Occupancy: make([]Occupancy, n),
+		Outdoor:   outdoorTemps(date, n, cfg.Weather, rng),
+		Prices:    damPrices(date, n, cfg.Prices, rng),
+	}
+	c.Forecast = forecastFrom(c.Outdoor, cfg.Weather, rng)
+	fillSchedule(c, cfg.Schedule, rng)
+	return c
+}
+
+func jitter(base int, sd float64, n int, rng *rand.Rand) int {
+	v := base + int(rng.NormFloat64()*sd)
+	if v < 0 {
+		v = 0
+	}
+	if v >= n {
+		v = n - 1
+	}
+	return v
+}
+
+func fillSchedule(c *DayContext, s ScheduleConfig, rng *rand.Rand) {
+	n := len(c.Occupancy)
+	c.WakeAt = jitter(s.Wake, s.Jitter, n, rng)
+	c.SleepAt = jitter(s.Sleep, s.Jitter*1.5, n, rng)
+	if c.SleepAt <= c.WakeAt {
+		c.SleepAt = min(n-1, c.WakeAt+16*60)
+	}
+	weekend := c.Date.Weekday() == time.Saturday || c.Date.Weekday() == time.Sunday
+	stayHome := weekend && rng.Float64() < s.WeekendStayHome
+	if stayHome {
+		c.LeaveAt, c.ReturnAt = -1, -1
+	} else {
+		c.LeaveAt = jitter(s.Leave, s.Jitter, n, rng)
+		c.ReturnAt = jitter(s.Return, s.Jitter*2, n, rng)
+		if c.LeaveAt <= c.WakeAt {
+			c.LeaveAt = c.WakeAt + 30
+		}
+		if c.ReturnAt <= c.LeaveAt {
+			c.ReturnAt = min(n-1, c.LeaveAt+8*60)
+		}
+		if c.ReturnAt >= c.SleepAt {
+			c.SleepAt = min(n-1, c.ReturnAt+3*60)
+		}
+	}
+	for t := 0; t < n; t++ {
+		switch {
+		case t < c.WakeAt || t >= c.SleepAt:
+			c.Occupancy[t] = Asleep
+		case c.LeaveAt >= 0 && t >= c.LeaveAt && t < c.ReturnAt:
+			c.Occupancy[t] = Away
+		default:
+			c.Occupancy[t] = Home
+		}
+	}
+}
+
+func outdoorTemps(date time.Time, n int, w WeatherConfig, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	yearDay := float64(date.YearDay())
+	seasonal := w.AnnualMean - w.AnnualSwing*math.Cos(2*math.Pi*(yearDay-15)/365)
+	for t := 0; t < n; t++ {
+		// Diurnal maximum near 15:00, minimum near 03:00.
+		frac := float64(t) / float64(n)
+		diurnal := w.DiurnalSwing * math.Cos(2*math.Pi*(frac-15.0/24))
+		out[t] = seasonal + diurnal + rng.NormFloat64()*w.Noise
+	}
+	return out
+}
+
+func forecastFrom(actual []float64, w WeatherConfig, rng *rand.Rand) []float64 {
+	out := make([]float64, len(actual))
+	bias := rng.NormFloat64() * w.ForecastError
+	for t, v := range actual {
+		out[t] = v + bias + rng.NormFloat64()*w.ForecastError*0.2
+	}
+	return out
+}
+
+func damPrices(date time.Time, n int, p PriceConfig, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	weekend := date.Weekday() == time.Saturday || date.Weekday() == time.Sunday
+	peakScale := 1.0
+	if weekend {
+		peakScale = 0.5
+	}
+	// Hourly blocks as in a real DAM, smooth within the hour.
+	hourly := make([]float64, 25)
+	for h := 0; h <= 24; h++ {
+		hf := float64(h)
+		morning := p.MorningPeak * math.Exp(-((hf-8)*(hf-8))/4)
+		evening := p.EveningPeak * math.Exp(-((hf-19)*(hf-19))/6)
+		price := p.Base + peakScale*(morning+evening)
+		price *= 1 + rng.NormFloat64()*p.Noise
+		if price < 0.01 {
+			price = 0.01
+		}
+		hourly[h] = price
+	}
+	for t := 0; t < n; t++ {
+		h := t * 24 / n
+		if h > 23 {
+			h = 23
+		}
+		out[t] = hourly[h]
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,288 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jarvis/internal/smarthome"
+)
+
+var monday = time.Date(2020, 1, 6, 0, 0, 0, 0, time.UTC)
+
+func TestDayContextSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewDayContext(monday, DefaultContext(), rng)
+	if len(c.Occupancy) != 1440 || len(c.Outdoor) != 1440 || len(c.Prices) != 1440 || len(c.Forecast) != 1440 {
+		t.Fatalf("series lengths wrong")
+	}
+	if c.WakeAt <= 0 || c.SleepAt <= c.WakeAt {
+		t.Errorf("schedule: wake %d sleep %d", c.WakeAt, c.SleepAt)
+	}
+	// Monday is a work day: there must be an away period.
+	if c.LeaveAt < 0 || c.ReturnAt <= c.LeaveAt {
+		t.Fatalf("weekday should have leave/return: %d/%d", c.LeaveAt, c.ReturnAt)
+	}
+	if c.Occupancy[0] != Asleep {
+		t.Error("midnight should be asleep")
+	}
+	if c.Occupancy[(c.LeaveAt+c.ReturnAt)/2] != Away {
+		t.Error("midday should be away")
+	}
+	if c.Occupancy[c.ReturnAt+1] != Home {
+		t.Error("after return should be home")
+	}
+	if c.MinutesHome() <= 0 {
+		t.Error("some time should be spent home")
+	}
+}
+
+func TestDayContextWeekendsCanStayHome(t *testing.T) {
+	stayed := 0
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewDayContext(monday.AddDate(0, 0, 5), DefaultContext(), rng) // Saturday
+		if c.LeaveAt < 0 {
+			stayed++
+		}
+	}
+	if stayed == 0 {
+		t.Error("no weekend stay-home days in 20 draws (p=0.75 each)")
+	}
+}
+
+func TestOccupancyString(t *testing.T) {
+	for o, want := range map[Occupancy]string{Away: "away", Home: "home", Asleep: "asleep", 0: "unknown"} {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q", o, o.String())
+		}
+	}
+}
+
+func TestWeatherSeasonality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	winter := NewDayContext(time.Date(2020, 1, 15, 0, 0, 0, 0, time.UTC), DefaultContext(), rng)
+	summer := NewDayContext(time.Date(2020, 7, 15, 0, 0, 0, 0, time.UTC), DefaultContext(), rng)
+	avg := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if avg(winter.Outdoor) >= avg(summer.Outdoor) {
+		t.Errorf("winter %g should be colder than summer %g", avg(winter.Outdoor), avg(summer.Outdoor))
+	}
+	// Diurnal shape: 15:00 warmer than 04:00.
+	if winter.Outdoor[15*60] <= winter.Outdoor[4*60] {
+		t.Error("afternoon should be warmer than night")
+	}
+	// Forecast tracks actual within a few degrees.
+	var maxErr float64
+	for i := range winter.Outdoor {
+		d := winter.Forecast[i] - winter.Outdoor[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 8 {
+		t.Errorf("forecast error %g too large", maxErr)
+	}
+}
+
+func TestDAMPriceShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewDayContext(monday, DefaultContext(), rng)
+	night := c.Prices[3*60]
+	evening := c.Prices[19*60]
+	if evening <= night {
+		t.Errorf("evening peak %g should exceed night price %g", evening, night)
+	}
+	for t2, p := range c.Prices {
+		if p <= 0 {
+			t.Fatalf("price at %d is %g", t2, p)
+		}
+	}
+}
+
+func TestGeneratorDay(t *testing.T) {
+	home := smarthome.NewFullHome()
+	g := NewGenerator(home, HomeAConfig())
+	rng := rand.New(rand.NewSource(7))
+	day, final, err := g.Day(monday, home.InitialState(), rng)
+	if err != nil {
+		t.Fatalf("Day: %v", err)
+	}
+	if day.Episode.Len() != 1440 {
+		t.Fatalf("episode length %d", day.Episode.Len())
+	}
+	if err := day.Episode.Validate(home.Env); err != nil {
+		t.Fatalf("episode invalid: %v", err)
+	}
+	if len(day.Indoor) != 1440 {
+		t.Fatalf("indoor trace %d", len(day.Indoor))
+	}
+	if !home.Env.ValidState(final) {
+		t.Error("final state invalid")
+	}
+	// The day must contain real activity.
+	active := 0
+	for _, a := range day.Episode.Actions {
+		if !a.IsNoOp() {
+			active++
+		}
+	}
+	if active < 10 {
+		t.Errorf("only %d active instances; simulation looks dead", active)
+	}
+	// Energy and cost are positive and plausible for a day.
+	kwh := day.EnergyKWh(home.Env)
+	if kwh <= 0 || kwh > 100 {
+		t.Errorf("EnergyKWh = %g", kwh)
+	}
+	usd := day.CostUSD(home.Env)
+	if usd <= 0 || usd > 50 {
+		t.Errorf("CostUSD = %g", usd)
+	}
+	if day.AvgComfortError(21) < 0 {
+		t.Error("comfort error negative")
+	}
+}
+
+func TestGeneratorDays(t *testing.T) {
+	home := smarthome.NewFullHome()
+	g := NewGenerator(home, HomeBConfig())
+	rng := rand.New(rand.NewSource(11))
+	days, err := g.Days(monday, 3, rng)
+	if err != nil {
+		t.Fatalf("Days: %v", err)
+	}
+	if len(days) != 3 {
+		t.Fatalf("days = %d", len(days))
+	}
+	eps := Episodes(days)
+	// Consecutive days chain.
+	for i := 1; i < len(eps); i++ {
+		if !eps[i].States[0].Equal(eps[i-1].States[len(eps[i-1].States)-1]) {
+			t.Errorf("day %d does not chain from day %d", i, i-1)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	home := smarthome.NewFullHome()
+	g := NewGenerator(home, HomeAConfig())
+	run := func() float64 {
+		rng := rand.New(rand.NewSource(42))
+		day, _, err := g.Day(monday, home.InitialState(), rng)
+		if err != nil {
+			t.Fatalf("Day: %v", err)
+		}
+		return day.EnergyKWh(home.Env)
+	}
+	if run() != run() {
+		t.Error("generator is not deterministic under a fixed seed")
+	}
+}
+
+func TestSynthesizeAnomalies(t *testing.T) {
+	home := smarthome.NewFullHome()
+	g := NewGenerator(home, HomeAConfig())
+	rng := rand.New(rand.NewSource(5))
+	days, err := g.Days(monday, 2, rng)
+	if err != nil {
+		t.Fatalf("Days: %v", err)
+	}
+	labeled, err := SynthesizeAnomalies(home, days, 200, rng)
+	if err != nil {
+		t.Fatalf("SynthesizeAnomalies: %v", err)
+	}
+	if len(labeled) != 200 {
+		t.Fatalf("samples = %d", len(labeled))
+	}
+	for i, l := range labeled {
+		if !l.Benign {
+			t.Fatalf("sample %d not labelled benign", i)
+		}
+		if l.Tr.Act.IsNoOp() {
+			t.Fatalf("sample %d has no action", i)
+		}
+		// transition must be FSM-consistent
+		to, err := home.Env.Transition(l.Tr.From, l.Tr.Act)
+		if err != nil || !to.Equal(l.Tr.To) {
+			t.Fatalf("sample %d inconsistent: %v", i, err)
+		}
+	}
+
+	if _, err := SynthesizeAnomalies(home, nil, 10, rng); err == nil {
+		t.Error("no base days should error")
+	}
+}
+
+func TestNormalSamples(t *testing.T) {
+	home := smarthome.NewFullHome()
+	g := NewGenerator(home, HomeAConfig())
+	rng := rand.New(rand.NewSource(6))
+	days, err := g.Days(monday, 2, rng)
+	if err != nil {
+		t.Fatalf("Days: %v", err)
+	}
+	normals, err := NormalSamples(days, 100, rng)
+	if err != nil {
+		t.Fatalf("NormalSamples: %v", err)
+	}
+	if len(normals) != 100 {
+		t.Fatalf("samples = %d", len(normals))
+	}
+	for i, l := range normals {
+		if l.Benign {
+			t.Fatalf("sample %d wrongly labelled benign", i)
+		}
+		if l.Tr.Act.IsNoOp() {
+			t.Fatalf("sample %d is idle", i)
+		}
+	}
+	if _, err := NormalSamples(nil, 10, rng); err == nil {
+		t.Error("no base days should error")
+	}
+}
+
+func TestInjectAnomaly(t *testing.T) {
+	home := smarthome.NewFullHome()
+	g := NewGenerator(home, HomeAConfig())
+	rng := rand.New(rand.NewSource(9))
+	days, err := g.Days(monday, 1, rng)
+	if err != nil {
+		t.Fatalf("Days: %v", err)
+	}
+	for _, class := range AllAnomalyClasses() {
+		ep, at, err := InjectAnomaly(home, days[0], class, rng)
+		if err != nil {
+			// LightsOnWhileAway requires an away window; others must work.
+			if class == LightsOnWhileAway {
+				continue
+			}
+			t.Fatalf("InjectAnomaly(%v): %v", class, err)
+		}
+		if err := ep.Validate(home.Env); err != nil {
+			t.Fatalf("injected episode invalid (%v): %v", class, err)
+		}
+		if at < 0 || at >= ep.Len() {
+			t.Fatalf("injection point %d out of range", at)
+		}
+	}
+}
+
+func TestAnomalyClassString(t *testing.T) {
+	for _, c := range AllAnomalyClasses() {
+		if c.String() == "unknown" {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+	if AnomalyClass(99).String() != "unknown" {
+		t.Error("unknown class should stringify to unknown")
+	}
+}

@@ -1,0 +1,50 @@
+package dataset
+
+import (
+	"jarvis/internal/device"
+	"jarvis/internal/events"
+	"jarvis/internal/smarthome"
+)
+
+// EventsFromDay renders a simulated day as the SmartThings-style event
+// stream the logger app of Figure 2 would capture: one event per device
+// action, carrying the capability command and the resulting attribute
+// value. Feeding these through events.ReadLog → parse.Parser →
+// parse.BuildEpisodes reconstructs the day's episode exactly, which is how
+// the end-to-end logging pipeline is validated.
+func EventsFromDay(h *smarthome.FullHome, day *Day) []events.Event {
+	e := h.Env
+	var out []events.Event
+	for t, a := range day.Episode.Actions {
+		for di, act := range a {
+			if act == device.NoAction {
+				continue
+			}
+			d := e.Device(di)
+			newState := day.Episode.States[t+1][di]
+			out = append(out, events.Event{
+				Date:           day.Episode.At(t),
+				User:           "resident",
+				App:            "manual",
+				Location:       "home",
+				Group:          e.Placement(di).Group,
+				DeviceLabel:    d.Name(),
+				Capability:     d.Type(),
+				Attribute:      "state",
+				AttributeValue: d.StateName(newState),
+				Command:        d.ActionName(act),
+			})
+		}
+	}
+	return out
+}
+
+// PublishDay pushes a day's events through a live bus (and therefore any
+// subscribed logger app), in chronological order.
+func PublishDay(bus *events.Bus, h *smarthome.FullHome, day *Day) int {
+	evs := EventsFromDay(h, day)
+	for _, ev := range evs {
+		bus.Publish(ev)
+	}
+	return len(evs)
+}

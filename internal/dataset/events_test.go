@@ -1,0 +1,73 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"jarvis/internal/events"
+	"jarvis/internal/parse"
+	"jarvis/internal/smarthome"
+)
+
+// TestLogPipelineRoundTrip: simulate a day, render it as logger-app JSON
+// events, then run the full paper pipeline (log → parse → normalize →
+// episode building) and verify the reconstructed episode matches the
+// original exactly.
+func TestLogPipelineRoundTrip(t *testing.T) {
+	home := smarthome.NewFullHome()
+	g := NewGenerator(home, HomeAConfig())
+	rng := rand.New(rand.NewSource(13))
+	start := time.Date(2020, 9, 7, 0, 0, 0, 0, time.UTC)
+	day, _, err := g.Day(start, home.InitialState(), rng)
+	if err != nil {
+		t.Fatalf("Day: %v", err)
+	}
+
+	// Publish through a live bus with the logger app attached.
+	bus := events.NewBus()
+	var logBuf bytes.Buffer
+	logger := events.NewLogger(bus, &logBuf)
+	defer logger.Close()
+	n := PublishDay(bus, home, day)
+	if n == 0 || logger.Count() != n {
+		t.Fatalf("published %d, logged %d", n, logger.Count())
+	}
+
+	// Read the log back and rebuild the episode.
+	evs, err := events.ReadLog(&logBuf)
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	p := parse.NewParser(home.Env)
+	// Identity normalization resolves the logged attribute value by state
+	// name and the command by action name — which is exactly what
+	// EventsFromDay emits.
+	recs, skipped := p.Parse(evs)
+	if skipped != 0 {
+		t.Fatalf("skipped %d records", skipped)
+	}
+	eps, err := parse.BuildEpisodes(home.Env, parse.EpisodeConfig{
+		Start:   start,
+		T:       24 * time.Hour,
+		I:       time.Minute,
+		Initial: day.Episode.States[0],
+	}, recs)
+	if err != nil {
+		t.Fatalf("BuildEpisodes: %v", err)
+	}
+	if len(eps) != 1 {
+		t.Fatalf("episodes = %d", len(eps))
+	}
+	got := eps[0]
+	if got.Len() != day.Episode.Len() {
+		t.Fatalf("length %d vs %d", got.Len(), day.Episode.Len())
+	}
+	for i := range day.Episode.States {
+		if !got.States[i].Equal(day.Episode.States[i]) {
+			t.Fatalf("state %d diverged:\n got %v\nwant %v", i,
+				home.Env.FormatState(got.States[i]), home.Env.FormatState(day.Episode.States[i]))
+		}
+	}
+}

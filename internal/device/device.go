@@ -1,0 +1,342 @@
+// Package device models a single IoT device as a finite state machine:
+// a set of discrete device-states, a set of device-actions, a transition
+// function δ_i linking them, a dis-utility function ω_i, and a per-state
+// power draw used by functionality reward functions.
+//
+// The model follows Section III-A of the Jarvis paper: device capabilities
+// map to device-actions and device attributes map to device-states.
+package device
+
+import (
+	"errors"
+	"fmt"
+)
+
+// StateID identifies one discrete state of a device (an index into the
+// device's state list). The zero value is the device's first state.
+type StateID int
+
+// ActionID identifies one discrete action of a device (an index into the
+// device's action list).
+type ActionID int
+
+// NoAction is the distinguished "no action this interval" value (the 'O'
+// entries in the paper's tables). Applying NoAction leaves the device state
+// unchanged and incurs no dis-utility.
+const NoAction ActionID = -1
+
+// Common device type names used by the smart-home instantiation.
+const (
+	TypeLock        = "lock"
+	TypeDoorSensor  = "door_sensor"
+	TypeLight       = "light"
+	TypeThermostat  = "thermostat"
+	TypeTempSensor  = "temp_sensor"
+	TypeFridge      = "fridge"
+	TypeOven        = "oven"
+	TypeTV          = "tv"
+	TypeWasher      = "washer"
+	TypeDishwasher  = "dishwasher"
+	TypeMotion      = "motion_sensor"
+	TypeSmokeAlarm  = "smoke_alarm"
+	TypeDoorbell    = "doorbell"
+	TypeCoffeeMaker = "coffee_maker"
+)
+
+// Device is an immutable description of one IoT device's FSM. Build one
+// with a Builder; a built Device is safe for concurrent use.
+type Device struct {
+	name    string
+	typ     string
+	states  []string
+	actions []string
+
+	// transitions[s][a] is the state reached by taking action a in state
+	// s, or -1 when the action is invalid in that state.
+	transitions [][]StateID
+
+	// disutility[s][a] is ω_i(p_s, a_a): the per-time-instance dis-utility
+	// of delaying action a while in state s.
+	disutility [][]float64
+
+	// powerW[s] is the power draw, in watts, while the device is in state s.
+	powerW []float64
+
+	stateIndex  map[string]StateID
+	actionIndex map[string]ActionID
+}
+
+// Name returns the device's unique label within its environment.
+func (d *Device) Name() string { return d.name }
+
+// Type returns the device's type name (for example "lock" or "light").
+func (d *Device) Type() string { return d.typ }
+
+// NumStates returns the number of discrete states (i_ss in the paper).
+func (d *Device) NumStates() int { return len(d.states) }
+
+// NumActions returns the number of discrete actions (i_as in the paper).
+func (d *Device) NumActions() int { return len(d.actions) }
+
+// StateName returns the name of state s, or "?" when s is out of range.
+func (d *Device) StateName(s StateID) string {
+	if s < 0 || int(s) >= len(d.states) {
+		return "?"
+	}
+	return d.states[s]
+}
+
+// ActionName returns the name of action a. NoAction is rendered as "-".
+func (d *Device) ActionName(a ActionID) string {
+	if a == NoAction {
+		return "-"
+	}
+	if a < 0 || int(a) >= len(d.actions) {
+		return "?"
+	}
+	return d.actions[a]
+}
+
+// StateID looks up a state by name.
+func (d *Device) StateID(name string) (StateID, bool) {
+	s, ok := d.stateIndex[name]
+	return s, ok
+}
+
+// ActionID looks up an action by name.
+func (d *Device) ActionID(name string) (ActionID, bool) {
+	a, ok := d.actionIndex[name]
+	return a, ok
+}
+
+// Next applies the transition function δ_i: it returns the state reached by
+// taking action a in state s. NoAction always returns s. The second result
+// is false when the action is invalid in s.
+func (d *Device) Next(s StateID, a ActionID) (StateID, bool) {
+	if a == NoAction {
+		return s, true
+	}
+	if s < 0 || int(s) >= len(d.states) || a < 0 || int(a) >= len(d.actions) {
+		return s, false
+	}
+	next := d.transitions[s][a]
+	if next < 0 {
+		return s, false
+	}
+	return next, true
+}
+
+// ValidActions returns the actions applicable in state s (excluding
+// NoAction, which is always applicable).
+func (d *Device) ValidActions(s StateID) []ActionID {
+	if s < 0 || int(s) >= len(d.states) {
+		return nil
+	}
+	var out []ActionID
+	for a, next := range d.transitions[s] {
+		if next >= 0 {
+			out = append(out, ActionID(a))
+		}
+	}
+	return out
+}
+
+// DisUtility returns ω_i(p_s, a_a), the per-time-instance dis-utility of
+// delaying action a in state s. NoAction has zero dis-utility.
+func (d *Device) DisUtility(s StateID, a ActionID) float64 {
+	if a == NoAction || s < 0 || int(s) >= len(d.states) || a < 0 || int(a) >= len(d.actions) {
+		return 0
+	}
+	return d.disutility[s][a]
+}
+
+// MaxDisUtility returns the largest ω_i value defined for the device. It is
+// used when balancing the utility/dis-utility ratio χ.
+func (d *Device) MaxDisUtility() float64 {
+	var maxW float64
+	for _, row := range d.disutility {
+		for _, w := range row {
+			if w > maxW {
+				maxW = w
+			}
+		}
+	}
+	return maxW
+}
+
+// PowerW returns the power draw, in watts, of state s.
+func (d *Device) PowerW(s StateID) float64 {
+	if s < 0 || int(s) >= len(d.powerW) {
+		return 0
+	}
+	return d.powerW[s]
+}
+
+// States returns a copy of the device's state names in StateID order.
+func (d *Device) States() []string {
+	out := make([]string, len(d.states))
+	copy(out, d.states)
+	return out
+}
+
+// Actions returns a copy of the device's action names in ActionID order.
+func (d *Device) Actions() []string {
+	out := make([]string, len(d.actions))
+	copy(out, d.actions)
+	return out
+}
+
+// String implements fmt.Stringer.
+func (d *Device) String() string {
+	return fmt.Sprintf("%s(%s: %d states, %d actions)", d.name, d.typ, len(d.states), len(d.actions))
+}
+
+// Builder constructs a Device incrementally. The zero value is not usable;
+// create one with NewBuilder.
+type Builder struct {
+	d    Device
+	errs []error
+}
+
+// NewBuilder starts building a device with the given label and type.
+func NewBuilder(name, typ string) *Builder {
+	return &Builder{d: Device{
+		name:        name,
+		typ:         typ,
+		stateIndex:  make(map[string]StateID),
+		actionIndex: make(map[string]ActionID),
+	}}
+}
+
+// States declares the device's states, in StateID order.
+func (b *Builder) States(names ...string) *Builder {
+	for _, n := range names {
+		if _, dup := b.d.stateIndex[n]; dup {
+			b.errs = append(b.errs, fmt.Errorf("duplicate state %q", n))
+			continue
+		}
+		b.d.stateIndex[n] = StateID(len(b.d.states))
+		b.d.states = append(b.d.states, n)
+	}
+	return b
+}
+
+// Actions declares the device's actions, in ActionID order.
+func (b *Builder) Actions(names ...string) *Builder {
+	for _, n := range names {
+		if _, dup := b.d.actionIndex[n]; dup {
+			b.errs = append(b.errs, fmt.Errorf("duplicate action %q", n))
+			continue
+		}
+		b.d.actionIndex[n] = ActionID(len(b.d.actions))
+		b.d.actions = append(b.d.actions, n)
+	}
+	return b
+}
+
+// Transition records δ_i(from, action) = to. States and Actions must have
+// been declared first.
+func (b *Builder) Transition(from, action, to string) *Builder {
+	s, okS := b.d.stateIndex[from]
+	a, okA := b.d.actionIndex[action]
+	t, okT := b.d.stateIndex[to]
+	if !okS || !okA || !okT {
+		b.errs = append(b.errs, fmt.Errorf("transition %q --%q--> %q references unknown name", from, action, to))
+		return b
+	}
+	b.ensureTables()
+	b.d.transitions[s][a] = t
+	return b
+}
+
+// TransitionAll records δ_i(s, action) = to for every state s. It is a
+// convenience for "global" actions such as power_off.
+func (b *Builder) TransitionAll(action, to string) *Builder {
+	for _, from := range b.d.states {
+		b.Transition(from, action, to)
+	}
+	return b
+}
+
+// DisUtility sets ω_i(state, action) = w.
+func (b *Builder) DisUtility(state, action string, w float64) *Builder {
+	s, okS := b.d.stateIndex[state]
+	a, okA := b.d.actionIndex[action]
+	if !okS || !okA {
+		b.errs = append(b.errs, fmt.Errorf("disutility (%q,%q) references unknown name", state, action))
+		return b
+	}
+	b.ensureTables()
+	b.d.disutility[s][a] = w
+	return b
+}
+
+// UniformDisUtility sets ω_i(s, a) = w for every valid (state, action) pair.
+// The smart-home instantiation uses one ω value per device (Section VI-D).
+func (b *Builder) UniformDisUtility(w float64) *Builder {
+	b.ensureTables()
+	for s := range b.d.disutility {
+		for a := range b.d.disutility[s] {
+			b.d.disutility[s][a] = w
+		}
+	}
+	return b
+}
+
+// PowerW sets the power draw, in watts, of the named state.
+func (b *Builder) PowerW(state string, watts float64) *Builder {
+	s, ok := b.d.stateIndex[state]
+	if !ok {
+		b.errs = append(b.errs, fmt.Errorf("power for unknown state %q", state))
+		return b
+	}
+	b.ensurePower()
+	b.d.powerW[s] = watts
+	return b
+}
+
+func (b *Builder) ensureTables() {
+	if b.d.transitions == nil {
+		b.d.transitions = make([][]StateID, len(b.d.states))
+		b.d.disutility = make([][]float64, len(b.d.states))
+		for s := range b.d.transitions {
+			row := make([]StateID, len(b.d.actions))
+			for a := range row {
+				row[a] = -1
+			}
+			b.d.transitions[s] = row
+			b.d.disutility[s] = make([]float64, len(b.d.actions))
+		}
+	}
+	b.ensurePower()
+}
+
+func (b *Builder) ensurePower() {
+	if b.d.powerW == nil {
+		b.d.powerW = make([]float64, len(b.d.states))
+	}
+}
+
+// Build finalizes the device. It returns an error when the builder recorded
+// any inconsistency or the device has no states.
+func (b *Builder) Build() (*Device, error) {
+	if len(b.errs) > 0 {
+		return nil, errors.Join(b.errs...)
+	}
+	if len(b.d.states) == 0 {
+		return nil, fmt.Errorf("device %q has no states", b.d.name)
+	}
+	b.ensureTables()
+	d := b.d
+	return &d, nil
+}
+
+// MustBuild is Build for statically known-correct device definitions; it
+// panics on error and is intended for package-level catalogs and tests.
+func (b *Builder) MustBuild() *Device {
+	d, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("device: MustBuild: %v", err))
+	}
+	return d
+}

@@ -1,0 +1,254 @@
+package device
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testLock(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewBuilder("front-lock", TypeLock).
+		States("locked_outside", "unlocked", "off", "locked_inside").
+		Actions("lock", "unlock", "power_off", "power_on").
+		Transition("unlocked", "lock", "locked_outside").
+		Transition("locked_outside", "unlock", "unlocked").
+		Transition("locked_inside", "unlock", "unlocked").
+		Transition("unlocked", "power_off", "off").
+		Transition("off", "power_on", "unlocked").
+		DisUtility("locked_outside", "unlock", 0.9).
+		PowerW("unlocked", 1.5).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return d
+}
+
+func TestBuilderBasics(t *testing.T) {
+	d := testLock(t)
+	if got, want := d.NumStates(), 4; got != want {
+		t.Errorf("NumStates = %d, want %d", got, want)
+	}
+	if got, want := d.NumActions(), 4; got != want {
+		t.Errorf("NumActions = %d, want %d", got, want)
+	}
+	if d.Name() != "front-lock" || d.Type() != TypeLock {
+		t.Errorf("Name/Type = %q/%q", d.Name(), d.Type())
+	}
+	if !strings.Contains(d.String(), "front-lock") {
+		t.Errorf("String() = %q, want it to mention the device name", d.String())
+	}
+}
+
+func TestStateAndActionLookup(t *testing.T) {
+	d := testLock(t)
+	s, ok := d.StateID("unlocked")
+	if !ok || s != 1 {
+		t.Fatalf("StateID(unlocked) = %d,%v want 1,true", s, ok)
+	}
+	if _, ok := d.StateID("nope"); ok {
+		t.Error("StateID(nope) should not exist")
+	}
+	a, ok := d.ActionID("power_on")
+	if !ok || a != 3 {
+		t.Fatalf("ActionID(power_on) = %d,%v want 3,true", a, ok)
+	}
+	if _, ok := d.ActionID("nope"); ok {
+		t.Error("ActionID(nope) should not exist")
+	}
+	if got := d.StateName(s); got != "unlocked" {
+		t.Errorf("StateName = %q", got)
+	}
+	if got := d.ActionName(a); got != "power_on" {
+		t.Errorf("ActionName = %q", got)
+	}
+	if got := d.StateName(99); got != "?" {
+		t.Errorf("StateName(99) = %q, want ?", got)
+	}
+	if got := d.ActionName(NoAction); got != "-" {
+		t.Errorf("ActionName(NoAction) = %q, want -", got)
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	d := testLock(t)
+	unlocked, _ := d.StateID("unlocked")
+	lockedOut, _ := d.StateID("locked_outside")
+	lock, _ := d.ActionID("lock")
+	unlock, _ := d.ActionID("unlock")
+
+	next, ok := d.Next(unlocked, lock)
+	if !ok || next != lockedOut {
+		t.Errorf("Next(unlocked, lock) = %d,%v want %d,true", next, ok, lockedOut)
+	}
+	// Invalid action in state: locking while already locked has no entry.
+	if _, ok := d.Next(lockedOut, lock); ok {
+		t.Error("Next(locked_outside, lock) should be invalid")
+	}
+	// NoAction is the identity.
+	next, ok = d.Next(lockedOut, NoAction)
+	if !ok || next != lockedOut {
+		t.Errorf("Next(_, NoAction) = %d,%v want identity", next, ok)
+	}
+	// Out of range is invalid and state-preserving.
+	if _, ok := d.Next(StateID(42), unlock); ok {
+		t.Error("Next(out-of-range) should be invalid")
+	}
+	if _, ok := d.Next(unlocked, ActionID(42)); ok {
+		t.Error("Next(_, out-of-range action) should be invalid")
+	}
+}
+
+func TestValidActions(t *testing.T) {
+	d := testLock(t)
+	unlocked, _ := d.StateID("unlocked")
+	acts := d.ValidActions(unlocked)
+	if len(acts) != 2 { // lock, power_off
+		t.Fatalf("ValidActions(unlocked) = %v, want 2 actions", acts)
+	}
+	if d.ValidActions(StateID(-1)) != nil {
+		t.Error("ValidActions(-1) should be nil")
+	}
+}
+
+func TestDisUtilityAndPower(t *testing.T) {
+	d := testLock(t)
+	lockedOut, _ := d.StateID("locked_outside")
+	unlocked, _ := d.StateID("unlocked")
+	unlock, _ := d.ActionID("unlock")
+
+	if got := d.DisUtility(lockedOut, unlock); got != 0.9 {
+		t.Errorf("DisUtility = %v, want 0.9", got)
+	}
+	if got := d.DisUtility(lockedOut, NoAction); got != 0 {
+		t.Errorf("DisUtility(NoAction) = %v, want 0", got)
+	}
+	if got := d.MaxDisUtility(); got != 0.9 {
+		t.Errorf("MaxDisUtility = %v, want 0.9", got)
+	}
+	if got := d.PowerW(unlocked); got != 1.5 {
+		t.Errorf("PowerW(unlocked) = %v, want 1.5", got)
+	}
+	if got := d.PowerW(StateID(77)); got != 0 {
+		t.Errorf("PowerW(out-of-range) = %v, want 0", got)
+	}
+}
+
+func TestUniformDisUtility(t *testing.T) {
+	d, err := NewBuilder("light", TypeLight).
+		States("off", "on").
+		Actions("power_off", "power_on").
+		Transition("off", "power_on", "on").
+		Transition("on", "power_off", "off").
+		UniformDisUtility(0.7).
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	on, _ := d.StateID("on")
+	off, _ := d.ActionID("power_off")
+	if got := d.DisUtility(on, off); got != 0.7 {
+		t.Errorf("uniform DisUtility = %v, want 0.7", got)
+	}
+}
+
+func TestTransitionAll(t *testing.T) {
+	d, err := NewBuilder("sensor", TypeTempSensor).
+		States("sensing", "off").
+		Actions("power_off", "power_on").
+		TransitionAll("power_off", "off").
+		Transition("off", "power_on", "sensing").
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sensing, _ := d.StateID("sensing")
+	off, _ := d.StateID("off")
+	pOff, _ := d.ActionID("power_off")
+	for _, s := range []StateID{sensing, off} {
+		next, ok := d.Next(s, pOff)
+		if !ok || next != off {
+			t.Errorf("Next(%d, power_off) = %d,%v want %d,true", s, next, ok, off)
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() (*Device, error)
+	}{
+		{"no states", func() (*Device, error) {
+			return NewBuilder("x", "x").Build()
+		}},
+		{"duplicate state", func() (*Device, error) {
+			return NewBuilder("x", "x").States("a", "a").Build()
+		}},
+		{"duplicate action", func() (*Device, error) {
+			return NewBuilder("x", "x").States("a").Actions("go", "go").Build()
+		}},
+		{"unknown transition names", func() (*Device, error) {
+			return NewBuilder("x", "x").States("a").Actions("go").
+				Transition("a", "go", "nope").Build()
+		}},
+		{"unknown disutility names", func() (*Device, error) {
+			return NewBuilder("x", "x").States("a").Actions("go").
+				DisUtility("a", "nope", 1).Build()
+		}},
+		{"unknown power state", func() (*Device, error) {
+			return NewBuilder("x", "x").States("a").PowerW("nope", 1).Build()
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.build(); err == nil {
+				t.Error("Build succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild on bad builder should panic")
+		}
+	}()
+	NewBuilder("x", "x").MustBuild() // no states
+}
+
+func TestCopiesAreIndependent(t *testing.T) {
+	d := testLock(t)
+	states := d.States()
+	states[0] = "mutated"
+	if d.StateName(0) == "mutated" {
+		t.Error("States() must return a copy")
+	}
+	actions := d.Actions()
+	actions[0] = "mutated"
+	if d.ActionName(0) == "mutated" {
+		t.Error("Actions() must return a copy")
+	}
+}
+
+// Property: for every declared transition, Next is total on NoAction and
+// never returns an out-of-range state.
+func TestNextStaysInRangeProperty(t *testing.T) {
+	d := testLock(t)
+	f := func(s, a uint8) bool {
+		st := StateID(int(s)%(d.NumStates()+2)) - 1   // include out-of-range
+		ac := ActionID(int(a)%(d.NumActions()+2)) - 1 // include NoAction and out-of-range
+		next, ok := d.Next(st, ac)
+		if !ok {
+			return true
+		}
+		if ac == NoAction {
+			return next == st // identity, even on out-of-range states
+		}
+		return next >= 0 && int(next) < d.NumStates()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+package env
+
+import (
+	"fmt"
+	"time"
+
+	"jarvis/internal/device"
+)
+
+// NumInstances returns n = ceil(T/I), the number of time instances in an
+// episode with time period T and interval I (Definition 2).
+func NumInstances(T, I time.Duration) int {
+	if T <= 0 || I <= 0 {
+		return 0
+	}
+	n := T / I
+	if T%I != 0 {
+		n++
+	}
+	return int(n)
+}
+
+// Episode is an ordered record of the environment's state transitions over
+// one time period (Definition 2): States[0] is S_0 and Actions[t] is the
+// composite action A_t taken at time instance t, yielding States[t+1].
+type Episode struct {
+	// T is the episode's time period and I its interval.
+	T, I time.Duration
+	// Start is the wall-clock time of S_0; instance t occurs at
+	// Start + t*I. Time-of-day features derive from it.
+	Start time.Time
+	// States has length Len()+1; Actions has length Len().
+	States  []State
+	Actions []Action
+}
+
+// Len returns n, the number of time instances (= recorded actions).
+func (ep *Episode) Len() int { return len(ep.Actions) }
+
+// At returns the wall-clock time of instance t.
+func (ep *Episode) At(t int) time.Time { return ep.Start.Add(time.Duration(t) * ep.I) }
+
+// Transition is one (S_t, A_t, S_{t+1}) step of an episode, the unit the
+// Security Policy Learner consumes as trigger→action behavior
+// (T: current state → A: next action).
+type Transition struct {
+	From     State
+	Act      Action
+	To       State
+	Instance int       // time instance t within the episode
+	At       time.Time // wall-clock time of the transition
+}
+
+// Transitions expands an episode into its individual state transitions.
+func (ep *Episode) Transitions() []Transition {
+	out := make([]Transition, 0, len(ep.Actions))
+	for t := range ep.Actions {
+		out = append(out, Transition{
+			From:     ep.States[t],
+			Act:      ep.Actions[t],
+			To:       ep.States[t+1],
+			Instance: t,
+			At:       ep.At(t),
+		})
+	}
+	return out
+}
+
+// Validate checks the episode's internal consistency against an
+// environment: state/action arity, length invariants, and that every step
+// obeys the overall transition function Δ.
+func (ep *Episode) Validate(e *Environment) error {
+	if len(ep.States) != len(ep.Actions)+1 {
+		return fmt.Errorf("episode: %d states but %d actions", len(ep.States), len(ep.Actions))
+	}
+	if want := NumInstances(ep.T, ep.I); ep.T > 0 && len(ep.Actions) > want {
+		return fmt.Errorf("episode: %d actions exceed n=%d for T=%v I=%v", len(ep.Actions), want, ep.T, ep.I)
+	}
+	for t, a := range ep.Actions {
+		if !e.ValidState(ep.States[t]) {
+			return fmt.Errorf("episode: invalid state at instance %d", t)
+		}
+		next, err := e.Transition(ep.States[t], a)
+		if err != nil {
+			return fmt.Errorf("episode: instance %d: %w", t, err)
+		}
+		if !next.Equal(ep.States[t+1]) {
+			return fmt.Errorf("episode: instance %d: recorded next state disagrees with Δ", t)
+		}
+	}
+	if len(ep.States) > 0 && !e.ValidState(ep.States[len(ep.States)-1]) {
+		return fmt.Errorf("episode: invalid final state")
+	}
+	return nil
+}
+
+// ReplayActions rebuilds an episode from an action sequence, starting at
+// s0. Device actions that are invalid in the state actually reached are
+// dropped (a real hub discards stale commands), so the result is always a
+// consistent episode — the tool dataset injection and attack engineering
+// use to splice actions into recorded behavior.
+func ReplayActions(e *Environment, s0 State, start time.Time, I time.Duration, actions []Action) (Episode, error) {
+	if !e.ValidState(s0) {
+		return Episode{}, fmt.Errorf("env: replay: invalid initial state")
+	}
+	T := time.Duration(len(actions)) * I
+	rec := NewRecorder(e, s0, start, T, I)
+	for t, a := range actions {
+		cleaned := a.Clone()
+		s := rec.State()
+		for dev, ac := range cleaned {
+			if ac == device.NoAction {
+				continue
+			}
+			if _, ok := e.devices[dev].Next(s[dev], ac); !ok {
+				cleaned[dev] = device.NoAction
+			}
+		}
+		if err := rec.Step(cleaned); err != nil {
+			return Episode{}, fmt.Errorf("env: replay instance %d: %w", t, err)
+		}
+	}
+	return rec.Episode(), nil
+}
+
+// Recorder incrementally builds an episode by stepping the environment.
+// It enforces the episode length n = ceil(T/I): Step returns false once the
+// episode is complete.
+type Recorder struct {
+	env *Environment
+	ep  Episode
+	n   int
+}
+
+// NewRecorder starts an episode at state s0 and wall-clock time start.
+func NewRecorder(e *Environment, s0 State, start time.Time, T, I time.Duration) *Recorder {
+	return &Recorder{
+		env: e,
+		ep: Episode{
+			T:      T,
+			I:      I,
+			Start:  start,
+			States: []State{s0.Clone()},
+		},
+		n: NumInstances(T, I),
+	}
+}
+
+// State returns the current (latest) state.
+func (r *Recorder) State() State { return r.ep.States[len(r.ep.States)-1] }
+
+// Instance returns the next time instance to be recorded.
+func (r *Recorder) Instance() int { return len(r.ep.Actions) }
+
+// Done reports whether the episode has reached its full length.
+func (r *Recorder) Done() bool { return len(r.ep.Actions) >= r.n }
+
+// Step applies composite action a at the current instance. It returns an
+// error when the episode is already complete or the action is invalid.
+func (r *Recorder) Step(a Action) error {
+	if r.Done() {
+		return fmt.Errorf("episode: already complete (n=%d)", r.n)
+	}
+	next, err := r.env.Transition(r.State(), a)
+	if err != nil {
+		return err
+	}
+	r.ep.Actions = append(r.ep.Actions, a.Clone())
+	r.ep.States = append(r.ep.States, next)
+	return nil
+}
+
+// StepRequests resolves requests under the environment constraints and
+// records the resulting composite action. Denials are returned but do not
+// fail the step.
+func (r *Recorder) StepRequests(reqs []Request) ([]Denial, error) {
+	if r.Done() {
+		return nil, fmt.Errorf("episode: already complete (n=%d)", r.n)
+	}
+	act, next, denials := r.env.Apply(r.State(), reqs)
+	r.ep.Actions = append(r.ep.Actions, act)
+	r.ep.States = append(r.ep.States, next)
+	return denials, nil
+}
+
+// Episode returns the (possibly still partial) episode recorded so far.
+func (r *Recorder) Episode() Episode {
+	ep := r.ep
+	ep.States = append([]State(nil), r.ep.States...)
+	ep.Actions = append([]Action(nil), r.ep.Actions...)
+	return ep
+}

@@ -1,0 +1,118 @@
+package env
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"jarvis/internal/device"
+)
+
+func TestReplayActions(t *testing.T) {
+	e := testEnv(t)
+	start := time.Date(2020, 1, 6, 0, 0, 0, 0, time.UTC)
+	actions := []Action{
+		{0, device.NoAction, device.NoAction}, // lock
+		{device.NoAction, 1, device.NoAction}, // light on
+		{0, device.NoAction, device.NoAction}, // lock again: invalid, dropped
+		{device.NoAction, device.NoAction, 0}, // sensor off
+	}
+	ep, err := ReplayActions(e, State{1, 0, 0}, start, time.Minute, actions)
+	if err != nil {
+		t.Fatalf("ReplayActions: %v", err)
+	}
+	if err := ep.Validate(e); err != nil {
+		t.Fatalf("replayed episode invalid: %v", err)
+	}
+	if ep.Len() != 4 {
+		t.Fatalf("Len = %d", ep.Len())
+	}
+	// The invalid re-lock was dropped, not recorded.
+	if ep.Actions[2][0] != device.NoAction {
+		t.Errorf("invalid action recorded: %v", ep.Actions[2])
+	}
+	want := State{0, 1, 1}
+	if !ep.States[4].Equal(want) {
+		t.Errorf("final state %v, want %v", ep.States[4], want)
+	}
+}
+
+func TestReplayActionsBadInitial(t *testing.T) {
+	e := testEnv(t)
+	if _, err := ReplayActions(e, State{9, 9, 9}, time.Time{}, time.Minute, nil); err == nil {
+		t.Error("invalid initial state should error")
+	}
+}
+
+// Property: a replayed episode always validates, regardless of the action
+// garbage thrown at it.
+func TestReplayActionsAlwaysConsistentProperty(t *testing.T) {
+	e := testEnv(t)
+	f := func(raw []uint8) bool {
+		actions := make([]Action, 0, len(raw)/3+1)
+		for i := 0; i+2 < len(raw); i += 3 {
+			actions = append(actions, Action{
+				device.ActionID(int(raw[i])%4) - 1,
+				device.ActionID(int(raw[i+1])%4) - 1,
+				device.ActionID(int(raw[i+2])%4) - 1,
+			})
+		}
+		if len(actions) == 0 {
+			return true
+		}
+		ep, err := ReplayActions(e, State{1, 0, 0}, time.Time{}, time.Minute, actions)
+		if err != nil {
+			return false
+		}
+		return ep.Validate(e) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ActionKey round-trips for arbitrary (valid-range) actions and
+// distinct actions get distinct keys.
+func TestActionKeyRoundTripProperty(t *testing.T) {
+	e := testEnv(t)
+	f := func(a0, a1, a2 uint8) bool {
+		a := Action{
+			device.ActionID(int(a0)%3) - 1, // lock has 2 actions
+			device.ActionID(int(a1)%3) - 1,
+			device.ActionID(int(a2)%3) - 1,
+		}
+		got := e.DecodeAction(e.ActionKey(a))
+		for i := range a {
+			if got[i] != a[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: StateKey is injective over the full composite state space.
+func TestStateKeyInjectiveProperty(t *testing.T) {
+	e := testEnv(t)
+	seen := make(map[uint64]State)
+	var total uint64
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			for c := 0; c < 3; c++ {
+				s := State{device.StateID(a), device.StateID(b), device.StateID(c)}
+				k := e.StateKey(s)
+				if prev, dup := seen[k]; dup {
+					t.Fatalf("key collision: %v and %v -> %d", prev, s, k)
+				}
+				seen[k] = s
+				total++
+			}
+		}
+	}
+	if total != e.NumStateCombinations() {
+		t.Errorf("enumerated %d, combinations %d", total, e.NumStateCombinations())
+	}
+}

@@ -1,0 +1,208 @@
+// Package events implements the SmartThings-style event publish/subscribe
+// architecture of Section II-A and Figure 2 of the Jarvis paper: devices
+// relay normalized, edge-readable events through device handlers; apps
+// subscribe to device capabilities; and a logger app captures every
+// attribute change as a JSON log record with the tuple
+//
+//	(Event.date, Event.data, User.info, App.info, Group.info,
+//	 Location.info, Device.label, Capability.name, Attribute.name,
+//	 Attribute.value, Capability.command)
+package events
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one normalized edge event resulting from a device attribute
+// change. Field names mirror the paper's log tuple.
+type Event struct {
+	Date           time.Time `json:"date"`
+	Data           string    `json:"data,omitempty"`
+	User           string    `json:"user"`
+	App            string    `json:"app"`
+	Group          string    `json:"group"`
+	Location       string    `json:"location"`
+	DeviceLabel    string    `json:"deviceLabel"`
+	Capability     string    `json:"capabilityName"`
+	Attribute      string    `json:"attributeName"`
+	AttributeValue string    `json:"attributeValue"`
+	Command        string    `json:"capabilityCommand"`
+}
+
+// Handler consumes events delivered by the bus.
+type Handler interface {
+	HandleEvent(Event)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(Event)
+
+// HandleEvent implements Handler.
+func (f HandlerFunc) HandleEvent(ev Event) { f(ev) }
+
+var _ Handler = HandlerFunc(nil)
+
+// Subscription identifies a registered handler so it can be cancelled.
+type Subscription struct {
+	id  int
+	bus *Bus
+}
+
+// Cancel removes the subscription from the bus. Cancelling twice is a
+// no-op.
+func (s Subscription) Cancel() {
+	if s.bus != nil {
+		s.bus.cancel(s.id)
+	}
+}
+
+type subscriber struct {
+	id int
+	// capability filter; empty means "all capabilities".
+	capability string
+	// device filter; empty means "all devices".
+	device  string
+	handler Handler
+}
+
+// Bus is a synchronous publish/subscribe event bus. Publications are
+// delivered in subscription order on the caller's goroutine, which gives
+// apps the deterministic first-come-first-served semantics the environment
+// constraint model assumes. Bus is safe for concurrent use.
+type Bus struct {
+	mu     sync.RWMutex
+	nextID int
+	subs   []subscriber
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Subscribe registers a handler for every event matching the given device
+// label and capability name. Empty strings act as wildcards; SubscribeAll
+// is Subscribe("", "").
+func (b *Bus) Subscribe(deviceLabel, capability string, h Handler) Subscription {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	b.subs = append(b.subs, subscriber{
+		id:         b.nextID,
+		capability: capability,
+		device:     deviceLabel,
+		handler:    h,
+	})
+	return Subscription{id: b.nextID, bus: b}
+}
+
+// SubscribeAll registers a handler for every event on the bus.
+func (b *Bus) SubscribeAll(h Handler) Subscription { return b.Subscribe("", "", h) }
+
+// Publish delivers an event to all matching subscribers, synchronously and
+// in subscription order.
+func (b *Bus) Publish(ev Event) {
+	b.mu.RLock()
+	subs := make([]subscriber, len(b.subs))
+	copy(subs, b.subs)
+	b.mu.RUnlock()
+	for _, s := range subs {
+		if s.device != "" && s.device != ev.DeviceLabel {
+			continue
+		}
+		if s.capability != "" && s.capability != ev.Capability {
+			continue
+		}
+		s.handler.HandleEvent(ev)
+	}
+}
+
+// NumSubscribers returns the current number of registered handlers.
+func (b *Bus) NumSubscribers() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.subs)
+}
+
+func (b *Bus) cancel(id int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, s := range b.subs {
+		if s.id == id {
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Logger is the logger app of Figure 2: it subscribes to all device
+// capabilities and writes each event as one JSON line.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	n   int
+	sub Subscription
+	err error
+}
+
+// NewLogger creates a logger app writing JSON lines to w and subscribes it
+// to the bus.
+func NewLogger(b *Bus, w io.Writer) *Logger {
+	l := &Logger{w: w}
+	l.sub = b.SubscribeAll(HandlerFunc(l.log))
+	return l
+}
+
+func (l *Logger) log(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		l.err = fmt.Errorf("logger: marshal: %w", err)
+		return
+	}
+	data = append(data, '\n')
+	if _, err := l.w.Write(data); err != nil {
+		l.err = fmt.Errorf("logger: write: %w", err)
+		return
+	}
+	l.n++
+}
+
+// Count returns the number of events successfully logged.
+func (l *Logger) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Err returns the first write/marshal error encountered, if any. After an
+// error the logger stops logging.
+func (l *Logger) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close cancels the logger's subscription.
+func (l *Logger) Close() { l.sub.Cancel() }
+
+// ReadLog parses a JSON-lines log stream back into events, in order.
+func ReadLog(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("events: read log record %d: %w", len(out), err)
+		}
+		out = append(out, ev)
+	}
+}

@@ -1,0 +1,176 @@
+package events
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sampleEvent(dev, cap string) Event {
+	return Event{
+		Date:           time.Date(2020, 1, 6, 8, 0, 0, 0, time.UTC),
+		User:           "alice",
+		App:            "manual",
+		Group:          "entrance",
+		Location:       "home-a",
+		DeviceLabel:    dev,
+		Capability:     cap,
+		Attribute:      "lock",
+		AttributeValue: "locked",
+		Command:        "lock",
+	}
+}
+
+func TestSubscribeAndPublish(t *testing.T) {
+	b := NewBus()
+	var got []string
+	b.Subscribe("lock", "", HandlerFunc(func(ev Event) { got = append(got, "dev:"+ev.DeviceLabel) }))
+	b.Subscribe("", "lock", HandlerFunc(func(ev Event) { got = append(got, "cap:"+ev.Capability) }))
+	b.SubscribeAll(HandlerFunc(func(ev Event) { got = append(got, "all") }))
+
+	b.Publish(sampleEvent("lock", "lock"))
+	b.Publish(sampleEvent("light", "switch"))
+
+	want := []string{"dev:lock", "cap:lock", "all", "all"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("delivery order = %v, want %v", got, want)
+	}
+	if b.NumSubscribers() != 3 {
+		t.Errorf("NumSubscribers = %d, want 3", b.NumSubscribers())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	b := NewBus()
+	var n int
+	sub := b.SubscribeAll(HandlerFunc(func(Event) { n++ }))
+	b.Publish(sampleEvent("x", "y"))
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	b.Publish(sampleEvent("x", "y"))
+	if n != 1 {
+		t.Errorf("handler ran %d times, want 1", n)
+	}
+	if b.NumSubscribers() != 0 {
+		t.Errorf("NumSubscribers = %d, want 0", b.NumSubscribers())
+	}
+	var zero Subscription
+	zero.Cancel() // must not panic
+}
+
+func TestConcurrentPublish(t *testing.T) {
+	b := NewBus()
+	var mu sync.Mutex
+	n := 0
+	b.SubscribeAll(HandlerFunc(func(Event) {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	}))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Publish(sampleEvent("d", "c"))
+			}
+		}()
+	}
+	wg.Wait()
+	if n != 800 {
+		t.Errorf("delivered %d, want 800", n)
+	}
+}
+
+func TestLoggerRoundTrip(t *testing.T) {
+	b := NewBus()
+	var buf bytes.Buffer
+	l := NewLogger(b, &buf)
+	defer l.Close()
+
+	events := []Event{sampleEvent("lock", "lock"), sampleEvent("light", "switch")}
+	for _, ev := range events {
+		b.Publish(ev)
+	}
+	if l.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", l.Count())
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d events, want 2", len(got))
+	}
+	if got[0].DeviceLabel != "lock" || !got[0].Date.Equal(events[0].Date) {
+		t.Errorf("round trip mismatch: %+v", got[0])
+	}
+}
+
+func TestLoggerJSONFields(t *testing.T) {
+	b := NewBus()
+	var buf bytes.Buffer
+	l := NewLogger(b, &buf)
+	defer l.Close()
+	b.Publish(sampleEvent("lock", "lock"))
+	line := buf.String()
+	for _, field := range []string{
+		"date", "user", "app", "group", "location",
+		"deviceLabel", "capabilityName", "attributeName",
+		"attributeValue", "capabilityCommand",
+	} {
+		if !strings.Contains(line, `"`+field+`"`) {
+			t.Errorf("log line missing field %q: %s", field, line)
+		}
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestLoggerWriteError(t *testing.T) {
+	b := NewBus()
+	l := NewLogger(b, failWriter{})
+	defer l.Close()
+	b.Publish(sampleEvent("d", "c"))
+	if l.Err() == nil {
+		t.Fatal("expected write error")
+	}
+	b.Publish(sampleEvent("d", "c")) // logger must not panic after error
+	if l.Count() != 0 {
+		t.Errorf("Count = %d, want 0", l.Count())
+	}
+}
+
+func TestReadLogMalformed(t *testing.T) {
+	_, err := ReadLog(strings.NewReader(`{"date":"2020-01-06T00:00:00Z"}` + "\nnot-json\n"))
+	if err == nil {
+		t.Fatal("malformed log should error")
+	}
+}
+
+func TestHandlerUnsubscribeDuringPublish(t *testing.T) {
+	// A handler cancelling its own subscription while handling an event
+	// must not deadlock (Publish iterates over a snapshot).
+	b := NewBus()
+	var sub Subscription
+	n := 0
+	sub = b.SubscribeAll(HandlerFunc(func(Event) {
+		n++
+		sub.Cancel()
+	}))
+	b.Publish(sampleEvent("d", "c"))
+	b.Publish(sampleEvent("d", "c"))
+	if n != 1 {
+		t.Errorf("handler ran %d times, want 1", n)
+	}
+}

@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"math/rand"
+	"testing"
+
+	"jarvis/internal/dataset"
+	"jarvis/internal/env"
+	"jarvis/internal/smarthome"
+)
+
+func testCtx(t *testing.T) (*smarthome.FullHome, *dataset.DayContext) {
+	t.Helper()
+	home := smarthome.NewFullHome()
+	rng := rand.New(rand.NewSource(9))
+	ctx := dataset.NewDayContext(LearningStart.AddDate(0, 0, 10), dataset.DefaultContext(), rng)
+	if ctx.LeaveAt < 0 {
+		t.Fatal("test needs a workday context")
+	}
+	return home, ctx
+}
+
+func TestDayExoThermalAndSensor(t *testing.T) {
+	home, ctx := testCtx(t)
+	exo := newDayExo(home, ctx)
+	s := home.InitialState()
+	// Walk several hours of idle: the sensor must track the thermal model.
+	for m := 1; m <= 6*60; m++ {
+		s = exo.Apply(s, m)
+	}
+	if len(exo.indoor) != 6*60 {
+		t.Fatalf("indoor trace %d", len(exo.indoor))
+	}
+	want := exo.thermal.SensorState()
+	if s[home.TempSensor] != want {
+		t.Errorf("sensor %d, thermal says %d", s[home.TempSensor], want)
+	}
+	// A disabled sensor must not be overwritten.
+	s[home.TempSensor] = smarthome.TempOff
+	s2 := exo.Apply(s, 6*60+1)
+	if s2[home.TempSensor] != smarthome.TempOff {
+		t.Error("exo must not resurrect a powered-off sensor")
+	}
+	exo.Reset()
+	if len(exo.indoor) != 0 {
+		t.Error("Reset must clear the indoor trace")
+	}
+}
+
+func TestDayExoResidentMovements(t *testing.T) {
+	home, ctx := testCtx(t)
+	exo := newDayExo(home, ctx)
+	s := home.InitialState()
+	// At the departure minute the lock goes locked_outside.
+	s = exo.Apply(s, ctx.LeaveAt+1)
+	if s[home.Lock] != smarthome.LockLockedOutside {
+		t.Errorf("lock after departure = %d", s[home.Lock])
+	}
+	// Return sequence: detect, unlock, re-lock inside.
+	s = exo.Apply(s, ctx.ReturnAt+1)
+	if s[home.DoorSensor] != smarthome.DoorAuthUser {
+		t.Errorf("door sensor at return = %d", s[home.DoorSensor])
+	}
+	s = exo.Apply(s, ctx.ReturnAt+2)
+	if s[home.Lock] != smarthome.LockUnlocked {
+		t.Errorf("lock at return+1 = %d", s[home.Lock])
+	}
+	s = exo.Apply(s, ctx.ReturnAt+3)
+	if s[home.Lock] != smarthome.LockLockedInside || s[home.DoorSensor] != smarthome.DoorSensing {
+		t.Errorf("end of return sequence: lock=%d sensor=%d", s[home.Lock], s[home.DoorSensor])
+	}
+}
+
+func TestDayMetricVariants(t *testing.T) {
+	home, ctx := testCtx(t)
+	idle := home.InitialState()
+	hot := idle.Clone()
+	hot[home.Oven] = 1
+	states := []env.State{idle, hot}
+	indoor := []float64{21, 25}
+
+	e := dayMetric(MetricEnergy, home, states, indoor, ctx)
+	if e <= 0 {
+		t.Errorf("energy = %g", e)
+	}
+	c := dayMetric(MetricCost, home, states, indoor, ctx)
+	if c <= 0 || c >= e {
+		t.Errorf("cost = %g (energy %g)", c, e)
+	}
+	// comfort: minute 0/1 are asleep (occupied), errors |21-21|=0, |25-21|=4
+	cf := dayMetric(MetricComfort, home, states, indoor, ctx)
+	if cf != 2 {
+		t.Errorf("comfort = %g, want 2", cf)
+	}
+}
+
+func TestWeightsFor(t *testing.T) {
+	approx := func(a, b float64) bool { d := a - b; return d < 1e-9 && d > -1e-9 }
+	fE, fC, fT := weightsFor(MetricEnergy, 0.8)
+	if !approx(fE, 0.8) || !approx(fC, 0.1) || !approx(fT, 0.1) {
+		t.Errorf("energy weights = %g %g %g", fE, fC, fT)
+	}
+	fE, fC, fT = weightsFor(MetricCost, 0.5)
+	if fC != 0.5 || fE != 0.25 || fT != 0.25 {
+		t.Errorf("cost weights = %g %g %g", fE, fC, fT)
+	}
+	fE, fC, fT = weightsFor(MetricComfort, 0.9)
+	if fT != 0.9 {
+		t.Errorf("comfort weights = %g %g %g", fE, fC, fT)
+	}
+}

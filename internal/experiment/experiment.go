@@ -1,0 +1,176 @@
+// Package experiment regenerates every evaluation table and figure of the
+// Jarvis paper. Each experiment is a configurable runner whose result
+// renders the same rows or series the paper reports:
+//
+//	Table I    — the smart-home FSM                              (Table1)
+//	Table II   — normal vs learned safe T/A behavior             (Table2)
+//	Table III  — action quality, unconstrained vs constrained    (Table3)
+//	§VI-B      — detection of the 214-violation corpus           (Security)
+//	Figure 5   — ROC of the SPL's ANN filter                     (ROCExperiment)
+//	Figures 6–8 — functionality benefit vs f_j                   (Functionality)
+//	Figure 9   — constrained vs unconstrained benefit space      (BenefitSpace)
+//
+// Experiments at "paper scale" take minutes; every runner accepts reduced
+// sizes so tests and benchmarks exercise the identical code path quickly.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"jarvis/internal/anomaly"
+	"jarvis/internal/dataset"
+	"jarvis/internal/env"
+	"jarvis/internal/policy"
+	"jarvis/internal/reward"
+	"jarvis/internal/smarthome"
+)
+
+// LearningStart is the canonical first day of the learning phase (a
+// Monday in early September: the shoulder season exposes both heating and
+// cooling behavior within one week).
+var LearningStart = time.Date(2020, 9, 7, 0, 0, 0, 0, time.UTC)
+
+// LabConfig sizes the shared learning-phase setup.
+type LabConfig struct {
+	// Seed drives every random choice.
+	Seed int64
+	// LearningDays is the length L of the learning phase (the paper uses
+	// 7; experiments stressing state coverage may use more).
+	LearningDays int
+	// Profile selects the home-A (simulated) or home-B (trace-calibrated)
+	// generator profile.
+	Profile dataset.GeneratorConfig
+	// TrainFilter trains the ANN benign-anomaly filter and wires it into
+	// the SPL (Algorithm 1's Filter_ANN). Training data sizes:
+	FilterAnomalies, FilterNormals int
+	// FilterEpochs controls ANN training (default 20).
+	FilterEpochs int
+}
+
+// DefaultLab returns the prototype configuration: home A, a one-week
+// learning phase, and an ANN filter trained on synthesized SIMADL-style
+// anomalies.
+func DefaultLab(seed int64) LabConfig {
+	return LabConfig{
+		Seed:            seed,
+		LearningDays:    smarthome.LearningPhaseL,
+		Profile:         dataset.HomeAConfig(),
+		FilterAnomalies: 2000,
+		FilterNormals:   2000,
+		FilterEpochs:    20,
+	}
+}
+
+// Lab is the shared experimental setup: the 11-device home, its learning
+// phase, the trained filter, the learned P_safe and the preferred-time
+// index.
+type Lab struct {
+	Home         *smarthome.FullHome
+	Gen          *dataset.Generator
+	LearningDays []*dataset.Day
+	Filter       *anomaly.Filter
+	SPL          *policy.Learner
+	Table        *policy.Table
+	Pref         *reward.PreferredTimes
+	Rng          *rand.Rand
+
+	behaviorsByState map[uint64][]env.Action
+}
+
+// NewLab runs the learning phase end to end: simulate L days of natural
+// behavior, train the ANN filter on labelled benign anomalies, feed the
+// filtered episodes through Algorithm 1, and index preferred action times.
+func NewLab(cfg LabConfig) (*Lab, error) {
+	if cfg.LearningDays <= 0 {
+		cfg.LearningDays = smarthome.LearningPhaseL
+	}
+	if cfg.FilterEpochs <= 0 {
+		cfg.FilterEpochs = 20
+	}
+	if cfg.Profile.Thermal.Band == 0 {
+		cfg.Profile = dataset.HomeAConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	home := smarthome.NewFullHome()
+	gen := dataset.NewGenerator(home, cfg.Profile)
+
+	days, err := gen.Days(LearningStart, cfg.LearningDays, rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: learning phase: %w", err)
+	}
+
+	lab := &Lab{Home: home, Gen: gen, LearningDays: days, Rng: rng}
+
+	var filter policy.Filter
+	if cfg.FilterAnomalies > 0 {
+		f, err := anomaly.NewFilter(home.Env, anomaly.Config{}, rng)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: filter: %w", err)
+		}
+		anoms, err := dataset.SynthesizeAnomalies(home, days, cfg.FilterAnomalies, rng)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: anomalies: %w", err)
+		}
+		normals, err := dataset.NormalSamples(days, cfg.FilterNormals, rng)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: normals: %w", err)
+		}
+		td := append(anoms, normals...)
+		if _, err := f.Train(td, anomaly.Config{Epochs: cfg.FilterEpochs}, rng); err != nil {
+			return nil, fmt.Errorf("experiment: filter training: %w", err)
+		}
+		lab.Filter = f
+		filter = f
+	}
+
+	spl := policy.NewLearner(home.Env, policy.Config{
+		ThreshEnv: 0, // safety-critical: the paper's smart-home choice
+		Filter:    filter,
+		AllowIdle: true,
+	})
+	spl.ObserveAll(dataset.Episodes(days))
+	lab.SPL = spl
+	lab.Table = spl.Table()
+	// Manual safety policy (Section V-B1): powering the HVAC off is the
+	// fail-safe escape from thermal states natural behavior never
+	// reaches; it cannot be learned from natural progression.
+	lab.Table.AllowManual(home.Thermostat, smarthome.ThermostatActOff)
+	lab.Pref = reward.LearnPreferredTimes(home.Env, dataset.Episodes(days))
+	return lab, nil
+}
+
+// Actionable returns the device mask Jarvis may operate: everything except
+// the sensors and the lock, which are driven by the environment and the
+// resident.
+func (l *Lab) Actionable() func(int) bool {
+	h := l.Home
+	excluded := map[int]bool{h.Lock: true, h.DoorSensor: true, h.TempSensor: true}
+	return func(dev int) bool { return !excluded[dev] }
+}
+
+// RoutineDevices returns the devices whose user routine carries pending
+// dis-utility (the appliances and lights the resident habitually uses).
+func (l *Lab) RoutineDevices() map[int]bool {
+	h := l.Home
+	return map[int]bool{
+		h.LivingLight: true, h.BedLight: true, h.Thermostat: true,
+		h.Fridge: true, h.Oven: true, h.TV: true,
+		h.Washer: true, h.Dishwasher: true,
+	}
+}
+
+// BehaviorsFrom returns the composite actions observed naturally from the
+// given state during learning — the candidate set for "safe action" picks
+// (a multi-device safe action is whitelisted only as the bundle it
+// occurred as).
+func (l *Lab) BehaviorsFrom(stateKey uint64) []env.Action {
+	if l.behaviorsByState == nil {
+		l.behaviorsByState = make(map[uint64][]env.Action)
+		for _, b := range l.SPL.Behaviors() {
+			l.behaviorsByState[b.State] = append(l.behaviorsByState[b.State], l.Home.Env.DecodeAction(b.Action))
+		}
+	}
+	return l.behaviorsByState[stateKey]
+}

@@ -1,0 +1,276 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"jarvis/internal/env"
+	"jarvis/internal/smarthome"
+)
+
+func TestNewLabDefaults(t *testing.T) {
+	lab, err := NewLab(LabConfig{Seed: 1, LearningDays: 2})
+	if err != nil {
+		t.Fatalf("NewLab: %v", err)
+	}
+	if len(lab.LearningDays) != 2 {
+		t.Fatalf("learning days = %d", len(lab.LearningDays))
+	}
+	if lab.Table == nil || lab.Table.Len() == 0 {
+		t.Fatal("empty P_safe")
+	}
+	if lab.Filter != nil {
+		t.Error("filter should be nil when FilterAnomalies is 0")
+	}
+	if lab.Pref == nil {
+		t.Error("preferred times missing")
+	}
+	// The manual fail-safe policy must be present.
+	if !lab.Table.ManualAllowed(manualOffAction(lab)) {
+		t.Error("thermostat power_off should be manually sanctioned")
+	}
+	// Actionable mask: lock and sensors excluded.
+	actionable := lab.Actionable()
+	if actionable(lab.Home.Lock) || actionable(lab.Home.TempSensor) || actionable(lab.Home.DoorSensor) {
+		t.Error("lock/sensors must not be actionable")
+	}
+	if !actionable(lab.Home.Oven) {
+		t.Error("oven should be actionable")
+	}
+	if len(lab.RoutineDevices()) == 0 {
+		t.Error("routine devices missing")
+	}
+}
+
+func TestNewLabWithFilter(t *testing.T) {
+	lab, err := NewLab(LabConfig{
+		Seed: 2, LearningDays: 2,
+		FilterAnomalies: 120, FilterNormals: 120, FilterEpochs: 3,
+	})
+	if err != nil {
+		t.Fatalf("NewLab: %v", err)
+	}
+	if lab.Filter == nil {
+		t.Fatal("filter should be trained")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	res := Table1()
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	out := res.String()
+	for _, want := range []string{"lock", "thermostat", "temp", "door"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I output missing %q", want)
+		}
+	}
+}
+
+func TestTable2LearnsSafeBehavior(t *testing.T) {
+	res, err := Table2(Table2Config{Seed: 1, LearningDays: 5})
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(res.Rows))
+	}
+	byApp := map[int]int{}
+	for _, row := range res.Rows {
+		byApp[row.App] += row.SafeCount
+	}
+	// Apps 1, 2, 3 and 5 occur naturally and must learn safe behavior.
+	for _, app := range []int{1, 2, 3, 5} {
+		if byApp[app] == 0 {
+			t.Errorf("app %d learned no safe T/A pairs", app)
+		}
+	}
+	// App 4 (fire alarm) never occurs naturally: the paper's manual-policy
+	// observation.
+	if byApp[4] != 0 {
+		t.Errorf("app 4 should learn nothing, got %d", byApp[4])
+	}
+	if !strings.Contains(res.String(), "manual policy required") {
+		t.Error("output should call out the manual-policy case")
+	}
+}
+
+func TestTable3ConstrainedIsSafe(t *testing.T) {
+	res, err := Table3(Table3Config{Seed: 1, LearningDays: 7})
+	if err != nil {
+		t.Fatalf("Table3: %v", err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(res.Rows))
+	}
+	// The unconstrained optimizer must violate P_safe somewhere (it powers
+	// sensors off for the energy goal).
+	if res.UnsafeUnconstrained == 0 {
+		t.Error("unconstrained optimization should produce unsafe picks")
+	}
+	if res.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestSecurityDetectsEverything(t *testing.T) {
+	res, err := Security(SecurityConfig{Seed: 1, LearningDays: 4, EpisodesPerViolation: 2, BaseDays: 2})
+	if err != nil {
+		t.Fatalf("Security: %v", err)
+	}
+	if res.Episodes != 214*2 {
+		t.Fatalf("episodes = %d, want 428", res.Episodes)
+	}
+	if res.Rate() < 0.99 {
+		t.Errorf("detection rate %.3f, want ≥0.99 (paper: 100%%); missed: %v", res.Rate(), res.Missed)
+	}
+	for typ, td := range res.PerType {
+		if td.Episodes == 0 {
+			t.Errorf("type %v has no episodes", typ)
+		}
+	}
+	if !strings.Contains(res.String(), "detected") {
+		t.Error("render missing detection summary")
+	}
+}
+
+func TestROCFilterAccuracy(t *testing.T) {
+	res, err := ROC(ROCConfig{
+		Seed: 1, LearningDays: 3,
+		TrainAnomalies: 800, TrainNormals: 800,
+		EvalEpisodes: 150, FilterEpochs: 8,
+	})
+	if err != nil {
+		t.Fatalf("ROC: %v", err)
+	}
+	if res.Evaluated < 100 {
+		t.Fatalf("evaluated = %d", res.Evaluated)
+	}
+	// Paper band: 99.2% correct. Allow slack at reduced scale.
+	if res.Accuracy() < 0.9 {
+		t.Errorf("benign classification accuracy %.3f, want ≥0.9", res.Accuracy())
+	}
+	if res.FalsePositiveRate > 0.1 {
+		t.Errorf("FP rate %.3f, want ≤0.1", res.FalsePositiveRate)
+	}
+	if res.AUC <= 0.5 {
+		t.Errorf("AUC %.3f, want > 0.5", res.AUC)
+	}
+	if len(res.Curve) < 3 {
+		t.Errorf("curve too short: %d points", len(res.Curve))
+	}
+	if !strings.Contains(res.String(), "ROC") {
+		t.Error("render missing ROC label")
+	}
+}
+
+func TestFunctionalityEnergyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RL sweep")
+	}
+	res, err := Functionality(FunctionalityConfig{
+		Seed: 1, LearningDays: 4, Metric: MetricEnergy,
+		Weights: []float64{0.2, 0.8}, Days: 1,
+		Episodes: 120, Restarts: 2,
+	})
+	if err != nil {
+		t.Fatalf("Functionality: %v", err)
+	}
+	if len(res.Jarvis) != 2 || len(res.Normal) != 2 {
+		t.Fatalf("series lengths wrong")
+	}
+	// Jarvis must beat normal at the high energy weight.
+	if res.Jarvis[1] >= res.Normal[1] {
+		t.Errorf("jarvis %.2f kWh should beat normal %.2f at f=0.8", res.Jarvis[1], res.Normal[1])
+	}
+	// And use no more energy at f=0.8 than at f=0.2.
+	if res.Jarvis[1] > res.Jarvis[0]+1e-9 {
+		t.Errorf("energy should not increase with f_energy: %.2f -> %.2f", res.Jarvis[0], res.Jarvis[1])
+	}
+	if len(res.Benefit()) != 2 {
+		t.Error("Benefit length wrong")
+	}
+	if !strings.Contains(res.String(), "Figure 6") {
+		t.Error("render missing figure label")
+	}
+}
+
+func TestBenefitSpaceShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RL sweep")
+	}
+	res, err := BenefitSpace(BenefitSpaceConfig{Seed: 1, LearningDays: 4, Episodes: 40})
+	if err != nil {
+		t.Fatalf("BenefitSpace: %v", err)
+	}
+	if len(res.ConstrainedRewards) != 40 || len(res.UnconstrainedRewards) != 40 {
+		t.Fatalf("series lengths wrong")
+	}
+	total := 0
+	for _, v := range res.ConstrainedViolations {
+		total += v
+	}
+	if total != 0 {
+		t.Errorf("constrained agent committed %d violations", total)
+	}
+	if res.AvgViolations < 1 {
+		t.Errorf("unconstrained avg violations %.1f, want ≥1 (paper: 32)", res.AvgViolations)
+	}
+	if !strings.Contains(res.String(), "Figure 9") {
+		t.Error("render missing figure label")
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	for _, m := range []Metric{MetricEnergy, MetricCost, MetricComfort} {
+		if m.String() == "unknown" {
+			t.Errorf("metric %d unnamed", m)
+		}
+	}
+	if Metric(0).String() != "unknown" {
+		t.Error("zero metric should be unknown")
+	}
+	if _, err := Functionality(FunctionalityConfig{}); err == nil {
+		t.Error("missing metric should error")
+	}
+}
+
+// manualOffAction builds the thermostat power_off composite for the lab.
+func manualOffAction(lab *Lab) env.Action {
+	a := env.NoOp(lab.Home.Env.K())
+	a[lab.Home.Thermostat] = smarthome.ThermostatActOff
+	return a
+}
+
+func TestAblation(t *testing.T) {
+	res, err := Ablation(AblationConfig{Seed: 1, LearningDays: 3, Anomalies: 150, Episodes: 6})
+	if err != nil {
+		t.Fatalf("Ablation: %v", err)
+	}
+	// The ANN filter must keep almost all contaminating anomalies out of
+	// the whitelist, while the unfiltered learner swallows them.
+	if res.FilterOffWhitelisted < res.AnomaliesInjected/2 {
+		t.Errorf("unfiltered learner whitelisted only %d/%d anomalies",
+			res.FilterOffWhitelisted, res.AnomaliesInjected)
+	}
+	if res.FilterOnWhitelisted > res.AnomaliesInjected/10 {
+		t.Errorf("filtered learner whitelisted %d/%d anomalies",
+			res.FilterOnWhitelisted, res.AnomaliesInjected)
+	}
+	// Raising Thresh_env shrinks the whitelist monotonically.
+	if len(res.ThreshRows) != 3 {
+		t.Fatalf("thresh rows = %d", len(res.ThreshRows))
+	}
+	for i := 1; i < len(res.ThreshRows); i++ {
+		if res.ThreshRows[i].TableSize > res.ThreshRows[i-1].TableSize {
+			t.Error("table size should shrink with Thresh_env")
+		}
+	}
+	if len(res.Backends) != 2 {
+		t.Fatalf("backends = %d", len(res.Backends))
+	}
+	if res.String() == "" {
+		t.Error("empty render")
+	}
+}

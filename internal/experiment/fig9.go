@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"jarvis/internal/dataset"
+	"jarvis/internal/metrics"
+)
+
+// BenefitSpaceConfig sizes the Figure 9 experiment.
+type BenefitSpaceConfig struct {
+	Seed         int64
+	LearningDays int
+	// Episodes is the training length whose per-episode series the figure
+	// plots (default 120).
+	Episodes int
+	// ReplayEvery, Buckets and DecideEvery mirror FunctionalityConfig.
+	ReplayEvery, Buckets, DecideEvery int
+}
+
+// BenefitSpaceResult compares the two exploration regimes.
+type BenefitSpaceResult struct {
+	// ConstrainedRewards/UnconstrainedRewards are the per-episode
+	// cumulative rewards (the orange safe and grey unsafe benefit
+	// spaces).
+	ConstrainedRewards, UnconstrainedRewards []float64
+	// UnconstrainedViolations is the per-episode safety-violation count of
+	// the unconstrained agent (audited against the learned P_safe); the
+	// paper reports an average of 32 per episode.
+	UnconstrainedViolations []int
+	// ConstrainedViolations should be all zeros.
+	ConstrainedViolations []int
+	// AvgViolations is the unconstrained mean per episode.
+	AvgViolations float64
+	// FinalConstrained/FinalUnconstrained are the greedy evaluation
+	// returns after training.
+	FinalConstrained, FinalUnconstrained float64
+}
+
+// BenefitSpace reproduces Figure 9: the same reward (balanced weights) is
+// optimized by a P_safe-constrained agent and an unconstrained agent; the
+// unconstrained agent promises more reward but commits tens of safety
+// violations per episode, while the constrained agent commits none.
+func BenefitSpace(cfg BenefitSpaceConfig) (*BenefitSpaceResult, error) {
+	if cfg.Episodes <= 0 {
+		cfg.Episodes = 120
+	}
+	if cfg.ReplayEvery <= 0 {
+		cfg.ReplayEvery = 2
+	}
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 24
+	}
+	if cfg.DecideEvery <= 0 {
+		cfg.DecideEvery = 15
+	}
+	lab, err := NewLab(LabConfig{
+		Seed:         cfg.Seed,
+		LearningDays: cfg.LearningDays,
+		Profile:      dataset.HomeAConfig(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx := dataset.NewDayContext(LearningStart.AddDate(0, 0, 30), dataset.DefaultContext(), lab.Rng)
+
+	res := &BenefitSpaceResult{}
+	for _, constrained := range []bool{true, false} {
+		agent, _, _, err := buildJarvisAgent(lab, jarvisRunConfig{
+			Ctx:     ctx,
+			FEnergy: 1.0 / 3, FCost: 1.0 / 3, FComfort: 1.0 / 3,
+			Episodes:    cfg.Episodes,
+			ReplayEvery: cfg.ReplayEvery,
+			Buckets:     cfg.Buckets,
+			DecideEvery: cfg.DecideEvery,
+			Seed:        cfg.Seed + 977,
+			Constrained: constrained,
+		})
+		if err != nil {
+			return nil, err
+		}
+		stats, err := agent.Train()
+		if err != nil {
+			return nil, err
+		}
+		final, _, err := agent.Evaluate()
+		if err != nil {
+			return nil, err
+		}
+		if constrained {
+			res.ConstrainedRewards = stats.EpisodeRewards
+			res.ConstrainedViolations = stats.EpisodeViolations
+			res.FinalConstrained = final
+		} else {
+			res.UnconstrainedRewards = stats.EpisodeRewards
+			res.UnconstrainedViolations = stats.EpisodeViolations
+			res.FinalUnconstrained = final
+			total := 0
+			for _, v := range stats.EpisodeViolations {
+				total += v
+			}
+			res.AvgViolations = float64(total) / float64(len(stats.EpisodeViolations))
+		}
+	}
+	return res, nil
+}
+
+// String renders the benefit-space comparison.
+func (r *BenefitSpaceResult) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: unconstrained vs constrained exploration benefit space\n")
+	cs := metrics.Summarize(r.ConstrainedRewards)
+	us := metrics.Summarize(r.UnconstrainedRewards)
+	fmt.Fprintf(&b, "  constrained   reward/episode: mean %.1f (min %.1f max %.1f), final greedy %.1f\n",
+		cs.Mean, cs.Min, cs.Max, r.FinalConstrained)
+	fmt.Fprintf(&b, "  unconstrained reward/episode: mean %.1f (min %.1f max %.1f), final greedy %.1f\n",
+		us.Mean, us.Min, us.Max, r.FinalUnconstrained)
+	fmt.Fprintf(&b, "  unconstrained violations/episode: %.1f average (paper: 32)\n", r.AvgViolations)
+	constViol := 0
+	for _, v := range r.ConstrainedViolations {
+		constViol += v
+	}
+	fmt.Fprintf(&b, "  constrained violations total: %d\n", constViol)
+	fmt.Fprintf(&b, "  reward series (constrained):   %s\n", metrics.Sparkline(r.ConstrainedRewards))
+	fmt.Fprintf(&b, "  reward series (unconstrained): %s\n", metrics.Sparkline(r.UnconstrainedRewards))
+	return b.String()
+}

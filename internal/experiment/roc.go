@@ -1,0 +1,180 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"jarvis/internal/attack"
+	"jarvis/internal/dataset"
+	"jarvis/internal/env"
+	"jarvis/internal/metrics"
+)
+
+// ROCConfig sizes the Figure 5 experiment.
+type ROCConfig struct {
+	Seed         int64
+	LearningDays int
+	// TrainAnomalies/TrainNormals size the filter's training set TD (the
+	// paper uses 55,156 benign-anomaly samples).
+	TrainAnomalies, TrainNormals int
+	// EvalEpisodes is the number of benign anomalous episodes evaluated
+	// (the paper engineers 18,120).
+	EvalEpisodes int
+	// FilterEpochs controls ANN training.
+	FilterEpochs int
+}
+
+// DefaultROCConfig returns the paper-scale configuration.
+func DefaultROCConfig(seed int64) ROCConfig {
+	return ROCConfig{
+		Seed:           seed,
+		TrainAnomalies: 55156, // the SIMADL sample count
+		TrainNormals:   55156,
+		EvalEpisodes:   18120,
+		FilterEpochs:   12,
+	}
+}
+
+// ROCResult reports the SPL filter's classification quality.
+type ROCResult struct {
+	// Evaluated is the number of benign anomalous episodes played.
+	Evaluated int
+	// Correct is how many were classified benign by the ANN (the paper
+	// reports 99.2%).
+	Correct int
+	// FalsePositiveRate is 1 − Correct/Evaluated (paper: 0.8%).
+	FalsePositiveRate float64
+	// Curve is the ROC curve over benign anomalies (positives) vs
+	// engineered malicious transitions (negatives); AUC its integral.
+	Curve []metrics.ROCPoint
+	AUC   float64
+	// Confusion at the deployed 0.5 threshold.
+	Confusion metrics.Confusion
+}
+
+// Accuracy returns Correct/Evaluated.
+func (r *ROCResult) Accuracy() float64 {
+	if r.Evaluated == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Evaluated)
+}
+
+// ROC reproduces Figure 5: the ANN filter is trained on labelled benign
+// anomalies plus normal transitions (the training dataset TD of Algorithm
+// 1), then evaluated on fresh benign anomalous episodes engineered after
+// the learning phase. The ROC curve scores benign anomalies (positives)
+// against the corpus's malicious transitions (negatives) across the
+// decision threshold.
+func ROC(cfg ROCConfig) (*ROCResult, error) {
+	if cfg.TrainAnomalies <= 0 {
+		cfg.TrainAnomalies = 4000
+	}
+	if cfg.TrainNormals <= 0 {
+		cfg.TrainNormals = cfg.TrainAnomalies
+	}
+	if cfg.EvalEpisodes <= 0 {
+		cfg.EvalEpisodes = 1000
+	}
+	lab, err := NewLab(LabConfig{
+		Seed:            cfg.Seed,
+		LearningDays:    cfg.LearningDays,
+		Profile:         dataset.HomeAConfig(),
+		FilterAnomalies: cfg.TrainAnomalies,
+		FilterNormals:   cfg.TrainNormals,
+		FilterEpochs:    cfg.FilterEpochs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := lab.Home
+
+	// Fresh evaluation days, disjoint from the learning phase.
+	evalDays, err := lab.Gen.Days(LearningStart.AddDate(0, 0, 60), 7, lab.Rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: eval days: %w", err)
+	}
+
+	res := &ROCResult{}
+	classes := dataset.AllAnomalyClasses()
+	var scores []float64
+	var labels []bool
+
+	// Positives: benign anomalous episodes — the injected transition is
+	// scored by the ANN; classified correctly when it clears the deployed
+	// threshold.
+	for i := 0; i < cfg.EvalEpisodes; i++ {
+		day := evalDays[lab.Rng.Intn(len(evalDays))]
+		class := classes[lab.Rng.Intn(len(classes))]
+		ep, at, err := dataset.InjectAnomaly(h, day, class, lab.Rng)
+		if err != nil {
+			continue // class not applicable to this day: redraw
+		}
+		tr := env.Transition{
+			From: ep.States[at], Act: ep.Actions[at], To: ep.States[at+1],
+			Instance: at, At: ep.At(at),
+		}
+		score := lab.Filter.Score(tr)
+		res.Evaluated++
+		benign := score >= lab.Filter.Threshold()
+		if benign {
+			res.Correct++
+		}
+		res.Confusion.Add(benign, true)
+		scores = append(scores, score)
+		labels = append(labels, true)
+	}
+	res.FalsePositiveRate = 1 - res.Accuracy()
+
+	// Negatives: the corpus's transition-based violations, injected and
+	// scored the same way.
+	for _, v := range attack.Corpus(h) {
+		if !v.TransitionBased() {
+			continue
+		}
+		day := pickBaseDay(evalDays, v, lab)
+		ep, at, ok, err := attack.Inject(h.Env, day.Episode, v, lab.Rng)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: inject %q: %w", v.Name, err)
+		}
+		if !ok {
+			continue
+		}
+		tr := env.Transition{
+			From: ep.States[at], Act: ep.Actions[at], To: ep.States[at+1],
+			Instance: at, At: ep.At(at),
+		}
+		score := lab.Filter.Score(tr)
+		res.Confusion.Add(score >= lab.Filter.Threshold(), false)
+		scores = append(scores, score)
+		labels = append(labels, false)
+	}
+
+	curve, err := metrics.ROC(scores, labels)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: roc: %w", err)
+	}
+	res.Curve = curve
+	res.AUC = metrics.AUC(curve)
+	return res, nil
+}
+
+// String renders the filtering-accuracy summary and an ASCII ROC curve.
+func (r *ROCResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: SPL filter ROC — %d benign anomalous episodes, %.1f%% correctly classified (FP %.1f%%), AUC %.3f\n",
+		r.Evaluated, 100*r.Accuracy(), 100*r.FalsePositiveRate, r.AUC)
+	fmt.Fprintf(&b, "  confusion at threshold: %s\n", r.Confusion)
+	b.WriteString("  ROC points (fpr, tpr):")
+	step := len(r.Curve) / 8
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(r.Curve); i += step {
+		p := r.Curve[i]
+		fmt.Fprintf(&b, " (%.2f,%.2f)", p.FPR, p.TPR)
+	}
+	last := r.Curve[len(r.Curve)-1]
+	fmt.Fprintf(&b, " (%.2f,%.2f)\n", last.FPR, last.TPR)
+	return b.String()
+}

@@ -1,0 +1,179 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"jarvis/internal/attack"
+	"jarvis/internal/dataset"
+	"jarvis/internal/env"
+	"jarvis/internal/policy"
+)
+
+// SecurityConfig sizes the Section VI-B security analysis.
+type SecurityConfig struct {
+	Seed         int64
+	LearningDays int
+	// EpisodesPerViolation is how many random malicious episodes each
+	// corpus instance is engineered into. The paper's 214 × 100 = 21,400;
+	// quick runs use fewer.
+	EpisodesPerViolation int
+	// BaseDays is the pool of benign days violations are injected into
+	// (default 5).
+	BaseDays int
+	// HomeB uses the Smart*-calibrated home-B profile.
+	HomeB bool
+}
+
+// SecurityResult reports detection per violation type.
+type SecurityResult struct {
+	// Episodes is the number of malicious episodes generated (paper:
+	// 21,400).
+	Episodes int
+	// DetectedEpisodes counts episodes whose injected payload was flagged.
+	DetectedEpisodes int
+	// PerType maps violation type → (episodes, detected).
+	PerType map[attack.Type]TypeDetection
+	// Missed lists violation names that escaped detection at least once.
+	Missed []string
+}
+
+// TypeDetection is the per-type tally.
+type TypeDetection struct {
+	Episodes, Detected int
+}
+
+// Rate returns the overall detection rate.
+func (r *SecurityResult) Rate() float64 {
+	if r.Episodes == 0 {
+		return 0
+	}
+	return float64(r.DetectedEpisodes) / float64(r.Episodes)
+}
+
+// Security reproduces the Section VI-B analysis: the 214-violation corpus
+// is engineered into random episodes after the learning phase, and the SPL
+// flags unsafe transitions. Transition violations (Types 1, 4, 5) are
+// detected through P_safe; request violations (Types 2, 3) through the
+// environment's access-control and conflict constraints.
+func Security(cfg SecurityConfig) (*SecurityResult, error) {
+	if cfg.EpisodesPerViolation <= 0 {
+		cfg.EpisodesPerViolation = 100 // paper scale: 214×100 = 21,400
+	}
+	if cfg.BaseDays <= 0 {
+		cfg.BaseDays = 5
+	}
+	profile := dataset.HomeAConfig()
+	if cfg.HomeB {
+		profile = dataset.HomeBConfig()
+	}
+	lab, err := NewLab(LabConfig{
+		Seed:         cfg.Seed,
+		LearningDays: cfg.LearningDays,
+		Profile:      profile,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := lab.Home
+	e := h.Env
+
+	// Fresh benign days (outside the learning phase) to inject into.
+	baseDays, err := lab.Gen.Days(LearningStart.AddDate(0, 0, 30), cfg.BaseDays, lab.Rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: base days: %w", err)
+	}
+
+	corpus := attack.Corpus(h)
+	res := &SecurityResult{PerType: make(map[attack.Type]TypeDetection, 5)}
+	missed := make(map[string]bool)
+
+	for _, v := range corpus {
+		for i := 0; i < cfg.EpisodesPerViolation; i++ {
+			res.Episodes++
+			td := res.PerType[v.Type]
+			td.Episodes++
+
+			detected := false
+			if v.TransitionBased() {
+				day := pickBaseDay(baseDays, v, lab)
+				ep, at, ok, err := attack.Inject(e, day.Episode, v, lab.Rng)
+				if err != nil {
+					return nil, fmt.Errorf("experiment: inject %q: %w", v.Name, err)
+				}
+				if ok {
+					detected = flaggedAt(lab, ep, at, len(v.Steps))
+				}
+			} else {
+				// Request-based: submit in a random benign state; the
+				// environment constraints must deny at least one request.
+				day := baseDays[lab.Rng.Intn(len(baseDays))]
+				t := lab.Rng.Intn(day.Episode.Len())
+				_, _, denials := e.Apply(day.Episode.States[t], v.Requests)
+				detected = len(denials) > 0
+			}
+			if detected {
+				res.DetectedEpisodes++
+				td.Detected++
+			} else {
+				missed[fmt.Sprintf("%s/%s", v.Type, v.Name)] = true
+			}
+			res.PerType[v.Type] = td
+		}
+	}
+	for name := range missed {
+		res.Missed = append(res.Missed, name)
+	}
+	sort.Strings(res.Missed)
+	return res, nil
+}
+
+// pickBaseDay draws a benign day to inject into. Violations staged in
+// "away" contexts require a day with an actual away period (a stay-home
+// weekend at 14:00 is just "home afternoon" — the violation would not be
+// one).
+func pickBaseDay(days []*dataset.Day, v attack.Violation, lab *Lab) *dataset.Day {
+	needAway := strings.HasPrefix(v.Context.Name, "away")
+	for attempt := 0; attempt < 4*len(days); attempt++ {
+		d := days[lab.Rng.Intn(len(days))]
+		if !needAway || d.Context.LeaveAt >= 0 {
+			return d
+		}
+	}
+	return days[lab.Rng.Intn(len(days))]
+}
+
+// flaggedAt checks whether the SPL flags any transition in the injected
+// window [at, at+steps).
+func flaggedAt(lab *Lab, ep env.Episode, at, steps int) bool {
+	for _, v := range policy.FlagEpisodes(lab.Home.Env, lab.Table, []env.Episode{ep}) {
+		if v.Instance >= at && v.Instance < at+steps {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the detection summary.
+func (r *SecurityResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Security analysis (§VI-B): %d malicious episodes, %d detected (%.1f%%)\n",
+		r.Episodes, r.DetectedEpisodes, 100*r.Rate())
+	types := []attack.Type{
+		attack.Type1TASafety, attack.Type2AccessControl, attack.Type3Conflict,
+		attack.Type4MaliciousApp, attack.Type5Insider,
+	}
+	for _, typ := range types {
+		td := r.PerType[typ]
+		rate := 0.0
+		if td.Episodes > 0 {
+			rate = 100 * float64(td.Detected) / float64(td.Episodes)
+		}
+		fmt.Fprintf(&b, "  %-22s %6d episodes, %6d detected (%.1f%%)\n", typ, td.Episodes, td.Detected, rate)
+	}
+	if len(r.Missed) > 0 {
+		fmt.Fprintf(&b, "  missed at least once: %s\n", strings.Join(r.Missed, ", "))
+	}
+	return b.String()
+}

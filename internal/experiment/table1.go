@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"jarvis/internal/smarthome"
+)
+
+// Table1Result renders Table I: the example smart home's FSM, one row per
+// device with its states p_{i_x} and actions a_{i_y}.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1Row is one device of Table I.
+type Table1Row struct {
+	DeviceType string
+	Device     string
+	States     []string
+	Actions    []string
+}
+
+// Table1 builds the Table I FSM description from the canonical 5-device
+// home.
+func Table1() *Table1Result {
+	h := smarthome.NewTableIHome()
+	res := &Table1Result{}
+	for i := 0; i < h.Env.K(); i++ {
+		d := h.Env.Device(i)
+		res.Rows = append(res.Rows, Table1Row{
+			DeviceType: d.Type(),
+			Device:     fmt.Sprintf("D_%d (%s)", i, d.Name()),
+			States:     d.States(),
+			Actions:    d.Actions(),
+		})
+	}
+	return res
+}
+
+// String renders the table.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table I: Smart Home Environment FSM\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-28s type=%-12s\n", row.Device, row.DeviceType)
+		fmt.Fprintf(&b, "  states:  %s\n", strings.Join(row.States, ", "))
+		fmt.Fprintf(&b, "  actions: %s\n", strings.Join(row.Actions, ", "))
+	}
+	return b.String()
+}

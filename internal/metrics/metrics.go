@@ -1,0 +1,191 @@
+// Package metrics provides the evaluation statistics the experiment
+// harness reports: confusion matrices, ROC curves with AUC, and simple
+// series summaries.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Confusion is a binary confusion matrix. The positive class is whatever
+// the experiment defines (benign anomalies for the SPL filter).
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one prediction.
+func (c *Confusion) Add(predictedPositive, actuallyPositive bool) {
+	switch {
+	case predictedPositive && actuallyPositive:
+		c.TP++
+	case predictedPositive && !actuallyPositive:
+		c.FP++
+	case !predictedPositive && actuallyPositive:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns the number of recorded predictions.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy returns (TP+TN)/total, or 0 when empty.
+func (c Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// TPR returns the true-positive rate (recall), or 0 when undefined.
+func (c Confusion) TPR() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FPR returns the false-positive rate, or 0 when undefined.
+func (c Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// String renders the matrix compactly.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d acc=%.3f tpr=%.3f fpr=%.3f",
+		c.TP, c.FP, c.TN, c.FN, c.Accuracy(), c.TPR(), c.FPR())
+}
+
+// ROCPoint is one operating point of a ROC curve.
+type ROCPoint struct {
+	Threshold float64
+	TPR, FPR  float64
+}
+
+// ROC computes the ROC curve of a scored binary classifier: scores[i] is
+// the model's positive-class score and labels[i] the ground truth. Points
+// are returned in ascending FPR order, spanning (0,0) to (1,1).
+func ROC(scores []float64, labels []bool) ([]ROCPoint, error) {
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("metrics: %d scores vs %d labels", len(scores), len(labels))
+	}
+	if len(scores) == 0 {
+		return nil, errors.New("metrics: empty input")
+	}
+	type sample struct {
+		score float64
+		pos   bool
+	}
+	samples := make([]sample, len(scores))
+	var totPos, totNeg int
+	for i := range scores {
+		samples[i] = sample{scores[i], labels[i]}
+		if labels[i] {
+			totPos++
+		} else {
+			totNeg++
+		}
+	}
+	if totPos == 0 || totNeg == 0 {
+		return nil, errors.New("metrics: ROC needs both classes")
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].score > samples[j].score })
+
+	points := []ROCPoint{{Threshold: math.Inf(1), TPR: 0, FPR: 0}}
+	tp, fp := 0, 0
+	for i := 0; i < len(samples); {
+		// advance over ties
+		th := samples[i].score
+		for i < len(samples) && samples[i].score == th {
+			if samples[i].pos {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		points = append(points, ROCPoint{
+			Threshold: th,
+			TPR:       float64(tp) / float64(totPos),
+			FPR:       float64(fp) / float64(totNeg),
+		})
+	}
+	return points, nil
+}
+
+// AUC integrates a ROC curve by the trapezoid rule.
+func AUC(points []ROCPoint) float64 {
+	var auc float64
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		auc += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return auc
+}
+
+// Summary holds simple descriptive statistics of a series.
+type Summary struct {
+	N                   int
+	Mean, Min, Max, Std float64
+}
+
+// Summarize computes a Summary. An empty series yields the zero value.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	s.Std = math.Sqrt(sq / float64(len(xs)))
+	return s
+}
+
+// Sparkline renders a quick textual plot of a series (for CLI output).
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	s := Summarize(xs)
+	span := s.Max - s.Min
+	var b strings.Builder
+	for _, x := range xs {
+		idx := 0
+		if span > 0 {
+			idx = int((x - s.Min) / span * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusion(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FP
+	c.Add(false, true)  // FN
+	c.Add(false, false) // TN
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Total() != 5 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if got := c.Accuracy(); math.Abs(got-3.0/5) > 1e-12 {
+		t.Errorf("Accuracy = %g", got)
+	}
+	if got := c.TPR(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("TPR = %g", got)
+	}
+	if got := c.FPR(); math.Abs(got-1.0/2) > 1e-12 {
+		t.Errorf("FPR = %g", got)
+	}
+	if got := c.Precision(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Precision = %g", got)
+	}
+	if c.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestConfusionEmptyIsSafe(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.TPR() != 0 || c.FPR() != 0 || c.Precision() != 0 {
+		t.Error("empty confusion should return zeros, not NaN")
+	}
+}
+
+func TestROCPerfectClassifier(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	points, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatalf("ROC: %v", err)
+	}
+	if auc := AUC(points); math.Abs(auc-1) > 1e-12 {
+		t.Errorf("AUC = %g, want 1", auc)
+	}
+	// Endpoints.
+	first, last := points[0], points[len(points)-1]
+	if first.TPR != 0 || first.FPR != 0 {
+		t.Errorf("first point = %+v", first)
+	}
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Errorf("last point = %+v", last)
+	}
+}
+
+func TestROCRandomClassifier(t *testing.T) {
+	// Interleaved scores: AUC ≈ 0.5.
+	scores := []float64{0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2}
+	labels := []bool{true, false, true, false, true, false, true, false}
+	points, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatalf("ROC: %v", err)
+	}
+	if auc := AUC(points); math.Abs(auc-0.5) > 0.15 {
+		t.Errorf("AUC = %g, want ≈0.5", auc)
+	}
+}
+
+func TestROCTies(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []bool{true, false, true, false}
+	points, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatalf("ROC: %v", err)
+	}
+	// One tie block: (0,0) then (1,1).
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	if auc := AUC(points); math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("AUC = %g, want 0.5 on all-tied scores", auc)
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	if _, err := ROC([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := ROC(nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ROC([]float64{1, 2}, []bool{true, true}); err == nil {
+		t.Error("single-class input should error")
+	}
+}
+
+// Property: AUC is always within [0, 1] and the curve is monotonically
+// non-decreasing in both axes.
+func TestROCMonotoneProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		scores := make([]float64, len(raw))
+		labels := make([]bool, len(raw))
+		hasPos, hasNeg := false, false
+		for i, r := range raw {
+			scores[i] = float64(r%100) / 100
+			labels[i] = r%2 == 0
+			if labels[i] {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		points, err := ROC(scores, labels)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(points); i++ {
+			if points[i].TPR < points[i-1].TPR || points[i].FPR < points[i-1].FPR {
+				return false
+			}
+		}
+		auc := AUC(points)
+		return auc >= 0 && auc <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("Std = %g", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+	got := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(got)) != 4 {
+		t.Errorf("sparkline runes = %q", got)
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+}

@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Activation is an element-wise activation function together with its
+// derivative. Implementations are stateless and safe for concurrent use.
+type Activation interface {
+	// Name returns a stable identifier used for (de)serialization.
+	Name() string
+	// Apply writes f(z) into out. len(out) == len(z).
+	Apply(z, out []float64)
+	// Derivative writes f'(z) into out, given both the pre-activation z
+	// and the activation a = f(z) (whichever is cheaper to use).
+	Derivative(z, a, out []float64)
+}
+
+// Activations available by name.
+var (
+	Sigmoid Activation = sigmoid{}
+	ReLU    Activation = relu{}
+	Tanh    Activation = tanh{}
+	Linear  Activation = linear{}
+)
+
+// ActivationByName resolves a serialized activation name.
+func ActivationByName(name string) (Activation, error) {
+	switch name {
+	case "sigmoid":
+		return Sigmoid, nil
+	case "relu":
+		return ReLU, nil
+	case "tanh":
+		return Tanh, nil
+	case "linear":
+		return Linear, nil
+	}
+	return nil, fmt.Errorf("nn: unknown activation %q", name)
+}
+
+type sigmoid struct{}
+
+func (sigmoid) Name() string { return "sigmoid" }
+
+func (sigmoid) Apply(z, out []float64) {
+	for i, v := range z {
+		out[i] = 1 / (1 + math.Exp(-v))
+	}
+}
+
+func (sigmoid) Derivative(_, a, out []float64) {
+	for i, v := range a {
+		out[i] = v * (1 - v)
+	}
+}
+
+type relu struct{}
+
+func (relu) Name() string { return "relu" }
+
+func (relu) Apply(z, out []float64) {
+	for i, v := range z {
+		if v > 0 {
+			out[i] = v
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
+func (relu) Derivative(z, _, out []float64) {
+	for i, v := range z {
+		if v > 0 {
+			out[i] = 1
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
+type tanh struct{}
+
+func (tanh) Name() string { return "tanh" }
+
+func (tanh) Apply(z, out []float64) {
+	for i, v := range z {
+		out[i] = math.Tanh(v)
+	}
+}
+
+func (tanh) Derivative(_, a, out []float64) {
+	for i, v := range a {
+		out[i] = 1 - v*v
+	}
+}
+
+type linear struct{}
+
+func (linear) Name() string { return "linear" }
+
+func (linear) Apply(z, out []float64) { copy(out, z) }
+
+func (linear) Derivative(_, _, out []float64) {
+	for i := range out {
+		out[i] = 1
+	}
+}

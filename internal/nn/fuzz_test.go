@@ -1,0 +1,46 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad: arbitrary bytes must never panic the model loader, and any
+// model that loads must produce finite outputs and survive a save/load
+// round trip.
+func FuzzLoad(f *testing.F) {
+	f.Add(`{"inputs":2,"layers":[{"in":2,"out":1,"activation":"relu","w":[1,1],"b":[0]}]}`)
+	f.Add(`{"inputs":1,"layers":[]}`)
+	f.Add(`garbage`)
+	f.Add(`{"inputs":2,"layers":[{"in":2,"out":1,"activation":"nope","w":[1,1],"b":[0]}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		net, err := Load(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		x := make([]float64, net.Inputs())
+		for i := range x {
+			x[i] = 0.5
+		}
+		out := net.Forward(x)
+		if len(out) != net.Outputs() {
+			t.Fatalf("output width %d, want %d", len(out), net.Outputs())
+		}
+		for _, v := range out {
+			// Fuzzed weights may be NaN/Inf via JSON? encoding/json rejects
+			// those literals, so finite weights must give finite outputs.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite output %v", v)
+			}
+		}
+		var buf bytes.Buffer
+		if err := net.Save(&buf); err != nil {
+			t.Fatalf("loaded model failed to save: %v", err)
+		}
+		if _, err := Load(&buf); err != nil {
+			t.Fatalf("saved model failed to reload: %v", err)
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Loss measures prediction error and supplies its gradient with respect to
+// the prediction.
+type Loss interface {
+	// Name returns a stable identifier.
+	Name() string
+	// Loss returns the scalar loss for one sample.
+	Loss(pred, target []float64) float64
+	// Grad writes dLoss/dPred into out.
+	Grad(pred, target, out []float64)
+}
+
+// Losses available by name.
+var (
+	// MSE is mean squared error: (1/n)·Σ(pred−target)².
+	MSE Loss = mse{}
+	// BCE is binary cross-entropy over sigmoid outputs, clamped for
+	// numerical stability.
+	BCE Loss = bce{}
+	// Huber is the Huber loss with δ=1, the standard DQN choice: quadratic
+	// near zero, linear in the tails, which keeps bootstrapped TD errors
+	// from exploding gradients.
+	Huber Loss = huber{delta: 1}
+)
+
+// LossByName resolves a serialized loss name.
+func LossByName(name string) (Loss, error) {
+	switch name {
+	case "mse":
+		return MSE, nil
+	case "bce":
+		return BCE, nil
+	case "huber":
+		return Huber, nil
+	}
+	return nil, fmt.Errorf("nn: unknown loss %q", name)
+}
+
+type mse struct{}
+
+func (mse) Name() string { return "mse" }
+
+func (mse) Loss(pred, target []float64) float64 {
+	var sum float64
+	for i := range pred {
+		d := pred[i] - target[i]
+		sum += d * d
+	}
+	return sum / float64(len(pred))
+}
+
+func (mse) Grad(pred, target, out []float64) {
+	n := float64(len(pred))
+	for i := range pred {
+		out[i] = 2 * (pred[i] - target[i]) / n
+	}
+}
+
+type bce struct{}
+
+func (bce) Name() string { return "bce" }
+
+const bceEps = 1e-12
+
+func (bce) Loss(pred, target []float64) float64 {
+	var sum float64
+	for i := range pred {
+		p := math.Min(math.Max(pred[i], bceEps), 1-bceEps)
+		sum += -(target[i]*math.Log(p) + (1-target[i])*math.Log(1-p))
+	}
+	return sum / float64(len(pred))
+}
+
+func (bce) Grad(pred, target, out []float64) {
+	n := float64(len(pred))
+	for i := range pred {
+		p := math.Min(math.Max(pred[i], bceEps), 1-bceEps)
+		out[i] = (p - target[i]) / (p * (1 - p)) / n
+	}
+}
+
+type huber struct{ delta float64 }
+
+func (huber) Name() string { return "huber" }
+
+func (h huber) Loss(pred, target []float64) float64 {
+	var sum float64
+	for i := range pred {
+		d := math.Abs(pred[i] - target[i])
+		if d <= h.delta {
+			sum += 0.5 * d * d
+		} else {
+			sum += h.delta * (d - 0.5*h.delta)
+		}
+	}
+	return sum / float64(len(pred))
+}
+
+func (h huber) Grad(pred, target, out []float64) {
+	n := float64(len(pred))
+	for i := range pred {
+		d := pred[i] - target[i]
+		switch {
+		case d > h.delta:
+			out[i] = h.delta / n
+		case d < -h.delta:
+			out[i] = -h.delta / n
+		default:
+			out[i] = d / n
+		}
+	}
+}

@@ -1,0 +1,326 @@
+// Package nn is a from-scratch feed-forward neural-network substrate for
+// the Jarvis reproduction. It provides exactly what the paper's prototype
+// takes from TensorFlow and a generic MLP: dense layers, element-wise
+// activations, MSE/BCE/Huber losses, SGD/Momentum/Adam optimizers,
+// mini-batch backpropagation training, and JSON model (de)serialization.
+//
+// The paper distinguishes an "ANN" (single hidden layer, trained by
+// back-propagation — the SPL's benign-anomaly filter) from a "DNN" (multiple
+// hidden layers, trained inside the RL loop — the Q-function approximator).
+// Both are instances of Network.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+)
+
+// LayerSpec describes one dense layer.
+type LayerSpec struct {
+	// Units is the number of neurons in the layer.
+	Units int
+	// Act is the layer's activation (defaults to Sigmoid when nil).
+	Act Activation
+}
+
+// Config describes a feed-forward network: the input width followed by one
+// or more dense layers.
+type Config struct {
+	// Inputs is the width of the input vector.
+	Inputs int
+	// Layers lists the dense layers, hidden layers first, output layer
+	// last.
+	Layers []LayerSpec
+}
+
+// dense is one fully connected layer: z = W·x + b, a = act(z).
+// W is row-major, out×in.
+type dense struct {
+	in, out int
+	w, b    []float64
+	act     Activation
+
+	// forward caches (single-sample; training accumulates over a batch)
+	x, z, a []float64
+	// gradient accumulators
+	gw, gb []float64
+	// scratch
+	dz []float64
+}
+
+func newDense(in, out int, act Activation, rng *rand.Rand) *dense {
+	l := &dense{
+		in: in, out: out, act: act,
+		w:  make([]float64, in*out),
+		b:  make([]float64, out),
+		x:  make([]float64, in),
+		z:  make([]float64, out),
+		a:  make([]float64, out),
+		gw: make([]float64, in*out),
+		gb: make([]float64, out),
+		dz: make([]float64, out),
+	}
+	// Xavier/Glorot uniform initialization.
+	limit := math.Sqrt(6 / float64(in+out))
+	for i := range l.w {
+		l.w[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return l
+}
+
+func (l *dense) forward(x []float64) []float64 {
+	copy(l.x, x)
+	for o := 0; o < l.out; o++ {
+		sum := l.b[o]
+		row := l.w[o*l.in : (o+1)*l.in]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		l.z[o] = sum
+	}
+	l.act.Apply(l.z, l.a)
+	return l.a
+}
+
+// backward consumes dL/da and accumulates weight gradients; it returns
+// dL/dx for the previous layer.
+func (l *dense) backward(dA []float64) []float64 {
+	l.act.Derivative(l.z, l.a, l.dz)
+	for o := range l.dz {
+		l.dz[o] *= dA[o]
+	}
+	dx := make([]float64, l.in)
+	for o := 0; o < l.out; o++ {
+		d := l.dz[o]
+		row := l.w[o*l.in : (o+1)*l.in]
+		grow := l.gw[o*l.in : (o+1)*l.in]
+		for i := 0; i < l.in; i++ {
+			grow[i] += d * l.x[i]
+			dx[i] += row[i] * d
+		}
+		l.gb[o] += d
+	}
+	return dx
+}
+
+func (l *dense) zeroGrads() {
+	for i := range l.gw {
+		l.gw[i] = 0
+	}
+	for i := range l.gb {
+		l.gb[i] = 0
+	}
+}
+
+func (l *dense) scaleGrads(s float64) {
+	for i := range l.gw {
+		l.gw[i] *= s
+	}
+	for i := range l.gb {
+		l.gb[i] *= s
+	}
+}
+
+// Network is a feed-forward neural network. It is NOT safe for concurrent
+// use: forward/backward passes share internal buffers. Clone the network
+// for concurrent readers.
+type Network struct {
+	inputs int
+	layers []*dense
+}
+
+// New builds a network from cfg with Xavier-initialized weights drawn from
+// rng (which must be non-nil for reproducibility).
+func New(cfg Config, rng *rand.Rand) (*Network, error) {
+	if cfg.Inputs <= 0 {
+		return nil, fmt.Errorf("nn: invalid input width %d", cfg.Inputs)
+	}
+	if len(cfg.Layers) == 0 {
+		return nil, errors.New("nn: network needs at least one layer")
+	}
+	if rng == nil {
+		return nil, errors.New("nn: nil rng")
+	}
+	n := &Network{inputs: cfg.Inputs}
+	in := cfg.Inputs
+	for i, spec := range cfg.Layers {
+		if spec.Units <= 0 {
+			return nil, fmt.Errorf("nn: layer %d has %d units", i, spec.Units)
+		}
+		act := spec.Act
+		if act == nil {
+			act = Sigmoid
+		}
+		n.layers = append(n.layers, newDense(in, spec.Units, act, rng))
+		in = spec.Units
+	}
+	return n, nil
+}
+
+// MustNew is New for statically valid configurations; it panics on error.
+func MustNew(cfg Config, rng *rand.Rand) *Network {
+	n, err := New(cfg, rng)
+	if err != nil {
+		panic("nn: MustNew: " + err.Error())
+	}
+	return n
+}
+
+// Inputs returns the input width.
+func (n *Network) Inputs() int { return n.inputs }
+
+// Outputs returns the output width.
+func (n *Network) Outputs() int { return n.layers[len(n.layers)-1].out }
+
+// Forward runs one forward pass and returns the output activations. The
+// returned slice is owned by the network and overwritten by the next call;
+// copy it if you need to keep it.
+func (n *Network) Forward(x []float64) []float64 {
+	a := x
+	for _, l := range n.layers {
+		a = l.forward(a)
+	}
+	return a
+}
+
+// Predict is Forward returning a fresh copy of the outputs.
+func (n *Network) Predict(x []float64) []float64 {
+	out := n.Forward(x)
+	cp := make([]float64, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// Sample is one training example.
+type Sample struct {
+	X, Y []float64
+}
+
+// TrainBatch runs one mini-batch gradient step: forward+backward over every
+// sample, gradients averaged, one optimizer step per parameter vector. It
+// returns the mean loss over the batch (before the update).
+func (n *Network) TrainBatch(batch []Sample, loss Loss, opt Optimizer) (float64, error) {
+	if len(batch) == 0 {
+		return 0, errors.New("nn: empty batch")
+	}
+	for _, l := range n.layers {
+		l.zeroGrads()
+	}
+	var total float64
+	dOut := make([]float64, n.Outputs())
+	for _, s := range batch {
+		if len(s.X) != n.inputs || len(s.Y) != n.Outputs() {
+			return 0, fmt.Errorf("nn: sample arity mismatch: x=%d y=%d want %d/%d",
+				len(s.X), len(s.Y), n.inputs, n.Outputs())
+		}
+		pred := n.Forward(s.X)
+		total += loss.Loss(pred, s.Y)
+		loss.Grad(pred, s.Y, dOut)
+		d := dOut
+		for i := len(n.layers) - 1; i >= 0; i-- {
+			d = n.layers[i].backward(d)
+		}
+	}
+	scale := 1 / float64(len(batch))
+	for i, l := range n.layers {
+		l.scaleGrads(scale)
+		key := strconv.Itoa(i)
+		opt.Step(key+".w", l.w, l.gw)
+		opt.Step(key+".b", l.b, l.gb)
+	}
+	return total * scale, nil
+}
+
+// Fit trains for epochs passes over data in mini-batches of size batchSize,
+// shuffling with rng each epoch. It returns the mean loss of the final
+// epoch.
+func (n *Network) Fit(data []Sample, epochs, batchSize int, loss Loss, opt Optimizer, rng *rand.Rand) (float64, error) {
+	if len(data) == 0 {
+		return 0, errors.New("nn: no training data")
+	}
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	idx := make([]int, len(data))
+	for i := range idx {
+		idx[i] = i
+	}
+	var epochLoss float64
+	batch := make([]Sample, 0, batchSize)
+	for e := 0; e < epochs; e++ {
+		if rng != nil {
+			rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		}
+		epochLoss = 0
+		batches := 0
+		for start := 0; start < len(idx); start += batchSize {
+			end := start + batchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch = batch[:0]
+			for _, i := range idx[start:end] {
+				batch = append(batch, data[i])
+			}
+			l, err := n.TrainBatch(batch, loss, opt)
+			if err != nil {
+				return 0, err
+			}
+			epochLoss += l
+			batches++
+		}
+		epochLoss /= float64(batches)
+	}
+	return epochLoss, nil
+}
+
+// Clone returns a deep copy of the network (weights only; optimizer state
+// lives in the optimizer). Useful for DQN target networks and concurrent
+// readers.
+func (n *Network) Clone() *Network {
+	out := &Network{inputs: n.inputs}
+	for _, l := range n.layers {
+		nl := &dense{
+			in: l.in, out: l.out, act: l.act,
+			w:  append([]float64(nil), l.w...),
+			b:  append([]float64(nil), l.b...),
+			x:  make([]float64, l.in),
+			z:  make([]float64, l.out),
+			a:  make([]float64, l.out),
+			gw: make([]float64, len(l.gw)),
+			gb: make([]float64, len(l.gb)),
+			dz: make([]float64, l.out),
+		}
+		out.layers = append(out.layers, nl)
+	}
+	return out
+}
+
+// CopyWeightsFrom copies src's weights into n. The architectures must
+// match.
+func (n *Network) CopyWeightsFrom(src *Network) error {
+	if len(n.layers) != len(src.layers) || n.inputs != src.inputs {
+		return errors.New("nn: architecture mismatch")
+	}
+	for i, l := range n.layers {
+		sl := src.layers[i]
+		if l.in != sl.in || l.out != sl.out {
+			return fmt.Errorf("nn: layer %d shape mismatch", i)
+		}
+		copy(l.w, sl.w)
+		copy(l.b, sl.b)
+	}
+	return nil
+}
+
+// NumParams returns the total number of trainable parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range n.layers {
+		total += len(l.w) + len(l.b)
+	}
+	return total
+}

@@ -1,0 +1,119 @@
+package nn
+
+import "math"
+
+// Optimizer applies a gradient step to one parameter vector. Stateful
+// optimizers (momentum, Adam) key their state by the caller-supplied
+// parameter identifier, so the same optimizer instance can drive a whole
+// network.
+type Optimizer interface {
+	// Step updates params in place given grads. key identifies the
+	// parameter vector across calls.
+	Step(key string, params, grads []float64)
+}
+
+// SGD is plain stochastic gradient descent.
+type SGD struct {
+	// LR is the learning rate.
+	LR float64
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// Step implements Optimizer.
+func (o *SGD) Step(_ string, params, grads []float64) {
+	for i := range params {
+		params[i] -= o.LR * grads[i]
+	}
+}
+
+// Momentum is SGD with classical momentum.
+type Momentum struct {
+	// LR is the learning rate and Mu the momentum coefficient
+	// (typically 0.9).
+	LR, Mu float64
+
+	vel map[string][]float64
+}
+
+var _ Optimizer = (*Momentum)(nil)
+
+// Step implements Optimizer.
+func (o *Momentum) Step(key string, params, grads []float64) {
+	if o.vel == nil {
+		o.vel = make(map[string][]float64)
+	}
+	v := o.vel[key]
+	if len(v) != len(params) {
+		v = make([]float64, len(params))
+		o.vel[key] = v
+	}
+	for i := range params {
+		v[i] = o.Mu*v[i] - o.LR*grads[i]
+		params[i] += v[i]
+	}
+}
+
+// Adam is the Adam first-order gradient optimizer (Kingma & Ba, 2015) — the
+// "first-order gradient-based optimization" the paper's prototype uses via
+// TensorFlow (Section V-A6, learning rate 0.001).
+type Adam struct {
+	// LR is the learning rate; Beta1/Beta2 the moment decay rates; Eps the
+	// numerical-stability constant. Zero values default to the canonical
+	// 0.001 / 0.9 / 0.999 / 1e-8.
+	LR, Beta1, Beta2, Eps float64
+
+	m, v map[string][]float64
+	t    map[string]int
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam returns an Adam optimizer with the canonical hyper-parameters and
+// the given learning rate (0 defaults to 0.001).
+func NewAdam(lr float64) *Adam {
+	if lr == 0 {
+		lr = 0.001
+	}
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(key string, params, grads []float64) {
+	if o.LR == 0 {
+		o.LR = 0.001
+	}
+	if o.Beta1 == 0 {
+		o.Beta1 = 0.9
+	}
+	if o.Beta2 == 0 {
+		o.Beta2 = 0.999
+	}
+	if o.Eps == 0 {
+		o.Eps = 1e-8
+	}
+	if o.m == nil {
+		o.m = make(map[string][]float64)
+		o.v = make(map[string][]float64)
+		o.t = make(map[string]int)
+	}
+	m, v := o.m[key], o.v[key]
+	if len(m) != len(params) {
+		m = make([]float64, len(params))
+		v = make([]float64, len(params))
+		o.m[key], o.v[key] = m, v
+		o.t[key] = 0
+	}
+	o.t[key]++
+	t := float64(o.t[key])
+	c1 := 1 - math.Pow(o.Beta1, t)
+	c2 := 1 - math.Pow(o.Beta2, t)
+	for i := range params {
+		g := grads[i]
+		m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+		v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+		mHat := m[i] / c1
+		vHat := v[i] / c2
+		params[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+	}
+}

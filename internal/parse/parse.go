@@ -1,0 +1,215 @@
+// Package parse implements the log-parsing and normalization stage of the
+// Jarvis pipeline (Section V-A2): JSON event logs captured by the logger
+// app are quantized into discrete device states and device actions through
+// device-specific normalization functions, and re-assembled into learning
+// episodes according to the environment's (T, I) configuration.
+package parse
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+	"jarvis/internal/events"
+)
+
+// Normalizer quantizes one device's raw attribute values and capability
+// commands into its discrete FSM vocabulary.
+type Normalizer interface {
+	// State maps an (attribute, value) pair to a device state.
+	State(attribute, value string) (device.StateID, bool)
+	// Action maps a capability command to a device action.
+	Action(command string) (device.ActionID, bool)
+}
+
+// identityNormalizer maps values and commands by exact name against the
+// device's own state/action vocabulary — the common case for enum-valued
+// capabilities (on/off, locked/unlocked, ...).
+type identityNormalizer struct{ d *device.Device }
+
+var _ Normalizer = identityNormalizer{}
+
+// ForDevice returns a Normalizer that resolves attribute values as state
+// names and commands as action names of d.
+func ForDevice(d *device.Device) Normalizer { return identityNormalizer{d: d} }
+
+func (n identityNormalizer) State(_, value string) (device.StateID, bool) {
+	return n.d.StateID(value)
+}
+
+func (n identityNormalizer) Action(command string) (device.ActionID, bool) {
+	return n.d.ActionID(command)
+}
+
+// Threshold maps a numeric range to a device state: values below Below
+// quantize to State.
+type Threshold struct {
+	Below float64
+	State device.StateID
+}
+
+// NumericNormalizer quantizes numeric attribute values (temperatures, power
+// readings) into discrete states using ascending thresholds, while
+// resolving commands by name. This is the "manually developed,
+// device-specific normalization function" of Section V-A2.
+type NumericNormalizer struct {
+	// Device supplies the action vocabulary.
+	Device *device.Device
+	// Attribute is the numeric attribute this normalizer understands.
+	Attribute string
+	// Thresholds must be sorted by Below ascending; a value quantizes to
+	// the first threshold it is below.
+	Thresholds []Threshold
+	// Above is the state for values ≥ every threshold.
+	Above device.StateID
+}
+
+var _ Normalizer = (*NumericNormalizer)(nil)
+
+// State implements Normalizer.
+func (n *NumericNormalizer) State(attribute, value string) (device.StateID, bool) {
+	if attribute != n.Attribute {
+		// Fall back to name resolution for enum attributes on the same
+		// device (e.g. a thermostat's "mode").
+		return n.Device.StateID(value)
+	}
+	var v float64
+	if _, err := fmt.Sscanf(value, "%g", &v); err != nil {
+		return 0, false
+	}
+	for _, th := range n.Thresholds {
+		if v < th.Below {
+			return th.State, true
+		}
+	}
+	return n.Above, true
+}
+
+// Action implements Normalizer.
+func (n *NumericNormalizer) Action(command string) (device.ActionID, bool) {
+	return n.Device.ActionID(command)
+}
+
+// Record is one normalized log entry: a device action observed at a point
+// in time, with the device's resulting state.
+type Record struct {
+	Device   int
+	Action   device.ActionID
+	NewState device.StateID
+	At       time.Time
+}
+
+// Parser turns raw events into normalized records for one environment.
+type Parser struct {
+	env         *env.Environment
+	normalizers map[string]Normalizer
+}
+
+// NewParser builds a parser with identity normalizers for every device.
+// Override specific devices with SetNormalizer.
+func NewParser(e *env.Environment) *Parser {
+	p := &Parser{env: e, normalizers: make(map[string]Normalizer, e.K())}
+	for _, d := range e.Devices() {
+		p.normalizers[d.Name()] = ForDevice(d)
+	}
+	return p
+}
+
+// SetNormalizer overrides the normalizer for the named device.
+func (p *Parser) SetNormalizer(deviceLabel string, n Normalizer) error {
+	if _, ok := p.env.DeviceIndex(deviceLabel); !ok {
+		return fmt.Errorf("parse: unknown device %q", deviceLabel)
+	}
+	p.normalizers[deviceLabel] = n
+	return nil
+}
+
+// Parse normalizes events into records, in chronological order. Events for
+// unknown devices or with unresolvable values are skipped and counted in
+// the returned skip total — real logs contain noise, and the learning
+// pipeline tolerates it.
+func (p *Parser) Parse(evs []events.Event) (records []Record, skipped int) {
+	records = make([]Record, 0, len(evs))
+	for _, ev := range evs {
+		di, ok := p.env.DeviceIndex(ev.DeviceLabel)
+		if !ok {
+			skipped++
+			continue
+		}
+		n := p.normalizers[ev.DeviceLabel]
+		act, okA := n.Action(ev.Command)
+		st, okS := n.State(ev.Attribute, ev.AttributeValue)
+		if !okA || !okS {
+			skipped++
+			continue
+		}
+		records = append(records, Record{Device: di, Action: act, NewState: st, At: ev.Date})
+	}
+	sort.SliceStable(records, func(i, j int) bool { return records[i].At.Before(records[j].At) })
+	return records, skipped
+}
+
+// EpisodeConfig controls how records are re-assembled into episodes.
+type EpisodeConfig struct {
+	// Start is the wall-clock time of the first episode's S_0.
+	Start time.Time
+	// T is the episode time period and I the interval (the paper's
+	// prototype uses T = 1 day, I = 1 min).
+	T, I time.Duration
+	// Initial is S_0 of the first episode.
+	Initial env.State
+}
+
+// BuildEpisodes slices a chronological record stream into consecutive
+// episodes of length T with interval I, replaying the recorded actions
+// through the environment's transition function Δ. Within one interval, at
+// most one action per device applies (first come, first served); actions
+// invalid in the current state are dropped, mirroring how a real edge hub
+// discards stale commands. Records before Start are ignored. Each episode
+// starts from the final state of the previous one (the environment is
+// continuous even though monitoring is episodic).
+func BuildEpisodes(e *env.Environment, cfg EpisodeConfig, records []Record) ([]env.Episode, error) {
+	if !e.ValidState(cfg.Initial) {
+		return nil, fmt.Errorf("parse: invalid initial state")
+	}
+	n := env.NumInstances(cfg.T, cfg.I)
+	if n == 0 {
+		return nil, fmt.Errorf("parse: invalid episode config T=%v I=%v", cfg.T, cfg.I)
+	}
+	var eps []env.Episode
+	cur := cfg.Initial.Clone()
+	start := cfg.Start
+	ri := 0
+	for ri < len(records) && records[ri].At.Before(start) {
+		ri++
+	}
+	for ri < len(records) {
+		rec := env.NewRecorder(e, cur, start, cfg.T, cfg.I)
+		for t := 0; t < n; t++ {
+			lo := start.Add(time.Duration(t) * cfg.I)
+			hi := lo.Add(cfg.I)
+			act := env.NoOp(e.K())
+			for ri < len(records) && records[ri].At.Before(hi) {
+				r := records[ri]
+				ri++
+				if act[r.Device] != device.NoAction {
+					continue // one action per device per interval
+				}
+				if _, ok := e.Device(r.Device).Next(rec.State()[r.Device], r.Action); !ok {
+					continue // stale/invalid command: drop
+				}
+				act[r.Device] = r.Action
+			}
+			if err := rec.Step(act); err != nil {
+				return nil, fmt.Errorf("parse: episode at %v instance %d: %w", start, t, err)
+			}
+		}
+		ep := rec.Episode()
+		eps = append(eps, ep)
+		cur = ep.States[len(ep.States)-1].Clone()
+		start = start.Add(cfg.T)
+	}
+	return eps, nil
+}

@@ -1,0 +1,278 @@
+package parse
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+	"jarvis/internal/events"
+)
+
+func testEnv(t *testing.T) *env.Environment {
+	t.Helper()
+	light := device.NewBuilder("light", device.TypeLight).
+		States("off", "on").
+		Actions("power_off", "power_on").
+		Transition("on", "power_off", "off").
+		Transition("off", "power_on", "on").
+		MustBuild()
+	temp := device.NewBuilder("temp", device.TypeTempSensor).
+		States("low", "optimal", "high").
+		Actions("power_off", "power_on").
+		TransitionAll("power_on", "optimal").
+		MustBuild()
+	b := env.NewBuilder()
+	b.AddDevice(light, env.Placement{Location: "home"})
+	b.AddDevice(temp, env.Placement{Location: "home"})
+	b.AddApp("manual", 0, 1)
+	b.AddUser("u", 0)
+	return b.MustBuild()
+}
+
+func at(min int) time.Time {
+	return time.Date(2020, 1, 6, 0, min, 0, 0, time.UTC)
+}
+
+func ev(dev, cmd, attr, val string, min int) events.Event {
+	return events.Event{
+		Date: at(min), DeviceLabel: dev,
+		Command: cmd, Attribute: attr, AttributeValue: val,
+	}
+}
+
+func TestParseIdentity(t *testing.T) {
+	e := testEnv(t)
+	p := NewParser(e)
+	evs := []events.Event{
+		ev("light", "power_on", "switch", "on", 2),
+		ev("light", "power_off", "switch", "off", 1), // out of order
+		ev("ghost", "x", "y", "z", 0),                // unknown device
+		ev("light", "explode", "switch", "on", 3),    // unknown command
+	}
+	recs, skipped := p.Parse(evs)
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if !recs[0].At.Before(recs[1].At) {
+		t.Error("records must be chronologically sorted")
+	}
+	if recs[0].Action != 0 || recs[1].Action != 1 {
+		t.Errorf("actions = %d,%d", recs[0].Action, recs[1].Action)
+	}
+}
+
+func TestNumericNormalizer(t *testing.T) {
+	e := testEnv(t)
+	tempDev := e.Device(1)
+	low, _ := tempDev.StateID("low")
+	opt, _ := tempDev.StateID("optimal")
+	high, _ := tempDev.StateID("high")
+	n := &NumericNormalizer{
+		Device:    tempDev,
+		Attribute: "temperature",
+		Thresholds: []Threshold{
+			{Below: 18, State: low},
+			{Below: 24, State: opt},
+		},
+		Above: high,
+	}
+	tests := []struct {
+		val  string
+		want device.StateID
+		ok   bool
+	}{
+		{"12.5", low, true},
+		{"20", opt, true},
+		{"30", high, true},
+		{"banana", 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := n.State("temperature", tt.val)
+		if ok != tt.ok || (ok && got != tt.want) {
+			t.Errorf("State(temperature, %q) = %d,%v want %d,%v", tt.val, got, ok, tt.want, tt.ok)
+		}
+	}
+	// Non-numeric attribute falls back to name resolution.
+	if got, ok := n.State("mode", "optimal"); !ok || got != opt {
+		t.Errorf("enum fallback = %d,%v", got, ok)
+	}
+	if _, ok := n.Action("power_on"); !ok {
+		t.Error("Action should resolve by name")
+	}
+}
+
+func TestSetNormalizer(t *testing.T) {
+	e := testEnv(t)
+	p := NewParser(e)
+	if err := p.SetNormalizer("ghost", ForDevice(e.Device(0))); err == nil {
+		t.Error("unknown device should error")
+	}
+	if err := p.SetNormalizer("temp", &NumericNormalizer{
+		Device: e.Device(1), Attribute: "temperature", Above: 2,
+	}); err != nil {
+		t.Errorf("SetNormalizer: %v", err)
+	}
+	recs, skipped := p.Parse([]events.Event{
+		ev("temp", "power_on", "temperature", "99", 0),
+	})
+	if skipped != 0 || len(recs) != 1 || recs[0].NewState != 2 {
+		t.Errorf("recs=%v skipped=%d", recs, skipped)
+	}
+}
+
+func TestBuildEpisodes(t *testing.T) {
+	e := testEnv(t)
+	p := NewParser(e)
+	recs, _ := p.Parse([]events.Event{
+		ev("light", "power_on", "switch", "on", 1),
+		ev("light", "power_off", "switch", "off", 3),
+		ev("light", "power_on", "switch", "on", 7), // second episode
+	})
+	cfg := EpisodeConfig{
+		Start:   at(0),
+		T:       5 * time.Minute,
+		I:       time.Minute,
+		Initial: env.State{0, 1},
+	}
+	eps, err := BuildEpisodes(e, cfg, recs)
+	if err != nil {
+		t.Fatalf("BuildEpisodes: %v", err)
+	}
+	if len(eps) != 2 {
+		t.Fatalf("episodes = %d, want 2", len(eps))
+	}
+	for i, ep := range eps {
+		if err := ep.Validate(e); err != nil {
+			t.Fatalf("episode %d invalid: %v", i, err)
+		}
+		if ep.Len() != 5 {
+			t.Errorf("episode %d length %d, want 5", i, ep.Len())
+		}
+	}
+	// light turns on at minute 1, off at minute 3 in episode 0
+	if eps[0].States[2][0] != 1 {
+		t.Error("light should be on after instance 1")
+	}
+	if eps[0].States[4][0] != 0 {
+		t.Error("light should be off after instance 3")
+	}
+	// episode 1 starts from episode 0's final state
+	if !eps[1].States[0].Equal(eps[0].States[5]) {
+		t.Error("episode chaining broken")
+	}
+	if eps[1].States[3][0] != 1 {
+		t.Error("light should be on after minute 7 (instance 2 of episode 1)")
+	}
+}
+
+func TestBuildEpisodesDropsInvalidAndConflicting(t *testing.T) {
+	e := testEnv(t)
+	p := NewParser(e)
+	recs, _ := p.Parse([]events.Event{
+		ev("light", "power_on", "switch", "on", 0),
+		ev("light", "power_off", "switch", "off", 0), // same interval: FCFS, dropped
+		ev("light", "power_on", "switch", "on", 1),   // invalid (already on): dropped
+	})
+	eps, err := BuildEpisodes(e, EpisodeConfig{
+		Start: at(0), T: 2 * time.Minute, I: time.Minute, Initial: env.State{0, 1},
+	}, recs)
+	if err != nil {
+		t.Fatalf("BuildEpisodes: %v", err)
+	}
+	if len(eps) != 1 {
+		t.Fatalf("episodes = %d", len(eps))
+	}
+	if eps[0].States[1][0] != 1 || eps[0].States[2][0] != 1 {
+		t.Errorf("states = %v", eps[0].States)
+	}
+	if eps[0].Actions[1][0] != device.NoAction {
+		t.Error("invalid action must be dropped, not recorded")
+	}
+}
+
+func TestBuildEpisodesErrors(t *testing.T) {
+	e := testEnv(t)
+	if _, err := BuildEpisodes(e, EpisodeConfig{
+		Start: at(0), T: time.Minute, I: time.Minute, Initial: env.State{9, 9},
+	}, nil); err == nil {
+		t.Error("invalid initial state should error")
+	}
+	if _, err := BuildEpisodes(e, EpisodeConfig{
+		Start: at(0), T: 0, I: time.Minute, Initial: env.State{0, 0},
+	}, nil); err == nil {
+		t.Error("invalid T should error")
+	}
+}
+
+func TestBuildEpisodesIgnoresRecordsBeforeStart(t *testing.T) {
+	e := testEnv(t)
+	p := NewParser(e)
+	recs, _ := p.Parse([]events.Event{
+		ev("light", "power_on", "switch", "on", 0),
+		ev("light", "power_off", "switch", "off", 10),
+	})
+	eps, err := BuildEpisodes(e, EpisodeConfig{
+		Start: at(5), T: 10 * time.Minute, I: time.Minute, Initial: env.State{1, 1},
+	}, recs)
+	if err != nil {
+		t.Fatalf("BuildEpisodes: %v", err)
+	}
+	if len(eps) != 1 {
+		t.Fatalf("episodes = %d", len(eps))
+	}
+	if eps[0].States[6][0] != 0 {
+		t.Error("only the minute-10 record should apply (at instance 5)")
+	}
+}
+
+func TestBuildEpisodesEmptyRecords(t *testing.T) {
+	e := testEnv(t)
+	eps, err := BuildEpisodes(e, EpisodeConfig{
+		Start: at(0), T: time.Minute, I: time.Minute, Initial: env.State{0, 0},
+	}, nil)
+	if err != nil {
+		t.Fatalf("BuildEpisodes: %v", err)
+	}
+	if len(eps) != 0 {
+		t.Errorf("episodes = %d, want 0 for empty record stream", len(eps))
+	}
+}
+
+// End-to-end: bus -> logger -> ReadLog -> Parse -> BuildEpisodes.
+func TestPipelineEndToEnd(t *testing.T) {
+	e := testEnv(t)
+	bus := events.NewBus()
+	var buf bytes.Buffer
+	logger := events.NewLogger(bus, &buf)
+	defer logger.Close()
+
+	bus.Publish(events.Event{
+		Date: at(1), DeviceLabel: "light", Capability: "switch",
+		Attribute: "switch", AttributeValue: "on", Command: "power_on",
+		User: "alice", App: "manual", Location: "home-a",
+	})
+
+	evs, err := events.ReadLog(&buf)
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	p := NewParser(e)
+	recs, skipped := p.Parse(evs)
+	if skipped != 0 || len(recs) != 1 {
+		t.Fatalf("parse: recs=%d skipped=%d", len(recs), skipped)
+	}
+	eps, err := BuildEpisodes(e, EpisodeConfig{
+		Start: at(0), T: 2 * time.Minute, I: time.Minute, Initial: env.State{0, 1},
+	}, recs)
+	if err != nil || len(eps) != 1 {
+		t.Fatalf("episodes: %v %v", eps, err)
+	}
+	if eps[0].States[2][0] != 1 {
+		t.Error("light should be on at the end of the episode")
+	}
+}

@@ -1,0 +1,117 @@
+package policy
+
+import (
+	"sort"
+
+	"jarvis/internal/env"
+)
+
+// Feedback is a user's verdict on a flagged transition — the active
+// learning loop the paper sketches as future work (Section VI-F): actions
+// in the unsafe benefit space are surfaced to the user, whose answers
+// either extend the whitelist or confirm the block.
+type Feedback int
+
+// Feedback values.
+const (
+	// FeedbackBenign reclassifies the transition as acceptable; it joins
+	// P_safe.
+	FeedbackBenign Feedback = iota + 1
+	// FeedbackMalicious confirms the block; the transition is pinned to
+	// the blacklist and never re-asked.
+	FeedbackMalicious
+	// FeedbackSkip defers the decision; the transition will be asked
+	// about again.
+	FeedbackSkip
+)
+
+// Oracle answers feedback queries. In production this is a user prompt; in
+// experiments it is a labelled ground truth.
+type Oracle interface {
+	Judge(v Violation) Feedback
+}
+
+// OracleFunc adapts a function to the Oracle interface.
+type OracleFunc func(Violation) Feedback
+
+// Judge implements Oracle.
+func (f OracleFunc) Judge(v Violation) Feedback { return f(v) }
+
+var _ Oracle = OracleFunc(nil)
+
+// ActiveLearner incrementally refines P_safe from user feedback on flagged
+// violations. Every (S, S') pair is asked about at most once; benign
+// verdicts are immediately whitelisted, malicious verdicts pinned.
+type ActiveLearner struct {
+	env   *env.Environment
+	table *Table
+	// decided maps (from, to) to the final verdict.
+	decided map[[2]uint64]Feedback
+}
+
+// NewActiveLearner wraps a learned table.
+func NewActiveLearner(e *env.Environment, table *Table) *ActiveLearner {
+	return &ActiveLearner{env: e, table: table, decided: make(map[[2]uint64]Feedback)}
+}
+
+// ReviewStats summarizes one review round.
+type ReviewStats struct {
+	Asked, Whitelisted, Confirmed, Skipped int
+}
+
+// Review surfaces each distinct flagged transition to the oracle and
+// applies the verdicts. Already-decided transitions are not re-asked.
+func (al *ActiveLearner) Review(violations []Violation, oracle Oracle) ReviewStats {
+	var stats ReviewStats
+	seen := make(map[[2]uint64]bool)
+	for _, v := range violations {
+		key := [2]uint64{al.env.StateKey(v.From), al.env.StateKey(v.To)}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if verdict, done := al.decided[key]; done && verdict != FeedbackSkip {
+			continue
+		}
+		stats.Asked++
+		switch oracle.Judge(v) {
+		case FeedbackBenign:
+			al.table.Allow(key[0], key[1])
+			al.decided[key] = FeedbackBenign
+			stats.Whitelisted++
+		case FeedbackMalicious:
+			al.decided[key] = FeedbackMalicious
+			stats.Confirmed++
+		default:
+			stats.Skipped++
+		}
+	}
+	return stats
+}
+
+// ConfirmedMalicious reports whether the transition has been pinned as
+// malicious by user feedback.
+func (al *ActiveLearner) ConfirmedMalicious(from, to uint64) bool {
+	return al.decided[[2]uint64{from, to}] == FeedbackMalicious
+}
+
+// Decisions returns the review history in deterministic order.
+func (al *ActiveLearner) Decisions() []ReviewDecision {
+	out := make([]ReviewDecision, 0, len(al.decided))
+	for key, verdict := range al.decided {
+		out = append(out, ReviewDecision{From: key[0], To: key[1], Verdict: verdict})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// ReviewDecision is one recorded verdict.
+type ReviewDecision struct {
+	From, To uint64
+	Verdict  Feedback
+}

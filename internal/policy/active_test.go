@@ -1,0 +1,107 @@
+package policy
+
+import (
+	"testing"
+	"time"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+)
+
+func activeTestEnv(t *testing.T) *env.Environment {
+	t.Helper()
+	light := device.NewBuilder("light", device.TypeLight).
+		States("off", "on").
+		Actions("power_off", "power_on").
+		Transition("on", "power_off", "off").
+		Transition("off", "power_on", "on").
+		MustBuild()
+	oven := device.NewBuilder("oven", device.TypeOven).
+		States("off", "on").
+		Actions("power_off", "power_on").
+		Transition("on", "power_off", "off").
+		Transition("off", "power_on", "on").
+		MustBuild()
+	b := env.NewBuilder()
+	b.AddDevice(light, env.Placement{})
+	b.AddDevice(oven, env.Placement{})
+	b.AddApp("manual", 0, 1)
+	b.AddUser("u", 0)
+	return b.MustBuild()
+}
+
+func flaggedEpisode(t *testing.T, e *env.Environment, table *Table) []Violation {
+	t.Helper()
+	rec := env.NewRecorder(e, env.State{0, 0}, time.Time{}, 2*time.Minute, time.Minute)
+	if err := rec.Step(env.Action{1, device.NoAction}); err != nil { // light on (unlearned)
+		t.Fatal(err)
+	}
+	if err := rec.Step(env.Action{device.NoAction, 1}); err != nil { // oven on (unlearned)
+		t.Fatal(err)
+	}
+	return FlagEpisodes(e, table, []env.Episode{rec.Episode()})
+}
+
+func TestActiveLearningWhitelistsBenignFeedback(t *testing.T) {
+	e := activeTestEnv(t)
+	table := NewTable(true) // nothing learned
+	al := NewActiveLearner(e, table)
+
+	violations := flaggedEpisode(t, e, table)
+	if len(violations) != 2 {
+		t.Fatalf("violations = %d, want 2", len(violations))
+	}
+
+	// User: the light is fine, the oven is not.
+	oracle := OracleFunc(func(v Violation) Feedback {
+		if v.Act[0] != device.NoAction {
+			return FeedbackBenign
+		}
+		return FeedbackMalicious
+	})
+	stats := al.Review(violations, oracle)
+	if stats.Asked != 2 || stats.Whitelisted != 1 || stats.Confirmed != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	// The light transition is no longer flagged; the oven still is.
+	again := flaggedEpisode(t, e, table)
+	if len(again) != 1 {
+		t.Fatalf("after review: %d violations, want 1", len(again))
+	}
+	if again[0].Act[1] == device.NoAction {
+		t.Error("remaining violation should be the oven")
+	}
+	from := e.StateKey(again[0].From)
+	to := e.StateKey(again[0].To)
+	if !al.ConfirmedMalicious(from, to) {
+		t.Error("oven transition should be pinned malicious")
+	}
+
+	// Re-reviewing asks nothing new.
+	stats = al.Review(again, oracle)
+	if stats.Asked != 0 {
+		t.Errorf("re-review asked %d questions", stats.Asked)
+	}
+	if got := al.Decisions(); len(got) != 2 {
+		t.Errorf("decisions = %d", len(got))
+	}
+}
+
+func TestActiveLearningSkip(t *testing.T) {
+	e := activeTestEnv(t)
+	table := NewTable(true)
+	al := NewActiveLearner(e, table)
+	violations := flaggedEpisode(t, e, table)
+
+	skipAll := OracleFunc(func(Violation) Feedback { return FeedbackSkip })
+	stats := al.Review(violations, skipAll)
+	if stats.Skipped != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Skipped transitions are asked again next round.
+	stats = al.Review(violations, skipAll)
+	if stats.Asked != 2 {
+		t.Errorf("skipped items should be re-asked, asked = %d", stats.Asked)
+	}
+}

@@ -1,0 +1,115 @@
+package policy
+
+import (
+	"testing"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+)
+
+func TestManualPolicies(t *testing.T) {
+	tab := NewTable(true)
+	if tab.ManualAllowed(env.Action{0, device.NoAction}) {
+		t.Error("no manual rules yet")
+	}
+	tab.AllowManual(1, 2)
+
+	noop := env.NoOp(3)
+	if tab.ManualAllowed(noop) {
+		t.Error("pure no-op is not a manual action")
+	}
+	sanctioned := env.Action{device.NoAction, 2, device.NoAction}
+	if !tab.ManualAllowed(sanctioned) {
+		t.Error("sanctioned single action should pass")
+	}
+	mixed := env.Action{0, 2, device.NoAction} // device 0 action not sanctioned
+	if tab.ManualAllowed(mixed) {
+		t.Error("mixed composite with unsanctioned action must fail")
+	}
+
+	// SafeTransition: manual path works even with an empty whitelist.
+	if !tab.SafeTransition(7, 9, sanctioned) {
+		t.Error("manual action should make the transition safe")
+	}
+	if tab.SafeTransition(7, 9, mixed) {
+		t.Error("mixed action on unknown transition must stay unsafe")
+	}
+	// Whitelist path still works.
+	tab.Allow(7, 9)
+	if !tab.SafeTransition(7, 9, mixed) {
+		t.Error("whitelisted transition is safe regardless of action")
+	}
+}
+
+func TestFlagEpisodesRespectsManual(t *testing.T) {
+	light := device.NewBuilder("light", device.TypeLight).
+		States("off", "on").
+		Actions("power_off", "power_on").
+		Transition("on", "power_off", "off").
+		Transition("off", "power_on", "on").
+		MustBuild()
+	b := env.NewBuilder()
+	b.AddDevice(light, env.Placement{})
+	e := b.MustBuild()
+
+	tab := NewTable(true) // nothing learned
+	ep := env.Episode{
+		States:  []env.State{{0}, {1}},
+		Actions: []env.Action{{1}},
+	}
+	if got := FlagEpisodes(e, tab, []env.Episode{ep}); len(got) != 1 {
+		t.Fatalf("unlearned transition should be flagged: %v", got)
+	}
+	tab.AllowManual(0, 1) // power_on manually sanctioned
+	if got := FlagEpisodes(e, tab, []env.Episode{ep}); len(got) != 0 {
+		t.Fatalf("manually sanctioned transition flagged: %v", got)
+	}
+}
+
+func TestBehaviors(t *testing.T) {
+	light := device.NewBuilder("light", device.TypeLight).
+		States("off", "on").
+		Actions("power_off", "power_on").
+		Transition("on", "power_off", "off").
+		Transition("off", "power_on", "on").
+		MustBuild()
+	b := env.NewBuilder()
+	b.AddDevice(light, env.Placement{})
+	e := b.MustBuild()
+
+	l := NewLearner(e, Config{ThreshEnv: 1})
+	ep := env.Episode{
+		States:  []env.State{{0}, {1}, {0}, {1}},
+		Actions: []env.Action{{1}, {0}, {1}},
+	}
+	l.Observe(ep)
+	behaviors := l.Behaviors()
+	// power_on from off occurred twice (> thresh 1); power_off once (==1, excluded)
+	if len(behaviors) != 1 {
+		t.Fatalf("behaviors = %v, want 1", behaviors)
+	}
+	if behaviors[0].Count != 2 {
+		t.Errorf("count = %d, want 2", behaviors[0].Count)
+	}
+	if got := e.DecodeAction(behaviors[0].Action); got[0] != 1 {
+		t.Errorf("action = %v, want power_on", got)
+	}
+}
+
+func TestTableEach(t *testing.T) {
+	tab := NewTable(false)
+	tab.Allow(3, 4)
+	tab.Allow(1, 2)
+	tab.Allow(1, 9)
+	var got [][2]uint64
+	tab.Each(func(from, to uint64) { got = append(got, [2]uint64{from, to}) })
+	want := [][2]uint64{{1, 2}, {1, 9}, {3, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("Each visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Each order = %v, want %v", got, want)
+		}
+	}
+}

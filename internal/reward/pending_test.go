@@ -1,0 +1,167 @@
+package reward
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+)
+
+// pendingFixture: the light (dev 1, ω=0.9) habitually turns on at
+// instance 50 of a 200-instance episode.
+func pendingFixture(t *testing.T) (*env.Environment, *Smart) {
+	t.Helper()
+	e := testEnv(t)
+	rec := env.NewRecorder(e, env.State{0, 0}, time.Time{}, 200*time.Minute, time.Minute)
+	for i := 0; i < 200; i++ {
+		a := env.NoOp(2)
+		if i == 50 {
+			a = env.Action{device.NoAction, 1} // light on
+		}
+		if err := rec.Step(a); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	pref := LearnPreferredTimes(e, []env.Episode{rec.Episode()})
+	r, err := New(e, Config{
+		Functionalities: []Functionality{{Name: "f", Weight: 1, F: constF(0)}},
+		Preferred:       pref,
+		Instances:       200,
+		Routine:         map[int]bool{1: true},
+		RoutineWindow:   60,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e, r
+}
+
+func TestPendingChargeGrowsInsideWindow(t *testing.T) {
+	_, r := pendingFixture(t)
+	s := env.State{0, 0} // light off: "on" is overdue after instance 50
+	idle := env.NoOp(2)
+
+	before := r.DisUtility(s, idle, 40) // not yet due
+	at10 := r.DisUtility(s, idle, 60)   // 10 overdue
+	at50 := r.DisUtility(s, idle, 100)  // 50 overdue
+	if before != 0 {
+		t.Errorf("charge before preferred time = %g", before)
+	}
+	if !(at50 > at10 && at10 > 0) {
+		t.Errorf("pending charge should grow: %g then %g", at10, at50)
+	}
+	// exact: ω=0.9 · (50/60) / k=2
+	if want := 0.9 * 50 / 60 / 2; math.Abs(at50-want) > 1e-12 {
+		t.Errorf("at50 = %g, want %g", at50, want)
+	}
+}
+
+func TestPendingChargeExpiresAfterWindow(t *testing.T) {
+	_, r := pendingFixture(t)
+	s := env.State{0, 0}
+	idle := env.NoOp(2)
+	if got := r.DisUtility(s, idle, 150); got != 0 {
+		t.Errorf("charge outside the window = %g, want 0 (opportunity moot)", got)
+	}
+}
+
+func TestTakingTheOverdueActionStopsFutureCharges(t *testing.T) {
+	_, r := pendingFixture(t)
+	off := env.State{0, 0}
+	on := env.State{0, 1}
+	turnOn := env.Action{device.NoAction, 1}
+
+	// Acting at the overdue instant costs exactly the accrued delay —
+	// the same as one more instant of idling (the formulas are symmetric
+	// by design)...
+	idleCost := r.DisUtility(off, env.NoOp(2), 80)
+	actCost := r.DisUtility(off, turnOn, 80)
+	if math.Abs(actCost-idleCost) > 1e-12 {
+		t.Errorf("act %g vs idle %g, want equal at the same delay", actCost, idleCost)
+	}
+	// ...but once acted, the device is in its routine state and all
+	// future instants are free, while continued idling keeps paying.
+	if got := r.DisUtility(on, env.NoOp(2), 81); got != 0 {
+		t.Errorf("post-action dis-utility = %g, want 0", got)
+	}
+	if got := r.DisUtility(off, env.NoOp(2), 81); got <= 0 {
+		t.Errorf("continued idling should keep paying, got %g", got)
+	}
+}
+
+func TestUnrelatedActionDoesNotDodgeTheCharge(t *testing.T) {
+	e, _ := pendingFixture(t)
+	// Make the heater (dev 0) routine too, with no observations — so it
+	// contributes nothing — then verify acting on the heater does not
+	// clear the light's pending charge.
+	rec := env.NewRecorder(e, env.State{0, 0}, time.Time{}, 200*time.Minute, time.Minute)
+	for i := 0; i < 200; i++ {
+		a := env.NoOp(2)
+		if i == 50 {
+			a = env.Action{device.NoAction, 1}
+		}
+		if i == 60 {
+			a = env.Action{1, device.NoAction} // heater on is also habitual
+		}
+		if err := rec.Step(a); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	pref := LearnPreferredTimes(e, []env.Episode{rec.Episode()})
+	r, err := New(e, Config{
+		Functionalities: []Functionality{{Name: "f", Weight: 1, F: constF(0)}},
+		Preferred:       pref,
+		Instances:       200,
+		Routine:         map[int]bool{0: true, 1: true},
+		RoutineWindow:   60,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s := env.State{0, 0}
+	heaterOn := env.Action{1, device.NoAction}
+	idle := env.NoOp(2)
+	// At t=80 both heat-on (t′=60) and light-on (t′=50) are overdue.
+	// Acting on the heater clears only the heater's pending part.
+	idleCost := r.DisUtility(s, idle, 80)
+	heaterCost := r.DisUtility(s, heaterOn, 80)
+	// The light's pending charge must survive in both.
+	lightCharge := 0.9 * 30 / 60.0 / 2
+	if idleCost < lightCharge || heaterCost < lightCharge {
+		t.Errorf("light pending dodged: idle=%g heater=%g floor=%g", idleCost, heaterCost, lightCharge)
+	}
+}
+
+func TestLatestBefore(t *testing.T) {
+	e := testEnv(t)
+	rec := env.NewRecorder(e, env.State{0, 0}, time.Time{}, 30*time.Minute, time.Minute)
+	for i := 0; i < 30; i++ {
+		a := env.NoOp(2)
+		switch i {
+		case 5:
+			a = env.Action{device.NoAction, 1}
+		case 10:
+			a = env.Action{device.NoAction, 0}
+		case 20:
+			a = env.Action{device.NoAction, 1}
+		}
+		if err := rec.Step(a); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	p := LearnPreferredTimes(e, []env.Episode{rec.Episode()})
+	tests := []struct {
+		t, want int
+		ok      bool
+	}{
+		{4, 0, false}, {5, 5, true}, {12, 5, true}, {20, 20, true}, {29, 20, true},
+	}
+	for _, tt := range tests {
+		got, ok := p.LatestBefore(1, 1, tt.t)
+		if ok != tt.ok || (ok && got != tt.want) {
+			t.Errorf("LatestBefore(light,on,%d) = %d,%v want %d,%v", tt.t, got, ok, tt.want, tt.ok)
+		}
+	}
+}

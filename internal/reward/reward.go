@@ -1,0 +1,284 @@
+// Package reward implements the estimated "smart" reward function of the
+// Jarvis paper (Section IV-B):
+//
+//	R_smart(S, A, t) = Σ_j f_j·F_j(s, a, t) − (I/kT)·Σ_i ω_i(s_i, a_i)·|t−t′|
+//
+// The first term is the weighted sum of the user's κ normalized
+// functionality rewards F_j; the second is the estimated dis-utility, where
+// t′ is the closest preferred time instance for the device's state-action
+// pair according to past (learning-phase) behavior and ω_i is the device's
+// dis-utility function. The weights balance according to the
+// utility/dis-utility ratio χ = kT·Σf_j / (I·Σω_i).
+package reward
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+)
+
+// Func is one normalized functionality reward F_j: it scores taking
+// composite action a in state s at time instance t, in [0, 1] by
+// convention (1 = best for the user's goal).
+type Func func(s env.State, a env.Action, t int) float64
+
+// Functionality couples a reward function with its user weight f_j.
+type Functionality struct {
+	Name   string
+	Weight float64
+	F      Func
+}
+
+// PreferredTimes records, for every (device, action) pair, the time
+// instances at which the action occurred during learning episodes. It
+// answers "closest preferred instance" queries (t′ in the paper).
+type PreferredTimes struct {
+	byKey map[prefKey][]int // sorted ascending
+	n     int               // instances per episode
+}
+
+type prefKey struct {
+	dev int
+	act device.ActionID
+}
+
+// LearnPreferredTimes scans learning episodes and indexes every non-NoOp
+// device action by the instants it occurred at.
+func LearnPreferredTimes(e *env.Environment, eps []env.Episode) *PreferredTimes {
+	p := &PreferredTimes{byKey: make(map[prefKey][]int)}
+	for _, ep := range eps {
+		if n := env.NumInstances(ep.T, ep.I); n > p.n {
+			p.n = n
+		}
+		for t, a := range ep.Actions {
+			for di, ac := range a {
+				if ac == device.NoAction {
+					continue
+				}
+				k := prefKey{dev: di, act: ac}
+				p.byKey[k] = append(p.byKey[k], t)
+			}
+		}
+	}
+	for k := range p.byKey {
+		sort.Ints(p.byKey[k])
+	}
+	return p
+}
+
+// Instances returns the number of time instances per episode seen during
+// learning.
+func (p *PreferredTimes) Instances() int { return p.n }
+
+// Closest returns the preferred instance t′ nearest to t for the given
+// device action. The second result is false when the action was never
+// observed.
+func (p *PreferredTimes) Closest(dev int, act device.ActionID, t int) (int, bool) {
+	times := p.byKey[prefKey{dev: dev, act: act}]
+	if len(times) == 0 {
+		return 0, false
+	}
+	i := sort.SearchInts(times, t)
+	switch {
+	case i == 0:
+		return times[0], true
+	case i == len(times):
+		return times[len(times)-1], true
+	default:
+		lo, hi := times[i-1], times[i]
+		if t-lo <= hi-t {
+			return lo, true
+		}
+		return hi, true
+	}
+}
+
+// LatestBefore returns the most recent preferred instance t′ ≤ t for the
+// given device action, or false when none exists.
+func (p *PreferredTimes) LatestBefore(dev int, act device.ActionID, t int) (int, bool) {
+	times := p.byKey[prefKey{dev: dev, act: act}]
+	i := sort.SearchInts(times, t+1)
+	if i == 0 {
+		return 0, false
+	}
+	return times[i-1], true
+}
+
+// Config assembles a Smart reward function.
+type Config struct {
+	// Functionalities are the user's κ goals with their weights f_j.
+	Functionalities []Functionality
+	// Preferred supplies t′ lookups; nil treats every action as maximally
+	// off-schedule (conservative: unknown behavior is expensive).
+	Preferred *PreferredTimes
+	// Instances is n = T/I, the episode length in time instances.
+	Instances int
+	// Routine lists the devices whose user routine the agent is expected
+	// to maintain: when such a device sits in a state where a habitual
+	// action (per Preferred) is overdue, dis-utility accrues with the
+	// delay t−t′ even though the agent did nothing. This realizes the
+	// paper's "dis-utility per time instance if the execution of
+	// device-action a is delayed in state p": pure functionality
+	// optimization (never operating anything) is not free.
+	Routine map[int]bool
+	// RoutineWindow bounds, in instances, how long after its preferred
+	// time a routine action stays "pending" (default 90). Outside the
+	// window the opportunity is considered moot — the device may well be
+	// back in this state because the routine already completed.
+	RoutineWindow int
+}
+
+// Smart is the estimated reward function R_smart. It is immutable and safe
+// for concurrent use.
+type Smart struct {
+	env     *env.Environment
+	funcs   []Functionality
+	pref    *PreferredTimes
+	n       int
+	k       int
+	routine map[int]bool
+	window  int
+}
+
+// New validates cfg and builds the reward function.
+func New(e *env.Environment, cfg Config) (*Smart, error) {
+	if len(cfg.Functionalities) == 0 {
+		return nil, errors.New("reward: at least one functionality required")
+	}
+	for _, f := range cfg.Functionalities {
+		if f.F == nil {
+			return nil, fmt.Errorf("reward: functionality %q has nil F", f.Name)
+		}
+		if f.Weight < 0 {
+			return nil, fmt.Errorf("reward: functionality %q has negative weight", f.Name)
+		}
+	}
+	if cfg.Instances <= 0 {
+		return nil, fmt.Errorf("reward: invalid instance count %d", cfg.Instances)
+	}
+	routine := make(map[int]bool, len(cfg.Routine))
+	for d, v := range cfg.Routine {
+		routine[d] = v
+	}
+	window := cfg.RoutineWindow
+	if window <= 0 {
+		window = 90
+	}
+	return &Smart{
+		env:     e,
+		funcs:   append([]Functionality(nil), cfg.Functionalities...),
+		pref:    cfg.Preferred,
+		n:       cfg.Instances,
+		k:       e.K(),
+		routine: routine,
+		window:  window,
+	}, nil
+}
+
+// Utility returns Σ_j f_j·F_j(s, a, t), the functionality part of R_smart.
+func (r *Smart) Utility(s env.State, a env.Action, t int) float64 {
+	var sum float64
+	for _, f := range r.funcs {
+		sum += f.Weight * f.F(s, a, t)
+	}
+	return sum
+}
+
+// DisUtility returns the estimated discomfort of taking action a at
+// instance t rather than at the preferred instance t′:
+//
+//	(1/k)·Σ_i ω_i(s_i, a_i)·min(|t−t′|, W)/W
+//
+// The paper's raw factor I/(kT)·(t−t′) makes dis-utility vanish at
+// minute-level intervals, defeating the χ = 1 balance Section VI-D
+// configures; normalizing the delay by the routine window W keeps both
+// reward parts on the same [0, 1]-ish scale (see DESIGN.md). Actions never
+// observed during learning are charged the full window.
+func (r *Smart) DisUtility(s env.State, a env.Action, t int) float64 {
+	var sum float64
+	for di, ac := range a {
+		sum += r.pendingDelay(s, di, ac, t)
+		if ac == device.NoAction {
+			continue
+		}
+		w := r.env.Device(di).DisUtility(s[di], ac)
+		if w == 0 {
+			continue
+		}
+		delay := r.window // unknown behavior: maximal deviation
+		if r.pref != nil {
+			if tp, ok := r.pref.Closest(di, ac, t); ok {
+				delay = t - tp
+				if delay < 0 {
+					delay = -delay
+				}
+				if delay > r.window {
+					delay = r.window
+				}
+			}
+		}
+		sum += w * float64(delay) / float64(r.window)
+	}
+	return sum / float64(r.k)
+}
+
+// pendingDelay charges a routine device for a habitual action that is
+// overdue at instance t: the user would have taken it within the routine
+// window (t′ ≤ t ≤ t′+W, and the device still sits in a state where it
+// applies) but the agent has not. Taking the overdue action itself (taken
+// == v) clears the charge; taking an unrelated action does not dodge it.
+func (r *Smart) pendingDelay(s env.State, di int, taken device.ActionID, t int) float64 {
+	if r.pref == nil || !r.routine[di] {
+		return 0
+	}
+	d := r.env.Device(di)
+	var worst float64
+	for _, v := range d.ValidActions(s[di]) {
+		if v == taken {
+			continue
+		}
+		tp, ok := r.pref.LatestBefore(di, v, t)
+		if !ok || t-tp > r.window {
+			continue
+		}
+		w := d.DisUtility(s[di], v)
+		if charge := w * float64(t-tp) / float64(r.window); charge > worst {
+			worst = charge
+		}
+	}
+	return worst
+}
+
+// R evaluates R_smart(S, A, t) = Utility − DisUtility.
+func (r *Smart) R(s env.State, a env.Action, t int) float64 {
+	return r.Utility(s, a, t) - r.DisUtility(s, a, t)
+}
+
+// Chi returns the utility/dis-utility ratio χ: the maximum attainable
+// per-instance utility Σf_j over the maximum attainable per-instance
+// dis-utility (1/k)·Σω_i. The paper balances utility against discomfort by
+// configuring χ = 1; the default smart-home ω values give χ ≈ 1.6.
+func (r *Smart) Chi() float64 {
+	var sumF, sumW float64
+	for _, f := range r.funcs {
+		sumF += f.Weight
+	}
+	for i := 0; i < r.k; i++ {
+		sumW += r.env.Device(i).MaxDisUtility()
+	}
+	if sumW == 0 {
+		return 0
+	}
+	return sumF / (sumW / float64(r.k))
+}
+
+// Functionalities returns the configured goals (copy).
+func (r *Smart) Functionalities() []Functionality {
+	return append([]Functionality(nil), r.funcs...)
+}
+
+// Instances returns n, the episode length in time instances.
+func (r *Smart) Instances() int { return r.n }

@@ -1,0 +1,252 @@
+package reward
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+)
+
+func testEnv(t *testing.T) *env.Environment {
+	t.Helper()
+	heater := device.NewBuilder("heater", device.TypeThermostat).
+		States("off", "on").
+		Actions("power_off", "power_on").
+		Transition("on", "power_off", "off").
+		Transition("off", "power_on", "on").
+		PowerW("on", 2000).
+		UniformDisUtility(0.2).
+		MustBuild()
+	light := device.NewBuilder("light", device.TypeLight).
+		States("off", "on").
+		Actions("power_off", "power_on").
+		Transition("on", "power_off", "off").
+		Transition("off", "power_on", "on").
+		PowerW("on", 60).
+		UniformDisUtility(0.9).
+		MustBuild()
+	b := env.NewBuilder()
+	b.AddDevice(heater, env.Placement{})
+	b.AddDevice(light, env.Placement{})
+	b.AddApp("manual", 0, 1)
+	b.AddUser("u", 0)
+	return b.MustBuild()
+}
+
+func constF(v float64) Func {
+	return func(env.State, env.Action, int) float64 { return v }
+}
+
+func TestNewValidation(t *testing.T) {
+	e := testEnv(t)
+	cases := []Config{
+		{}, // no functionalities
+		{Functionalities: []Functionality{{Name: "f", F: nil}}, Instances: 10},                   // nil F
+		{Functionalities: []Functionality{{Name: "f", Weight: -1, F: constF(1)}}, Instances: 10}, // negative weight
+		{Functionalities: []Functionality{{Name: "f", Weight: 1, F: constF(1)}}, Instances: 0},   // bad n
+	}
+	for i, cfg := range cases {
+		if _, err := New(e, cfg); err == nil {
+			t.Errorf("case %d: New succeeded, want error", i)
+		}
+	}
+}
+
+func TestUtilityIsWeightedSum(t *testing.T) {
+	e := testEnv(t)
+	r, err := New(e, Config{
+		Functionalities: []Functionality{
+			{Name: "a", Weight: 0.3, F: constF(1)},
+			{Name: "b", Weight: 0.7, F: constF(0.5)},
+		},
+		Instances: 100,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	got := r.Utility(env.State{0, 0}, env.NoOp(2), 0)
+	want := 0.3*1 + 0.7*0.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Utility = %g, want %g", got, want)
+	}
+}
+
+func TestDisUtilityUsesPreferredTimes(t *testing.T) {
+	e := testEnv(t)
+	// Learning episode: light (dev 1) turns on at instance 10 every day.
+	on := env.Action{device.NoAction, 1}
+	rec := env.NewRecorder(e, env.State{0, 0}, time.Time{}, 20*time.Minute, time.Minute)
+	for i := 0; i < 20; i++ {
+		a := env.NoOp(2)
+		if i == 10 {
+			a = on
+		}
+		if err := rec.Step(a); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	pref := LearnPreferredTimes(e, []env.Episode{rec.Episode()})
+	if pref.Instances() != 20 {
+		t.Errorf("Instances = %d", pref.Instances())
+	}
+
+	r, err := New(e, Config{
+		Functionalities: []Functionality{{Name: "f", Weight: 1, F: constF(0)}},
+		Preferred:       pref,
+		Instances:       20,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	s := env.State{0, 0}
+	atPreferred := r.DisUtility(s, on, 10)
+	early := r.DisUtility(s, on, 4)
+	earlier := r.DisUtility(s, on, 0)
+	if atPreferred != 0 {
+		t.Errorf("dis-utility at preferred time = %g, want 0", atPreferred)
+	}
+	if !(earlier > early && early > atPreferred) {
+		t.Errorf("dis-utility should grow with |t-t'|: %g %g %g", atPreferred, early, earlier)
+	}
+	// exact value: ω=0.9, delay 6, W=90, k=2 -> 0.9*(6/90)/2
+	if want := 0.9 * 6 / 90.0 / 2; math.Abs(early-want) > 1e-12 {
+		t.Errorf("early = %g, want %g", early, want)
+	}
+	// NoOp has zero dis-utility.
+	if got := r.DisUtility(s, env.NoOp(2), 3); got != 0 {
+		t.Errorf("NoOp dis-utility = %g", got)
+	}
+}
+
+func TestDisUtilityUnknownActionIsMax(t *testing.T) {
+	e := testEnv(t)
+	r, err := New(e, Config{
+		Functionalities: []Functionality{{Name: "f", Weight: 1, F: constF(0)}},
+		Preferred:       LearnPreferredTimes(e, nil), // knows nothing
+		Instances:       10,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// heater on: ω=0.2, unknown action -> full window, k=2 -> 0.2/2 = 0.1
+	got := r.DisUtility(env.State{0, 0}, env.Action{1, device.NoAction}, 5)
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("unknown-action dis-utility = %g, want 0.1", got)
+	}
+}
+
+func TestRIsUtilityMinusDisUtility(t *testing.T) {
+	e := testEnv(t)
+	r, err := New(e, Config{
+		Functionalities: []Functionality{{Name: "f", Weight: 1, F: constF(0.8)}},
+		Instances:       10,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s := env.State{0, 0}
+	a := env.Action{1, device.NoAction}
+	want := r.Utility(s, a, 3) - r.DisUtility(s, a, 3)
+	if got := r.R(s, a, 3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("R = %g, want %g", got, want)
+	}
+}
+
+func TestClosest(t *testing.T) {
+	e := testEnv(t)
+	var eps []env.Episode
+	rec := env.NewRecorder(e, env.State{0, 0}, time.Time{}, 30*time.Minute, time.Minute)
+	onAt := map[int]bool{5: true, 20: true}
+	light := 1
+	for i := 0; i < 30; i++ {
+		a := env.NoOp(2)
+		if onAt[i] {
+			a = env.Action{device.NoAction, 1}
+		} else if i == 6 || i == 21 {
+			a = env.Action{device.NoAction, 0} // turn back off so on is valid again
+		}
+		if err := rec.Step(a); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	eps = append(eps, rec.Episode())
+	p := LearnPreferredTimes(e, eps)
+
+	tests := []struct {
+		t    int
+		want int
+	}{
+		{0, 5}, {5, 5}, {12, 5}, {13, 20}, {29, 20},
+	}
+	for _, tt := range tests {
+		got, ok := p.Closest(light, 1, tt.t)
+		if !ok || got != tt.want {
+			t.Errorf("Closest(light, on, %d) = %d,%v want %d", tt.t, got, ok, tt.want)
+		}
+	}
+	if _, ok := p.Closest(0, 1, 5); ok {
+		t.Error("heater was never used; Closest should report false")
+	}
+}
+
+func TestChi(t *testing.T) {
+	e := testEnv(t)
+	r, err := New(e, Config{
+		Functionalities: []Functionality{
+			{Name: "a", Weight: 0.5, F: constF(1)},
+			{Name: "b", Weight: 0.5, F: constF(1)},
+		},
+		Instances: 10,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Σf=1, Σω/k = 1.1/2 -> χ = 1/0.55
+	want := 1 / 0.55
+	if got := r.Chi(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Chi = %g, want %g", got, want)
+	}
+}
+
+func TestChiZeroDisutility(t *testing.T) {
+	d := device.NewBuilder("d", "t").States("a", "b").Actions("go").
+		Transition("a", "go", "b").MustBuild()
+	b := env.NewBuilder()
+	b.AddDevice(d, env.Placement{})
+	e := b.MustBuild()
+	r, err := New(e, Config{
+		Functionalities: []Functionality{{Name: "f", Weight: 1, F: constF(1)}},
+		Instances:       5,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := r.Chi(); got != 0 {
+		t.Errorf("Chi with Σω=0 should be 0, got %g", got)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	e := testEnv(t)
+	r, err := New(e, Config{
+		Functionalities: []Functionality{{Name: "f", Weight: 1, F: constF(1)}},
+		Instances:       7,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if r.Instances() != 7 {
+		t.Errorf("Instances = %d", r.Instances())
+	}
+	fs := r.Functionalities()
+	if len(fs) != 1 || fs[0].Name != "f" {
+		t.Errorf("Functionalities = %v", fs)
+	}
+	fs[0].Name = "mutated"
+	if r.Functionalities()[0].Name == "mutated" {
+		t.Error("Functionalities must return a copy")
+	}
+}

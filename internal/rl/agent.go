@@ -1,0 +1,373 @@
+package rl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+)
+
+// AgentConfig parameterizes Algorithm 2.
+type AgentConfig struct {
+	// Episodes is EP, the number of training episodes.
+	Episodes int
+	// Epsilon, EpsilonMin and EpsilonDecay control ε-greedy exploration.
+	// Defaults: 1.0 / 0.05 / 0.995.
+	Epsilon, EpsilonMin, EpsilonDecay float64
+	// Gamma is the discount factor γ (default 0.95).
+	Gamma float64
+	// BatchSize is BSize, the replay mini-batch (default 32).
+	BatchSize int
+	// PreferableLoss is L_p: ε decays only while the replay loss is at or
+	// below it (default +Inf, i.e. always decay).
+	PreferableLoss float64
+	// ReplayCapacity bounds the experience buffer (default 10000).
+	ReplayCapacity int
+	// ReplayEvery runs the replay/learning step once per this many agent
+	// steps (default 1). Larger values trade learning speed for wall
+	// clock on long episodes.
+	ReplayEvery int
+	// MaxMiniActions caps the mini-actions composed per interval
+	// (default k, one per device).
+	MaxMiniActions int
+	// Actionable, when non-nil, restricts the agent to devices it may
+	// operate (sensors and user-owned devices are environment-driven).
+	Actionable func(dev int) bool
+	// DecideEvery makes the agent take one decision per this many time
+	// instances, idling in between (default 1). Rewards accrued over the
+	// whole decision window back the experience — a semi-MDP view that
+	// keeps long fine-grained episodes learnable.
+	DecideEvery int
+	// DoubleDQN selects the bootstrap action with the online Q values and
+	// evaluates it with the target values (van Hasselt et al.), reducing
+	// maximization bias. Only meaningful with the DQN backend.
+	DoubleDQN bool
+	// Rng drives exploration and replay sampling; required.
+	Rng *rand.Rand
+}
+
+func (c AgentConfig) withDefaults(k int) AgentConfig {
+	if c.Episodes <= 0 {
+		c.Episodes = 50
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 1
+	}
+	if c.EpsilonMin <= 0 {
+		c.EpsilonMin = 0.05
+	}
+	if c.EpsilonDecay <= 0 {
+		c.EpsilonDecay = 0.995
+	}
+	if c.Gamma <= 0 {
+		c.Gamma = 0.95
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.PreferableLoss <= 0 {
+		c.PreferableLoss = math.Inf(1)
+	}
+	if c.ReplayCapacity <= 0 {
+		c.ReplayCapacity = 10000
+	}
+	if c.ReplayEvery <= 0 {
+		c.ReplayEvery = 1
+	}
+	if c.DecideEvery <= 0 {
+		c.DecideEvery = 1
+	}
+	if c.MaxMiniActions <= 0 || c.MaxMiniActions > k {
+		c.MaxMiniActions = k
+	}
+	return c
+}
+
+// TrainStats summarizes a training run.
+type TrainStats struct {
+	// EpisodeRewards holds the cumulative reward of each training episode.
+	EpisodeRewards []float64
+	// FinalEpsilon is ε after the run.
+	FinalEpsilon float64
+	// FinalLoss is the last replay loss observed.
+	FinalLoss float64
+	// Violations counts unsafe transitions taken during training (nonzero
+	// only for unconstrained/audited environments).
+	Violations int
+	// EpisodeViolations is the per-episode breakdown of Violations.
+	EpisodeViolations []int
+}
+
+// Agent is the constrained ε-greedy Q-learning agent of Algorithm 2.
+type Agent struct {
+	sim    *SimEnv
+	q      QFunc
+	minis  *MiniActions
+	cfg    AgentConfig
+	replay *Replay
+	eps    float64
+	loss   float64
+}
+
+// NewAgent wires an agent to a simulated environment and a Q function.
+func NewAgent(sim *SimEnv, q QFunc, cfg AgentConfig) (*Agent, error) {
+	if sim == nil || q == nil {
+		return nil, errors.New("rl: nil environment or Q function")
+	}
+	if cfg.Rng == nil {
+		return nil, errors.New("rl: AgentConfig.Rng is required")
+	}
+	cfg = cfg.withDefaults(sim.Env().K())
+	return &Agent{
+		sim:    sim,
+		q:      q,
+		minis:  NewMiniActions(sim.Env()),
+		cfg:    cfg,
+		replay: NewReplay(cfg.ReplayCapacity),
+		eps:    cfg.Epsilon,
+		loss:   math.Inf(1),
+	}, nil
+}
+
+// Epsilon returns the current exploration rate.
+func (a *Agent) Epsilon() float64 { return a.eps }
+
+// DecideEvery returns the agent's decision interval in time instances.
+func (a *Agent) DecideEvery() int { return a.cfg.DecideEvery }
+
+// Greedy composes the highest-quality safe composite action for (s, t):
+// mini-actions are ranked by Q value and accepted greedily while each
+// intermediate composite stays FSM-valid and safe, mirroring the
+// exploitation loop's Max(Q[S_curr], c) fallback through the c-th best
+// action.
+func (a *Agent) Greedy(s env.State, t int) env.Action {
+	q := a.q.Q(s, t)
+	order := make([]int, len(q))
+	for i := range order {
+		order[i] = i
+	}
+	// insertion sort by q desc (M is small; avoids allocation-heavy sort.Slice)
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && q[order[j]] > q[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	noopQ := q[a.minis.NoOpIndex()]
+	act := env.NoOp(len(s))
+	added := 0
+	for _, idx := range order {
+		if idx == a.minis.NoOpIndex() || q[idx] <= noopQ {
+			break // nothing left better than doing nothing
+		}
+		dev, da := a.minis.Decode(idx)
+		if a.cfg.Actionable != nil && !a.cfg.Actionable(dev) {
+			continue
+		}
+		if act[dev] != device.NoAction {
+			continue
+		}
+		prev := act[dev]
+		act[dev] = da
+		if !a.sim.Safe(s, act) {
+			act[dev] = prev
+			continue
+		}
+		added++
+		if added >= a.cfg.MaxMiniActions {
+			break
+		}
+	}
+	return act
+}
+
+// explore draws a random safe composite action (the exploration branch of
+// Algorithm 2: resample until P_safe admits the transition).
+func (a *Agent) explore(s env.State) env.Action {
+	k := len(s)
+	for attempt := 0; attempt < 64; attempt++ {
+		act := env.NoOp(k)
+		// 0..MaxMiniActions mini-actions; zero keeps the idle transition in
+		// the experience stream so the agent learns the value of waiting.
+		n := a.cfg.Rng.Intn(a.cfg.MaxMiniActions + 1)
+		for j := 0; j < n; j++ {
+			dev := a.cfg.Rng.Intn(k)
+			if a.cfg.Actionable != nil && !a.cfg.Actionable(dev) {
+				continue
+			}
+			valid := a.sim.Env().Device(dev).ValidActions(s[dev])
+			if len(valid) == 0 {
+				continue
+			}
+			act[dev] = valid[a.cfg.Rng.Intn(len(valid))]
+		}
+		if a.sim.Safe(s, act) {
+			return act
+		}
+	}
+	// Fall back to any single safe mini-action, then to idling.
+	for idx := 1; idx < a.minis.Total(); idx++ {
+		dev, da := a.minis.Decode(idx)
+		if a.cfg.Actionable != nil && !a.cfg.Actionable(dev) {
+			continue
+		}
+		act := env.NoOp(k)
+		act[dev] = da
+		if a.sim.Safe(s, act) {
+			return act
+		}
+	}
+	return env.NoOp(k)
+}
+
+// maxNextQ returns the bootstrap value over the safe single mini-actions
+// from next, including idling. Classic DQN takes max over the lagged
+// target values; with DoubleDQN the online values pick the action and the
+// target values score it.
+func (a *Agent) maxNextQ(next env.State, t int) float64 {
+	target := a.q.QTarget(next, t)
+	score := target
+	var online []float64
+	if a.cfg.DoubleDQN {
+		online = append(online[:0], a.q.Q(next, t)...)
+		score = online
+	}
+	k := len(next)
+	bestIdx := a.minis.NoOpIndex()
+	bestScore := score[bestIdx]
+	for idx := 1; idx < a.minis.Total(); idx++ {
+		if score[idx] <= bestScore {
+			continue
+		}
+		dev, da := a.minis.Decode(idx)
+		if a.cfg.Actionable != nil && !a.cfg.Actionable(dev) {
+			continue
+		}
+		act := env.NoOp(k)
+		act[dev] = da
+		if a.sim.Safe(next, act) {
+			bestIdx, bestScore = idx, score[idx]
+		}
+	}
+	if a.cfg.DoubleDQN {
+		// Re-evaluate the chosen action under the target network (the
+		// target slice may have been invalidated by the online Q call).
+		return a.q.QTarget(next, t)[bestIdx]
+	}
+	return target[bestIdx]
+}
+
+// replayStep samples a mini-batch, computes bootstrapped targets
+// R + γ·max Q(S', A') and updates the Q function (the Replay procedure of
+// Algorithm 2).
+func (a *Agent) replayStep() error {
+	batch := a.replay.Sample(a.cfg.BatchSize, a.cfg.Rng)
+	targets := make([]float64, len(batch))
+	for i, exp := range batch {
+		target := exp.R
+		if !exp.Done {
+			target += a.cfg.Gamma * a.maxNextQ(exp.Next, exp.NextT)
+		}
+		targets[i] = target
+	}
+	loss, err := a.q.Update(batch, targets)
+	if err != nil {
+		return err
+	}
+	a.loss = loss
+	return nil
+}
+
+// Train runs Algorithm 2 for the configured number of episodes.
+func (a *Agent) Train() (TrainStats, error) {
+	stats := TrainStats{EpisodeRewards: make([]float64, 0, a.cfg.Episodes)}
+	a.sim.ResetViolations()
+	steps := 0
+	for ep := 0; ep < a.cfg.Episodes; ep++ {
+		violBefore := a.sim.Violations()
+		s := a.sim.Reset()
+		var total float64
+		n := a.sim.Instances()
+		for t := 0; t < n; t += a.cfg.DecideEvery {
+			var act env.Action
+			if a.cfg.Rng.Float64() < a.eps {
+				act = a.explore(s)
+			} else {
+				act = a.Greedy(s, t)
+			}
+			decided := s
+			var rsum float64
+			var done bool
+			for j := 0; j < a.cfg.DecideEvery && t+j < n; j++ {
+				stepAct := act
+				if j > 0 {
+					stepAct = env.NoOp(len(s))
+				}
+				next, r, d, err := a.sim.Step(stepAct)
+				if err != nil {
+					return stats, fmt.Errorf("rl: train episode %d instance %d: %w", ep, t+j, err)
+				}
+				rsum += r
+				s = next
+				done = d
+			}
+			total += rsum
+			a.replay.Add(Experience{
+				S: decided, T: t, Minis: a.minis.Of(act), R: rsum,
+				Next: s, NextT: t + a.cfg.DecideEvery, Done: done,
+			})
+			steps++
+			if a.replay.Len() >= a.cfg.BatchSize && steps%a.cfg.ReplayEvery == 0 {
+				if err := a.replayStep(); err != nil {
+					return stats, err
+				}
+			}
+		}
+		stats.EpisodeRewards = append(stats.EpisodeRewards, total)
+		stats.EpisodeViolations = append(stats.EpisodeViolations, a.sim.Violations()-violBefore)
+		if a.eps > a.cfg.EpsilonMin && a.loss <= a.cfg.PreferableLoss {
+			a.eps *= a.cfg.EpsilonDecay
+			if a.eps < a.cfg.EpsilonMin {
+				a.eps = a.cfg.EpsilonMin
+			}
+		}
+	}
+	stats.FinalEpsilon = a.eps
+	stats.FinalLoss = a.loss
+	stats.Violations = a.sim.Violations()
+	return stats, nil
+}
+
+// Evaluate runs one greedy (ε=0) episode and returns its cumulative reward
+// and the actions taken per instance (NoOps fill non-decision instances).
+func (a *Agent) Evaluate() (float64, []env.Action, error) {
+	s := a.sim.Reset()
+	var total float64
+	n := a.sim.Instances()
+	acts := make([]env.Action, 0, n)
+	for t := 0; t < n; t++ {
+		var act env.Action
+		if t%a.cfg.DecideEvery == 0 {
+			act = a.Greedy(s, t)
+		} else {
+			act = env.NoOp(len(s))
+		}
+		next, r, _, err := a.sim.Step(act)
+		if err != nil {
+			return total, acts, fmt.Errorf("rl: evaluate instance %d: %w", t, err)
+		}
+		total += r
+		acts = append(acts, act)
+		s = next
+	}
+	return total, acts, nil
+}
+
+// Recommend returns the best safe action for an arbitrary (state,
+// instance) — the paper's "the user may take some actions manually and
+// depend on Jarvis for others" mode.
+func (a *Agent) Recommend(s env.State, t int) env.Action {
+	return a.Greedy(s, t)
+}

@@ -1,0 +1,45 @@
+package rl
+
+import (
+	"math"
+
+	"jarvis/internal/env"
+)
+
+// Features encodes (state, time-instance) pairs for the DQN: a one-hot
+// encoding of every device state plus three time features (normalized
+// instance and its sin/cos phase within the episode).
+type Features struct {
+	e   *env.Environment
+	n   int // instances per episode
+	dim int
+}
+
+// NewFeatures builds an encoder for episodes of n time instances.
+func NewFeatures(e *env.Environment, n int) *Features {
+	dim := 3
+	for _, d := range e.Devices() {
+		dim += d.NumStates()
+	}
+	return &Features{e: e, n: n, dim: dim}
+}
+
+// Dim returns the feature-vector width.
+func (f *Features) Dim() int { return f.dim }
+
+// Encode writes the features of (s, t) into a fresh vector.
+func (f *Features) Encode(s env.State, t int) []float64 {
+	x := make([]float64, f.dim)
+	i := 0
+	for di, d := range f.e.Devices() {
+		if st := int(s[di]); st >= 0 && st < d.NumStates() {
+			x[i+st] = 1
+		}
+		i += d.NumStates()
+	}
+	phase := float64(t) / float64(f.n)
+	x[i] = phase
+	x[i+1] = math.Sin(2 * math.Pi * phase)
+	x[i+2] = math.Cos(2 * math.Pi * phase)
+	return x
+}

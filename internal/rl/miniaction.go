@@ -1,0 +1,88 @@
+// Package rl implements the Q-learning solution of the Jarvis paper
+// (Section IV-C, Algorithm 2, and the practical deep-learning design of
+// Section V-A7): a Gym-like simulated environment over the IoT FSM, an
+// experience-replay buffer, a mini-action decomposition that keeps the
+// network's output head linear in the number of devices, and an ε-greedy
+// agent whose exploration and exploitation are constrained by the safe
+// state-transition table P_safe.
+package rl
+
+import (
+	"fmt"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+)
+
+// MiniActions indexes the environment's mini-action space (Section V-A7):
+// index 0 is the global no-op; the remaining indices enumerate
+// (device, device-action) pairs in device order. The mini-action space
+// grows linearly with the number of devices, unlike the exponential
+// composite action space.
+type MiniActions struct {
+	e       *env.Environment
+	offsets []int // offsets[i] = first index of device i's actions
+	total   int
+}
+
+// NewMiniActions builds the index for an environment.
+func NewMiniActions(e *env.Environment) *MiniActions {
+	m := &MiniActions{e: e, offsets: make([]int, e.K())}
+	idx := 1 // 0 = no-op
+	for i := 0; i < e.K(); i++ {
+		m.offsets[i] = idx
+		idx += e.Device(i).NumActions()
+	}
+	m.total = idx
+	return m
+}
+
+// Total returns the number of mini-actions (including the no-op).
+func (m *MiniActions) Total() int { return m.total }
+
+// NoOpIndex returns the index of the global no-op mini-action.
+func (m *MiniActions) NoOpIndex() int { return 0 }
+
+// Decode returns the (device, action) pair of a mini-action index. The
+// no-op decodes to (-1, NoAction).
+func (m *MiniActions) Decode(idx int) (dev int, act device.ActionID) {
+	if idx <= 0 || idx >= m.total {
+		return -1, device.NoAction
+	}
+	for i := m.e.K() - 1; i >= 0; i-- {
+		if idx >= m.offsets[i] {
+			return i, device.ActionID(idx - m.offsets[i])
+		}
+	}
+	return -1, device.NoAction
+}
+
+// Encode returns the mini-action index of a (device, action) pair.
+func (m *MiniActions) Encode(dev int, act device.ActionID) (int, error) {
+	if dev < 0 || dev >= m.e.K() {
+		return 0, fmt.Errorf("rl: unknown device %d", dev)
+	}
+	if act == device.NoAction {
+		return 0, nil
+	}
+	if int(act) < 0 || int(act) >= m.e.Device(dev).NumActions() {
+		return 0, fmt.Errorf("rl: device %d has no action %d", dev, act)
+	}
+	return m.offsets[dev] + int(act), nil
+}
+
+// Of lists the mini-action indices that compose a composite action
+// (excluding untouched devices). A pure no-op yields [NoOpIndex].
+func (m *MiniActions) Of(a env.Action) []int {
+	var out []int
+	for dev, act := range a {
+		if act == device.NoAction {
+			continue
+		}
+		out = append(out, m.offsets[dev]+int(act))
+	}
+	if len(out) == 0 {
+		out = append(out, 0)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package rl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"jarvis/internal/nn"
+)
+
+// tableQJSON is the serialized form of a TableQ.
+type tableQJSON struct {
+	Alpha   float64              `json:"alpha"`
+	Buckets int                  `json:"buckets"`
+	N       int                  `json:"instances"`
+	Minis   int                  `json:"miniActions"`
+	Rows    map[string][]float64 `json:"rows"`
+}
+
+// Save persists the Q table as JSON, so a trained policy can be reloaded
+// without retraining.
+func (t *TableQ) Save(w io.Writer) error {
+	out := tableQJSON{
+		Alpha:   t.Alpha,
+		Buckets: t.buckets,
+		N:       t.n,
+		Minis:   t.minis.Total(),
+		Rows:    make(map[string][]float64, len(t.q)),
+	}
+	for key, row := range t.q {
+		out.Rows[fmt.Sprintf("%d.%d", key.s, key.b)] = row
+	}
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		return fmt.Errorf("rl: save table: %w", err)
+	}
+	return nil
+}
+
+// Load restores a Q table saved with Save into t. The mini-action space
+// and episode shape must match.
+func (t *TableQ) Load(r io.Reader) error {
+	var in tableQJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("rl: load table: %w", err)
+	}
+	if in.Minis != t.minis.Total() {
+		return fmt.Errorf("rl: load table: %d mini-actions, environment has %d", in.Minis, t.minis.Total())
+	}
+	if in.Buckets != t.buckets || in.N != t.n {
+		return fmt.Errorf("rl: load table: shape %d buckets/%d instances, want %d/%d",
+			in.Buckets, in.N, t.buckets, t.n)
+	}
+	rows := make(map[tableKey][]float64, len(in.Rows))
+	for keyStr, row := range in.Rows {
+		var key tableKey
+		if _, err := fmt.Sscanf(keyStr, "%d.%d", &key.s, &key.b); err != nil {
+			return fmt.Errorf("rl: load table: bad row key %q: %w", keyStr, err)
+		}
+		if len(row) != in.Minis {
+			return fmt.Errorf("rl: load table: row %q has %d values, want %d", keyStr, len(row), in.Minis)
+		}
+		rows[key] = row
+	}
+	if in.Alpha > 0 {
+		t.Alpha = in.Alpha
+	}
+	t.q = rows
+	return nil
+}
+
+// Save persists the DQN's online network (the target network is
+// reconstructed on load).
+func (d *DQN) Save(w io.Writer) error { return d.net.Save(w) }
+
+// Load restores the DQN's weights from a model saved with Save and resets
+// the target network to match.
+func (d *DQN) Load(r io.Reader) error {
+	loaded, err := nn.Load(r)
+	if err != nil {
+		return err
+	}
+	if loaded.Inputs() != d.net.Inputs() || loaded.Outputs() != d.net.Outputs() {
+		return fmt.Errorf("rl: load dqn: model shape %d->%d, want %d->%d",
+			loaded.Inputs(), loaded.Outputs(), d.net.Inputs(), d.net.Outputs())
+	}
+	d.net = loaded
+	d.target = loaded.Clone()
+	d.updates = 0
+	return nil
+}

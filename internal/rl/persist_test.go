@@ -1,0 +1,119 @@
+package rl
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"jarvis/internal/env"
+)
+
+func TestTableQSaveLoadRoundTrip(t *testing.T) {
+	e := testEnv(t)
+	q := NewTableQ(e, 10, 5, 0.3)
+	s := env.State{0, 1}
+	if _, err := q.Update([]Experience{
+		{S: s, T: 2, Minis: []int{1}},
+		{S: env.State{1, 0}, T: 7, Minis: []int{3}},
+	}, []float64{4, -2}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := q.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	q2 := NewTableQ(e, 10, 5, 0.3)
+	if err := q2.Load(&buf); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got, want := q2.Q(s, 2)[1], q.Q(s, 2)[1]; got != want {
+		t.Errorf("loaded Q = %g, want %g", got, want)
+	}
+	if q2.Size() != q.Size() {
+		t.Errorf("Size %d vs %d", q2.Size(), q.Size())
+	}
+}
+
+func TestTableQLoadErrors(t *testing.T) {
+	e := testEnv(t)
+	q := NewTableQ(e, 10, 5, 0.3)
+	cases := []string{
+		`junk`,
+		`{"alpha":0.3,"buckets":9,"instances":10,"miniActions":5,"rows":{}}`,  // bucket mismatch
+		`{"alpha":0.3,"buckets":5,"instances":10,"miniActions":99,"rows":{}}`, // mini mismatch
+		`{"alpha":0.3,"buckets":5,"instances":10,"miniActions":5,"rows":{"abc":[1,2,3,4,5]}}`,
+		`{"alpha":0.3,"buckets":5,"instances":10,"miniActions":5,"rows":{"1.1":[1]}}`, // row width
+	}
+	for i, c := range cases {
+		if err := q.Load(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: Load succeeded, want error", i)
+		}
+	}
+}
+
+func TestDQNSaveLoadRoundTrip(t *testing.T) {
+	e := testEnv(t)
+	rng := rand.New(rand.NewSource(4))
+	d, err := NewDQN(e, 10, DQNConfig{Hidden: []int{8}}, rng)
+	if err != nil {
+		t.Fatalf("NewDQN: %v", err)
+	}
+	s := env.State{1, 0}
+	if _, err := d.Update([]Experience{{S: s, T: 3, Minis: []int{2}}}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float64(nil), d.Q(s, 3)...)
+
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	d2, err := NewDQN(e, 10, DQNConfig{Hidden: []int{8}}, rng)
+	if err != nil {
+		t.Fatalf("NewDQN: %v", err)
+	}
+	if err := d2.Load(&buf); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	got := d2.Q(s, 3)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("loaded Q differs at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+	// Target network follows the loaded weights.
+	tq := d2.QTarget(s, 3)
+	for i := range want {
+		if tq[i] != want[i] {
+			t.Fatal("target network not reset on load")
+		}
+	}
+	if err := d2.Load(strings.NewReader("junk")); err == nil {
+		t.Error("junk should fail to load")
+	}
+	// Shape mismatch: network trained for a wider architecture.
+	wide, err := NewDQN(e, 10, DQNConfig{Hidden: []int{8}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var other bytes.Buffer
+	if err := wide.Save(&other); err != nil {
+		t.Fatal(err)
+	}
+	// Same env means same shape; force a mismatch by corrupting dims via a
+	// different env (3 devices).
+	e3 := func() *env.Environment { return testEnv3(t) }()
+	d3, err := NewDQN(e3, 10, DQNConfig{Hidden: []int{8}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf3 bytes.Buffer
+	if err := d3.Save(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Load(&buf3); err == nil {
+		t.Error("shape mismatch should fail to load")
+	}
+}

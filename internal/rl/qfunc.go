@@ -1,0 +1,227 @@
+package rl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jarvis/internal/env"
+	"jarvis/internal/nn"
+)
+
+// QFunc estimates mini-action quality values for a (state, instance) pair
+// and learns from replayed experience. Implementations: TableQ (exact,
+// small environments) and DQN (deep Q network, Section V-A6/7).
+type QFunc interface {
+	// Q returns one quality value per mini-action. The returned slice is
+	// owned by the QFunc and overwritten on the next call.
+	Q(s env.State, t int) []float64
+	// QTarget returns the bootstrap-target quality values — a lagged copy
+	// for the DQN (the standard target-network stabilizer), identical to
+	// Q for the tabular backend.
+	QTarget(s env.State, t int) []float64
+	// Update learns from a mini-batch: every executed mini-action's value
+	// moves toward target(exp). It returns the training loss.
+	Update(batch []Experience, targets []float64) (float64, error)
+}
+
+// TableQ is an exact tabular Q function over (state-key, instance bucket,
+// mini-action). It is exact for the small Table I environment and serves
+// as the no-DNN ablation baseline.
+type TableQ struct {
+	e     *env.Environment
+	minis *MiniActions
+	// Alpha is the tabular learning rate α of the temporal-difference
+	// update (Section II-B).
+	Alpha float64
+	// buckets folds time instances together to keep the table small;
+	// 1 bucket = time-independent.
+	buckets int
+	n       int
+	q       map[tableKey][]float64
+	out     []float64
+}
+
+type tableKey struct {
+	s uint64
+	b int
+}
+
+// NewTableQ builds a tabular Q function with the given time-bucket count
+// (minimum 1) for episodes of n instances.
+func NewTableQ(e *env.Environment, n, buckets int, alpha float64) *TableQ {
+	if buckets < 1 {
+		buckets = 1
+	}
+	if alpha <= 0 {
+		alpha = 0.1
+	}
+	m := NewMiniActions(e)
+	return &TableQ{
+		e: e, minis: m, Alpha: alpha,
+		buckets: buckets, n: n,
+		q:   make(map[tableKey][]float64),
+		out: make([]float64, m.Total()),
+	}
+}
+
+func (t *TableQ) bucket(inst int) int {
+	if t.n <= 0 {
+		return 0
+	}
+	b := inst * t.buckets / t.n
+	if b >= t.buckets {
+		b = t.buckets - 1
+	}
+	return b
+}
+
+func (t *TableQ) row(s env.State, inst int) []float64 {
+	key := tableKey{s: t.e.StateKey(s), b: t.bucket(inst)}
+	row, ok := t.q[key]
+	if !ok {
+		row = make([]float64, t.minis.Total())
+		t.q[key] = row
+	}
+	return row
+}
+
+// QTarget implements QFunc; the tabular backend has no lag.
+func (t *TableQ) QTarget(s env.State, inst int) []float64 { return t.Q(s, inst) }
+
+// Q implements QFunc. Reading an unseen (state, bucket) returns zeros
+// without populating the table.
+func (t *TableQ) Q(s env.State, inst int) []float64 {
+	key := tableKey{s: t.e.StateKey(s), b: t.bucket(inst)}
+	row, ok := t.q[key]
+	if !ok {
+		for i := range t.out {
+			t.out[i] = 0
+		}
+		return t.out
+	}
+	copy(t.out, row)
+	return t.out
+}
+
+// Update implements QFunc using the temporal-difference rule
+// Q ← Q + α(target − Q).
+func (t *TableQ) Update(batch []Experience, targets []float64) (float64, error) {
+	if len(batch) != len(targets) {
+		return 0, fmt.Errorf("rl: %d experiences but %d targets", len(batch), len(targets))
+	}
+	var loss float64
+	for i, exp := range batch {
+		row := t.row(exp.S, exp.T)
+		for _, mi := range exp.Minis {
+			d := targets[i] - row[mi]
+			row[mi] += t.Alpha * d
+			loss += d * d
+		}
+	}
+	return loss / float64(len(batch)), nil
+}
+
+// Size returns the number of populated table rows.
+func (t *TableQ) Size() int { return len(t.q) }
+
+var _ QFunc = (*TableQ)(nil)
+
+// DQNConfig parameterizes the deep Q network. The paper's prototype uses
+// two hidden layers and learning rate 0.001 (Section V-A6).
+type DQNConfig struct {
+	// Hidden lists hidden-layer widths (default [64, 64]).
+	Hidden []int
+	// LR is the Adam learning rate (default 0.001).
+	LR float64
+	// TargetSync copies the online network into the lagged target network
+	// every this many Update calls (default 64; 1 disables lagging).
+	TargetSync int
+}
+
+// DQN approximates Q with a feed-forward network whose output head has one
+// unit per mini-action (the action-space-explosion fix of Section V-A7).
+type DQN struct {
+	feat    *Features
+	minis   *MiniActions
+	net     *nn.Network
+	target  *nn.Network
+	opt     *nn.Adam
+	sync    int
+	updates int
+}
+
+var _ QFunc = (*DQN)(nil)
+
+// NewDQN builds the network for episodes of n instances.
+func NewDQN(e *env.Environment, n int, cfg DQNConfig, rng *rand.Rand) (*DQN, error) {
+	hidden := cfg.Hidden
+	if len(hidden) == 0 {
+		hidden = []int{64, 64}
+	}
+	lr := cfg.LR
+	if lr <= 0 {
+		lr = 0.001
+	}
+	feat := NewFeatures(e, n)
+	minis := NewMiniActions(e)
+	specs := make([]nn.LayerSpec, 0, len(hidden)+1)
+	for _, h := range hidden {
+		specs = append(specs, nn.LayerSpec{Units: h, Act: nn.ReLU})
+	}
+	specs = append(specs, nn.LayerSpec{Units: minis.Total(), Act: nn.Linear})
+	net, err := nn.New(nn.Config{Inputs: feat.Dim(), Layers: specs}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("rl: dqn: %w", err)
+	}
+	syncEvery := cfg.TargetSync
+	if syncEvery <= 0 {
+		syncEvery = 64
+	}
+	return &DQN{
+		feat: feat, minis: minis,
+		net: net, target: net.Clone(),
+		opt: nn.NewAdam(lr), sync: syncEvery,
+	}, nil
+}
+
+// Q implements QFunc.
+func (d *DQN) Q(s env.State, t int) []float64 {
+	return d.net.Forward(d.feat.Encode(s, t))
+}
+
+// QTarget implements QFunc using the lagged target network.
+func (d *DQN) QTarget(s env.State, t int) []float64 {
+	return d.target.Forward(d.feat.Encode(s, t))
+}
+
+// Update implements QFunc: for each experience, the target vector equals
+// the current prediction except at the executed mini-action indices, which
+// move to the supplied target — the standard masked DQN regression.
+func (d *DQN) Update(batch []Experience, targets []float64) (float64, error) {
+	if len(batch) != len(targets) {
+		return 0, fmt.Errorf("rl: %d experiences but %d targets", len(batch), len(targets))
+	}
+	samples := make([]nn.Sample, len(batch))
+	for i, exp := range batch {
+		x := d.feat.Encode(exp.S, exp.T)
+		y := d.net.Predict(x)
+		for _, mi := range exp.Minis {
+			y[mi] = targets[i]
+		}
+		samples[i] = nn.Sample{X: x, Y: y}
+	}
+	loss, err := d.net.TrainBatch(samples, nn.Huber, d.opt)
+	if err != nil {
+		return 0, fmt.Errorf("rl: dqn update: %w", err)
+	}
+	d.updates++
+	if d.updates%d.sync == 0 {
+		if err := d.target.CopyWeightsFrom(d.net); err != nil {
+			return 0, fmt.Errorf("rl: dqn target sync: %w", err)
+		}
+	}
+	return loss, nil
+}
+
+// Net exposes the underlying network (for persistence).
+func (d *DQN) Net() *nn.Network { return d.net }

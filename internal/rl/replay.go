@@ -1,0 +1,66 @@
+package rl
+
+import (
+	"math/rand"
+
+	"jarvis/internal/env"
+)
+
+// Experience is one agent step stored for replay (Section V-A6): the state
+// and instance it acted in, the mini-actions composing the executed
+// composite action, the observed reward, and the successor.
+type Experience struct {
+	S     env.State
+	T     int
+	Minis []int // mini-action indices of the composite action
+	R     float64
+	Next  env.State
+	NextT int
+	Done  bool
+}
+
+// Replay is a fixed-capacity ring buffer of experiences with uniform
+// random sampling — the paper's "agent remembers the actions and
+// corresponding cumulative rewards for all previous replays of prior
+// episodes".
+type Replay struct {
+	buf  []Experience
+	next int
+	full bool
+}
+
+// NewReplay creates a buffer holding at most capacity experiences.
+func NewReplay(capacity int) *Replay {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Replay{buf: make([]Experience, 0, capacity)}
+}
+
+// Add stores an experience, evicting the oldest when full.
+func (r *Replay) Add(e Experience) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.full = true
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Len returns the number of stored experiences.
+func (r *Replay) Len() int { return len(r.buf) }
+
+// Sample draws a uniform random mini-batch of size n (with replacement
+// when n exceeds the buffer length is never needed: n is clamped).
+func (r *Replay) Sample(n int, rng *rand.Rand) []Experience {
+	if n > len(r.buf) {
+		n = len(r.buf)
+	}
+	out := make([]Experience, 0, n)
+	perm := rng.Perm(len(r.buf))
+	for _, i := range perm[:n] {
+		out = append(out, r.buf[i])
+	}
+	return out
+}

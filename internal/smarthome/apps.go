@@ -1,0 +1,153 @@
+package smarthome
+
+import (
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+)
+
+// TARule is a trigger-action app rule in the paper's Table II form: a
+// partial state pattern (trigger; unmentioned devices are the 'X'
+// wildcard) and a set of device actions (unmentioned devices are 'O').
+type TARule struct {
+	// Number is the Table II app number (1..5); 0 for custom rules.
+	Number int
+	Name   string
+	// Description is the natural-language behavior from Table II.
+	Description string
+	// Trigger maps device index → required state.
+	Trigger map[int]device.StateID
+	// Actions maps device index → action to execute when triggered.
+	Actions map[int]device.ActionID
+}
+
+// Matches reports whether the trigger pattern matches a composite state.
+func (r TARule) Matches(s env.State) bool {
+	for dev, want := range r.Trigger {
+		if dev >= len(s) || s[dev] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Action expands the rule's actions into a composite action for an
+// environment with k devices.
+func (r TARule) Action(k int) env.Action {
+	a := env.NoOp(k)
+	for dev, act := range r.Actions {
+		if dev < k {
+			a[dev] = act
+		}
+	}
+	return a
+}
+
+// Requests converts the rule into per-device environment requests on
+// behalf of a user through an app.
+func (r TARule) Requests(user, app int) []env.Request {
+	out := make([]env.Request, 0, len(r.Actions))
+	for dev, act := range r.Actions {
+		out = append(out, env.Request{User: user, App: app, Device: dev, Action: act})
+	}
+	return out
+}
+
+// CoreIndices locates the five Table I devices inside any home layout.
+type CoreIndices struct {
+	Lock, DoorSensor, Light, Thermostat, TempSensor int
+}
+
+// Core returns the Table I device indices of the 5-device home.
+func (h *TableIHome) Core() CoreIndices {
+	return CoreIndices{
+		Lock: h.Lock, DoorSensor: h.DoorSensor, Light: h.Light,
+		Thermostat: h.Thermostat, TempSensor: h.TempSensor,
+	}
+}
+
+// Core returns the Table I device indices of the 11-device home (the
+// living-room light plays D_2).
+func (h *FullHome) Core() CoreIndices {
+	return CoreIndices{
+		Lock: h.Lock, DoorSensor: h.DoorSensor, Light: h.LivingLight,
+		Thermostat: h.Thermostat, TempSensor: h.TempSensor,
+	}
+}
+
+// TableIIApps returns the five common IFTTT apps of Table II expressed
+// over the given device layout.
+func TableIIApps(c CoreIndices) []TARule {
+	return []TARule{
+		{
+			Number:      1,
+			Name:        "door-unlock-on-arrival",
+			Description: "Door unlocks when authenticated user arrives at the door",
+			Trigger: map[int]device.StateID{
+				c.Lock:       LockLockedOutside,
+				c.DoorSensor: DoorAuthUser,
+			},
+			Actions: map[int]device.ActionID{
+				c.Lock: 1, // unlock (a_{0_1})
+			},
+		},
+		{
+			Number:      2,
+			Name:        "maintain-optimal-temperature-heat",
+			Description: "Maintain optimal temperature in the house (heat when below optimum)",
+			Trigger: map[int]device.StateID{
+				c.TempSensor: TempBelow,
+			},
+			Actions: map[int]device.ActionID{
+				c.Thermostat: ThermostatActHeat,
+			},
+		},
+		{
+			Number:      2,
+			Name:        "maintain-optimal-temperature-cool",
+			Description: "Maintain optimal temperature in the house (cool when above optimum)",
+			Trigger: map[int]device.StateID{
+				c.TempSensor: TempAbove,
+			},
+			Actions: map[int]device.ActionID{
+				c.Thermostat: ThermostatActCool,
+			},
+		},
+		{
+			Number:      3,
+			Name:        "lights-on-arrival",
+			Description: "Lights turn on when user arrives home",
+			Trigger: map[int]device.StateID{
+				c.Lock:       LockLockedOutside,
+				c.DoorSensor: DoorAuthUser,
+			},
+			Actions: map[int]device.ActionID{
+				c.Light: 1, // power_on
+			},
+		},
+		{
+			Number:      4,
+			Name:        "fire-alarm-response",
+			Description: "Door is opened / lights turned on when fire alarm is raised",
+			Trigger: map[int]device.StateID{
+				c.TempSensor: TempFireAlarm,
+			},
+			Actions: map[int]device.ActionID{
+				c.Lock:  1, // unlock
+				c.Light: 1, // power_on
+			},
+		},
+		{
+			Number:      5,
+			Name:        "departure-shutdown",
+			Description: "Thermostat/lights turned off when user leaves the house",
+			Trigger: map[int]device.StateID{
+				c.Lock:       LockLockedOutside,
+				c.DoorSensor: DoorSensing,
+			},
+			Actions: map[int]device.ActionID{
+				c.Light:      0, // power_off
+				c.Thermostat: ThermostatActOff,
+			},
+		},
+	}
+}

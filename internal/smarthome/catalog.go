@@ -1,0 +1,317 @@
+// Package smarthome instantiates Jarvis for a smart home (Section V of the
+// paper): the exact 5-device FSM of Table I, the k=11 device home used in
+// the functionality evaluation of Section VI-D, the five IFTTT-style apps
+// of Table II, device-specific dis-utility values, the house thermal model,
+// and the three normalized functionality reward functions (energy use,
+// energy cost under day-ahead-market prices, and temperature comfort).
+package smarthome
+
+import "jarvis/internal/device"
+
+// Canonical state/action names shared by the catalog. Matching the paper's
+// Table I vocabulary keeps the experiment output comparable.
+const (
+	StateOff = "off"
+	StateOn  = "on"
+
+	ActOff        = "power_off"
+	ActOn         = "power_on"
+	ActLock       = "lock"
+	ActUnlock     = "unlock"
+	ActLockInside = "lock_inside"
+	ActIncTemp    = "increase_temp"
+	ActDecTemp    = "decrease_temp"
+	ActStart      = "start"
+	ActStop       = "stop"
+	ActOpenDoor   = "open_door"
+	ActCloseDoor  = "close_door"
+
+	// Sensor reading "actions": in the event architecture every attribute
+	// change is published as a command-carrying event (Figure 2), so
+	// sensor readings are modelled as device actions taken by the
+	// environment itself. This lets the SPL learn sensor transitions as
+	// ordinary trigger→action behavior.
+	ActDetectAuth   = "detect_auth"
+	ActDetectUnauth = "detect_unauth"
+	ActClear        = "clear"
+	ActReadAbove    = "read_above"
+	ActReadBelow    = "read_below"
+	ActReadOptimal  = "read_optimal"
+	ActRaiseAlarm   = "raise_alarm"
+	ActClearAlarm   = "clear_alarm"
+)
+
+// Per-device dis-utility values ω_i (Section V-A4): devices requiring
+// immediate action and drawing little power (lights, locks, doorbells) have
+// high ω; power-hungry deferrable appliances (HVAC, washers, dishwashers)
+// have low ω.
+const (
+	OmegaHigh   = 0.9 // locks, lights, doorbells, sensors
+	OmegaMedium = 0.5 // TV, oven, fridge door, coffee maker
+	OmegaLow    = 0.1 // HVAC/thermostat, washer, dishwasher
+)
+
+// Lock state/action indices (Table I, D_0).
+const (
+	LockLockedOutside device.StateID = iota
+	LockUnlocked
+	LockOff
+	LockLockedInside
+)
+
+// NewLock builds the Table I smart lock D_0: states
+// locked(outside)/unlocked/off/locked(inside). Table I lists a single
+// "Lock" action; a deterministic FSM needs distinct targets, so the lock
+// exposes lock (→ locked_outside) and lock_inside (→ locked_inside) while
+// keeping the paper's action indices for lock/unlock/power_off/power_on.
+func NewLock(name string) *device.Device {
+	return device.NewBuilder(name, device.TypeLock).
+		States("locked_outside", "unlocked", StateOff, "locked_inside").
+		Actions(ActLock, ActUnlock, ActOff, ActOn, ActLockInside).
+		Transition("unlocked", ActLock, "locked_outside").
+		Transition("unlocked", ActLockInside, "locked_inside").
+		Transition("locked_outside", ActUnlock, "unlocked").
+		Transition("locked_inside", ActUnlock, "unlocked").
+		TransitionAll(ActOff, StateOff).
+		Transition(StateOff, ActOn, "locked_outside").
+		PowerW("locked_outside", 2).
+		PowerW("unlocked", 2).
+		PowerW("locked_inside", 2).
+		UniformDisUtility(OmegaHigh).
+		MustBuild()
+}
+
+// Door-sensor states (Table I, D_1).
+const (
+	DoorSensing device.StateID = iota
+	DoorAuthUser
+	DoorUnauthUser
+	DoorOff
+)
+
+// NewDoorSensor builds the Table I door touch sensor D_1: states
+// sensing / auth-user / unauth-user (+ off), actions power_off / power_on.
+// User detections are exogenous events: the sensor returns to "sensing" by
+// itself, so detection states appear via the environment's Exo dynamics,
+// not agent actions.
+func NewDoorSensor(name string) *device.Device {
+	return device.NewBuilder(name, device.TypeDoorSensor).
+		States("sensing", "auth_user", "unauth_user", StateOff).
+		Actions(ActOff, ActOn, ActDetectAuth, ActDetectUnauth, ActClear).
+		TransitionAll(ActOff, StateOff).
+		Transition(StateOff, ActOn, "sensing").
+		Transition("sensing", ActDetectAuth, "auth_user").
+		Transition("sensing", ActDetectUnauth, "unauth_user").
+		Transition("auth_user", ActClear, "sensing").
+		Transition("unauth_user", ActClear, "sensing").
+		PowerW("sensing", 1).
+		PowerW("auth_user", 1).
+		PowerW("unauth_user", 1).
+		UniformDisUtility(OmegaHigh).
+		MustBuild()
+}
+
+// NewLight builds a smart light: off/on, power_off/power_on.
+func NewLight(name string, watts float64) *device.Device {
+	return device.NewBuilder(name, device.TypeLight).
+		States(StateOff, StateOn).
+		Actions(ActOff, ActOn).
+		Transition(StateOn, ActOff, StateOff).
+		Transition(StateOff, ActOn, StateOn).
+		PowerW(StateOn, watts).
+		UniformDisUtility(OmegaHigh).
+		MustBuild()
+}
+
+// Thermostat states (Table I, D_3).
+const (
+	ThermostatHeat device.StateID = iota
+	ThermostatCool
+	ThermostatOff
+)
+
+// Thermostat action indices (Table I, D_3): increase_temp drives the HVAC
+// into heating, decrease_temp into cooling.
+const (
+	ThermostatActHeat device.ActionID = iota // increase_temp
+	ThermostatActCool                        // decrease_temp
+	ThermostatActOff
+	ThermostatActOn
+)
+
+// NewThermostat builds the Table I thermostat D_3: states heat/cool/off,
+// actions increase_temp/decrease_temp/power_off/power_on.
+func NewThermostat(name string, watts float64) *device.Device {
+	return device.NewBuilder(name, device.TypeThermostat).
+		States("heat", "cool", StateOff).
+		Actions(ActIncTemp, ActDecTemp, ActOff, ActOn).
+		TransitionAll(ActIncTemp, "heat").
+		TransitionAll(ActDecTemp, "cool").
+		TransitionAll(ActOff, StateOff).
+		Transition(StateOff, ActOn, "heat").
+		PowerW("heat", watts).
+		PowerW("cool", watts).
+		UniformDisUtility(OmegaLow).
+		MustBuild()
+}
+
+// Temperature-sensor states (Table I, D_4). Note Table I's p_{4_0} is
+// "Above Opt. Temp" and p_{4_1} "Below Opt. Temp".
+const (
+	TempAbove device.StateID = iota
+	TempBelow
+	TempOptimal
+	TempFireAlarm
+	TempOff
+)
+
+// NewTempSensor builds the Table I temperature sensor D_4: states
+// above/below/optimal/fire-alarm (+ off), actions power_off/power_on.
+// Temperature readings move exogenously with the thermal model.
+func NewTempSensor(name string) *device.Device {
+	b := device.NewBuilder(name, device.TypeTempSensor).
+		States("above_optimal", "below_optimal", "optimal", "fire_alarm", StateOff).
+		Actions(ActOff, ActOn, ActReadAbove, ActReadBelow, ActReadOptimal, ActRaiseAlarm, ActClearAlarm).
+		TransitionAll(ActOff, StateOff).
+		Transition(StateOff, ActOn, "optimal").
+		Transition("fire_alarm", ActClearAlarm, "optimal")
+	for _, from := range []string{"above_optimal", "below_optimal", "optimal"} {
+		b.Transition(from, ActReadAbove, "above_optimal").
+			Transition(from, ActReadBelow, "below_optimal").
+			Transition(from, ActReadOptimal, "optimal").
+			Transition(from, ActRaiseAlarm, "fire_alarm")
+	}
+	return b.
+		PowerW("above_optimal", 1).
+		PowerW("below_optimal", 1).
+		PowerW("optimal", 1).
+		PowerW("fire_alarm", 1).
+		UniformDisUtility(OmegaHigh).
+		MustBuild()
+}
+
+// Fridge states.
+const (
+	FridgeClosed device.StateID = iota
+	FridgeOpen
+	FridgeOff
+)
+
+// NewFridge builds a fridge: running with the door closed or open, or
+// powered off. Leaving the door open is the canonical SIMADL benign
+// anomaly.
+func NewFridge(name string, watts float64) *device.Device {
+	return device.NewBuilder(name, device.TypeFridge).
+		States("closed", "open", StateOff).
+		Actions(ActOpenDoor, ActCloseDoor, ActOff, ActOn).
+		Transition("closed", ActOpenDoor, "open").
+		Transition("open", ActCloseDoor, "closed").
+		TransitionAll(ActOff, StateOff).
+		Transition(StateOff, ActOn, "closed").
+		PowerW("closed", 150).
+		PowerW("open", watts).
+		UniformDisUtility(OmegaMedium).
+		MustBuild()
+}
+
+// NewOven builds an oven: off/on.
+func NewOven(name string, watts float64) *device.Device {
+	return device.NewBuilder(name, device.TypeOven).
+		States(StateOff, StateOn).
+		Actions(ActOff, ActOn).
+		Transition(StateOn, ActOff, StateOff).
+		Transition(StateOff, ActOn, StateOn).
+		PowerW(StateOn, watts).
+		UniformDisUtility(OmegaMedium).
+		MustBuild()
+}
+
+// NewTV builds a television: off/on.
+func NewTV(name string, watts float64) *device.Device {
+	return device.NewBuilder(name, device.TypeTV).
+		States(StateOff, StateOn).
+		Actions(ActOff, ActOn).
+		Transition(StateOn, ActOff, StateOff).
+		Transition(StateOff, ActOn, StateOn).
+		PowerW(StateOn, watts).
+		UniformDisUtility(OmegaMedium).
+		MustBuild()
+}
+
+// Appliance (washer/dishwasher) states.
+const (
+	ApplianceIdle device.StateID = iota
+	ApplianceRunning
+	ApplianceOff
+)
+
+// newCycleAppliance builds a start/stop appliance (washer, dishwasher).
+func newCycleAppliance(name, typ string, watts float64) *device.Device {
+	return device.NewBuilder(name, typ).
+		States("idle", "running", StateOff).
+		Actions(ActStart, ActStop, ActOff, ActOn).
+		Transition("idle", ActStart, "running").
+		Transition("running", ActStop, "idle").
+		TransitionAll(ActOff, StateOff).
+		Transition(StateOff, ActOn, "idle").
+		PowerW("idle", 3).
+		PowerW("running", watts).
+		UniformDisUtility(OmegaLow).
+		MustBuild()
+}
+
+// NewWasher builds a washing machine.
+func NewWasher(name string, watts float64) *device.Device {
+	return newCycleAppliance(name, device.TypeWasher, watts)
+}
+
+// NewDishwasher builds a dishwasher.
+func NewDishwasher(name string, watts float64) *device.Device {
+	return newCycleAppliance(name, device.TypeDishwasher, watts)
+}
+
+// NewMotionSensor builds a motion sensor: sensing/motion/off, exogenous
+// motion detections.
+func NewMotionSensor(name string) *device.Device {
+	return device.NewBuilder(name, device.TypeMotion).
+		States("sensing", "motion", StateOff).
+		Actions(ActOff, ActOn, "detect_motion", ActClear).
+		TransitionAll(ActOff, StateOff).
+		Transition(StateOff, ActOn, "sensing").
+		Transition("sensing", "detect_motion", "motion").
+		Transition("motion", ActClear, "sensing").
+		PowerW("sensing", 1).
+		PowerW("motion", 1).
+		UniformDisUtility(OmegaHigh).
+		MustBuild()
+}
+
+// NewSmokeAlarm builds a smoke alarm: sensing/alarm/off. Its safe
+// functioning cannot be learned from natural behavior (alarms are rare),
+// matching the manual-policy discussion of Section V-B1.
+func NewSmokeAlarm(name string) *device.Device {
+	return device.NewBuilder(name, device.TypeSmokeAlarm).
+		States("sensing", "alarm", StateOff).
+		Actions(ActOff, ActOn, ActRaiseAlarm, ActClearAlarm).
+		TransitionAll(ActOff, StateOff).
+		Transition(StateOff, ActOn, "sensing").
+		Transition("sensing", ActRaiseAlarm, "alarm").
+		Transition("alarm", ActClearAlarm, "sensing").
+		PowerW("sensing", 1).
+		PowerW("alarm", 2).
+		UniformDisUtility(OmegaHigh).
+		MustBuild()
+}
+
+// NewCoffeeMaker builds a coffee maker: off/on ("brew"/"do not brew" in the
+// paper's device-handler example).
+func NewCoffeeMaker(name string, watts float64) *device.Device {
+	return device.NewBuilder(name, device.TypeCoffeeMaker).
+		States(StateOff, StateOn).
+		Actions(ActOff, ActOn).
+		Transition(StateOn, ActOff, StateOff).
+		Transition(StateOff, ActOn, StateOn).
+		PowerW(StateOn, watts).
+		UniformDisUtility(OmegaMedium).
+		MustBuild()
+}

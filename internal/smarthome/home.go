@@ -1,0 +1,175 @@
+package smarthome
+
+import (
+	"time"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+)
+
+// Episode configuration used by the paper's prototype (Section V-A2):
+// time period T = 1 day, interval I = 1 min, learning phase L = 1 week.
+const (
+	PeriodT        = 24 * time.Hour
+	IntervalI      = time.Minute
+	LearningPhaseL = 7 // days
+)
+
+// InstancesPerDay is n = T/I for the prototype configuration.
+var InstancesPerDay = env.NumInstances(PeriodT, IntervalI)
+
+// TableIHome is the example smart home of Table I: a smart lock, a door
+// touch sensor, a smart light, a smart thermostat controller, and a
+// temperature sensor, with a resident and the apps of Table II.
+type TableIHome struct {
+	Env *env.Environment
+
+	// Device indices, in the paper's D_0..D_4 order.
+	Lock, DoorSensor, Light, Thermostat, TempSensor int
+
+	// Resident is the authorized user; ManualApp is ap_0.
+	Resident  int
+	ManualApp int
+	// AppIDs maps Table II app numbers (1..5) to environment app IDs.
+	AppIDs map[int]int
+}
+
+// NewTableIHome builds the Table I environment.
+func NewTableIHome() *TableIHome {
+	b := env.NewBuilder()
+	h := &TableIHome{AppIDs: make(map[int]int, 5)}
+	h.Lock = b.AddDevice(NewLock("front-lock"), env.Placement{Location: "home", Group: "entrance"})
+	h.DoorSensor = b.AddDevice(NewDoorSensor("door-sensor"), env.Placement{Location: "home", Group: "entrance"})
+	h.Light = b.AddDevice(NewLight("living-light", 60), env.Placement{Location: "home", Group: "living"})
+	h.Thermostat = b.AddDevice(NewThermostat("thermostat", 2500), env.Placement{Location: "home", Group: "hvac"})
+	h.TempSensor = b.AddDevice(NewTempSensor("temp-sensor"), env.Placement{Location: "home", Group: "hvac"})
+
+	all := []int{h.Lock, h.DoorSensor, h.Light, h.Thermostat, h.TempSensor}
+	h.ManualApp = b.AddApp("manual", all...)
+	h.AppIDs[1] = b.AddApp("app1-door-unlock", h.Lock, h.DoorSensor)
+	h.AppIDs[2] = b.AddApp("app2-thermostat", h.Thermostat, h.TempSensor)
+	h.AppIDs[3] = b.AddApp("app3-arrival-lights", h.Lock, h.DoorSensor, h.Light)
+	h.AppIDs[4] = b.AddApp("app4-fire-response", h.Lock, h.Light, h.TempSensor)
+	h.AppIDs[5] = b.AddApp("app5-departure-off", h.Lock, h.DoorSensor, h.Light, h.Thermostat)
+
+	apps := []int{h.ManualApp}
+	for _, id := range h.AppIDs {
+		apps = append(apps, id)
+	}
+	h.Resident = b.AddUser("resident", apps...)
+	h.Env = b.MustBuild()
+	return h
+}
+
+// InitialState returns the canonical S_0: door locked from inside, sensors
+// sensing, light off, thermostat off, temperature optimal.
+func (h *TableIHome) InitialState() env.State {
+	s := make(env.State, h.Env.K())
+	s[h.Lock] = LockLockedInside
+	s[h.DoorSensor] = DoorSensing
+	s[h.Light] = 0 // off
+	s[h.Thermostat] = ThermostatOff
+	s[h.TempSensor] = TempOptimal
+	return s
+}
+
+// FullHome is the k=11 device home of the functionality evaluation
+// (Section VI-D): the Table I devices plus a bedroom light, fridge, oven,
+// TV, washer and dishwasher.
+type FullHome struct {
+	Env *env.Environment
+
+	Lock, DoorSensor, LivingLight, BedLight int
+	Thermostat, TempSensor                  int
+	Fridge, Oven, TV, Washer, Dishwasher    int
+
+	Resident  int
+	ManualApp int
+	// AppIDs maps Table II app numbers (1..5) to environment app IDs.
+	AppIDs map[int]int
+	// Guest is an unauthorized user and RogueApp an app with no device
+	// subscriptions — the raw material of Type 2 access-control
+	// violations.
+	Guest    int
+	RogueApp int
+}
+
+// NewFullHome builds the 11-device environment.
+func NewFullHome() *FullHome {
+	b := env.NewBuilder()
+	h := &FullHome{AppIDs: make(map[int]int, 5)}
+	h.Lock = b.AddDevice(NewLock("front-lock"), env.Placement{Location: "home", Group: "entrance"})
+	h.DoorSensor = b.AddDevice(NewDoorSensor("door-sensor"), env.Placement{Location: "home", Group: "entrance"})
+	h.LivingLight = b.AddDevice(NewLight("living-light", 60), env.Placement{Location: "home", Group: "living"})
+	h.BedLight = b.AddDevice(NewLight("bed-light", 40), env.Placement{Location: "home", Group: "bedroom"})
+	h.Thermostat = b.AddDevice(NewThermostat("thermostat", 2500), env.Placement{Location: "home", Group: "hvac"})
+	h.TempSensor = b.AddDevice(NewTempSensor("temp-sensor"), env.Placement{Location: "home", Group: "hvac"})
+	h.Fridge = b.AddDevice(NewFridge("fridge", 300), env.Placement{Location: "home", Group: "kitchen"})
+	h.Oven = b.AddDevice(NewOven("oven", 2200), env.Placement{Location: "home", Group: "kitchen"})
+	h.TV = b.AddDevice(NewTV("tv", 120), env.Placement{Location: "home", Group: "living"})
+	h.Washer = b.AddDevice(NewWasher("washer", 800), env.Placement{Location: "home", Group: "utility"})
+	h.Dishwasher = b.AddDevice(NewDishwasher("dishwasher", 1300), env.Placement{Location: "home", Group: "kitchen"})
+
+	all := []int{
+		h.Lock, h.DoorSensor, h.LivingLight, h.BedLight, h.Thermostat,
+		h.TempSensor, h.Fridge, h.Oven, h.TV, h.Washer, h.Dishwasher,
+	}
+	h.ManualApp = b.AddApp("manual", all...)
+	h.AppIDs[1] = b.AddApp("app1-door-unlock", h.Lock, h.DoorSensor)
+	h.AppIDs[2] = b.AddApp("app2-thermostat", h.Thermostat, h.TempSensor)
+	h.AppIDs[3] = b.AddApp("app3-arrival-lights", h.Lock, h.DoorSensor, h.LivingLight)
+	h.AppIDs[4] = b.AddApp("app4-fire-response", h.Lock, h.LivingLight, h.TempSensor)
+	h.AppIDs[5] = b.AddApp("app5-departure-off", h.Lock, h.DoorSensor, h.LivingLight, h.Thermostat)
+
+	h.RogueApp = b.AddApp("rogue-app") // subscribed to nothing
+	apps := []int{h.ManualApp}
+	for _, id := range h.AppIDs {
+		apps = append(apps, id)
+	}
+	h.Resident = b.AddUser("resident", apps...)
+	h.Guest = b.AddUser("guest") // authorized for nothing
+	h.Env = b.MustBuild()
+	return h
+}
+
+// InitialState returns the canonical morning S_0: resident home and
+// everything quiet.
+func (h *FullHome) InitialState() env.State {
+	s := make(env.State, h.Env.K())
+	s[h.Lock] = LockLockedInside
+	s[h.DoorSensor] = DoorSensing
+	s[h.Thermostat] = ThermostatOff
+	s[h.TempSensor] = TempOptimal
+	s[h.Fridge] = FridgeClosed
+	// lights, oven, tv default to off (0); washer/dishwasher idle (0)
+	return s
+}
+
+// K returns the device count (11 in the paper's evaluation).
+func (h *FullHome) K() int { return h.Env.K() }
+
+// PowerDraw returns the total wattage of a composite state.
+func PowerDraw(e *env.Environment, s env.State) float64 {
+	var w float64
+	for i := range s {
+		w += e.Device(i).PowerW(s[i])
+	}
+	return w
+}
+
+// MaxPowerDraw returns the wattage with every device in its hungriest
+// state — the normalization constant for the energy reward.
+func MaxPowerDraw(e *env.Environment) float64 {
+	var total float64
+	for i := 0; i < e.K(); i++ {
+		d := e.Device(i)
+		var maxW float64
+		for s := 0; s < d.NumStates(); s++ {
+			if w := d.PowerW(device.StateID(s)); w > maxW {
+				maxW = w
+			}
+		}
+		total += maxW
+	}
+	return total
+}

@@ -1,0 +1,98 @@
+package smarthome
+
+import (
+	"fmt"
+	"strconv"
+
+	"jarvis/internal/device"
+	"jarvis/internal/parse"
+)
+
+// tempSensorNormalizer quantizes the temperature sensor's raw numeric
+// readings (°C) into the Table I vocabulary using the comfort band, while
+// resolving enum values (fire_alarm, off) and commands by name — the
+// manually developed, device-specific normalization function of §V-A2.
+type tempSensorNormalizer struct {
+	d      *device.Device
+	target float64
+	band   float64
+}
+
+var _ parse.Normalizer = tempSensorNormalizer{}
+
+func (n tempSensorNormalizer) State(attribute, value string) (device.StateID, bool) {
+	if attribute == "temperature" {
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return 0, false
+		}
+		switch {
+		case v > n.target+n.band:
+			return TempAbove, true
+		case v < n.target-n.band:
+			return TempBelow, true
+		default:
+			return TempOptimal, true
+		}
+	}
+	return n.d.StateID(value)
+}
+
+func (n tempSensorNormalizer) Action(command string) (device.ActionID, bool) {
+	return n.d.ActionID(command)
+}
+
+// switchNormalizer maps the common raw switch vocabulary ("on"/"off",
+// "true"/"false", "1"/"0") onto two-state devices and resolves other values
+// by name.
+type switchNormalizer struct {
+	d *device.Device
+}
+
+var _ parse.Normalizer = switchNormalizer{}
+
+func (n switchNormalizer) State(_, value string) (device.StateID, bool) {
+	switch value {
+	case "on", "true", "1", "active":
+		if id, ok := n.d.StateID(StateOn); ok {
+			return id, true
+		}
+	case "off", "false", "0", "inactive":
+		if id, ok := n.d.StateID(StateOff); ok {
+			return id, true
+		}
+	}
+	return n.d.StateID(value)
+}
+
+func (n switchNormalizer) Action(command string) (device.ActionID, bool) {
+	switch command {
+	case "on":
+		return n.d.ActionID(ActOn)
+	case "off":
+		return n.d.ActionID(ActOff)
+	}
+	return n.d.ActionID(command)
+}
+
+// ConfigureParser installs the home's device-specific normalization
+// functions on a parser (Section V-A2): the temperature sensor gets the
+// numeric quantizer, two-state devices get the raw switch vocabulary, and
+// everything else resolves by name.
+func (h *FullHome) ConfigureParser(p *parse.Parser, thermal ThermalConfig) error {
+	e := h.Env
+	if err := p.SetNormalizer(e.Device(h.TempSensor).Name(), tempSensorNormalizer{
+		d:      e.Device(h.TempSensor),
+		target: thermal.Target,
+		band:   thermal.Band,
+	}); err != nil {
+		return fmt.Errorf("smarthome: %w", err)
+	}
+	for _, dev := range []int{h.LivingLight, h.BedLight, h.Oven, h.TV} {
+		d := e.Device(dev)
+		if err := p.SetNormalizer(d.Name(), switchNormalizer{d: d}); err != nil {
+			return fmt.Errorf("smarthome: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package smarthome
+
+import (
+	"testing"
+	"time"
+
+	"jarvis/internal/env"
+	"jarvis/internal/events"
+	"jarvis/internal/parse"
+)
+
+func TestTempSensorNormalizer(t *testing.T) {
+	h := NewFullHome()
+	p := parse.NewParser(h.Env)
+	if err := h.ConfigureParser(p, DefaultThermalConfig()); err != nil {
+		t.Fatalf("ConfigureParser: %v", err)
+	}
+	sensor := h.Env.Device(h.TempSensor).Name()
+	mk := func(val string, min int) events.Event {
+		return events.Event{
+			Date:        time.Date(2020, 9, 7, 0, min, 0, 0, time.UTC),
+			DeviceLabel: sensor,
+			Attribute:   "temperature", AttributeValue: val,
+			Command: ActReadBelow, // overwritten below per case where needed
+		}
+	}
+	evs := []events.Event{
+		mk("17.5", 1), // below band (target 21 ± 1)
+		mk("21.0", 2),
+		mk("24.9", 3),
+		mk("soup", 4), // unparseable: skipped
+	}
+	evs[0].Command = ActReadBelow
+	evs[1].Command = ActReadOptimal
+	evs[2].Command = ActReadAbove
+	recs, skipped := p.Parse(evs)
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	wantStates := []struct{ got, want int }{
+		{int(recs[0].NewState), int(TempBelow)},
+		{int(recs[1].NewState), int(TempOptimal)},
+		{int(recs[2].NewState), int(TempAbove)},
+	}
+	for i, w := range wantStates {
+		if w.got != w.want {
+			t.Errorf("record %d state = %d, want %d", i, w.got, w.want)
+		}
+	}
+	// Enum fallback: fire alarm by name.
+	fa := mk("fire_alarm", 5)
+	fa.Attribute = "alarm"
+	fa.Command = ActRaiseAlarm
+	recs, skipped = p.Parse([]events.Event{fa})
+	if skipped != 0 || len(recs) != 1 || recs[0].NewState != TempFireAlarm {
+		t.Errorf("enum fallback: recs=%v skipped=%d", recs, skipped)
+	}
+}
+
+func TestSwitchNormalizer(t *testing.T) {
+	h := NewFullHome()
+	p := parse.NewParser(h.Env)
+	if err := h.ConfigureParser(p, DefaultThermalConfig()); err != nil {
+		t.Fatalf("ConfigureParser: %v", err)
+	}
+	tv := h.Env.Device(h.TV).Name()
+	evs := []events.Event{
+		{Date: time.Unix(60, 0), DeviceLabel: tv, Attribute: "switch", AttributeValue: "true", Command: "on"},
+		{Date: time.Unix(120, 0), DeviceLabel: tv, Attribute: "switch", AttributeValue: "0", Command: "off"},
+	}
+	recs, skipped := p.Parse(evs)
+	if skipped != 0 || len(recs) != 2 {
+		t.Fatalf("recs=%d skipped=%d", len(recs), skipped)
+	}
+	if recs[0].NewState != 1 || recs[0].Action != 1 {
+		t.Errorf("raw 'true'/'on' did not normalize: %+v", recs[0])
+	}
+	if recs[1].NewState != 0 || recs[1].Action != 0 {
+		t.Errorf("raw '0'/'off' did not normalize: %+v", recs[1])
+	}
+}
+
+// TestRawLogEpisode: raw-vocabulary events build a consistent episode.
+func TestRawLogEpisode(t *testing.T) {
+	h := NewFullHome()
+	p := parse.NewParser(h.Env)
+	if err := h.ConfigureParser(p, DefaultThermalConfig()); err != nil {
+		t.Fatalf("ConfigureParser: %v", err)
+	}
+	start := time.Date(2020, 9, 7, 0, 0, 0, 0, time.UTC)
+	tv := h.Env.Device(h.TV).Name()
+	evs := []events.Event{
+		{Date: start.Add(2 * time.Minute), DeviceLabel: tv, AttributeValue: "on", Command: "on"},
+		{Date: start.Add(5 * time.Minute), DeviceLabel: tv, AttributeValue: "off", Command: "off"},
+	}
+	recs, skipped := p.Parse(evs)
+	if skipped != 0 {
+		t.Fatalf("skipped %d", skipped)
+	}
+	eps, err := parse.BuildEpisodes(h.Env, parse.EpisodeConfig{
+		Start: start, T: 10 * time.Minute, I: time.Minute,
+		Initial: h.InitialState(),
+	}, recs)
+	if err != nil || len(eps) != 1 {
+		t.Fatalf("episodes: %v %v", eps, err)
+	}
+	if err := eps[0].Validate(h.Env); err != nil {
+		t.Fatalf("episode invalid: %v", err)
+	}
+	if eps[0].States[3][h.TV] != 1 || eps[0].States[6][h.TV] != 0 {
+		t.Errorf("TV trajectory wrong")
+	}
+}
+
+func TestConfigureParserUnknownDevice(t *testing.T) {
+	h := NewFullHome()
+	other := NewTableIHome()
+	p := parse.NewParser(other.Env) // different env: labels shared for core devices
+	// Configuring the FullHome normalizers against the TableIHome parser
+	// must fail on the devices the 5-device home lacks.
+	if err := h.ConfigureParser(p, DefaultThermalConfig()); err == nil {
+		t.Error("mismatched environment should error")
+	}
+	_ = env.NoOp
+}

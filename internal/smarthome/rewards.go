@@ -1,0 +1,92 @@
+package smarthome
+
+import (
+	"jarvis/internal/env"
+	"jarvis/internal/reward"
+)
+
+// EnergyReward returns the normalized energy-conservation functionality F_0
+// (Section VI-D): the meter reading of the post-action state, inverted so
+// low power draw scores high.
+func EnergyReward(e *env.Environment) reward.Func {
+	maxW := MaxPowerDraw(e)
+	return func(s env.State, a env.Action, t int) float64 {
+		next, err := e.Transition(s, a)
+		if err != nil {
+			return 0
+		}
+		if maxW == 0 {
+			return 1
+		}
+		return 1 - PowerDraw(e, next)/maxW
+	}
+}
+
+// CostReward returns the normalized energy-cost functionality F_1: the
+// electricity cost of the post-action state under day-ahead-market prices
+// ($/kWh per time instance), inverted so cheap consumption scores high.
+func CostReward(e *env.Environment, prices []float64) reward.Func {
+	maxW := MaxPowerDraw(e)
+	var maxP float64
+	for _, p := range prices {
+		if p > maxP {
+			maxP = p
+		}
+	}
+	return func(s env.State, a env.Action, t int) float64 {
+		next, err := e.Transition(s, a)
+		if err != nil {
+			return 0
+		}
+		if maxW == 0 || maxP == 0 || len(prices) == 0 {
+			return 1
+		}
+		price := prices[t%len(prices)]
+		return 1 - (PowerDraw(e, next)/maxW)*(price/maxP)
+	}
+}
+
+// ComfortReward returns the normalized temperature functionality F_3: full
+// score when the temperature sensor reads optimal, partial when off-band.
+// Because the house has thermal inertia, an off-band reading with the HVAC
+// actively correcting (heating when below, cooling when above) scores
+// between the two — without this shaping a one-step reward could never see
+// the benefit of turning the HVAC on. The continuous temperature
+// difference is tracked by the Thermal model in the experiment harness.
+func ComfortReward(e *env.Environment, sensor, thermostat int) reward.Func {
+	return func(s env.State, a env.Action, t int) float64 {
+		if sensor >= len(s) || thermostat >= len(s) {
+			return 0
+		}
+		next, err := e.Transition(s, a)
+		if err != nil {
+			return 0
+		}
+		switch s[sensor] {
+		case TempOptimal:
+			return 1
+		case TempBelow:
+			if next[thermostat] == ThermostatHeat {
+				return 0.6
+			}
+			return 0.25
+		case TempAbove:
+			if next[thermostat] == ThermostatCool {
+				return 0.6
+			}
+			return 0.25
+		default: // off or fire alarm
+			return 0
+		}
+	}
+}
+
+// Functionalities assembles the three paper goals with user weights
+// f_energy, f_cost, f_comfort over the given home layout.
+func Functionalities(e *env.Environment, sensor, thermostat int, prices []float64, fEnergy, fCost, fComfort float64) []reward.Functionality {
+	return []reward.Functionality{
+		{Name: "energy", Weight: fEnergy, F: EnergyReward(e)},
+		{Name: "cost", Weight: fCost, F: CostReward(e, prices)},
+		{Name: "comfort", Weight: fComfort, F: ComfortReward(e, sensor, thermostat)},
+	}
+}

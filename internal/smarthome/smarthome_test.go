@@ -1,0 +1,341 @@
+package smarthome
+
+import (
+	"testing"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+)
+
+func TestTableIHomeMatchesPaper(t *testing.T) {
+	h := NewTableIHome()
+	e := h.Env
+	if e.K() != 5 {
+		t.Fatalf("K = %d, want 5 (Table I)", e.K())
+	}
+	// D_0 lock: 4 states per Table I.
+	if got := e.Device(h.Lock).NumStates(); got != 4 {
+		t.Errorf("lock states = %d, want 4", got)
+	}
+	// D_1 door sensor: sensing / auth / unauth (+ off).
+	ds := e.Device(h.DoorSensor)
+	for _, name := range []string{"sensing", "auth_user", "unauth_user"} {
+		if _, ok := ds.StateID(name); !ok {
+			t.Errorf("door sensor missing state %q", name)
+		}
+	}
+	// D_3 thermostat: heat/cool/off with the 4 Table I actions.
+	th := e.Device(h.Thermostat)
+	if got := th.NumActions(); got != 4 {
+		t.Errorf("thermostat actions = %d, want 4", got)
+	}
+	// D_4 temperature sensor includes fire alarm.
+	if _, ok := e.Device(h.TempSensor).StateID("fire_alarm"); !ok {
+		t.Error("temp sensor missing fire_alarm state")
+	}
+	if !e.ValidState(h.InitialState()) {
+		t.Error("InitialState invalid")
+	}
+}
+
+func TestFullHomeHasElevenDevices(t *testing.T) {
+	h := NewFullHome()
+	if h.K() != 11 {
+		t.Fatalf("K = %d, want 11 (Section VI-D)", h.K())
+	}
+	if !h.Env.ValidState(h.InitialState()) {
+		t.Error("InitialState invalid")
+	}
+	// Every device reachable through the manual app.
+	manual, ok := h.Env.App(h.ManualApp)
+	if !ok || len(manual.Devices) != 11 {
+		t.Errorf("manual app subscribed to %d devices", len(manual.Devices))
+	}
+	// The resident may use every app.
+	res, ok := h.Env.User(h.Resident)
+	if !ok || len(res.Apps) != 6 {
+		t.Errorf("resident authorized for %d apps, want 6", len(res.Apps))
+	}
+}
+
+func TestLockFSM(t *testing.T) {
+	lock := NewLock("l")
+	unlocked := LockUnlocked
+	next, ok := lock.Next(unlocked, 0) // lock
+	if !ok || next != LockLockedOutside {
+		t.Errorf("lock from unlocked = %d,%v", next, ok)
+	}
+	if _, ok := lock.ActionID(ActLockInside); !ok {
+		t.Error("lock should expose lock_inside")
+	}
+	li, _ := lock.ActionID(ActLockInside)
+	next, ok = lock.Next(unlocked, li)
+	if !ok || next != LockLockedInside {
+		t.Errorf("lock_inside from unlocked = %d,%v", next, ok)
+	}
+	// Unlock works from both locked states.
+	for _, s := range []device.StateID{LockLockedOutside, LockLockedInside} {
+		next, ok = lock.Next(s, 1)
+		if !ok || next != LockUnlocked {
+			t.Errorf("unlock from %d = %d,%v", s, next, ok)
+		}
+	}
+}
+
+func TestThermostatFSM(t *testing.T) {
+	th := NewThermostat("t", 2500)
+	for _, from := range []device.StateID{ThermostatHeat, ThermostatCool, ThermostatOff} {
+		if next, ok := th.Next(from, ThermostatActHeat); !ok || next != ThermostatHeat {
+			t.Errorf("increase_temp from %d = %d,%v", from, next, ok)
+		}
+		if next, ok := th.Next(from, ThermostatActCool); !ok || next != ThermostatCool {
+			t.Errorf("decrease_temp from %d = %d,%v", from, next, ok)
+		}
+		if next, ok := th.Next(from, ThermostatActOff); !ok || next != ThermostatOff {
+			t.Errorf("power_off from %d = %d,%v", from, next, ok)
+		}
+	}
+	if th.PowerW(ThermostatHeat) != 2500 || th.PowerW(ThermostatOff) != 0 {
+		t.Error("thermostat power draws wrong")
+	}
+}
+
+func TestDisUtilityClasses(t *testing.T) {
+	if NewLight("l", 60).MaxDisUtility() != OmegaHigh {
+		t.Error("lights should be high dis-utility")
+	}
+	if NewThermostat("t", 2500).MaxDisUtility() != OmegaLow {
+		t.Error("HVAC should be low dis-utility")
+	}
+	if NewWasher("w", 800).MaxDisUtility() != OmegaLow {
+		t.Error("washer should be low dis-utility")
+	}
+	if NewTV("tv", 120).MaxDisUtility() != OmegaMedium {
+		t.Error("TV should be medium dis-utility")
+	}
+}
+
+func TestTableIIAppsTriggers(t *testing.T) {
+	h := NewTableIHome()
+	apps := TableIIApps(h.Core())
+	if len(apps) != 6 { // app 2 expands to two rules
+		t.Fatalf("rules = %d, want 6", len(apps))
+	}
+
+	arrival := h.InitialState()
+	arrival[h.Lock] = LockLockedOutside
+	arrival[h.DoorSensor] = DoorAuthUser
+
+	var app1 TARule
+	for _, r := range apps {
+		if r.Number == 1 {
+			app1 = r
+		}
+	}
+	if !app1.Matches(arrival) {
+		t.Error("app 1 should trigger on authorized arrival")
+	}
+	if app1.Matches(h.InitialState()) {
+		t.Error("app 1 must not trigger at rest")
+	}
+	act := app1.Action(h.Env.K())
+	if act[h.Lock] != 1 {
+		t.Errorf("app 1 action = %v, want unlock on lock", act)
+	}
+	// The action must be valid and produce an unlocked door.
+	next, err := h.Env.Transition(arrival, act)
+	if err != nil {
+		t.Fatalf("Transition: %v", err)
+	}
+	if next[h.Lock] != LockUnlocked {
+		t.Errorf("door should be unlocked, state %d", next[h.Lock])
+	}
+}
+
+func TestTableIIAppRequests(t *testing.T) {
+	h := NewTableIHome()
+	apps := TableIIApps(h.Core())
+	app5 := apps[len(apps)-1]
+	if app5.Number != 5 {
+		t.Fatalf("expected app 5 last, got %d", app5.Number)
+	}
+	reqs := app5.Requests(h.Resident, h.AppIDs[5])
+	if len(reqs) != 2 {
+		t.Fatalf("requests = %d, want 2 (light + thermostat)", len(reqs))
+	}
+	// Departure state: locked outside, sensing, light on, heat on.
+	s := h.InitialState()
+	s[h.Lock] = LockLockedOutside
+	s[h.Light] = 1
+	s[h.Thermostat] = ThermostatHeat
+	_, next, denials := h.Env.Apply(s, reqs)
+	if len(denials) != 0 {
+		t.Fatalf("denials: %v", denials)
+	}
+	if next[h.Light] != 0 || next[h.Thermostat] != ThermostatOff {
+		t.Errorf("departure shutdown failed: %v", h.Env.FormatState(next))
+	}
+}
+
+func TestAllAppActionsValidWhenTriggered(t *testing.T) {
+	// Property: for every Table II rule, if the trigger matches a state
+	// constructed to satisfy it, the rule's action is FSM-valid there.
+	h := NewTableIHome()
+	for _, r := range TableIIApps(h.Core()) {
+		s := h.InitialState()
+		act := r.Action(h.Env.K())
+		// Put each action's target device into a state that admits the
+		// action (a real hub simply drops stale commands), unless the
+		// trigger pins the device to a specific state.
+		for dev, a := range act {
+			if a == device.NoAction {
+				continue
+			}
+			if _, pinned := r.Trigger[dev]; pinned {
+				continue
+			}
+			d := h.Env.Device(dev)
+			for st := 0; st < d.NumStates(); st++ {
+				if _, ok := d.Next(device.StateID(st), a); ok {
+					s[dev] = device.StateID(st)
+					break
+				}
+			}
+		}
+		for dev, st := range r.Trigger {
+			s[dev] = st
+		}
+		for dev, a := range act {
+			if a == device.NoAction {
+				continue
+			}
+			if _, ok := h.Env.Device(dev).Next(s[dev], a); !ok {
+				t.Errorf("app %d (%s): action %s invalid in state %s",
+					r.Number, r.Name,
+					h.Env.Device(dev).ActionName(a),
+					h.Env.Device(dev).StateName(s[dev]))
+			}
+		}
+	}
+}
+
+func TestThermalModel(t *testing.T) {
+	cfg := DefaultThermalConfig()
+	th := NewThermal(cfg)
+	if th.Inside() != 21 || th.Target() != 21 {
+		t.Fatalf("initial = %g target %g", th.Inside(), th.Target())
+	}
+	if th.SensorState() != TempOptimal {
+		t.Error("start should be optimal")
+	}
+	// Cold outside, HVAC off: house cools below band eventually.
+	for i := 0; i < 2000; i++ {
+		th.Step(-5, ThermostatOff)
+	}
+	if th.SensorState() != TempBelow {
+		t.Errorf("house should be below optimal, inside %g", th.Inside())
+	}
+	// Heating brings it back.
+	for i := 0; i < 2000 && th.SensorState() != TempOptimal; i++ {
+		th.Step(-5, ThermostatHeat)
+	}
+	if th.SensorState() != TempOptimal {
+		t.Errorf("heating failed, inside %g", th.Inside())
+	}
+	if th.ComfortError() < 0 {
+		t.Error("ComfortError must be non-negative")
+	}
+	// Hot day, cooling.
+	th.Reset()
+	for i := 0; i < 3000; i++ {
+		th.Step(35, ThermostatOff)
+	}
+	if th.SensorState() != TempAbove {
+		t.Errorf("house should be above optimal, inside %g", th.Inside())
+	}
+	before := th.Inside()
+	th.Step(35, ThermostatCool)
+	if th.Inside() >= before {
+		t.Error("cooling should lower the temperature")
+	}
+	th.Reset()
+	if th.Inside() != 21 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestPowerDraw(t *testing.T) {
+	h := NewFullHome()
+	s := h.InitialState()
+	base := PowerDraw(h.Env, s)
+	s[h.Oven] = 1 // on: 2200 W
+	if got := PowerDraw(h.Env, s); got != base+2200 {
+		t.Errorf("PowerDraw with oven = %g, want %g", got, base+2200)
+	}
+	maxW := MaxPowerDraw(h.Env)
+	if maxW <= base+2200 {
+		t.Errorf("MaxPowerDraw %g should exceed any partial state", maxW)
+	}
+}
+
+func TestRewards(t *testing.T) {
+	h := NewFullHome()
+	e := h.Env
+	s := h.InitialState()
+
+	energy := EnergyReward(e)
+	// Turning the oven on must score worse than idling.
+	ovenOn := env.NoOp(e.K())
+	ovenOn[h.Oven] = 1
+	if energy(s, ovenOn, 0) >= energy(s, env.NoOp(e.K()), 0) {
+		t.Error("energy reward should penalize turning the oven on")
+	}
+	// Invalid action scores 0.
+	bad := env.NoOp(e.K())
+	bad[h.Oven] = 0 // oven already off
+	if energy(s, bad, 0) != 0 {
+		t.Error("invalid action should score 0")
+	}
+
+	prices := make([]float64, InstancesPerDay)
+	for i := range prices {
+		prices[i] = 0.05
+	}
+	prices[600] = 0.50 // peak at 10:00
+	cost := CostReward(e, prices)
+	cheap := cost(s, ovenOn, 100)
+	expensive := cost(s, ovenOn, 600)
+	if expensive >= cheap {
+		t.Errorf("cost reward should penalize peak-hour use: %g vs %g", expensive, cheap)
+	}
+
+	comfort := ComfortReward(e, h.TempSensor, h.Thermostat)
+	if comfort(s, env.NoOp(e.K()), 0) != 1 {
+		t.Error("optimal temperature should score 1")
+	}
+	s[h.TempSensor] = TempBelow
+	if got := comfort(s, env.NoOp(e.K()), 0); got >= 1 || got <= 0 {
+		t.Errorf("off-band comfort = %g, want in (0,1)", got)
+	}
+	// Corrective heating while below scores higher than idling.
+	heatOn := env.NoOp(e.K())
+	heatOn[h.Thermostat] = ThermostatActHeat
+	if comfort(s, heatOn, 0) <= comfort(s, env.NoOp(e.K()), 0) {
+		t.Error("corrective heating should score above idling when cold")
+	}
+	s[h.TempSensor] = TempOff
+	if comfort(s, env.NoOp(e.K()), 0) != 0 {
+		t.Error("disabled sensor should score 0")
+	}
+
+	fs := Functionalities(e, h.TempSensor, h.Thermostat, prices, 0.5, 0.3, 0.2)
+	if len(fs) != 3 || fs[0].Weight != 0.5 || fs[2].Name != "comfort" {
+		t.Errorf("Functionalities = %+v", fs)
+	}
+}
+
+func TestInstancesPerDay(t *testing.T) {
+	if InstancesPerDay != 1440 {
+		t.Errorf("InstancesPerDay = %d, want 1440 (T=1d, I=1min)", InstancesPerDay)
+	}
+}

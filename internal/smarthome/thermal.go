@@ -1,0 +1,91 @@
+package smarthome
+
+import "jarvis/internal/device"
+
+// ThermalConfig parameterizes the first-order house thermal model used to
+// drive the temperature sensor and the comfort experiments.
+type ThermalConfig struct {
+	// Initial is the indoor temperature at episode start (°C).
+	Initial float64
+	// Target is the user's preferred temperature and Band the half-width
+	// of the "optimal" range around it.
+	Target, Band float64
+	// Leak is the per-interval fraction of the indoor/outdoor difference
+	// that leaks through the envelope (typ. 0.002 per minute).
+	Leak float64
+	// HeatRate and CoolRate are the per-interval °C delivered by the HVAC
+	// in heat or cool mode (typ. 0.08 °C/min).
+	HeatRate, CoolRate float64
+}
+
+// DefaultThermalConfig returns the configuration used by the experiments:
+// 21 °C target with a ±1 °C comfort band.
+func DefaultThermalConfig() ThermalConfig {
+	return ThermalConfig{
+		Initial:  21,
+		Target:   21,
+		Band:     1,
+		Leak:     0.002,
+		HeatRate: 0.08,
+		CoolRate: 0.08,
+	}
+}
+
+// Thermal is the stateful house thermal model:
+//
+//	T_in ← T_in + Leak·(T_out − T_in) + HeatRate·[heating] − CoolRate·[cooling]
+//
+// advanced once per episode interval.
+type Thermal struct {
+	cfg    ThermalConfig
+	inside float64
+}
+
+// NewThermal builds the model at its initial temperature.
+func NewThermal(cfg ThermalConfig) *Thermal {
+	return &Thermal{cfg: cfg, inside: cfg.Initial}
+}
+
+// Reset restores the initial indoor temperature.
+func (th *Thermal) Reset() { th.inside = th.cfg.Initial }
+
+// Inside returns the current indoor temperature (°C).
+func (th *Thermal) Inside() float64 { return th.inside }
+
+// Target returns the configured comfort target (°C).
+func (th *Thermal) Target() float64 { return th.cfg.Target }
+
+// Step advances one interval given the outdoor temperature and the
+// thermostat state, and returns the new indoor temperature.
+func (th *Thermal) Step(outdoor float64, thermostat device.StateID) float64 {
+	th.inside += th.cfg.Leak * (outdoor - th.inside)
+	switch thermostat {
+	case ThermostatHeat:
+		th.inside += th.cfg.HeatRate
+	case ThermostatCool:
+		th.inside -= th.cfg.CoolRate
+	}
+	return th.inside
+}
+
+// SensorState discretizes the indoor temperature into the Table I
+// temperature-sensor vocabulary.
+func (th *Thermal) SensorState() device.StateID {
+	switch {
+	case th.inside > th.cfg.Target+th.cfg.Band:
+		return TempAbove
+	case th.inside < th.cfg.Target-th.cfg.Band:
+		return TempBelow
+	default:
+		return TempOptimal
+	}
+}
+
+// ComfortError returns |T_in − target| in °C.
+func (th *Thermal) ComfortError() float64 {
+	d := th.inside - th.cfg.Target
+	if d < 0 {
+		d = -d
+	}
+	return d
+}

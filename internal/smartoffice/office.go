@@ -1,0 +1,323 @@
+// Package smartoffice instantiates Jarvis for a second, structurally
+// different IoT environment — a small office — demonstrating the paper's
+// context-independence claim (contribution 1): the same pipeline
+// (environment FSM → SPL → constrained optimizer) runs unchanged on a new
+// device vocabulary, new apps, and a new behavioral routine.
+package smartoffice
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+	"jarvis/internal/reward"
+)
+
+// Canonical action names.
+const (
+	ActOff     = "power_off"
+	ActOn      = "power_on"
+	ActGrant   = "grant"
+	ActDeny    = "deny"
+	ActIdle    = "idle"
+	ActDetect  = "detect"
+	ActClear   = "clear"
+	ActCool    = "cool"
+	ActHeat    = "heat"
+	ActSetback = "setback"
+)
+
+// Badge-reader states.
+const (
+	BadgeIdle device.StateID = iota
+	BadgeGranted
+	BadgeDenied
+	BadgeOff
+)
+
+// Occupancy-sensor states.
+const (
+	OccEmpty device.StateID = iota
+	OccOccupied
+	OccOff
+)
+
+// Zone HVAC states.
+const (
+	HVACSetback device.StateID = iota
+	HVACHeat
+	HVACCool
+	HVACOff
+)
+
+// Office is the smart-office environment: a badge reader, an occupancy
+// sensor, two zone HVACs, two light banks, a projector, a coffee machine,
+// a printer, and a server-closet cooler that must never be powered off.
+type Office struct {
+	Env *env.Environment
+
+	Badge, Occupancy           int
+	HVACEast, HVACWest         int
+	LightsOpen, LightsMeeting  int
+	Projector, Coffee, Printer int
+	ServerCooler               int
+
+	ManualApp, ScheduleApp int
+	Facilities             int
+}
+
+func newBadgeReader() *device.Device {
+	return device.NewBuilder("badge-reader", "badge_reader").
+		States("idle", "granted", "denied", "off").
+		Actions(ActOff, ActOn, ActGrant, ActDeny, ActClear).
+		TransitionAll(ActOff, "off").
+		Transition("off", ActOn, "idle").
+		Transition("idle", ActGrant, "granted").
+		Transition("idle", ActDeny, "denied").
+		Transition("granted", ActClear, "idle").
+		Transition("denied", ActClear, "idle").
+		PowerW("idle", 4).PowerW("granted", 4).PowerW("denied", 4).
+		UniformDisUtility(0.9).
+		MustBuild()
+}
+
+func newOccupancySensor() *device.Device {
+	return device.NewBuilder("occupancy", "occupancy_sensor").
+		States("empty", "occupied", "off").
+		Actions(ActOff, ActOn, ActDetect, ActClear).
+		TransitionAll(ActOff, "off").
+		Transition("off", ActOn, "empty").
+		Transition("empty", ActDetect, "occupied").
+		Transition("occupied", ActClear, "empty").
+		PowerW("empty", 2).PowerW("occupied", 2).
+		UniformDisUtility(0.9).
+		MustBuild()
+}
+
+func newZoneHVAC(name string, watts float64) *device.Device {
+	return device.NewBuilder(name, "zone_hvac").
+		States("setback", "heat", "cool", "off").
+		Actions(ActSetback, ActHeat, ActCool, ActOff, ActOn).
+		TransitionAll(ActSetback, "setback").
+		TransitionAll(ActHeat, "heat").
+		TransitionAll(ActCool, "cool").
+		TransitionAll(ActOff, "off").
+		Transition("off", ActOn, "setback").
+		PowerW("setback", 150).
+		PowerW("heat", watts).
+		PowerW("cool", watts).
+		UniformDisUtility(0.1).
+		MustBuild()
+}
+
+func newSwitch(name, typ string, watts, omega float64) *device.Device {
+	return device.NewBuilder(name, typ).
+		States("off", "on").
+		Actions(ActOff, ActOn).
+		Transition("on", ActOff, "off").
+		Transition("off", ActOn, "on").
+		PowerW("on", watts).
+		UniformDisUtility(omega).
+		MustBuild()
+}
+
+// New builds the office environment.
+func New() *Office {
+	b := env.NewBuilder()
+	o := &Office{}
+	o.Badge = b.AddDevice(newBadgeReader(), env.Placement{Location: "office", Group: "entrance"})
+	o.Occupancy = b.AddDevice(newOccupancySensor(), env.Placement{Location: "office", Group: "open-space"})
+	o.HVACEast = b.AddDevice(newZoneHVAC("hvac-east", 3000), env.Placement{Location: "office", Group: "east"})
+	o.HVACWest = b.AddDevice(newZoneHVAC("hvac-west", 3000), env.Placement{Location: "office", Group: "west"})
+	o.LightsOpen = b.AddDevice(newSwitch("lights-open", "light", 400, 0.9), env.Placement{Location: "office", Group: "open-space"})
+	o.LightsMeeting = b.AddDevice(newSwitch("lights-meeting", "light", 150, 0.9), env.Placement{Location: "office", Group: "meeting"})
+	o.Projector = b.AddDevice(newSwitch("projector", "projector", 350, 0.5), env.Placement{Location: "office", Group: "meeting"})
+	o.Coffee = b.AddDevice(newSwitch("coffee", "coffee_maker", 1200, 0.5), env.Placement{Location: "office", Group: "kitchen"})
+	o.Printer = b.AddDevice(newSwitch("printer", "printer", 600, 0.5), env.Placement{Location: "office", Group: "open-space"})
+	o.ServerCooler = b.AddDevice(newSwitch("server-cooler", "crac", 900, 0.9), env.Placement{Location: "office", Group: "server-closet"})
+
+	all := []int{
+		o.Badge, o.Occupancy, o.HVACEast, o.HVACWest, o.LightsOpen,
+		o.LightsMeeting, o.Projector, o.Coffee, o.Printer, o.ServerCooler,
+	}
+	o.ManualApp = b.AddApp("manual", all...)
+	o.ScheduleApp = b.AddApp("schedule", o.HVACEast, o.HVACWest, o.LightsOpen, o.LightsMeeting, o.Coffee)
+	o.Facilities = b.AddUser("facilities", o.ManualApp, o.ScheduleApp)
+	o.Env = b.MustBuild()
+	return o
+}
+
+// InitialState is the office at midnight: empty, HVAC in setback, server
+// cooler running.
+func (o *Office) InitialState() env.State {
+	s := make(env.State, o.Env.K())
+	s[o.Badge] = BadgeIdle
+	s[o.Occupancy] = OccEmpty
+	s[o.HVACEast] = HVACSetback
+	s[o.HVACWest] = HVACSetback
+	s[o.ServerCooler] = 1 // on, always
+	return s
+}
+
+// WorkdayConfig parameterizes the office routine.
+type WorkdayConfig struct {
+	// Open and Close are minutes from midnight (defaults 08:30 / 18:30).
+	Open, Close int
+	// Jitter is the schedule noise (minutes).
+	Jitter float64
+	// Meetings per day in the meeting room (default 3).
+	Meetings int
+}
+
+// DefaultWorkday returns the standard office routine.
+func DefaultWorkday() WorkdayConfig {
+	return WorkdayConfig{Open: 8*60 + 30, Close: 18*60 + 30, Jitter: 15, Meetings: 3}
+}
+
+// Workday simulates one day of natural office behavior as an episode.
+// Weekends are quiet (only the server cooler and an occasional badge-in).
+func (o *Office) Workday(date time.Time, s0 env.State, cfg WorkdayConfig, rng *rand.Rand) (env.Episode, env.State, error) {
+	const n = 1440
+	type planned struct {
+		dev int
+		act device.ActionID
+	}
+	plan := make(map[int][]planned, 64)
+	add := func(t, dev int, act device.ActionID) {
+		if t >= 0 && t < n {
+			plan[t] = append(plan[t], planned{dev, act})
+		}
+	}
+	jit := func(base int) int {
+		v := base + int(rng.NormFloat64()*cfg.Jitter)
+		if v < 0 {
+			v = 0
+		}
+		if v >= n {
+			v = n - 1
+		}
+		return v
+	}
+	weekend := date.Weekday() == time.Saturday || date.Weekday() == time.Sunday
+	if !weekend {
+		open, close := jit(cfg.Open), jit(cfg.Close)
+		if close <= open {
+			close = open + 8*60
+		}
+		// Opening: badge in, occupancy, lights, coffee, HVAC to comfort.
+		add(open, o.Badge, 2)            // grant
+		add(open+1, o.Occupancy, 2)      // detect
+		add(open+1, o.Badge, 4)          // clear
+		add(open+2, o.LightsOpen, 1)     // on
+		heatOrCool := device.ActionID(1) // heat
+		if date.Month() >= time.June && date.Month() <= time.September {
+			heatOrCool = 2 // cool
+		}
+		add(open+3, o.HVACEast, heatOrCool)
+		add(open+3, o.HVACWest, heatOrCool)
+		add(open+5, o.Coffee, 1)
+		add(open+35, o.Coffee, 0)
+		// Meetings: meeting lights + projector for ~50 minutes each.
+		for m := 0; m < cfg.Meetings; m++ {
+			start := jit(open + 90 + m*150)
+			if start+55 >= close {
+				break
+			}
+			add(start, o.LightsMeeting, 1)
+			add(start+1, o.Projector, 1)
+			add(start+50, o.Projector, 0)
+			add(start+52, o.LightsMeeting, 0)
+		}
+		// Lunch coffee; afternoon printing.
+		add(jit(12*60+45), o.Coffee, 1)
+		add(jit(12*60+45)+30, o.Coffee, 0)
+		printAt := jit(15 * 60)
+		add(printAt, o.Printer, 1)
+		add(printAt+20, o.Printer, 0)
+		// Closing: everything down to setback, badge out.
+		add(close-2, o.LightsOpen, 0)
+		add(close-1, o.HVACEast, 0) // setback
+		add(close-1, o.HVACWest, 0)
+		add(close, o.Occupancy, 3) // clear
+		add(close+1, o.Badge, 2)   // grant (badge out)
+		add(close+2, o.Badge, 4)   // clear
+	} else if rng.Float64() < 0.25 {
+		// Weekend drop-in: badge in/out, brief lights.
+		at := jit(11 * 60)
+		add(at, o.Badge, 2)
+		add(at+1, o.Badge, 4)
+		add(at+1, o.Occupancy, 2)
+		add(at+2, o.LightsOpen, 1)
+		add(at+90, o.LightsOpen, 0)
+		add(at+91, o.Occupancy, 3)
+	}
+
+	rec := env.NewRecorder(o.Env, s0, date, time.Duration(n)*time.Minute, time.Minute)
+	for t := 0; t < n; t++ {
+		act := env.NoOp(o.Env.K())
+		for _, p := range plan[t] {
+			act[p.dev] = p.act
+		}
+		s := rec.State()
+		for dev, a := range act {
+			if a == device.NoAction {
+				continue
+			}
+			if _, ok := o.Env.Device(dev).Next(s[dev], a); !ok {
+				act[dev] = device.NoAction
+			}
+		}
+		if err := rec.Step(act); err != nil {
+			return env.Episode{}, nil, fmt.Errorf("smartoffice: %s instance %d: %w", date.Format("2006-01-02"), t, err)
+		}
+	}
+	ep := rec.Episode()
+	return ep, ep.States[len(ep.States)-1].Clone(), nil
+}
+
+// Workdays simulates consecutive days, chaining end states.
+func (o *Office) Workdays(start time.Time, days int, cfg WorkdayConfig, rng *rand.Rand) ([]env.Episode, error) {
+	s := o.InitialState()
+	out := make([]env.Episode, 0, days)
+	for i := 0; i < days; i++ {
+		ep, next, err := o.Workday(start.AddDate(0, 0, i), s, cfg, rng)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, ep)
+		s = next
+	}
+	return out, nil
+}
+
+// EnergyReward is the office's normalized energy functionality.
+func (o *Office) EnergyReward() reward.Func {
+	e := o.Env
+	var maxW float64
+	for i := 0; i < e.K(); i++ {
+		d := e.Device(i)
+		var m float64
+		for s := 0; s < d.NumStates(); s++ {
+			if w := d.PowerW(device.StateID(s)); w > m {
+				m = w
+			}
+		}
+		maxW += m
+	}
+	return func(s env.State, a env.Action, t int) float64 {
+		next, err := e.Transition(s, a)
+		if err != nil {
+			return 0
+		}
+		var w float64
+		for i := range next {
+			w += e.Device(i).PowerW(next[i])
+		}
+		if maxW == 0 {
+			return 1
+		}
+		return 1 - w/maxW
+	}
+}

@@ -1,0 +1,178 @@
+package smartoffice
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+	"jarvis/internal/policy"
+	"jarvis/internal/reward"
+	"jarvis/internal/rl"
+)
+
+var officeMonday = time.Date(2020, 9, 7, 0, 0, 0, 0, time.UTC)
+
+func TestOfficeEnvironment(t *testing.T) {
+	o := New()
+	if o.Env.K() != 10 {
+		t.Fatalf("K = %d, want 10", o.Env.K())
+	}
+	if !o.Env.ValidState(o.InitialState()) {
+		t.Fatal("InitialState invalid")
+	}
+	if o.InitialState()[o.ServerCooler] != 1 {
+		t.Error("server cooler must start on")
+	}
+}
+
+func TestWorkdayEpisode(t *testing.T) {
+	o := New()
+	rng := rand.New(rand.NewSource(1))
+	ep, final, err := o.Workday(officeMonday, o.InitialState(), DefaultWorkday(), rng)
+	if err != nil {
+		t.Fatalf("Workday: %v", err)
+	}
+	if err := ep.Validate(o.Env); err != nil {
+		t.Fatalf("episode invalid: %v", err)
+	}
+	if !o.Env.ValidState(final) {
+		t.Fatal("final state invalid")
+	}
+	// The office must actually operate: lights on during the day,
+	// projector used, HVAC in a comfort mode mid-day.
+	midday := ep.States[13*60]
+	if midday[o.LightsOpen] != 1 {
+		t.Error("lights should be on at 13:00")
+	}
+	if midday[o.HVACEast] == HVACSetback {
+		t.Error("east HVAC should be in comfort mode at 13:00")
+	}
+	projectorUsed := false
+	for _, s := range ep.States {
+		if s[o.Projector] == 1 {
+			projectorUsed = true
+			break
+		}
+	}
+	if !projectorUsed {
+		t.Error("projector never used")
+	}
+	// Night: back to setback, lights off.
+	last := ep.States[len(ep.States)-1]
+	if last[o.LightsOpen] != 0 || last[o.HVACEast] != HVACSetback {
+		t.Errorf("closing shutdown failed: %v", o.Env.FormatState(last))
+	}
+}
+
+func TestWeekendIsQuiet(t *testing.T) {
+	o := New()
+	rng := rand.New(rand.NewSource(2))
+	sat := officeMonday.AddDate(0, 0, 5)
+	ep, _, err := o.Workday(sat, o.InitialState(), DefaultWorkday(), rng)
+	if err != nil {
+		t.Fatalf("Workday: %v", err)
+	}
+	for _, s := range ep.States {
+		if s[o.HVACEast] == HVACHeat || s[o.HVACEast] == HVACCool {
+			t.Fatal("HVAC must stay in setback on weekends")
+		}
+	}
+}
+
+// TestPipelineContextIndependence runs the identical Jarvis pipeline —
+// SPL learning, violation flagging, constrained training — on the office,
+// proving the framework is not smart-home-specific.
+func TestPipelineContextIndependence(t *testing.T) {
+	o := New()
+	rng := rand.New(rand.NewSource(3))
+	eps, err := o.Workdays(officeMonday, 5, DefaultWorkday(), rng)
+	if err != nil {
+		t.Fatalf("Workdays: %v", err)
+	}
+
+	spl := policy.NewLearner(o.Env, policy.Config{AllowIdle: true})
+	spl.ObserveAll(eps)
+	table := spl.Table()
+	if table.Len() == 0 {
+		t.Fatal("SPL learned nothing")
+	}
+
+	// A benign replay is clean.
+	if v := policy.FlagEpisodes(o.Env, table, eps[:1]); len(v) != 0 {
+		t.Fatalf("benign day flagged: %v", v)
+	}
+
+	// An attack — powering off the server cooler at 03:00 — is flagged.
+	actions := make([]env.Action, eps[0].Len())
+	for i, a := range eps[0].Actions {
+		actions[i] = a.Clone()
+	}
+	actions[3*60][o.ServerCooler] = 0
+	mal, err := env.ReplayActions(o.Env, eps[0].States[0], eps[0].Start, eps[0].I, actions)
+	if err != nil {
+		t.Fatalf("ReplayActions: %v", err)
+	}
+	flagged := policy.FlagEpisodes(o.Env, table, []env.Episode{mal})
+	if len(flagged) == 0 {
+		t.Fatal("server-cooler kill not flagged")
+	}
+
+	// Constrained training on the energy goal commits zero violations.
+	rs, err := reward.New(o.Env, reward.Config{
+		Functionalities: []reward.Functionality{
+			{Name: "energy", Weight: 1, F: o.EnergyReward()},
+		},
+		Preferred: reward.LearnPreferredTimes(o.Env, eps),
+		Instances: 1440,
+	})
+	if err != nil {
+		t.Fatalf("reward.New: %v", err)
+	}
+	sim, err := rl.NewSimEnv(o.Env, rl.SimConfig{
+		Initial: o.InitialState(),
+		Reward:  rs,
+		Safe:    table,
+	})
+	if err != nil {
+		t.Fatalf("NewSimEnv: %v", err)
+	}
+	agent, err := rl.NewAgent(sim, rl.NewTableQ(o.Env, 1440, 24, 0.25), rl.AgentConfig{
+		Episodes: 10, DecideEvery: 30, ReplayEvery: 8,
+		Actionable: func(dev int) bool {
+			return dev != o.Badge && dev != o.Occupancy && dev != o.ServerCooler
+		},
+		Rng: rng,
+	})
+	if err != nil {
+		t.Fatalf("NewAgent: %v", err)
+	}
+	stats, err := agent.Train()
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if stats.Violations != 0 {
+		t.Errorf("constrained office training committed %d violations", stats.Violations)
+	}
+	// A recommendation exists and is FSM-valid.
+	act := agent.Recommend(o.InitialState(), 10*60)
+	if _, err := o.Env.Transition(o.InitialState(), act); err != nil {
+		t.Errorf("recommendation invalid: %v", err)
+	}
+	_ = device.NoAction
+}
+
+func TestWorkdaysChain(t *testing.T) {
+	o := New()
+	rng := rand.New(rand.NewSource(4))
+	eps, err := o.Workdays(officeMonday, 3, DefaultWorkday(), rng)
+	if err != nil {
+		t.Fatalf("Workdays: %v", err)
+	}
+	for i := 1; i < len(eps); i++ {
+		if !eps[i].States[0].Equal(eps[i-1].States[len(eps[i-1].States)-1]) {
+			t.Errorf("day %d does not chain", i)
+		}
+	}
+}

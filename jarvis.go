@@ -1,0 +1,246 @@
+// Package jarvis is a constrained reinforcement-learning framework for IoT
+// environments, reproducing "Jarvis: Moving Towards a Smarter Internet of
+// Things" (Mudgerikar & Bertino, ICDCS 2020).
+//
+// Jarvis watches an IoT environment during a learning phase, learns which
+// state transitions occur naturally (filtering benign anomalies with a
+// small neural network), and whitelists them as the safe-transition table
+// P_safe. A Q-learning agent then optimizes user-defined functionality
+// goals — energy use, electricity cost, comfort — inside that whitelist:
+// it can act only along transitions the environment has exhibited on its
+// own, so optimization can never become unsafe.
+//
+// The facade in this package wires the full pipeline:
+//
+//	sys, err := jarvis.New(home.Env, jarvis.Config{...})
+//	sys.Learn(learningEpisodes)           // Algorithm 1: build P_safe
+//	sys.Train(simEnvConfig, trainConfig)  // Algorithm 2: learn Q
+//	action := sys.Recommend(state, t)     // best safe action now
+//	violations := sys.Audit(episodes)     // flag unsafe transitions
+//
+// The building blocks live in internal packages (devices, environment FSM,
+// event bus, neural networks, SPL, rewards, RL) and the experiment
+// harness under internal/experiment regenerates every table and figure of
+// the paper; see DESIGN.md and EXPERIMENTS.md.
+package jarvis
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"jarvis/internal/anomaly"
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+	"jarvis/internal/policy"
+	"jarvis/internal/reward"
+	"jarvis/internal/rl"
+)
+
+// Config parameterizes a Jarvis system for one environment.
+type Config struct {
+	// Seed drives all stochastic components; runs are reproducible.
+	Seed int64
+	// ThreshEnv is Algorithm 1's instance-count threshold (0, the paper's
+	// smart-home recommendation, whitelists every observed transition).
+	ThreshEnv int
+	// Filter, when true, trains the ANN benign-anomaly filter before
+	// learning policies. Training data must then be supplied to
+	// TrainFilter.
+	Filter bool
+	// FilterConfig tunes the ANN (zero value = paper defaults: one hidden
+	// layer, trained by backprop).
+	FilterConfig anomaly.Config
+}
+
+// System is a Jarvis instance bound to one IoT environment.
+type System struct {
+	env    *env.Environment
+	cfg    Config
+	rng    *rand.Rand
+	filter *anomaly.Filter
+	spl    *policy.Learner
+	table  *policy.Table
+	agent  *rl.Agent
+	sim    *rl.SimEnv
+}
+
+// New creates a Jarvis system for the environment.
+func New(e *env.Environment, cfg Config) (*System, error) {
+	if e == nil {
+		return nil, errors.New("jarvis: nil environment")
+	}
+	s := &System{
+		env: e,
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.Filter {
+		f, err := anomaly.NewFilter(e, cfg.FilterConfig, s.rng)
+		if err != nil {
+			return nil, fmt.Errorf("jarvis: %w", err)
+		}
+		s.filter = f
+	}
+	var filt policy.Filter
+	if s.filter != nil {
+		filt = s.filter
+	}
+	s.spl = policy.NewLearner(e, policy.Config{
+		ThreshEnv: cfg.ThreshEnv,
+		Filter:    filt,
+		AllowIdle: true,
+	})
+	return s, nil
+}
+
+// Env returns the bound environment.
+func (s *System) Env() *env.Environment { return s.env }
+
+// TrainFilter fits the benign-anomaly ANN on user-labelled data. It must
+// run before Learn for the filter to take effect.
+func (s *System) TrainFilter(data []anomaly.Labeled) (loss float64, err error) {
+	if s.filter == nil {
+		return 0, errors.New("jarvis: system created without Filter enabled")
+	}
+	return s.filter.Train(data, s.cfg.FilterConfig, s.rng)
+}
+
+// Filter exposes the trained benign-anomaly filter (nil when disabled).
+func (s *System) Filter() *anomaly.Filter { return s.filter }
+
+// Learn feeds learning-phase episodes through the SPL (Algorithm 1) and
+// finalizes P_safe. It may be called repeatedly; each call rebuilds the
+// table from all observations so far.
+func (s *System) Learn(episodes []env.Episode) {
+	s.spl.ObserveAll(episodes)
+	s.table = s.spl.Table()
+}
+
+// AllowManual adds a manual safety policy (Section V-B1): the device
+// action becomes unconditionally safe. Call after Learn.
+func (s *System) AllowManual(dev int, act device.ActionID) error {
+	if s.table == nil {
+		return errors.New("jarvis: Learn must run before AllowManual")
+	}
+	if dev < 0 || dev >= s.env.K() {
+		return fmt.Errorf("jarvis: unknown device %d", dev)
+	}
+	s.table.AllowManual(dev, act)
+	return nil
+}
+
+// SafeTable returns the learned P_safe (nil before Learn).
+func (s *System) SafeTable() *policy.Table { return s.table }
+
+// PreferredTimes indexes the learning episodes' action timings for the
+// dis-utility estimate; pass the same episodes given to Learn.
+func (s *System) PreferredTimes(episodes []env.Episode) *reward.PreferredTimes {
+	return reward.LearnPreferredTimes(s.env, episodes)
+}
+
+// TrainConfig parameterizes the optimizer (Algorithm 2).
+type TrainConfig struct {
+	// Agent tunes the ε-greedy constrained agent; zero values take the
+	// package defaults. Rng is overridden with the system's.
+	Agent rl.AgentConfig
+	// UseDNN selects the deep Q network instead of the tabular fallback.
+	UseDNN bool
+	// DNN tunes the network when UseDNN is set.
+	DNN rl.DQNConfig
+	// Buckets is the tabular time resolution (default 24).
+	Buckets int
+}
+
+// Train builds the simulated RL environment (constrained by the learned
+// P_safe) and runs Algorithm 2.
+func (s *System) Train(sim rl.SimConfig, cfg TrainConfig) (rl.TrainStats, error) {
+	if s.table == nil {
+		return rl.TrainStats{}, errors.New("jarvis: Learn must run before Train")
+	}
+	if sim.Safe == nil {
+		sim.Safe = s.table
+	}
+	simEnv, err := rl.NewSimEnv(s.env, sim)
+	if err != nil {
+		return rl.TrainStats{}, fmt.Errorf("jarvis: %w", err)
+	}
+	var q rl.QFunc
+	if cfg.UseDNN {
+		dqn, err := rl.NewDQN(s.env, sim.Reward.Instances(), cfg.DNN, s.rng)
+		if err != nil {
+			return rl.TrainStats{}, fmt.Errorf("jarvis: %w", err)
+		}
+		q = dqn
+	} else {
+		buckets := cfg.Buckets
+		if buckets <= 0 {
+			buckets = 24
+		}
+		q = rl.NewTableQ(s.env, sim.Reward.Instances(), buckets, 0.25)
+	}
+	agentCfg := cfg.Agent
+	agentCfg.Rng = s.rng
+	agent, err := rl.NewAgent(simEnv, q, agentCfg)
+	if err != nil {
+		return rl.TrainStats{}, fmt.Errorf("jarvis: %w", err)
+	}
+	stats, err := agent.Train()
+	if err != nil {
+		return stats, fmt.Errorf("jarvis: %w", err)
+	}
+	s.agent = agent
+	s.sim = simEnv
+	return stats, nil
+}
+
+// TrainingViolations returns the number of unsafe transitions the trained
+// agent's simulator recorded (always 0 for a properly constrained run).
+func (s *System) TrainingViolations() int {
+	if s.sim == nil {
+		return 0
+	}
+	return s.sim.Violations()
+}
+
+// Recommend returns the best safe action for the given state and time
+// instance. It requires a trained system. The user may have taken some
+// actions manually; Jarvis recommends from whatever state the environment
+// reached.
+func (s *System) Recommend(state env.State, t int) (env.Action, error) {
+	if s.agent == nil {
+		return nil, errors.New("jarvis: Train must run before Recommend")
+	}
+	if !s.env.ValidState(state) {
+		return nil, errors.New("jarvis: invalid state")
+	}
+	return s.agent.Recommend(state, t), nil
+}
+
+// Audit flags every transition in the episodes that P_safe does not
+// sanction — the enforcement path of the security evaluation.
+func (s *System) Audit(episodes []env.Episode) ([]policy.Violation, error) {
+	if s.table == nil {
+		return nil, errors.New("jarvis: Learn must run before Audit")
+	}
+	return policy.FlagEpisodes(s.env, s.table, episodes), nil
+}
+
+// SaveTable persists the learned P_safe as JSON.
+func (s *System) SaveTable(w io.Writer) error {
+	if s.table == nil {
+		return errors.New("jarvis: nothing learned yet")
+	}
+	return s.table.Save(w)
+}
+
+// LoadTable restores a previously saved P_safe, replacing any learned one.
+func (s *System) LoadTable(r io.Reader) error {
+	t, err := policy.LoadTable(r)
+	if err != nil {
+		return err
+	}
+	s.table = t
+	return nil
+}

@@ -1,0 +1,254 @@
+package jarvis
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"jarvis/internal/dataset"
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+	"jarvis/internal/reward"
+	"jarvis/internal/rl"
+	"jarvis/internal/smarthome"
+)
+
+var monday = time.Date(2020, 9, 7, 0, 0, 0, 0, time.UTC)
+
+func learnWeek(t *testing.T) (*smarthome.FullHome, []*dataset.Day) {
+	t.Helper()
+	home := smarthome.NewFullHome()
+	gen := dataset.NewGenerator(home, dataset.HomeAConfig())
+	days, err := gen.Days(monday, 3, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("Days: %v", err)
+	}
+	return home, days
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("nil environment should error")
+	}
+}
+
+func TestLifecycleOrdering(t *testing.T) {
+	home, _ := learnWeek(t)
+	sys, err := New(home.Env, Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := sys.TrainFilter(nil); err == nil {
+		t.Error("TrainFilter without Filter enabled should error")
+	}
+	if _, err := sys.Recommend(home.InitialState(), 0); err == nil {
+		t.Error("Recommend before Train should error")
+	}
+	if _, err := sys.Audit(nil); err == nil {
+		t.Error("Audit before Learn should error")
+	}
+	if err := sys.SaveTable(&bytes.Buffer{}); err == nil {
+		t.Error("SaveTable before Learn should error")
+	}
+	if err := sys.AllowManual(0, 0); err == nil {
+		t.Error("AllowManual before Learn should error")
+	}
+}
+
+func TestEndToEnd(t *testing.T) {
+	home, days := learnWeek(t)
+	sys, err := New(home.Env, Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	eps := dataset.Episodes(days)
+	sys.Learn(eps)
+	if sys.SafeTable() == nil || sys.SafeTable().Len() == 0 {
+		t.Fatal("Learn produced an empty table")
+	}
+	if err := sys.AllowManual(home.Thermostat, smarthome.ThermostatActOff); err != nil {
+		t.Fatalf("AllowManual: %v", err)
+	}
+	if err := sys.AllowManual(99, 0); err == nil {
+		t.Error("AllowManual with bad device should error")
+	}
+
+	// Audit: a benign episode has no violations; a tampered one does.
+	if v, err := sys.Audit(eps[:1]); err != nil || len(v) != 0 {
+		t.Fatalf("benign audit: %v %v", v, err)
+	}
+	mal := eps[0]
+	actions := make([]env.Action, mal.Len())
+	for i, a := range mal.Actions {
+		actions[i] = a.Clone()
+	}
+	actions[120][home.DoorSensor] = 0 // power off the door sensor at 02:00
+	tampered, err := env.ReplayActions(home.Env, mal.States[0], mal.Start, mal.I, actions)
+	if err != nil {
+		t.Fatalf("ReplayActions: %v", err)
+	}
+	v, err := sys.Audit([]env.Episode{tampered})
+	if err != nil || len(v) == 0 {
+		t.Fatalf("tampered audit: %v %v", v, err)
+	}
+
+	// Train a small optimizer and get a recommendation.
+	pref := sys.PreferredTimes(eps)
+	rs, err := reward.New(home.Env, reward.Config{
+		Functionalities: smarthome.Functionalities(
+			home.Env, home.TempSensor, home.Thermostat, days[0].Context.Prices, 0.6, 0.2, 0.2),
+		Preferred: pref,
+		Instances: smarthome.InstancesPerDay,
+	})
+	if err != nil {
+		t.Fatalf("reward.New: %v", err)
+	}
+	stats, err := sys.Train(rl.SimConfig{
+		Initial: home.InitialState(),
+		Reward:  rs,
+	}, TrainConfig{Agent: rl.AgentConfig{
+		Episodes: 3, DecideEvery: 30, ReplayEvery: 8,
+	}})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	if len(stats.EpisodeRewards) != 3 {
+		t.Fatalf("episodes trained = %d", len(stats.EpisodeRewards))
+	}
+	if stats.Violations != 0 {
+		t.Errorf("constrained training committed %d violations", stats.Violations)
+	}
+	if sys.TrainingViolations() != 0 {
+		t.Errorf("TrainingViolations = %d", sys.TrainingViolations())
+	}
+
+	act, err := sys.Recommend(home.InitialState(), 8*60)
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	if len(act) != home.Env.K() {
+		t.Fatalf("recommendation arity %d", len(act))
+	}
+	if _, err := sys.Recommend(env.State{99}, 0); err == nil {
+		t.Error("invalid state should error")
+	}
+
+	// Table round trip.
+	var buf bytes.Buffer
+	if err := sys.SaveTable(&buf); err != nil {
+		t.Fatalf("SaveTable: %v", err)
+	}
+	if err := sys.LoadTable(&buf); err != nil {
+		t.Fatalf("LoadTable: %v", err)
+	}
+	if err := sys.LoadTable(bytes.NewBufferString("junk")); err == nil {
+		t.Error("junk table should fail to load")
+	}
+}
+
+func TestFilterPipeline(t *testing.T) {
+	home, days := learnWeek(t)
+	sys, err := New(home.Env, Config{Seed: 2, Filter: true})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if sys.Filter() == nil {
+		t.Fatal("filter should be constructed")
+	}
+	rng := rand.New(rand.NewSource(3))
+	anoms, err := dataset.SynthesizeAnomalies(home, days, 200, rng)
+	if err != nil {
+		t.Fatalf("SynthesizeAnomalies: %v", err)
+	}
+	normals, err := dataset.NormalSamples(days, 200, rng)
+	if err != nil {
+		t.Fatalf("NormalSamples: %v", err)
+	}
+	if _, err := sys.TrainFilter(append(anoms, normals...)); err != nil {
+		t.Fatalf("TrainFilter: %v", err)
+	}
+	sys.Learn(dataset.Episodes(days))
+	if sys.SafeTable().Len() == 0 {
+		t.Fatal("filtered learning produced an empty table")
+	}
+	_, filtered := sys.spl.Observed()
+	if filtered == 0 {
+		t.Log("note: filter removed no transitions from this learning run")
+	}
+}
+
+func TestTrainWithDNN(t *testing.T) {
+	home, days := learnWeek(t)
+	sys, err := New(home.Env, Config{Seed: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	eps := dataset.Episodes(days)
+	sys.Learn(eps)
+	rs, err := reward.New(home.Env, reward.Config{
+		Functionalities: []reward.Functionality{
+			{Name: "energy", Weight: 1, F: smarthome.EnergyReward(home.Env)},
+		},
+		Instances: 60, // short episodes for the DNN smoke test
+	})
+	if err != nil {
+		t.Fatalf("reward.New: %v", err)
+	}
+	if _, err := sys.Train(rl.SimConfig{
+		Initial: home.InitialState(),
+		Reward:  rs,
+	}, TrainConfig{
+		UseDNN: true,
+		DNN:    rl.DQNConfig{Hidden: []int{16}},
+		Agent:  rl.AgentConfig{Episodes: 2, DecideEvery: 5, ReplayEvery: 8},
+	}); err != nil {
+		t.Fatalf("Train(DNN): %v", err)
+	}
+}
+
+func TestRecommendationsAreSafe(t *testing.T) {
+	home, days := learnWeek(t)
+	sys, err := New(home.Env, Config{Seed: 6})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	eps := dataset.Episodes(days)
+	sys.Learn(eps)
+	rs, err := reward.New(home.Env, reward.Config{
+		Functionalities: []reward.Functionality{
+			{Name: "energy", Weight: 1, F: smarthome.EnergyReward(home.Env)},
+		},
+		Instances: smarthome.InstancesPerDay,
+	})
+	if err != nil {
+		t.Fatalf("reward.New: %v", err)
+	}
+	if _, err := sys.Train(rl.SimConfig{
+		Initial: home.InitialState(),
+		Reward:  rs,
+	}, TrainConfig{Agent: rl.AgentConfig{Episodes: 2, DecideEvery: 30, ReplayEvery: 8}}); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	table := sys.SafeTable()
+	e := home.Env
+	for _, ep := range eps[:1] {
+		for ti, tr := range ep.Transitions() {
+			if ti%60 != 0 {
+				continue
+			}
+			act, err := sys.Recommend(tr.From, tr.Instance)
+			if err != nil {
+				t.Fatalf("Recommend: %v", err)
+			}
+			next, err := e.Transition(tr.From, act)
+			if err != nil {
+				t.Fatalf("recommended action invalid: %v", err)
+			}
+			if !table.SafeTransition(e.StateKey(tr.From), e.StateKey(next), act) {
+				t.Fatalf("unsafe recommendation %v at %d", e.FormatAction(act), tr.Instance)
+			}
+		}
+	}
+	_ = device.NoAction
+}
