@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test vet race race-daemon fmt check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full suite under the race detector (slow).
+race:
+	$(GO) test -race ./...
+
+# The daemon's concurrency surface (shutdown, accept backoff, connection
+# tracking) under the race detector — quick enough for every commit.
+race-daemon:
+	$(GO) test -race ./cmd/jarvisd/
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# The pre-commit gate: build, format, vet, full tests, and the daemon's
+# race-sensitive tests under -race.
+check: build fmt vet test race-daemon

@@ -6,7 +6,7 @@
 //	jarvis [-seed N] [-quick] <experiment>
 //
 // where <experiment> is one of table1, table2, table3, security, roc,
-// fig6, fig7, fig8, fig9, or all.
+// fig6, fig7, fig8, fig9, ablation, chaos, or all.
 package main
 
 import (
@@ -37,11 +37,11 @@ func run(args []string, out *os.File) error {
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("expected one experiment: table1|table2|table3|security|roc|fig6|fig7|fig8|fig9|ablation|all")
+		return fmt.Errorf("expected one experiment: table1|table2|table3|security|roc|fig6|fig7|fig8|fig9|ablation|chaos|all")
 	}
 	name := fs.Arg(0)
 	if name == "all" {
-		for _, n := range []string{"table1", "table2", "table3", "security", "roc", "fig6", "fig7", "fig8", "fig9", "ablation"} {
+		for _, n := range []string{"table1", "table2", "table3", "security", "roc", "fig6", "fig7", "fig8", "fig9", "ablation", "chaos"} {
 			if err := runOne(n, *seed, *quick, *homeB, out); err != nil {
 				return err
 			}
@@ -125,6 +125,13 @@ func dispatch(name string, seed int64, quick, homeB bool) (stringer, error) {
 			cfg.LearningDays = 4
 		}
 		return experiment.BenefitSpace(cfg)
+	case "chaos":
+		cfg := experiment.ChaosConfig{Seed: seed}
+		if quick {
+			cfg.LearningDays = 3
+			cfg.Episodes = 8
+		}
+		return experiment.Chaos(cfg)
 	}
 	return nil, fmt.Errorf("unknown experiment %q", name)
 }

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"jarvis/internal/checkpoint"
+)
+
+// checkpointVersion guards the on-disk format; bump on layout changes.
+const checkpointVersion = 1
+
+// checkpointFile is the daemon's on-disk state: the training configuration
+// it was produced under (so a restarted daemon can detect mismatches and
+// retrain), the learned P_safe, the trained Q function, and the running
+// violation count.
+type checkpointFile struct {
+	Version      int             `json:"version"`
+	Seed         int64           `json:"seed"`
+	LearningDays int             `json:"learningDays"`
+	Episodes     int             `json:"episodes"`
+	Violations   int             `json:"violations"`
+	Table        json.RawMessage `json:"table"`
+	Q            json.RawMessage `json:"q"`
+}
+
+// loadRetry is the startup restore policy: a few quick attempts absorb a
+// checkpoint that is mid-rename or on briefly flaky storage.
+var loadRetry = checkpoint.LoadOptions{Tries: 3, Backoff: 25 * time.Millisecond}
+
+// saveCheckpoint atomically persists the daemon state. Safe to call from
+// any goroutine; it takes the state lock.
+func (s *server) saveCheckpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saveCheckpointLocked()
+}
+
+// saveCheckpointLocked is saveCheckpoint for callers already holding s.mu.
+func (s *server) saveCheckpointLocked() error {
+	var table, q bytes.Buffer
+	if err := s.sys.SaveTable(&table); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := s.sys.SaveQ(&q); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	ckpt := checkpointFile{
+		Version:      checkpointVersion,
+		Seed:         s.cfg.Seed,
+		LearningDays: s.cfg.LearningDays,
+		Episodes:     s.cfg.Episodes,
+		Violations:   s.violations,
+		Table:        table.Bytes(),
+		Q:            q.Bytes(),
+	}
+	return checkpoint.WriteAtomic(s.cfg.CheckpointPath, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(&ckpt)
+	})
+}
+
+// restoreCheckpoint rebuilds the trained system from cfg.CheckpointPath
+// into assets.sys, skipping optimizer training. Any failure — missing
+// file, corrupt JSON, version or configuration mismatch, unloadable table
+// or Q — is returned so the caller can fall back to fresh training.
+func restoreCheckpoint(cfg serverConfig, assets *learningAssets, violations *int) error {
+	var ckpt checkpointFile
+	if err := checkpoint.Load(cfg.CheckpointPath, loadRetry, func(r io.Reader) error {
+		ckpt = checkpointFile{}
+		return json.NewDecoder(r).Decode(&ckpt)
+	}); err != nil {
+		return err
+	}
+	if ckpt.Version != checkpointVersion {
+		return fmt.Errorf("checkpoint: version %d, want %d", ckpt.Version, checkpointVersion)
+	}
+	if ckpt.Seed != cfg.Seed || ckpt.LearningDays != cfg.LearningDays || ckpt.Episodes != cfg.Episodes {
+		return fmt.Errorf("checkpoint: trained with seed=%d days=%d episodes=%d, daemon wants seed=%d days=%d episodes=%d",
+			ckpt.Seed, ckpt.LearningDays, ckpt.Episodes, cfg.Seed, cfg.LearningDays, cfg.Episodes)
+	}
+	if len(ckpt.Table) == 0 || len(ckpt.Q) == 0 {
+		return fmt.Errorf("checkpoint: missing table or Q payload")
+	}
+	if err := assets.sys.LoadTable(bytes.NewReader(ckpt.Table)); err != nil {
+		return fmt.Errorf("checkpoint table: %w", err)
+	}
+	if err := assets.sys.Restore(assets.simCfg, assets.trainCfg, bytes.NewReader(ckpt.Q)); err != nil {
+		return err
+	}
+	*violations = ckpt.Violations
+	return nil
+}

@@ -6,6 +6,7 @@
 //	{"op":"event","device":"oven","action":"power_on"} → apply a device action
 //	{"op":"recommend"}                               → Jarvis's best safe action now
 //	{"op":"violations"}                              → unsafe transitions seen so far
+//	{"op":"checkpoint"}                              → force a checkpoint save now
 //
 // Every applied event is checked against the learned P_safe; unsafe
 // transitions are executed (the hub is a monitor, not a gate) but flagged
@@ -18,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 )
 
 func main() {
@@ -33,15 +35,24 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed for the learning phase")
 	learningDays := fs.Int("learning-days", 7, "simulated learning-phase length")
 	episodes := fs.Int("episodes", 60, "optimizer training episodes")
+	ckpt := fs.String("checkpoint", "", "checkpoint file: restore trained state on start, save on shutdown (empty = disabled)")
+	idle := fs.Duration("idle-timeout", 5*time.Minute, "drop connections idle longer than this")
+	writeTimeout := fs.Duration("write-timeout", 10*time.Second, "per-response write deadline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	fmt.Fprintf(os.Stderr, "jarvisd: learning phase (%d days) and optimizer training...\n", *learningDays)
 	srv, err := newServer(serverConfig{
-		Seed:         *seed,
-		LearningDays: *learningDays,
-		Episodes:     *episodes,
+		Seed:           *seed,
+		LearningDays:   *learningDays,
+		Episodes:       *episodes,
+		CheckpointPath: *ckpt,
+		IdleTimeout:    *idle,
+		WriteTimeout:   *writeTimeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
 	})
 	if err != nil {
 		return err

@@ -17,11 +17,47 @@ import (
 	"jarvis/internal/smarthome"
 )
 
-// serverConfig sizes the daemon's startup learning phase.
+// serverConfig sizes the daemon's startup learning phase and its
+// resilience knobs.
 type serverConfig struct {
 	Seed         int64
 	LearningDays int
 	Episodes     int
+
+	// CheckpointPath, when non-empty, enables checkpoint/restore: startup
+	// restores the trained system from this file instead of retraining,
+	// and the daemon re-checkpoints after training, on demand, and on
+	// shutdown. Writes are atomic (temp + rename); a corrupt or mismatched
+	// checkpoint falls back to fresh training.
+	CheckpointPath string
+
+	// IdleTimeout bounds how long a connection may sit silent between
+	// requests before the daemon drops it (default 5m).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one response write (default 10s).
+	WriteTimeout time.Duration
+
+	// Logf receives operational messages; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c serverConfig) withDefaults() serverConfig {
+	if c.LearningDays <= 0 {
+		c.LearningDays = 7
+	}
+	if c.Episodes <= 0 {
+		c.Episodes = 60
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
 }
 
 // request is one JSON line from a client.
@@ -40,12 +76,14 @@ type response struct {
 	Unsafe     bool     `json:"unsafe,omitempty"`
 	Violations int      `json:"violations,omitempty"`
 	Minute     int      `json:"minute,omitempty"`
+	Degraded   int      `json:"degraded,omitempty"`
 }
 
 // server owns the environment state and the trained Jarvis system. All
 // state mutations are serialized by mu; connections are handled
-// concurrently.
+// concurrently and tracked so Close can terminate idle clients.
 type server struct {
+	cfg  serverConfig
 	home *smarthome.FullHome
 	sys  *jarvis.System
 
@@ -54,18 +92,30 @@ type server struct {
 	startOfDay time.Time
 	violations int
 
-	ln   net.Listener
-	wg   sync.WaitGroup
-	stop chan struct{}
+	ln     net.Listener
+	wg     sync.WaitGroup
+	stop   chan struct{}
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	// restored reports whether startup served from a checkpoint instead of
+	// training.
+	restored bool
 }
 
-func newServer(cfg serverConfig) (*server, error) {
-	if cfg.LearningDays <= 0 {
-		cfg.LearningDays = 7
-	}
-	if cfg.Episodes <= 0 {
-		cfg.Episodes = 60
-	}
+// learningAssets is everything the deterministic learning phase produces —
+// needed both for fresh training and for rewiring a restored optimizer.
+type learningAssets struct {
+	home     *smarthome.FullHome
+	sys      *jarvis.System
+	simCfg   rl.SimConfig
+	trainCfg jarvis.TrainConfig
+}
+
+// buildLearning runs the (cheap, deterministic) learning phase: simulate
+// the ADL days, learn P_safe, and assemble the reward and agent
+// configuration. The (expensive) optimizer training is NOT run here.
+func buildLearning(cfg serverConfig) (*learningAssets, error) {
 	home := smarthome.NewFullHome()
 	sys, err := jarvis.New(home.Env, jarvis.Config{Seed: cfg.Seed})
 	if err != nil {
@@ -98,22 +148,54 @@ func newServer(cfg serverConfig) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := sys.Train(rl.SimConfig{
-		Initial: home.InitialState(),
-		Reward:  rs,
-	}, jarvis.TrainConfig{Agent: rl.AgentConfig{
-		Episodes: cfg.Episodes, DecideEvery: 15, ReplayEvery: 4,
-	}}); err != nil {
-		return nil, fmt.Errorf("optimizer training: %w", err)
-	}
+	return &learningAssets{
+		home:   home,
+		sys:    sys,
+		simCfg: rl.SimConfig{Initial: home.InitialState(), Reward: rs},
+		trainCfg: jarvis.TrainConfig{Agent: rl.AgentConfig{
+			Episodes: cfg.Episodes, DecideEvery: 15, ReplayEvery: 4,
+		}},
+	}, nil
+}
 
-	return &server{
-		home:       home,
-		sys:        sys,
-		state:      home.InitialState(),
+func newServer(cfg serverConfig) (*server, error) {
+	cfg = cfg.withDefaults()
+	assets, err := buildLearning(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &server{
+		cfg:        cfg,
+		home:       assets.home,
+		sys:        assets.sys,
+		state:      assets.home.InitialState(),
 		startOfDay: time.Now().Truncate(24 * time.Hour),
 		stop:       make(chan struct{}),
-	}, nil
+		conns:      make(map[net.Conn]struct{}),
+	}
+
+	if cfg.CheckpointPath != "" {
+		switch err := restoreCheckpoint(cfg, assets, &s.violations); {
+		case err == nil:
+			s.restored = true
+			cfg.Logf("jarvisd: restored trained state from %s", cfg.CheckpointPath)
+		default:
+			// Corrupt, missing, or mismatched checkpoint: fall back to
+			// fresh training rather than crashing.
+			cfg.Logf("jarvisd: checkpoint unavailable (%v); training fresh", err)
+		}
+	}
+	if !s.restored {
+		if _, err := assets.sys.Train(assets.simCfg, assets.trainCfg); err != nil {
+			return nil, fmt.Errorf("optimizer training: %w", err)
+		}
+		if cfg.CheckpointPath != "" {
+			if err := s.saveCheckpoint(); err != nil {
+				cfg.Logf("jarvisd: checkpoint save failed: %v", err)
+			}
+		}
+	}
+	return s, nil
 }
 
 func (s *server) tableSize() int { return s.sys.SafeTable().Len() }
@@ -138,19 +220,52 @@ func (s *server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the listener and waits for all connections to drain.
+// Close stops the listener, terminates every live connection (including
+// idle clients blocked in a read), waits for the handlers to drain, and
+// writes a final checkpoint.
 func (s *server) Close() error {
 	close(s.stop)
 	var err error
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
 	s.wg.Wait()
+	if s.cfg.CheckpointPath != "" {
+		if cerr := s.saveCheckpoint(); cerr != nil {
+			s.cfg.Logf("jarvisd: final checkpoint failed: %v", cerr)
+			if err == nil {
+				err = cerr
+			}
+		}
+	}
 	return err
 }
 
+func (s *server) trackConn(c net.Conn, add bool) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if add {
+		s.conns[c] = struct{}{}
+	} else {
+		delete(s.conns, c)
+	}
+}
+
+// acceptLoop accepts until the listener closes. Transient accept errors
+// (timeouts, EMFILE-style temporary conditions) are retried with capped
+// exponential backoff instead of killing the loop.
 func (s *server) acceptLoop() {
 	defer s.wg.Done()
+	const (
+		minBackoff = 5 * time.Millisecond
+		maxBackoff = time.Second
+	)
+	var delay time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -158,27 +273,77 @@ func (s *server) acceptLoop() {
 			case <-s.stop:
 				return
 			default:
-				return // listener failed; daemon exits on signal anyway
 			}
+			if isTransient(err) {
+				if delay == 0 {
+					delay = minBackoff
+				} else if delay *= 2; delay > maxBackoff {
+					delay = maxBackoff
+				}
+				s.cfg.Logf("jarvisd: transient accept error (retrying in %v): %v", delay, err)
+				select {
+				case <-time.After(delay):
+					continue
+				case <-s.stop:
+					return
+				}
+			}
+			s.cfg.Logf("jarvisd: accept failed: %v", err)
+			return
 		}
+		delay = 0
+		s.trackConn(conn, true)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.trackConn(conn, false)
 			defer conn.Close()
+			defer func() {
+				// One misbehaving client must not take the daemon down.
+				if r := recover(); r != nil {
+					s.cfg.Logf("jarvisd: connection handler panicked: %v", r)
+				}
+			}()
 			s.serve(conn)
 		}()
 	}
+}
+
+// isTransient reports whether an accept error is worth retrying.
+func isTransient(err error) bool {
+	ne, ok := err.(net.Error)
+	if !ok {
+		return false
+	}
+	if ne.Timeout() {
+		return true
+	}
+	// Temporary is deprecated for the general case but remains the only
+	// signal for retryable accept conditions like EMFILE/ECONNABORTED.
+	if te, ok := err.(interface{ Temporary() bool }); ok && te.Temporary() {
+		return true
+	}
+	return false
 }
 
 func (s *server) serve(conn net.Conn) {
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	enc := json.NewEncoder(conn)
 	for {
+		// A connection may not sit silent forever: the read deadline turns
+		// an abandoned client into a closed connection instead of a leaked
+		// goroutine.
+		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+			return
+		}
 		var req request
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
 		resp := s.handle(req)
+		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+			return
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -237,10 +402,20 @@ func (s *server) handle(req request) response {
 		if err != nil {
 			return response{Error: err.Error()}
 		}
-		return response{OK: true, Action: e.FormatAction(act), Minute: minute}
+		return response{OK: true, Action: e.FormatAction(act), Minute: minute,
+			Degraded: s.sys.DegradedRecommendations()}
 
 	case "violations":
 		return response{OK: true, Violations: s.violations, Minute: minute}
+
+	case "checkpoint":
+		if s.cfg.CheckpointPath == "" {
+			return response{Error: "daemon started without -checkpoint"}
+		}
+		if err := s.saveCheckpointLocked(); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true, Minute: minute}
 	}
 	return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 }

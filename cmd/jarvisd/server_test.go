@@ -4,8 +4,12 @@ import (
 	"bufio"
 	"encoding/json"
 	"net"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func startTestServer(t *testing.T) *server {
@@ -135,5 +139,254 @@ func TestServerConcurrentClients(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatalf("client: %v", err)
 		}
+	}
+}
+
+// waitForConns blocks until the server tracks at least n live connections.
+func waitForConns(t *testing.T, srv *server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		srv.connMu.Lock()
+		got := len(srv.conns)
+		srv.connMu.Unlock()
+		if got >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("server never tracked %d connections", n)
+}
+
+// TestCloseTerminatesIdleConnection is the shutdown acceptance test: a
+// client that holds an open connection without sending anything must not
+// be able to hang Close (the old server blocked forever in wg.Wait because
+// serve sat in dec.Decode).
+func TestCloseTerminatesIdleConnection(t *testing.T) {
+	srv, err := newServer(serverConfig{Seed: 1, LearningDays: 2, Episodes: 2})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	if err := srv.listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	waitForConns(t, srv, 1)
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return within 5s while an idle client held a connection")
+	}
+
+	// The idle client observes its connection terminated.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Error("idle client connection survived server Close")
+	}
+}
+
+// fakeListener feeds acceptLoop a scripted error sequence.
+type fakeListener struct{ errs chan error }
+
+func (l *fakeListener) Accept() (net.Conn, error) {
+	err, ok := <-l.errs
+	if !ok {
+		return nil, net.ErrClosed
+	}
+	return nil, err
+}
+func (l *fakeListener) Close() error   { return nil }
+func (l *fakeListener) Addr() net.Addr { return &net.TCPAddr{} }
+
+// scriptedNetErr implements net.Error with a controllable Temporary bit.
+type scriptedNetErr struct{ temp bool }
+
+func (e scriptedNetErr) Error() string   { return "scripted accept error" }
+func (e scriptedNetErr) Timeout() bool   { return false }
+func (e scriptedNetErr) Temporary() bool { return e.temp }
+
+// TestAcceptLoopRetriesTransientErrors proves the accept loop survives
+// transient errors with backoff instead of dying on the first one, and
+// still terminates on a permanent failure.
+func TestAcceptLoopRetriesTransientErrors(t *testing.T) {
+	var mu sync.Mutex
+	var transientLogs int
+	cfg := serverConfig{Logf: func(format string, args ...any) {
+		if strings.Contains(format, "transient") {
+			mu.Lock()
+			transientLogs++
+			mu.Unlock()
+		}
+	}}.withDefaults()
+	errs := make(chan error, 4)
+	errs <- scriptedNetErr{temp: true}
+	errs <- scriptedNetErr{temp: true}
+	errs <- scriptedNetErr{temp: true}
+	errs <- scriptedNetErr{temp: false} // permanent: loop must exit
+	s := &server{
+		cfg:   cfg,
+		ln:    &fakeListener{errs: errs},
+		stop:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	done := make(chan struct{})
+	go func() {
+		s.acceptLoop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("acceptLoop did not exit after a permanent error")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if transientLogs != 3 {
+		t.Errorf("retried %d transient errors, want 3", transientLogs)
+	}
+}
+
+// TestCheckpointRestartServesWithoutRetraining is the restore acceptance
+// test: a daemon restarted against the checkpoint the previous instance
+// wrote must come up restored (no optimizer retraining), carry over the
+// violation count, agree with the original system's recommendation, and
+// serve `recommend` over the wire.
+func TestCheckpointRestartServesWithoutRetraining(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jarvisd.ckpt")
+	cfg := serverConfig{Seed: 1, LearningDays: 2, Episodes: 2, CheckpointPath: path}
+
+	srv1, err := newServer(cfg)
+	if err != nil {
+		t.Fatalf("first boot: %v", err)
+	}
+	if srv1.restored {
+		t.Fatal("first boot claims to be restored with no checkpoint on disk")
+	}
+	act1, err := srv1.sys.Recommend(srv1.home.InitialState(), 600)
+	if err != nil {
+		t.Fatalf("recommend on trained system: %v", err)
+	}
+	// Record an unsafe event so the violation counter is nonzero in the
+	// checkpoint.
+	if resp := srv1.handle(request{Op: "event", Device: "door-sensor", Action: "power_off"}); !resp.Unsafe {
+		t.Fatalf("sensor-off should be unsafe: %+v", resp)
+	}
+	wantViolations := srv1.violations
+	if err := srv1.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+
+	srv2, err := newServer(cfg)
+	if err != nil {
+		t.Fatalf("second boot: %v", err)
+	}
+	if !srv2.restored {
+		t.Fatal("second boot retrained instead of restoring from checkpoint")
+	}
+	if srv2.violations != wantViolations {
+		t.Errorf("restored violations = %d, want %d", srv2.violations, wantViolations)
+	}
+	act2, err := srv2.sys.Recommend(srv2.home.InitialState(), 600)
+	if err != nil {
+		t.Fatalf("recommend on restored system: %v", err)
+	}
+	e := srv1.home.Env
+	if e.FormatAction(act1) != e.FormatAction(act2) {
+		t.Errorf("restored recommendation %s differs from trained %s",
+			e.FormatAction(act2), e.FormatAction(act1))
+	}
+
+	// And it serves recommend over the wire.
+	if err := srv2.listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	conn, err := net.Dial("tcp", srv2.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	resp := roundTrip(t, enc, dec, request{Op: "recommend"})
+	if !resp.OK || !strings.HasPrefix(resp.Action, "(") {
+		t.Fatalf("restored daemon recommend: %+v", resp)
+	}
+	conn.Close()
+	if err := srv2.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestCorruptCheckpointFallsBackToFreshTraining: garbage on disk must not
+// crash startup — the daemon trains fresh and overwrites the checkpoint
+// with a valid one.
+func TestCorruptCheckpointFallsBackToFreshTraining(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jarvisd.ckpt")
+	if err := os.WriteFile(path, []byte("{this is not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := serverConfig{Seed: 1, LearningDays: 2, Episodes: 2, CheckpointPath: path}
+
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatalf("newServer with corrupt checkpoint: %v", err)
+	}
+	if srv.restored {
+		t.Fatal("server claims to have restored from a corrupt checkpoint")
+	}
+	if _, err := srv.sys.Recommend(srv.home.InitialState(), 600); err != nil {
+		t.Fatalf("fresh-trained system cannot recommend: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// The corrupt file was replaced by a valid checkpoint.
+	srv2, err := newServer(cfg)
+	if err != nil {
+		t.Fatalf("reboot: %v", err)
+	}
+	if !srv2.restored {
+		t.Error("rewritten checkpoint did not restore on the next boot")
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestCheckpointConfigMismatchRetrains: a checkpoint trained under a
+// different seed must be rejected, not silently served.
+func TestCheckpointConfigMismatchRetrains(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jarvisd.ckpt")
+	cfg := serverConfig{Seed: 1, LearningDays: 2, Episodes: 2, CheckpointPath: path}
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	other := cfg
+	other.Seed = 2
+	srv2, err := newServer(other)
+	if err != nil {
+		t.Fatalf("newServer with mismatched checkpoint: %v", err)
+	}
+	if srv2.restored {
+		t.Error("restored from a checkpoint trained under a different seed")
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,101 @@
+// Package checkpoint provides crash-safe persistence primitives for the
+// trained Jarvis state: atomic write-to-temp-then-rename saves and loads
+// with bounded retry. A daemon that checkpoints through this package never
+// leaves a torn file behind — readers see either the previous complete
+// checkpoint or the new one.
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// WriteAtomic streams fn's output to a temporary file in path's directory,
+// syncs it to stable storage, and renames it over path. On any error the
+// temporary file is removed and path is left untouched.
+func WriteAtomic(path string, fn func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = fn(tmp); err != nil {
+		return fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return nil
+}
+
+// LoadOptions tunes Load's retry behavior.
+type LoadOptions struct {
+	// Tries is the maximum number of attempts (default 3).
+	Tries int
+	// Backoff is the initial delay between attempts, doubling each retry
+	// (default 50ms).
+	Backoff time.Duration
+	// Sleep is swapped out by tests; nil uses time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Tries <= 0 {
+		o.Tries = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	return o
+}
+
+// Load opens path and hands the reader to fn, retrying with exponential
+// backoff when opening or fn fails — transient I/O hiccups (NFS, busy
+// disks) heal; a genuinely corrupt checkpoint fails every attempt and the
+// last error is returned for the caller to fall back on. A missing file is
+// returned immediately (no retries) and satisfies errors.Is(err,
+// os.ErrNotExist).
+func Load(path string, opts LoadOptions, fn func(io.Reader) error) error {
+	opts = opts.withDefaults()
+	var last error
+	delay := opts.Backoff
+	for attempt := 0; attempt < opts.Tries; attempt++ {
+		if attempt > 0 {
+			opts.Sleep(delay)
+			delay *= 2
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return fmt.Errorf("checkpoint: %w", err)
+			}
+			last = err
+			continue
+		}
+		err = fn(f)
+		f.Close()
+		if err == nil {
+			return nil
+		}
+		last = err
+	}
+	return fmt.Errorf("checkpoint: load %s failed after %d attempts: %w", path, opts.Tries, last)
+}

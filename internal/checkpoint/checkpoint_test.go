@@ -1,0 +1,125 @@
+package checkpoint
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteAtomicRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "hello")
+		return err
+	}); err != nil {
+		t.Fatalf("WriteAtomic: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("read %q, want %q", got, "hello")
+	}
+}
+
+func TestWriteAtomicFailureLeavesOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("WriteAtomic err = %v, want boom", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old" {
+		t.Errorf("old checkpoint clobbered: %q", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("temp file leaked: %d entries in dir", len(ents))
+	}
+}
+
+func TestLoadMissingFileNoRetry(t *testing.T) {
+	slept := 0
+	err := Load(filepath.Join(t.TempDir(), "nope"), LoadOptions{
+		Sleep: func(time.Duration) { slept++ },
+	}, func(io.Reader) error { return nil })
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+	if slept != 0 {
+		t.Errorf("retried %d times on a missing file", slept)
+	}
+}
+
+func TestLoadRetriesThenSucceeds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	if err := os.WriteFile(path, []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	attempts := 0
+	var delays []time.Duration
+	err := Load(path, LoadOptions{
+		Tries:   3,
+		Backoff: 10 * time.Millisecond,
+		Sleep:   func(d time.Duration) { delays = append(delays, d) },
+	}, func(r io.Reader) error {
+		attempts++
+		if attempts < 3 {
+			return errors.New("transient")
+		}
+		b, _ := io.ReadAll(r)
+		if string(b) != "data" {
+			t.Errorf("read %q", b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(delays) != len(want) || delays[0] != want[0] || delays[1] != want[1] {
+		t.Errorf("backoff delays = %v, want %v", delays, want)
+	}
+}
+
+func TestLoadExhaustsRetriesOnCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	attempts := 0
+	err := Load(path, LoadOptions{Tries: 2, Sleep: func(time.Duration) {}}, func(io.Reader) error {
+		attempts++
+		return errors.New("corrupt")
+	})
+	if err == nil {
+		t.Fatal("Load succeeded on corrupt file")
+	}
+	if attempts != 2 {
+		t.Errorf("attempts = %d, want 2", attempts)
+	}
+	if !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Errorf("error does not mention attempts: %v", err)
+	}
+}

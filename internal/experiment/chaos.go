@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"jarvis/internal/dataset"
+	"jarvis/internal/fault"
+	"jarvis/internal/metrics"
+	"jarvis/internal/rl"
+)
+
+// ChaosConfig sizes the fault-injection robustness experiment: the
+// constrained Jarvis agent is trained and evaluated on the same day
+// context while the environment pipeline degrades — sensors drop out and
+// stick, events get lost, actuations lag, devices disappear.
+type ChaosConfig struct {
+	Seed         int64
+	LearningDays int
+	// Rates is the uniform fault-rate sweep (default 0, 0.05, 0.1, 0.2;
+	// rate 0 is the fault-free baseline every other point is compared to).
+	Rates []float64
+	// Episodes per training run (default 40).
+	Episodes int
+	// ReplayEvery throttles replay updates (default 4).
+	ReplayEvery int
+	// Buckets is the tabular Q time resolution (default 24).
+	Buckets int
+	// DecideEvery is the agent's decision interval in minutes (default 15).
+	DecideEvery int
+}
+
+// ChaosPoint is one fault rate's outcome.
+type ChaosPoint struct {
+	// Rate is the uniform fault rate injected into the pipeline.
+	Rate float64
+	// Return is the greedy policy's R_smart return evaluated under faults.
+	Return float64
+	// TrainViolations counts ground-truth unsafe transitions during
+	// training; the hub-gated constrained agent must keep this at 0.
+	TrainViolations int
+	// EvalViolations counts ground-truth unsafe transitions during the
+	// greedy evaluation episode.
+	EvalViolations int
+	// Faults summarizes what the injector actually did.
+	Faults fault.Stats
+}
+
+// ChaosResult is the sweep: safety-violation and reward-degradation
+// curves across fault rates.
+type ChaosResult struct {
+	Points []ChaosPoint
+}
+
+// Baseline returns the fault-free (lowest-rate) return.
+func (r *ChaosResult) Baseline() float64 {
+	if len(r.Points) == 0 {
+		return 0
+	}
+	return r.Points[0].Return
+}
+
+// MaxViolations returns the worst ground-truth violation count across the
+// sweep (training + evaluation) — 0 means the safety guarantee held at
+// every fault rate.
+func (r *ChaosResult) MaxViolations() int {
+	max := 0
+	for _, p := range r.Points {
+		if v := p.TrainViolations + p.EvalViolations; v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Chaos runs the robustness sweep: for each fault rate, the constrained
+// agent trains and greedily evaluates inside a fault-injected wrapper
+// around the simulated home. Faulty observations and dropped commands may
+// cost reward, but the hub re-checks every action against ground truth,
+// so the P_safe guarantee must survive every rate.
+func Chaos(cfg ChaosConfig) (*ChaosResult, error) {
+	if len(cfg.Rates) == 0 {
+		cfg.Rates = []float64{0, 0.05, 0.1, 0.2}
+	}
+	if cfg.Episodes <= 0 {
+		cfg.Episodes = 40
+	}
+	if cfg.ReplayEvery <= 0 {
+		cfg.ReplayEvery = 4
+	}
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 24
+	}
+	if cfg.DecideEvery <= 0 {
+		cfg.DecideEvery = 15
+	}
+	lab, err := NewLab(LabConfig{
+		Seed:         cfg.Seed,
+		LearningDays: cfg.LearningDays,
+		Profile:      dataset.HomeAConfig(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	// One shared evaluation-day context keeps the sweep comparable: only
+	// the fault rate changes between points.
+	date := LearningStart.AddDate(0, 0, 30)
+	ctx := dataset.NewDayContext(date, dataset.DefaultContext(), lab.Rng)
+
+	res := &ChaosResult{}
+	for ri, rate := range cfg.Rates {
+		var faulty *fault.FaultyEnv
+		agent, sim, _, err := buildJarvisAgent(lab, jarvisRunConfig{
+			Ctx:         ctx,
+			FEnergy:     0.4,
+			FCost:       0.3,
+			FComfort:    0.3,
+			Episodes:    cfg.Episodes,
+			ReplayEvery: cfg.ReplayEvery,
+			Buckets:     cfg.Buckets,
+			DecideEvery: cfg.DecideEvery,
+			Seed:        cfg.Seed*1_000_003 + int64(ri)*131,
+			Constrained: true,
+			Wrap: func(inner rl.SafeEnv) rl.SafeEnv {
+				faulty = fault.Wrap(inner, fault.Uniform(cfg.Seed+int64(ri), rate))
+				return faulty
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: chaos rate %.2f: %w", rate, err)
+		}
+		if _, err := agent.Train(); err != nil {
+			return nil, fmt.Errorf("experiment: chaos training at rate %.2f: %w", rate, err)
+		}
+		trainViolations := sim.Violations()
+		sim.ResetViolations()
+		ret, _, err := agent.Evaluate()
+		if err != nil {
+			return nil, fmt.Errorf("experiment: chaos evaluation at rate %.2f: %w", rate, err)
+		}
+		res.Points = append(res.Points, ChaosPoint{
+			Rate:            rate,
+			Return:          ret,
+			TrainViolations: trainViolations,
+			EvalViolations:  sim.Violations(),
+			Faults:          faulty.Stats(),
+		})
+	}
+	return res, nil
+}
+
+// String renders the safety and reward-degradation curves.
+func (r *ChaosResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos: constrained Jarvis under injected faults (baseline return %.3f)\n", r.Baseline())
+	fmt.Fprintf(&b, "  %-6s %10s %12s %11s %11s  %s\n",
+		"rate", "return", "degradation", "train-viol", "eval-viol", "injected faults")
+	base := r.Baseline()
+	returns := make([]float64, 0, len(r.Points))
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %-6.2f %10.3f %12.3f %11d %11d  %s\n",
+			p.Rate, p.Return, base-p.Return, p.TrainViolations, p.EvalViolations, p.Faults)
+		returns = append(returns, p.Return)
+	}
+	fmt.Fprintf(&b, "  return trend: %s\n", metrics.Sparkline(returns))
+	if r.MaxViolations() == 0 {
+		fmt.Fprintf(&b, "  safety: P_safe held at every fault rate (0 ground-truth violations)\n")
+	} else {
+		fmt.Fprintf(&b, "  safety: VIOLATED — %d ground-truth unsafe transitions\n", r.MaxViolations())
+	}
+	return b.String()
+}

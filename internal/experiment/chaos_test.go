@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"jarvis/internal/fault"
+)
+
+// TestChaosSweep is the robustness acceptance test: three or more fault
+// rates, the constrained agent's ground-truth safety violations stay 0 at
+// every rate, and the faulty points actually injected faults.
+func TestChaosSweep(t *testing.T) {
+	res, err := Chaos(ChaosConfig{
+		Seed:         1,
+		LearningDays: 2,
+		Rates:        []float64{0, 0.2, 0.5},
+		Episodes:     3,
+	})
+	if err != nil {
+		t.Fatalf("Chaos: %v", err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("got %d points, want 3", len(res.Points))
+	}
+	if res.MaxViolations() != 0 {
+		t.Errorf("constrained agent violated P_safe under faults: %d", res.MaxViolations())
+	}
+	for i, p := range res.Points {
+		if p.TrainViolations != 0 || p.EvalViolations != 0 {
+			t.Errorf("rate %.2f: violations train=%d eval=%d, want 0",
+				p.Rate, p.TrainViolations, p.EvalViolations)
+		}
+		if i == 0 {
+			if p.Faults != (fault.Stats{}) {
+				t.Errorf("rate 0 injected faults: %+v", p.Faults)
+			}
+			continue
+		}
+		total := p.Faults.Stuck + p.Faults.Dropouts + p.Faults.Delayed + p.Faults.Unavailable
+		if total == 0 {
+			t.Errorf("rate %.2f injected no faults", p.Rate)
+		}
+	}
+	out := res.String()
+	for _, want := range []string{"Chaos", "degradation", "safety: P_safe held"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}

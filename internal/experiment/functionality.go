@@ -310,7 +310,8 @@ func runJarvisDay(lab *Lab, cfg FunctionalityConfig, ctx *dataset.DayContext, fE
 	return bestMetric, nil
 }
 
-// jarvisRunConfig parameterizes one agent run (shared by Figures 6–9).
+// jarvisRunConfig parameterizes one agent run (shared by Figures 6–9 and
+// the chaos experiment).
 type jarvisRunConfig struct {
 	Ctx                      *dataset.DayContext
 	FEnergy, FCost, FComfort float64
@@ -318,6 +319,9 @@ type jarvisRunConfig struct {
 	Buckets, DecideEvery     int
 	Seed                     int64
 	Constrained              bool
+	// Wrap, when non-nil, decorates the simulated environment before the
+	// agent sees it — the chaos experiment injects faults here.
+	Wrap func(rl.SafeEnv) rl.SafeEnv
 }
 
 // buildJarvisAgent wires a SimEnv + tabular agent for one day context.
@@ -354,7 +358,11 @@ func buildJarvisAgent(lab *Lab, rc jarvisRunConfig) (*rl.Agent, *rl.SimEnv, *day
 		sim.SetAudit(lab.Table) // count violations without constraining
 	}
 	q := rl.NewTableQ(h.Env, n, rc.Buckets, 0.25)
-	agent, err := rl.NewAgent(sim, q, rl.AgentConfig{
+	var trainEnv rl.SafeEnv = sim
+	if rc.Wrap != nil {
+		trainEnv = rc.Wrap(sim)
+	}
+	agent, err := rl.NewAgent(trainEnv, q, rl.AgentConfig{
 		Episodes:     rc.Episodes,
 		Gamma:        0.97,
 		BatchSize:    24,

@@ -1,0 +1,401 @@
+// Package fault is a seeded, composable fault-injection layer for the
+// Jarvis pipeline. Real IoT deployments — the setting IoTWarden and
+// RESTRAIN model when stress-testing trigger-action defenses — see sensor
+// dropout, stuck readings, lost/duplicated/reordered events, delayed
+// actuation, and transiently unreachable devices. This package reproduces
+// those conditions deterministically so the constrained agent's safety
+// claim (Algorithm 2) can be exercised on degraded streams instead of only
+// clean simulated traces.
+//
+// Two injection points are provided:
+//
+//   - FaultyEnv wraps any rl.SafeEnv and perturbs the agent's view of it:
+//     observations go stale (stuck-at / dropout), actuations are delayed or
+//     dropped (device unavailability), and every command is re-checked
+//     against the hub's ground-truth state before it executes — the hub,
+//     not the possibly stale observer, is the enforcement point for P_safe,
+//     so a constrained agent stays violation-free under faults.
+//
+//   - Injector.PerturbEpisode perturbs recorded event streams (loss,
+//     duplication, reordering) while keeping them FSM-consistent, for
+//     fault-injected learning phases and audits.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+	"jarvis/internal/rl"
+)
+
+// Config parameterizes the injector. All probabilities are per-opportunity
+// (per device per step, or per event) in [0, 1]; zero disables that mode.
+type Config struct {
+	// Seed drives every fault draw; runs are reproducible.
+	Seed int64
+
+	// StuckProb is the per-device per-step probability that a reading
+	// freezes at its current value for StuckMin..StuckMax instances
+	// (sensor stuck-at).
+	StuckProb          float64
+	StuckMin, StuckMax int
+
+	// DropoutProb is the per-device per-step probability that one reading
+	// is lost, leaving the observer with the previous (stale) value.
+	DropoutProb float64
+
+	// DelayProb is the per-mini-action probability that an actuation is
+	// deferred by 1..DelayMax steps instead of executing now. A deferred
+	// command that is no longer valid when it fires is dropped, as a real
+	// hub discards stale commands.
+	DelayProb float64
+	DelayMax  int
+
+	// UnavailProb is the per-device per-step probability that the device
+	// becomes unreachable for UnavailMin..UnavailMax instances; commands
+	// sent to an unreachable device are dropped.
+	UnavailProb            float64
+	UnavailMin, UnavailMax int
+
+	// LossProb, DupProb and ReorderProb are event-stream fault rates used
+	// by PerturbEpisode: an event is dropped, re-delivered at the next
+	// instance, or swapped with its successor.
+	LossProb, DupProb, ReorderProb float64
+
+	// Observable restricts observation faults (stuck-at, dropout) to the
+	// devices for which it returns true; nil applies them to every device.
+	// Typically this selects the sensors.
+	Observable func(dev int) bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.StuckMin <= 0 {
+		c.StuckMin = 5
+	}
+	if c.StuckMax < c.StuckMin {
+		c.StuckMax = c.StuckMin
+	}
+	if c.DelayMax <= 0 {
+		c.DelayMax = 3
+	}
+	if c.UnavailMin <= 0 {
+		c.UnavailMin = 5
+	}
+	if c.UnavailMax < c.UnavailMin {
+		c.UnavailMax = c.UnavailMin
+	}
+	return c
+}
+
+// Uniform returns a Config with every fault mode enabled at the given rate
+// — the chaos experiment's single sweep knob. rate 0 is a transparent
+// wrapper.
+func Uniform(seed int64, rate float64) Config {
+	return Config{
+		Seed:        seed,
+		StuckProb:   rate / 4, // stuck windows persist; keep them rarer
+		DropoutProb: rate,
+		DelayProb:   rate,
+		UnavailProb: rate / 4,
+		LossProb:    rate,
+		DupProb:     rate,
+		ReorderProb: rate,
+	}
+}
+
+// Stats counts the faults actually fired, for reporting.
+type Stats struct {
+	// Stuck and Dropouts count perturbed observations.
+	Stuck, Dropouts int
+	// Delayed counts deferred actuations; StaleDropped counts deferred
+	// commands that were invalid by the time they fired.
+	Delayed, StaleDropped int
+	// Unavailable counts commands dropped on unreachable devices.
+	Unavailable int
+	// Gated counts mini-actions the hub's ground-truth P_safe check
+	// rejected (the agent proposed them from a stale observation).
+	Gated int
+	// Lost, Duplicated and Reordered count event-stream perturbations.
+	Lost, Duplicated, Reordered int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("stuck=%d dropout=%d delayed=%d stale=%d unavail=%d gated=%d lost=%d dup=%d reorder=%d",
+		s.Stuck, s.Dropouts, s.Delayed, s.StaleDropped, s.Unavailable, s.Gated, s.Lost, s.Duplicated, s.Reordered)
+}
+
+// Injector holds the seeded fault state shared by FaultyEnv and the
+// event-stream perturbations.
+type Injector struct {
+	cfg   Config
+	rng   *rand.Rand
+	stats Stats
+}
+
+// NewInjector builds a seeded injector.
+func NewInjector(cfg Config) *Injector {
+	cfg = cfg.withDefaults()
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats returns the faults fired so far.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// PerturbEpisode applies event-stream faults — loss, duplication,
+// reordering — to a recorded episode and replays the perturbed action
+// stream through the FSM so the result is always a consistent episode
+// (commands invalid in the state actually reached are discarded, as a real
+// hub would).
+func (in *Injector) PerturbEpisode(e *env.Environment, ep env.Episode) (env.Episode, error) {
+	acts := make([]env.Action, len(ep.Actions))
+	for i, a := range ep.Actions {
+		acts[i] = a.Clone()
+	}
+	// Reordering: swap adjacent composite events.
+	for t := 0; t+1 < len(acts); t++ {
+		if in.cfg.ReorderProb > 0 && in.rng.Float64() < in.cfg.ReorderProb {
+			acts[t], acts[t+1] = acts[t+1], acts[t]
+			in.stats.Reordered++
+		}
+	}
+	// Duplication: re-deliver an event at the next instance on top of
+	// whatever is already there (only onto untouched devices — constraint 1
+	// admits one action per device per interval).
+	for t := 0; t+1 < len(acts); t++ {
+		if in.cfg.DupProb <= 0 || acts[t].IsNoOp() || in.rng.Float64() >= in.cfg.DupProb {
+			continue
+		}
+		duped := false
+		for dev, ac := range acts[t] {
+			if ac != device.NoAction && acts[t+1][dev] == device.NoAction {
+				acts[t+1][dev] = ac
+				duped = true
+			}
+		}
+		if duped {
+			in.stats.Duplicated++
+		}
+	}
+	// Loss: the event never arrives.
+	for t := range acts {
+		if in.cfg.LossProb > 0 && !acts[t].IsNoOp() && in.rng.Float64() < in.cfg.LossProb {
+			acts[t] = env.NoOp(len(acts[t]))
+			in.stats.Lost++
+		}
+	}
+	return env.ReplayActions(e, ep.States[0], ep.Start, ep.I, acts)
+}
+
+// PerturbEpisodes maps PerturbEpisode over a learning-phase corpus.
+func (in *Injector) PerturbEpisodes(e *env.Environment, eps []env.Episode) ([]env.Episode, error) {
+	out := make([]env.Episode, len(eps))
+	for i, ep := range eps {
+		p, err := in.PerturbEpisode(e, ep)
+		if err != nil {
+			return nil, fmt.Errorf("fault: episode %d: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// delayed is one deferred actuation.
+type delayed struct {
+	due int // absolute instance at which it fires
+	dev int
+	act device.ActionID
+}
+
+// FaultyEnv wraps an rl.SafeEnv with runtime faults. It satisfies
+// rl.SafeEnv itself, so agents train and evaluate through it unchanged.
+//
+// Observations returned by Reset/Step/State are the *observer's* view —
+// possibly stale under stuck-at and dropout faults — while transitions,
+// rewards, and violation audits run on the wrapped environment's ground
+// truth. Safety is enforced hub-side: every composite action is re-checked
+// against the true current state before executing, and offending
+// mini-actions are stripped, so a P_safe-constrained agent commits zero
+// violations even when recommending from stale state.
+type FaultyEnv struct {
+	*Injector
+	inner rl.SafeEnv
+	e     *env.Environment
+
+	obs          env.State // observer's (possibly stale) view
+	stuckUntil   []int
+	unavailUntil []int
+	pending      []delayed
+}
+
+var _ rl.SafeEnv = (*FaultyEnv)(nil)
+
+// Wrap builds a FaultyEnv around inner.
+func Wrap(inner rl.SafeEnv, cfg Config) *FaultyEnv {
+	k := inner.Env().K()
+	f := &FaultyEnv{
+		Injector:     NewInjector(cfg),
+		inner:        inner,
+		e:            inner.Env(),
+		stuckUntil:   make([]int, k),
+		unavailUntil: make([]int, k),
+	}
+	f.obs = inner.State()
+	return f
+}
+
+// Env implements rl.SafeEnv.
+func (f *FaultyEnv) Env() *env.Environment { return f.e }
+
+// Instance implements rl.SafeEnv.
+func (f *FaultyEnv) Instance() int { return f.inner.Instance() }
+
+// Instances implements rl.SafeEnv.
+func (f *FaultyEnv) Instances() int { return f.inner.Instances() }
+
+// Violations implements rl.SafeEnv, delegating to the wrapped audit (which
+// counts against ground truth).
+func (f *FaultyEnv) Violations() int { return f.inner.Violations() }
+
+// ResetViolations implements rl.SafeEnv.
+func (f *FaultyEnv) ResetViolations() { f.inner.ResetViolations() }
+
+// Safe implements rl.SafeEnv. The predicate is evaluated as given — the
+// agent plans against its observation — but Step independently re-checks
+// every actuation against ground truth before executing it.
+func (f *FaultyEnv) Safe(st env.State, a env.Action) bool { return f.inner.Safe(st, a) }
+
+// State implements rl.SafeEnv, returning the observer's view.
+func (f *FaultyEnv) State() env.State { return f.obs.Clone() }
+
+// True returns the wrapped environment's ground-truth state (for tests and
+// reporting).
+func (f *FaultyEnv) True() env.State { return f.inner.State() }
+
+// Reset implements rl.SafeEnv. Fault windows and pending actuations clear;
+// the initial observation is exact.
+func (f *FaultyEnv) Reset() env.State {
+	s := f.inner.Reset()
+	f.obs = s.Clone()
+	for i := range f.stuckUntil {
+		f.stuckUntil[i] = 0
+		f.unavailUntil[i] = 0
+	}
+	f.pending = f.pending[:0]
+	return s
+}
+
+// Step implements rl.SafeEnv: the composite action runs the actuation
+// fault gauntlet (unavailability, delay, hub-side safety gating), the
+// wrapped environment steps on ground truth, and the returned observation
+// is perturbed by the observation faults.
+func (f *FaultyEnv) Step(a env.Action) (env.State, float64, bool, error) {
+	t := f.inner.Instance()
+	act := a.Clone()
+
+	// Transient device unavailability: commands to unreachable devices are
+	// dropped.
+	for dev, ac := range act {
+		if ac == device.NoAction {
+			continue
+		}
+		if t < f.unavailUntil[dev] {
+			act[dev] = device.NoAction
+			f.stats.Unavailable++
+		}
+	}
+
+	// Delayed actuation: defer individual mini-actions.
+	for dev, ac := range act {
+		if ac == device.NoAction || f.cfg.DelayProb <= 0 {
+			continue
+		}
+		if f.rng.Float64() < f.cfg.DelayProb {
+			due := t + 1 + f.rng.Intn(f.cfg.DelayMax)
+			f.pending = append(f.pending, delayed{due: due, dev: dev, act: ac})
+			act[dev] = device.NoAction
+			f.stats.Delayed++
+		}
+	}
+
+	// Deliver deferred commands that are due (or overdue — an episode reset
+	// clears them, so overdue here only means the due instance passed while
+	// the device slot was contested).
+	rest := f.pending[:0]
+	truth := f.inner.State()
+	for _, d := range f.pending {
+		if d.due > t {
+			rest = append(rest, d)
+			continue
+		}
+		if act[d.dev] != device.NoAction {
+			rest = append(rest, d) // slot taken this interval; retry next step
+			continue
+		}
+		if _, ok := f.e.Device(d.dev).Next(truth[d.dev], d.act); !ok {
+			f.stats.StaleDropped++ // no longer valid; hub discards it
+			continue
+		}
+		act[d.dev] = d.act
+	}
+	f.pending = rest
+
+	// Hub-side enforcement: re-check the assembled action against ground
+	// truth. The agent may have planned from a stale observation; the hub
+	// strips any mini-action whose inclusion makes the true transition
+	// unsafe or FSM-invalid, keeping the constrained guarantee intact.
+	if !act.IsNoOp() && !f.inner.Safe(truth, act) {
+		gated := env.NoOp(len(act))
+		for dev, ac := range act {
+			if ac == device.NoAction {
+				continue
+			}
+			gated[dev] = ac
+			if !f.inner.Safe(truth, gated) {
+				gated[dev] = device.NoAction
+				f.stats.Gated++
+			}
+		}
+		act = gated
+	}
+
+	next, r, done, err := f.inner.Step(act)
+	if err != nil {
+		return nil, r, done, err
+	}
+
+	// Observation faults: open/extend stuck windows, then build the
+	// observer's view.
+	nt := f.inner.Instance()
+	for dev := range next {
+		if f.cfg.Observable != nil && !f.cfg.Observable(dev) {
+			f.obs[dev] = next[dev]
+			continue
+		}
+		if f.cfg.StuckProb > 0 && nt >= f.stuckUntil[dev] && f.rng.Float64() < f.cfg.StuckProb {
+			span := f.cfg.StuckMin + f.rng.Intn(f.cfg.StuckMax-f.cfg.StuckMin+1)
+			f.stuckUntil[dev] = nt + span
+		}
+		switch {
+		case nt < f.stuckUntil[dev]:
+			f.stats.Stuck++ // reading frozen at the last observed value
+		case f.cfg.DropoutProb > 0 && f.rng.Float64() < f.cfg.DropoutProb:
+			f.stats.Dropouts++ // this reading lost; observer keeps the stale one
+		default:
+			f.obs[dev] = next[dev]
+		}
+	}
+
+	// Open unavailability windows for the next interval.
+	if f.cfg.UnavailProb > 0 {
+		for dev := range next {
+			if nt >= f.unavailUntil[dev] && f.rng.Float64() < f.cfg.UnavailProb {
+				span := f.cfg.UnavailMin + f.rng.Intn(f.cfg.UnavailMax-f.cfg.UnavailMin+1)
+				f.unavailUntil[dev] = nt + span
+			}
+		}
+	}
+
+	return f.obs.Clone(), r, done, nil
+}

@@ -1,0 +1,359 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+	"jarvis/internal/policy"
+	"jarvis/internal/reward"
+	"jarvis/internal/rl"
+)
+
+// testEnv: a lamp and a heater, two states and two actions each.
+func testEnv(t *testing.T) *env.Environment {
+	t.Helper()
+	lamp := device.NewBuilder("lamp", device.TypeLight).
+		States("off", "on").
+		Actions("power_off", "power_on").
+		Transition("on", "power_off", "off").
+		Transition("off", "power_on", "on").
+		PowerW("on", 60).
+		MustBuild()
+	heater := device.NewBuilder("heater", device.TypeThermostat).
+		States("off", "on").
+		Actions("power_off", "power_on").
+		Transition("on", "power_off", "off").
+		Transition("off", "power_on", "on").
+		PowerW("on", 2000).
+		MustBuild()
+	b := env.NewBuilder()
+	b.AddDevice(lamp, env.Placement{})
+	b.AddDevice(heater, env.Placement{})
+	b.AddApp("manual", 0, 1)
+	b.AddUser("u", 0)
+	return b.MustBuild()
+}
+
+func testReward(t *testing.T, e *env.Environment, n int) *reward.Smart {
+	t.Helper()
+	r, err := reward.New(e, reward.Config{
+		Functionalities: []reward.Functionality{{
+			Name: "energy", Weight: 1,
+			F: func(s env.State, a env.Action, inst int) float64 {
+				next, err := e.Transition(s, a)
+				if err != nil {
+					return 0
+				}
+				var w float64
+				for i := range next {
+					w += e.Device(i).PowerW(next[i])
+				}
+				return 1 - w/2060
+			},
+		}},
+		Instances: n,
+	})
+	if err != nil {
+		t.Fatalf("reward.New: %v", err)
+	}
+	return r
+}
+
+func testSim(t *testing.T, e *env.Environment, n int, table *policy.Table) *rl.SimEnv {
+	t.Helper()
+	sim, err := rl.NewSimEnv(e, rl.SimConfig{
+		Initial: env.State{0, 0},
+		Reward:  testReward(t, e, n),
+		Safe:    table,
+	})
+	if err != nil {
+		t.Fatalf("NewSimEnv: %v", err)
+	}
+	return sim
+}
+
+// lampOnlyTable whitelists lamp toggles (and idling) but no heater change.
+func lampOnlyTable(e *env.Environment) *policy.Table {
+	tab := policy.NewTable(true)
+	for _, heater := range []device.StateID{0, 1} {
+		off := e.StateKey(env.State{0, heater})
+		on := e.StateKey(env.State{1, heater})
+		tab.Allow(off, on)
+		tab.Allow(on, off)
+	}
+	return tab
+}
+
+func TestZeroRateIsTransparent(t *testing.T) {
+	e := testEnv(t)
+	f := Wrap(testSim(t, e, 10, nil), Uniform(1, 0))
+	plain := testSim(t, e, 10, nil)
+
+	rng := rand.New(rand.NewSource(7))
+	s, ps := f.Reset(), plain.Reset()
+	for i := 0; i < 10; i++ {
+		act := env.NoOp(e.K())
+		dev := rng.Intn(e.K())
+		valid := e.Device(dev).ValidActions(s[dev])
+		act[dev] = valid[rng.Intn(len(valid))]
+		fs, fr, _, err := f.Step(act)
+		if err != nil {
+			t.Fatalf("faulty step %d: %v", i, err)
+		}
+		pss, pr, _, err := plain.Step(act)
+		if err != nil {
+			t.Fatalf("plain step %d: %v", i, err)
+		}
+		if !fs.Equal(pss) || fr != pr {
+			t.Fatalf("step %d diverged: %v/%v vs %v/%v", i, fs, fr, pss, pr)
+		}
+		if !f.State().Equal(f.True()) {
+			t.Fatalf("step %d: observation differs from truth at rate 0", i)
+		}
+		s, ps = fs, pss
+	}
+	_ = ps
+	if got := f.Stats(); got != (Stats{}) {
+		t.Errorf("faults fired at rate 0: %+v", got)
+	}
+}
+
+func TestObservationsGoStaleUnderDropout(t *testing.T) {
+	e := testEnv(t)
+	f := Wrap(testSim(t, e, 10, nil), Config{Seed: 1, DropoutProb: 1})
+	f.Reset()
+
+	act := env.NoOp(e.K())
+	act[0] = 1 // lamp power_on
+	obs, _, _, err := f.Step(act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs[0] != 0 {
+		t.Errorf("observed lamp = %d, want stale 0 under full dropout", obs[0])
+	}
+	if f.True()[0] != 1 {
+		t.Errorf("true lamp = %d, want 1", f.True()[0])
+	}
+	if f.Stats().Dropouts == 0 {
+		t.Error("no dropouts recorded")
+	}
+}
+
+func TestStuckWindowFreezesReading(t *testing.T) {
+	e := testEnv(t)
+	f := Wrap(testSim(t, e, 20, nil), Config{Seed: 3, StuckProb: 1, StuckMin: 10, StuckMax: 10})
+	f.Reset()
+
+	act := env.NoOp(e.K())
+	act[0] = 1
+	obs, _, _, err := f.Step(act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs[0] != 0 {
+		t.Errorf("observed lamp = %d, want frozen 0", obs[0])
+	}
+	if f.Stats().Stuck == 0 {
+		t.Error("no stuck readings recorded")
+	}
+}
+
+func TestObservableMaskLimitsFaults(t *testing.T) {
+	e := testEnv(t)
+	f := Wrap(testSim(t, e, 10, nil), Config{
+		Seed: 1, DropoutProb: 1,
+		Observable: func(dev int) bool { return dev == 1 }, // only the heater
+	})
+	f.Reset()
+	act := env.NoOp(e.K())
+	act[0] = 1
+	obs, _, _, err := f.Step(act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs[0] != 1 {
+		t.Errorf("lamp is not observable-faulty, observed %d want 1", obs[0])
+	}
+}
+
+func TestUnavailableDeviceDropsCommands(t *testing.T) {
+	e := testEnv(t)
+	f := Wrap(testSim(t, e, 20, nil), Config{Seed: 5, UnavailProb: 1, UnavailMin: 10, UnavailMax: 10})
+	f.Reset()
+
+	// First step opens the unavailability windows.
+	if _, _, _, err := f.Step(env.NoOp(e.K())); err != nil {
+		t.Fatal(err)
+	}
+	act := env.NoOp(e.K())
+	act[0] = 1
+	if _, _, _, err := f.Step(act); err != nil {
+		t.Fatal(err)
+	}
+	if f.True()[0] != 0 {
+		t.Errorf("command executed on unavailable device: true lamp = %d", f.True()[0])
+	}
+	if f.Stats().Unavailable == 0 {
+		t.Error("no unavailable drops recorded")
+	}
+}
+
+func TestDelayedActuationFiresLater(t *testing.T) {
+	e := testEnv(t)
+	f := Wrap(testSim(t, e, 20, nil), Config{Seed: 2, DelayProb: 1, DelayMax: 1})
+	f.Reset()
+
+	act := env.NoOp(e.K())
+	act[0] = 1
+	if _, _, _, err := f.Step(act); err != nil {
+		t.Fatal(err)
+	}
+	if f.True()[0] != 0 {
+		t.Fatalf("actuation was not delayed: true lamp = %d", f.True()[0])
+	}
+	if _, _, _, err := f.Step(env.NoOp(e.K())); err != nil {
+		t.Fatal(err)
+	}
+	if f.True()[0] != 1 {
+		t.Errorf("delayed actuation never fired: true lamp = %d", f.True()[0])
+	}
+	if f.Stats().Delayed != 1 {
+		t.Errorf("Delayed = %d, want 1", f.Stats().Delayed)
+	}
+}
+
+func TestHubGatingKeepsConstrainedRunSafe(t *testing.T) {
+	e := testEnv(t)
+	table := lampOnlyTable(e)
+	sim := testSim(t, e, 48, table)
+	f := Wrap(sim, Config{Seed: 9, DropoutProb: 0.8, StuckProb: 0.3, DelayProb: 0.3, UnavailProb: 0.2})
+
+	rng := rand.New(rand.NewSource(11))
+	q := rl.NewTableQ(e, 48, 4, 0.25)
+	agent, err := rl.NewAgent(f, q, rl.AgentConfig{Episodes: 12, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := agent.Train()
+	if err != nil {
+		t.Fatalf("Train under faults: %v", err)
+	}
+	if stats.Violations != 0 {
+		t.Errorf("constrained agent committed %d violations under faults", stats.Violations)
+	}
+	if _, _, err := agent.Evaluate(); err != nil {
+		t.Fatalf("Evaluate under faults: %v", err)
+	}
+	if sim.Violations() != 0 {
+		t.Errorf("ground-truth audit recorded %d violations", sim.Violations())
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	run := func() Stats {
+		e := testEnv(t)
+		f := Wrap(testSim(t, e, 30, nil), Config{Seed: 42, DropoutProb: 0.5, StuckProb: 0.2, DelayProb: 0.4, UnavailProb: 0.1})
+		s := f.Reset()
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < 30; i++ {
+			act := env.NoOp(e.K())
+			dev := rng.Intn(e.K())
+			valid := e.Device(dev).ValidActions(f.True()[dev])
+			if len(valid) > 0 {
+				act[dev] = valid[rng.Intn(len(valid))]
+			}
+			next, _, done, err := f.Step(act)
+			if err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			s = next
+			if done {
+				break
+			}
+		}
+		_ = s
+		return f.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed produced different fault streams:\n  %+v\n  %+v", a, b)
+	}
+}
+
+func buildEpisode(t *testing.T, e *env.Environment) env.Episode {
+	t.Helper()
+	rec := env.NewRecorder(e, env.State{0, 0}, time.Unix(0, 0), 6*time.Minute, time.Minute)
+	steps := []env.Action{
+		{1, device.NoAction}, // lamp on
+		{device.NoAction, 1}, // heater on
+		{0, device.NoAction}, // lamp off
+		{device.NoAction, device.NoAction},
+		{device.NoAction, 0}, // heater off
+		{1, device.NoAction}, // lamp on
+	}
+	for _, a := range steps {
+		if err := rec.Step(a); err != nil {
+			t.Fatalf("record: %v", err)
+		}
+	}
+	return rec.Episode()
+}
+
+func TestPerturbEpisodeLossDropsEvents(t *testing.T) {
+	e := testEnv(t)
+	ep := buildEpisode(t, e)
+	in := NewInjector(Config{Seed: 1, LossProb: 1})
+	got, err := in.PerturbEpisode(e, ep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt, a := range got.Actions {
+		if !a.IsNoOp() {
+			t.Errorf("instance %d: event survived full loss: %v", tt, a)
+		}
+	}
+	if err := got.Validate(e); err != nil {
+		t.Errorf("perturbed episode invalid: %v", err)
+	}
+	if in.Stats().Lost == 0 {
+		t.Error("no losses recorded")
+	}
+}
+
+func TestPerturbEpisodeStaysConsistent(t *testing.T) {
+	e := testEnv(t)
+	ep := buildEpisode(t, e)
+	for seed := int64(0); seed < 20; seed++ {
+		in := NewInjector(Config{Seed: seed, LossProb: 0.3, DupProb: 0.5, ReorderProb: 0.5})
+		got, err := in.PerturbEpisode(e, ep)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := got.Validate(e); err != nil {
+			t.Errorf("seed %d: perturbed episode invalid: %v", seed, err)
+		}
+		if got.Len() != ep.Len() {
+			t.Errorf("seed %d: length changed %d -> %d", seed, ep.Len(), got.Len())
+		}
+	}
+}
+
+func TestPerturbEpisodesMapsCorpus(t *testing.T) {
+	e := testEnv(t)
+	eps := []env.Episode{buildEpisode(t, e), buildEpisode(t, e)}
+	in := NewInjector(Config{Seed: 2, DupProb: 1})
+	got, err := in.PerturbEpisodes(e, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d episodes, want 2", len(got))
+	}
+	if in.Stats().Duplicated == 0 {
+		t.Error("no duplications recorded")
+	}
+}

@@ -199,6 +199,26 @@ type Sample struct {
 	X, Y []float64
 }
 
+// DivergenceError reports that training produced a non-finite loss —
+// exploding gradients or NaN targets. The update that observed it is NOT
+// applied, so the network's weights stay finite; callers should reduce the
+// learning rate, clip targets, or restore from a checkpoint.
+type DivergenceError struct {
+	// Loss is the offending (NaN or ±Inf) batch loss.
+	Loss float64
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("nn: training diverged: non-finite loss %v", e.Loss)
+}
+
+// IsDivergence reports whether err (or anything it wraps) is a
+// DivergenceError.
+func IsDivergence(err error) bool {
+	var de *DivergenceError
+	return errors.As(err, &de)
+}
+
 // TrainBatch runs one mini-batch gradient step: forward+backward over every
 // sample, gradients averaged, one optimizer step per parameter vector. It
 // returns the mean loss over the batch (before the update).
@@ -225,6 +245,12 @@ func (n *Network) TrainBatch(batch []Sample, loss Loss, opt Optimizer) (float64,
 		}
 	}
 	scale := 1 / float64(len(batch))
+	// Divergence guard: a non-finite batch loss means the gradients are
+	// poisoned too. Skip the optimizer step so NaNs never reach the
+	// weights, and surface a typed error the caller can recover from.
+	if mean := total * scale; math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return mean, &DivergenceError{Loss: mean}
+	}
 	for i, l := range n.layers {
 		l.scaleGrads(scale)
 		key := strconv.Itoa(i)

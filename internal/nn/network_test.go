@@ -2,6 +2,7 @@ package nn
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -406,5 +407,57 @@ func TestDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatal("training is not deterministic under a fixed seed")
 		}
+	}
+}
+
+func TestLoadTruncatedNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := MustNew(Config{Inputs: 3, Layers: []LayerSpec{
+		{Units: 4, Act: ReLU},
+		{Units: 2, Act: Sigmoid},
+	}}, rng)
+	var buf bytes.Buffer
+	if err := n.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full)-1; cut += 7 {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("Load of %d/%d bytes succeeded, want error", cut, len(full))
+		}
+	}
+}
+
+func TestTrainBatchDivergenceGuard(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := MustNew(Config{Inputs: 2, Layers: []LayerSpec{{Units: 2, Act: Linear}}}, rng)
+	x := []float64{1, 1}
+	before := n.Predict(x)
+
+	_, err := n.TrainBatch([]Sample{{X: x, Y: []float64{math.NaN(), 0}}}, MSE, &SGD{LR: 0.1})
+	if err == nil {
+		t.Fatal("TrainBatch accepted a NaN target")
+	}
+	if !IsDivergence(err) {
+		t.Fatalf("err = %v, want DivergenceError", err)
+	}
+	var de *DivergenceError
+	if !errors.As(err, &de) || !math.IsNaN(de.Loss) {
+		t.Errorf("DivergenceError.Loss = %v, want NaN", de)
+	}
+	// The poisoned update must not have been applied.
+	after := n.Predict(x)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("weights changed by a diverged batch")
+		}
+		if math.IsNaN(after[i]) || math.IsInf(after[i], 0) {
+			t.Fatal("non-finite values reached the weights")
+		}
+	}
+
+	// Inf targets are caught the same way.
+	if _, err := n.TrainBatch([]Sample{{X: x, Y: []float64{math.Inf(1), 0}}}, MSE, &SGD{LR: 0.1}); !IsDivergence(err) {
+		t.Errorf("Inf target: err = %v, want DivergenceError", err)
 	}
 }

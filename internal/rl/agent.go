@@ -103,17 +103,18 @@ type TrainStats struct {
 
 // Agent is the constrained ε-greedy Q-learning agent of Algorithm 2.
 type Agent struct {
-	sim    *SimEnv
-	q      QFunc
-	minis  *MiniActions
-	cfg    AgentConfig
-	replay *Replay
-	eps    float64
-	loss   float64
+	sim      SafeEnv
+	q        QFunc
+	minis    *MiniActions
+	cfg      AgentConfig
+	replay   *Replay
+	eps      float64
+	loss     float64
+	degraded int
 }
 
 // NewAgent wires an agent to a simulated environment and a Q function.
-func NewAgent(sim *SimEnv, q QFunc, cfg AgentConfig) (*Agent, error) {
+func NewAgent(sim SafeEnv, q QFunc, cfg AgentConfig) (*Agent, error) {
 	if sim == nil || q == nil {
 		return nil, errors.New("rl: nil environment or Q function")
 	}
@@ -135,6 +136,13 @@ func NewAgent(sim *SimEnv, q QFunc, cfg AgentConfig) (*Agent, error) {
 // Epsilon returns the current exploration rate.
 func (a *Agent) Epsilon() float64 { return a.eps }
 
+// Degraded returns how many greedy decisions fell back to the safe NoOp
+// because the Q function produced non-finite values.
+func (a *Agent) Degraded() int { return a.degraded }
+
+// Q exposes the agent's Q function (for persistence).
+func (a *Agent) Q() QFunc { return a.q }
+
 // DecideEvery returns the agent's decision interval in time instances.
 func (a *Agent) DecideEvery() int { return a.cfg.DecideEvery }
 
@@ -145,6 +153,15 @@ func (a *Agent) DecideEvery() int { return a.cfg.DecideEvery }
 // action.
 func (a *Agent) Greedy(s env.State, t int) env.Action {
 	q := a.q.Q(s, t)
+	// Degraded mode: a diverged Q function (NaN/Inf values) yields no
+	// trustworthy ranking, so recommend the always-available safe NoOp
+	// rather than acting on garbage.
+	for _, v := range q {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			a.degraded++
+			return env.NoOp(len(s))
+		}
+	}
 	order := make([]int, len(q))
 	for i := range order {
 		order[i] = i

@@ -3,9 +3,13 @@ package rl
 import (
 	"bytes"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"jarvis/internal/checkpoint"
 	"jarvis/internal/env"
 )
 
@@ -115,5 +119,76 @@ func TestDQNSaveLoadRoundTrip(t *testing.T) {
 	}
 	if err := d2.Load(&buf3); err == nil {
 		t.Error("shape mismatch should fail to load")
+	}
+}
+
+func TestPersistLoadTruncatedNeverPanics(t *testing.T) {
+	e := testEnv(t)
+	rng := rand.New(rand.NewSource(6))
+
+	q := NewTableQ(e, 10, 5, 0.3)
+	if _, err := q.Update([]Experience{{S: env.State{0, 1}, T: 2, Minis: []int{1}}}, []float64{4}); err != nil {
+		t.Fatal(err)
+	}
+	var tbuf bytes.Buffer
+	if err := q.Save(&tbuf); err != nil {
+		t.Fatal(err)
+	}
+	full := tbuf.Bytes()
+	for cut := 0; cut < len(full)-1; cut += 5 {
+		fresh := NewTableQ(e, 10, 5, 0.3)
+		if err := fresh.Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("TableQ.Load of %d/%d bytes succeeded, want error", cut, len(full))
+		}
+	}
+
+	d, err := NewDQN(e, 10, DQNConfig{Hidden: []int{8}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dbuf bytes.Buffer
+	if err := d.Save(&dbuf); err != nil {
+		t.Fatal(err)
+	}
+	full = dbuf.Bytes()
+	for cut := 0; cut < len(full)-1; cut += 97 {
+		fresh, err := NewDQN(e, 10, DQNConfig{Hidden: []int{8}}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("DQN.Load of %d/%d bytes succeeded, want error", cut, len(full))
+		}
+	}
+}
+
+func TestTableQAtomicCheckpointRoundTrip(t *testing.T) {
+	e := testEnv(t)
+	q := NewTableQ(e, 10, 5, 0.3)
+	s := env.State{0, 1}
+	if _, err := q.Update([]Experience{{S: s, T: 2, Minis: []int{1}}}, []float64{4}); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "q.json")
+	if err := checkpoint.WriteAtomic(path, q.Save); err != nil {
+		t.Fatalf("WriteAtomic: %v", err)
+	}
+	q2 := NewTableQ(e, 10, 5, 0.3)
+	if err := checkpoint.Load(path, checkpoint.LoadOptions{}, q2.Load); err != nil {
+		t.Fatalf("checkpoint.Load: %v", err)
+	}
+	if got, want := q2.Q(s, 2)[1], q.Q(s, 2)[1]; got != want {
+		t.Errorf("restored Q = %g, want %g", got, want)
+	}
+
+	// A corrupt checkpoint must fail cleanly, leaving the target loadable.
+	if err := os.WriteFile(path, []byte(`{"alpha":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q3 := NewTableQ(e, 10, 5, 0.3)
+	err := checkpoint.Load(path, checkpoint.LoadOptions{Sleep: func(time.Duration) {}}, q3.Load)
+	if err == nil {
+		t.Fatal("corrupt checkpoint loaded without error")
 	}
 }

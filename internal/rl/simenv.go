@@ -27,6 +27,24 @@ type Environment interface {
 	Instances() int
 }
 
+// SafeEnv extends Environment with the constrained-exploration surface
+// Algorithm 2 needs: the underlying IoT FSM, the safety predicate P_safe,
+// and the violation audit. SimEnv is the canonical implementation; wrappers
+// (fault injectors, instrumentation) satisfy it by delegation so agents
+// train and evaluate through them unchanged.
+type SafeEnv interface {
+	Environment
+	// Env returns the underlying IoT environment FSM.
+	Env() *env.Environment
+	// Safe reports whether taking composite action a in state st is
+	// permitted by P_safe (and the FSM).
+	Safe(st env.State, a env.Action) bool
+	// Violations returns the number of unsafe transitions stepped so far.
+	Violations() int
+	// ResetViolations zeroes the violation counter.
+	ResetViolations()
+}
+
 // ExoFunc models exogenous dynamics: after the agent's action resolves,
 // the environment itself may drift (outdoor temperature moves a sensor,
 // a resident arrives at the door). It receives the post-action state and
@@ -64,7 +82,7 @@ type SimEnv struct {
 	audit *policy.Table
 }
 
-var _ Environment = (*SimEnv)(nil)
+var _ SafeEnv = (*SimEnv)(nil)
 
 // NewSimEnv validates cfg and builds the simulator.
 func NewSimEnv(e *env.Environment, cfg SimConfig) (*SimEnv, error) {

@@ -56,14 +56,15 @@ type Config struct {
 
 // System is a Jarvis instance bound to one IoT environment.
 type System struct {
-	env    *env.Environment
-	cfg    Config
-	rng    *rand.Rand
-	filter *anomaly.Filter
-	spl    *policy.Learner
-	table  *policy.Table
-	agent  *rl.Agent
-	sim    *rl.SimEnv
+	env      *env.Environment
+	cfg      Config
+	rng      *rand.Rand
+	filter   *anomaly.Filter
+	spl      *policy.Learner
+	table    *policy.Table
+	agent    *rl.Agent
+	sim      *rl.SimEnv
+	degraded int
 }
 
 // New creates a Jarvis system for the environment.
@@ -153,24 +154,25 @@ type TrainConfig struct {
 	Buckets int
 }
 
-// Train builds the simulated RL environment (constrained by the learned
-// P_safe) and runs Algorithm 2.
-func (s *System) Train(sim rl.SimConfig, cfg TrainConfig) (rl.TrainStats, error) {
+// buildAgent wires the simulated environment (constrained by the learned
+// P_safe) and an untrained agent — the shared front half of Train and
+// Restore.
+func (s *System) buildAgent(sim rl.SimConfig, cfg TrainConfig) (*rl.Agent, *rl.SimEnv, error) {
 	if s.table == nil {
-		return rl.TrainStats{}, errors.New("jarvis: Learn must run before Train")
+		return nil, nil, errors.New("jarvis: Learn must run before Train or Restore")
 	}
 	if sim.Safe == nil {
 		sim.Safe = s.table
 	}
 	simEnv, err := rl.NewSimEnv(s.env, sim)
 	if err != nil {
-		return rl.TrainStats{}, fmt.Errorf("jarvis: %w", err)
+		return nil, nil, fmt.Errorf("jarvis: %w", err)
 	}
 	var q rl.QFunc
 	if cfg.UseDNN {
 		dqn, err := rl.NewDQN(s.env, sim.Reward.Instances(), cfg.DNN, s.rng)
 		if err != nil {
-			return rl.TrainStats{}, fmt.Errorf("jarvis: %w", err)
+			return nil, nil, fmt.Errorf("jarvis: %w", err)
 		}
 		q = dqn
 	} else {
@@ -184,7 +186,17 @@ func (s *System) Train(sim rl.SimConfig, cfg TrainConfig) (rl.TrainStats, error)
 	agentCfg.Rng = s.rng
 	agent, err := rl.NewAgent(simEnv, q, agentCfg)
 	if err != nil {
-		return rl.TrainStats{}, fmt.Errorf("jarvis: %w", err)
+		return nil, nil, fmt.Errorf("jarvis: %w", err)
+	}
+	return agent, simEnv, nil
+}
+
+// Train builds the simulated RL environment (constrained by the learned
+// P_safe) and runs Algorithm 2.
+func (s *System) Train(sim rl.SimConfig, cfg TrainConfig) (rl.TrainStats, error) {
+	agent, simEnv, err := s.buildAgent(sim, cfg)
+	if err != nil {
+		return rl.TrainStats{}, err
 	}
 	stats, err := agent.Train()
 	if err != nil {
@@ -193,6 +205,47 @@ func (s *System) Train(sim rl.SimConfig, cfg TrainConfig) (rl.TrainStats, error)
 	s.agent = agent
 	s.sim = simEnv
 	return stats, nil
+}
+
+// qPersister is the save/load surface both Q backends expose.
+type qPersister interface {
+	Save(io.Writer) error
+	Load(io.Reader) error
+}
+
+// Restore rebuilds the optimizer from a Q function checkpoint written by
+// SaveQ instead of retraining: the simulated environment and agent are
+// wired exactly as Train would, then the Q values are loaded from r. The
+// sim and cfg arguments must describe the same shape (instances, buckets /
+// network architecture) the checkpoint was trained with; mismatches are
+// reported as errors and leave the system untrained.
+func (s *System) Restore(sim rl.SimConfig, cfg TrainConfig, r io.Reader) error {
+	agent, simEnv, err := s.buildAgent(sim, cfg)
+	if err != nil {
+		return err
+	}
+	p, ok := agent.Q().(qPersister)
+	if !ok {
+		return fmt.Errorf("jarvis: Q backend %T is not restorable", agent.Q())
+	}
+	if err := p.Load(r); err != nil {
+		return fmt.Errorf("jarvis: restore: %w", err)
+	}
+	s.agent = agent
+	s.sim = simEnv
+	return nil
+}
+
+// SaveQ persists the trained Q function, the counterpart of Restore.
+func (s *System) SaveQ(w io.Writer) error {
+	if s.agent == nil {
+		return errors.New("jarvis: Train must run before SaveQ")
+	}
+	p, ok := s.agent.Q().(qPersister)
+	if !ok {
+		return fmt.Errorf("jarvis: Q backend %T is not persistable", s.agent.Q())
+	}
+	return p.Save(w)
 }
 
 // TrainingViolations returns the number of unsafe transitions the trained
@@ -205,17 +258,41 @@ func (s *System) TrainingViolations() int {
 }
 
 // Recommend returns the best safe action for the given state and time
-// instance. It requires a trained system. The user may have taken some
-// actions manually; Jarvis recommends from whatever state the environment
-// reached.
+// instance. It requires a trained (or restored) system. The user may have
+// taken some actions manually; Jarvis recommends from whatever state the
+// environment reached.
+//
+// Recommend degrades instead of failing: when the Q function has diverged
+// (NaN/Inf values — the agent already falls back internally) or the
+// recommended action does not survive a transition check against the FSM,
+// the safe NoOp is returned. Idling is whitelisted by P_safe (AllowIdle),
+// so the fallback never violates the safety table. DegradedRecommendations
+// counts how often the fallback fired.
 func (s *System) Recommend(state env.State, t int) (env.Action, error) {
 	if s.agent == nil {
-		return nil, errors.New("jarvis: Train must run before Recommend")
+		return nil, errors.New("jarvis: Train or Restore must run before Recommend")
 	}
 	if !s.env.ValidState(state) {
 		return nil, errors.New("jarvis: invalid state")
 	}
-	return s.agent.Recommend(state, t), nil
+	act := s.agent.Recommend(state, t)
+	if _, err := s.env.Transition(state, act); err != nil {
+		s.degraded++
+		return env.NoOp(s.env.K()), nil
+	}
+	return act, nil
+}
+
+// DegradedRecommendations counts the recommendations that fell back to the
+// safe NoOp — because the Q function produced non-finite values or the
+// greedy action failed the FSM transition check. A nonzero count signals a
+// diverged or stale model that should be retrained or restored.
+func (s *System) DegradedRecommendations() int {
+	n := s.degraded
+	if s.agent != nil {
+		n += s.agent.Degraded()
+	}
+	return n
 }
 
 // Audit flags every transition in the episodes that P_safe does not

@@ -2,6 +2,7 @@ package jarvis
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"testing"
 	"time"
@@ -251,4 +252,133 @@ func TestRecommendationsAreSafe(t *testing.T) {
 		}
 	}
 	_ = device.NoAction
+}
+
+func TestRestoreServesWithoutRetraining(t *testing.T) {
+	home, days := learnWeek(t)
+	eps := dataset.Episodes(days)
+	buildReward := func(sys *System) *reward.Smart {
+		rs, err := reward.New(home.Env, reward.Config{
+			Functionalities: smarthome.Functionalities(
+				home.Env, home.TempSensor, home.Thermostat, days[0].Context.Prices, 0.6, 0.2, 0.2),
+			Preferred: sys.PreferredTimes(eps),
+			Instances: smarthome.InstancesPerDay,
+		})
+		if err != nil {
+			t.Fatalf("reward.New: %v", err)
+		}
+		return rs
+	}
+	trainCfg := TrainConfig{Agent: rl.AgentConfig{Episodes: 3, DecideEvery: 30, ReplayEvery: 8}}
+
+	sys, err := New(home.Env, Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := sys.SaveQ(&bytes.Buffer{}); err == nil {
+		t.Error("SaveQ before Train should error")
+	}
+	sys.Learn(eps)
+	if _, err := sys.Train(rl.SimConfig{Initial: home.InitialState(), Reward: buildReward(sys)}, trainCfg); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	wantAct, err := sys.Recommend(home.InitialState(), 8*60)
+	if err != nil {
+		t.Fatalf("Recommend: %v", err)
+	}
+	var qbuf, tbuf bytes.Buffer
+	if err := sys.SaveQ(&qbuf); err != nil {
+		t.Fatalf("SaveQ: %v", err)
+	}
+	if err := sys.SaveTable(&tbuf); err != nil {
+		t.Fatalf("SaveTable: %v", err)
+	}
+
+	// A fresh system restores the checkpointed table + Q and serves the
+	// same recommendation with no Train call.
+	sys2, err := New(home.Env, Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := sys2.Restore(rl.SimConfig{Initial: home.InitialState()}, trainCfg, &qbuf); err == nil {
+		t.Error("Restore before Learn/LoadTable should error")
+	}
+	if err := sys2.LoadTable(bytes.NewReader(tbuf.Bytes())); err != nil {
+		t.Fatalf("LoadTable: %v", err)
+	}
+	if err := sys2.Restore(rl.SimConfig{
+		Initial: home.InitialState(),
+		Reward:  buildReward(sys2),
+	}, trainCfg, bytes.NewReader(qbuf.Bytes())); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	gotAct, err := sys2.Recommend(home.InitialState(), 8*60)
+	if err != nil {
+		t.Fatalf("Recommend after Restore: %v", err)
+	}
+	if home.Env.ActionKey(gotAct) != home.Env.ActionKey(wantAct) {
+		t.Errorf("restored recommendation %v differs from trained %v",
+			home.Env.FormatAction(gotAct), home.Env.FormatAction(wantAct))
+	}
+
+	// A corrupt checkpoint fails cleanly and leaves the system untrained.
+	sys3, err := New(home.Env, Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sys3.Learn(eps)
+	if err := sys3.Restore(rl.SimConfig{
+		Initial: home.InitialState(),
+		Reward:  buildReward(sys3),
+	}, trainCfg, bytes.NewBufferString(`{"alpha":`)); err == nil {
+		t.Fatal("Restore accepted a corrupt checkpoint")
+	}
+	if _, err := sys3.Recommend(home.InitialState(), 0); err == nil {
+		t.Error("Recommend should still error after failed Restore")
+	}
+}
+
+func TestDegradedRecommendFallsBackToNoOp(t *testing.T) {
+	home, days := learnWeek(t)
+	eps := dataset.Episodes(days)
+	sys, err := New(home.Env, Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sys.Learn(eps)
+	rs, err := reward.New(home.Env, reward.Config{
+		Functionalities: smarthome.Functionalities(
+			home.Env, home.TempSensor, home.Thermostat, days[0].Context.Prices, 0.6, 0.2, 0.2),
+		Preferred: sys.PreferredTimes(eps),
+		Instances: smarthome.InstancesPerDay,
+	})
+	if err != nil {
+		t.Fatalf("reward.New: %v", err)
+	}
+	if _, err := sys.Train(rl.SimConfig{Initial: home.InitialState(), Reward: rs},
+		TrainConfig{Agent: rl.AgentConfig{Episodes: 2, DecideEvery: 30, ReplayEvery: 8}}); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+
+	// Poison one Q row with a NaN, as a diverged training run would.
+	q, ok := sys.agent.Q().(*rl.TableQ)
+	if !ok {
+		t.Fatalf("Q backend is %T, want *rl.TableQ", sys.agent.Q())
+	}
+	state := home.InitialState()
+	if _, err := q.Update([]rl.Experience{{S: state, T: 8 * 60, Minis: []int{1}}},
+		[]float64{math.NaN()}); err != nil {
+		t.Fatalf("poisoning update: %v", err)
+	}
+
+	act, err := sys.Recommend(state, 8*60)
+	if err != nil {
+		t.Fatalf("Recommend in degraded mode: %v", err)
+	}
+	if !act.IsNoOp() {
+		t.Errorf("degraded recommendation = %v, want NoOp", home.Env.FormatAction(act))
+	}
+	if sys.DegradedRecommendations() == 0 {
+		t.Error("degraded fallback not counted")
+	}
 }
