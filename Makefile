@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-daemon fmt check
+.PHONY: build test vet race race-daemon race-core fmt check bench
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,17 @@ race:
 # tracking) under the race detector — quick enough for every commit.
 race-daemon:
 	$(GO) test -race ./cmd/jarvisd/
+
+# The batched compute core's concurrency surface: the nn worker pool and
+# the parallel experiment harness.
+race-core:
+	$(GO) test -race ./internal/nn/ ./internal/rl/ ./internal/experiment/
+
+# Measure the batched compute core and write BENCH_core.json, plus the
+# allocation-asserting micro-benchmarks of the root package.
+bench:
+	$(GO) run ./cmd/jarvis bench
+	$(GO) test -run xxx -bench 'ForwardBatch|TrainBatchParallel|ReplaySampleInto|NNTrainBatch|NNForward$$|Table3ActionQuality' -benchmem .
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

@@ -415,6 +415,103 @@ func BenchmarkAttackInject(b *testing.B) {
 	}
 }
 
+// --- Batched-core micro-benchmarks ---------------------------------------
+//
+// The allocation-free contracts below are load-bearing: the batched kernels
+// must stay zero-alloc in steady state, so each benchmark asserts it before
+// timing.
+
+func BenchmarkForwardBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := nn.MustNew(nn.Config{Inputs: 40, Layers: []nn.LayerSpec{
+		{Units: 64, Act: nn.ReLU}, {Units: 64, Act: nn.ReLU}, {Units: 42, Act: nn.Linear},
+	}}, rng)
+	xs := make([][]float64, 32)
+	for i := range xs {
+		xs[i] = make([]float64, 40)
+		for j := range xs[i] {
+			xs[i][j] = rng.Float64()
+		}
+	}
+	if _, err := net.ForwardBatch(xs); err != nil { // warm the arena
+		b.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := net.ForwardBatch(xs); err != nil {
+			b.Fatal(err)
+		}
+	}); allocs != 0 {
+		b.Fatalf("ForwardBatch steady state allocates %.1f objects per call, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := net.ForwardBatch(xs)
+		if err != nil || len(out) != 32 {
+			b.Fatal("bad batch forward")
+		}
+	}
+}
+
+func BenchmarkTrainBatchParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := nn.MustNew(nn.Config{Inputs: 40, Layers: []nn.LayerSpec{
+		{Units: 64, Act: nn.ReLU}, {Units: 64, Act: nn.ReLU}, {Units: 42, Act: nn.Linear},
+	}}, rng)
+	batch := make([]nn.Sample, 64)
+	for i := range batch {
+		x := make([]float64, 40)
+		y := make([]float64, 42)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		batch[i] = nn.Sample{X: x, Y: y}
+	}
+	opt := nn.NewAdam(0.001)
+	for i := 0; i < 3; i++ { // warm the arena and Adam state
+		if _, err := net.TrainBatch(batch, nn.Huber, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, err := net.TrainBatch(batch, nn.Huber, opt); err != nil {
+			b.Fatal(err)
+		}
+	}); allocs != 0 {
+		b.Fatalf("TrainBatch steady state allocates %.1f objects per call, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.TrainBatch(batch, nn.Huber, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplaySampleInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	r := rl.NewReplay(4096)
+	for i := 0; i < 4096; i++ {
+		r.Add(rl.Experience{T: i})
+	}
+	dst := make([]rl.Experience, 0, 64)
+	dst = r.SampleInto(dst, 64, rng) // warm the index buffer
+	if allocs := testing.AllocsPerRun(20, func() {
+		dst = r.SampleInto(dst, 64, rng)
+	}); allocs != 0 {
+		b.Fatalf("SampleInto steady state allocates %.1f objects per call, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = r.SampleInto(dst, 64, rng)
+		if len(dst) != 64 {
+			b.Fatal("bad sample")
+		}
+	}
+}
+
 // BenchmarkOfficePipeline: the context-independence instantiation — a full
 // learn-and-flag cycle on the smart office.
 func BenchmarkOfficePipeline(b *testing.B) {

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"jarvis/internal/experiment"
+	"jarvis/internal/nn"
+	"jarvis/internal/rl"
+)
+
+// benchResult is one row of BENCH_core.json.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MsTotal     float64 `json:"ms_total"`
+}
+
+// benchReport is the BENCH_core.json envelope.
+type benchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Date       string        `json:"date"`
+	Results    []benchResult `json:"results"`
+}
+
+// coreBenchmarks measures the batched compute core: the nn kernels, the
+// replay sampler, the batched DQN update, and the end-to-end Table III
+// experiment the perf work targets.
+func coreBenchmarks() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"nn/ForwardBatch32", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			net := nn.MustNew(nn.Config{Inputs: 40, Layers: []nn.LayerSpec{
+				{Units: 64, Act: nn.ReLU}, {Units: 64, Act: nn.ReLU}, {Units: 42, Act: nn.Linear},
+			}}, rng)
+			xs := make([][]float64, 32)
+			for i := range xs {
+				xs[i] = make([]float64, 40)
+				for j := range xs[i] {
+					xs[i][j] = rng.Float64()
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := net.ForwardBatch(xs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"nn/TrainBatch64", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			net := nn.MustNew(nn.Config{Inputs: 40, Layers: []nn.LayerSpec{
+				{Units: 64, Act: nn.ReLU}, {Units: 64, Act: nn.ReLU}, {Units: 42, Act: nn.Linear},
+			}}, rng)
+			batch := make([]nn.Sample, 64)
+			for i := range batch {
+				x := make([]float64, 40)
+				y := make([]float64, 42)
+				for j := range x {
+					x[j] = rng.Float64()
+				}
+				batch[i] = nn.Sample{X: x, Y: y}
+			}
+			opt := nn.NewAdam(0.001)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := net.TrainBatch(batch, nn.Huber, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"rl/ReplaySampleInto64", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			r := rl.NewReplay(4096)
+			for i := 0; i < 4096; i++ {
+				r.Add(rl.Experience{T: i})
+			}
+			dst := make([]rl.Experience, 0, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = r.SampleInto(dst, 64, rng)
+			}
+		}},
+		{"experiment/Table3Quick", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.Table3(experiment.Table3Config{Seed: int64(i), LearningDays: 5})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != 8 {
+					b.Fatal("bad table")
+				}
+			}
+		}},
+		{"experiment/Table2Quick", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.Table2(experiment.Table2Config{Seed: int64(i), LearningDays: 3})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != 6 {
+					b.Fatal("bad table")
+				}
+			}
+		}},
+	}
+}
+
+// runBench measures the compute core with testing.Benchmark and writes
+// BENCH_core.json next to the working directory.
+func runBench(path string, out *os.File) error {
+	report := benchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, bench := range coreBenchmarks() {
+		r := testing.Benchmark(bench.fn)
+		row := benchResult{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			MsTotal:     float64(r.T.Nanoseconds()) / 1e6,
+		}
+		report.Results = append(report.Results, row)
+		fmt.Fprintf(out, "%-28s %12d ns/op %10d B/op %8d allocs/op\n",
+			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}

@@ -6,7 +6,9 @@
 //	jarvis [-seed N] [-quick] <experiment>
 //
 // where <experiment> is one of table1, table2, table3, security, roc,
-// fig6, fig7, fig8, fig9, ablation, chaos, or all.
+// fig6, fig7, fig8, fig9, ablation, chaos, or all; or the special
+// subcommand bench, which measures the batched compute core and writes
+// BENCH_core.json (see -benchout).
 package main
 
 import (
@@ -32,14 +34,18 @@ func run(args []string, out *os.File) error {
 	seed := fs.Int64("seed", 1, "random seed (all experiments are deterministic per seed)")
 	quick := fs.Bool("quick", false, "reduced scale (seconds instead of minutes)")
 	homeB := fs.Bool("homeb", false, "use the Smart*-calibrated home-B profile where applicable")
+	benchOut := fs.String("benchout", "BENCH_core.json", "output path for the bench subcommand")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("expected one experiment: table1|table2|table3|security|roc|fig6|fig7|fig8|fig9|ablation|chaos|all")
+		return fmt.Errorf("expected one experiment: table1|table2|table3|security|roc|fig6|fig7|fig8|fig9|ablation|chaos|all|bench")
 	}
 	name := fs.Arg(0)
+	if name == "bench" {
+		return runBench(*benchOut, out)
+	}
 	if name == "all" {
 		for _, n := range []string{"table1", "table2", "table3", "security", "roc", "fig6", "fig7", "fig8", "fig9", "ablation", "chaos"} {
 			if err := runOne(n, *seed, *quick, *homeB, out); err != nil {

@@ -26,15 +26,22 @@ import (
 type Encoder struct {
 	env *env.Environment
 	dim int
+	// states/actions cache per-device state and action counts so encoding
+	// never re-copies the device list.
+	states, actions []int
 }
 
 // NewEncoder builds an encoder for the environment.
 func NewEncoder(e *env.Environment) *Encoder {
 	dim := 4 // sin/cos hour-of-day, sin/cos day-of-week
+	enc := &Encoder{env: e}
 	for _, d := range e.Devices() {
 		dim += d.NumStates() + d.NumActions() + 1
+		enc.states = append(enc.states, d.NumStates())
+		enc.actions = append(enc.actions, d.NumActions())
 	}
-	return &Encoder{env: e, dim: dim}
+	enc.dim = dim
+	return enc
 }
 
 // Dim returns the feature-vector width.
@@ -42,20 +49,29 @@ func (enc *Encoder) Dim() int { return enc.dim }
 
 // Encode writes the transition's features into a fresh vector.
 func (enc *Encoder) Encode(tr env.Transition) []float64 {
-	x := make([]float64, enc.dim)
+	return enc.EncodeInto(make([]float64, enc.dim), tr)
+}
+
+// EncodeInto writes the transition's features into x, which must have
+// length Dim, and returns it. It allocates nothing.
+func (enc *Encoder) EncodeInto(x []float64, tr env.Transition) []float64 {
+	for i := range x {
+		x[i] = 0
+	}
 	i := 0
-	for di, d := range enc.env.Devices() {
-		if s := int(tr.From[di]); s >= 0 && s < d.NumStates() {
+	for di := range enc.states {
+		ns, na := enc.states[di], enc.actions[di]
+		if s := int(tr.From[di]); s >= 0 && s < ns {
 			x[i+s] = 1
 		}
-		i += d.NumStates()
+		i += ns
 		a := tr.Act[di]
 		if a == device.NoAction {
 			x[i] = 1
-		} else if int(a) < d.NumActions() {
+		} else if int(a) < na {
 			x[i+1+int(a)] = 1
 		}
-		i += d.NumActions() + 1
+		i += na + 1
 	}
 	h := timeOfDay(tr.At)
 	x[i] = math.Sin(2 * math.Pi * h / 24)
@@ -116,6 +132,12 @@ type Filter struct {
 	enc       *Encoder
 	net       *nn.Network
 	threshold float64
+
+	// Reused feature rows for ScoreBatch (flat backing plus row views) and
+	// the single-transition encode scratch for Score.
+	xback []float64
+	xrows [][]float64
+	xone  []float64
 }
 
 // NewFilter constructs an untrained filter for the environment.
@@ -157,9 +179,55 @@ func (f *Filter) Train(data []Labeled, cfg Config, rng *rand.Rand) (float64, err
 	return loss, nil
 }
 
-// Score returns the benign-anomaly probability of a transition.
+// Score returns the benign-anomaly probability of a transition. Like the
+// network it wraps, the filter is not safe for concurrent use.
 func (f *Filter) Score(tr env.Transition) float64 {
-	return f.net.Forward(f.enc.Encode(tr))[0]
+	if f.xone == nil {
+		f.xone = make([]float64, f.enc.Dim())
+	}
+	return f.net.Forward(f.enc.EncodeInto(f.xone, tr))[0]
+}
+
+// scoreChunk caps the rows per batched forward pass so the network's batch
+// arena stays modest no matter how many transitions ScoreBatch is handed.
+const scoreChunk = 256
+
+// ensureRows sizes the reused encode rows for n transitions.
+func (f *Filter) ensureRows(n int) [][]float64 {
+	if n <= cap(f.xrows) {
+		return f.xrows[:n]
+	}
+	dim := f.enc.Dim()
+	f.xback = make([]float64, n*dim)
+	f.xrows = make([][]float64, n)
+	for i := range f.xrows {
+		f.xrows[i] = f.xback[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return f.xrows
+}
+
+// ScoreBatch scores every transition with chunked batched forward passes,
+// appending the benign-anomaly probabilities to dst and returning it. The
+// scores are bit-identical to calling Score per transition.
+func (f *Filter) ScoreBatch(dst []float64, trs []env.Transition) ([]float64, error) {
+	for start := 0; start < len(trs); start += scoreChunk {
+		end := start + scoreChunk
+		if end > len(trs) {
+			end = len(trs)
+		}
+		rows := f.ensureRows(end - start)
+		for i, tr := range trs[start:end] {
+			f.enc.EncodeInto(rows[i], tr)
+		}
+		out, err := f.net.ForwardBatch(rows)
+		if err != nil {
+			return dst, fmt.Errorf("anomaly: score batch: %w", err)
+		}
+		for _, row := range out {
+			dst = append(dst, row[0])
+		}
+	}
+	return dst, nil
 }
 
 // BenignAnomaly reports whether the transition scores above the decision

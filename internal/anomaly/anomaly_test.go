@@ -209,3 +209,48 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Error("shape mismatch should fail to load")
 	}
 }
+
+func TestScoreBatchMatchesScore(t *testing.T) {
+	e := testEnv(t)
+	rng := rand.New(rand.NewSource(41))
+	f, err := NewFilter(e, Config{Hidden: 8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2020, 1, 6, 9, 30, 0, 0, time.UTC)
+	// More transitions than one scoring chunk to exercise the chunked path.
+	trs := make([]env.Transition, scoreChunk+37)
+	for i := range trs {
+		from := env.State{device.StateID(rng.Intn(2)), device.StateID(rng.Intn(2))}
+		act := env.NoOp(2)
+		dev := rng.Intn(2)
+		if valid := e.Device(dev).ValidActions(from[dev]); len(valid) > 0 {
+			act[dev] = valid[rng.Intn(len(valid))]
+		}
+		trs[i] = tr(t, e, from, act, at.Add(time.Duration(i)*time.Minute))
+	}
+	got, err := f.ScoreBatch(nil, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trs) {
+		t.Fatalf("ScoreBatch returned %d scores for %d transitions", len(got), len(trs))
+	}
+	for i := range trs {
+		if want := f.Score(trs[i]); got[i] != want {
+			t.Fatalf("transition %d: batched score %.17g != per-transition %.17g", i, got[i], want)
+		}
+	}
+	// Steady state: warm buffers plus a capacious dst means zero allocations.
+	dst := make([]float64, 0, len(trs))
+	allocs := testing.AllocsPerRun(20, func() {
+		var err error
+		dst, err = f.ScoreBatch(dst[:0], trs)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ScoreBatch steady state allocates %.1f objects per call, want 0", allocs)
+	}
+}

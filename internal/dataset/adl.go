@@ -3,6 +3,7 @@ package dataset
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"jarvis/internal/device"
@@ -120,8 +121,9 @@ func NewGenerator(home *smarthome.FullHome, cfg GeneratorConfig) *Generator {
 	return &Generator{home: home, cfg: cfg}
 }
 
-// plan is the day's scripted device actions: instance → (device, action).
+// plannedAct is one scripted device action at time instance t.
 type plannedAct struct {
+	t   int
 	dev int
 	act device.ActionID
 }
@@ -141,21 +143,32 @@ func (g *Generator) SimulateDay(ctx *DayContext, s0 env.State, rng *rand.Rand) (
 	h := g.home
 	e := h.Env
 
-	plan := make(map[int][]plannedAct, 64)
+	// The day's script as a time-sorted list walked alongside the minute
+	// loop — a per-instance map lookup 1,440 times a day is pure overhead.
+	// The stable sort preserves the script's insertion order within one
+	// instance, matching the former map[t]-slice append semantics.
+	plan := make([]plannedAct, 0, 64)
 	add := func(t int, dev int, act device.ActionID) {
 		if t >= 0 && t < n {
-			plan[t] = append(plan[t], plannedAct{dev: dev, act: act})
+			plan = append(plan, plannedAct{t: t, dev: dev, act: act})
 		}
 	}
 	g.scriptDay(ctx, add, rng)
+	sort.SliceStable(plan, func(i, j int) bool { return plan[i].t < plan[j].t })
+	planIdx := 0
 
 	thermal := smarthome.NewThermal(g.cfg.Thermal)
 	rec := env.NewRecorder(e, s0, date, time.Duration(n)*time.Minute, time.Minute)
 	indoor := make([]float64, 0, n)
 
+	// One action buffer for the whole day: Recorder.Step copies it, so
+	// resetting to no-op each minute is safe and avoids a per-minute alloc.
+	act := env.NoOp(e.K())
 	for t := 0; t < n; t++ {
 		s := rec.State()
-		act := env.NoOp(e.K())
+		for i := range act {
+			act[i] = device.NoAction
+		}
 
 		// House physics first: the sensor publishes a new reading when the
 		// discretized temperature moves (and the sensor is powered).
@@ -189,8 +202,8 @@ func (g *Generator) SimulateDay(ctx *DayContext, s0 env.State, rng *rand.Rand) (
 		}
 
 		// Scripted resident actions override the automations.
-		for _, p := range plan[t] {
-			act[p.dev] = p.act
+		for ; planIdx < len(plan) && plan[planIdx].t == t; planIdx++ {
+			act[plan[planIdx].dev] = plan[planIdx].act
 		}
 
 		// Drop whatever is invalid in the current state (stale commands).

@@ -55,6 +55,11 @@ type Device struct {
 	// s, or -1 when the action is invalid in that state.
 	transitions [][]StateID
 
+	// valid[s] lists the actions applicable in state s, in ascending
+	// ActionID order. Precomputed once in Build so ValidActions can hand
+	// out a shared read-only slice instead of allocating per call.
+	valid [][]ActionID
+
 	// disutility[s][a] is ω_i(p_s, a_a): the per-time-instance dis-utility
 	// of delaying action a while in state s.
 	disutility [][]float64
@@ -127,18 +132,16 @@ func (d *Device) Next(s StateID, a ActionID) (StateID, bool) {
 }
 
 // ValidActions returns the actions applicable in state s (excluding
-// NoAction, which is always applicable).
+// NoAction, which is always applicable). The returned slice is shared,
+// precomputed at Build time, and must be treated as read-only — reward
+// shaping and action-composition hot loops call this once per candidate,
+// so handing out a fresh slice per call would dominate the allocation
+// profile.
 func (d *Device) ValidActions(s StateID) []ActionID {
 	if s < 0 || int(s) >= len(d.states) {
 		return nil
 	}
-	var out []ActionID
-	for a, next := range d.transitions[s] {
-		if next >= 0 {
-			out = append(out, ActionID(a))
-		}
-	}
-	return out
+	return d.valid[s]
 }
 
 // DisUtility returns ω_i(p_s, a_a), the per-time-instance dis-utility of
@@ -328,6 +331,16 @@ func (b *Builder) Build() (*Device, error) {
 	}
 	b.ensureTables()
 	d := b.d
+	d.valid = make([][]ActionID, len(d.states))
+	for s := range d.valid {
+		var acts []ActionID
+		for a, next := range d.transitions[s] {
+			if next >= 0 {
+				acts = append(acts, ActionID(a))
+			}
+		}
+		d.valid[s] = acts
+	}
 	return &d, nil
 }
 

@@ -254,20 +254,31 @@ func (e *Environment) ValidState(s State) bool {
 // rejected with an error (the environment state is never partially
 // updated).
 func (e *Environment) Transition(s State, a Action) (State, error) {
-	if len(s) != len(e.devices) || len(a) != len(e.devices) {
-		return nil, fmt.Errorf("env: transition arity mismatch: %d devices, state %d, action %d",
-			len(e.devices), len(s), len(a))
-	}
 	next := make(State, len(s))
+	if err := e.TransitionInto(next, s, a); err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// TransitionInto is Transition writing into a caller-provided destination
+// state, so hot loops (episode recording, candidate-action scoring) can
+// reuse one buffer instead of allocating per step. dst may alias s. On
+// error dst's contents are unspecified.
+func (e *Environment) TransitionInto(dst, s State, a Action) error {
+	if len(s) != len(e.devices) || len(a) != len(e.devices) || len(dst) != len(e.devices) {
+		return fmt.Errorf("env: transition arity mismatch: %d devices, state %d, action %d, dst %d",
+			len(e.devices), len(s), len(a), len(dst))
+	}
 	for i := range e.devices {
 		ns, ok := e.devices[i].Next(s[i], a[i])
 		if !ok {
-			return nil, fmt.Errorf("env: device %s: action %s invalid in state %s",
+			return fmt.Errorf("env: device %s: action %s invalid in state %s",
 				e.devices[i].Name(), e.devices[i].ActionName(a[i]), e.devices[i].StateName(s[i]))
 		}
-		next[i] = ns
+		dst[i] = ns
 	}
-	return next, nil
+	return nil
 }
 
 // Apply resolves a set of requests for one interval into a composite action

@@ -105,8 +105,12 @@ func ReplayActions(e *Environment, s0 State, start time.Time, I time.Duration, a
 	}
 	T := time.Duration(len(actions)) * I
 	rec := NewRecorder(e, s0, start, T, I)
+	cleaned := make(Action, e.K())
 	for t, a := range actions {
-		cleaned := a.Clone()
+		if len(a) != len(cleaned) {
+			return Episode{}, fmt.Errorf("env: replay instance %d: action arity %d, want %d", t, len(a), len(cleaned))
+		}
+		copy(cleaned, a)
 		s := rec.State()
 		for dev, ac := range cleaned {
 			if ac == device.NoAction {
@@ -126,24 +130,40 @@ func ReplayActions(e *Environment, s0 State, start time.Time, I time.Duration, a
 // Recorder incrementally builds an episode by stepping the environment.
 // It enforces the episode length n = ceil(T/I): Step returns false once the
 // episode is complete.
+//
+// The recorded states and actions are views into two flat backing arrays
+// allocated up front, so a full episode costs two allocations instead of
+// two per time instance — episode recording dominates the allocation
+// profile of every learning phase.
 type Recorder struct {
 	env *Environment
 	ep  Episode
 	n   int
+
+	sback []device.StateID  // (n+1)*k flat state storage
+	aback []device.ActionID // n*k flat action storage
 }
 
 // NewRecorder starts an episode at state s0 and wall-clock time start.
 func NewRecorder(e *Environment, s0 State, start time.Time, T, I time.Duration) *Recorder {
-	return &Recorder{
-		env: e,
-		ep: Episode{
-			T:      T,
-			I:      I,
-			Start:  start,
-			States: []State{s0.Clone()},
-		},
-		n: NumInstances(T, I),
+	n := NumInstances(T, I)
+	k := len(s0)
+	r := &Recorder{
+		env:   e,
+		n:     n,
+		sback: make([]device.StateID, (n+1)*k),
+		aback: make([]device.ActionID, n*k),
 	}
+	first := State(r.sback[0:k:k])
+	copy(first, s0)
+	r.ep = Episode{
+		T:       T,
+		I:       I,
+		Start:   start,
+		States:  append(make([]State, 0, n+1), first),
+		Actions: make([]Action, 0, n),
+	}
+	return r
 }
 
 // State returns the current (latest) state.
@@ -157,15 +177,20 @@ func (r *Recorder) Done() bool { return len(r.ep.Actions) >= r.n }
 
 // Step applies composite action a at the current instance. It returns an
 // error when the episode is already complete or the action is invalid.
+// The action is copied, so callers may reuse their buffer across steps.
 func (r *Recorder) Step(a Action) error {
 	if r.Done() {
 		return fmt.Errorf("episode: already complete (n=%d)", r.n)
 	}
-	next, err := r.env.Transition(r.State(), a)
-	if err != nil {
+	k := len(r.State())
+	t := len(r.ep.Actions)
+	next := State(r.sback[(t+1)*k : (t+2)*k : (t+2)*k])
+	if err := r.env.TransitionInto(next, r.State(), a); err != nil {
 		return err
 	}
-	r.ep.Actions = append(r.ep.Actions, a.Clone())
+	av := Action(r.aback[t*k : (t+1)*k : (t+1)*k])
+	copy(av, a)
+	r.ep.Actions = append(r.ep.Actions, av)
 	r.ep.States = append(r.ep.States, next)
 	return nil
 }
@@ -178,15 +203,27 @@ func (r *Recorder) StepRequests(reqs []Request) ([]Denial, error) {
 		return nil, fmt.Errorf("episode: already complete (n=%d)", r.n)
 	}
 	act, next, denials := r.env.Apply(r.State(), reqs)
-	r.ep.Actions = append(r.ep.Actions, act)
-	r.ep.States = append(r.ep.States, next)
+	k := len(next)
+	t := len(r.ep.Actions)
+	nv := State(r.sback[(t+1)*k : (t+2)*k : (t+2)*k])
+	copy(nv, next)
+	av := Action(r.aback[t*k : (t+1)*k : (t+1)*k])
+	copy(av, act)
+	r.ep.Actions = append(r.ep.Actions, av)
+	r.ep.States = append(r.ep.States, nv)
 	return denials, nil
 }
 
 // Episode returns the (possibly still partial) episode recorded so far.
 func (r *Recorder) Episode() Episode {
 	ep := r.ep
-	ep.States = append([]State(nil), r.ep.States...)
-	ep.Actions = append([]Action(nil), r.ep.Actions...)
+	if !r.Done() {
+		// A partial episode may still be appended to by the recorder, so
+		// hand back copied headers. A complete episode's slices are at full
+		// capacity — any append by the caller reallocates — so the headers
+		// can be shared as-is.
+		ep.States = append([]State(nil), r.ep.States...)
+		ep.Actions = append([]Action(nil), r.ep.Actions...)
+	}
 	return ep
 }

@@ -118,8 +118,17 @@ func Ablation(cfg AblationConfig) (*AblationResult, error) {
 		}
 		return n
 	}
-	res.FilterOffWhitelisted = countWhitelisted(nil)
-	res.FilterOnWhitelisted = countWhitelisted(filter)
+	// The two variants share only read-only inputs (eps, anoms); the ANN
+	// filter's scratch is touched by exactly one of them.
+	variants := []policy.Filter{nil, filter}
+	whitelisted, err := Parallel(Seeds(cfg.Seed, 2), func(i int, _ *rand.Rand) (int, error) {
+		return countWhitelisted(variants[i]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.FilterOffWhitelisted = whitelisted[0]
+	res.FilterOnWhitelisted = whitelisted[1]
 
 	// --- Thresh_env sweep --------------------------------------------------
 	benign, err := gen.Days(LearningStart.AddDate(0, 0, 30), 1, rng)
@@ -144,18 +153,23 @@ func Ablation(cfg AblationConfig) (*AblationResult, error) {
 		return nil, err
 	}
 	ctx := dataset.NewDayContext(LearningStart.AddDate(0, 0, 40), dataset.DefaultContext(), rng)
-	for _, backend := range []string{"tabular", "dqn"} {
+	backends := []string{"tabular", "dqn"}
+	rows, err := Parallel(Seeds(cfg.Seed, len(backends)), func(i int, _ *rand.Rand) (BackendRow, error) {
 		start := time.Now()
-		ret, err := runBackend(lab, ctx, backend, cfg.Episodes, cfg.Seed)
+		ret, err := runBackend(lab, ctx, backends[i], cfg.Episodes, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return BackendRow{}, err
 		}
-		res.Backends = append(res.Backends, BackendRow{
-			Name:         backend,
+		return BackendRow{
+			Name:         backends[i],
 			GreedyReturn: ret,
 			TrainMillis:  time.Since(start).Milliseconds(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Backends = rows
 	return res, nil
 }
 

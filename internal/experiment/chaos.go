@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 
 	"jarvis/internal/dataset"
@@ -107,8 +108,11 @@ func Chaos(cfg ChaosConfig) (*ChaosResult, error) {
 	date := LearningStart.AddDate(0, 0, 30)
 	ctx := dataset.NewDayContext(date, dataset.DefaultContext(), lab.Rng)
 
-	res := &ChaosResult{}
-	for ri, rate := range cfg.Rates {
+	// Every rate point trains its own agent from a seed derived only from
+	// (cfg.Seed, ri), against the shared read-only lab and day context —
+	// the sweep fans across cores with results identical to a serial run.
+	points, err := Parallel(Seeds(cfg.Seed, len(cfg.Rates)), func(ri int, _ *rand.Rand) (ChaosPoint, error) {
+		rate := cfg.Rates[ri]
 		var faulty *fault.FaultyEnv
 		agent, sim, _, err := buildJarvisAgent(lab, jarvisRunConfig{
 			Ctx:         ctx,
@@ -127,26 +131,29 @@ func Chaos(cfg ChaosConfig) (*ChaosResult, error) {
 			},
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiment: chaos rate %.2f: %w", rate, err)
+			return ChaosPoint{}, fmt.Errorf("experiment: chaos rate %.2f: %w", rate, err)
 		}
 		if _, err := agent.Train(); err != nil {
-			return nil, fmt.Errorf("experiment: chaos training at rate %.2f: %w", rate, err)
+			return ChaosPoint{}, fmt.Errorf("experiment: chaos training at rate %.2f: %w", rate, err)
 		}
 		trainViolations := sim.Violations()
 		sim.ResetViolations()
 		ret, _, err := agent.Evaluate()
 		if err != nil {
-			return nil, fmt.Errorf("experiment: chaos evaluation at rate %.2f: %w", rate, err)
+			return ChaosPoint{}, fmt.Errorf("experiment: chaos evaluation at rate %.2f: %w", rate, err)
 		}
-		res.Points = append(res.Points, ChaosPoint{
+		return ChaosPoint{
 			Rate:            rate,
 			Return:          ret,
 			TrainViolations: trainViolations,
 			EvalViolations:  sim.Violations(),
 			Faults:          faulty.Stats(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &ChaosResult{Points: points}, nil
 }
 
 // String renders the safety and reward-degradation curves.

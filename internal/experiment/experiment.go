@@ -17,6 +17,7 @@ package experiment
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"jarvis/internal/anomaly"
@@ -76,6 +77,7 @@ type Lab struct {
 	Pref         *reward.PreferredTimes
 	Rng          *rand.Rand
 
+	behaviorsOnce    sync.Once
 	behaviorsByState map[uint64][]env.Action
 }
 
@@ -164,13 +166,14 @@ func (l *Lab) RoutineDevices() map[int]bool {
 // BehaviorsFrom returns the composite actions observed naturally from the
 // given state during learning — the candidate set for "safe action" picks
 // (a multi-device safe action is whitelisted only as the bundle it
-// occurred as).
+// occurred as). The lazy index is built under a sync.Once so concurrent
+// experiment shards may share one Lab.
 func (l *Lab) BehaviorsFrom(stateKey uint64) []env.Action {
-	if l.behaviorsByState == nil {
+	l.behaviorsOnce.Do(func() {
 		l.behaviorsByState = make(map[uint64][]env.Action)
 		for _, b := range l.SPL.Behaviors() {
 			l.behaviorsByState[b.State] = append(l.behaviorsByState[b.State], l.Home.Env.DecodeAction(b.Action))
 		}
-	}
+	})
 	return l.behaviorsByState[stateKey]
 }

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 
 	"jarvis/internal/dataset"
@@ -65,8 +66,15 @@ func BenefitSpace(cfg BenefitSpaceConfig) (*BenefitSpaceResult, error) {
 	}
 	ctx := dataset.NewDayContext(LearningStart.AddDate(0, 0, 30), dataset.DefaultContext(), lab.Rng)
 
-	res := &BenefitSpaceResult{}
-	for _, constrained := range []bool{true, false} {
+	// The two regimes share only the read-only lab and day context and use
+	// identical per-run seeds, so they train concurrently with results
+	// identical to the sequential sweep.
+	type regime struct {
+		rewards    []float64
+		violations []int
+		final      float64
+	}
+	regimes, err := Parallel(Seeds(cfg.Seed, 2), func(i int, _ *rand.Rand) (regime, error) {
 		agent, _, _, err := buildJarvisAgent(lab, jarvisRunConfig{
 			Ctx:     ctx,
 			FEnergy: 1.0 / 3, FCost: 1.0 / 3, FComfort: 1.0 / 3,
@@ -75,34 +83,37 @@ func BenefitSpace(cfg BenefitSpaceConfig) (*BenefitSpaceResult, error) {
 			Buckets:     cfg.Buckets,
 			DecideEvery: cfg.DecideEvery,
 			Seed:        cfg.Seed + 977,
-			Constrained: constrained,
+			Constrained: i == 0,
 		})
 		if err != nil {
-			return nil, err
+			return regime{}, err
 		}
 		stats, err := agent.Train()
 		if err != nil {
-			return nil, err
+			return regime{}, err
 		}
 		final, _, err := agent.Evaluate()
 		if err != nil {
-			return nil, err
+			return regime{}, err
 		}
-		if constrained {
-			res.ConstrainedRewards = stats.EpisodeRewards
-			res.ConstrainedViolations = stats.EpisodeViolations
-			res.FinalConstrained = final
-		} else {
-			res.UnconstrainedRewards = stats.EpisodeRewards
-			res.UnconstrainedViolations = stats.EpisodeViolations
-			res.FinalUnconstrained = final
-			total := 0
-			for _, v := range stats.EpisodeViolations {
-				total += v
-			}
-			res.AvgViolations = float64(total) / float64(len(stats.EpisodeViolations))
-		}
+		return regime{stats.EpisodeRewards, stats.EpisodeViolations, final}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res := &BenefitSpaceResult{
+		ConstrainedRewards:      regimes[0].rewards,
+		ConstrainedViolations:   regimes[0].violations,
+		FinalConstrained:        regimes[0].final,
+		UnconstrainedRewards:    regimes[1].rewards,
+		UnconstrainedViolations: regimes[1].violations,
+		FinalUnconstrained:      regimes[1].final,
+	}
+	total := 0
+	for _, v := range res.UnconstrainedViolations {
+		total += v
+	}
+	res.AvgViolations = float64(total) / float64(len(res.UnconstrainedViolations))
 	return res, nil
 }
 

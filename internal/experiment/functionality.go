@@ -173,19 +173,29 @@ func Functionality(cfg FunctionalityConfig) (*FunctionalityResult, error) {
 		res.PerDayNormal = append(res.PerDayNormal, m)
 	}
 
-	for wi, w := range cfg.Weights {
-		res.PerDayJarvis[wi] = make([]float64, 0, cfg.Days)
+	// Every (weight, day) cell trains from a seed derived only from its
+	// grid position, so the whole sweep flattens into one fan-out. Cell
+	// seeds match the historical serial formula exactly.
+	nd := len(days)
+	cells, err := Parallel(Seeds(cfg.Seed, len(cfg.Weights)*nd), func(i int, _ *rand.Rand) (float64, error) {
+		wi, di := i/nd, i%nd
+		seed := cfg.Seed*1_000_003 + int64(wi)*131 + int64(di)
+		fE, fC, fT := weightsFor(cfg.Metric, cfg.Weights[wi])
+		m, err := runJarvisDay(lab, cfg, days[di].ctx, fE, fC, fT, seed)
+		if err != nil {
+			return 0, fmt.Errorf("experiment: jarvis day %d weight %.1f: %w", di, cfg.Weights[wi], err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi := range cfg.Weights {
 		var jarvisSum, normalSum float64
-		for di, d := range days {
-			seed := cfg.Seed*1_000_003 + int64(wi)*131 + int64(di)
-			fE, fC, fT := weightsFor(cfg.Metric, w)
-			m, err := runJarvisDay(lab, cfg, d.ctx, fE, fC, fT, seed)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: jarvis day %d weight %.1f: %w", di, w, err)
-			}
-			res.PerDayJarvis[wi] = append(res.PerDayJarvis[wi], m)
+		res.PerDayJarvis[wi] = cells[wi*nd : (wi+1)*nd : (wi+1)*nd]
+		for di, m := range res.PerDayJarvis[wi] {
 			jarvisSum += m
-			normalSum += d.normal
+			normalSum += days[di].normal
 		}
 		res.Jarvis[wi] = jarvisSum / float64(cfg.Days)
 		res.Normal[wi] = normalSum / float64(cfg.Days)

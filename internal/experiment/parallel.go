@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Workers caps the fan-out of Parallel. 0 (the default) uses GOMAXPROCS;
+// 1 forces serial execution. The setting never changes results: every work
+// item draws randomness only from its own seed and results are collected in
+// input order, so a sweep is reproducible on a laptop and on a 64-core box
+// alike.
+var Workers = 0
+
+func workerCount(n int) int {
+	w := Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// splitmix64 decorrelates neighboring seed streams (base, base+1, ...)
+// into well-separated rand sources.
+func splitmix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Seeds derives n per-item seeds from a base seed. Items seeded this way
+// get independent random streams regardless of how the fan-out schedules
+// them.
+func Seeds(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(splitmix64(uint64(base) + uint64(i)))
+	}
+	return out
+}
+
+// Parallel runs fn(i, rng) for every i in [0, len(seeds)) across a bounded
+// worker pool and returns the results in input order. Each invocation gets
+// a private rand.Rand seeded from seeds[i] alone — never a shared or
+// worker-scoped source — which makes the output bit-identical whether the
+// items run serially or on any number of workers. Every item runs even if
+// another fails; the returned error is the failing item with the lowest
+// index (deterministic, unlike "whichever goroutine lost the race").
+//
+// fn must not touch shared mutable state: the Lab surfaces experiments
+// share (Env, Table, Pref, Smart rewards, BehaviorsFrom) are read-only or
+// internally synchronized, but per-run objects (agents, sims, filters)
+// must be built inside fn.
+func Parallel[R any](seeds []int64, fn func(i int, rng *rand.Rand) (R, error)) ([]R, error) {
+	n := len(seeds)
+	results := make([]R, n)
+	errs := make([]error, n)
+	if w := workerCount(n); w <= 1 {
+		for i := range seeds {
+			results[i], errs[i] = fn(i, rand.New(rand.NewSource(seeds[i])))
+		}
+	} else {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for g := 0; g < w; g++ {
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					results[i], errs[i] = fn(i, rand.New(rand.NewSource(seeds[i])))
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

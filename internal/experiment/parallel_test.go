@@ -1,0 +1,236 @@
+package experiment
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestSeedsDeterministicAndDistinct(t *testing.T) {
+	a := Seeds(42, 16)
+	b := Seeds(42, 16)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Seeds is not deterministic")
+	}
+	seen := map[int64]bool{}
+	for _, s := range a {
+		if seen[s] {
+			t.Fatalf("duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+	if reflect.DeepEqual(Seeds(42, 4), Seeds(43, 4)) {
+		t.Error("different bases produced identical seeds")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	// The contract: worker count never changes results. Each item draws
+	// from its own seeded rng, so serial (Workers=1) and parallel
+	// (Workers=4) runs must be bit-identical and in input order.
+	run := func(workers int) []float64 {
+		t.Helper()
+		defer func(w int) { Workers = w }(Workers)
+		Workers = workers
+		out, err := Parallel(Seeds(7, 32), func(i int, rng *rand.Rand) (float64, error) {
+			sum := float64(i)
+			for j := 0; j < 100; j++ {
+				sum += rng.NormFloat64()
+			}
+			return sum, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial, parallel := run(1), run(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("serial and parallel results differ:\n  serial   %v\n  parallel %v", serial, parallel)
+	}
+}
+
+func TestParallelErrorSemantics(t *testing.T) {
+	errBoom := errors.New("boom-3")
+	for _, workers := range []int{1, 4} {
+		defer func(w int) { Workers = w }(Workers)
+		Workers = workers
+		ran := make([]bool, 8)
+		_, err := Parallel(Seeds(1, 8), func(i int, _ *rand.Rand) (int, error) {
+			ran[i] = true
+			if i == 5 {
+				return 0, errors.New("boom-5")
+			}
+			if i == 3 {
+				return 0, errBoom
+			}
+			return i, nil
+		})
+		// First error by input order, regardless of completion order.
+		if !errors.Is(err, errBoom) {
+			t.Errorf("workers=%d: got error %v, want boom-3", workers, err)
+		}
+		// Every item still ran (errors don't cancel siblings).
+		for i, r := range ran {
+			if !r {
+				t.Errorf("workers=%d: item %d never ran", workers, i)
+			}
+		}
+	}
+}
+
+// TestExperimentsSerialParallelIdentity runs the parallelized experiments
+// once serially and once with multiple workers on identical seeds and
+// demands identical table rows — the fan-out must be a pure wall-clock
+// optimization.
+func TestExperimentsSerialParallelIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains several agents")
+	}
+	withWorkers := func(w int, fn func()) {
+		defer func(old int) { Workers = old }(Workers)
+		Workers = w
+		fn()
+	}
+
+	t.Run("table2", func(t *testing.T) {
+		var serial, parallel *Table2Result
+		withWorkers(1, func() {
+			r, err := Table2(Table2Config{Seed: 11, LearningDays: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial = r
+		})
+		withWorkers(4, func() {
+			r, err := Table2(Table2Config{Seed: 11, LearningDays: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel = r
+		})
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("Table2 rows differ between serial and parallel runs:\n%v\nvs\n%v", serial, parallel)
+		}
+	})
+
+	t.Run("table3", func(t *testing.T) {
+		var serial, parallel *Table3Result
+		withWorkers(1, func() {
+			r, err := Table3(Table3Config{Seed: 11, LearningDays: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial = r
+		})
+		withWorkers(4, func() {
+			r, err := Table3(Table3Config{Seed: 11, LearningDays: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel = r
+		})
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("Table3 rows differ between serial and parallel runs:\n%v\nvs\n%v", serial, parallel)
+		}
+	})
+
+	t.Run("chaos", func(t *testing.T) {
+		cfg := ChaosConfig{Seed: 11, LearningDays: 2, Rates: []float64{0, 0.2}, Episodes: 3, Buckets: 6, DecideEvery: 120}
+		var serial, parallel *ChaosResult
+		withWorkers(1, func() {
+			r, err := Chaos(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial = r
+		})
+		withWorkers(4, func() {
+			r, err := Chaos(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel = r
+		})
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("Chaos points differ between serial and parallel runs:\n%v\nvs\n%v", serial, parallel)
+		}
+	})
+
+	t.Run("benefit-space", func(t *testing.T) {
+		cfg := BenefitSpaceConfig{Seed: 11, LearningDays: 2, Episodes: 4, Buckets: 6, DecideEvery: 120}
+		var serial, parallel *BenefitSpaceResult
+		withWorkers(1, func() {
+			r, err := BenefitSpace(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial = r
+		})
+		withWorkers(4, func() {
+			r, err := BenefitSpace(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel = r
+		})
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("BenefitSpace differs between serial and parallel runs:\n%v\nvs\n%v", serial, parallel)
+		}
+	})
+
+	t.Run("functionality", func(t *testing.T) {
+		cfg := FunctionalityConfig{
+			Seed: 11, LearningDays: 2, Metric: MetricEnergy,
+			Weights: []float64{0.2, 0.8}, Days: 2, Episodes: 3,
+			Buckets: 6, DecideEvery: 120, Restarts: 1,
+		}
+		var serial, parallel *FunctionalityResult
+		withWorkers(1, func() {
+			r, err := Functionality(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial = r
+		})
+		withWorkers(4, func() {
+			r, err := Functionality(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel = r
+		})
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("Functionality differs between serial and parallel runs:\n%v\nvs\n%v", serial, parallel)
+		}
+	})
+
+	t.Run("ablation", func(t *testing.T) {
+		cfg := AblationConfig{Seed: 11, LearningDays: 2, Anomalies: 60, Episodes: 3}
+		var serial, parallel *AblationResult
+		withWorkers(1, func() {
+			r, err := Ablation(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial = r
+		})
+		withWorkers(4, func() {
+			r, err := Ablation(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel = r
+		})
+		// TrainMillis is wall time and legitimately differs; everything
+		// else must match exactly.
+		for i := range serial.Backends {
+			serial.Backends[i].TrainMillis = 0
+			parallel.Backends[i].TrainMillis = 0
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("Ablation differs between serial and parallel runs:\n%v\nvs\n%v", serial, parallel)
+		}
+	})
+}

@@ -97,12 +97,12 @@ func ROC(cfg ROCConfig) (*ROCResult, error) {
 
 	res := &ROCResult{}
 	classes := dataset.AllAnomalyClasses()
-	var scores []float64
+	var trs []env.Transition
 	var labels []bool
 
-	// Positives: benign anomalous episodes — the injected transition is
-	// scored by the ANN; classified correctly when it clears the deployed
-	// threshold.
+	// Positives: benign anomalous episodes — each injected transition is
+	// collected here and scored below in one batched ANN pass; classified
+	// correctly when it clears the deployed threshold.
 	for i := 0; i < cfg.EvalEpisodes; i++ {
 		day := evalDays[lab.Rng.Intn(len(evalDays))]
 		class := classes[lab.Rng.Intn(len(classes))]
@@ -110,24 +110,15 @@ func ROC(cfg ROCConfig) (*ROCResult, error) {
 		if err != nil {
 			continue // class not applicable to this day: redraw
 		}
-		tr := env.Transition{
+		trs = append(trs, env.Transition{
 			From: ep.States[at], Act: ep.Actions[at], To: ep.States[at+1],
 			Instance: at, At: ep.At(at),
-		}
-		score := lab.Filter.Score(tr)
-		res.Evaluated++
-		benign := score >= lab.Filter.Threshold()
-		if benign {
-			res.Correct++
-		}
-		res.Confusion.Add(benign, true)
-		scores = append(scores, score)
+		})
 		labels = append(labels, true)
 	}
-	res.FalsePositiveRate = 1 - res.Accuracy()
 
-	// Negatives: the corpus's transition-based violations, injected and
-	// scored the same way.
+	// Negatives: the corpus's transition-based violations, injected the
+	// same way.
 	for _, v := range attack.Corpus(h) {
 		if !v.TransitionBased() {
 			continue
@@ -140,15 +131,30 @@ func ROC(cfg ROCConfig) (*ROCResult, error) {
 		if !ok {
 			continue
 		}
-		tr := env.Transition{
+		trs = append(trs, env.Transition{
 			From: ep.States[at], Act: ep.Actions[at], To: ep.States[at+1],
 			Instance: at, At: ep.At(at),
-		}
-		score := lab.Filter.Score(tr)
-		res.Confusion.Add(score >= lab.Filter.Threshold(), false)
-		scores = append(scores, score)
+		})
 		labels = append(labels, false)
 	}
+
+	// One batched scoring pass over positives and negatives together —
+	// bit-identical to per-transition Score calls, far fewer passes.
+	scores, err := lab.Filter.ScoreBatch(make([]float64, 0, len(trs)), trs)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+	for i, score := range scores {
+		benign := score >= lab.Filter.Threshold()
+		if labels[i] {
+			res.Evaluated++
+			if benign {
+				res.Correct++
+			}
+		}
+		res.Confusion.Add(benign, labels[i])
+	}
+	res.FalsePositiveRate = 1 - res.Accuracy()
 
 	curve, err := metrics.ROC(scores, labels)
 	if err != nil {

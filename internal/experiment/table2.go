@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 
 	"jarvis/internal/dataset"
@@ -66,7 +67,12 @@ func Table2(cfg Table2Config) (*Table2Result, error) {
 	e := h.Env
 	res := &Table2Result{TableSize: lab.Table.Len()}
 
-	for _, rule := range smarthome.TableIIApps(h.Core()) {
+	// Each app's scan over the learned behaviors is independent; fan the
+	// rules across cores against one shared behavior snapshot.
+	rules := smarthome.TableIIApps(h.Core())
+	behs := lab.SPL.Behaviors()
+	rows, err := Parallel(Seeds(cfg.Seed, len(rules)), func(i int, _ *rand.Rand) (Table2Row, error) {
+		rule := rules[i]
 		row := Table2Row{
 			App:         rule.Number,
 			Name:        rule.Name,
@@ -74,7 +80,7 @@ func Table2(cfg Table2Config) (*Table2Result, error) {
 			Trigger:     formatPattern(e, rule.Trigger),
 			Action:      formatActions(e, rule.Actions),
 		}
-		for _, beh := range lab.SPL.Behaviors() {
+		for _, beh := range behs {
 			s := e.DecodeState(beh.State)
 			if !rule.Matches(s) {
 				continue
@@ -89,8 +95,12 @@ func Table2(cfg Table2Config) (*Table2Result, error) {
 				row.SafeActions = append(row.SafeActions, e.FormatAction(a))
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

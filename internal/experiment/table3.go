@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 
 	"jarvis/internal/dataset"
@@ -98,10 +99,15 @@ func Table3(cfg Table3Config) (*Table3Result, error) {
 	// picked from the states actually reached during learning (matching a
 	// partial pattern), so the safe-action column reflects what the SPL
 	// can sanction; a hand-built state is the fallback.
+	behaviors := lab.SPL.Behaviors()
+	decoded := make([]env.State, len(behaviors))
+	for i, b := range behaviors {
+		decoded[i] = e.DecodeState(b.State)
+	}
 	pick := func(pattern map[int]device.StateID, wantDev int, wantAct device.ActionID) env.State {
 		var fallback env.State
-		for _, b := range lab.SPL.Behaviors() {
-			st := e.DecodeState(b.State)
+		for bi, b := range behaviors {
+			st := decoded[bi]
 			match := true
 			for dev, want := range pattern {
 				if st[dev] != want {
@@ -177,17 +183,19 @@ func Table3(cfg Table3Config) (*Table3Result, error) {
 		{"comfort", comfortOnly, "Optimal temperature is reached", optimalReached, 15 * 60, false, device.NoAction},
 	}
 
+	// The scenarios share only read-only state (the reward functions, the
+	// learned table, the behavior index) — fan them across cores.
 	res := &Table3Result{}
-	for _, sc := range scenarios {
+	rows, err := Parallel(Seeds(cfg.Seed, len(scenarios)), func(i int, _ *rand.Rand) (Table3Row, error) {
+		sc := scenarios[i]
 		unAct := bestAction(lab, sc.rs, sc.s, sc.t, false)
 		safeAct := bestAction(lab, sc.rs, sc.s, sc.t, true)
-		unSafe := transitionSafe(lab, sc.s, unAct)
 		row := Table3Row{
 			Functionality:     sc.fn,
 			TriggerDesc:       sc.desc,
 			Trigger:           e.FormatState(sc.s),
 			Unconstrained:     e.FormatAction(unAct),
-			UnconstrainedSafe: unSafe,
+			UnconstrainedSafe: transitionSafe(lab, sc.s, unAct),
 			SafeAction:        e.FormatAction(safeAct),
 			BestInstant:       -1,
 			SafeInstant:       -1,
@@ -196,10 +204,16 @@ func Table3(cfg Table3Config) (*Table3Result, error) {
 			row.BestInstant = bestInstant(lab, sc.rs, sc.s, sc.thermAct, false)
 			row.SafeInstant = bestInstant(lab, sc.rs, sc.s, sc.thermAct, true)
 		}
-		if !unSafe {
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
+	for _, row := range rows {
+		if !row.UnconstrainedSafe {
 			res.UnsafeUnconstrained++
 		}
-		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
 }
@@ -212,11 +226,12 @@ func Table3(cfg Table3Config) (*Table3Result, error) {
 func bestAction(lab *Lab, rs *reward.Smart, s env.State, t int, constrained bool) env.Action {
 	e := lab.Home.Env
 	k := e.K()
+	next := make(env.State, k) // transition-validity scratch
 	if constrained {
 		best := env.NoOp(k)
 		bestQ := rs.R(s, best, t)
 		for _, a := range lab.BehaviorsFrom(e.StateKey(s)) {
-			if _, err := e.Transition(s, a); err != nil {
+			if e.TransitionInto(next, s, a) != nil {
 				continue
 			}
 			if q := rs.R(s, a, t); q > bestQ {
@@ -226,8 +241,9 @@ func bestAction(lab *Lab, rs *reward.Smart, s env.State, t int, constrained bool
 		return best
 	}
 	act := env.NoOp(k)
+	cand := make(env.Action, k) // candidate scratch, reused per device action
 	quality := func(a env.Action) (float64, bool) {
-		if _, err := e.Transition(s, a); err != nil {
+		if e.TransitionInto(next, s, a) != nil {
 			return 0, false
 		}
 		return rs.Utility(s, a, t), true
@@ -241,7 +257,7 @@ func bestAction(lab *Lab, rs *reward.Smart, s env.State, t int, constrained bool
 				continue
 			}
 			for _, a := range e.Device(dev).ValidActions(s[dev]) {
-				cand := act.Clone()
+				copy(cand, act)
 				cand[dev] = a
 				q, ok := quality(cand)
 				if !ok {

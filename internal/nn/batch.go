@@ -1,0 +1,301 @@
+package nn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Worker pool for batched kernels, sized by GOMAXPROCS and started lazily
+// on first use. Tasks are preallocated kernelCall structs dispatched over a
+// channel to persistent goroutines — no closures, so a steady-state
+// TrainBatch performs zero allocations even when sharded.
+//
+// Every kernel shards over write-disjoint ranges (batch rows for
+// forward/input gradients, output rows for parameter gradients) and each
+// element is summed in a fixed order inside one shard, so results are
+// bit-identical regardless of worker count.
+
+const (
+	opForward = iota
+	opInputGrad
+	opParamGrad
+)
+
+// kernelCall is one shard of a batched kernel. The slices alias network
+// weights and scratch-arena buffers owned by the submitting goroutine; the
+// arena's WaitGroup sequences reuse.
+type kernelCall struct {
+	op                int
+	w, bias, x, z, dz []float64
+	dx, gw, gb        []float64
+	in, out, rows     int
+	lo, hi            int
+	wg                *sync.WaitGroup
+}
+
+func runKernel(c *kernelCall) {
+	switch c.op {
+	case opForward:
+		forwardRows(c.w, c.bias, c.x, c.z, c.in, c.out, c.lo, c.hi)
+	case opInputGrad:
+		inputGradRows(c.w, c.dz, c.dx, c.in, c.out, c.lo, c.hi)
+	case opParamGrad:
+		paramGradRows(c.x, c.dz, c.gw, c.gb, c.in, c.out, c.rows, c.lo, c.hi)
+	}
+}
+
+var (
+	poolOnce sync.Once
+	poolSize int
+	workCh   chan *kernelCall
+)
+
+// startPool launches the worker pool with n goroutines. The first caller
+// wins; production code reaches it through ensurePool (n = GOMAXPROCS).
+// Tests may call it directly to exercise the sharded path on small hosts.
+func startPool(n int) {
+	poolOnce.Do(func() {
+		if n < 1 {
+			n = 1
+		}
+		poolSize = n
+		if n == 1 {
+			return // single-threaded: every kernel runs inline
+		}
+		workCh = make(chan *kernelCall, n*2)
+		for i := 0; i < n; i++ {
+			go func() {
+				for c := range workCh {
+					runKernel(c)
+					c.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+func ensurePool() {
+	startPool(runtime.GOMAXPROCS(0))
+}
+
+// resetPoolForTest tears the pool down and restarts it with n workers so
+// tests can exercise the sharded path on single-core hosts. Only safe when
+// no batched call is in flight; never used outside tests.
+func resetPoolForTest(n int) {
+	if workCh != nil {
+		close(workCh)
+	}
+	poolOnce = sync.Once{}
+	poolSize = 0
+	workCh = nil
+	startPool(n)
+}
+
+// minParallelOps is the approximate scalar-op count below which sharding a
+// kernel is not worth the handoff; package tests lower it to force the
+// parallel path on small fixtures.
+var minParallelOps = 1 << 15
+
+// batchScratch is a per-network arena for batched passes: flat row-major
+// activation/gradient planes per layer, sized once for the largest batch
+// seen and reused for the network's lifetime. Buffers are owned by the
+// network — like Forward's output, batched results are valid until the next
+// batched call.
+type batchScratch struct {
+	rows int // allocated batch capacity
+
+	x0       []float64   // rows×inputs packed input batch
+	z, a     [][]float64 // per layer, rows×out
+	dz       [][]float64 // per layer, rows×out
+	dx       [][]float64 // per layer, rows×in (layer 0 unused)
+	dOut     []float64   // rows×outputs, loss gradient
+	outViews [][]float64 // row views into the last layer's a
+
+	calls []kernelCall
+	wg    sync.WaitGroup
+}
+
+// ensureScratch returns the network's batch arena, (re)grown to hold at
+// least rows batch rows. Growth allocates; steady-state reuse does not.
+func (n *Network) ensureScratch(rows int) *batchScratch {
+	s := n.scratch
+	if s == nil {
+		s = &batchScratch{}
+		n.scratch = s
+	}
+	if rows <= s.rows {
+		return s
+	}
+	L := len(n.layers)
+	s.x0 = make([]float64, rows*n.inputs)
+	s.z = make([][]float64, L)
+	s.a = make([][]float64, L)
+	s.dz = make([][]float64, L)
+	s.dx = make([][]float64, L)
+	for i, l := range n.layers {
+		s.z[i] = make([]float64, rows*l.out)
+		s.a[i] = make([]float64, rows*l.out)
+		s.dz[i] = make([]float64, rows*l.out)
+		if i > 0 {
+			s.dx[i] = make([]float64, rows*l.in)
+		}
+	}
+	out := n.Outputs()
+	s.dOut = make([]float64, rows*out)
+	s.outViews = make([][]float64, rows)
+	last := s.a[L-1]
+	for b := 0; b < rows; b++ {
+		s.outViews[b] = last[b*out : (b+1)*out : (b+1)*out]
+	}
+	ensurePool()
+	if cap(s.calls) < poolSize {
+		s.calls = make([]kernelCall, poolSize)
+	}
+	s.rows = rows
+	return s
+}
+
+// runSharded fans call out across the worker pool in write-disjoint range
+// shards [0, total), or runs it inline when the pool is single-threaded or
+// the work is too small to pay the handoff. opsPerUnit approximates the
+// scalar ops per range unit.
+func (s *batchScratch) runSharded(call kernelCall, total, opsPerUnit int) {
+	shards := poolSize
+	if shards > total {
+		shards = total
+	}
+	if shards <= 1 || total*opsPerUnit < minParallelOps {
+		call.lo, call.hi = 0, total
+		runKernel(&call)
+		return
+	}
+	per := (total + shards - 1) / shards
+	submitted := 0
+	for lo := 0; lo < total; lo += per {
+		hi := lo + per
+		if hi > total {
+			hi = total
+		}
+		c := &s.calls[submitted]
+		*c = call
+		c.lo, c.hi = lo, hi
+		c.wg = &s.wg
+		submitted++
+		s.wg.Add(1)
+		workCh <- c
+	}
+	s.wg.Wait()
+}
+
+// forwardBatched runs the forward pass over the first rows rows of the
+// packed arena input, filling each layer's z/a planes.
+func (n *Network) forwardBatched(s *batchScratch, rows int) {
+	x := s.x0
+	for li, l := range n.layers {
+		z, a := s.z[li], s.a[li]
+		s.runSharded(kernelCall{
+			op: opForward, w: l.w, bias: l.b, x: x, z: z,
+			in: l.in, out: l.out,
+		}, rows, l.in*l.out)
+		for b := 0; b < rows; b++ {
+			l.act.Apply(z[b*l.out:(b+1)*l.out], a[b*l.out:(b+1)*l.out])
+		}
+		x = a
+	}
+}
+
+// ForwardBatch runs one forward pass over a whole batch of input rows and
+// returns one output row per input. Like Forward, the returned rows are
+// views into network-owned scratch, overwritten by the next batched call;
+// copy them to keep them. The receiver is not safe for concurrent use.
+func (n *Network) ForwardBatch(X [][]float64) ([][]float64, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("nn: empty input batch")
+	}
+	for b, x := range X {
+		if len(x) != n.inputs {
+			return nil, fmt.Errorf("nn: batch row %d width %d, want %d", b, len(x), n.inputs)
+		}
+	}
+	rows := len(X)
+	s := n.ensureScratch(rows)
+	for b, x := range X {
+		copy(s.x0[b*n.inputs:(b+1)*n.inputs], x)
+	}
+	n.forwardBatched(s, rows)
+	return s.outViews[:rows], nil
+}
+
+// trainBatched is the batched engine behind TrainBatch: one packed forward
+// pass, per-row loss/gradient, and a layer-by-layer batched backward pass
+// through the scratch arena. Gradient accumulation order matches the
+// per-sample path element for element, so the two are bit-identical.
+func (n *Network) trainBatched(batch []Sample, loss Loss, opt Optimizer) (float64, error) {
+	rows := len(batch)
+	out := n.Outputs()
+	for _, sm := range batch {
+		if len(sm.X) != n.inputs || len(sm.Y) != out {
+			return 0, fmt.Errorf("nn: sample arity mismatch: x=%d y=%d want %d/%d",
+				len(sm.X), len(sm.Y), n.inputs, out)
+		}
+	}
+	s := n.ensureScratch(rows)
+	for b, sm := range batch {
+		copy(s.x0[b*n.inputs:(b+1)*n.inputs], sm.X)
+	}
+	for _, l := range n.layers {
+		l.zeroGrads()
+	}
+
+	n.forwardBatched(s, rows)
+
+	L := len(n.layers)
+	var total float64
+	last := s.a[L-1]
+	for b, sm := range batch {
+		pred := last[b*out : (b+1)*out]
+		total += loss.Loss(pred, sm.Y)
+		loss.Grad(pred, sm.Y, s.dOut[b*out:(b+1)*out])
+	}
+
+	dA := s.dOut
+	for li := L - 1; li >= 0; li-- {
+		l := n.layers[li]
+		z, a, dz := s.z[li], s.a[li], s.dz[li]
+		for b := 0; b < rows; b++ {
+			zr, ar, dzr := z[b*l.out:(b+1)*l.out], a[b*l.out:(b+1)*l.out], dz[b*l.out:(b+1)*l.out]
+			l.act.Derivative(zr, ar, dzr)
+			dar := dA[b*l.out : (b+1)*l.out]
+			for o := range dzr {
+				dzr[o] *= dar[o]
+			}
+		}
+		x := s.x0
+		if li > 0 {
+			x = s.a[li-1]
+		}
+		s.runSharded(kernelCall{
+			op: opParamGrad, x: x, dz: dz, gw: l.gw, gb: l.gb,
+			in: l.in, out: l.out, rows: rows,
+		}, l.out, rows*l.in)
+		if li > 0 {
+			s.runSharded(kernelCall{
+				op: opInputGrad, w: l.w, dz: dz, dx: s.dx[li],
+				in: l.in, out: l.out,
+			}, rows, l.in*l.out)
+			dA = s.dx[li]
+		}
+	}
+
+	scale := 1 / float64(rows)
+	if mean := total * scale; isNonFinite(mean) {
+		return mean, &DivergenceError{Loss: mean}
+	}
+	for _, l := range n.layers {
+		l.scaleGrads(scale)
+		opt.Step(l.wKey, l.w, l.gw)
+		opt.Step(l.bKey, l.b, l.gb)
+	}
+	return total * scale, nil
+}

@@ -1,0 +1,267 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// trainPerSampleReference is the original sample-at-a-time TrainBatch,
+// preserved verbatim as the golden reference the batched engine must match.
+func trainPerSampleReference(n *Network, batch []Sample, loss Loss, opt Optimizer) (float64, error) {
+	for _, l := range n.layers {
+		l.zeroGrads()
+	}
+	var total float64
+	dOut := make([]float64, n.Outputs())
+	for _, s := range batch {
+		pred := n.Forward(s.X)
+		total += loss.Loss(pred, s.Y)
+		loss.Grad(pred, s.Y, dOut)
+		d := dOut
+		for i := len(n.layers) - 1; i >= 0; i-- {
+			d = n.layers[i].backward(d)
+		}
+	}
+	scale := 1 / float64(len(batch))
+	if mean := total * scale; isNonFinite(mean) {
+		return mean, &DivergenceError{Loss: mean}
+	}
+	for _, l := range n.layers {
+		l.scaleGrads(scale)
+		opt.Step(l.wKey, l.w, l.gw)
+		opt.Step(l.bKey, l.b, l.gb)
+	}
+	return total * scale, nil
+}
+
+func randomBatch(rng *rand.Rand, n, in, out int) []Sample {
+	batch := make([]Sample, n)
+	for i := range batch {
+		x := make([]float64, in)
+		y := make([]float64, out)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		for j := range y {
+			y[j] = rng.Float64()
+		}
+		batch[i] = Sample{X: x, Y: y}
+	}
+	return batch
+}
+
+// TestBatchedTrainingParityGolden trains two identically seeded networks —
+// one with the per-sample reference, one with the batched TrainBatch — for
+// many steps and demands the weights and outputs stay within 1e-9 (they are
+// in fact bit-identical: the batched kernels preserve summation order).
+func TestBatchedTrainingParityGolden(t *testing.T) {
+	cfg := Config{Inputs: 7, Layers: []LayerSpec{
+		{Units: 16, Act: ReLU},
+		{Units: 9, Act: Tanh},
+		{Units: 4, Act: Linear},
+	}}
+	for _, tc := range []struct {
+		name string
+		loss Loss
+		opt  func() Optimizer
+	}{
+		{"mse+sgd", MSE, func() Optimizer { return &SGD{LR: 0.05} }},
+		{"huber+adam", Huber, func() Optimizer { return NewAdam(0.01) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := MustNew(cfg, rand.New(rand.NewSource(42)))
+			bat := MustNew(cfg, rand.New(rand.NewSource(42)))
+			optRef, optBat := tc.opt(), tc.opt()
+
+			dataRng := rand.New(rand.NewSource(99))
+			for step := 0; step < 25; step++ {
+				batch := randomBatch(dataRng, 1+step%13, 7, 4)
+				lRef, errRef := trainPerSampleReference(ref, batch, tc.loss, optRef)
+				lBat, errBat := bat.TrainBatch(batch, tc.loss, optBat)
+				if errRef != nil || errBat != nil {
+					t.Fatalf("step %d: unexpected errors %v / %v", step, errRef, errBat)
+				}
+				if math.Abs(lRef-lBat) > 1e-9 {
+					t.Fatalf("step %d: loss diverged: per-sample %.15g batched %.15g", step, lRef, lBat)
+				}
+			}
+			for li := range ref.layers {
+				for wi := range ref.layers[li].w {
+					if d := math.Abs(ref.layers[li].w[wi] - bat.layers[li].w[wi]); d > 1e-9 {
+						t.Fatalf("layer %d w[%d]: per-sample %.15g batched %.15g (|Δ|=%g)",
+							li, wi, ref.layers[li].w[wi], bat.layers[li].w[wi], d)
+					}
+				}
+				for bi := range ref.layers[li].b {
+					if d := math.Abs(ref.layers[li].b[bi] - bat.layers[li].b[bi]); d > 1e-9 {
+						t.Fatalf("layer %d b[%d] diverged by %g", li, bi, d)
+					}
+				}
+			}
+			x := []float64{0.1, -0.2, 0.3, 0.4, -0.5, 0.6, 0.7}
+			pr, pb := ref.Predict(x), bat.Predict(x)
+			for i := range pr {
+				if math.Abs(pr[i]-pb[i]) > 1e-9 {
+					t.Fatalf("prediction[%d] diverged: %.15g vs %.15g", i, pr[i], pb[i])
+				}
+			}
+		})
+	}
+}
+
+// TestForwardBatchMatchesForward checks each batched output row equals the
+// per-sample forward pass exactly.
+func TestForwardBatchMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := MustNew(Config{Inputs: 5, Layers: []LayerSpec{
+		{Units: 11, Act: Sigmoid},
+		{Units: 3, Act: Linear},
+	}}, rng)
+	X := make([][]float64, 17)
+	for i := range X {
+		X[i] = make([]float64, 5)
+		for j := range X[i] {
+			X[i][j] = rng.NormFloat64()
+		}
+	}
+	got, err := n.ForwardBatch(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Copy before the per-sample passes reuse the arena? They don't — but
+	// Forward uses separate per-layer buffers, so compare directly.
+	for i, x := range X {
+		want := n.Predict(x)
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Fatalf("row %d output %d: batched %.17g per-sample %.17g", i, j, got[i][j], want[j])
+			}
+		}
+	}
+}
+
+func TestForwardBatchArityError(t *testing.T) {
+	n := MustNew(Config{Inputs: 3, Layers: []LayerSpec{{Units: 2}}}, rand.New(rand.NewSource(1)))
+	if _, err := n.ForwardBatch(nil); err == nil {
+		t.Error("empty batch must error")
+	}
+	if _, err := n.ForwardBatch([][]float64{{1, 2}}); err == nil {
+		t.Error("short row must error")
+	}
+	if _, err := n.TrainBatch([]Sample{{X: []float64{1}, Y: []float64{1, 2}}}, MSE, &SGD{LR: 0.1}); err == nil {
+		t.Error("mismatched sample must error")
+	}
+}
+
+// TestTrainBatchZeroAllocSteadyState: after the first call grows the arena
+// and warms optimizer state, TrainBatch must not allocate.
+func TestTrainBatchZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := MustNew(Config{Inputs: 12, Layers: []LayerSpec{
+		{Units: 24, Act: ReLU},
+		{Units: 6, Act: Linear},
+	}}, rng)
+	batch := randomBatch(rng, 32, 12, 6)
+	opt := NewAdam(0.001)
+	if _, err := n.TrainBatch(batch, Huber, opt); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := n.TrainBatch(batch, Huber, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("TrainBatch steady state allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestForwardBatchZeroAllocSteadyState: batched inference through the warm
+// arena must not allocate.
+func TestForwardBatchZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := MustNew(Config{Inputs: 8, Layers: []LayerSpec{
+		{Units: 16, Act: Sigmoid},
+		{Units: 4, Act: Linear},
+	}}, rng)
+	X := make([][]float64, 64)
+	for i := range X {
+		X[i] = make([]float64, 8)
+		for j := range X[i] {
+			X[i][j] = rng.NormFloat64()
+		}
+	}
+	if _, err := n.ForwardBatch(X); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := n.ForwardBatch(X); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ForwardBatch steady state allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestShardedKernelsMatchInline forces the worker pool on (4 workers, zero
+// sharding threshold) and verifies batched training still matches the
+// per-sample reference bit for bit — the shard decomposition must not
+// change any summation order.
+func TestShardedKernelsMatchInline(t *testing.T) {
+	resetPoolForTest(4)
+	oldMin := minParallelOps
+	minParallelOps = 0
+	defer func() {
+		minParallelOps = oldMin
+		resetPoolForTest(1)
+	}()
+
+	cfg := Config{Inputs: 10, Layers: []LayerSpec{
+		{Units: 32, Act: ReLU},
+		{Units: 16, Act: Tanh},
+		{Units: 5, Act: Linear},
+	}}
+	ref := MustNew(cfg, rand.New(rand.NewSource(11)))
+	bat := MustNew(cfg, rand.New(rand.NewSource(11)))
+	optRef, optBat := NewAdam(0.005), NewAdam(0.005)
+	dataRng := rand.New(rand.NewSource(17))
+	for step := 0; step < 10; step++ {
+		batch := randomBatch(dataRng, 48, 10, 5)
+		lRef, err1 := trainPerSampleReference(ref, batch, MSE, optRef)
+		lBat, err2 := bat.TrainBatch(batch, MSE, optBat)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("step %d: %v / %v", step, err1, err2)
+		}
+		if lRef != lBat {
+			t.Fatalf("step %d: sharded loss %.17g != reference %.17g", step, lBat, lRef)
+		}
+	}
+	for li := range ref.layers {
+		for wi := range ref.layers[li].w {
+			if ref.layers[li].w[wi] != bat.layers[li].w[wi] {
+				t.Fatalf("layer %d w[%d]: sharded %.17g != reference %.17g",
+					li, wi, bat.layers[li].w[wi], ref.layers[li].w[wi])
+			}
+		}
+	}
+}
+
+// TestTrainBatchDivergenceGuardBatched: NaN targets must surface a
+// DivergenceError and leave weights untouched, exactly like the per-sample
+// path did.
+func TestTrainBatchDivergenceGuardBatched(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := MustNew(Config{Inputs: 2, Layers: []LayerSpec{{Units: 2, Act: Linear}}}, rng)
+	before := append([]float64(nil), n.layers[0].w...)
+	_, err := n.TrainBatch([]Sample{{X: []float64{1, 1}, Y: []float64{math.NaN(), 0}}}, MSE, &SGD{LR: 0.1})
+	if !IsDivergence(err) {
+		t.Fatalf("want DivergenceError, got %v", err)
+	}
+	for i, w := range n.layers[0].w {
+		if w != before[i] {
+			t.Fatal("weights mutated by diverged update")
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package nn
+
+// Order-preserving batched kernels.
+//
+// Every kernel here sums in exactly the order the per-sample path does —
+// ascending input index k for forward dots, ascending output index o for
+// input gradients, ascending batch row b for parameter gradients — so the
+// batched training path is bit-identical to per-sample training, not just
+// "close". Optimizations are restricted to traversal order of *independent*
+// elements (row/column blocking, multi-output unrolling that shares input
+// loads), never to reassociating a single element's sum.
+
+// forwardRows computes z[b] = W·x[b] + bias for batch rows b in [lo, hi).
+// x is rows×in flat, z is rows×out flat, w is out×in row-major. Outputs are
+// computed four at a time so each load of x[b][k] feeds four dot products;
+// each dot still runs k ascending.
+func forwardRows(w, bias, x, z []float64, in, out, lo, hi int) {
+	for b := lo; b < hi; b++ {
+		xrow := x[b*in : (b+1)*in]
+		zrow := z[b*out : (b+1)*out]
+		o := 0
+		for ; o+3 < out; o += 4 {
+			r0 := w[(o+0)*in : (o+1)*in]
+			r1 := w[(o+1)*in : (o+2)*in]
+			r2 := w[(o+2)*in : (o+3)*in]
+			r3 := w[(o+3)*in : (o+4)*in]
+			s0, s1, s2, s3 := bias[o], bias[o+1], bias[o+2], bias[o+3]
+			for k, xv := range xrow {
+				s0 += r0[k] * xv
+				s1 += r1[k] * xv
+				s2 += r2[k] * xv
+				s3 += r3[k] * xv
+			}
+			zrow[o], zrow[o+1], zrow[o+2], zrow[o+3] = s0, s1, s2, s3
+		}
+		for ; o < out; o++ {
+			row := w[o*in : (o+1)*in]
+			sum := bias[o]
+			for k, xv := range xrow {
+				sum += row[k] * xv
+			}
+			zrow[o] = sum
+		}
+	}
+}
+
+// inputGradRows computes dx[b] = Wᵀ·dz[b] for batch rows b in [lo, hi):
+// dx[b][i] = Σ_o w[o][i]·dz[b][o], o ascending, exactly as the per-sample
+// backward accumulates it.
+func inputGradRows(w, dz, dx []float64, in, out, lo, hi int) {
+	for b := lo; b < hi; b++ {
+		dzrow := dz[b*out : (b+1)*out]
+		dxrow := dx[b*in : (b+1)*in]
+		for i := range dxrow {
+			dxrow[i] = 0
+		}
+		// Four outputs per pass: dxrow is loaded/stored once for four
+		// o-terms, each element still accumulated o ascending through one
+		// sequential chain.
+		o := 0
+		for ; o+3 < out; o += 4 {
+			d0, d1, d2, d3 := dzrow[o], dzrow[o+1], dzrow[o+2], dzrow[o+3]
+			r0 := w[(o+0)*in : (o+1)*in]
+			r1 := w[(o+1)*in : (o+2)*in]
+			r2 := w[(o+2)*in : (o+3)*in]
+			r3 := w[(o+3)*in : (o+4)*in]
+			for i := range dxrow {
+				v := dxrow[i]
+				v += r0[i] * d0
+				v += r1[i] * d1
+				v += r2[i] * d2
+				v += r3[i] * d3
+				dxrow[i] = v
+			}
+		}
+		for ; o < out; o++ {
+			d := dzrow[o]
+			row := w[o*in : (o+1)*in]
+			for i, wv := range row {
+				dxrow[i] += wv * d
+			}
+		}
+	}
+}
+
+// paramGradRows accumulates gw[o] += Σ_b dz[b][o]·x[b] and
+// gb[o] += Σ_b dz[b][o] for output rows o in [lo, hi), b ascending over all
+// rows rows — the same per-element order as per-sample accumulation.
+// Sharding over o keeps shards write-disjoint, so the result is independent
+// of how many workers run.
+func paramGradRows(x, dz, gw, gb []float64, in, out, rows, lo, hi int) {
+	for o := lo; o < hi; o++ {
+		grow := gw[o*in : (o+1)*in]
+		gbo := gb[o]
+		// Four batch rows per pass: grow is loaded/stored once for four
+		// b-terms, each element still accumulated b ascending through one
+		// sequential chain.
+		b := 0
+		for ; b+3 < rows; b += 4 {
+			d0 := dz[(b+0)*out+o]
+			d1 := dz[(b+1)*out+o]
+			d2 := dz[(b+2)*out+o]
+			d3 := dz[(b+3)*out+o]
+			x0 := x[(b+0)*in : (b+1)*in]
+			x1 := x[(b+1)*in : (b+2)*in]
+			x2 := x[(b+2)*in : (b+3)*in]
+			x3 := x[(b+3)*in : (b+4)*in]
+			for i := range grow {
+				g := grow[i]
+				g += d0 * x0[i]
+				g += d1 * x1[i]
+				g += d2 * x2[i]
+				g += d3 * x3[i]
+				grow[i] = g
+			}
+			gbo += d0
+			gbo += d1
+			gbo += d2
+			gbo += d3
+		}
+		for ; b < rows; b++ {
+			d := dz[b*out+o]
+			xrow := x[b*in : (b+1)*in]
+			for i, xv := range xrow {
+				grow[i] += d * xv
+			}
+			gbo += d
+		}
+		gb[o] = gbo
+	}
+}

@@ -49,6 +49,17 @@ type dense struct {
 	gw, gb []float64
 	// scratch
 	dz []float64
+
+	// wKey/bKey are the optimizer state keys for this layer's parameters,
+	// precomputed so the training hot path never formats strings.
+	wKey, bKey string
+}
+
+// setKeys assigns the layer's optimizer state keys from its index. Every
+// construction path (New, Clone, Load) must call it.
+func (l *dense) setKeys(i int) {
+	key := strconv.Itoa(i)
+	l.wKey, l.bKey = key+".w", key+".b"
 }
 
 func newDense(in, out int, act Activation, rng *rand.Rand) *dense {
@@ -130,6 +141,10 @@ func (l *dense) scaleGrads(s float64) {
 type Network struct {
 	inputs int
 	layers []*dense
+
+	// scratch is the lazily grown batch arena for ForwardBatch/TrainBatch
+	// (see batch.go). Never copied by Clone.
+	scratch *batchScratch
 }
 
 // New builds a network from cfg with Xavier-initialized weights drawn from
@@ -154,7 +169,9 @@ func New(cfg Config, rng *rand.Rand) (*Network, error) {
 		if act == nil {
 			act = Sigmoid
 		}
-		n.layers = append(n.layers, newDense(in, spec.Units, act, rng))
+		l := newDense(in, spec.Units, act, rng)
+		l.setKeys(i)
+		n.layers = append(n.layers, l)
 		in = spec.Units
 	}
 	return n, nil
@@ -219,45 +236,27 @@ func IsDivergence(err error) bool {
 	return errors.As(err, &de)
 }
 
-// TrainBatch runs one mini-batch gradient step: forward+backward over every
-// sample, gradients averaged, one optimizer step per parameter vector. It
-// returns the mean loss over the batch (before the update).
+// isNonFinite reports whether v is NaN or ±Inf — the divergence-guard
+// predicate shared by the training paths.
+func isNonFinite(v float64) bool {
+	return math.IsNaN(v) || math.IsInf(v, 0)
+}
+
+// TrainBatch runs one mini-batch gradient step: a batched forward pass over
+// the whole mini-batch, gradients accumulated per layer through the
+// network's scratch arena, averaged, one optimizer step per parameter
+// vector. It returns the mean loss over the batch (before the update).
+//
+// The batched engine sums every gradient element in the same order the
+// per-sample path would (see matmul.go), so results are bit-identical to
+// sample-at-a-time training. On a non-finite batch loss the optimizer step
+// is skipped — gradients are poisoned too — and a typed *DivergenceError
+// surfaces so the caller can recover; the weights stay finite.
 func (n *Network) TrainBatch(batch []Sample, loss Loss, opt Optimizer) (float64, error) {
 	if len(batch) == 0 {
 		return 0, errors.New("nn: empty batch")
 	}
-	for _, l := range n.layers {
-		l.zeroGrads()
-	}
-	var total float64
-	dOut := make([]float64, n.Outputs())
-	for _, s := range batch {
-		if len(s.X) != n.inputs || len(s.Y) != n.Outputs() {
-			return 0, fmt.Errorf("nn: sample arity mismatch: x=%d y=%d want %d/%d",
-				len(s.X), len(s.Y), n.inputs, n.Outputs())
-		}
-		pred := n.Forward(s.X)
-		total += loss.Loss(pred, s.Y)
-		loss.Grad(pred, s.Y, dOut)
-		d := dOut
-		for i := len(n.layers) - 1; i >= 0; i-- {
-			d = n.layers[i].backward(d)
-		}
-	}
-	scale := 1 / float64(len(batch))
-	// Divergence guard: a non-finite batch loss means the gradients are
-	// poisoned too. Skip the optimizer step so NaNs never reach the
-	// weights, and surface a typed error the caller can recover from.
-	if mean := total * scale; math.IsNaN(mean) || math.IsInf(mean, 0) {
-		return mean, &DivergenceError{Loss: mean}
-	}
-	for i, l := range n.layers {
-		l.scaleGrads(scale)
-		key := strconv.Itoa(i)
-		opt.Step(key+".w", l.w, l.gw)
-		opt.Step(key+".b", l.b, l.gb)
-	}
-	return total * scale, nil
+	return n.trainBatched(batch, loss, opt)
 }
 
 // Fit trains for epochs passes over data in mini-batches of size batchSize,
@@ -308,7 +307,7 @@ func (n *Network) Fit(data []Sample, epochs, batchSize int, loss Loss, opt Optim
 // readers.
 func (n *Network) Clone() *Network {
 	out := &Network{inputs: n.inputs}
-	for _, l := range n.layers {
+	for i, l := range n.layers {
 		nl := &dense{
 			in: l.in, out: l.out, act: l.act,
 			w:  append([]float64(nil), l.w...),
@@ -320,6 +319,7 @@ func (n *Network) Clone() *Network {
 			gb: make([]float64, len(l.gb)),
 			dz: make([]float64, l.out),
 		}
+		nl.setKeys(i)
 		out.layers = append(out.layers, nl)
 	}
 	return out

@@ -71,6 +71,7 @@ func Load(r io.Reader) (*Network, error) {
 			gb: make([]float64, lj.Out),
 			dz: make([]float64, lj.Out),
 		}
+		l.setKeys(i)
 		n.layers = append(n.layers, l)
 		in = lj.Out
 	}

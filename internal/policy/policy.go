@@ -225,14 +225,41 @@ func NewLearner(e *env.Environment, cfg Config) *Learner {
 // Algorithm 1): each transition is filtered, then its (S, A) count is
 // incremented.
 func (l *Learner) Observe(ep env.Episode) {
-	for _, tr := range ep.Transitions() {
+	// Iterate the episode in place rather than materializing a
+	// []Transition: learning phases feed tens of thousands of transitions
+	// through here and the expansion used to dominate the allocation
+	// profile. The Transition struct is only built when a filter needs it.
+	// Consecutive identical (S, A) keys — idle minutes dominate real logs —
+	// are run-length batched so the counts map is touched once per run.
+	var lastKey [2]uint64
+	pending := 0
+	for t := range ep.Actions {
 		l.observed++
-		if l.cfg.Filter != nil && l.cfg.Filter.BenignAnomaly(tr) {
-			l.filtered++
+		if l.cfg.Filter != nil {
+			tr := env.Transition{
+				From:     ep.States[t],
+				Act:      ep.Actions[t],
+				To:       ep.States[t+1],
+				Instance: t,
+				At:       ep.At(t),
+			}
+			if l.cfg.Filter.BenignAnomaly(tr) {
+				l.filtered++
+				continue
+			}
+		}
+		key := [2]uint64{l.env.StateKey(ep.States[t]), l.env.ActionKey(ep.Actions[t])}
+		if pending > 0 && key == lastKey {
+			pending++
 			continue
 		}
-		key := [2]uint64{l.env.StateKey(tr.From), l.env.ActionKey(tr.Act)}
-		l.counts[key]++
+		if pending > 0 {
+			l.counts[lastKey] += pending
+		}
+		lastKey, pending = key, 1
+	}
+	if pending > 0 {
+		l.counts[lastKey] += pending
 	}
 }
 
@@ -312,15 +339,15 @@ func (v Violation) String() string {
 func FlagEpisodes(e *env.Environment, t *Table, eps []env.Episode) []Violation {
 	var out []Violation
 	for i, ep := range eps {
-		for _, tr := range ep.Transitions() {
-			from, to := e.StateKey(tr.From), e.StateKey(tr.To)
-			if !t.SafeTransition(from, to, tr.Act) {
+		for ti := range ep.Actions {
+			from, to := e.StateKey(ep.States[ti]), e.StateKey(ep.States[ti+1])
+			if !t.SafeTransition(from, to, ep.Actions[ti]) {
 				out = append(out, Violation{
 					Episode:  i,
-					Instance: tr.Instance,
-					From:     tr.From,
-					Act:      tr.Act,
-					To:       tr.To,
+					Instance: ti,
+					From:     ep.States[ti],
+					Act:      ep.Actions[ti],
+					To:       ep.States[ti+1],
 				})
 			}
 		}

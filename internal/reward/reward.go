@@ -35,38 +35,49 @@ type Functionality struct {
 // PreferredTimes records, for every (device, action) pair, the time
 // instances at which the action occurred during learning episodes. It
 // answers "closest preferred instance" queries (t′ in the paper).
+// Storage is slice-indexed by device and action so the per-candidate
+// lookups in the dis-utility hot path cost an index, not a map hash.
 type PreferredTimes struct {
-	byKey map[prefKey][]int // sorted ascending
-	n     int               // instances per episode
-}
-
-type prefKey struct {
-	dev int
-	act device.ActionID
+	byDev [][][]int // byDev[dev][act] -> sorted instants
+	n     int       // instances per episode
 }
 
 // LearnPreferredTimes scans learning episodes and indexes every non-NoOp
 // device action by the instants it occurred at.
 func LearnPreferredTimes(e *env.Environment, eps []env.Episode) *PreferredTimes {
-	p := &PreferredTimes{byKey: make(map[prefKey][]int)}
+	p := &PreferredTimes{byDev: make([][][]int, e.K())}
+	for i := range p.byDev {
+		p.byDev[i] = make([][]int, e.Device(i).NumActions())
+	}
 	for _, ep := range eps {
 		if n := env.NumInstances(ep.T, ep.I); n > p.n {
 			p.n = n
 		}
 		for t, a := range ep.Actions {
 			for di, ac := range a {
-				if ac == device.NoAction {
+				if ac == device.NoAction || di >= len(p.byDev) ||
+					ac < 0 || int(ac) >= len(p.byDev[di]) {
 					continue
 				}
-				k := prefKey{dev: di, act: ac}
-				p.byKey[k] = append(p.byKey[k], t)
+				p.byDev[di][ac] = append(p.byDev[di][ac], t)
 			}
 		}
 	}
-	for k := range p.byKey {
-		sort.Ints(p.byKey[k])
+	for _, acts := range p.byDev {
+		for _, times := range acts {
+			sort.Ints(times)
+		}
 	}
 	return p
+}
+
+// times returns the sorted instants of (dev, act), nil when never observed
+// or out of range.
+func (p *PreferredTimes) times(dev int, act device.ActionID) []int {
+	if dev < 0 || dev >= len(p.byDev) || act < 0 || int(act) >= len(p.byDev[dev]) {
+		return nil
+	}
+	return p.byDev[dev][act]
 }
 
 // Instances returns the number of time instances per episode seen during
@@ -77,7 +88,7 @@ func (p *PreferredTimes) Instances() int { return p.n }
 // device action. The second result is false when the action was never
 // observed.
 func (p *PreferredTimes) Closest(dev int, act device.ActionID, t int) (int, bool) {
-	times := p.byKey[prefKey{dev: dev, act: act}]
+	times := p.times(dev, act)
 	if len(times) == 0 {
 		return 0, false
 	}
@@ -99,7 +110,7 @@ func (p *PreferredTimes) Closest(dev int, act device.ActionID, t int) (int, bool
 // LatestBefore returns the most recent preferred instance t′ ≤ t for the
 // given device action, or false when none exists.
 func (p *PreferredTimes) LatestBefore(dev int, act device.ActionID, t int) (int, bool) {
-	times := p.byKey[prefKey{dev: dev, act: act}]
+	times := p.times(dev, act)
 	i := sort.SearchInts(times, t+1)
 	if i == 0 {
 		return 0, false
@@ -139,7 +150,7 @@ type Smart struct {
 	pref    *PreferredTimes
 	n       int
 	k       int
-	routine map[int]bool
+	routine []bool // indexed by device, true when its routine is maintained
 	window  int
 }
 
@@ -159,9 +170,11 @@ func New(e *env.Environment, cfg Config) (*Smart, error) {
 	if cfg.Instances <= 0 {
 		return nil, fmt.Errorf("reward: invalid instance count %d", cfg.Instances)
 	}
-	routine := make(map[int]bool, len(cfg.Routine))
+	routine := make([]bool, e.K())
 	for d, v := range cfg.Routine {
-		routine[d] = v
+		if v && d >= 0 && d < len(routine) {
+			routine[d] = true
+		}
 	}
 	window := cfg.RoutineWindow
 	if window <= 0 {
@@ -231,7 +244,7 @@ func (r *Smart) DisUtility(s env.State, a env.Action, t int) float64 {
 // applies) but the agent has not. Taking the overdue action itself (taken
 // == v) clears the charge; taking an unrelated action does not dodge it.
 func (r *Smart) pendingDelay(s env.State, di int, taken device.ActionID, t int) float64 {
-	if r.pref == nil || !r.routine[di] {
+	if r.pref == nil || di >= len(r.routine) || !r.routine[di] {
 		return 0
 	}
 	d := r.env.Device(di)

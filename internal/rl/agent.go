@@ -111,6 +111,18 @@ type Agent struct {
 	eps      float64
 	loss     float64
 	degraded int
+
+	// Reused replay-step buffers: the sampled mini-batch, its bootstrap
+	// targets, the non-terminal successors gathered for one batched Q pass,
+	// and scratch for candidate actions and double-DQN online scores. A warm
+	// replay step allocates nothing beyond what the Q backend itself needs.
+	batch      []Experience
+	targets    []float64
+	nextS      []env.State
+	nextT      []int
+	actScratch env.Action
+	onlineQ    []float64
+	order      []int
 }
 
 // NewAgent wires an agent to a simulated environment and a Q function.
@@ -123,13 +135,18 @@ func NewAgent(sim SafeEnv, q QFunc, cfg AgentConfig) (*Agent, error) {
 	}
 	cfg = cfg.withDefaults(sim.Env().K())
 	return &Agent{
-		sim:    sim,
-		q:      q,
-		minis:  NewMiniActions(sim.Env()),
-		cfg:    cfg,
-		replay: NewReplay(cfg.ReplayCapacity),
-		eps:    cfg.Epsilon,
-		loss:   math.Inf(1),
+		sim:        sim,
+		q:          q,
+		minis:      NewMiniActions(sim.Env()),
+		cfg:        cfg,
+		replay:     NewReplay(cfg.ReplayCapacity),
+		eps:        cfg.Epsilon,
+		loss:       math.Inf(1),
+		batch:      make([]Experience, 0, cfg.BatchSize),
+		targets:    make([]float64, cfg.BatchSize),
+		nextS:      make([]env.State, 0, cfg.BatchSize),
+		nextT:      make([]int, 0, cfg.BatchSize),
+		actScratch: make(env.Action, sim.Env().K()),
 	}, nil
 }
 
@@ -162,7 +179,10 @@ func (a *Agent) Greedy(s env.State, t int) env.Action {
 			return env.NoOp(len(s))
 		}
 	}
-	order := make([]int, len(q))
+	if cap(a.order) < len(q) {
+		a.order = make([]int, len(q))
+	}
+	order := a.order[:len(q)]
 	for i := range order {
 		order[i] = i
 	}
@@ -239,19 +259,16 @@ func (a *Agent) explore(s env.State) env.Action {
 	return env.NoOp(k)
 }
 
-// maxNextQ returns the bootstrap value over the safe single mini-actions
-// from next, including idling. Classic DQN takes max over the lagged
-// target values; with DoubleDQN the online values pick the action and the
-// target values score it.
-func (a *Agent) maxNextQ(next env.State, t int) float64 {
-	target := a.q.QTarget(next, t)
-	score := target
-	var online []float64
-	if a.cfg.DoubleDQN {
-		online = append(online[:0], a.q.Q(next, t)...)
-		score = online
-	}
+// bestSafeIdx returns the index of the highest-scoring safe single
+// mini-action from next, including idling, breaking ties toward the lower
+// index. The candidate composite is composed in the agent's reused action
+// scratch, so the search allocates nothing.
+func (a *Agent) bestSafeIdx(next env.State, score []float64) int {
 	k := len(next)
+	if cap(a.actScratch) < k {
+		a.actScratch = make(env.Action, k)
+	}
+	act := a.actScratch[:k]
 	bestIdx := a.minis.NoOpIndex()
 	bestScore := score[bestIdx]
 	for idx := 1; idx < a.minis.Total(); idx++ {
@@ -262,12 +279,30 @@ func (a *Agent) maxNextQ(next env.State, t int) float64 {
 		if a.cfg.Actionable != nil && !a.cfg.Actionable(dev) {
 			continue
 		}
-		act := env.NoOp(k)
+		for i := range act {
+			act[i] = device.NoAction
+		}
 		act[dev] = da
 		if a.sim.Safe(next, act) {
 			bestIdx, bestScore = idx, score[idx]
 		}
 	}
+	return bestIdx
+}
+
+// maxNextQ returns the bootstrap value over the safe single mini-actions
+// from next, including idling. Classic DQN takes max over the lagged
+// target values; with DoubleDQN the online values pick the action and the
+// target values score it. This is the per-pair path for backends without
+// BatchQ; batchTargets is the batched equivalent.
+func (a *Agent) maxNextQ(next env.State, t int) float64 {
+	target := a.q.QTarget(next, t)
+	score := target
+	if a.cfg.DoubleDQN {
+		a.onlineQ = append(a.onlineQ[:0], a.q.Q(next, t)...)
+		score = a.onlineQ
+	}
+	bestIdx := a.bestSafeIdx(next, score)
 	if a.cfg.DoubleDQN {
 		// Re-evaluate the chosen action under the target network (the
 		// target slice may have been invalidated by the online Q call).
@@ -276,18 +311,73 @@ func (a *Agent) maxNextQ(next env.State, t int) float64 {
 	return target[bestIdx]
 }
 
-// replayStep samples a mini-batch, computes bootstrapped targets
-// R + γ·max Q(S', A') and updates the Q function (the Replay procedure of
-// Algorithm 2).
-func (a *Agent) replayStep() error {
-	batch := a.replay.Sample(a.cfg.BatchSize, a.cfg.Rng)
-	targets := make([]float64, len(batch))
+// batchTargets fills targets with the bootstrapped values R + γ·max Q(S',
+// A') using one batched forward pass over the non-terminal successors
+// (two with DoubleDQN) instead of per-experience network calls. The safe
+// action search and tie-breaking match maxNextQ exactly, so the computed
+// targets are bit-identical to the per-pair path.
+func (a *Agent) batchTargets(bq BatchQ, batch []Experience, targets []float64) error {
+	a.nextS, a.nextT = a.nextS[:0], a.nextT[:0]
+	for _, exp := range batch {
+		if !exp.Done {
+			a.nextS = append(a.nextS, exp.Next)
+			a.nextT = append(a.nextT, exp.NextT)
+		}
+	}
+	var scoreRows, targetRows [][]float64
+	if len(a.nextS) > 0 {
+		var err error
+		if a.cfg.DoubleDQN {
+			// Online rows first: they live in the online network's arena and
+			// survive the target pass, which uses the target network's.
+			if scoreRows, err = bq.QBatch(a.nextS, a.nextT); err != nil {
+				return err
+			}
+		}
+		if targetRows, err = bq.QTargetBatch(a.nextS, a.nextT); err != nil {
+			return err
+		}
+		if scoreRows == nil {
+			scoreRows = targetRows
+		}
+	}
+	j := 0
 	for i, exp := range batch {
 		target := exp.R
 		if !exp.Done {
-			target += a.cfg.Gamma * a.maxNextQ(exp.Next, exp.NextT)
+			bestIdx := a.bestSafeIdx(exp.Next, scoreRows[j])
+			target += a.cfg.Gamma * targetRows[j][bestIdx]
+			j++
 		}
 		targets[i] = target
+	}
+	return nil
+}
+
+// replayStep samples a mini-batch, computes bootstrapped targets
+// R + γ·max Q(S', A') and updates the Q function (the Replay procedure of
+// Algorithm 2). The mini-batch and target buffers are reused across steps,
+// and backends implementing BatchQ evaluate all successors in one batched
+// forward pass.
+func (a *Agent) replayStep() error {
+	a.batch = a.replay.SampleInto(a.batch, a.cfg.BatchSize, a.cfg.Rng)
+	batch := a.batch
+	if cap(a.targets) < len(batch) {
+		a.targets = make([]float64, len(batch))
+	}
+	targets := a.targets[:len(batch)]
+	if bq, ok := a.q.(BatchQ); ok {
+		if err := a.batchTargets(bq, batch, targets); err != nil {
+			return err
+		}
+	} else {
+		for i, exp := range batch {
+			target := exp.R
+			if !exp.Done {
+				target += a.cfg.Gamma * a.maxNextQ(exp.Next, exp.NextT)
+			}
+			targets[i] = target
+		}
 	}
 	loss, err := a.q.Update(batch, targets)
 	if err != nil {

@@ -1,0 +1,262 @@
+package rl
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+	"jarvis/internal/nn"
+)
+
+func TestSampleIntoSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := NewReplay(16)
+	for i := 0; i < 16; i++ {
+		r.Add(Experience{T: i})
+	}
+	// Clamped to the buffer length.
+	if got := r.SampleInto(nil, 99, rng); len(got) != 16 {
+		t.Fatalf("SampleInto clamps to Len: got %d", len(got))
+	}
+	// Without replacement: every draw of n ≤ Len yields distinct entries.
+	for trial := 0; trial < 50; trial++ {
+		got := r.SampleInto(nil, 10, rng)
+		seen := map[int]bool{}
+		for _, e := range got {
+			if seen[e.T] {
+				t.Fatalf("trial %d: duplicate experience %d in one mini-batch", trial, e.T)
+			}
+			seen[e.T] = true
+		}
+	}
+	// dst is truncated and reused when capacity suffices.
+	dst := make([]Experience, 0, 10)
+	got := r.SampleInto(dst, 10, rng)
+	if &got[0] != &dst[:1][0] {
+		t.Error("SampleInto did not reuse the caller's backing array")
+	}
+	// Empty buffer yields an empty batch.
+	if got := NewReplay(4).SampleInto(dst, 3, rng); len(got) != 0 {
+		t.Errorf("empty buffer sampled %d experiences", len(got))
+	}
+}
+
+func TestSampleIntoZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	r := NewReplay(256)
+	for i := 0; i < 256; i++ {
+		r.Add(Experience{T: i})
+	}
+	dst := make([]Experience, 0, 32)
+	dst = r.SampleInto(dst, 32, rng) // warm the index buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = r.SampleInto(dst, 32, rng)
+	})
+	if allocs != 0 {
+		t.Errorf("SampleInto steady state allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestSampleIntoCoversBuffer(t *testing.T) {
+	// Every buffer entry must be reachable: repeated sampling from a small
+	// buffer should touch all entries (the reused permutation must not pin
+	// any index out of range).
+	rng := rand.New(rand.NewSource(9))
+	r := NewReplay(8)
+	for i := 0; i < 8; i++ {
+		r.Add(Experience{T: i})
+	}
+	seen := map[int]bool{}
+	var dst []Experience
+	for trial := 0; trial < 200; trial++ {
+		dst = r.SampleInto(dst, 2, rng)
+		for _, e := range dst {
+			seen[e.T] = true
+		}
+	}
+	if len(seen) != 8 {
+		t.Errorf("200 draws of 2 touched only %d/8 buffer entries", len(seen))
+	}
+}
+
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	e := testEnv(t)
+	f := NewFeatures(e, 10)
+	dst := make([]float64, f.Dim())
+	for _, v := range dst {
+		_ = v
+	}
+	// Poison dst to prove EncodeInto fully overwrites it.
+	for i := range dst {
+		dst[i] = 99
+	}
+	s := env.State{1, 0}
+	got := f.EncodeInto(dst, s, 3)
+	want := f.Encode(s, 3)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("feature %d: EncodeInto %.17g, Encode %.17g", i, got[i], want[i])
+		}
+	}
+}
+
+// updatePerSampleReference is the original per-sample DQN.Update, preserved
+// as the golden reference: encode each experience, predict the full Q row,
+// mask in the targets, train.
+func updatePerSampleReference(d *DQN, batch []Experience, targets []float64) (float64, error) {
+	samples := make([]nn.Sample, len(batch))
+	for i, exp := range batch {
+		x := d.feat.Encode(exp.S, exp.T)
+		y := d.net.Predict(x)
+		for _, mi := range exp.Minis {
+			y[mi] = targets[i]
+		}
+		samples[i] = nn.Sample{X: x, Y: y}
+	}
+	return d.net.TrainBatch(samples, nn.Huber, d.opt)
+}
+
+func TestDQNUpdateMatchesPerSampleReference(t *testing.T) {
+	e := testEnv(t)
+	mkBatch := func(rng *rand.Rand, n int) ([]Experience, []float64) {
+		batch := make([]Experience, n)
+		targets := make([]float64, n)
+		for i := range batch {
+			batch[i] = Experience{
+				S:     env.State{device.StateID(rng.Intn(2)), device.StateID(rng.Intn(2))},
+				T:     rng.Intn(10),
+				Minis: []int{1 + rng.Intn(4)},
+			}
+			targets[i] = rng.NormFloat64()
+		}
+		return batch, targets
+	}
+	ref, err := NewDQN(e, 10, DQNConfig{Hidden: []int{16, 8}, LR: 0.01}, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := NewDQN(e, 10, DQNConfig{Hidden: []int{16, 8}, LR: 0.01}, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataRng := rand.New(rand.NewSource(22))
+	for step := 0; step < 20; step++ {
+		batch, targets := mkBatch(dataRng, 1+step%8)
+		lRef, err1 := updatePerSampleReference(ref, batch, targets)
+		lBat, err2 := bat.Update(batch, targets)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("step %d: %v / %v", step, err1, err2)
+		}
+		if lRef != lBat {
+			t.Fatalf("step %d: batched loss %.17g != per-sample %.17g", step, lBat, lRef)
+		}
+	}
+	var bufRef, bufBat bytes.Buffer
+	if err := ref.Net().Save(&bufRef); err != nil {
+		t.Fatal(err)
+	}
+	if err := bat.Net().Save(&bufBat); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufRef.Bytes(), bufBat.Bytes()) {
+		t.Error("batched and per-sample updates produced different weights")
+	}
+}
+
+func TestDQNUpdateZeroAllocSteadyState(t *testing.T) {
+	e := testEnv(t)
+	rng := rand.New(rand.NewSource(23))
+	d, err := NewDQN(e, 10, DQNConfig{Hidden: []int{16}, LR: 0.005, TargetSync: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]Experience, 16)
+	targets := make([]float64, 16)
+	for i := range batch {
+		batch[i] = Experience{
+			S:     env.State{device.StateID(rng.Intn(2)), device.StateID(rng.Intn(2))},
+			T:     rng.Intn(10),
+			Minis: []int{1 + rng.Intn(4)},
+		}
+		targets[i] = rng.NormFloat64()
+	}
+	// Warm: grows the batch scratch, the nn arena, and Adam's state maps,
+	// and crosses a target sync.
+	for i := 0; i < 8; i++ {
+		if _, err := d.Update(batch, targets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := d.Update(batch, targets); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("DQN.Update steady state allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// noBatch hides the BatchQ surface of a QFunc so the agent falls back to
+// the per-pair bootstrap path.
+type noBatch struct{ QFunc }
+
+// TestAgentBatchedTargetsMatchPerPair trains two identically seeded agents —
+// one whose DQN exposes BatchQ, one wrapped so it does not — and demands
+// identical training trajectories: the batched successor evaluation must be
+// a pure performance change.
+func TestAgentBatchedTargetsMatchPerPair(t *testing.T) {
+	for _, double := range []bool{false, true} {
+		name := "dqn"
+		if double {
+			name = "double-dqn"
+		}
+		t.Run(name, func(t *testing.T) {
+			e := testEnv(t)
+			run := func(wrap bool) TrainStats {
+				rs := testReward(t, e, 10)
+				sim, err := NewSimEnv(e, SimConfig{Initial: env.State{1, 1}, Reward: rs})
+				if err != nil {
+					t.Fatal(err)
+				}
+				d, err := NewDQN(e, 10, DQNConfig{Hidden: []int{12}, LR: 0.01, TargetSync: 8}, rand.New(rand.NewSource(31)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var q QFunc = d
+				if wrap {
+					q = noBatch{d}
+				}
+				a, err := NewAgent(sim, q, AgentConfig{
+					Episodes:  6,
+					BatchSize: 8,
+					DoubleDQN: double,
+					Rng:       rand.New(rand.NewSource(32)),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				stats, err := a.Train()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return stats
+			}
+			batched, perPair := run(false), run(true)
+			if len(batched.EpisodeRewards) != len(perPair.EpisodeRewards) {
+				t.Fatalf("episode counts differ: %d vs %d", len(batched.EpisodeRewards), len(perPair.EpisodeRewards))
+			}
+			for i := range batched.EpisodeRewards {
+				if batched.EpisodeRewards[i] != perPair.EpisodeRewards[i] {
+					t.Fatalf("episode %d reward: batched %.17g, per-pair %.17g",
+						i, batched.EpisodeRewards[i], perPair.EpisodeRewards[i])
+				}
+			}
+			if batched.FinalLoss != perPair.FinalLoss {
+				t.Errorf("final loss: batched %.17g, per-pair %.17g", batched.FinalLoss, perPair.FinalLoss)
+			}
+		})
+	}
+}

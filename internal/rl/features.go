@@ -10,18 +10,21 @@ import (
 // encoding of every device state plus three time features (normalized
 // instance and its sin/cos phase within the episode).
 type Features struct {
-	e   *env.Environment
-	n   int // instances per episode
-	dim int
+	e      *env.Environment
+	n      int // instances per episode
+	dim    int
+	widths []int // per-device state counts, cached so encoding allocates nothing
 }
 
 // NewFeatures builds an encoder for episodes of n time instances.
 func NewFeatures(e *env.Environment, n int) *Features {
 	dim := 3
+	widths := make([]int, 0, e.K())
 	for _, d := range e.Devices() {
 		dim += d.NumStates()
+		widths = append(widths, d.NumStates())
 	}
-	return &Features{e: e, n: n, dim: dim}
+	return &Features{e: e, n: n, dim: dim, widths: widths}
 }
 
 // Dim returns the feature-vector width.
@@ -29,13 +32,21 @@ func (f *Features) Dim() int { return f.dim }
 
 // Encode writes the features of (s, t) into a fresh vector.
 func (f *Features) Encode(s env.State, t int) []float64 {
-	x := make([]float64, f.dim)
+	return f.EncodeInto(make([]float64, f.dim), s, t)
+}
+
+// EncodeInto writes the features of (s, t) into x, which must have length
+// Dim, and returns it. It allocates nothing.
+func (f *Features) EncodeInto(x []float64, s env.State, t int) []float64 {
+	for i := range x {
+		x[i] = 0
+	}
 	i := 0
-	for di, d := range f.e.Devices() {
-		if st := int(s[di]); st >= 0 && st < d.NumStates() {
+	for di, w := range f.widths {
+		if st := int(s[di]); st >= 0 && st < w {
 			x[i+st] = 1
 		}
-		i += d.NumStates()
+		i += w
 	}
 	phase := float64(t) / float64(f.n)
 	x[i] = phase

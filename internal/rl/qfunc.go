@@ -24,6 +24,19 @@ type QFunc interface {
 	Update(batch []Experience, targets []float64) (float64, error)
 }
 
+// BatchQ is the optional batched surface a QFunc may implement: one forward
+// pass over many (state, instance) pairs instead of per-pair calls. The
+// returned rows alias network-owned scratch — row i is the Q vector of
+// (states[i], ts[i]) — and stay valid only until the next batched call on
+// the same underlying network. The DQN implements it; the tabular backend
+// gains nothing from batching and deliberately does not.
+type BatchQ interface {
+	// QBatch evaluates the online Q values for every pair.
+	QBatch(states []env.State, ts []int) ([][]float64, error)
+	// QTargetBatch evaluates the lagged target Q values for every pair.
+	QTargetBatch(states []env.State, ts []int) ([][]float64, error)
+}
+
 // TableQ is an exact tabular Q function over (state-key, instance bucket,
 // mini-action). It is exact for the small Table I environment and serves
 // as the no-DNN ablation baseline.
@@ -148,9 +161,20 @@ type DQN struct {
 	opt     *nn.Adam
 	sync    int
 	updates int
+
+	// Batched scratch, grown on demand by ensureBatch and reused for the
+	// DQN's lifetime: xback/yback are flat rows×dim / rows×minis planes,
+	// xrows are row views into xback, samples pair the row views so Update
+	// performs zero steady-state allocations.
+	xback   []float64
+	yback   []float64
+	xrows   [][]float64
+	samples []nn.Sample
+	xone    []float64 // single-pair encode scratch for Q/QTarget
 }
 
 var _ QFunc = (*DQN)(nil)
+var _ BatchQ = (*DQN)(nil)
 
 // NewDQN builds the network for episodes of n instances.
 func NewDQN(e *env.Environment, n int, cfg DQNConfig, rng *rand.Rand) (*DQN, error) {
@@ -184,33 +208,105 @@ func NewDQN(e *env.Environment, n int, cfg DQNConfig, rng *rand.Rand) (*DQN, err
 	}, nil
 }
 
+// encodeOne encodes a single pair into a reused scratch row (Forward copies
+// the input, so the scratch may be handed straight to either network).
+func (d *DQN) encodeOne(s env.State, t int) []float64 {
+	if d.xone == nil {
+		d.xone = make([]float64, d.feat.Dim())
+	}
+	return d.feat.EncodeInto(d.xone, s, t)
+}
+
 // Q implements QFunc.
 func (d *DQN) Q(s env.State, t int) []float64 {
-	return d.net.Forward(d.feat.Encode(s, t))
+	return d.net.Forward(d.encodeOne(s, t))
 }
 
 // QTarget implements QFunc using the lagged target network.
 func (d *DQN) QTarget(s env.State, t int) []float64 {
-	return d.target.Forward(d.feat.Encode(s, t))
+	return d.target.Forward(d.encodeOne(s, t))
+}
+
+// ensureBatch sizes the reused batch scratch for n rows. Row views keep
+// their three-index caps so a downstream append can never bleed into the
+// next row.
+func (d *DQN) ensureBatch(n int) {
+	if n <= cap(d.samples) {
+		d.samples = d.samples[:n]
+		d.xrows = d.xrows[:n]
+		return
+	}
+	dim, out := d.feat.Dim(), d.minis.Total()
+	d.xback = make([]float64, n*dim)
+	d.yback = make([]float64, n*out)
+	d.xrows = make([][]float64, n)
+	d.samples = make([]nn.Sample, n)
+	for i := 0; i < n; i++ {
+		d.xrows[i] = d.xback[i*dim : (i+1)*dim : (i+1)*dim]
+		d.samples[i] = nn.Sample{
+			X: d.xrows[i],
+			Y: d.yback[i*out : (i+1)*out : (i+1)*out],
+		}
+	}
+}
+
+// qBatch encodes every pair into the reused feature rows and runs one
+// batched forward pass through net.
+func (d *DQN) qBatch(net *nn.Network, states []env.State, ts []int) ([][]float64, error) {
+	if len(states) != len(ts) {
+		return nil, fmt.Errorf("rl: %d states but %d instances", len(states), len(ts))
+	}
+	if len(states) == 0 {
+		return nil, nil
+	}
+	d.ensureBatch(len(states))
+	for i, s := range states {
+		d.feat.EncodeInto(d.xrows[i], s, ts[i])
+	}
+	return net.ForwardBatch(d.xrows)
+}
+
+// QBatch implements BatchQ on the online network.
+func (d *DQN) QBatch(states []env.State, ts []int) ([][]float64, error) {
+	return d.qBatch(d.net, states, ts)
+}
+
+// QTargetBatch implements BatchQ on the lagged target network. Because the
+// online and target networks own separate scratch arenas, rows from a
+// QBatch call over the same pairs stay valid across this call.
+func (d *DQN) QTargetBatch(states []env.State, ts []int) ([][]float64, error) {
+	return d.qBatch(d.target, states, ts)
 }
 
 // Update implements QFunc: for each experience, the target vector equals
 // the current prediction except at the executed mini-action indices, which
-// move to the supplied target — the standard masked DQN regression.
+// move to the supplied target — the standard masked DQN regression. The
+// predictions come from one batched forward pass and the regression runs
+// through the batched training engine, so a warm Update allocates nothing
+// and its results are bit-identical to the per-sample formulation.
 func (d *DQN) Update(batch []Experience, targets []float64) (float64, error) {
 	if len(batch) != len(targets) {
 		return 0, fmt.Errorf("rl: %d experiences but %d targets", len(batch), len(targets))
 	}
-	samples := make([]nn.Sample, len(batch))
+	if len(batch) == 0 {
+		return 0, fmt.Errorf("rl: empty update batch")
+	}
+	d.ensureBatch(len(batch))
 	for i, exp := range batch {
-		x := d.feat.Encode(exp.S, exp.T)
-		y := d.net.Predict(x)
-		for _, mi := range exp.Minis {
+		d.feat.EncodeInto(d.xrows[i], exp.S, exp.T)
+	}
+	preds, err := d.net.ForwardBatch(d.xrows)
+	if err != nil {
+		return 0, fmt.Errorf("rl: dqn update: %w", err)
+	}
+	for i := range batch {
+		y := d.samples[i].Y
+		copy(y, preds[i])
+		for _, mi := range batch[i].Minis {
 			y[mi] = targets[i]
 		}
-		samples[i] = nn.Sample{X: x, Y: y}
 	}
-	loss, err := d.net.TrainBatch(samples, nn.Huber, d.opt)
+	loss, err := d.net.TrainBatch(d.samples, nn.Huber, d.opt)
 	if err != nil {
 		return 0, fmt.Errorf("rl: dqn update: %w", err)
 	}

@@ -27,6 +27,9 @@ type Replay struct {
 	buf  []Experience
 	next int
 	full bool
+	// idx is a reused permutation of buffer indices for SampleInto's
+	// partial Fisher–Yates; rebuilt only when the buffer grows.
+	idx []int
 }
 
 // NewReplay creates a buffer holding at most capacity experiences.
@@ -51,16 +54,37 @@ func (r *Replay) Add(e Experience) {
 // Len returns the number of stored experiences.
 func (r *Replay) Len() int { return len(r.buf) }
 
-// Sample draws a uniform random mini-batch of size n (with replacement
-// when n exceeds the buffer length is never needed: n is clamped).
-func (r *Replay) Sample(n int, rng *rand.Rand) []Experience {
+// SampleInto draws a uniform random mini-batch of size n without
+// replacement (clamped to the buffer length) into dst, truncating it first,
+// and returns the filled slice. It shuffles only the first n positions of a
+// reused internal index buffer (a partial Fisher–Yates), so a call with
+// sufficient dst capacity performs zero allocations. Because each draw is
+// uniform over the remaining indices, leaving the buffer permuted between
+// calls does not bias later samples.
+func (r *Replay) SampleInto(dst []Experience, n int, rng *rand.Rand) []Experience {
 	if n > len(r.buf) {
 		n = len(r.buf)
 	}
-	out := make([]Experience, 0, n)
-	perm := rng.Perm(len(r.buf))
-	for _, i := range perm[:n] {
-		out = append(out, r.buf[i])
+	dst = dst[:0]
+	if n <= 0 {
+		return dst
 	}
-	return out
+	if len(r.idx) != len(r.buf) {
+		r.idx = r.idx[:0]
+		for i := range r.buf {
+			r.idx = append(r.idx, i)
+		}
+	}
+	for j := 0; j < n; j++ {
+		k := j + rng.Intn(len(r.idx)-j)
+		r.idx[j], r.idx[k] = r.idx[k], r.idx[j]
+		dst = append(dst, r.buf[r.idx[j]])
+	}
+	return dst
+}
+
+// Sample draws a uniform random mini-batch of size n into a fresh slice; it
+// is SampleInto with a new destination.
+func (r *Replay) Sample(n int, rng *rand.Rand) []Experience {
+	return r.SampleInto(make([]Experience, 0, n), n, rng)
 }

@@ -80,6 +80,10 @@ type SimEnv struct {
 	n     int
 	viol  int
 	audit *policy.Table
+	// safeScratch holds Safe's probe successor state; Safe only needs its
+	// key, so the buffer is reused across calls. SimEnv is not safe for
+	// concurrent use (cur/t already preclude it).
+	safeScratch env.State
 }
 
 var _ SafeEnv = (*SimEnv)(nil)
@@ -92,7 +96,7 @@ func NewSimEnv(e *env.Environment, cfg SimConfig) (*SimEnv, error) {
 	if !e.ValidState(cfg.Initial) {
 		return nil, errors.New("rl: invalid initial state")
 	}
-	s := &SimEnv{e: e, cfg: cfg, n: cfg.Reward.Instances()}
+	s := &SimEnv{e: e, cfg: cfg, n: cfg.Reward.Instances(), safeScratch: make(env.State, e.K())}
 	s.Reset()
 	return s, nil
 }
@@ -126,14 +130,13 @@ func (s *SimEnv) Reward() *reward.Smart { return s.cfg.Reward }
 // by P_safe. An unconstrained environment permits everything the FSM
 // allows.
 func (s *SimEnv) Safe(st env.State, a env.Action) bool {
-	next, err := s.e.Transition(st, a)
-	if err != nil {
+	if err := s.e.TransitionInto(s.safeScratch, st, a); err != nil {
 		return false
 	}
 	if s.cfg.Safe == nil {
 		return true
 	}
-	return s.cfg.Safe.SafeTransition(s.e.StateKey(st), s.e.StateKey(next), a)
+	return s.cfg.Safe.SafeTransition(s.e.StateKey(st), s.e.StateKey(s.safeScratch), a)
 }
 
 // Violations returns the number of unsafe transitions stepped so far (only

@@ -157,6 +157,25 @@ func PowerDraw(e *env.Environment, s env.State) float64 {
 	return w
 }
 
+// PowerDrawAfter returns the power draw of the state Δ(s, a) without
+// materializing it, and false when the action is invalid in s. Reward
+// functions evaluate this once per candidate action, so the fused form
+// keeps scoring allocation-free and safe for concurrent evaluators.
+func PowerDrawAfter(e *env.Environment, s env.State, a env.Action) (float64, bool) {
+	if len(s) != e.K() || len(a) != e.K() {
+		return 0, false
+	}
+	var w float64
+	for i := range s {
+		ns, ok := e.Device(i).Next(s[i], a[i])
+		if !ok {
+			return 0, false
+		}
+		w += e.Device(i).PowerW(ns)
+	}
+	return w, true
+}
+
 // MaxPowerDraw returns the wattage with every device in its hungriest
 // state — the normalization constant for the energy reward.
 func MaxPowerDraw(e *env.Environment) float64 {

@@ -11,14 +11,14 @@ import (
 func EnergyReward(e *env.Environment) reward.Func {
 	maxW := MaxPowerDraw(e)
 	return func(s env.State, a env.Action, t int) float64 {
-		next, err := e.Transition(s, a)
-		if err != nil {
+		w, ok := PowerDrawAfter(e, s, a)
+		if !ok {
 			return 0
 		}
 		if maxW == 0 {
 			return 1
 		}
-		return 1 - PowerDraw(e, next)/maxW
+		return 1 - w/maxW
 	}
 }
 
@@ -34,15 +34,15 @@ func CostReward(e *env.Environment, prices []float64) reward.Func {
 		}
 	}
 	return func(s env.State, a env.Action, t int) float64 {
-		next, err := e.Transition(s, a)
-		if err != nil {
+		w, ok := PowerDrawAfter(e, s, a)
+		if !ok {
 			return 0
 		}
 		if maxW == 0 || maxP == 0 || len(prices) == 0 {
 			return 1
 		}
 		price := prices[t%len(prices)]
-		return 1 - (PowerDraw(e, next)/maxW)*(price/maxP)
+		return 1 - (w/maxW)*(price/maxP)
 	}
 }
 
@@ -58,20 +58,28 @@ func ComfortReward(e *env.Environment, sensor, thermostat int) reward.Func {
 		if sensor >= len(s) || thermostat >= len(s) {
 			return 0
 		}
-		next, err := e.Transition(s, a)
-		if err != nil {
+		// Validate the whole composite action (the per-sample path returned
+		// 0 on any invalid device action) without materializing Δ(s, a);
+		// only the thermostat's next state matters for the score.
+		if len(s) != e.K() || len(a) != e.K() {
 			return 0
 		}
+		for i := range s {
+			if _, ok := e.Device(i).Next(s[i], a[i]); !ok {
+				return 0
+			}
+		}
+		nextTherm, _ := e.Device(thermostat).Next(s[thermostat], a[thermostat])
 		switch s[sensor] {
 		case TempOptimal:
 			return 1
 		case TempBelow:
-			if next[thermostat] == ThermostatHeat {
+			if nextTherm == ThermostatHeat {
 				return 0.6
 			}
 			return 0.25
 		case TempAbove:
-			if next[thermostat] == ThermostatCool {
+			if nextTherm == ThermostatCool {
 				return 0.6
 			}
 			return 0.25
