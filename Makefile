@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-daemon race-core fmt check bench
+.PHONY: build test vet race race-daemon race-core fmt check bench stats
 
 build:
 	$(GO) build ./...
@@ -20,16 +20,35 @@ race:
 race-daemon:
 	$(GO) test -race ./cmd/jarvisd/
 
-# The batched compute core's concurrency surface: the nn worker pool and
-# the parallel experiment harness.
+# The batched compute core's concurrency surface: the nn worker pool, the
+# parallel experiment harness, and the metrics registry they report into.
 race-core:
-	$(GO) test -race ./internal/nn/ ./internal/rl/ ./internal/experiment/
+	$(GO) test -race ./internal/nn/ ./internal/rl/ ./internal/experiment/ ./internal/telemetry/
 
 # Measure the batched compute core and write BENCH_core.json, plus the
 # allocation-asserting micro-benchmarks of the root package.
 bench:
 	$(GO) run ./cmd/jarvis bench
 	$(GO) test -run xxx -bench 'ForwardBatch|TrainBatchParallel|ReplaySampleInto|NNTrainBatch|NNForward$$|Table3ActionQuality' -benchmem .
+
+# Observability smoke probe: boot a small daemon, then scrape /metrics
+# through `jarvisctl stats`, which exits non-zero on any non-200 answer.
+STATS_ADDR ?= 127.0.0.1:7973
+STATS_DEBUG_ADDR ?= 127.0.0.1:7974
+
+stats:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/jarvisd ./cmd/jarvisd; \
+	$(GO) build -o $$tmp/jarvisctl ./cmd/jarvisctl; \
+	$$tmp/jarvisd -addr $(STATS_ADDR) -debug-addr $(STATS_DEBUG_ADDR) -learning-days 2 -episodes 2 & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do \
+		if $$tmp/jarvisctl -debug-addr $(STATS_DEBUG_ADDR) -timeout 1s stats >/dev/null 2>&1; then break; fi; \
+		sleep 0.2; \
+	done; \
+	$$tmp/jarvisctl -debug-addr $(STATS_DEBUG_ADDR) stats
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

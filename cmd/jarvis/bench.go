@@ -12,6 +12,7 @@ import (
 	"jarvis/internal/experiment"
 	"jarvis/internal/nn"
 	"jarvis/internal/rl"
+	"jarvis/internal/telemetry"
 )
 
 // benchResult is one row of BENCH_core.json.
@@ -24,12 +25,17 @@ type benchResult struct {
 	MsTotal     float64 `json:"ms_total"`
 }
 
-// benchReport is the BENCH_core.json envelope.
+// benchReport is the BENCH_core.json envelope. Telemetry carries the
+// process-wide metrics snapshot taken after the benchmarks ran — the
+// kernel counters (rl.update.latency, rl.train.steps, experiment.*) that
+// the instrumented packages accumulated while being measured, so a bench
+// artifact records not just ns/op but how much work each kernel did.
 type benchReport struct {
-	GoVersion  string        `json:"go_version"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Date       string        `json:"date"`
-	Results    []benchResult `json:"results"`
+	GoVersion  string              `json:"go_version"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	Date       string              `json:"date"`
+	Results    []benchResult       `json:"results"`
+	Telemetry  *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // coreBenchmarks measures the batched compute core: the nn kernels, the
@@ -148,6 +154,9 @@ func runBench(path string, out *os.File) error {
 		fmt.Fprintf(out, "%-28s %12d ns/op %10d B/op %8d allocs/op\n",
 			row.Name, row.NsPerOp, row.BytesPerOp, row.AllocsPerOp)
 	}
+	snap := telemetry.Default.Snapshot()
+	snap.Events = nil // event ring is runtime context, not a bench artifact
+	report.Telemetry = &snap
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

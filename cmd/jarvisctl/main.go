@@ -4,6 +4,10 @@
 //	jarvisctl event oven power_on
 //	jarvisctl recommend
 //	jarvisctl violations
+//	jarvisctl stats
+//
+// stats talks to the daemon's debug HTTP listener (-debug-addr) instead of
+// the TCP protocol and renders the /metrics telemetry snapshot.
 package main
 
 import (
@@ -13,9 +17,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
+
+	"jarvis/internal/telemetry"
 )
 
 func main() {
@@ -41,14 +48,23 @@ type response struct {
 	Unsafe     bool     `json:"unsafe,omitempty"`
 	Violations int      `json:"violations,omitempty"`
 	Minute     int      `json:"minute,omitempty"`
+	Degraded   int      `json:"degraded,omitempty"`
+	Q          float64  `json:"q,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("jarvisctl", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7463", "jarvisd address")
+	debugAddr := fs.String("debug-addr", "127.0.0.1:7464", "jarvisd debug (metrics) address")
 	timeout := fs.Duration("timeout", 5*time.Second, "dial/roundtrip timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if rest := fs.Args(); len(rest) > 0 && rest[0] == "stats" {
+		if len(rest) != 1 {
+			return fmt.Errorf("stats takes no arguments")
+		}
+		return runStats(*debugAddr, *timeout, out)
 	}
 	req, err := buildRequest(fs.Args())
 	if err != nil {
@@ -63,7 +79,7 @@ func run(args []string, out io.Writer) error {
 
 func buildRequest(args []string) (request, error) {
 	if len(args) == 0 {
-		return request{}, fmt.Errorf("expected a command: state|event <device> <action>|recommend|violations")
+		return request{}, fmt.Errorf("expected a command: state|event <device> <action>|recommend|violations|stats")
 	}
 	switch args[0] {
 	case "state", "recommend", "violations":
@@ -116,9 +132,59 @@ func render(out io.Writer, req request, resp response) error {
 		}
 		fmt.Fprintf(out, "applied [%s]; state now:\n  %s\n", verdict, strings.Join(resp.State, "\n  "))
 	case "recommend":
-		fmt.Fprintf(out, "recommended action at %02d:%02d: %s\n", resp.Minute/60, resp.Minute%60, resp.Action)
+		fmt.Fprintf(out, "recommended action at %02d:%02d: %s (q=%.4f)\n",
+			resp.Minute/60, resp.Minute%60, resp.Action, resp.Q)
+		if resp.Degraded > 0 {
+			fmt.Fprintf(out, "warning: %d recommendation(s) degraded to the safe no-op\n", resp.Degraded)
+		}
 	case "violations":
 		fmt.Fprintf(out, "%d violation(s) observed\n", resp.Violations)
 	}
 	return nil
+}
+
+// runStats fetches one telemetry snapshot from the daemon's debug listener
+// and renders it. Any non-200 answer is an error, which is what the
+// `make stats` smoke probe relies on.
+func runStats(addr string, timeout time.Duration, out io.Writer) error {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return fmt.Errorf("fetch metrics from %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics endpoint returned %s", resp.Status)
+	}
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("decode metrics: %w", err)
+	}
+	renderStats(out, snap)
+	return nil
+}
+
+func renderStats(out io.Writer, snap telemetry.Snapshot) {
+	fmt.Fprintf(out, "snapshot at %s\n", time.Unix(0, snap.UnixNs).Format(time.RFC3339))
+	if len(snap.Counters) > 0 {
+		fmt.Fprintln(out, "counters:")
+		for _, name := range telemetry.SortedNames(snap.Counters) {
+			fmt.Fprintf(out, "  %-42s %d\n", name, snap.Counters[name])
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Fprintln(out, "gauges:")
+		for _, name := range telemetry.SortedNames(snap.Gauges) {
+			fmt.Fprintf(out, "  %-42s %g\n", name, snap.Gauges[name])
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Fprintln(out, "histograms:")
+		for _, name := range telemetry.SortedNames(snap.Histograms) {
+			h := snap.Histograms[name]
+			fmt.Fprintf(out, "  %-42s n=%d p50=%s p95=%s p99=%s max=%s\n",
+				name, h.Count, time.Duration(h.P50Ns), time.Duration(h.P95Ns),
+				time.Duration(h.P99Ns), time.Duration(h.MaxNs))
+		}
+	}
 }

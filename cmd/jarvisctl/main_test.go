@@ -4,10 +4,15 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"jarvis/internal/telemetry"
 )
 
 // fakeDaemon answers one request per connection with canned responses.
@@ -98,6 +103,62 @@ func TestArgValidation(t *testing.T) {
 		if err := run(args, &buf); err == nil {
 			t.Errorf("run(%v) should error", args)
 		}
+	}
+}
+
+// fakeMetrics serves a canned /metrics snapshot (or a failure status).
+func fakeMetrics(t *testing.T, status int, body string) string {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.WriteHeader(status)
+		fmt.Fprint(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+func TestStats(t *testing.T) {
+	snap := telemetry.Snapshot{
+		UnixNs:   time.Now().UnixNano(),
+		Counters: map[string]int64{"jarvisd.requests.state": 7},
+		Gauges:   map[string]float64{"rl.epsilon": 0.05},
+		Histograms: map[string]telemetry.HistogramStats{
+			"jarvisd.request.latency": {Count: 7, P50Ns: 1200, P95Ns: 4000, P99Ns: 9000, MaxNs: 9500},
+		},
+	}
+	body, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := fakeMetrics(t, http.StatusOK, string(body))
+	var buf bytes.Buffer
+	if err := run([]string{"-debug-addr", addr, "stats"}, &buf); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	for _, want := range []string{"jarvisd.requests.state", "7", "rl.epsilon", "jarvisd.request.latency", "p95="} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("stats output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestStatsNon200(t *testing.T) {
+	addr := fakeMetrics(t, http.StatusInternalServerError, "boom")
+	var buf bytes.Buffer
+	err := run([]string{"-debug-addr", addr, "stats"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "500") {
+		t.Fatalf("non-200 metrics response not surfaced: %v", err)
+	}
+}
+
+func TestStatsRejectsArguments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"stats", "extra"}, &buf); err == nil {
+		t.Error("stats with arguments should error")
 	}
 }
 

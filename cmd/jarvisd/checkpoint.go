@@ -43,9 +43,11 @@ func (s *server) saveCheckpoint() error {
 func (s *server) saveCheckpointLocked() error {
 	var table, q bytes.Buffer
 	if err := s.sys.SaveTable(&table); err != nil {
+		mCkptSaveFailures.Inc()
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	if err := s.sys.SaveQ(&q); err != nil {
+		mCkptSaveFailures.Inc()
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	ckpt := checkpointFile{
@@ -57,9 +59,15 @@ func (s *server) saveCheckpointLocked() error {
 		Table:        table.Bytes(),
 		Q:            q.Bytes(),
 	}
-	return checkpoint.WriteAtomic(s.cfg.CheckpointPath, func(w io.Writer) error {
+	if err := checkpoint.WriteAtomic(s.cfg.CheckpointPath, func(w io.Writer) error {
 		return json.NewEncoder(w).Encode(&ckpt)
-	})
+	}); err != nil {
+		mCkptSaveFailures.Inc()
+		return err
+	}
+	mCkptSaves.Inc()
+	s.lastCkpt.Store(time.Now().UnixNano())
+	return nil
 }
 
 // restoreCheckpoint rebuilds the trained system from cfg.CheckpointPath

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"jarvis/internal/telemetry"
+)
+
+// The debug listener is a second, HTTP-speaking socket so observability
+// traffic (scrapes, health probes, profilers) never competes with the
+// JSON-lines protocol on the main listener:
+//
+//	/metrics      one JSON telemetry snapshot (counters, gauges,
+//	              histograms with p50/p95/p99, recent events)
+//	/healthz      200 while healthy, 503 once any recommendation has
+//	              degraded to the safe NoOp; reports the violation count
+//	              and the age of the last checkpoint
+//	/debug/vars   expvar, including the same telemetry snapshot
+//	/debug/pprof  the standard Go profiler endpoints
+
+// startDebug binds the observability endpoints on addr and serves them
+// until Close. The handlers live on a private mux — never the HTTP
+// DefaultServeMux — so tests can run many daemons in one process.
+func (s *server) startDebug(addr string) error {
+	telemetry.PublishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.debug = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.debugLn = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		if err := s.debug.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.cfg.Logf("jarvisd: debug server: %v", err)
+		}
+	}()
+	return nil
+}
+
+// DebugAddr returns the bound debug address ("" when disabled).
+func (s *server) DebugAddr() string {
+	if s.debugLn == nil {
+		return ""
+	}
+	return s.debugLn.Addr().String()
+}
+
+// handleMetrics serves one JSON snapshot of the process-wide registry.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(telemetry.Default.Snapshot()); err != nil {
+		s.cfg.Logf("jarvisd: metrics encode: %v", err)
+	}
+}
+
+// healthStatus is the /healthz body.
+type healthStatus struct {
+	Status string `json:"status"` // "ok" | "degraded"
+	// DegradedRecommendations counts recommendations that fell back to the
+	// safe NoOp (non-finite Q values or a failed FSM transition check). Any
+	// nonzero value flips the endpoint to 503: the optimizer is no longer
+	// trustworthy and an operator should restore a checkpoint or retrain.
+	DegradedRecommendations int  `json:"degradedRecommendations"`
+	Violations              int  `json:"violations"`
+	RestoredFromCheckpoint  bool `json:"restoredFromCheckpoint"`
+	// CheckpointAgeSec reports how stale the on-disk checkpoint is (only
+	// when checkpointing is enabled). Informational: the daemon checkpoints
+	// on demand and on shutdown, so age alone is not a failure.
+	CheckpointAgeSec float64 `json:"checkpointAgeSec,omitempty"`
+}
+
+// handleHealthz reports daemon health: 200 while every recommendation so
+// far was served from a trusted Q function, 503 once any degraded to the
+// safe NoOp. The system state is read under the daemon lock, so the report
+// is consistent with concurrent client traffic.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := healthStatus{
+		Status:                  "ok",
+		DegradedRecommendations: s.sys.DegradedRecommendations(),
+		Violations:              s.violations,
+		RestoredFromCheckpoint:  s.restored,
+	}
+	s.mu.Unlock()
+	if s.cfg.CheckpointPath != "" {
+		if last := s.lastCkpt.Load(); last > 0 {
+			h.CheckpointAgeSec = time.Since(time.Unix(0, last)).Seconds()
+		}
+	}
+	code := http.StatusOK
+	if h.DegradedRecommendations > 0 {
+		h.Status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(h); err != nil {
+		s.cfg.Logf("jarvisd: healthz encode: %v", err)
+	}
+}

@@ -11,15 +11,24 @@
 // Every applied event is checked against the learned P_safe; unsafe
 // transitions are executed (the hub is a monitor, not a gate) but flagged
 // and counted, mirroring the paper's enforcement discussion.
+//
+// A second HTTP listener (-debug-addr, default 127.0.0.1:7464) serves the
+// observability surface: /metrics (JSON telemetry snapshot), /healthz
+// (degraded-mode aware), /debug/vars (expvar), and /debug/pprof. With
+// -log-decisions, every recommendation and checked event is appended to a
+// JSON-lines decision log for offline audit.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
+
+	"jarvis/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +45,8 @@ func run(args []string) error {
 	learningDays := fs.Int("learning-days", 7, "simulated learning-phase length")
 	episodes := fs.Int("episodes", 60, "optimizer training episodes")
 	ckpt := fs.String("checkpoint", "", "checkpoint file: restore trained state on start, save on shutdown (empty = disabled)")
+	debugAddr := fs.String("debug-addr", "127.0.0.1:7464", "HTTP address for /metrics, /healthz, /debug/vars and /debug/pprof (empty = disabled)")
+	logDecisions := fs.String("log-decisions", "", "append one JSON line per recommendation/event decision to this file (empty = disabled)")
 	idle := fs.Duration("idle-timeout", 5*time.Minute, "drop connections idle longer than this")
 	writeTimeout := fs.Duration("write-timeout", 10*time.Second, "per-response write deadline")
 	if err := fs.Parse(args); err != nil {
@@ -44,12 +55,14 @@ func run(args []string) error {
 
 	fmt.Fprintf(os.Stderr, "jarvisd: learning phase (%d days) and optimizer training...\n", *learningDays)
 	srv, err := newServer(serverConfig{
-		Seed:           *seed,
-		LearningDays:   *learningDays,
-		Episodes:       *episodes,
-		CheckpointPath: *ckpt,
-		IdleTimeout:    *idle,
-		WriteTimeout:   *writeTimeout,
+		Seed:            *seed,
+		LearningDays:    *learningDays,
+		Episodes:        *episodes,
+		CheckpointPath:  *ckpt,
+		DebugAddr:       *debugAddr,
+		DecisionLogPath: *logDecisions,
+		IdleTimeout:     *idle,
+		WriteTimeout:    *writeTimeout,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -61,10 +74,23 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "jarvisd: listening on %s (P_safe: %d transitions)\n", srv.Addr(), srv.tableSize())
+	if da := srv.DebugAddr(); da != "" {
+		fmt.Fprintf(os.Stderr, "jarvisd: debug endpoints on http://%s (/metrics /healthz /debug/vars /debug/pprof)\n", da)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Fprintln(os.Stderr, "jarvisd: shutting down")
-	return srv.Close()
+	// Close drains the handlers, writes the final checkpoint, and flushes
+	// the decision log; the final snapshot then captures everything the
+	// daemon counted, so the last observable state survives on stderr even
+	// after the /metrics listener is gone.
+	err = srv.Close()
+	snap := telemetry.Default.Snapshot()
+	snap.Events = nil // keep the farewell line compact
+	if b, merr := json.Marshal(snap); merr == nil {
+		fmt.Fprintf(os.Stderr, "jarvisd: final telemetry snapshot: %s\n", b)
+	}
+	return err
 }

@@ -3,10 +3,13 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jarvis"
@@ -30,6 +33,15 @@ type serverConfig struct {
 	// shutdown. Writes are atomic (temp + rename); a corrupt or mismatched
 	// checkpoint falls back to fresh training.
 	CheckpointPath string
+
+	// DebugAddr, when non-empty, serves the observability endpoints
+	// (/metrics, /healthz, /debug/vars, /debug/pprof) on a separate HTTP
+	// listener; see debug.go.
+	DebugAddr string
+
+	// DecisionLogPath, when non-empty, appends one JSON line per
+	// recommendation and per checked event to this file; see decision.go.
+	DecisionLogPath string
 
 	// IdleTimeout bounds how long a connection may sit silent between
 	// requests before the daemon drops it (default 5m).
@@ -77,6 +89,8 @@ type response struct {
 	Violations int      `json:"violations,omitempty"`
 	Minute     int      `json:"minute,omitempty"`
 	Degraded   int      `json:"degraded,omitempty"`
+	// Q is the Q value backing a recommendation (0 on a degraded fallback).
+	Q float64 `json:"q,omitempty"`
 }
 
 // server owns the environment state and the trained Jarvis system. All
@@ -97,6 +111,19 @@ type server struct {
 	stop   chan struct{}
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
+
+	// debug/debugLn serve the observability endpoints (debug.go); nil when
+	// cfg.DebugAddr is empty.
+	debug   *http.Server
+	debugLn net.Listener
+
+	// decisions is the structured decision log (decision.go); nil when
+	// cfg.DecisionLogPath is empty.
+	decisions *decisionLog
+
+	// lastCkpt is the unix-ns time of the last successful checkpoint save
+	// or restore (0 = never). Atomic because /healthz reads it off-lock.
+	lastCkpt atomic.Int64
 
 	// restored reports whether startup served from a checkpoint instead of
 	// training.
@@ -174,14 +201,25 @@ func newServer(cfg serverConfig) (*server, error) {
 		conns:      make(map[net.Conn]struct{}),
 	}
 
+	if cfg.DecisionLogPath != "" {
+		dl, err := openDecisionLog(cfg.DecisionLogPath)
+		if err != nil {
+			return nil, fmt.Errorf("decision log: %w", err)
+		}
+		s.decisions = dl
+	}
+
 	if cfg.CheckpointPath != "" {
 		switch err := restoreCheckpoint(cfg, assets, &s.violations); {
 		case err == nil:
 			s.restored = true
+			mCkptRestores.Inc()
+			s.lastCkpt.Store(time.Now().UnixNano())
 			cfg.Logf("jarvisd: restored trained state from %s", cfg.CheckpointPath)
 		default:
 			// Corrupt, missing, or mismatched checkpoint: fall back to
 			// fresh training rather than crashing.
+			mCkptRestoreFailures.Inc()
 			cfg.Logf("jarvisd: checkpoint unavailable (%v); training fresh", err)
 		}
 	}
@@ -200,13 +238,21 @@ func newServer(cfg serverConfig) (*server, error) {
 
 func (s *server) tableSize() int { return s.sys.SafeTable().Len() }
 
-// listen starts accepting connections.
+// listen starts accepting connections, plus the debug listener when
+// configured.
 func (s *server) listen(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	s.ln = ln
+	if s.cfg.DebugAddr != "" {
+		if err := s.startDebug(s.cfg.DebugAddr); err != nil {
+			ln.Close()
+			s.ln = nil
+			return fmt.Errorf("debug listener: %w", err)
+		}
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return nil
@@ -220,14 +266,21 @@ func (s *server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the listener, terminates every live connection (including
-// idle clients blocked in a read), waits for the handlers to drain, and
-// writes a final checkpoint.
+// Close stops the listeners, terminates every live connection (including
+// idle clients blocked in a read), waits for the handlers to drain, writes
+// a final checkpoint, and flushes the decision log.
 func (s *server) Close() error {
 	close(s.stop)
 	var err error
 	if s.ln != nil {
 		err = s.ln.Close()
+	}
+	if s.debug != nil {
+		// http.Server.Close shuts the debug listener and its connections,
+		// letting the Serve goroutine (counted in s.wg) exit.
+		if derr := s.debug.Close(); derr != nil && err == nil {
+			err = derr
+		}
 	}
 	s.connMu.Lock()
 	for c := range s.conns {
@@ -243,6 +296,14 @@ func (s *server) Close() error {
 			}
 		}
 	}
+	if s.decisions != nil {
+		if derr := s.decisions.Close(); derr != nil {
+			s.cfg.Logf("jarvisd: decision log close failed: %v", derr)
+			if err == nil {
+				err = derr
+			}
+		}
+	}
 	return err
 }
 
@@ -254,6 +315,7 @@ func (s *server) trackConn(c net.Conn, add bool) {
 	} else {
 		delete(s.conns, c)
 	}
+	mConnsActive.SetInt(int64(len(s.conns)))
 }
 
 // acceptLoop accepts until the listener closes. Transient accept errors
@@ -274,7 +336,14 @@ func (s *server) acceptLoop() {
 				return
 			default:
 			}
+			// A closed listener is the normal shutdown signal (net wraps it,
+			// so errors.Is, not equality); exit silently rather than logging
+			// a spurious failure when Close races the stop channel.
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
 			if isTransient(err) {
+				mAcceptRetries.Inc()
 				if delay == 0 {
 					delay = minBackoff
 				} else if delay *= 2; delay > maxBackoff {
@@ -288,10 +357,12 @@ func (s *server) acceptLoop() {
 					return
 				}
 			}
+			mAcceptErrors.Inc()
 			s.cfg.Logf("jarvisd: accept failed: %v", err)
 			return
 		}
 		delay = 0
+		mConnsAccepted.Inc()
 		s.trackConn(conn, true)
 		s.wg.Add(1)
 		go func() {
@@ -364,7 +435,23 @@ func (s *server) minuteOfDay(now time.Time) int {
 	return m
 }
 
+// handle counts and times one request, then dispatches it.
 func (s *server) handle(req request) response {
+	if c, ok := mRequests[req.Op]; ok {
+		c.Inc()
+	} else {
+		mRequestsUnknown.Inc()
+	}
+	if !mRequestLatency.Enabled() {
+		return s.dispatch(req)
+	}
+	t0 := time.Now()
+	resp := s.dispatch(req)
+	mRequestLatency.Observe(time.Since(t0))
+	return resp
+}
+
+func (s *server) dispatch(req request) response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := s.home.Env
@@ -393,17 +480,40 @@ func (s *server) handle(req request) response {
 		unsafe := !table.SafeTransition(e.StateKey(s.state), e.StateKey(next), a)
 		if unsafe {
 			s.violations++
+			mEventsUnsafe.Inc()
 		}
 		s.state = next
+		verdict := "safe"
+		if unsafe {
+			verdict = "unsafe"
+		}
+		s.logDecision(decisionRecord{
+			Kind: "event", Minute: minute,
+			State:   stateNames(e, s.state),
+			Action:  e.FormatAction(a),
+			Verdict: verdict,
+		})
 		return response{OK: true, State: stateNames(e, s.state), Unsafe: unsafe, Minute: minute, Violations: s.violations}
 
 	case "recommend":
-		act, err := s.sys.Recommend(s.state, minute)
+		d, err := s.sys.RecommendDecision(s.state, minute)
 		if err != nil {
 			return response{Error: err.Error()}
 		}
-		return response{OK: true, Action: e.FormatAction(act), Minute: minute,
-			Degraded: s.sys.DegradedRecommendations()}
+		verdict := "safe"
+		if d.Degraded {
+			verdict = "degraded"
+		}
+		s.logDecision(decisionRecord{
+			Kind: "recommend", Minute: minute,
+			State:    stateNames(e, s.state),
+			Action:   e.FormatAction(d.Action),
+			Q:        d.Value,
+			Degraded: d.Degraded,
+			Verdict:  verdict,
+		})
+		return response{OK: true, Action: e.FormatAction(d.Action), Minute: minute,
+			Q: d.Value, Degraded: s.sys.DegradedRecommendations()}
 
 	case "violations":
 		return response{OK: true, Violations: s.violations, Minute: minute}
@@ -418,6 +528,19 @@ func (s *server) handle(req request) response {
 		return response{OK: true, Minute: minute}
 	}
 	return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+}
+
+// logDecision stamps and appends one record to the decision log (no-op
+// when the log is disabled). Log failures are reported, never fatal: an
+// unwritable audit trail must not take recommendations down with it.
+func (s *server) logDecision(rec decisionRecord) {
+	if s.decisions == nil {
+		return
+	}
+	rec.UnixNs = time.Now().UnixNano()
+	if err := s.decisions.Record(rec); err != nil {
+		s.cfg.Logf("jarvisd: decision log write failed: %v", err)
+	}
 }
 
 func stateNames(e *env.Environment, s env.State) []string {

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"net"
 	"os"
 	"path/filepath"
@@ -10,6 +11,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"jarvis/internal/telemetry"
 )
 
 func startTestServer(t *testing.T) *server {
@@ -216,9 +219,10 @@ func (e scriptedNetErr) Timeout() bool   { return false }
 func (e scriptedNetErr) Temporary() bool { return e.temp }
 
 // TestAcceptLoopRetriesTransientErrors proves the accept loop survives
-// transient errors with backoff instead of dying on the first one, and
-// still terminates on a permanent failure.
+// transient errors with backoff instead of dying on the first one, still
+// terminates on a permanent failure, and counts every retry in telemetry.
 func TestAcceptLoopRetriesTransientErrors(t *testing.T) {
+	retriesBefore := telemetry.Default.Snapshot().Counters["jarvisd.accept.retries"]
 	var mu sync.Mutex
 	var transientLogs int
 	cfg := serverConfig{Logf: func(format string, args ...any) {
@@ -254,6 +258,50 @@ func TestAcceptLoopRetriesTransientErrors(t *testing.T) {
 	defer mu.Unlock()
 	if transientLogs != 3 {
 		t.Errorf("retried %d transient errors, want 3", transientLogs)
+	}
+	retries := telemetry.Default.Snapshot().Counters["jarvisd.accept.retries"] - retriesBefore
+	if retries != 3 {
+		t.Errorf("jarvisd.accept.retries grew by %d, want 3", retries)
+	}
+}
+
+// TestAcceptLoopSilentOnClosedListener: a closed listener is the normal
+// shutdown path. The accept loop must exit without logging a spurious
+// "accept failed" even when the error arrives wrapped (as the net package
+// delivers it) and the stop channel has not been signalled yet.
+func TestAcceptLoopSilentOnClosedListener(t *testing.T) {
+	var mu sync.Mutex
+	var logs []string
+	cfg := serverConfig{Logf: func(format string, args ...any) {
+		mu.Lock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}}.withDefaults()
+	errs := make(chan error, 1)
+	errs <- fmt.Errorf("accept tcp 127.0.0.1:0: %w", net.ErrClosed)
+	s := &server{
+		cfg:   cfg,
+		ln:    &fakeListener{errs: errs},
+		stop:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	done := make(chan struct{})
+	go func() {
+		s.acceptLoop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("acceptLoop did not exit on a closed listener")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, line := range logs {
+		if strings.Contains(line, "accept failed") {
+			t.Errorf("closed listener logged a spurious failure: %q", line)
+		}
 	}
 }
 

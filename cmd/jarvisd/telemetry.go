@@ -1,0 +1,39 @@
+package main
+
+import "jarvis/internal/telemetry"
+
+// Metric handles, resolved once at init. The daemon namespace covers the
+// connection lifecycle, the request loop, checkpointing, and the decision
+// log; everything below it (rl.*, policy.*, anomaly.*, fault.*) is
+// reported by the instrumented packages themselves through the same
+// Default registry, so one /metrics scrape sees the whole pipeline.
+var (
+	mConnsAccepted = telemetry.Default.Counter("jarvisd.conns.accepted")
+	mConnsActive   = telemetry.Default.Gauge("jarvisd.conns.active")
+	mAcceptRetries = telemetry.Default.Counter("jarvisd.accept.retries")
+	mAcceptErrors  = telemetry.Default.Counter("jarvisd.accept.errors")
+
+	// Per-op request counters plus one for unknown ops. Resolved into a
+	// map so handle stays a single lookup.
+	mRequests = map[string]*telemetry.Counter{
+		"state":      telemetry.Default.Counter("jarvisd.requests.state"),
+		"event":      telemetry.Default.Counter("jarvisd.requests.event"),
+		"recommend":  telemetry.Default.Counter("jarvisd.requests.recommend"),
+		"violations": telemetry.Default.Counter("jarvisd.requests.violations"),
+		"checkpoint": telemetry.Default.Counter("jarvisd.requests.checkpoint"),
+	}
+	mRequestsUnknown = telemetry.Default.Counter("jarvisd.requests.unknown")
+	mRequestLatency  = telemetry.Default.Histogram("jarvisd.request.latency")
+
+	// The daemon's safety-enforcement surface: every applied event is
+	// checked against the learned P_safe, and unsafe ones are counted here
+	// (the hub is a monitor, so they execute but are flagged).
+	mEventsUnsafe = telemetry.Default.Counter("jarvisd.events.unsafe")
+
+	mCkptSaves           = telemetry.Default.Counter("jarvisd.checkpoint.saves")
+	mCkptSaveFailures    = telemetry.Default.Counter("jarvisd.checkpoint.save_failures")
+	mCkptRestores        = telemetry.Default.Counter("jarvisd.checkpoint.restores")
+	mCkptRestoreFailures = telemetry.Default.Counter("jarvisd.checkpoint.restore_failures")
+
+	mDecisionsLogged = telemetry.Default.Counter("jarvisd.decisions.logged")
+)

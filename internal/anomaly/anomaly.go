@@ -185,7 +185,13 @@ func (f *Filter) Score(tr env.Transition) float64 {
 	if f.xone == nil {
 		f.xone = make([]float64, f.enc.Dim())
 	}
-	return f.net.Forward(f.enc.EncodeInto(f.xone, tr))[0]
+	if !mScoreLatency.Enabled() {
+		return f.net.Forward(f.enc.EncodeInto(f.xone, tr))[0]
+	}
+	t0 := time.Now()
+	s := f.net.Forward(f.enc.EncodeInto(f.xone, tr))[0]
+	mScoreLatency.Observe(time.Since(t0))
+	return s
 }
 
 // scoreChunk caps the rows per batched forward pass so the network's batch
@@ -233,7 +239,13 @@ func (f *Filter) ScoreBatch(dst []float64, trs []env.Transition) ([]float64, err
 // BenignAnomaly reports whether the transition scores above the decision
 // threshold. It implements policy.Filter.
 func (f *Filter) BenignAnomaly(tr env.Transition) bool {
-	return f.Score(tr) >= f.threshold
+	benign := f.Score(tr) >= f.threshold
+	if benign {
+		mRejected.Inc()
+	} else {
+		mAccepted.Inc()
+	}
+	return benign
 }
 
 // Threshold returns the filter's decision threshold.

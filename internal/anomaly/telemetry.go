@@ -1,0 +1,12 @@
+package anomaly
+
+import "jarvis/internal/telemetry"
+
+// Metric handles, resolved once at init. Accepted = classified natural and
+// kept in the training data; rejected = classified benign anomaly and
+// filtered out (Algorithm 1's Filter_ANN branch).
+var (
+	mAccepted     = telemetry.Default.Counter("anomaly.filter.accepted")
+	mRejected     = telemetry.Default.Counter("anomaly.filter.rejected")
+	mScoreLatency = telemetry.Default.Histogram("anomaly.score.latency")
+)

@@ -4,6 +4,24 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"jarvis/internal/telemetry"
+)
+
+// Harness metrics: items fanned out, per-item wall time, per-sweep wall
+// time, the worker count of the last sweep, and its utilization (summed
+// busy time over workers × wall time — 1.0 means every worker computed the
+// whole sweep). Handles resolve once at init; the per-item writes are a
+// histogram observation and two atomic adds, negligible next to experiment
+// bodies that run for milliseconds to minutes.
+var (
+	mItems       = telemetry.Default.Counter("experiment.items")
+	mItemLatency = telemetry.Default.Histogram("experiment.item.latency")
+	mSweepWall   = telemetry.Default.Histogram("experiment.sweep.wall")
+	mWorkers     = telemetry.Default.Gauge("experiment.workers")
+	mUtilization = telemetry.Default.Gauge("experiment.utilization")
 )
 
 // Workers caps the fan-out of Parallel. 0 (the default) uses GOMAXPROCS;
@@ -63,9 +81,20 @@ func Parallel[R any](seeds []int64, fn func(i int, rng *rand.Rand) (R, error)) (
 	n := len(seeds)
 	results := make([]R, n)
 	errs := make([]error, n)
-	if w := workerCount(n); w <= 1 {
+	var busy atomic.Int64
+	run := func(i int) {
+		t0 := time.Now()
+		results[i], errs[i] = fn(i, rand.New(rand.NewSource(seeds[i])))
+		d := time.Since(t0)
+		mItemLatency.Observe(d)
+		mItems.Inc()
+		busy.Add(int64(d))
+	}
+	start := time.Now()
+	w := workerCount(n)
+	if w <= 1 {
 		for i := range seeds {
-			results[i], errs[i] = fn(i, rand.New(rand.NewSource(seeds[i])))
+			run(i)
 		}
 	} else {
 		work := make(chan int)
@@ -75,7 +104,7 @@ func Parallel[R any](seeds []int64, fn func(i int, rng *rand.Rand) (R, error)) (
 			go func() {
 				defer wg.Done()
 				for i := range work {
-					results[i], errs[i] = fn(i, rand.New(rand.NewSource(seeds[i])))
+					run(i)
 				}
 			}()
 		}
@@ -84,6 +113,11 @@ func Parallel[R any](seeds []int64, fn func(i int, rng *rand.Rand) (R, error)) (
 		}
 		close(work)
 		wg.Wait()
+	}
+	if wall := time.Since(start); wall > 0 && n > 0 {
+		mSweepWall.Observe(wall)
+		mWorkers.SetInt(int64(w))
+		mUtilization.Set(float64(busy.Load()) / (float64(wall.Nanoseconds()) * float64(w)))
 	}
 	for _, err := range errs {
 		if err != nil {

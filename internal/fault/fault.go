@@ -158,6 +158,7 @@ func (in *Injector) PerturbEpisode(e *env.Environment, ep env.Episode) (env.Epis
 		if in.cfg.ReorderProb > 0 && in.rng.Float64() < in.cfg.ReorderProb {
 			acts[t], acts[t+1] = acts[t+1], acts[t]
 			in.stats.Reordered++
+			mReordered.Inc()
 		}
 	}
 	// Duplication: re-deliver an event at the next instance on top of
@@ -176,6 +177,7 @@ func (in *Injector) PerturbEpisode(e *env.Environment, ep env.Episode) (env.Epis
 		}
 		if duped {
 			in.stats.Duplicated++
+			mDuplicated.Inc()
 		}
 	}
 	// Loss: the event never arrives.
@@ -183,6 +185,7 @@ func (in *Injector) PerturbEpisode(e *env.Environment, ep env.Episode) (env.Epis
 		if in.cfg.LossProb > 0 && !acts[t].IsNoOp() && in.rng.Float64() < in.cfg.LossProb {
 			acts[t] = env.NoOp(len(acts[t]))
 			in.stats.Lost++
+			mLost.Inc()
 		}
 	}
 	return env.ReplayActions(e, ep.States[0], ep.Start, ep.I, acts)
@@ -303,6 +306,7 @@ func (f *FaultyEnv) Step(a env.Action) (env.State, float64, bool, error) {
 		if t < f.unavailUntil[dev] {
 			act[dev] = device.NoAction
 			f.stats.Unavailable++
+			mUnavailable.Inc()
 		}
 	}
 
@@ -316,6 +320,7 @@ func (f *FaultyEnv) Step(a env.Action) (env.State, float64, bool, error) {
 			f.pending = append(f.pending, delayed{due: due, dev: dev, act: ac})
 			act[dev] = device.NoAction
 			f.stats.Delayed++
+			mDelayed.Inc()
 		}
 	}
 
@@ -335,6 +340,7 @@ func (f *FaultyEnv) Step(a env.Action) (env.State, float64, bool, error) {
 		}
 		if _, ok := f.e.Device(d.dev).Next(truth[d.dev], d.act); !ok {
 			f.stats.StaleDropped++ // no longer valid; hub discards it
+			mStaleDropped.Inc()
 			continue
 		}
 		act[d.dev] = d.act
@@ -355,6 +361,7 @@ func (f *FaultyEnv) Step(a env.Action) (env.State, float64, bool, error) {
 			if !f.inner.Safe(truth, gated) {
 				gated[dev] = device.NoAction
 				f.stats.Gated++
+				mGated.Inc()
 			}
 		}
 		act = gated
@@ -380,8 +387,10 @@ func (f *FaultyEnv) Step(a env.Action) (env.State, float64, bool, error) {
 		switch {
 		case nt < f.stuckUntil[dev]:
 			f.stats.Stuck++ // reading frozen at the last observed value
+			mStuck.Inc()
 		case f.cfg.DropoutProb > 0 && f.rng.Float64() < f.cfg.DropoutProb:
 			f.stats.Dropouts++ // this reading lost; observer keeps the stale one
+			mDropouts.Inc()
 		default:
 			f.obs[dev] = next[dev]
 		}

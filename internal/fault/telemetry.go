@@ -1,0 +1,19 @@
+package fault
+
+import "jarvis/internal/telemetry"
+
+// Metric handles, resolved once at init: one counter per injected fault
+// kind, mirroring Stats but visible through the process-wide registry (the
+// chaos experiment and a fault-wrapped daemon report through the same
+// names).
+var (
+	mStuck        = telemetry.Default.Counter("fault.injected.stuck")
+	mDropouts     = telemetry.Default.Counter("fault.injected.dropout")
+	mDelayed      = telemetry.Default.Counter("fault.injected.delayed")
+	mStaleDropped = telemetry.Default.Counter("fault.injected.stale_dropped")
+	mUnavailable  = telemetry.Default.Counter("fault.injected.unavailable")
+	mGated        = telemetry.Default.Counter("fault.injected.gated")
+	mLost         = telemetry.Default.Counter("fault.injected.lost")
+	mDuplicated   = telemetry.Default.Counter("fault.injected.duplicated")
+	mReordered    = telemetry.Default.Counter("fault.injected.reordered")
+)

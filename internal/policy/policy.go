@@ -231,6 +231,7 @@ func (l *Learner) Observe(ep env.Episode) {
 	// profile. The Transition struct is only built when a filter needs it.
 	// Consecutive identical (S, A) keys — idle minutes dominate real logs —
 	// are run-length batched so the counts map is touched once per run.
+	observedBefore, filteredBefore := l.observed, l.filtered
 	var lastKey [2]uint64
 	pending := 0
 	for t := range ep.Actions {
@@ -261,6 +262,9 @@ func (l *Learner) Observe(ep env.Episode) {
 	if pending > 0 {
 		l.counts[lastKey] += pending
 	}
+	// One batched telemetry write per episode, not per transition.
+	mObserved.Add(int64(l.observed - observedBefore))
+	mFiltered.Add(int64(l.filtered - filteredBefore))
 }
 
 // ObserveAll feeds a batch of learning episodes.
@@ -338,7 +342,9 @@ func (v Violation) String() string {
 // security evaluation of Section VI-B exercises.
 func FlagEpisodes(e *env.Environment, t *Table, eps []env.Episode) []Violation {
 	var out []Violation
+	checks := 0
 	for i, ep := range eps {
+		checks += len(ep.Actions)
 		for ti := range ep.Actions {
 			from, to := e.StateKey(ep.States[ti]), e.StateKey(ep.States[ti+1])
 			if !t.SafeTransition(from, to, ep.Actions[ti]) {
@@ -352,5 +358,7 @@ func FlagEpisodes(e *env.Environment, t *Table, eps []env.Episode) []Violation {
 			}
 		}
 	}
+	mAuditChecks.Add(int64(checks))
+	mAuditDenials.Add(int64(len(out)))
 	return out
 }

@@ -1,0 +1,17 @@
+package policy
+
+import "jarvis/internal/telemetry"
+
+// Metric handles, resolved once at init. Denials are counted at the
+// enforcement and audit surfaces (FlagEpisodes, the daemon's per-event
+// check), NOT inside Table.Safe: the exploration loops of Algorithm 2 probe
+// the table millions of times per training run and shared counters there
+// would contend across parallel experiment workers — exactly the
+// perturbation the telemetry layer promises to avoid.
+var (
+	mAuditChecks  = telemetry.Default.Counter("policy.audit.checks")
+	mAuditDenials = telemetry.Default.Counter("policy.audit.denials")
+
+	mObserved = telemetry.Default.Counter("policy.learner.observed")
+	mFiltered = telemetry.Default.Counter("policy.learner.filtered")
+)

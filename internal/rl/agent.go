@@ -111,6 +111,11 @@ type Agent struct {
 	eps      float64
 	loss     float64
 	degraded int
+	// lastValue is the Q value backing the most recent Greedy composition
+	// (the top accepted mini-action's value, or the NoOp value when the
+	// composite is empty; 0 on a degraded fallback). Decision audit logs
+	// read it through LastValue.
+	lastValue float64
 
 	// Reused replay-step buffers: the sampled mini-batch, its bootstrap
 	// targets, the non-terminal successors gathered for one batched Q pass,
@@ -176,6 +181,8 @@ func (a *Agent) Greedy(s env.State, t int) env.Action {
 	for _, v := range q {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			a.degraded++
+			a.lastValue = 0
+			mDegraded.Inc()
 			return env.NoOp(len(s))
 		}
 	}
@@ -195,6 +202,7 @@ func (a *Agent) Greedy(s env.State, t int) env.Action {
 	noopQ := q[a.minis.NoOpIndex()]
 	act := env.NoOp(len(s))
 	added := 0
+	best := noopQ
 	for _, idx := range order {
 		if idx == a.minis.NoOpIndex() || q[idx] <= noopQ {
 			break // nothing left better than doing nothing
@@ -212,13 +220,22 @@ func (a *Agent) Greedy(s env.State, t int) env.Action {
 			act[dev] = prev
 			continue
 		}
+		if added == 0 {
+			best = q[idx] // highest-ranked accepted mini drives the value
+		}
 		added++
 		if added >= a.cfg.MaxMiniActions {
 			break
 		}
 	}
+	a.lastValue = best
+	mGreedy.Inc()
 	return act
 }
+
+// LastValue returns the Q value behind the most recent Greedy composition
+// (0 after a degraded fallback). Decision logs pair it with the action.
+func (a *Agent) LastValue() float64 { return a.lastValue }
 
 // explore draws a random safe composite action (the exploration branch of
 // Algorithm 2: resample until P_safe admits the transition).
@@ -426,6 +443,8 @@ func (a *Agent) Train() (TrainStats, error) {
 				Next: s, NextT: t + a.cfg.DecideEvery, Done: done,
 			})
 			steps++
+			mTrainSteps.Inc()
+			mReplaySize.SetInt(int64(a.replay.Len()))
 			if a.replay.Len() >= a.cfg.BatchSize && steps%a.cfg.ReplayEvery == 0 {
 				if err := a.replayStep(); err != nil {
 					return stats, err
@@ -440,6 +459,8 @@ func (a *Agent) Train() (TrainStats, error) {
 				a.eps = a.cfg.EpsilonMin
 			}
 		}
+		mTrainEpisodes.Inc()
+		mEpsilon.Set(a.eps)
 	}
 	stats.FinalEpsilon = a.eps
 	stats.FinalLoss = a.loss

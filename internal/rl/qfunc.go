@@ -3,6 +3,7 @@ package rl
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"jarvis/internal/env"
 	"jarvis/internal/nn"
@@ -119,6 +120,16 @@ func (t *TableQ) Q(s env.State, inst int) []float64 {
 // Update implements QFunc using the temporal-difference rule
 // Q ← Q + α(target − Q).
 func (t *TableQ) Update(batch []Experience, targets []float64) (float64, error) {
+	if !mUpdateLatency.Enabled() {
+		return t.update(batch, targets)
+	}
+	t0 := time.Now()
+	loss, err := t.update(batch, targets)
+	mUpdateLatency.Observe(time.Since(t0))
+	return loss, err
+}
+
+func (t *TableQ) update(batch []Experience, targets []float64) (float64, error) {
 	if len(batch) != len(targets) {
 		return 0, fmt.Errorf("rl: %d experiences but %d targets", len(batch), len(targets))
 	}
@@ -284,7 +295,22 @@ func (d *DQN) QTargetBatch(states []env.State, ts []int) ([][]float64, error) {
 // predictions come from one batched forward pass and the regression runs
 // through the batched training engine, so a warm Update allocates nothing
 // and its results are bit-identical to the per-sample formulation.
+//
+// The latency observation is deliberately outside the measured body: when
+// telemetry is disabled the wrapper reduces to one atomic load, which is
+// how TestDQNUpdateInstrumentationOverhead pins the instrumented-vs-bare
+// delta to ≤ 3% ns/op and 0 allocs/op.
 func (d *DQN) Update(batch []Experience, targets []float64) (float64, error) {
+	if !mUpdateLatency.Enabled() {
+		return d.update(batch, targets)
+	}
+	t0 := time.Now()
+	loss, err := d.update(batch, targets)
+	mUpdateLatency.Observe(time.Since(t0))
+	return loss, err
+}
+
+func (d *DQN) update(batch []Experience, targets []float64) (float64, error) {
 	if len(batch) != len(targets) {
 		return 0, fmt.Errorf("rl: %d experiences but %d targets", len(batch), len(targets))
 	}

@@ -1,0 +1,25 @@
+package rl
+
+import "jarvis/internal/telemetry"
+
+// Metric handles are resolved once at package init so the training and
+// recommendation hot paths never touch the registry's map or mutex. Every
+// write below is allocation-free (a handful of atomics); the
+// instrumented-vs-bare delta on DQN.Update is asserted by
+// TestDQNUpdateInstrumentationOverhead.
+var (
+	// Training progress (Algorithm 2).
+	mTrainEpisodes = telemetry.Default.Counter("rl.train.episodes")
+	mTrainSteps    = telemetry.Default.Counter("rl.train.steps")
+	mEpsilon       = telemetry.Default.Gauge("rl.epsilon")
+	mReplaySize    = telemetry.Default.Gauge("rl.replay.size")
+
+	// Q-function learning: one observation per Update call, for either
+	// backend.
+	mUpdateLatency = telemetry.Default.Histogram("rl.update.latency")
+
+	// Recommendation outcomes: greedy compositions served vs NaN-degraded
+	// NoOp fallbacks.
+	mGreedy   = telemetry.Default.Counter("rl.recommend.greedy")
+	mDegraded = telemetry.Default.Counter("rl.recommend.degraded")
+)

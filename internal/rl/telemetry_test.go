@@ -1,0 +1,180 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+	"jarvis/internal/telemetry"
+)
+
+// overheadBatch builds a warm DQN and a 32-experience mini-batch, the
+// daemon-scale Update the acceptance criterion measures.
+func overheadBatch(t *testing.T) (*DQN, []Experience, []float64) {
+	t.Helper()
+	e := testEnv(t)
+	rng := rand.New(rand.NewSource(41))
+	d, err := NewDQN(e, 10, DQNConfig{Hidden: []int{64, 64}, LR: 0.001, TargetSync: 64}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]Experience, 32)
+	targets := make([]float64, 32)
+	for i := range batch {
+		batch[i] = Experience{
+			S:     env.State{device.StateID(rng.Intn(2)), device.StateID(rng.Intn(2))},
+			T:     rng.Intn(10),
+			Minis: []int{1 + rng.Intn(4)},
+		}
+		targets[i] = rng.NormFloat64()
+	}
+	for i := 0; i < 8; i++ { // warm scratch, arena, Adam state
+		if _, err := d.Update(batch, targets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d, batch, targets
+}
+
+// minUpdateNs measures Update over trials×iters calls and returns the best
+// per-op time: the minimum filters scheduler noise, which is what a
+// lower-bound overhead comparison needs.
+func minUpdateNs(t *testing.T, d *DQN, batch []Experience, targets []float64, trials, iters int) float64 {
+	t.Helper()
+	best := float64(0)
+	for trial := 0; trial < trials; trial++ {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := d.Update(batch, targets); err != nil {
+				t.Fatal(err)
+			}
+		}
+		perOp := float64(time.Since(t0).Nanoseconds()) / float64(iters)
+		if best == 0 || perOp < best {
+			best = perOp
+		}
+	}
+	return best
+}
+
+// TestDQNUpdateInstrumentationOverhead is the acceptance gate for the
+// zero-perturbation contract: the instrumented DQN.Update (telemetry
+// enabled) must stay within 3% ns/op of the bare path (telemetry disabled,
+// where every metric write reduces to one atomic load) and add zero
+// allocations.
+func TestDQNUpdateInstrumentationOverhead(t *testing.T) {
+	d, batch, targets := overheadBatch(t)
+
+	// Allocation contract first: it is deterministic and holds everywhere.
+	telemetry.Default.SetEnabled(true)
+	defer telemetry.Default.SetEnabled(true)
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := d.Update(batch, targets); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("instrumented DQN.Update allocates %.1f objects per call, want 0", allocs)
+	}
+
+	if raceEnabled {
+		t.Skip("timing comparison skipped under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+
+	const trials, iters = 7, 200
+	telemetry.Default.SetEnabled(false)
+	bare := minUpdateNs(t, d, batch, targets, trials, iters)
+	telemetry.Default.SetEnabled(true)
+	instrumented := minUpdateNs(t, d, batch, targets, trials, iters)
+
+	overhead := instrumented/bare - 1
+	t.Logf("DQN.Update bare %.0f ns/op, instrumented %.0f ns/op (%+.2f%%)", bare, instrumented, overhead*100)
+	if overhead > 0.03 {
+		t.Errorf("instrumentation overhead %.2f%% exceeds 3%% (bare %.0f ns/op, instrumented %.0f ns/op)",
+			overhead*100, bare, instrumented)
+	}
+}
+
+// TestTrainingMovesTelemetry trains a tiny agent and checks that every rl
+// metric the daemon exposes actually moves.
+func TestTrainingMovesTelemetry(t *testing.T) {
+	before := telemetry.Default.Snapshot()
+
+	e := testEnv(t)
+	rs := testReward(t, e, 10)
+	sim, err := NewSimEnv(e, SimConfig{Initial: env.State{1, 1}, Reward: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAgent(sim, NewTableQ(e, 10, 4, 0.2), AgentConfig{
+		Episodes:  4,
+		BatchSize: 4,
+		Rng:       rand.New(rand.NewSource(5)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Train(); err != nil {
+		t.Fatal(err)
+	}
+	a.Greedy(env.State{1, 1}, 0)
+
+	after := telemetry.Default.Snapshot()
+	for _, name := range []string{"rl.train.episodes", "rl.train.steps", "rl.recommend.greedy"} {
+		if after.Counters[name] <= before.Counters[name] {
+			t.Errorf("counter %s did not move: %d -> %d", name, before.Counters[name], after.Counters[name])
+		}
+	}
+	if after.Histograms["rl.update.latency"].Count <= before.Histograms["rl.update.latency"].Count {
+		t.Error("rl.update.latency recorded no observations during training")
+	}
+	if eps := after.Gauges["rl.epsilon"]; eps <= 0 || eps > 1 {
+		t.Errorf("rl.epsilon gauge = %v, want (0, 1]", eps)
+	}
+	if after.Gauges["rl.replay.size"] <= 0 {
+		t.Error("rl.replay.size gauge never set")
+	}
+}
+
+// TestGreedyDegradedCountsTelemetry poisons a tabular Q row with NaN and
+// checks the degraded fallback is counted and value-reported.
+func TestGreedyDegradedCountsTelemetry(t *testing.T) {
+	before := telemetry.Default.Snapshot().Counters["rl.recommend.degraded"]
+
+	e := testEnv(t)
+	rs := testReward(t, e, 10)
+	sim, err := NewSimEnv(e, SimConfig{Initial: env.State{1, 1}, Reward: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewTableQ(e, 10, 1, 0.2)
+	a, err := NewAgent(sim, q, AgentConfig{Rng: rand.New(rand.NewSource(6))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := env.State{1, 1}
+	nan := func() float64 { return 0 }()
+	nan = nan / nan // NaN without importing math
+	if _, err := q.Update([]Experience{{S: s, T: 0, Minis: []int{1}}}, []float64{nan}); err != nil {
+		t.Fatal(err)
+	}
+	act := a.Greedy(s, 0)
+	if !act.IsNoOp() {
+		t.Errorf("degraded Greedy returned %v, want NoOp", act)
+	}
+	if a.Degraded() != 1 {
+		t.Errorf("Degraded() = %d, want 1", a.Degraded())
+	}
+	if v := a.LastValue(); v != 0 {
+		t.Errorf("LastValue after degraded fallback = %v, want 0", v)
+	}
+	after := telemetry.Default.Snapshot().Counters["rl.recommend.degraded"]
+	if after != before+1 {
+		t.Errorf("rl.recommend.degraded: %d -> %d, want +1", before, after)
+	}
+}

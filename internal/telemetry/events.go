@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one structured entry in the ring-buffered event log: a
+// timestamp, a kind tag (e.g. "checkpoint.save"), an optional detail
+// string, and an optional integer value. Kinds and details should be
+// static strings so recording stays allocation-free.
+type Event struct {
+	UnixNs int64  `json:"unixNs"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+	Value  int64  `json:"value,omitempty"`
+}
+
+// EventLog is a fixed-capacity ring of Events: the most recent capacity
+// entries are kept, older ones are overwritten. Safe for concurrent use.
+type EventLog struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int // write cursor
+	full bool
+}
+
+// NewEventLog returns a ring holding up to capacity events (minimum 1).
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{buf: make([]Event, capacity)}
+}
+
+// Record appends an event, overwriting the oldest entry when full.
+func (l *EventLog) Record(kind, detail string, value int64) {
+	now := time.Now().UnixNano()
+	l.mu.Lock()
+	l.buf[l.next] = Event{UnixNs: now, Kind: kind, Detail: detail, Value: value}
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.full = true
+	}
+	l.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.full {
+		return len(l.buf)
+	}
+	return l.next
+}
+
+// Events returns the buffered events, oldest first.
+func (l *EventLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.full {
+		return append([]Event(nil), l.buf[:l.next]...)
+	}
+	out := make([]Event, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	return append(out, l.buf[:l.next]...)
+}

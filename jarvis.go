@@ -283,6 +283,36 @@ func (s *System) Recommend(state env.State, t int) (env.Action, error) {
 	return act, nil
 }
 
+// Agent exposes the trained agent (nil before Train or Restore) for
+// instrumentation, diagnostics, and persistence surfaces.
+func (s *System) Agent() *rl.Agent { return s.agent }
+
+// Decision is one audited recommendation: the chosen safe action, the Q
+// value backing it, and whether the system fell back to the degraded NoOp.
+// The daemon's structured decision log records one entry per Decision so
+// safety behavior is auditable offline.
+type Decision struct {
+	Action   env.Action
+	Value    float64
+	Degraded bool
+}
+
+// RecommendDecision is Recommend plus the audit surface: it reports the Q
+// value of the chosen action and whether this recommendation degraded to
+// the safe NoOp (non-finite Q values or a failed FSM transition check).
+func (s *System) RecommendDecision(state env.State, t int) (Decision, error) {
+	before := s.DegradedRecommendations()
+	act, err := s.Recommend(state, t)
+	if err != nil {
+		return Decision{}, err
+	}
+	d := Decision{Action: act, Degraded: s.DegradedRecommendations() > before}
+	if !d.Degraded {
+		d.Value = s.agent.LastValue()
+	}
+	return d, nil
+}
+
 // DegradedRecommendations counts the recommendations that fell back to the
 // safe NoOp — because the Q function produced non-finite values or the
 // greedy action failed the FSM transition check. A nonzero count signals a
