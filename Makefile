@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-daemon race-core fmt check bench stats
+.PHONY: build test vet race race-daemon race-core fmt check bench stats crash
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,13 @@ race-daemon:
 # The batched compute core's concurrency surface: the nn worker pool, the
 # parallel experiment harness, and the metrics registry they report into.
 race-core:
-	$(GO) test -race ./internal/nn/ ./internal/rl/ ./internal/experiment/ ./internal/telemetry/
+	$(GO) test -race ./internal/nn/ ./internal/rl/ ./internal/experiment/ ./internal/telemetry/ ./internal/wal/
+
+# The crash-recovery drill: SIGKILL a real daemon mid-online-training,
+# boot a successor on its checkpoint + WAL, and require the recovered
+# training state to match a never-crashed control byte for byte.
+crash:
+	$(GO) test -run 'TestCrashRecoverySIGKILL|TestWALReplay|TestWALTornTail' -count=1 -v ./cmd/jarvisd/
 
 # Measure the batched compute core and write BENCH_core.json, plus the
 # allocation-asserting micro-benchmarks of the root package.

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -41,15 +42,17 @@ type request struct {
 
 // response mirrors jarvisd's protocol.
 type response struct {
-	OK         bool     `json:"ok"`
-	Error      string   `json:"error,omitempty"`
-	State      []string `json:"state,omitempty"`
-	Action     string   `json:"action,omitempty"`
-	Unsafe     bool     `json:"unsafe,omitempty"`
-	Violations int      `json:"violations,omitempty"`
-	Minute     int      `json:"minute,omitempty"`
-	Degraded   int      `json:"degraded,omitempty"`
-	Q          float64  `json:"q,omitempty"`
+	OK           bool     `json:"ok"`
+	Error        string   `json:"error,omitempty"`
+	State        []string `json:"state,omitempty"`
+	Action       string   `json:"action,omitempty"`
+	Unsafe       bool     `json:"unsafe,omitempty"`
+	Violations   int      `json:"violations,omitempty"`
+	Minute       int      `json:"minute,omitempty"`
+	Degraded     int      `json:"degraded,omitempty"`
+	Q            float64  `json:"q,omitempty"`
+	Busy         bool     `json:"busy,omitempty"`
+	RetryAfterMs int      `json:"retryAfterMs,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -57,6 +60,7 @@ func run(args []string, out io.Writer) error {
 	addr := fs.String("addr", "127.0.0.1:7463", "jarvisd address")
 	debugAddr := fs.String("debug-addr", "127.0.0.1:7464", "jarvisd debug (metrics) address")
 	timeout := fs.Duration("timeout", 5*time.Second, "dial/roundtrip timeout")
+	retries := fs.Int("retries", 3, "retries after a connection failure or busy rejection (0 = single attempt)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,11 +74,49 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	resp, err := roundTrip(*addr, *timeout, req)
+	resp, err := roundTripRetry(*addr, *timeout, *retries, req, time.Sleep)
 	if err != nil {
 		return err
 	}
 	return render(out, req, resp)
+}
+
+// roundTripRetry retries transient failures — a connection that cannot be
+// made or dies mid-exchange, or an admission-control busy rejection — with
+// jittered exponential backoff. A busy daemon's RetryAfterMs hint, when
+// present, overrides the backoff base for that attempt. Protocol-level
+// errors (resp.Error without Busy) are never retried: the daemon answered,
+// it just said no. The client exits non-zero only once every attempt is
+// exhausted.
+func roundTripRetry(addr string, timeout time.Duration, retries int, req request, sleep func(time.Duration)) (response, error) {
+	backoff := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		resp, err := roundTrip(addr, timeout, req)
+		var lastErr error
+		switch {
+		case err == nil && !resp.Busy:
+			return resp, nil
+		case err == nil:
+			lastErr = fmt.Errorf("daemon busy: %s", resp.Error)
+		default:
+			lastErr = err
+		}
+		if attempt >= retries {
+			if attempt > 0 {
+				return response{}, fmt.Errorf("%w (after %d attempts)", lastErr, attempt+1)
+			}
+			return response{}, lastErr
+		}
+		wait := backoff
+		if err == nil && resp.RetryAfterMs > 0 {
+			wait = time.Duration(resp.RetryAfterMs) * time.Millisecond
+		}
+		// Half fixed, half jitter: concurrent clients retrying off the same
+		// rejection spread out instead of stampeding back in lockstep.
+		wait = wait/2 + time.Duration(rand.Int63n(int64(wait/2)+1))
+		sleep(wait)
+		backoff *= 2
+	}
 }
 
 func buildRequest(args []string) (request, error) {

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -167,5 +168,105 @@ func TestDialFailure(t *testing.T) {
 	err := run([]string{"-addr", "127.0.0.1:1", "-timeout", (200 * time.Millisecond).String(), "state"}, &buf)
 	if err == nil {
 		t.Skip("port 1 unexpectedly reachable")
+	}
+}
+
+// flakyDaemon kills the first failures connections outright and answers
+// the next busyCount requests with a busy rejection before finally
+// serving. It reports how many connections it saw.
+func flakyDaemon(t *testing.T, failures, busyCount int) (addr string, seen *int32) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var n int32
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			i := atomic.AddInt32(&n, 1)
+			go func() {
+				defer conn.Close()
+				if int(i) <= failures {
+					return // die before answering: the client sees a receive error
+				}
+				var req request
+				if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&req); err != nil {
+					return
+				}
+				resp := response{OK: true, Minute: 1, Violations: 5}
+				if int(i) <= failures+busyCount {
+					resp = response{Error: "overloaded", Busy: true, RetryAfterMs: 1}
+				}
+				_ = json.NewEncoder(conn).Encode(resp)
+			}()
+		}
+	}()
+	return ln.Addr().String(), &n
+}
+
+func TestRetrySurvivesFlakyServer(t *testing.T) {
+	addr, seen := flakyDaemon(t, 1, 1) // one dead connection, one busy, then ok
+	slept := 0
+	resp, err := roundTripRetry(addr, time.Second, 3, request{Op: "violations"},
+		func(time.Duration) { slept++ })
+	if err != nil {
+		t.Fatalf("retry should have recovered: %v", err)
+	}
+	if !resp.OK || resp.Violations != 5 {
+		t.Errorf("resp = %+v, want the served answer", resp)
+	}
+	if got := atomic.LoadInt32(seen); got != 3 {
+		t.Errorf("server saw %d connections, want 3", got)
+	}
+	if slept != 2 {
+		t.Errorf("slept %d times, want 2 (one per failed attempt)", slept)
+	}
+}
+
+func TestRetryExhaustionFailsOnce(t *testing.T) {
+	addr, seen := flakyDaemon(t, 100, 0) // never recovers
+	_, err := roundTripRetry(addr, time.Second, 2, request{Op: "state"},
+		func(time.Duration) {})
+	if err == nil {
+		t.Fatal("exhausted retries should fail")
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("error %q should report the attempt count", err)
+	}
+	if got := atomic.LoadInt32(seen); got != 3 {
+		t.Errorf("server saw %d connections, want exactly 1 + 2 retries", got)
+	}
+}
+
+func TestRetryZeroMeansSingleAttempt(t *testing.T) {
+	addr, seen := flakyDaemon(t, 100, 0)
+	_, err := roundTripRetry(addr, time.Second, 0, request{Op: "state"},
+		func(time.Duration) { t.Error("retries=0 must not sleep") })
+	if err == nil {
+		t.Fatal("want failure")
+	}
+	if got := atomic.LoadInt32(seen); got != 1 {
+		t.Errorf("server saw %d connections, want 1", got)
+	}
+}
+
+func TestProtocolErrorsAreNotRetried(t *testing.T) {
+	addr := fakeDaemon(t)
+	calls := 0
+	resp, err := roundTripRetry(addr, time.Second, 3, request{Op: "event", Device: "ghost", Action: "x"},
+		func(time.Duration) { calls++ })
+	if err != nil {
+		t.Fatalf("a daemon-level error is still a delivered response: %v", err)
+	}
+	if resp.OK || resp.Error == "" {
+		t.Errorf("resp = %+v, want the daemon's error answer", resp)
+	}
+	if calls != 0 {
+		t.Errorf("slept %d times; protocol errors must not be retried", calls)
 	}
 }

@@ -5,34 +5,66 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"time"
 
 	"jarvis/internal/checkpoint"
+	"jarvis/internal/env"
 )
 
 // checkpointVersion guards the on-disk format; bump on layout changes.
-const checkpointVersion = 1
+// v2 added the runtime state a WAL replay builds on: environment state,
+// ingest/learn counters, exploration rate, and the replay buffer.
+const checkpointVersion = 2
 
-// checkpointFile is the daemon's on-disk state: the training configuration
+// checkpointFile is one checkpoint generation: the training configuration
 // it was produced under (so a restarted daemon can detect mismatches and
-// retrain), the learned P_safe, the trained Q function, and the running
-// violation count.
+// retrain), the learned P_safe, the trained Q function, and the runtime
+// state the WAL replays on top of.
 type checkpointFile struct {
 	Version      int             `json:"version"`
 	Seed         int64           `json:"seed"`
 	LearningDays int             `json:"learningDays"`
 	Episodes     int             `json:"episodes"`
 	Violations   int             `json:"violations"`
+	State        env.State       `json:"state,omitempty"`
+	Events       int             `json:"events,omitempty"`
+	OnlineSteps  int             `json:"onlineSteps,omitempty"`
+	LearnSteps   int             `json:"learnSteps,omitempty"`
+	Epsilon      float64         `json:"epsilon,omitempty"`
 	Table        json.RawMessage `json:"table"`
 	Q            json.RawMessage `json:"q"`
+	Replay       json.RawMessage `json:"replay,omitempty"`
 }
 
-// loadRetry is the startup restore policy: a few quick attempts absorb a
-// checkpoint that is mid-rename or on briefly flaky storage.
+// loadRetry is the restore policy: a few quick attempts absorb briefly
+// flaky storage. Deterministic rejections (checksum, decode, config
+// mismatch) are wrapped in checkpoint.ErrCorrupt so they skip the retries
+// and fall straight back to the previous generation.
 var loadRetry = checkpoint.LoadOptions{Tries: 3, Backoff: 25 * time.Millisecond}
 
-// saveCheckpoint atomically persists the daemon state. Safe to call from
-// any goroutine; it takes the state lock.
+// openStore opens the generation store rooted next to cfg.CheckpointPath:
+// generations are path.000001, path.000002, ... plus a MANIFEST in the
+// same directory. A corrupt manifest is quarantined (renamed aside) and
+// the store reopened empty rather than keeping the daemon down.
+func openStore(cfg serverConfig) (*checkpoint.Store, error) {
+	dir, base := filepath.Dir(cfg.CheckpointPath), filepath.Base(cfg.CheckpointPath)
+	now := func() int64 { return time.Now().UnixNano() }
+	st, err := checkpoint.OpenStore(dir, base, cfg.CheckpointRetain, now)
+	if err == nil {
+		return st, nil
+	}
+	cfg.Logf("jarvisd: checkpoint manifest unreadable (%v); quarantining", err)
+	bad := filepath.Join(dir, "MANIFEST")
+	if rerr := os.Rename(bad, bad+".corrupt"); rerr != nil {
+		return nil, fmt.Errorf("checkpoint store: %w", err)
+	}
+	return checkpoint.OpenStore(dir, base, cfg.CheckpointRetain, now)
+}
+
+// saveCheckpoint atomically persists the daemon state as a new
+// generation. Safe to call from any goroutine; it takes the state lock.
 func (s *server) saveCheckpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -40,13 +72,25 @@ func (s *server) saveCheckpoint() error {
 }
 
 // saveCheckpointLocked is saveCheckpoint for callers already holding s.mu.
+// On success the WAL is reset: the checkpoint now durably covers
+// everything the journal would replay. (If the process dies between the
+// save and the reset, the sequence numbers persisted in the checkpoint
+// make the stale records no-ops on replay.)
 func (s *server) saveCheckpointLocked() error {
-	var table, q bytes.Buffer
+	if s.store == nil {
+		mCkptSaveFailures.Inc()
+		return fmt.Errorf("checkpoint: store unavailable")
+	}
+	var table, q, replay bytes.Buffer
 	if err := s.sys.SaveTable(&table); err != nil {
 		mCkptSaveFailures.Inc()
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	if err := s.sys.SaveQ(&q); err != nil {
+		mCkptSaveFailures.Inc()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := s.sys.Agent().ReplayBuffer().Save(&replay); err != nil {
 		mCkptSaveFailures.Inc()
 		return fmt.Errorf("checkpoint: %w", err)
 	}
@@ -56,41 +100,77 @@ func (s *server) saveCheckpointLocked() error {
 		LearningDays: s.cfg.LearningDays,
 		Episodes:     s.cfg.Episodes,
 		Violations:   s.violations,
+		State:        s.state,
+		Events:       s.eventsIngested,
+		OnlineSteps:  s.onlineSteps,
+		LearnSteps:   s.learnSteps,
+		Epsilon:      s.sys.Agent().Epsilon(),
 		Table:        table.Bytes(),
 		Q:            q.Bytes(),
+		Replay:       replay.Bytes(),
 	}
-	if err := checkpoint.WriteAtomic(s.cfg.CheckpointPath, func(w io.Writer) error {
+	gen, err := s.store.Save(func(w io.Writer) error {
 		return json.NewEncoder(w).Encode(&ckpt)
-	}); err != nil {
+	})
+	if err != nil {
 		mCkptSaveFailures.Inc()
 		return err
 	}
 	mCkptSaves.Inc()
 	s.lastCkpt.Store(time.Now().UnixNano())
+	if s.wal != nil {
+		if err := s.wal.Reset(); err != nil {
+			s.cfg.Logf("jarvisd: wal reset after checkpoint gen %d failed: %v", gen, err)
+		}
+	}
 	return nil
 }
 
-// restoreCheckpoint rebuilds the trained system from cfg.CheckpointPath
-// into assets.sys, skipping optimizer training. Any failure — missing
-// file, corrupt JSON, version or configuration mismatch, unloadable table
-// or Q — is returned so the caller can fall back to fresh training.
-func restoreCheckpoint(cfg serverConfig, assets *learningAssets, violations *int) error {
-	var ckpt checkpointFile
-	if err := checkpoint.Load(cfg.CheckpointPath, loadRetry, func(r io.Reader) error {
-		ckpt = checkpointFile{}
-		return json.NewDecoder(r).Decode(&ckpt)
-	}); err != nil {
-		return err
-	}
+// validateCheckpoint rejects a decoded generation the daemon cannot use.
+// Every rejection here is deterministic — retrying the same bytes cannot
+// help — so each is wrapped in checkpoint.ErrCorrupt, which makes the
+// store fall back to the previous generation without burning retries.
+func validateCheckpoint(cfg serverConfig, k int, ckpt *checkpointFile) error {
 	if ckpt.Version != checkpointVersion {
-		return fmt.Errorf("checkpoint: version %d, want %d", ckpt.Version, checkpointVersion)
+		return fmt.Errorf("version %d, want %d: %w", ckpt.Version, checkpointVersion, checkpoint.ErrCorrupt)
 	}
 	if ckpt.Seed != cfg.Seed || ckpt.LearningDays != cfg.LearningDays || ckpt.Episodes != cfg.Episodes {
-		return fmt.Errorf("checkpoint: trained with seed=%d days=%d episodes=%d, daemon wants seed=%d days=%d episodes=%d",
-			ckpt.Seed, ckpt.LearningDays, ckpt.Episodes, cfg.Seed, cfg.LearningDays, cfg.Episodes)
+		return fmt.Errorf("trained with seed=%d days=%d episodes=%d, daemon wants seed=%d days=%d episodes=%d: %w",
+			ckpt.Seed, ckpt.LearningDays, ckpt.Episodes, cfg.Seed, cfg.LearningDays, cfg.Episodes, checkpoint.ErrCorrupt)
 	}
 	if len(ckpt.Table) == 0 || len(ckpt.Q) == 0 {
-		return fmt.Errorf("checkpoint: missing table or Q payload")
+		return fmt.Errorf("missing table or Q payload: %w", checkpoint.ErrCorrupt)
+	}
+	if len(ckpt.State) != 0 && len(ckpt.State) != k {
+		return fmt.Errorf("state has %d devices, environment has %d: %w", len(ckpt.State), k, checkpoint.ErrCorrupt)
+	}
+	return nil
+}
+
+// loadCheckpoint decodes the newest usable generation, falling back
+// generation by generation past corrupt or mismatched ones.
+func (s *server) loadCheckpoint() (*checkpointFile, uint64, error) {
+	var ckpt checkpointFile
+	gen, err := s.store.Load(loadRetry, func(r io.Reader) error {
+		ckpt = checkpointFile{}
+		if err := json.NewDecoder(r).Decode(&ckpt); err != nil {
+			return fmt.Errorf("decode: %v: %w", err, checkpoint.ErrCorrupt)
+		}
+		return validateCheckpoint(s.cfg, s.home.Env.K(), &ckpt)
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return &ckpt, gen, nil
+}
+
+// restoreCheckpoint rebuilds the trained system and runtime counters from
+// the newest usable generation, skipping optimizer training. Any failure
+// is returned so the caller can fall back to fresh training.
+func (s *server) restoreCheckpoint(assets *learningAssets) error {
+	ckpt, gen, err := s.loadCheckpoint()
+	if err != nil {
+		return err
 	}
 	if err := assets.sys.LoadTable(bytes.NewReader(ckpt.Table)); err != nil {
 		return fmt.Errorf("checkpoint table: %w", err)
@@ -98,6 +178,49 @@ func restoreCheckpoint(cfg serverConfig, assets *learningAssets, violations *int
 	if err := assets.sys.Restore(assets.simCfg, assets.trainCfg, bytes.NewReader(ckpt.Q)); err != nil {
 		return err
 	}
-	*violations = ckpt.Violations
+	s.violations = ckpt.Violations
+	s.eventsIngested = ckpt.Events
+	s.onlineSteps = ckpt.OnlineSteps
+	s.learnSteps = ckpt.LearnSteps
+	if len(ckpt.State) == s.home.Env.K() {
+		s.state = ckpt.State
+	}
+	if ckpt.Epsilon > 0 {
+		assets.sys.Agent().SetEpsilon(ckpt.Epsilon)
+	}
+	if len(ckpt.Replay) > 0 {
+		if err := assets.sys.Agent().ReplayBuffer().Load(bytes.NewReader(ckpt.Replay)); err != nil {
+			// The replay buffer is an accelerant, not ground truth; losing
+			// it degrades online learning but nothing else.
+			s.cfg.Logf("jarvisd: checkpoint gen %d replay buffer unloadable (%v); starting empty", gen, err)
+		}
+	}
+	return nil
+}
+
+// restoreNewestQ rolls only the agent's Q function back to the newest
+// valid generation — the divergence watchdog's recovery action. Runs on
+// the dispatch path (caller holds s.mu).
+func (s *server) restoreNewestQ() error {
+	if s.store == nil {
+		return fmt.Errorf("checkpoint store unavailable")
+	}
+	gen, err := s.store.Load(loadRetry, func(r io.Reader) error {
+		var ckpt checkpointFile
+		if err := json.NewDecoder(r).Decode(&ckpt); err != nil {
+			return fmt.Errorf("decode: %v: %w", err, checkpoint.ErrCorrupt)
+		}
+		if err := validateCheckpoint(s.cfg, s.home.Env.K(), &ckpt); err != nil {
+			return err
+		}
+		if err := s.sys.LoadQ(bytes.NewReader(ckpt.Q)); err != nil {
+			return fmt.Errorf("load q: %v: %w", err, checkpoint.ErrCorrupt)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.cfg.Logf("jarvisd: watchdog rolled Q back to checkpoint generation %d", gen)
 	return nil
 }

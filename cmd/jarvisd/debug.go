@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"jarvis/internal/rl"
 	"jarvis/internal/telemetry"
 )
 
@@ -86,6 +87,22 @@ type healthStatus struct {
 	// when checkpointing is enabled). Informational: the daemon checkpoints
 	// on demand and on shutdown, so age alone is not a failure.
 	CheckpointAgeSec float64 `json:"checkpointAgeSec,omitempty"`
+	// Watchdog reports divergence trips and generation rollbacks. A
+	// nonzero rollback count with zero degraded recommendations means the
+	// self-healing path worked: the optimizer diverged and was restored
+	// without ever serving from the broken Q function.
+	Watchdog rl.WatchdogStats `json:"watchdog"`
+	// Admission control, as seen at report time.
+	QueueDepth     int64 `json:"queueDepth"`
+	ShedEvents     int   `json:"shedEvents,omitempty"`
+	ShedRecommends int   `json:"shedRecommends,omitempty"`
+	// Online learning progression (events applied, transitions accepted,
+	// learn steps run).
+	Events      int `json:"events,omitempty"`
+	OnlineSteps int `json:"onlineSteps,omitempty"`
+	LearnSteps  int `json:"learnSteps,omitempty"`
+	// WALSegments is the journal's current segment count (0 = disabled).
+	WALSegments int `json:"walSegments,omitempty"`
 }
 
 // handleHealthz reports daemon health: 200 while every recommendation so
@@ -99,6 +116,18 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		DegradedRecommendations: s.sys.DegradedRecommendations(),
 		Violations:              s.violations,
 		RestoredFromCheckpoint:  s.restored,
+		QueueDepth:              s.inflight.Load(),
+		ShedEvents:              s.shedEvents,
+		ShedRecommends:          s.shedRecommends,
+		Events:                  s.eventsIngested,
+		OnlineSteps:             s.onlineSteps,
+		LearnSteps:              s.learnSteps,
+	}
+	if s.watchdog != nil {
+		h.Watchdog = s.watchdog.Stats()
+	}
+	if s.wal != nil {
+		h.WALSegments = s.wal.Segments()
 	}
 	s.mu.Unlock()
 	if s.cfg.CheckpointPath != "" {

@@ -7,6 +7,7 @@
 //	{"op":"recommend"}                               → Jarvis's best safe action now
 //	{"op":"violations"}                              → unsafe transitions seen so far
 //	{"op":"checkpoint"}                              → force a checkpoint save now
+//	{"op":"learnstate"}                              → online-learning fingerprint
 //
 // Every applied event is checked against the learned P_safe; unsafe
 // transitions are executed (the hub is a monitor, not a gate) but flagged
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"jarvis/internal/telemetry"
+	"jarvis/internal/wal"
 )
 
 func main() {
@@ -44,7 +46,13 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed for the learning phase")
 	learningDays := fs.Int("learning-days", 7, "simulated learning-phase length")
 	episodes := fs.Int("episodes", 60, "optimizer training episodes")
-	ckpt := fs.String("checkpoint", "", "checkpoint file: restore trained state on start, save on shutdown (empty = disabled)")
+	ckpt := fs.String("checkpoint", "", "checkpoint base path: restore the newest valid generation on start, save a new one on shutdown (empty = disabled)")
+	ckptRetain := fs.Int("checkpoint-retain", 4, "checkpoint generations to keep on disk")
+	walDir := fs.String("wal", "", "write-ahead log directory: journal events and learning transitions, replay them after a crash (empty = disabled)")
+	walSync := fs.String("wal-sync", "record", "WAL fsync policy: record | interval | rotate")
+	maxQueue := fs.Int("max-queue", 64, "admission threshold: shed learning above half this many inflight requests, recommendations above it (negative = never shed)")
+	onlineEvery := fs.Int("online-train-every", 4, "run one online learn step per N ingested transitions (negative = disabled)")
+	fixedMinute := fs.Int("fixed-minute", 0, "pin the minute-of-day for deterministic replay testing (0 = wall clock)")
 	debugAddr := fs.String("debug-addr", "127.0.0.1:7464", "HTTP address for /metrics, /healthz, /debug/vars and /debug/pprof (empty = disabled)")
 	logDecisions := fs.String("log-decisions", "", "append one JSON line per recommendation/event decision to this file (empty = disabled)")
 	idle := fs.Duration("idle-timeout", 5*time.Minute, "drop connections idle longer than this")
@@ -52,17 +60,34 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var syncPolicy wal.SyncPolicy
+	switch *walSync {
+	case "record":
+		syncPolicy = wal.SyncEveryRecord
+	case "interval":
+		syncPolicy = wal.SyncInterval
+	case "rotate":
+		syncPolicy = wal.SyncOnRotate
+	default:
+		return fmt.Errorf("unknown -wal-sync %q (want record, interval, or rotate)", *walSync)
+	}
 
 	fmt.Fprintf(os.Stderr, "jarvisd: learning phase (%d days) and optimizer training...\n", *learningDays)
 	srv, err := newServer(serverConfig{
-		Seed:            *seed,
-		LearningDays:    *learningDays,
-		Episodes:        *episodes,
-		CheckpointPath:  *ckpt,
-		DebugAddr:       *debugAddr,
-		DecisionLogPath: *logDecisions,
-		IdleTimeout:     *idle,
-		WriteTimeout:    *writeTimeout,
+		Seed:             *seed,
+		LearningDays:     *learningDays,
+		Episodes:         *episodes,
+		CheckpointPath:   *ckpt,
+		CheckpointRetain: *ckptRetain,
+		WALDir:           *walDir,
+		WALSync:          syncPolicy,
+		MaxQueue:         *maxQueue,
+		OnlineTrainEvery: *onlineEvery,
+		FixedMinute:      *fixedMinute,
+		DebugAddr:        *debugAddr,
+		DecisionLogPath:  *logDecisions,
+		IdleTimeout:      *idle,
+		WriteTimeout:     *writeTimeout,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

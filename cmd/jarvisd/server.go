@@ -2,6 +2,9 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,11 +16,13 @@ import (
 	"time"
 
 	"jarvis"
+	"jarvis/internal/checkpoint"
 	"jarvis/internal/dataset"
 	"jarvis/internal/env"
 	"jarvis/internal/reward"
 	"jarvis/internal/rl"
 	"jarvis/internal/smarthome"
+	"jarvis/internal/wal"
 )
 
 // serverConfig sizes the daemon's startup learning phase and its
@@ -28,11 +33,41 @@ type serverConfig struct {
 	Episodes     int
 
 	// CheckpointPath, when non-empty, enables checkpoint/restore: startup
-	// restores the trained system from this file instead of retraining,
-	// and the daemon re-checkpoints after training, on demand, and on
-	// shutdown. Writes are atomic (temp + rename); a corrupt or mismatched
-	// checkpoint falls back to fresh training.
+	// restores the trained system from the newest usable generation
+	// instead of retraining, and the daemon re-checkpoints after training,
+	// on demand, and on shutdown. Generations live next to the path
+	// (path.000001, ... plus a MANIFEST); writes are atomic and
+	// checksummed, and a corrupt or mismatched generation falls back to
+	// the previous one, then to fresh training.
 	CheckpointPath string
+	// CheckpointRetain caps how many checkpoint generations are kept
+	// (default 4, minimum 1).
+	CheckpointRetain int
+
+	// WALDir, when non-empty, journals every applied event and every
+	// accepted learning transition to a write-ahead log in this
+	// directory. On startup, surviving records are replayed on top of the
+	// restored checkpoint, so a crashed daemon resumes in the training
+	// state it died in; each successful checkpoint resets the log.
+	WALDir string
+	// WALSync is the journal fsync cadence (default wal.SyncEveryRecord).
+	WALSync wal.SyncPolicy
+
+	// MaxQueue is the admission-control threshold on concurrently served
+	// requests. Above MaxQueue/2 the learning ingestion of events is shed
+	// (the safety audit always runs); above MaxQueue, recommendations are
+	// rejected with a busy response and a retry hint. 0 picks the default
+	// (64); negative disables shedding entirely.
+	MaxQueue int
+
+	// OnlineTrainEvery runs one replay learn step every N accepted
+	// transitions (default 4; negative disables online learning).
+	OnlineTrainEvery int
+
+	// FixedMinute, when positive, pins the minute-of-day used for every
+	// request instead of deriving it from wall time — determinism for
+	// crash-recovery tests that must replay into an identical state.
+	FixedMinute int
 
 	// DebugAddr, when non-empty, serves the observability endpoints
 	// (/metrics, /healthz, /debug/vars, /debug/pprof) on a separate HTTP
@@ -66,6 +101,15 @@ func (c serverConfig) withDefaults() serverConfig {
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
 	}
+	if c.CheckpointRetain <= 0 {
+		c.CheckpointRetain = 4
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.OnlineTrainEvery == 0 {
+		c.OnlineTrainEvery = 4
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -91,6 +135,19 @@ type response struct {
 	Degraded   int      `json:"degraded,omitempty"`
 	// Q is the Q value backing a recommendation (0 on a degraded fallback).
 	Q float64 `json:"q,omitempty"`
+	// Busy is set when admission control rejected the request; the client
+	// should back off RetryAfterMs before retrying.
+	Busy         bool `json:"busy,omitempty"`
+	RetryAfterMs int  `json:"retryAfterMs,omitempty"`
+	// learnstate: the online-learning fingerprint — replay buffer size,
+	// ingest/learn counters, and a digest of the serialized Q function.
+	// Two daemons with equal fingerprints are in identical training
+	// states, which is exactly what the crash-recovery harness asserts.
+	ReplaySize  int    `json:"replaySize,omitempty"`
+	Events      int    `json:"events,omitempty"`
+	OnlineSteps int    `json:"onlineSteps,omitempty"`
+	LearnSteps  int    `json:"learnSteps,omitempty"`
+	QSum        string `json:"qsum,omitempty"`
 }
 
 // server owns the environment state and the trained Jarvis system. All
@@ -105,6 +162,30 @@ type server struct {
 	state      env.State
 	startOfDay time.Time
 	violations int
+
+	// Online-learning progression, all guarded by mu: events applied,
+	// transitions accepted into the learner, learn steps actually run,
+	// and requests shed by admission control.
+	eventsIngested int
+	onlineSteps    int
+	learnSteps     int
+	shedEvents     int
+	shedRecommends int
+
+	// inflight counts requests currently being served; admission control
+	// sheds work above the configured thresholds. Atomic because it is
+	// bumped before dispatch takes mu.
+	inflight atomic.Int64
+
+	// store is the checkpoint generation store (nil when checkpointing is
+	// disabled or the store could not be opened).
+	store *checkpoint.Store
+	// wal is the event/transition journal (nil when disabled).
+	wal *wal.Log
+	// watchdog monitors the agent for divergence and rolls Q back to the
+	// newest valid generation; always attached, but only able to restore
+	// when the store is available.
+	watchdog *rl.Watchdog
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -210,12 +291,22 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 
 	if cfg.CheckpointPath != "" {
-		switch err := restoreCheckpoint(cfg, assets, &s.violations); {
+		st, err := openStore(cfg)
+		if err != nil {
+			// Checkpointing is a durability feature, not a liveness one:
+			// run without it rather than refusing to start.
+			cfg.Logf("jarvisd: checkpoint store unavailable (%v); running without checkpoints", err)
+		}
+		s.store = st
+	}
+	if s.store != nil {
+		switch err := s.restoreCheckpoint(assets); {
 		case err == nil:
 			s.restored = true
 			mCkptRestores.Inc()
 			s.lastCkpt.Store(time.Now().UnixNano())
-			cfg.Logf("jarvisd: restored trained state from %s", cfg.CheckpointPath)
+			cfg.Logf("jarvisd: restored trained state from %s (%d generations on disk)",
+				cfg.CheckpointPath, len(s.store.Generations()))
 		default:
 			// Corrupt, missing, or mismatched checkpoint: fall back to
 			// fresh training rather than crashing.
@@ -227,11 +318,29 @@ func newServer(cfg serverConfig) (*server, error) {
 		if _, err := assets.sys.Train(assets.simCfg, assets.trainCfg); err != nil {
 			return nil, fmt.Errorf("optimizer training: %w", err)
 		}
-		if cfg.CheckpointPath != "" {
+		if s.store != nil {
 			if err := s.saveCheckpoint(); err != nil {
 				cfg.Logf("jarvisd: checkpoint save failed: %v", err)
 			}
 		}
+	}
+
+	// The watchdog is always attached — divergence detection costs one
+	// scan the agent already makes — but it can only roll back when a
+	// generation store exists.
+	var restoreFn func() error
+	if s.store != nil {
+		restoreFn = s.restoreNewestQ
+	}
+	s.watchdog = s.sys.Agent().AttachWatchdog(rl.WatchdogConfig{
+		Restore: restoreFn,
+		Logf:    cfg.Logf,
+	})
+
+	// The WAL opens last: replay applies on top of whatever base state the
+	// restore/train decision produced.
+	if cfg.WALDir != "" {
+		s.openWAL()
 	}
 	return s, nil
 }
@@ -288,11 +397,21 @@ func (s *server) Close() error {
 	}
 	s.connMu.Unlock()
 	s.wg.Wait()
-	if s.cfg.CheckpointPath != "" {
+	if s.store != nil {
 		if cerr := s.saveCheckpoint(); cerr != nil {
 			s.cfg.Logf("jarvisd: final checkpoint failed: %v", cerr)
 			if err == nil {
 				err = cerr
+			}
+		}
+	}
+	if s.wal != nil {
+		// After the final checkpoint the journal is already reset; closing
+		// just syncs the empty active segment.
+		if werr := s.wal.Close(); werr != nil {
+			s.cfg.Logf("jarvisd: wal close failed: %v", werr)
+			if err == nil {
+				err = werr
 			}
 		}
 	}
@@ -426,8 +545,12 @@ func (s *server) serve(conn net.Conn) {
 	}
 }
 
-// minuteOfDay maps wall time onto the episode's time instance.
+// minuteOfDay maps wall time onto the episode's time instance (or the
+// pinned minute when the daemon runs in deterministic-replay mode).
 func (s *server) minuteOfDay(now time.Time) int {
+	if s.cfg.FixedMinute > 0 {
+		return s.cfg.FixedMinute % smarthome.InstancesPerDay
+	}
 	m := int(now.Sub(s.startOfDay).Minutes()) % smarthome.InstancesPerDay
 	if m < 0 {
 		m += smarthome.InstancesPerDay
@@ -435,23 +558,42 @@ func (s *server) minuteOfDay(now time.Time) int {
 	return m
 }
 
-// handle counts and times one request, then dispatches it.
+// handle counts and times one request, then dispatches it. The inflight
+// gauge — requests admitted but not yet answered — is the queue depth
+// admission control sheds against.
 func (s *server) handle(req request) response {
+	depth := s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	mQueueDepth.SetInt(depth)
 	if c, ok := mRequests[req.Op]; ok {
 		c.Inc()
 	} else {
 		mRequestsUnknown.Inc()
 	}
 	if !mRequestLatency.Enabled() {
-		return s.dispatch(req)
+		return s.dispatch(req, depth)
 	}
 	t0 := time.Now()
-	resp := s.dispatch(req)
+	resp := s.dispatch(req, depth)
 	mRequestLatency.Observe(time.Since(t0))
 	return resp
 }
 
-func (s *server) dispatch(req request) response {
+// shedLearning reports whether the learning half of an event should be
+// shed at this queue depth; shedRecommend likewise for recommendations.
+// Learning sheds first (at half the threshold): the audit check and the
+// state transition are the safety surface and always run, while the
+// learner can catch up from later traffic. Recommendations shed last —
+// they are the product — and reject loudly with a retry hint.
+func (s *server) shedLearning(depth int64) bool {
+	return s.cfg.MaxQueue > 0 && depth > int64(s.cfg.MaxQueue)/2
+}
+
+func (s *server) shedRecommend(depth int64) bool {
+	return s.cfg.MaxQueue > 0 && depth > int64(s.cfg.MaxQueue)
+}
+
+func (s *server) dispatch(req request, depth int64) response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := s.home.Env
@@ -482,7 +624,19 @@ func (s *server) dispatch(req request) response {
 			s.violations++
 			mEventsUnsafe.Inc()
 		}
+		prev := s.state
 		s.state = next
+		s.eventsIngested++
+		s.journal(walRecord{K: "evt", N: s.eventsIngested, M: minute, D: di, A: act, U: unsafe})
+		// The audit check above is never shed; under pressure only the
+		// learning ingestion below is dropped.
+		if s.shedLearning(depth) {
+			s.shedEvents++
+			mShedEvents.Inc()
+		} else {
+			s.journal(walRecord{K: "txn", N: s.onlineSteps + 1, M: minute, D: di, A: act, S: prev})
+			s.ingestTransition(prev, a, minute)
+		}
 		verdict := "safe"
 		if unsafe {
 			verdict = "unsafe"
@@ -496,6 +650,12 @@ func (s *server) dispatch(req request) response {
 		return response{OK: true, State: stateNames(e, s.state), Unsafe: unsafe, Minute: minute, Violations: s.violations}
 
 	case "recommend":
+		if s.shedRecommend(depth) {
+			s.shedRecommends++
+			mShedRecommends.Inc()
+			return response{Error: "overloaded: recommendation shed", Busy: true,
+				RetryAfterMs: 250, Minute: minute}
+		}
 		d, err := s.sys.RecommendDecision(s.state, minute)
 		if err != nil {
 			return response{Error: err.Error()}
@@ -519,13 +679,27 @@ func (s *server) dispatch(req request) response {
 		return response{OK: true, Violations: s.violations, Minute: minute}
 
 	case "checkpoint":
-		if s.cfg.CheckpointPath == "" {
+		if s.store == nil {
 			return response{Error: "daemon started without -checkpoint"}
 		}
 		if err := s.saveCheckpointLocked(); err != nil {
 			return response{Error: err.Error()}
 		}
 		return response{OK: true, Minute: minute}
+
+	case "learnstate":
+		var q bytes.Buffer
+		if err := s.sys.SaveQ(&q); err != nil {
+			return response{Error: err.Error()}
+		}
+		sum := sha256.Sum256(q.Bytes())
+		return response{OK: true, Minute: minute, Violations: s.violations,
+			ReplaySize:  s.sys.Agent().ReplayBuffer().Len(),
+			Events:      s.eventsIngested,
+			OnlineSteps: s.onlineSteps,
+			LearnSteps:  s.learnSteps,
+			QSum:        hex.EncodeToString(sum[:]),
+		}
 	}
 	return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 }

@@ -21,6 +21,7 @@ var (
 		"recommend":  telemetry.Default.Counter("jarvisd.requests.recommend"),
 		"violations": telemetry.Default.Counter("jarvisd.requests.violations"),
 		"checkpoint": telemetry.Default.Counter("jarvisd.requests.checkpoint"),
+		"learnstate": telemetry.Default.Counter("jarvisd.requests.learnstate"),
 	}
 	mRequestsUnknown = telemetry.Default.Counter("jarvisd.requests.unknown")
 	mRequestLatency  = telemetry.Default.Histogram("jarvisd.request.latency")
@@ -36,4 +37,22 @@ var (
 	mCkptRestoreFailures = telemetry.Default.Counter("jarvisd.checkpoint.restore_failures")
 
 	mDecisionsLogged = telemetry.Default.Counter("jarvisd.decisions.logged")
+
+	// Admission control: the inflight-request depth shedding decisions
+	// key off, and what was actually shed at each tier (learning
+	// ingestion first, recommendations last; audit checks never).
+	mQueueDepth     = telemetry.Default.Gauge("jarvisd.queue.depth")
+	mShedEvents     = telemetry.Default.Counter("jarvisd.shed.events")
+	mShedRecommends = telemetry.Default.Counter("jarvisd.shed.recommends")
+
+	// The durability surface: journal append failures (the daemon keeps
+	// serving, but the crash-recovery guarantee narrowed) and what boot
+	// replay reapplied.
+	mWALAppendFailures = telemetry.Default.Counter("jarvisd.wal.append_failures")
+	mWALReplayedEvents = telemetry.Default.Counter("jarvisd.wal.replayed.events")
+	mWALReplayedTxns   = telemetry.Default.Counter("jarvisd.wal.replayed.txns")
+
+	// Online learning driven by live (or replayed) traffic.
+	mOnlineObserved   = telemetry.Default.Counter("jarvisd.online.observed")
+	mOnlineLearnSteps = telemetry.Default.Counter("jarvisd.online.learn_steps")
 )

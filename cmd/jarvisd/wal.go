@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+	"jarvis/internal/wal"
+)
+
+// The daemon journals two record kinds to its write-ahead log, both as one
+// JSON object per record:
+//
+//	evt — every applied device event: the audit trail. Replay re-derives
+//	      the transition and the P_safe verdict, so a restarted daemon
+//	      reaches the exact pre-crash environment state and violation
+//	      count.
+//	txn — every event the learning path accepted (i.e. not shed by
+//	      admission control). Carries the pre-event state, so replay can
+//	      recompute the reward and re-observe the transition into the
+//	      replay buffer, then re-run the same every-Nth learn steps with
+//	      the same per-step seeds. A crashed-and-replayed daemon ends in
+//	      the same training state as one that never crashed.
+//
+// Records carry a sequence number (events and transitions count
+// separately). A checkpoint save persists both counters and then resets
+// the log; if the daemon crashes between the save and the reset, replay
+// skips every record whose sequence the checkpoint already covers, so the
+// overlap window double-applies nothing.
+type walRecord struct {
+	K string          `json:"k"`           // "evt" | "txn"
+	N int             `json:"n"`           // sequence number within the kind
+	M int             `json:"m"`           // minute-of-day at ingest
+	D int             `json:"d"`           // device index
+	A device.ActionID `json:"a"`           // action applied to device D
+	U bool            `json:"u,omitempty"` // evt: flagged unsafe by P_safe
+	S env.State       `json:"s,omitempty"` // txn: state before the event
+}
+
+// journal appends one record to the WAL. Append failures degrade
+// durability, never availability: they are counted and logged, and the
+// request proceeds.
+func (s *server) journal(rec walRecord) {
+	if s.wal == nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err == nil {
+		err = s.wal.Append(b)
+	}
+	if err != nil {
+		mWALAppendFailures.Inc()
+		s.cfg.Logf("jarvisd: wal append (%s #%d) failed: %v", rec.K, rec.N, err)
+	}
+}
+
+// openWAL opens (or creates) the journal and replays whatever survived the
+// last run on top of the restored checkpoint. Must run after the restore /
+// fresh-training decision so the replay applies to the correct base state.
+// A WAL that cannot be opened disables journaling for this run rather than
+// keeping the daemon down — the failure is loud in the log and in
+// wal.append.failures staying at zero.
+func (s *server) openWAL() {
+	wl, err := wal.Open(s.cfg.WALDir, wal.Options{Policy: s.cfg.WALSync})
+	if err != nil {
+		s.cfg.Logf("jarvisd: wal unavailable (%v); continuing without journaling", err)
+		return
+	}
+	s.wal = wl
+	if rs := wl.Recovery(); rs.TruncatedBytes > 0 {
+		s.cfg.Logf("jarvisd: wal recovery truncated %d torn bytes", rs.TruncatedBytes)
+	}
+	events0, txns0 := s.eventsIngested, s.onlineSteps
+	err = wl.Replay(func(b []byte) error {
+		var rec walRecord
+		if err := json.Unmarshal(b, &rec); err != nil {
+			// The framing CRC already passed, so this is a foreign or
+			// future-format record: skip it, don't kill recovery.
+			s.cfg.Logf("jarvisd: wal replay: skipping undecodable record: %v", err)
+			return nil
+		}
+		s.applyWALRecord(rec)
+		return nil
+	})
+	if err != nil {
+		s.cfg.Logf("jarvisd: wal replay stopped early: %v", err)
+	}
+	if s.eventsIngested != events0 || s.onlineSteps != txns0 {
+		s.cfg.Logf("jarvisd: wal replay reapplied %d events, %d learning transitions",
+			s.eventsIngested-events0, s.onlineSteps-txns0)
+	}
+}
+
+// applyWALRecord replays one journaled record through the same code the
+// live path runs, skipping records the restored checkpoint already covers.
+func (s *server) applyWALRecord(rec walRecord) {
+	e := s.home.Env
+	switch rec.K {
+	case "evt":
+		if rec.N <= s.eventsIngested {
+			return // captured by the checkpoint this run restored from
+		}
+		if rec.D < 0 || rec.D >= e.K() {
+			s.cfg.Logf("jarvisd: wal replay: evt #%d has bad device %d", rec.N, rec.D)
+			return
+		}
+		a := env.NoOp(e.K())
+		a[rec.D] = rec.A
+		next, err := e.Transition(s.state, a)
+		if err != nil {
+			s.cfg.Logf("jarvisd: wal replay: evt #%d does not apply: %v", rec.N, err)
+			return
+		}
+		// Re-derive the safety verdict instead of trusting the journaled
+		// flag: the restored P_safe is deterministic, and recomputing keeps
+		// the replayed violation count honest even against a stale record.
+		table := s.sys.SafeTable()
+		if !table.SafeTransition(e.StateKey(s.state), e.StateKey(next), a) {
+			s.violations++
+			mEventsUnsafe.Inc()
+		}
+		s.state = next
+		s.eventsIngested++
+		mWALReplayedEvents.Inc()
+
+	case "txn":
+		if rec.N <= s.onlineSteps {
+			return
+		}
+		if len(rec.S) != e.K() || rec.D < 0 || rec.D >= e.K() {
+			s.cfg.Logf("jarvisd: wal replay: txn #%d malformed", rec.N)
+			return
+		}
+		a := env.NoOp(e.K())
+		a[rec.D] = rec.A
+		s.ingestTransition(rec.S, a, rec.M)
+		mWALReplayedTxns.Inc()
+
+	default:
+		s.cfg.Logf("jarvisd: wal replay: unknown record kind %q", rec.K)
+	}
+}
+
+// ingestTransition feeds one observed transition into the online learner:
+// reward + replay buffer via ObserveTransition, then one learn step every
+// OnlineTrainEvery transitions. The live event path and WAL replay both
+// come through here with identical inputs, and each learn step draws from
+// an RNG seeded only by (daemon seed, transition count) — never by
+// wall-clock or by how the process got here — so a crashed-and-replayed
+// daemon walks the exact training trajectory of one that never crashed.
+func (s *server) ingestTransition(prev env.State, a env.Action, minute int) {
+	s.onlineSteps++
+	if _, _, err := s.sys.ObserveTransition(prev, a, minute); err != nil {
+		s.cfg.Logf("jarvisd: online observe failed: %v", err)
+		return
+	}
+	mOnlineObserved.Inc()
+	if s.cfg.OnlineTrainEvery > 0 && s.onlineSteps%s.cfg.OnlineTrainEvery == 0 {
+		rng := rand.New(rand.NewSource(stepSeed(uint64(s.cfg.Seed), uint64(s.onlineSteps))))
+		ran, err := s.sys.LearnOnline(rng)
+		switch {
+		case err != nil:
+			s.cfg.Logf("jarvisd: online learn step failed: %v", err)
+		case ran:
+			s.learnSteps++
+			mOnlineLearnSteps.Inc()
+		}
+	}
+}
+
+// stepSeed mixes the daemon seed and a step counter into an independent
+// RNG seed (splitmix64 finalizer). Deriving per-step seeds this way keeps
+// online learning deterministic in the transition count alone, which is
+// exactly what WAL replay reconstructs.
+func stepSeed(seed, step uint64) int64 {
+	x := seed + 0x9e3779b97f4a7c15*(step+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}

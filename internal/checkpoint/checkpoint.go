@@ -1,21 +1,52 @@
 // Package checkpoint provides crash-safe persistence primitives for the
-// trained Jarvis state: atomic write-to-temp-then-rename saves and loads
-// with bounded retry. A daemon that checkpoints through this package never
-// leaves a torn file behind — readers see either the previous complete
-// checkpoint or the new one.
+// trained Jarvis state: atomic write-to-temp-then-rename saves (with the
+// parent directory fsynced so the rename itself survives power loss),
+// loads with bounded retry that fail fast on unrecoverable corruption, and
+// a generation store that keeps the last K checksummed checkpoints behind
+// a manifest so a corrupt or diverged newest generation falls back to an
+// older one instead of to fresh training.
 package checkpoint
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 	"time"
 )
 
+// ErrCorrupt marks a checkpoint whose *contents* are invalid — a decode
+// failure, a checksum mismatch, a shape mismatch. Wrap (or return) it from
+// a Load callback to tell Load the failure is deterministic: no number of
+// retries will fix corrupt bytes, so Load returns immediately instead of
+// burning its attempts sleeping. Transient I/O errors (not wrapping
+// ErrCorrupt) still retry.
+var ErrCorrupt = errors.New("checkpoint payload corrupt")
+
+// syncDir fsyncs a directory so a just-completed rename in it is durable.
+// Swapped out by tests; filesystems that cannot sync a directory handle
+// (EINVAL/ENOTSUP) are treated as best-effort.
+var syncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("checkpoint: sync dir: %w", err)
+	}
+	return nil
+}
+
 // WriteAtomic streams fn's output to a temporary file in path's directory,
-// syncs it to stable storage, and renames it over path. On any error the
-// temporary file is removed and path is left untouched.
+// syncs it to stable storage, renames it over path, and fsyncs the parent
+// directory — without the directory sync the rename lives only in the
+// directory's in-memory metadata and a power cut can roll path back to the
+// previous version (or to nothing). On any error the temporary file is
+// removed and path is left untouched.
 func WriteAtomic(path string, fn func(io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
@@ -39,6 +70,9 @@ func WriteAtomic(path string, fn func(io.Writer) error) (err error) {
 	}
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	if err = syncDir(dir); err != nil {
+		return err
 	}
 	return nil
 }
@@ -70,9 +104,10 @@ func (o LoadOptions) withDefaults() LoadOptions {
 // Load opens path and hands the reader to fn, retrying with exponential
 // backoff when opening or fn fails — transient I/O hiccups (NFS, busy
 // disks) heal; a genuinely corrupt checkpoint fails every attempt and the
-// last error is returned for the caller to fall back on. A missing file is
-// returned immediately (no retries) and satisfies errors.Is(err,
-// os.ErrNotExist).
+// last error is returned for the caller to fall back on. Two failure
+// classes skip the retry loop entirely, because retrying cannot change the
+// outcome: a missing file (satisfies errors.Is(err, os.ErrNotExist)) and a
+// deterministic decode failure signalled by fn wrapping ErrCorrupt.
 func Load(path string, opts LoadOptions, fn func(io.Reader) error) error {
 	opts = opts.withDefaults()
 	var last error
@@ -94,6 +129,9 @@ func Load(path string, opts LoadOptions, fn func(io.Reader) error) error {
 		f.Close()
 		if err == nil {
 			return nil
+		}
+		if errors.Is(err, ErrCorrupt) {
+			return fmt.Errorf("checkpoint: load %s: %w", path, err)
 		}
 		last = err
 	}

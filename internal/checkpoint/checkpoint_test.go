@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -121,5 +122,94 @@ func TestLoadExhaustsRetriesOnCorruptFile(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "after 2 attempts") {
 		t.Errorf("error does not mention attempts: %v", err)
+	}
+}
+
+func TestLoadCorruptSentinelSkipsRetries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	attempts, slept := 0, 0
+	err := Load(path, LoadOptions{
+		Tries: 5,
+		Sleep: func(time.Duration) { slept++ },
+	}, func(io.Reader) error {
+		attempts++
+		return fmt.Errorf("bad shape: %w", ErrCorrupt)
+	})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (corruption is deterministic)", attempts)
+	}
+	if slept != 0 {
+		t.Errorf("slept %d times on a corrupt payload", slept)
+	}
+}
+
+func TestLoadTransientThenCorruptStopsAtCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	attempts := 0
+	err := Load(path, LoadOptions{Tries: 5, Sleep: func(time.Duration) {}}, func(io.Reader) error {
+		attempts++
+		if attempts == 1 {
+			return errors.New("transient")
+		}
+		return ErrCorrupt
+	})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (one transient retry, then corrupt fast-fail)", attempts)
+	}
+}
+
+func TestWriteAtomicSyncsParentDir(t *testing.T) {
+	orig := syncDir
+	defer func() { syncDir = orig }()
+	var synced []string
+	syncDir = func(dir string) error {
+		synced = append(synced, dir)
+		return orig(dir)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	if err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "x")
+		return err
+	}); err != nil {
+		t.Fatalf("WriteAtomic: %v", err)
+	}
+	if len(synced) != 1 || synced[0] != dir {
+		t.Errorf("syncDir calls = %v, want exactly [%s]", synced, dir)
+	}
+}
+
+func TestWriteAtomicDirSyncFailureSurfaces(t *testing.T) {
+	orig := syncDir
+	defer func() { syncDir = orig }()
+	boom := errors.New("dir sync boom")
+	syncDir = func(string) error { return boom }
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "x")
+		return err
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("WriteAtomic err = %v, want dir-sync failure", err)
+	}
+}
+
+func TestSyncDirRealDirectory(t *testing.T) {
+	// The real implementation must succeed (or tolerate EINVAL/ENOTSUP) on
+	// an ordinary directory.
+	if err := syncDir(t.TempDir()); err != nil {
+		t.Fatalf("syncDir: %v", err)
 	}
 }

@@ -1,0 +1,205 @@
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// manifestName is the index file a Store maintains next to its generation
+// files. It is always written last (atomically, with a directory fsync),
+// so a crash between writing a generation file and updating the manifest
+// leaves the previous manifest — and therefore a consistent view — intact.
+const manifestName = "MANIFEST"
+
+// Generation describes one retained checkpoint generation as recorded in
+// the manifest.
+type Generation struct {
+	// Gen is the monotonically increasing generation number.
+	Gen uint64 `json:"gen"`
+	// File is the generation's file name, relative to the store directory.
+	File string `json:"file"`
+	// SHA256 is the hex digest of the file's contents, computed while the
+	// bytes were first written; Load refuses any generation whose on-disk
+	// bytes no longer match.
+	SHA256 string `json:"sha256"`
+	// Size is the file's length in bytes.
+	Size int64 `json:"size"`
+	// UnixNs is the save wall-clock time in nanoseconds since the epoch.
+	UnixNs int64 `json:"unix_ns"`
+}
+
+type manifest struct {
+	Generations []Generation `json:"generations"` // oldest first
+}
+
+// Store keeps the last K generations of one logical checkpoint in a
+// directory: numbered files (base.000017) plus a MANIFEST recording each
+// generation's checksum. Save always creates a new generation; Load walks
+// generations newest to oldest, skipping any whose checksum or decode
+// fails, so a corrupt latest checkpoint degrades to the previous one
+// instead of to nothing. Store is not safe for concurrent use.
+type Store struct {
+	dir    string
+	base   string
+	retain int
+	now    func() int64 // unix ns; swapped by tests
+	m      manifest
+}
+
+// OpenStore opens (creating if needed) a generation store in dir whose
+// files are named base.NNNNNN, retaining at most retain generations
+// (minimum 1). A missing manifest means an empty store; a corrupt manifest
+// is an error — the caller decides whether to start fresh.
+func OpenStore(dir, base string, retain int, nowNs func() int64) (*Store, error) {
+	if retain < 1 {
+		retain = 1
+	}
+	if base == "" {
+		return nil, fmt.Errorf("checkpoint: store base name empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	s := &Store{dir: dir, base: base, retain: retain, now: nowNs}
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read manifest: %w", err)
+	}
+	if err := json.Unmarshal(raw, &s.m); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode manifest: %w (%w)", err, ErrCorrupt)
+	}
+	sort.Slice(s.m.Generations, func(i, j int) bool {
+		return s.m.Generations[i].Gen < s.m.Generations[j].Gen
+	})
+	return s, nil
+}
+
+// Generations returns the retained generations, oldest first. The slice is
+// a copy; mutating it does not affect the store.
+func (s *Store) Generations() []Generation {
+	out := make([]Generation, len(s.m.Generations))
+	copy(out, s.m.Generations)
+	return out
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) genPath(g Generation) string { return filepath.Join(s.dir, g.File) }
+
+// Save streams fn's output into a new generation file, records its SHA-256
+// in the manifest, and prunes generations beyond the retention limit. The
+// new generation becomes visible to Load only once the manifest update has
+// been atomically committed, so a crash mid-save is invisible.
+func (s *Store) Save(fn func(io.Writer) error) (uint64, error) {
+	gen := uint64(1)
+	if n := len(s.m.Generations); n > 0 {
+		gen = s.m.Generations[n-1].Gen + 1
+	}
+	g := Generation{
+		Gen:  gen,
+		File: fmt.Sprintf("%s.%06d", s.base, gen),
+	}
+	if s.now != nil {
+		g.UnixNs = s.now()
+	}
+	h := sha256.New()
+	path := s.genPath(g)
+	err := WriteAtomic(path, func(w io.Writer) error {
+		cw := &countingWriter{w: io.MultiWriter(w, h)}
+		if err := fn(cw); err != nil {
+			return err
+		}
+		g.Size = cw.n
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	g.SHA256 = hex.EncodeToString(h.Sum(nil))
+
+	next := append(append([]Generation(nil), s.m.Generations...), g)
+	var pruned []Generation
+	if len(next) > s.retain {
+		pruned = next[:len(next)-s.retain]
+		next = next[len(next)-s.retain:]
+	}
+	if err := s.writeManifest(manifest{Generations: next}); err != nil {
+		os.Remove(path)
+		return 0, err
+	}
+	s.m.Generations = next
+	for _, old := range pruned {
+		os.Remove(s.genPath(old)) // already out of the manifest; best-effort
+	}
+	return gen, nil
+}
+
+// Load walks the retained generations newest to oldest, verifying each
+// file's checksum against the manifest *before* handing its contents to
+// fn — corrupt bytes are therefore always a deterministic ErrCorrupt
+// (no retry sleeps, no half-applied decode), even if fn's decoder would
+// have accepted the garbage. A generation that fails its checksum or that
+// fn rejects is skipped in favor of the next-older one; transient read
+// errors go through Load's bounded retry first. Returns the generation
+// number that loaded, or os.ErrNotExist when the store is empty, or the
+// newest generation's error when every generation fails.
+func (s *Store) Load(opts LoadOptions, fn func(io.Reader) error) (uint64, error) {
+	if len(s.m.Generations) == 0 {
+		return 0, fmt.Errorf("checkpoint: no generations: %w", os.ErrNotExist)
+	}
+	var firstErr error
+	for i := len(s.m.Generations) - 1; i >= 0; i-- {
+		g := s.m.Generations[i]
+		err := Load(s.genPath(g), opts, func(r io.Reader) error {
+			raw, err := io.ReadAll(r)
+			if err != nil {
+				return err
+			}
+			sum := sha256.Sum256(raw)
+			if got := hex.EncodeToString(sum[:]); got != g.SHA256 {
+				return fmt.Errorf("sha256 mismatch: manifest %s, file %s: %w", g.SHA256, got, ErrCorrupt)
+			}
+			return fn(bytes.NewReader(raw))
+		})
+		if err == nil {
+			return g.Gen, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return 0, firstErr
+}
+
+func (s *Store) writeManifest(m manifest) error {
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode manifest: %w", err)
+	}
+	return WriteAtomic(filepath.Join(s.dir, manifestName), func(w io.Writer) error {
+		_, err := w.Write(raw)
+		return err
+	})
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,243 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var noSleep = LoadOptions{Tries: 2, Sleep: func(time.Duration) {}}
+
+func testStore(t *testing.T, retain int) *Store {
+	t.Helper()
+	var tick int64
+	s, err := OpenStore(t.TempDir(), "q.ckpt", retain, func() int64 { tick++; return tick })
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	return s
+}
+
+func saveString(t *testing.T, s *Store, data string) uint64 {
+	t.Helper()
+	gen, err := s.Save(func(w io.Writer) error {
+		_, err := io.WriteString(w, data)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("Save(%q): %v", data, err)
+	}
+	return gen
+}
+
+func loadString(t *testing.T, s *Store) (uint64, string) {
+	t.Helper()
+	var got string
+	gen, err := s.Load(noSleep, func(r io.Reader) error {
+		b, err := io.ReadAll(r)
+		got = string(b)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return gen, got
+}
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	s := testStore(t, 3)
+	if gen := saveString(t, s, "v1"); gen != 1 {
+		t.Errorf("first gen = %d, want 1", gen)
+	}
+	if gen := saveString(t, s, "v2"); gen != 2 {
+		t.Errorf("second gen = %d, want 2", gen)
+	}
+	gen, got := loadString(t, s)
+	if gen != 2 || got != "v2" {
+		t.Errorf("Load = (gen %d, %q), want (2, v2)", gen, got)
+	}
+	gens := s.Generations()
+	if len(gens) != 2 || gens[0].Gen != 1 || gens[1].Gen != 2 {
+		t.Errorf("Generations = %+v", gens)
+	}
+	if gens[1].Size != 2 {
+		t.Errorf("gen 2 size = %d, want 2", gens[1].Size)
+	}
+	if gens[0].UnixNs == 0 || gens[1].UnixNs <= gens[0].UnixNs {
+		t.Errorf("timestamps not monotone: %d, %d", gens[0].UnixNs, gens[1].UnixNs)
+	}
+}
+
+func TestStoreEmptyLoadIsNotExist(t *testing.T) {
+	s := testStore(t, 3)
+	_, err := s.Load(noSleep, func(io.Reader) error { return nil })
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestStoreRetentionPrunesOldGenerations(t *testing.T) {
+	s := testStore(t, 2)
+	for i := 1; i <= 5; i++ {
+		saveString(t, s, fmt.Sprintf("v%d", i))
+	}
+	gens := s.Generations()
+	if len(gens) != 2 || gens[0].Gen != 4 || gens[1].Gen != 5 {
+		t.Fatalf("Generations = %+v, want gens 4 and 5", gens)
+	}
+	ents, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MANIFEST + two generation files; pruned files must be gone.
+	if len(ents) != 3 {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Errorf("dir has %d entries %v, want 3", len(ents), names)
+	}
+}
+
+func TestStoreReopenSeesSavedGenerations(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, "q.ckpt", 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveString(t, s, "v1")
+	saveString(t, s, "v2")
+
+	s2, err := OpenStore(dir, "q.ckpt", 3, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	gen, got := loadString(t, s2)
+	if gen != 2 || got != "v2" {
+		t.Errorf("Load after reopen = (gen %d, %q), want (2, v2)", gen, got)
+	}
+	// Numbering continues rather than restarting.
+	if gen := saveString(t, s2, "v3"); gen != 3 {
+		t.Errorf("gen after reopen = %d, want 3", gen)
+	}
+}
+
+func TestStoreCorruptNewestFallsBackGeneration(t *testing.T) {
+	s := testStore(t, 3)
+	saveString(t, s, "good-old")
+	saveString(t, s, "bad-new")
+	// Flip bytes in the newest generation file behind the store's back.
+	gens := s.Generations()
+	newest := filepath.Join(s.Dir(), gens[len(gens)-1].File)
+	if err := os.WriteFile(newest, []byte("XXXXXXX"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	slept := 0
+	var got string
+	gen, err := s.Load(LoadOptions{Tries: 5, Sleep: func(time.Duration) { slept++ }}, func(r io.Reader) error {
+		b, err := io.ReadAll(r)
+		got = string(b)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if gen != 1 || got != "good-old" {
+		t.Errorf("Load = (gen %d, %q), want fallback to (1, good-old)", gen, got)
+	}
+	if slept != 0 {
+		t.Errorf("slept %d times: checksum mismatch must not burn retries", slept)
+	}
+}
+
+func TestStoreDecodeRejectionFallsBackGeneration(t *testing.T) {
+	s := testStore(t, 3)
+	saveString(t, s, "decodable")
+	saveString(t, s, "undecodable")
+	var got string
+	gen, err := s.Load(noSleep, func(r io.Reader) error {
+		b, err := io.ReadAll(r)
+		if err != nil {
+			return err
+		}
+		if string(b) == "undecodable" {
+			return fmt.Errorf("schema mismatch: %w", ErrCorrupt)
+		}
+		got = string(b)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if gen != 1 || got != "decodable" {
+		t.Errorf("Load = (gen %d, %q), want (1, decodable)", gen, got)
+	}
+}
+
+func TestStoreAllGenerationsCorruptReturnsNewestError(t *testing.T) {
+	s := testStore(t, 3)
+	saveString(t, s, "a")
+	saveString(t, s, "b")
+	for _, g := range s.Generations() {
+		if err := os.WriteFile(filepath.Join(s.Dir(), g.File), []byte("zz"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := s.Load(noSleep, func(io.Reader) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestStoreMissingGenerationFileFallsBack(t *testing.T) {
+	s := testStore(t, 3)
+	saveString(t, s, "survivor")
+	saveString(t, s, "deleted")
+	gens := s.Generations()
+	if err := os.Remove(filepath.Join(s.Dir(), gens[len(gens)-1].File)); err != nil {
+		t.Fatal(err)
+	}
+	gen, got := loadString(t, s)
+	if gen != 1 || got != "survivor" {
+		t.Errorf("Load = (gen %d, %q), want (1, survivor)", gen, got)
+	}
+}
+
+func TestStoreCorruptManifestIsCorruptError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, "q.ckpt", 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveString(t, s, "v1")
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir, "q.ckpt", 3, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("OpenStore err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestStoreSaveCallbackFailureLeavesStoreUsable(t *testing.T) {
+	s := testStore(t, 3)
+	saveString(t, s, "v1")
+	boom := errors.New("encoder boom")
+	if _, err := s.Save(func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Save err = %v, want boom", err)
+	}
+	gens := s.Generations()
+	if len(gens) != 1 || gens[0].Gen != 1 {
+		t.Errorf("failed save mutated manifest: %+v", gens)
+	}
+	gen, got := loadString(t, s)
+	if gen != 1 || got != "v1" {
+		t.Errorf("Load = (gen %d, %q), want (1, v1)", gen, got)
+	}
+	if gen := saveString(t, s, "v2"); gen != 2 {
+		t.Errorf("gen after failed save = %d, want 2", gen)
+	}
+}

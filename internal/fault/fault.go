@@ -24,6 +24,7 @@ package fault
 import (
 	"fmt"
 	"math/rand"
+	"os"
 
 	"jarvis/internal/device"
 	"jarvis/internal/env"
@@ -68,6 +69,13 @@ type Config struct {
 	// devices for which it returns true; nil applies them to every device.
 	// Typically this selects the sensors.
 	Observable func(dev int) bool
+
+	// CrashAtStep, when positive, kills the process (via Crash) the moment
+	// the wrapped environment completes that many Step calls — a
+	// deterministic mid-training crash for recovery drills. The count is
+	// cumulative across episodes, so the crash point is reproducible from
+	// the seed and step budget alone.
+	CrashAtStep int
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +95,16 @@ func (c Config) withDefaults() Config {
 		c.UnavailMax = c.UnavailMin
 	}
 	return c
+}
+
+// Crash terminates the process when a CrashFault fires. It is a variable
+// so tests (and the crash-recovery harness's in-process control run) can
+// observe the crash point without dying; the default exits with status
+// 137, mimicking a SIGKILL so supervisors treat it as an abrupt death
+// rather than a clean shutdown.
+var Crash = func(step int) {
+	fmt.Fprintf(os.Stderr, "fault: injected crash at step %d\n", step)
+	os.Exit(137)
 }
 
 // Uniform returns a Config with every fault mode enabled at the given rate
@@ -119,11 +137,14 @@ type Stats struct {
 	Gated int
 	// Lost, Duplicated and Reordered count event-stream perturbations.
 	Lost, Duplicated, Reordered int
+	// Crashes counts CrashFault firings (at most one per process, unless
+	// tests stub Crash to survive it).
+	Crashes int
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("stuck=%d dropout=%d delayed=%d stale=%d unavail=%d gated=%d lost=%d dup=%d reorder=%d",
-		s.Stuck, s.Dropouts, s.Delayed, s.StaleDropped, s.Unavailable, s.Gated, s.Lost, s.Duplicated, s.Reordered)
+	return fmt.Sprintf("stuck=%d dropout=%d delayed=%d stale=%d unavail=%d gated=%d lost=%d dup=%d reorder=%d crash=%d",
+		s.Stuck, s.Dropouts, s.Delayed, s.StaleDropped, s.Unavailable, s.Gated, s.Lost, s.Duplicated, s.Reordered, s.Crashes)
 }
 
 // Injector holds the seeded fault state shared by FaultyEnv and the
@@ -230,6 +251,7 @@ type FaultyEnv struct {
 	stuckUntil   []int
 	unavailUntil []int
 	pending      []delayed
+	steps        int // cumulative Step calls, for CrashAtStep
 }
 
 var _ rl.SafeEnv = (*FaultyEnv)(nil)
@@ -370,6 +392,17 @@ func (f *FaultyEnv) Step(a env.Action) (env.State, float64, bool, error) {
 	next, r, done, err := f.inner.Step(act)
 	if err != nil {
 		return nil, r, done, err
+	}
+
+	// CrashFault: die abruptly after the configured number of completed
+	// steps. Firing after the inner Step makes the crash land between a
+	// committed transition and whatever bookkeeping the caller would have
+	// done next — the worst spot for naive persistence, which is the point.
+	f.steps++
+	if f.cfg.CrashAtStep > 0 && f.steps == f.cfg.CrashAtStep {
+		f.stats.Crashes++
+		mCrashes.Inc()
+		Crash(f.steps)
 	}
 
 	// Observation faults: open/extend stuck windows, then build the

@@ -357,3 +357,62 @@ func TestPerturbEpisodesMapsCorpus(t *testing.T) {
 		t.Error("no duplications recorded")
 	}
 }
+
+func TestCrashFaultFiresAtExactStep(t *testing.T) {
+	origCrash := Crash
+	defer func() { Crash = origCrash }()
+	var crashedAt []int
+	Crash = func(step int) { crashedAt = append(crashedAt, step) }
+
+	e := testEnv(t)
+	f := Wrap(testSim(t, e, 10, nil), Config{Seed: 1, CrashAtStep: 4})
+	f.Reset()
+	for i := 0; i < 7; i++ {
+		if _, _, _, err := f.Step(env.NoOp(e.K())); err != nil {
+			t.Fatalf("Step %d: %v", i, err)
+		}
+	}
+	if len(crashedAt) != 1 || crashedAt[0] != 4 {
+		t.Errorf("crash fired at %v, want exactly once at step 4", crashedAt)
+	}
+	if f.Stats().Crashes != 1 {
+		t.Errorf("Stats().Crashes = %d, want 1", f.Stats().Crashes)
+	}
+}
+
+func TestCrashFaultCountsAcrossEpisodes(t *testing.T) {
+	origCrash := Crash
+	defer func() { Crash = origCrash }()
+	var crashedAt []int
+	Crash = func(step int) { crashedAt = append(crashedAt, step) }
+
+	e := testEnv(t)
+	f := Wrap(testSim(t, e, 3, nil), Config{Seed: 1, CrashAtStep: 5})
+	for ep := 0; ep < 3; ep++ {
+		f.Reset()
+		for i := 0; i < 3; i++ {
+			if _, _, _, err := f.Step(env.NoOp(e.K())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// 5th cumulative step is the 2nd step of the 2nd episode.
+	if len(crashedAt) != 1 || crashedAt[0] != 5 {
+		t.Errorf("crash fired at %v, want once at cumulative step 5", crashedAt)
+	}
+}
+
+func TestCrashFaultDisabledByDefault(t *testing.T) {
+	origCrash := Crash
+	defer func() { Crash = origCrash }()
+	Crash = func(step int) { t.Fatalf("crash fired at %d with CrashAtStep unset", step) }
+
+	e := testEnv(t)
+	f := Wrap(testSim(t, e, 10, nil), Config{Seed: 1})
+	f.Reset()
+	for i := 0; i < 10; i++ {
+		if _, _, _, err := f.Step(env.NoOp(e.K())); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

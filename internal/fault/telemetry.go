@@ -16,4 +16,5 @@ var (
 	mLost         = telemetry.Default.Counter("fault.injected.lost")
 	mDuplicated   = telemetry.Default.Counter("fault.injected.duplicated")
 	mReordered    = telemetry.Default.Counter("fault.injected.reordered")
+	mCrashes      = telemetry.Default.Counter("fault.injected.crashes")
 )

@@ -8,6 +8,7 @@ import (
 
 	"jarvis/internal/device"
 	"jarvis/internal/env"
+	"jarvis/internal/nn"
 )
 
 // AgentConfig parameterizes Algorithm 2.
@@ -116,6 +117,10 @@ type Agent struct {
 	// composite is empty; 0 on a degraded fallback). Decision audit logs
 	// read it through LastValue.
 	lastValue float64
+	// wd, when attached, watches greedy evaluations and replay losses for
+	// divergence and rolls the Q function back to a valid checkpoint
+	// generation instead of letting the agent degrade permanently.
+	wd *Watchdog
 
 	// Reused replay-step buffers: the sampled mini-batch, its bootstrap
 	// targets, the non-terminal successors gathered for one batched Q pass,
@@ -158,6 +163,26 @@ func NewAgent(sim SafeEnv, q QFunc, cfg AgentConfig) (*Agent, error) {
 // Epsilon returns the current exploration rate.
 func (a *Agent) Epsilon() float64 { return a.eps }
 
+// SetEpsilon overrides the exploration rate, clamped to [EpsilonMin, 1].
+// The watchdog uses it to re-seed exploration after a rollback.
+func (a *Agent) SetEpsilon(eps float64) {
+	if eps < a.cfg.EpsilonMin {
+		eps = a.cfg.EpsilonMin
+	}
+	if eps > 1 {
+		eps = 1
+	}
+	a.eps = eps
+	mEpsilon.Set(a.eps)
+}
+
+// Loss returns the most recent replay loss (+Inf before the first replay
+// step and after a watchdog rollback).
+func (a *Agent) Loss() float64 { return a.loss }
+
+// ReplayBuffer exposes the agent's experience buffer for persistence.
+func (a *Agent) ReplayBuffer() *Replay { return a.replay }
+
 // Degraded returns how many greedy decisions fell back to the safe NoOp
 // because the Q function produced non-finite values.
 func (a *Agent) Degraded() int { return a.degraded }
@@ -175,15 +200,28 @@ func (a *Agent) DecideEvery() int { return a.cfg.DecideEvery }
 // action.
 func (a *Agent) Greedy(s env.State, t int) env.Action {
 	q := a.q.Q(s, t)
+	maxAbs, finite := scanQ(q)
+	if !finite && a.wd != nil && a.wd.healNonFinite("non-finite Q values in greedy evaluation") {
+		// The watchdog rolled the Q function back to a valid generation;
+		// retry once against the healed policy before degrading.
+		q = a.q.Q(s, t)
+		maxAbs, finite = scanQ(q)
+	}
 	// Degraded mode: a diverged Q function (NaN/Inf values) yields no
 	// trustworthy ranking, so recommend the always-available safe NoOp
 	// rather than acting on garbage.
-	for _, v := range q {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			a.degraded++
-			a.lastValue = 0
-			mDegraded.Inc()
-			return env.NoOp(len(s))
+	if !finite {
+		a.degraded++
+		a.lastValue = 0
+		mDegraded.Inc()
+		return env.NoOp(len(s))
+	}
+	if a.wd != nil && a.wd.observeQMax(maxAbs) {
+		// A runaway-magnitude trip: the values are finite but likely
+		// garbage. Rank against the (possibly rolled-back) policy's fresh
+		// values instead.
+		if fresh := a.q.Q(s, t); finiteQ(fresh) {
+			q = fresh
 		}
 	}
 	if cap(a.order) < len(q) {
@@ -236,6 +274,24 @@ func (a *Agent) Greedy(s env.State, t int) env.Action {
 // LastValue returns the Q value behind the most recent Greedy composition
 // (0 after a degraded fallback). Decision logs pair it with the action.
 func (a *Agent) LastValue() float64 { return a.lastValue }
+
+// scanQ returns the largest |v| in q and whether every value is finite.
+func scanQ(q []float64) (maxAbs float64, finite bool) {
+	for _, v := range q {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return maxAbs, false
+		}
+		if av := math.Abs(v); av > maxAbs {
+			maxAbs = av
+		}
+	}
+	return maxAbs, true
+}
+
+func finiteQ(q []float64) bool {
+	_, ok := scanQ(q)
+	return ok
+}
 
 // explore draws a random safe composite action (the exploration branch of
 // Algorithm 2: resample until P_safe admits the transition).
@@ -376,8 +432,16 @@ func (a *Agent) batchTargets(bq BatchQ, batch []Experience, targets []float64) e
 // Algorithm 2). The mini-batch and target buffers are reused across steps,
 // and backends implementing BatchQ evaluate all successors in one batched
 // forward pass.
-func (a *Agent) replayStep() error {
-	a.batch = a.replay.SampleInto(a.batch, a.cfg.BatchSize, a.cfg.Rng)
+func (a *Agent) replayStep() error { return a.replayStepRng(a.cfg.Rng) }
+
+// replayStepRng is replayStep sampling with an explicit RNG. Online
+// learning (jarvisd) passes a per-step RNG derived from the accepted
+// transition count so the update sequence is reproducible from the WAL
+// regardless of how the agent's main Rng was exercised before the crash.
+// A divergent update or non-finite loss is routed to the attached
+// watchdog, which rolls back instead of surfacing an error.
+func (a *Agent) replayStepRng(rng *rand.Rand) error {
+	a.batch = a.replay.SampleInto(a.batch, a.cfg.BatchSize, rng)
 	batch := a.batch
 	if cap(a.targets) < len(batch) {
 		a.targets = make([]float64, len(batch))
@@ -385,7 +449,7 @@ func (a *Agent) replayStep() error {
 	targets := a.targets[:len(batch)]
 	if bq, ok := a.q.(BatchQ); ok {
 		if err := a.batchTargets(bq, batch, targets); err != nil {
-			return err
+			return a.learnFailure(err)
 		}
 	} else {
 		for i, exp := range batch {
@@ -398,11 +462,55 @@ func (a *Agent) replayStep() error {
 	}
 	loss, err := a.q.Update(batch, targets)
 	if err != nil {
-		return err
+		return a.learnFailure(err)
 	}
 	a.loss = loss
+	if a.wd != nil {
+		a.wd.observeLoss(loss)
+	}
 	return nil
 }
+
+// learnFailure routes a learning-step error through the watchdog: a
+// divergence (non-finite activations or loss in the network) trips it —
+// rolling back to a valid generation when possible — and is swallowed, so
+// one poisoned batch doesn't abort a training run or take down a daemon.
+// Other errors surface unchanged.
+func (a *Agent) learnFailure(err error) error {
+	if a.wd != nil && nn.IsDivergence(err) {
+		a.wd.trip(fmt.Sprintf("divergent update: %v", err))
+		return nil
+	}
+	return err
+}
+
+// Observe appends a transition to the replay buffer without stepping the
+// simulator — the online-learning ingest path, where the environment is
+// the real home reporting through jarvisd. State slices are cloned, so the
+// caller may reuse its buffers.
+func (a *Agent) Observe(e Experience) {
+	e.S = append(env.State(nil), e.S...)
+	e.Next = append(env.State(nil), e.Next...)
+	e.Minis = append([]int(nil), e.Minis...)
+	a.replay.Add(e)
+	mReplaySize.SetInt(int64(a.replay.Len()))
+}
+
+// LearnStep runs one replay update with the supplied RNG, if the buffer
+// has a full mini-batch. Returns whether an update ran.
+func (a *Agent) LearnStep(rng *rand.Rand) (bool, error) {
+	if a.replay.Len() < a.cfg.BatchSize {
+		return false, nil
+	}
+	if err := a.replayStepRng(rng); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Minis exposes the agent's mini-action codec so callers journaling
+// transitions can encode composite actions compactly.
+func (a *Agent) Minis() *MiniActions { return a.minis }
 
 // Train runs Algorithm 2 for the configured number of episodes.
 func (a *Agent) Train() (TrainStats, error) {

@@ -68,6 +68,64 @@ func (t *TableQ) Load(r io.Reader) error {
 	return nil
 }
 
+// replayJSON is the serialized form of a Replay. The sampling permutation
+// (idx) is part of the state: SampleInto's partial Fisher–Yates leaves it
+// permuted between calls, so a restore that dropped it would draw
+// different mini-batches than the uncrashed process and the recovered Q
+// function would silently diverge from the pre-crash trajectory.
+type replayJSON struct {
+	Cap  int          `json:"cap"`
+	Next int          `json:"next"`
+	Full bool         `json:"full"`
+	Buf  []Experience `json:"buf"`
+	Idx  []int        `json:"idx,omitempty"`
+}
+
+// Save persists the replay buffer — contents, ring position, and sampling
+// permutation — as JSON.
+func (r *Replay) Save(w io.Writer) error {
+	out := replayJSON{Cap: cap(r.buf), Next: r.next, Full: r.full, Buf: r.buf, Idx: r.idx}
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		return fmt.Errorf("rl: save replay: %w", err)
+	}
+	return nil
+}
+
+// Load restores a replay buffer saved with Save, replacing r's contents.
+// The capacity recorded in the snapshot wins, so a restored buffer evicts
+// on the same schedule as the original.
+func (r *Replay) Load(rd io.Reader) error {
+	var in replayJSON
+	if err := json.NewDecoder(rd).Decode(&in); err != nil {
+		return fmt.Errorf("rl: load replay: %w", err)
+	}
+	if in.Cap <= 0 || len(in.Buf) > in.Cap {
+		return fmt.Errorf("rl: load replay: %d experiences exceed capacity %d", len(in.Buf), in.Cap)
+	}
+	if in.Next < 0 || (len(in.Buf) > 0 && in.Next >= in.Cap) {
+		return fmt.Errorf("rl: load replay: ring position %d out of range", in.Next)
+	}
+	if len(in.Idx) != 0 {
+		if len(in.Idx) != len(in.Buf) {
+			return fmt.Errorf("rl: load replay: %d permutation entries for %d experiences", len(in.Idx), len(in.Buf))
+		}
+		seen := make([]bool, len(in.Buf))
+		for _, v := range in.Idx {
+			if v < 0 || v >= len(in.Buf) || seen[v] {
+				return fmt.Errorf("rl: load replay: idx is not a permutation of 0..%d", len(in.Buf)-1)
+			}
+			seen[v] = true
+		}
+	}
+	buf := make([]Experience, len(in.Buf), in.Cap)
+	copy(buf, in.Buf)
+	r.buf = buf
+	r.next = in.Next
+	r.full = in.Full
+	r.idx = in.Idx
+	return nil
+}
+
 // Save persists the DQN's online network (the target network is
 // reconstructed on load).
 func (d *DQN) Save(w io.Writer) error { return d.net.Save(w) }

@@ -192,3 +192,67 @@ func TestTableQAtomicCheckpointRoundTrip(t *testing.T) {
 		t.Fatal("corrupt checkpoint loaded without error")
 	}
 }
+
+func TestReplaySaveLoadPreservesSampling(t *testing.T) {
+	orig := NewReplay(16)
+	for i := 0; i < 10; i++ {
+		orig.Add(Experience{S: env.State{0, 1}, T: i, Minis: []int{i % 3}, R: float64(i)})
+	}
+	// Permute the internal sampling index so the snapshot carries real
+	// Fisher-Yates state, not the identity permutation.
+	orig.Sample(4, rand.New(rand.NewSource(99)))
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	restored := NewReplay(1)
+	if err := restored.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if restored.Len() != orig.Len() {
+		t.Fatalf("restored len = %d, want %d", restored.Len(), orig.Len())
+	}
+	// Identically-seeded RNGs must now draw identical mini-batches: the
+	// permutation state survived the round trip.
+	rngA, rngB := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for round := 0; round < 5; round++ {
+		a := orig.Sample(4, rngA)
+		b := restored.Sample(4, rngB)
+		for i := range a {
+			if a[i].T != b[i].T || a[i].R != b[i].R {
+				t.Fatalf("round %d sample %d: %+v vs %+v", round, i, a[i], b[i])
+			}
+		}
+	}
+	// Eviction schedule survives too: fill both to capacity and beyond.
+	for i := 0; i < 20; i++ {
+		e := Experience{T: 100 + i}
+		orig.Add(e)
+		restored.Add(e)
+	}
+	sa := orig.Sample(16, rand.New(rand.NewSource(3)))
+	sb := restored.Sample(16, rand.New(rand.NewSource(3)))
+	for i := range sa {
+		if sa[i].T != sb[i].T {
+			t.Fatalf("post-eviction divergence at %d: %d vs %d", i, sa[i].T, sb[i].T)
+		}
+	}
+}
+
+func TestReplayLoadRejectsBadSnapshots(t *testing.T) {
+	cases := map[string]string{
+		"overflow":        `{"cap":2,"next":0,"full":false,"buf":[{},{},{}]}`,
+		"bad ring":        `{"cap":4,"next":9,"full":false,"buf":[{}]}`,
+		"idx wrong len":   `{"cap":4,"next":0,"full":false,"buf":[{},{}],"idx":[0]}`,
+		"idx not permut":  `{"cap":4,"next":0,"full":false,"buf":[{},{}],"idx":[1,1]}`,
+		"idx out of rng":  `{"cap":4,"next":0,"full":false,"buf":[{},{}],"idx":[0,5]}`,
+		"not json at all": `nope`,
+	}
+	for name, raw := range cases {
+		r := NewReplay(4)
+		if err := r.Load(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s: Load accepted bad snapshot", name)
+		}
+	}
+}

@@ -22,4 +22,10 @@ var (
 	// NoOp fallbacks.
 	mGreedy   = telemetry.Default.Counter("rl.recommend.greedy")
 	mDegraded = telemetry.Default.Counter("rl.recommend.degraded")
+
+	// Divergence watchdog activity: detections, successful rollbacks to an
+	// earlier checkpoint generation, and restores that themselves failed.
+	mWatchdogTrips           = telemetry.Default.Counter("rl.watchdog.trips")
+	mWatchdogRollbacks       = telemetry.Default.Counter("rl.watchdog.rollbacks")
+	mWatchdogRestoreFailures = telemetry.Default.Counter("rl.watchdog.restore.failures")
 )

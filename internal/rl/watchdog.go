@@ -1,0 +1,167 @@
+package rl
+
+import (
+	"fmt"
+	"math"
+)
+
+// WatchdogConfig tunes divergence detection and recovery for an agent.
+type WatchdogConfig struct {
+	// MaxAbsQ is the runaway threshold: a greedy evaluation whose largest
+	// |Q| exceeds it counts toward the patience streak (default 1e6).
+	MaxAbsQ float64
+	// MaxLoss is the runaway threshold for the replay loss (default 1e9).
+	MaxLoss float64
+	// Patience is how many consecutive runaway observations are tolerated
+	// before the watchdog trips (default 3). Non-finite values trip
+	// immediately regardless of patience — NaN never heals on its own.
+	Patience int
+	// ReExploreEpsilon is the exploration rate re-seeded after a rollback
+	// (default 0.5): the restored policy predates whatever experience drove
+	// it off a cliff, so the agent re-explores instead of re-diverging down
+	// the same greedy path.
+	ReExploreEpsilon float64
+	// Restore rolls the agent's Q function back to the newest valid
+	// checkpoint generation. Nil means the watchdog can only count trips,
+	// not recover from them.
+	Restore func() error
+	// Logf receives one line per trip and rollback; nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c WatchdogConfig) withDefaults() WatchdogConfig {
+	if c.MaxAbsQ <= 0 {
+		c.MaxAbsQ = 1e6
+	}
+	if c.MaxLoss <= 0 {
+		c.MaxLoss = 1e9
+	}
+	if c.Patience <= 0 {
+		c.Patience = 3
+	}
+	if c.ReExploreEpsilon <= 0 {
+		c.ReExploreEpsilon = 0.5
+	}
+	return c
+}
+
+// WatchdogStats is a snapshot of the watchdog's lifetime activity,
+// exported by jarvisd's /healthz.
+type WatchdogStats struct {
+	// Trips counts divergence detections (non-finite or runaway values).
+	Trips int `json:"trips"`
+	// Rollbacks counts successful restores to an earlier generation.
+	Rollbacks int `json:"rollbacks"`
+	// RestoreFailures counts trips whose restore attempt itself failed —
+	// the agent is left degraded (Greedy serves safe NoOps).
+	RestoreFailures int `json:"restore_failures"`
+	// LastReason describes the most recent trip.
+	LastReason string `json:"last_reason,omitempty"`
+}
+
+// Watchdog monitors an agent's Q values and replay loss for divergence and
+// rolls the agent back to a known-good checkpoint generation when learning
+// goes off the rails. Two trip modes: non-finite values (NaN/Inf in a
+// greedy evaluation, a divergent network update, a non-finite loss) trip
+// immediately; runaway-but-finite magnitudes trip only after Patience
+// consecutive observations, so one outlier batch doesn't discard learned
+// progress. A trip attempts Restore, then re-seeds ε to ReExploreEpsilon
+// and resets the loss estimate.
+//
+// The watchdog shares its agent's synchronization discipline: callers that
+// serialize agent access (as jarvisd does) get consistent stats for free.
+type Watchdog struct {
+	cfg    WatchdogConfig
+	agent  *Agent
+	streak int
+	stats  WatchdogStats
+}
+
+// AttachWatchdog hooks a watchdog into the agent's greedy and learning
+// paths and returns it. Only one watchdog may be attached; attaching again
+// replaces the previous one.
+func (a *Agent) AttachWatchdog(cfg WatchdogConfig) *Watchdog {
+	w := &Watchdog{cfg: cfg.withDefaults(), agent: a}
+	a.wd = w
+	return w
+}
+
+// Stats returns a snapshot of the watchdog's counters.
+func (w *Watchdog) Stats() WatchdogStats { return w.stats }
+
+func (w *Watchdog) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// observeQMax feeds the largest |Q| of a greedy evaluation into the
+// runaway streak. Returns true if the observation tripped the watchdog.
+func (w *Watchdog) observeQMax(maxAbs float64) bool {
+	if maxAbs <= w.cfg.MaxAbsQ {
+		w.streak = 0
+		return false
+	}
+	w.streak++
+	if w.streak < w.cfg.Patience {
+		return false
+	}
+	w.trip(fmt.Sprintf("runaway Q magnitude %.3g > %.3g for %d consecutive evaluations",
+		maxAbs, w.cfg.MaxAbsQ, w.streak))
+	return true
+}
+
+// observeLoss feeds a replay-step loss into the watchdog. Non-finite
+// losses trip immediately; finite-but-runaway losses feed the streak.
+func (w *Watchdog) observeLoss(loss float64) bool {
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		w.trip(fmt.Sprintf("non-finite replay loss %v", loss))
+		return true
+	}
+	if loss <= w.cfg.MaxLoss {
+		w.streak = 0
+		return false
+	}
+	w.streak++
+	if w.streak < w.cfg.Patience {
+		return false
+	}
+	w.trip(fmt.Sprintf("runaway replay loss %.3g > %.3g for %d consecutive steps",
+		loss, w.cfg.MaxLoss, w.streak))
+	return true
+}
+
+// healNonFinite is the greedy path's recovery hook: trip on non-finite Q
+// values and report whether a rollback succeeded, in which case the caller
+// retries the evaluation once against the restored Q function.
+func (w *Watchdog) healNonFinite(reason string) bool {
+	return w.trip(reason)
+}
+
+// trip records a divergence detection and attempts a rollback. Returns
+// true when the agent was rolled back to a valid generation.
+func (w *Watchdog) trip(reason string) bool {
+	w.stats.Trips++
+	w.stats.LastReason = reason
+	w.streak = 0
+	mWatchdogTrips.Inc()
+	w.logf("watchdog: tripped: %s", reason)
+	if w.cfg.Restore == nil {
+		return false
+	}
+	if err := w.cfg.Restore(); err != nil {
+		w.stats.RestoreFailures++
+		mWatchdogRestoreFailures.Inc()
+		w.logf("watchdog: restore failed: %v", err)
+		return false
+	}
+	w.stats.Rollbacks++
+	mWatchdogRollbacks.Inc()
+	// The restored policy is older than the experiences that diverged it;
+	// re-explore rather than march straight back down the same path, and
+	// forget the poisoned loss estimate.
+	w.agent.SetEpsilon(math.Max(w.agent.eps, w.cfg.ReExploreEpsilon))
+	w.agent.loss = math.Inf(1)
+	w.logf("watchdog: rolled back, epsilon re-seeded to %.3f", w.agent.eps)
+	return true
+}

@@ -1,0 +1,73 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"syscall"
+)
+
+// scanSegment walks one segment's records, invoking fn (when non-nil) on
+// each complete, checksum-valid payload. It returns the record count, the
+// offset just past the last good record, and the file size; good < total
+// means the tail is damaged (torn write or bit rot) and the caller decides
+// whether that is repairable (last segment) or fatal (sealed segment).
+// The payload buffer is reused between fn calls.
+func scanSegment(path string, fn func([]byte) error) (n int, good, total int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	total = st.Size()
+	br := bufio.NewReader(f)
+	var hdr [headerSize]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return n, good, total, nil // clean end or torn header
+			}
+			return n, good, total, fmt.Errorf("wal: read %s: %w", path, err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > MaxRecordBytes {
+			return n, good, total, nil // impossible length: tail damage
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return n, good, total, nil // torn payload
+			}
+			return n, good, total, fmt.Errorf("wal: read %s: %w", path, err)
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return n, good, total, nil // checksum mismatch: tail damage
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return n, good, total, err
+			}
+		}
+		n++
+		good += int64(headerSize) + int64(length)
+	}
+}
+
+// isSyncUnsupported reports whether a directory fsync failed because the
+// filesystem does not support syncing directory handles.
+func isSyncUnsupported(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)
+}

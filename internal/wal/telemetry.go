@@ -1,0 +1,17 @@
+package wal
+
+import "jarvis/internal/telemetry"
+
+// Metric handles are resolved once at package init so Append — the
+// serving-path hot spot — touches only atomics, keeping the journal write
+// allocation-free (asserted by BenchmarkWALAppend).
+var (
+	mAppends          = telemetry.Default.Counter("wal.appends")
+	mSyncs            = telemetry.Default.Counter("wal.syncs")
+	mRotations        = telemetry.Default.Counter("wal.rotations")
+	mResets           = telemetry.Default.Counter("wal.resets")
+	mRetired          = telemetry.Default.Counter("wal.segments.retired")
+	mRecoveredRecords = telemetry.Default.Counter("wal.recovered.records")
+	mTruncatedBytes   = telemetry.Default.Counter("wal.truncated.bytes")
+	mSegments         = telemetry.Default.Gauge("wal.segments")
+)

@@ -287,6 +287,70 @@ func (s *System) Recommend(state env.State, t int) (env.Action, error) {
 // instrumentation, diagnostics, and persistence surfaces.
 func (s *System) Agent() *rl.Agent { return s.agent }
 
+// LoadQ replaces the agent's Q values with a checkpoint written by SaveQ,
+// keeping the existing agent, simulator, and exploration state intact —
+// unlike Restore, which rebuilds the whole optimizer. It is the divergence
+// watchdog's rollback primitive: on a trip the daemon loads the newest
+// valid generation into the live agent without disturbing the replay
+// buffer or counters accumulated since.
+func (s *System) LoadQ(r io.Reader) error {
+	if s.agent == nil {
+		return errors.New("jarvis: Train or Restore must run before LoadQ")
+	}
+	p, ok := s.agent.Q().(qPersister)
+	if !ok {
+		return fmt.Errorf("jarvis: Q backend %T is not restorable", s.agent.Q())
+	}
+	if err := p.Load(r); err != nil {
+		return fmt.Errorf("jarvis: load q: %w", err)
+	}
+	return nil
+}
+
+// ObserveTransition feeds one live transition — the environment was in
+// prev at instance t and act was applied — into the agent's replay buffer
+// for online learning, and returns the successor state and the reward the
+// transition earned. The transition must be FSM-valid; safety auditing is
+// the caller's concern (jarvisd audits every event regardless of whether
+// learning ingestion is shed).
+func (s *System) ObserveTransition(prev env.State, act env.Action, t int) (env.State, float64, error) {
+	if s.agent == nil {
+		return nil, 0, errors.New("jarvis: Train or Restore must run before ObserveTransition")
+	}
+	if !s.env.ValidState(prev) {
+		return nil, 0, errors.New("jarvis: invalid state")
+	}
+	next, err := s.env.Transition(prev, act)
+	if err != nil {
+		return nil, 0, fmt.Errorf("jarvis: observe: %w", err)
+	}
+	var r float64
+	if s.sim != nil && s.sim.Reward() != nil {
+		r = s.sim.Reward().R(prev, act, t)
+	}
+	s.agent.Observe(rl.Experience{
+		S: prev, T: t, Minis: s.agent.Minis().Of(act), R: r,
+		Next: next, NextT: t + s.agent.DecideEvery(),
+	})
+	return next, r, nil
+}
+
+// LearnOnline runs one replay update against the online experience stream,
+// sampling with the supplied RNG (jarvisd derives it deterministically
+// from the accepted-transition count so crash recovery replays the exact
+// update sequence). Reports whether an update ran — false until the
+// buffer holds a full mini-batch.
+func (s *System) LearnOnline(rng *rand.Rand) (bool, error) {
+	if s.agent == nil {
+		return false, errors.New("jarvis: Train or Restore must run before LearnOnline")
+	}
+	ran, err := s.agent.LearnStep(rng)
+	if err != nil {
+		return ran, fmt.Errorf("jarvis: learn online: %w", err)
+	}
+	return ran, nil
+}
+
 // Decision is one audited recommendation: the chosen safe action, the Q
 // value backing it, and whether the system fell back to the degraded NoOp.
 // The daemon's structured decision log records one entry per Decision so
