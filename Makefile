@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-daemon race-core fmt check bench stats crash
+.PHONY: build test vet race race-daemon race-core fmt check bench stats crash trace
 
 build:
 	$(GO) build ./...
@@ -21,15 +21,22 @@ race-daemon:
 	$(GO) test -race ./cmd/jarvisd/
 
 # The batched compute core's concurrency surface: the nn worker pool, the
-# parallel experiment harness, and the metrics registry they report into.
+# parallel experiment harness, and the metrics registry and span tracer
+# they report into.
 race-core:
-	$(GO) test -race ./internal/nn/ ./internal/rl/ ./internal/experiment/ ./internal/telemetry/ ./internal/wal/
+	$(GO) test -race ./internal/nn/ ./internal/rl/ ./internal/experiment/ ./internal/telemetry/ ./internal/trace/ ./internal/wal/
 
 # The crash-recovery drill: SIGKILL a real daemon mid-online-training,
 # boot a successor on its checkpoint + WAL, and require the recovered
 # training state to match a never-crashed control byte for byte.
 crash:
 	$(GO) test -run 'TestCrashRecoverySIGKILL|TestWALReplay|TestWALTornTail' -count=1 -v ./cmd/jarvisd/
+
+# The tracing smoke: a fully sampled daemon produces a span tree covering
+# the pipeline, exports it as Chrome trace_event JSON, and stamps the trace
+# ID into the decision log.
+trace:
+	$(GO) test -run 'TestRecommendTraceSpanTree|TestEventTraceCoversDurabilityPath|TestTraceEndpoints|TestDecisionLogCarriesTraceID' -count=1 -v ./cmd/jarvisd/
 
 # Measure the batched compute core and write BENCH_core.json, plus the
 # allocation-asserting micro-benchmarks of the root package.

@@ -13,6 +13,7 @@ import (
 	"jarvis/internal/nn"
 	"jarvis/internal/rl"
 	"jarvis/internal/telemetry"
+	"jarvis/internal/trace"
 )
 
 // benchResult is one row of BENCH_core.json.
@@ -103,6 +104,37 @@ func coreBenchmarks() []struct {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				dst = r.SampleInto(dst, 64, rng)
+			}
+		}},
+		{"trace/SpanDisabled", func(b *testing.B) {
+			// The cost every untraced request pays: a sampler check that
+			// returns nil, and nil-safe method calls on the way down.
+			tr := trace.New(8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp := tr.Start("bench.op")
+				child := sp.Child("bench.child")
+				child.AnnotateInt("i", int64(i))
+				child.End()
+				sp.End()
+			}
+		}},
+		{"trace/SpanTreeSampled", func(b *testing.B) {
+			// The cost a sampled request pays: a three-span tree with one
+			// annotation, completed into the ring.
+			tr := trace.New(8)
+			tr.SetSampleEvery(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp := tr.Start("bench.op")
+				child := sp.Child("bench.select")
+				child.AnnotateInt("i", int64(i))
+				child.End()
+				w := sp.Child("bench.append")
+				w.End()
+				sp.End()
 			}
 		}},
 		{"experiment/Table3Quick", func(b *testing.B) {

@@ -6,9 +6,11 @@
 //	jarvis [-seed N] [-quick] <experiment>
 //
 // where <experiment> is one of table1, table2, table3, security, roc,
-// fig6, fig7, fig8, fig9, ablation, chaos, or all; or the special
-// subcommand bench, which measures the batched compute core and writes
-// BENCH_core.json (see -benchout).
+// fig6, fig7, fig8, fig9, ablation, chaos, or all; or one of the special
+// subcommands: bench measures the batched compute core and writes
+// BENCH_core.json (see -benchout), and trace runs one fully traced
+// decision episode and writes a Chrome trace_event document (see
+// -traceout) for chrome://tracing or Perfetto.
 package main
 
 import (
@@ -35,16 +37,20 @@ func run(args []string, out *os.File) error {
 	quick := fs.Bool("quick", false, "reduced scale (seconds instead of minutes)")
 	homeB := fs.Bool("homeb", false, "use the Smart*-calibrated home-B profile where applicable")
 	benchOut := fs.String("benchout", "BENCH_core.json", "output path for the bench subcommand")
+	traceOut := fs.String("traceout", "trace.json", "output path for the trace subcommand (Chrome trace_event JSON)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("expected one experiment: table1|table2|table3|security|roc|fig6|fig7|fig8|fig9|ablation|chaos|all|bench")
+		return fmt.Errorf("expected one experiment: table1|table2|table3|security|roc|fig6|fig7|fig8|fig9|ablation|chaos|all|bench|trace")
 	}
 	name := fs.Arg(0)
 	if name == "bench" {
 		return runBench(*benchOut, out)
+	}
+	if name == "trace" {
+		return runTrace(*traceOut, *seed, *quick, out)
 	}
 	if name == "all" {
 		for _, n := range []string{"table1", "table2", "table3", "security", "roc", "fig6", "fig7", "fig8", "fig9", "ablation", "chaos"} {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -33,5 +36,45 @@ func TestRunArgValidation(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}, nil); err == nil {
 		t.Error("bad flag should error")
+	}
+}
+
+// TestTraceMode: the trace subcommand writes a loadable Chrome trace_event
+// document covering the decision pipeline.
+func TestTraceMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var devnull *os.File
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	devnull = f
+	if err := runTrace(path, 1, true, devnull); err != nil {
+		t.Fatalf("runTrace: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace.json is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			seen[ev.Name] = true
+		}
+	}
+	for _, want := range []string{"jarvis.decide", "rl.select", "policy.audit", "anomaly.score"} {
+		if !seen[want] {
+			t.Errorf("trace.json missing %q spans", want)
+		}
 	}
 }

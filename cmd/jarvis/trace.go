@@ -1,0 +1,123 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"jarvis"
+	"jarvis/internal/dataset"
+	"jarvis/internal/env"
+	"jarvis/internal/reward"
+	"jarvis/internal/rl"
+	"jarvis/internal/smarthome"
+	"jarvis/internal/trace"
+)
+
+// runTrace builds a compact Jarvis system — learning phase, anomaly
+// filter, constrained optimizer — then drives one fully traced decision
+// episode through it: every decision step is a sampled trace covering the
+// RL selection, the P_safe audit, and the anomaly score. The result is
+// written as a Chrome trace_event document (chrome://tracing, Perfetto),
+// giving a one-command way to look at the pipeline's time breakdown
+// without running a daemon.
+func runTrace(path string, seed int64, quick bool, out *os.File) error {
+	learningDays, episodes := 3, 10
+	if quick {
+		learningDays, episodes = 2, 2
+	}
+
+	home := smarthome.NewFullHome()
+	sys, err := jarvis.New(home.Env, jarvis.Config{Seed: seed, Filter: true})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	gen := dataset.NewGenerator(home, dataset.HomeAConfig())
+	start := time.Date(2020, 9, 7, 0, 0, 0, 0, time.UTC)
+	days, err := gen.Days(start, learningDays, rng)
+	if err != nil {
+		return fmt.Errorf("learning phase: %w", err)
+	}
+	anoms, err := dataset.SynthesizeAnomalies(home, days, 200, rng)
+	if err != nil {
+		return err
+	}
+	normals, err := dataset.NormalSamples(days, 200, rng)
+	if err != nil {
+		return err
+	}
+	if _, err := sys.TrainFilter(append(anoms, normals...)); err != nil {
+		return fmt.Errorf("filter training: %w", err)
+	}
+	eps := dataset.Episodes(days)
+	sys.Learn(eps)
+	if err := sys.AllowManual(home.Thermostat, smarthome.ThermostatActOff); err != nil {
+		return err
+	}
+	ctx := days[len(days)-1].Context
+	rs, err := reward.New(home.Env, reward.Config{
+		Functionalities: smarthome.Functionalities(
+			home.Env, home.TempSensor, home.Thermostat, ctx.Prices, 0.4, 0.3, 0.3),
+		Preferred: sys.PreferredTimes(eps),
+		Instances: smarthome.InstancesPerDay,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := sys.Train(
+		rl.SimConfig{Initial: home.InitialState(), Reward: rs},
+		jarvis.TrainConfig{Agent: rl.AgentConfig{Episodes: episodes, DecideEvery: 15, ReplayEvery: 4}},
+	); err != nil {
+		return fmt.Errorf("optimizer training: %w", err)
+	}
+
+	// One traced day: a decision every 15 minutes, each under its own
+	// sampled trace, applying the recommended action as we go.
+	const decideEvery = 15
+	tracer := trace.New(smarthome.InstancesPerDay / decideEvery)
+	tracer.SetSeed(uint64(seed))
+	tracer.SetSampleEvery(1)
+	e := home.Env
+	table := sys.SafeTable()
+	state := home.InitialState()
+	for minute := 0; minute < smarthome.InstancesPerDay; minute += decideEvery {
+		sp := tracer.Start("jarvis.decide")
+		sp.AnnotateInt("minute", int64(minute))
+		d, err := sys.RecommendDecisionTraced(sp, state, minute)
+		if err != nil {
+			return err
+		}
+		next, terr := e.Transition(state, d.Action)
+		if terr == nil {
+			table.SafeTransitionTraced(sp, e.StateKey(state), e.StateKey(next), d.Action)
+			sys.Filter().ScoreTraced(sp, env.Transition{
+				From: state, Act: d.Action, To: next,
+				Instance: minute, At: start.Add(time.Duration(minute) * time.Minute),
+			})
+			state = next
+		}
+		sp.End()
+	}
+
+	traces := tracer.Ring().Recent(0)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, traces); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	var spans int
+	for _, td := range traces {
+		spans += len(td.Spans)
+	}
+	fmt.Fprintf(out, "traced %d decisions (%d spans) into %s — open in chrome://tracing or https://ui.perfetto.dev\n",
+		len(traces), spans, path)
+	return nil
+}

@@ -5,9 +5,14 @@
 //	jarvisctl recommend
 //	jarvisctl violations
 //	jarvisctl stats
+//	jarvisctl -format prom stats
+//	jarvisctl -n 5 -slowest trace
 //
-// stats talks to the daemon's debug HTTP listener (-debug-addr) instead of
-// the TCP protocol and renders the /metrics telemetry snapshot.
+// stats and trace talk to the daemon's debug HTTP listener (-debug-addr)
+// instead of the TCP protocol: stats renders the /metrics telemetry
+// snapshot (-format text|json|prom picks the representation), and trace
+// fetches recent sampled request traces from /debug/traces and prints each
+// span tree with durations and annotations.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"time"
 
 	"jarvis/internal/telemetry"
+	"jarvis/internal/trace"
 )
 
 func main() {
@@ -61,14 +67,23 @@ func run(args []string, out io.Writer) error {
 	debugAddr := fs.String("debug-addr", "127.0.0.1:7464", "jarvisd debug (metrics) address")
 	timeout := fs.Duration("timeout", 5*time.Second, "dial/roundtrip timeout")
 	retries := fs.Int("retries", 3, "retries after a connection failure or busy rejection (0 = single attempt)")
+	format := fs.String("format", "text", "stats representation: text | json | prom")
+	traceN := fs.Int("n", 0, "trace: how many traces to fetch (0 = all retained)")
+	slowest := fs.Bool("slowest", false, "trace: rank by duration instead of recency")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if rest := fs.Args(); len(rest) > 0 && rest[0] == "stats" {
+	switch rest := fs.Args(); {
+	case len(rest) > 0 && rest[0] == "stats":
 		if len(rest) != 1 {
 			return fmt.Errorf("stats takes no arguments")
 		}
-		return runStats(*debugAddr, *timeout, out)
+		return runStats(*debugAddr, *timeout, *format, out)
+	case len(rest) > 0 && rest[0] == "trace":
+		if len(rest) != 1 {
+			return fmt.Errorf("trace takes no arguments")
+		}
+		return runTrace(*debugAddr, *timeout, *traceN, *slowest, out)
 	}
 	req, err := buildRequest(fs.Args())
 	if err != nil {
@@ -121,7 +136,7 @@ func roundTripRetry(addr string, timeout time.Duration, retries int, req request
 
 func buildRequest(args []string) (request, error) {
 	if len(args) == 0 {
-		return request{}, fmt.Errorf("expected a command: state|event <device> <action>|recommend|violations|stats")
+		return request{}, fmt.Errorf("expected a command: state|event <device> <action>|recommend|violations|stats|trace")
 	}
 	switch args[0] {
 	case "state", "recommend", "violations":
@@ -187,10 +202,21 @@ func render(out io.Writer, req request, resp response) error {
 
 // runStats fetches one telemetry snapshot from the daemon's debug listener
 // and renders it. Any non-200 answer is an error, which is what the
-// `make stats` smoke probe relies on.
-func runStats(addr string, timeout time.Duration, out io.Writer) error {
+// `make stats` smoke probe relies on. format selects the representation:
+// the human summary (text), the raw JSON snapshot (json), or Prometheus
+// text exposition (prom) — the latter two copy the daemon's bytes through
+// untouched, so the output is exactly what a scraper would see.
+func runStats(addr string, timeout time.Duration, format string, out io.Writer) error {
+	url := "http://" + addr + "/metrics"
+	switch format {
+	case "text", "json":
+	case "prom", "prometheus":
+		url += "?format=prom"
+	default:
+		return fmt.Errorf("unknown -format %q (want text, json, or prom)", format)
+	}
 	client := &http.Client{Timeout: timeout}
-	resp, err := client.Get("http://" + addr + "/metrics")
+	resp, err := client.Get(url)
 	if err != nil {
 		return fmt.Errorf("fetch metrics from %s: %w", addr, err)
 	}
@@ -198,12 +224,70 @@ func runStats(addr string, timeout time.Duration, out io.Writer) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("metrics endpoint returned %s", resp.Status)
 	}
+	if format != "text" {
+		_, err := io.Copy(out, resp.Body)
+		return err
+	}
 	var snap telemetry.Snapshot
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		return fmt.Errorf("decode metrics: %w", err)
 	}
 	renderStats(out, snap)
 	return nil
+}
+
+// runTrace fetches sampled request traces from /debug/traces and prints
+// one indented span tree per trace, children nested under parents with
+// durations and annotations inline.
+func runTrace(addr string, timeout time.Duration, n int, slowest bool, out io.Writer) error {
+	url := fmt.Sprintf("http://%s/debug/traces?n=%d", addr, n)
+	if slowest {
+		url += "&sort=slowest"
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("fetch traces from %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("traces endpoint returned %s", resp.Status)
+	}
+	dec := json.NewDecoder(resp.Body)
+	count := 0
+	for dec.More() {
+		var td trace.TraceData
+		if err := dec.Decode(&td); err != nil {
+			return fmt.Errorf("decode trace: %w", err)
+		}
+		renderTrace(out, &td)
+		count++
+	}
+	if count == 0 {
+		fmt.Fprintln(out, "no traces retained (is the daemon running with -trace-sample?)")
+	}
+	return nil
+}
+
+// renderTrace prints one span tree. Spans are stored flat in creation
+// order with parent indices, so depth is the length of the parent chain.
+func renderTrace(out io.Writer, td *trace.TraceData) {
+	fmt.Fprintf(out, "trace %s %s %s at %s\n", td.ID, td.Name,
+		time.Duration(td.DurNs), time.Unix(0, td.UnixNs).Format(time.RFC3339Nano))
+	depths := make([]int, len(td.Spans))
+	for i, sp := range td.Spans {
+		if i == 0 {
+			continue
+		}
+		if sp.Parent >= 0 && sp.Parent < i {
+			depths[i] = depths[sp.Parent] + 1
+		}
+		fmt.Fprintf(out, "%s%s %s", strings.Repeat("  ", depths[i]), sp.Name, time.Duration(sp.DurNs))
+		for _, an := range sp.Annotations {
+			fmt.Fprintf(out, " %s=%s", an.K, an.V)
+		}
+		fmt.Fprintln(out)
+	}
 }
 
 func renderStats(out io.Writer, snap telemetry.Snapshot) {

@@ -270,3 +270,98 @@ func TestProtocolErrorsAreNotRetried(t *testing.T) {
 		t.Errorf("slept %d times; protocol errors must not be retried", calls)
 	}
 }
+
+// fakeDebug serves canned bodies keyed by path+query on a debug listener.
+func fakeDebug(t *testing.T, pages map[string]string) string {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := r.URL.Path
+		if r.URL.RawQuery != "" {
+			key += "?" + r.URL.RawQuery
+		}
+		body, ok := pages[key]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+// TestStatsFormats: -format json copies the raw snapshot through and
+// -format prom requests and copies the Prometheus exposition; unknown
+// formats are rejected before any request is made.
+func TestStatsFormats(t *testing.T) {
+	jsonBody := `{"unixNs":1,"counters":{"jarvisd.requests.state":7}}`
+	promBody := "# TYPE jarvisd_requests_state counter\njarvisd_requests_state 7\n"
+	addr := fakeDebug(t, map[string]string{
+		"/metrics":             jsonBody,
+		"/metrics?format=prom": promBody,
+	})
+
+	var buf bytes.Buffer
+	if err := run([]string{"-debug-addr", addr, "-format", "json", "stats"}, &buf); err != nil {
+		t.Fatalf("stats -format json: %v", err)
+	}
+	if buf.String() != jsonBody {
+		t.Errorf("json format altered the body: %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := run([]string{"-debug-addr", addr, "-format", "prom", "stats"}, &buf); err != nil {
+		t.Fatalf("stats -format prom: %v", err)
+	}
+	if buf.String() != promBody {
+		t.Errorf("prom format altered the body: %q", buf.String())
+	}
+
+	if err := run([]string{"-debug-addr", addr, "-format", "xml", "stats"}, &buf); err == nil {
+		t.Error("unknown format should error")
+	}
+}
+
+// TestTraceCommand: the trace subcommand renders each fetched trace as an
+// indented span tree with durations and annotations.
+func TestTraceCommand(t *testing.T) {
+	line := `{"id":"00000000deadbeef","name":"jarvisd.recommend","unixNs":1700000000000000000,"durNs":1500000,` +
+		`"spans":[{"name":"jarvisd.recommend","parent":-1,"startNs":0,"durNs":1500000},` +
+		`{"name":"queue.wait","parent":0,"startNs":1000,"durNs":2000},` +
+		`{"name":"rl.select","parent":0,"startNs":4000,"durNs":900000,"annotations":[{"k":"q","v":"1.25"}]}]}`
+	addr := fakeDebug(t, map[string]string{
+		"/debug/traces?n=0":              line + "\n",
+		"/debug/traces?n=1&sort=slowest": line + "\n",
+	})
+
+	var buf bytes.Buffer
+	if err := run([]string{"-debug-addr", addr, "trace"}, &buf); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	for _, want := range []string{"00000000deadbeef", "jarvisd.recommend", "1.5ms", "queue.wait", "rl.select", "q=1.25"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("trace output missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	buf.Reset()
+	if err := run([]string{"-debug-addr", addr, "-n", "1", "-slowest", "trace"}, &buf); err != nil {
+		t.Fatalf("trace -slowest: %v", err)
+	}
+	if !strings.Contains(buf.String(), "jarvisd.recommend") {
+		t.Errorf("slowest trace output:\n%s", buf.String())
+	}
+}
+
+// TestTraceEmptyRing: an empty ring explains itself instead of printing
+// nothing.
+func TestTraceEmptyRing(t *testing.T) {
+	addr := fakeDebug(t, map[string]string{"/debug/traces?n=0": ""})
+	var buf bytes.Buffer
+	if err := run([]string{"-debug-addr", addr, "trace"}, &buf); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if !strings.Contains(buf.String(), "no traces retained") {
+		t.Errorf("empty ring output:\n%s", buf.String())
+	}
+}

@@ -6,10 +6,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"jarvis/internal/rl"
 	"jarvis/internal/telemetry"
+	"jarvis/internal/trace"
 )
 
 // The debug listener is a second, HTTP-speaking socket so observability
@@ -17,10 +20,17 @@ import (
 // JSON-lines protocol on the main listener:
 //
 //	/metrics      one JSON telemetry snapshot (counters, gauges,
-//	              histograms with p50/p95/p99, recent events)
+//	              histograms with p50/p95/p99, recent events); with
+//	              ?format=prom or an Accept header preferring text/plain,
+//	              the same registry in Prometheus text exposition format
 //	/healthz      200 while healthy, 503 once any recommendation has
 //	              degraded to the safe NoOp; reports the violation count
 //	              and the age of the last checkpoint
+//	/debug/traces        recent sampled request traces as JSON lines
+//	                     (?n= caps the count, ?sort=slowest ranks by
+//	                     duration); /debug/traces/chrome re-exports them
+//	                     as Chrome trace_event JSON for chrome://tracing
+//	                     and Perfetto
 //	/debug/vars   expvar, including the same telemetry snapshot
 //	/debug/pprof  the standard Go profiler endpoints
 
@@ -32,6 +42,8 @@ func (s *server) startDebug(addr string) error {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
+	mux.HandleFunc("/debug/traces/chrome", s.handleTracesChrome)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -63,13 +75,63 @@ func (s *server) DebugAddr() string {
 	return s.debugLn.Addr().String()
 }
 
-// handleMetrics serves one JSON snapshot of the process-wide registry.
+// handleMetrics serves the process-wide registry, negotiating between the
+// native JSON snapshot (default) and Prometheus text exposition: either
+// ?format=prom|json wins outright, else an Accept header that mentions
+// text/plain without application/json selects the Prometheus form.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := telemetry.Default.WritePrometheus(w); err != nil {
+			s.cfg.Logf("jarvisd: metrics write: %v", err)
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(telemetry.Default.Snapshot()); err != nil {
 		s.cfg.Logf("jarvisd: metrics encode: %v", err)
+	}
+}
+
+// wantsPrometheus decides the /metrics representation: explicit ?format=
+// first, Accept header second, JSON as the fallback.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
+}
+
+// handleTraces serves the sampled-trace ring as JSON lines, newest first.
+// ?n= caps how many; ?sort=slowest ranks by duration instead of recency.
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	var traces []*trace.TraceData
+	if r.URL.Query().Get("sort") == "slowest" {
+		traces = s.tracer.Ring().Slowest(n)
+	} else {
+		traces = s.tracer.Ring().Recent(n)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := trace.WriteJSONL(w, traces); err != nil {
+		s.cfg.Logf("jarvisd: traces write: %v", err)
+	}
+}
+
+// handleTracesChrome re-exports the ring in Chrome trace_event format,
+// loadable directly in chrome://tracing or https://ui.perfetto.dev.
+func (s *server) handleTracesChrome(w http.ResponseWriter, r *http.Request) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="jarvisd-trace.json"`)
+	if err := trace.WriteChrome(w, s.tracer.Ring().Recent(n)); err != nil {
+		s.cfg.Logf("jarvisd: chrome trace write: %v", err)
 	}
 }
 
@@ -103,6 +165,13 @@ type healthStatus struct {
 	LearnSteps  int `json:"learnSteps,omitempty"`
 	// WALSegments is the journal's current segment count (0 = disabled).
 	WALSegments int `json:"walSegments,omitempty"`
+	// TelemetryEventsDropped counts event-ring overwrites: structured
+	// events that aged out before any scrape read them. A climbing value
+	// means scrapes are too rare for the event volume.
+	TelemetryEventsDropped int64 `json:"telemetryEventsDropped,omitempty"`
+	// TracesSampled is the number of completed traces currently retained
+	// in the sampling ring (0 when tracing is disabled).
+	TracesSampled int `json:"tracesSampled,omitempty"`
 }
 
 // handleHealthz reports daemon health: 200 while every recommendation so
@@ -130,6 +199,8 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		h.WALSegments = s.wal.Segments()
 	}
 	s.mu.Unlock()
+	h.TelemetryEventsDropped = telemetry.Default.Events().Dropped()
+	h.TracesSampled = s.tracer.Ring().Len()
 	if s.cfg.CheckpointPath != "" {
 		if last := s.lastCkpt.Load(); last > 0 {
 			h.CheckpointAgeSec = time.Since(time.Unix(0, last)).Seconds()

@@ -22,6 +22,12 @@ type decisionRecord struct {
 	Q        float64  `json:"q,omitempty"`
 	Degraded bool     `json:"degraded,omitempty"`
 	Verdict  string   `json:"verdict"`
+	// Trace is the hex trace ID when this request was sampled by the span
+	// tracer — the join key into /debug/traces.
+	Trace string `json:"trace,omitempty"`
+	// Anomaly is the benign-anomaly ANN's score for a recommendation's
+	// transition (only with -anomaly-filter).
+	Anomaly float64 `json:"anomaly,omitempty"`
 }
 
 // decisionLog appends decision records to a file as JSON lines. Writes are

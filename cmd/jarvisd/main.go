@@ -14,10 +14,15 @@
 // and counted, mirroring the paper's enforcement discussion.
 //
 // A second HTTP listener (-debug-addr, default 127.0.0.1:7464) serves the
-// observability surface: /metrics (JSON telemetry snapshot), /healthz
-// (degraded-mode aware), /debug/vars (expvar), and /debug/pprof. With
+// observability surface: /metrics (JSON telemetry snapshot, or Prometheus
+// text exposition with ?format=prom), /healthz (degraded-mode aware),
+// /debug/traces (sampled request traces; /debug/traces/chrome exports
+// Chrome trace_event JSON), /debug/vars (expvar), and /debug/pprof. With
 // -log-decisions, every recommendation and checked event is appended to a
-// JSON-lines decision log for offline audit.
+// JSON-lines decision log for offline audit; with -trace-sample N, one in
+// every N requests is traced through the whole pipeline and its trace ID
+// stamped into the decision log. -profile-dir captures an automated CPU
+// profile window plus a heap snapshot on shutdown.
 package main
 
 import (
@@ -55,6 +60,11 @@ func run(args []string) error {
 	fixedMinute := fs.Int("fixed-minute", 0, "pin the minute-of-day for deterministic replay testing (0 = wall clock)")
 	debugAddr := fs.String("debug-addr", "127.0.0.1:7464", "HTTP address for /metrics, /healthz, /debug/vars and /debug/pprof (empty = disabled)")
 	logDecisions := fs.String("log-decisions", "", "append one JSON line per recommendation/event decision to this file (empty = disabled)")
+	traceSample := fs.Int("trace-sample", 0, "trace one in every N requests through the pipeline (1 = every request, 0 = disabled)")
+	traceRing := fs.Int("trace-ring", 0, "completed traces retained for /debug/traces (0 = default)")
+	anomalyFilter := fs.Bool("anomaly-filter", false, "train the benign-anomaly ANN and score every recommendation through it")
+	profileDir := fs.String("profile-dir", "", "capture cpu.pprof (first -profile-cpu-window) and a shutdown heap.pprof into this directory (empty = disabled)")
+	profileCPUWindow := fs.Duration("profile-cpu-window", 30*time.Second, "how long the automated CPU profile records")
 	idle := fs.Duration("idle-timeout", 5*time.Minute, "drop connections idle longer than this")
 	writeTimeout := fs.Duration("write-timeout", 10*time.Second, "per-response write deadline")
 	if err := fs.Parse(args); err != nil {
@@ -72,6 +82,14 @@ func run(args []string) error {
 		return fmt.Errorf("unknown -wal-sync %q (want record, interval, or rotate)", *walSync)
 	}
 
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	// The profiler starts before training so the CPU window covers the
+	// expensive startup phase as well as early serving.
+	prof := startProfiler(*profileDir, *profileCPUWindow, logf)
+	defer prof.Stop()
+
 	fmt.Fprintf(os.Stderr, "jarvisd: learning phase (%d days) and optimizer training...\n", *learningDays)
 	srv, err := newServer(serverConfig{
 		Seed:             *seed,
@@ -86,11 +104,12 @@ func run(args []string) error {
 		FixedMinute:      *fixedMinute,
 		DebugAddr:        *debugAddr,
 		DecisionLogPath:  *logDecisions,
+		TraceSample:      *traceSample,
+		TraceRing:        *traceRing,
+		AnomalyFilter:    *anomalyFilter,
 		IdleTimeout:      *idle,
 		WriteTimeout:     *writeTimeout,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
+		Logf:             logf,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// profiler automates the capture an operator would otherwise drive through
+// /debug/pprof by hand: a CPU profile covering the first -profile-cpu-window
+// of the process (startup training plus early serving), and a heap snapshot
+// taken at shutdown. Both land in -profile-dir as cpu.pprof and heap.pprof,
+// ready for `go tool pprof`.
+type profiler struct {
+	dir  string
+	logf func(format string, args ...any)
+
+	mu    sync.Mutex
+	cpuF  *os.File
+	timer *time.Timer
+}
+
+// startProfiler begins the capture. An empty dir returns nil; every method
+// is nil-safe, so callers never branch on whether profiling is on.
+func startProfiler(dir string, cpuWindow time.Duration, logf func(string, ...any)) *profiler {
+	if dir == "" {
+		return nil
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		logf("jarvisd: profile dir: %v", err)
+		return nil
+	}
+	p := &profiler{dir: dir, logf: logf}
+	f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	switch {
+	case err != nil:
+		logf("jarvisd: cpu profile: %v", err)
+	case pprof.StartCPUProfile(f) != nil:
+		logf("jarvisd: cpu profile already running; skipping capture")
+		f.Close()
+	default:
+		p.cpuF = f
+		if cpuWindow > 0 {
+			p.timer = time.AfterFunc(cpuWindow, p.stopCPU)
+		}
+		logf("jarvisd: cpu profile started (%s, window %v)", f.Name(), cpuWindow)
+	}
+	return p
+}
+
+// stopCPU ends the CPU capture once; the window timer and Stop may race,
+// so the second caller finds cpuF nil and returns.
+func (p *profiler) stopCPU() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cpuF == nil {
+		return
+	}
+	pprof.StopCPUProfile()
+	name := p.cpuF.Name()
+	if err := p.cpuF.Close(); err != nil {
+		p.logf("jarvisd: cpu profile close: %v", err)
+	} else {
+		p.logf("jarvisd: cpu profile written to %s", name)
+	}
+	p.cpuF = nil
+}
+
+// Stop finishes any in-flight CPU capture and writes the shutdown heap
+// snapshot.
+func (p *profiler) Stop() {
+	if p == nil {
+		return
+	}
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	p.stopCPU()
+	path := filepath.Join(p.dir, "heap.pprof")
+	f, err := os.Create(path)
+	if err != nil {
+		p.logf("jarvisd: heap profile: %v", err)
+		return
+	}
+	runtime.GC() // heap profile reads stats as of the last collection
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		p.logf("jarvisd: heap profile: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		p.logf("jarvisd: heap profile close: %v", err)
+	} else {
+		p.logf("jarvisd: heap snapshot written to %s", path)
+	}
+}

@@ -16,12 +16,14 @@ import (
 	"time"
 
 	"jarvis"
+	"jarvis/internal/anomaly"
 	"jarvis/internal/checkpoint"
 	"jarvis/internal/dataset"
 	"jarvis/internal/env"
 	"jarvis/internal/reward"
 	"jarvis/internal/rl"
 	"jarvis/internal/smarthome"
+	"jarvis/internal/trace"
 	"jarvis/internal/wal"
 )
 
@@ -77,6 +79,22 @@ type serverConfig struct {
 	// DecisionLogPath, when non-empty, appends one JSON line per
 	// recommendation and per checked event to this file; see decision.go.
 	DecisionLogPath string
+
+	// TraceSample, when positive, head-samples one in every TraceSample
+	// requests into the span tracer (1 traces everything). Sampled traces
+	// retire into a bounded in-memory ring served by /debug/traces; their
+	// trace IDs are stamped into the decision log. 0 disables tracing —
+	// nil spans end to end, zero request-path overhead.
+	TraceSample int
+	// TraceRing caps how many completed traces the ring retains (default
+	// trace.DefaultRingCapacity).
+	TraceRing int
+
+	// AnomalyFilter, when true, trains the ANN benign-anomaly filter
+	// during the learning phase and scores every recommendation's
+	// resulting transition through it; the score lands in the decision log
+	// and, on sampled requests, in an anomaly.score span.
+	AnomalyFilter bool
 
 	// IdleTimeout bounds how long a connection may sit silent between
 	// requests before the daemon drops it (default 5m).
@@ -202,6 +220,13 @@ type server struct {
 	// cfg.DecisionLogPath is empty.
 	decisions *decisionLog
 
+	// tracer samples request traces (disabled, never nil, when
+	// cfg.TraceSample <= 0).
+	tracer *trace.Tracer
+	// filter is the trained benign-anomaly ANN (nil unless
+	// cfg.AnomalyFilter).
+	filter *anomaly.Filter
+
 	// lastCkpt is the unix-ns time of the last successful checkpoint save
 	// or restore (0 = never). Atomic because /healthz reads it off-lock.
 	lastCkpt atomic.Int64
@@ -225,7 +250,7 @@ type learningAssets struct {
 // configuration. The (expensive) optimizer training is NOT run here.
 func buildLearning(cfg serverConfig) (*learningAssets, error) {
 	home := smarthome.NewFullHome()
-	sys, err := jarvis.New(home.Env, jarvis.Config{Seed: cfg.Seed})
+	sys, err := jarvis.New(home.Env, jarvis.Config{Seed: cfg.Seed, Filter: cfg.AnomalyFilter})
 	if err != nil {
 		return nil, err
 	}
@@ -235,6 +260,21 @@ func buildLearning(cfg serverConfig) (*learningAssets, error) {
 	days, err := gen.Days(start, cfg.LearningDays, rng)
 	if err != nil {
 		return nil, fmt.Errorf("learning phase: %w", err)
+	}
+	if cfg.AnomalyFilter {
+		// The filter must be trained before Learn so the SPL can consult
+		// it while observing the learning episodes.
+		anoms, err := dataset.SynthesizeAnomalies(home, days, 400, rng)
+		if err != nil {
+			return nil, fmt.Errorf("anomaly synthesis: %w", err)
+		}
+		normals, err := dataset.NormalSamples(days, 400, rng)
+		if err != nil {
+			return nil, fmt.Errorf("normal samples: %w", err)
+		}
+		if _, err := sys.TrainFilter(append(anoms, normals...)); err != nil {
+			return nil, fmt.Errorf("filter training: %w", err)
+		}
 	}
 	eps := dataset.Episodes(days)
 	sys.Learn(eps)
@@ -280,7 +320,11 @@ func newServer(cfg serverConfig) (*server, error) {
 		startOfDay: time.Now().Truncate(24 * time.Hour),
 		stop:       make(chan struct{}),
 		conns:      make(map[net.Conn]struct{}),
+		tracer:     trace.New(cfg.TraceRing),
+		filter:     assets.sys.Filter(),
 	}
+	s.tracer.SetSeed(uint64(cfg.Seed))
+	s.tracer.SetSampleEvery(cfg.TraceSample)
 
 	if cfg.DecisionLogPath != "" {
 		dl, err := openDecisionLog(cfg.DecisionLogPath)
@@ -560,7 +604,9 @@ func (s *server) minuteOfDay(now time.Time) int {
 
 // handle counts and times one request, then dispatches it. The inflight
 // gauge — requests admitted but not yet answered — is the queue depth
-// admission control sheds against.
+// admission control sheds against. Sampled requests get a root span named
+// after the op (opSpanNames, telemetry.go) that the whole pipeline threads
+// through; unsampled requests carry a nil span at zero cost.
 func (s *server) handle(req request) response {
 	depth := s.inflight.Add(1)
 	defer s.inflight.Add(-1)
@@ -570,11 +616,16 @@ func (s *server) handle(req request) response {
 	} else {
 		mRequestsUnknown.Inc()
 	}
+	sp := s.tracer.Start(opSpanName(req.Op))
+	if sp != nil {
+		sp.AnnotateInt("depth", depth)
+		defer sp.End()
+	}
 	if !mRequestLatency.Enabled() {
-		return s.dispatch(req, depth)
+		return s.dispatch(req, depth, sp)
 	}
 	t0 := time.Now()
-	resp := s.dispatch(req, depth)
+	resp := s.dispatch(req, depth, sp)
 	mRequestLatency.Observe(time.Since(t0))
 	return resp
 }
@@ -593,8 +644,12 @@ func (s *server) shedRecommend(depth int64) bool {
 	return s.cfg.MaxQueue > 0 && depth > int64(s.cfg.MaxQueue)
 }
 
-func (s *server) dispatch(req request, depth int64) response {
+func (s *server) dispatch(req request, depth int64, sp *trace.Span) response {
+	// Under admission-control pressure the wait for the state lock IS the
+	// queue; a sampled trace shows it as its own span.
+	qw := sp.Child("queue.wait")
 	s.mu.Lock()
+	qw.End()
 	defer s.mu.Unlock()
 	e := s.home.Env
 	minute := s.minuteOfDay(time.Now())
@@ -619,7 +674,7 @@ func (s *server) dispatch(req request, depth int64) response {
 			return response{Error: err.Error()}
 		}
 		table := s.sys.SafeTable()
-		unsafe := !table.SafeTransition(e.StateKey(s.state), e.StateKey(next), a)
+		unsafe := !table.SafeTransitionTraced(sp, e.StateKey(s.state), e.StateKey(next), a)
 		if unsafe {
 			s.violations++
 			mEventsUnsafe.Inc()
@@ -627,21 +682,23 @@ func (s *server) dispatch(req request, depth int64) response {
 		prev := s.state
 		s.state = next
 		s.eventsIngested++
-		s.journal(walRecord{K: "evt", N: s.eventsIngested, M: minute, D: di, A: act, U: unsafe})
+		s.journal(sp, walRecord{K: "evt", N: s.eventsIngested, M: minute, D: di, A: act, U: unsafe})
 		// The audit check above is never shed; under pressure only the
 		// learning ingestion below is dropped.
 		if s.shedLearning(depth) {
 			s.shedEvents++
 			mShedEvents.Inc()
 		} else {
-			s.journal(walRecord{K: "txn", N: s.onlineSteps + 1, M: minute, D: di, A: act, S: prev})
-			s.ingestTransition(prev, a, minute)
+			li := sp.Child("learn.ingest")
+			s.journal(li, walRecord{K: "txn", N: s.onlineSteps + 1, M: minute, D: di, A: act, S: prev})
+			s.ingestTransition(li, prev, a, minute)
+			li.End()
 		}
 		verdict := "safe"
 		if unsafe {
 			verdict = "unsafe"
 		}
-		s.logDecision(decisionRecord{
+		s.logDecision(sp, decisionRecord{
 			Kind: "event", Minute: minute,
 			State:   stateNames(e, s.state),
 			Action:  e.FormatAction(a),
@@ -656,7 +713,7 @@ func (s *server) dispatch(req request, depth int64) response {
 			return response{Error: "overloaded: recommendation shed", Busy: true,
 				RetryAfterMs: 250, Minute: minute}
 		}
-		d, err := s.sys.RecommendDecision(s.state, minute)
+		d, err := s.sys.RecommendDecisionTraced(sp, s.state, minute)
 		if err != nil {
 			return response{Error: err.Error()}
 		}
@@ -664,11 +721,32 @@ func (s *server) dispatch(req request, depth int64) response {
 		if d.Degraded {
 			verdict = "degraded"
 		}
-		s.logDecision(decisionRecord{
+		var score float64
+		if next, terr := e.Transition(s.state, d.Action); terr == nil {
+			// Cross-check the recommendation against P_safe before handing
+			// it out. The constrained agent only proposes whitelisted
+			// transitions, so a deny here means the table and the optimizer
+			// have drifted apart — worth a loud verdict in the audit log.
+			if !s.sys.SafeTable().SafeTransitionTraced(sp, e.StateKey(s.state), e.StateKey(next), d.Action) {
+				verdict = "unsafe"
+			}
+			if s.filter != nil {
+				// Score the transition through the benign-anomaly ANN —
+				// the daemon's answer to "how unusual is the action I am
+				// about to suggest".
+				score = s.filter.ScoreTraced(sp, env.Transition{
+					From: s.state, Act: d.Action, To: next,
+					Instance: minute,
+					At:       s.startOfDay.Add(time.Duration(minute) * time.Minute),
+				})
+			}
+		}
+		s.logDecision(sp, decisionRecord{
 			Kind: "recommend", Minute: minute,
 			State:    stateNames(e, s.state),
 			Action:   e.FormatAction(d.Action),
 			Q:        d.Value,
+			Anomaly:  score,
 			Degraded: d.Degraded,
 			Verdict:  verdict,
 		})
@@ -706,12 +784,17 @@ func (s *server) dispatch(req request, depth int64) response {
 
 // logDecision stamps and appends one record to the decision log (no-op
 // when the log is disabled). Log failures are reported, never fatal: an
-// unwritable audit trail must not take recommendations down with it.
-func (s *server) logDecision(rec decisionRecord) {
+// unwritable audit trail must not take recommendations down with it. A
+// sampled request's trace ID is stamped into the record — the join key
+// between the decision log and /debug/traces.
+func (s *server) logDecision(sp *trace.Span, rec decisionRecord) {
 	if s.decisions == nil {
 		return
 	}
 	rec.UnixNs = time.Now().UnixNano()
+	if id := sp.TraceID(); id != 0 {
+		rec.Trace = trace.IDString(id)
+	}
 	if err := s.decisions.Record(rec); err != nil {
 		s.cfg.Logf("jarvisd: decision log write failed: %v", err)
 	}

@@ -26,6 +26,17 @@ var (
 	mRequestsUnknown = telemetry.Default.Counter("jarvisd.requests.unknown")
 	mRequestLatency  = telemetry.Default.Histogram("jarvisd.request.latency")
 
+	// Root span names for sampled request traces, one per op. A static map
+	// keeps the traced request path free of string concatenation.
+	opSpanNames = map[string]string{
+		"state":      "jarvisd.state",
+		"event":      "jarvisd.event",
+		"recommend":  "jarvisd.recommend",
+		"violations": "jarvisd.violations",
+		"checkpoint": "jarvisd.checkpoint",
+		"learnstate": "jarvisd.learnstate",
+	}
+
 	// The daemon's safety-enforcement surface: every applied event is
 	// checked against the learned P_safe, and unsafe ones are counted here
 	// (the hub is a monitor, so they execute but are flagged).
@@ -56,3 +67,11 @@ var (
 	mOnlineObserved   = telemetry.Default.Counter("jarvisd.online.observed")
 	mOnlineLearnSteps = telemetry.Default.Counter("jarvisd.online.learn_steps")
 )
+
+// opSpanName maps a request op to its root span name.
+func opSpanName(op string) string {
+	if n, ok := opSpanNames[op]; ok {
+		return n
+	}
+	return "jarvisd.unknown"
+}

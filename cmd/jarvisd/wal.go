@@ -6,6 +6,7 @@ import (
 
 	"jarvis/internal/device"
 	"jarvis/internal/env"
+	"jarvis/internal/trace"
 	"jarvis/internal/wal"
 )
 
@@ -40,14 +41,15 @@ type walRecord struct {
 
 // journal appends one record to the WAL. Append failures degrade
 // durability, never availability: they are counted and logged, and the
-// request proceeds.
-func (s *server) journal(rec walRecord) {
+// request proceeds. A sampled request's span gets a wal.append child
+// showing the durability cost inside the request.
+func (s *server) journal(sp *trace.Span, rec walRecord) {
 	if s.wal == nil {
 		return
 	}
 	b, err := json.Marshal(rec)
 	if err == nil {
-		err = s.wal.Append(b)
+		err = s.wal.AppendTraced(sp, b)
 	}
 	if err != nil {
 		mWALAppendFailures.Inc()
@@ -134,7 +136,7 @@ func (s *server) applyWALRecord(rec walRecord) {
 		}
 		a := env.NoOp(e.K())
 		a[rec.D] = rec.A
-		s.ingestTransition(rec.S, a, rec.M)
+		s.ingestTransition(nil, rec.S, a, rec.M)
 		mWALReplayedTxns.Inc()
 
 	default:
@@ -149,7 +151,7 @@ func (s *server) applyWALRecord(rec walRecord) {
 // an RNG seeded only by (daemon seed, transition count) — never by
 // wall-clock or by how the process got here — so a crashed-and-replayed
 // daemon walks the exact training trajectory of one that never crashed.
-func (s *server) ingestTransition(prev env.State, a env.Action, minute int) {
+func (s *server) ingestTransition(sp *trace.Span, prev env.State, a env.Action, minute int) {
 	s.onlineSteps++
 	if _, _, err := s.sys.ObserveTransition(prev, a, minute); err != nil {
 		s.cfg.Logf("jarvisd: online observe failed: %v", err)
@@ -158,7 +160,7 @@ func (s *server) ingestTransition(prev env.State, a env.Action, minute int) {
 	mOnlineObserved.Inc()
 	if s.cfg.OnlineTrainEvery > 0 && s.onlineSteps%s.cfg.OnlineTrainEvery == 0 {
 		rng := rand.New(rand.NewSource(stepSeed(uint64(s.cfg.Seed), uint64(s.onlineSteps))))
-		ran, err := s.sys.LearnOnline(rng)
+		ran, err := s.sys.LearnOnlineTraced(sp, rng)
 		switch {
 		case err != nil:
 			s.cfg.Logf("jarvisd: online learn step failed: %v", err)

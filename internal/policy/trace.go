@@ -1,0 +1,29 @@
+package policy
+
+import (
+	"jarvis/internal/env"
+	"jarvis/internal/trace"
+)
+
+// SafeTransitionTraced is SafeTransition under a "policy.audit" child span
+// annotated with the verdict. This is also where the audit counters are
+// incremented: it is only called from genuine audit surfaces (the daemon's
+// request path), so hot simulation loops calling Table.Safe directly stay
+// uninstrumented per the DESIGN §9.2 contract.
+func (t *Table) SafeTransitionTraced(sp *trace.Span, from, to uint64, a env.Action) bool {
+	child := sp.Child("policy.audit")
+	ok := t.SafeTransition(from, to, a)
+	mAuditChecks.Inc()
+	if !ok {
+		mAuditDenials.Inc()
+	}
+	if child != nil {
+		if ok {
+			child.Annotate("verdict", "safe")
+		} else {
+			child.Annotate("verdict", "unsafe")
+		}
+		child.End()
+	}
+	return ok
+}

@@ -499,13 +499,7 @@ func (a *Agent) Observe(e Experience) {
 // LearnStep runs one replay update with the supplied RNG, if the buffer
 // has a full mini-batch. Returns whether an update ran.
 func (a *Agent) LearnStep(rng *rand.Rand) (bool, error) {
-	if a.replay.Len() < a.cfg.BatchSize {
-		return false, nil
-	}
-	if err := a.replayStepRng(rng); err != nil {
-		return false, err
-	}
-	return true, nil
+	return a.LearnStepTraced(nil, rng)
 }
 
 // Minis exposes the agent's mini-action codec so callers journaling

@@ -1,0 +1,51 @@
+package rl
+
+import (
+	"math/rand"
+
+	"jarvis/internal/env"
+	"jarvis/internal/trace"
+)
+
+// Traced entry points for the serving pipeline: each wraps the plain method
+// in a child span when the request was sampled. A nil span (tracing
+// disabled, or this request lost the sampling draw) costs one nil check, so
+// the training loops and experiments keep calling the plain methods with
+// zero added work.
+
+// GreedyTraced is Greedy under an "rl.select" child span annotated with the
+// backing Q value and whether the composition degraded to the safe NoOp.
+func (a *Agent) GreedyTraced(sp *trace.Span, s env.State, t int) env.Action {
+	child := sp.Child("rl.select")
+	before := a.degraded
+	act := a.Greedy(s, t)
+	if child != nil {
+		child.AnnotateFloat("q", a.lastValue)
+		child.AnnotateInt("minute", int64(t))
+		if a.degraded > before {
+			child.Annotate("degraded", "true")
+		}
+		child.End()
+	}
+	return act
+}
+
+// LearnStepTraced is LearnStep under an "rl.update" child span annotated
+// with the mini-batch size and resulting loss. The buffer-depth check runs
+// before the span starts, so a skipped update produces no span.
+func (a *Agent) LearnStepTraced(sp *trace.Span, rng *rand.Rand) (bool, error) {
+	if a.replay.Len() < a.cfg.BatchSize {
+		return false, nil
+	}
+	child := sp.Child("rl.update")
+	err := a.replayStepRng(rng)
+	if child != nil {
+		child.AnnotateInt("batch", int64(len(a.batch)))
+		child.AnnotateFloat("loss", a.loss)
+		child.End()
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,183 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+	"jarvis/internal/trace"
+)
+
+// minUpdateTracedNs mirrors minUpdateNs but drives the update through the
+// span-threaded online-learning path with an always-nil span — the exact
+// code a daemon runs with -trace-sample 0.
+func minUpdateTracedNs(t *testing.T, a *Agent, rng *rand.Rand, trials, iters int) float64 {
+	t.Helper()
+	best := float64(0)
+	for trial := 0; trial < trials; trial++ {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := a.LearnStepTraced(nil, rng); err != nil {
+				t.Fatal(err)
+			}
+		}
+		perOp := float64(time.Since(t0).Nanoseconds()) / float64(iters)
+		if best == 0 || perOp < best {
+			best = perOp
+		}
+	}
+	return best
+}
+
+// tracedOverheadAgent wires the overheadBatch DQN into an agent whose
+// replay buffer holds one full mini-batch, so LearnStep and LearnStepTraced
+// both exercise DQN.Update. Every random source is seeded, so two calls
+// build bit-identical agents — the plain-vs-traced comparison below runs
+// the exact same sampling and update sequence on each.
+func tracedOverheadAgent(t *testing.T) *Agent {
+	t.Helper()
+	d, batch, _ := overheadBatch(t)
+	e := testEnv(t)
+	rs := testReward(t, e, 10)
+	sim, err := NewSimEnv(e, SimConfig{Initial: env.State{1, 1}, Reward: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAgent(sim, d, AgentConfig{BatchSize: 32, Rng: rand.New(rand.NewSource(43))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// overheadBatch leaves Next empty (bare Update never evaluates
+	// successors); the agent's target computation does, so give every
+	// experience a valid successor.
+	rng0 := rand.New(rand.NewSource(45))
+	for _, exp := range batch {
+		exp.Next = env.State{device.StateID(rng0.Intn(2)), device.StateID(rng0.Intn(2))}
+		exp.NextT = exp.T + 1
+		a.Observe(exp)
+	}
+	warm := rand.New(rand.NewSource(44))
+	for i := 0; i < 8; i++ { // warm the agent-side batch/target buffers
+		if _, err := a.LearnStepTraced(nil, warm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a
+}
+
+// TestDQNUpdateTraceOverhead is the tracing half of the zero-perturbation
+// contract: with tracing disabled (nil spans end-to-end), the span-threaded
+// learning path must add zero allocations over the plain LearnStep path
+// (whose own successor-audit allocations predate tracing and are measured
+// as the baseline) and stay within 3% ns/op of it. The bare DQN.Update
+// itself stays at 0 allocs/op, re-asserted here with the trace layer
+// compiled in.
+func TestDQNUpdateTraceOverhead(t *testing.T) {
+	// Two bit-identical agents, each driven by an identically seeded RNG:
+	// the only difference between the two measurement loops is the call
+	// spelling, so allocation counts must match exactly.
+	plainAgent := tracedOverheadAgent(t)
+	plainRng := rand.New(rand.NewSource(46))
+	plainAllocs := testing.AllocsPerRun(50, func() {
+		if _, err := plainAgent.LearnStep(plainRng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	tracedAgent := tracedOverheadAgent(t)
+	tracedRng := rand.New(rand.NewSource(46))
+	tracedAllocs := testing.AllocsPerRun(50, func() {
+		if _, err := tracedAgent.LearnStepTraced(nil, tracedRng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if tracedAllocs > plainAllocs {
+		t.Errorf("nil-span LearnStepTraced allocates %.1f objects per call vs %.1f plain: tracing must add 0",
+			tracedAllocs, plainAllocs)
+	}
+	d, batch, targets := overheadBatch(t)
+	if n := testing.AllocsPerRun(50, func() {
+		if _, err := d.Update(batch, targets); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("DQN.Update allocates %.1f objects per call with tracing compiled in, want 0", n)
+	}
+
+	if raceEnabled {
+		t.Skip("timing comparison skipped under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+
+	const trials, iters = 7, 200
+	best := float64(0)
+	timeRngA := rand.New(rand.NewSource(47))
+	for trial := 0; trial < trials; trial++ {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := plainAgent.LearnStep(timeRngA); err != nil {
+				t.Fatal(err)
+			}
+		}
+		perOp := float64(time.Since(t0).Nanoseconds()) / float64(iters)
+		if best == 0 || perOp < best {
+			best = perOp
+		}
+	}
+	traced := minUpdateTracedNs(t, tracedAgent, rand.New(rand.NewSource(47)), trials, iters)
+
+	overhead := traced/best - 1
+	t.Logf("LearnStep plain %.0f ns/op, nil-span traced %.0f ns/op (%+.2f%%)", best, traced, overhead*100)
+	if overhead > 0.03 {
+		t.Errorf("disabled-tracing overhead %.2f%% exceeds 3%% (plain %.0f ns/op, traced %.0f ns/op)",
+			overhead*100, best, traced)
+	}
+}
+
+// TestGreedyTracedSpans checks the rl.select span carries the Q value and
+// parents correctly, and that the traced path returns the same action as
+// the plain one.
+func TestGreedyTracedSpans(t *testing.T) {
+	e := testEnv(t)
+	rs := testReward(t, e, 10)
+	sim, err := NewSimEnv(e, SimConfig{Initial: env.State{1, 1}, Reward: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAgent(sim, NewTableQ(e, 10, 4, 0.2), AgentConfig{
+		Episodes: 2, BatchSize: 4, Rng: rand.New(rand.NewSource(7)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Train(); err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(4)
+	tr.SetSampleEvery(1)
+	root := tr.Start("test.recommend")
+	tracedAct := a.GreedyTraced(root, env.State{1, 1}, 0)
+	root.End()
+	plainAct := a.Greedy(env.State{1, 1}, 0)
+	for i := range tracedAct {
+		if tracedAct[i] != plainAct[i] {
+			t.Fatalf("traced action %v != plain action %v", tracedAct, plainAct)
+		}
+	}
+	td := tr.Ring().Recent(1)[0]
+	if len(td.Spans) != 2 || td.Spans[1].Name != "rl.select" || td.Spans[1].Parent != 0 {
+		t.Fatalf("span tree: %+v", td.Spans)
+	}
+	var hasQ bool
+	for _, an := range td.Spans[1].Annotations {
+		if an.K == "q" {
+			hasQ = true
+		}
+	}
+	if !hasQ {
+		t.Errorf("rl.select span missing q annotation: %+v", td.Spans[1].Annotations)
+	}
+}

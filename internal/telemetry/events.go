@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,8 +18,15 @@ type Event struct {
 }
 
 // EventLog is a fixed-capacity ring of Events: the most recent capacity
-// entries are kept, older ones are overwritten. Safe for concurrent use.
+// entries are kept, older ones are overwritten. Every overwrite loses one
+// event, and losing events silently is how a post-incident scrape ends up
+// missing the interesting entry — so overwrites are counted, exposed via
+// Dropped, surfaced as the synthetic telemetry.events.dropped counter in
+// snapshots, and reported by the daemon's /healthz detail. Safe for
+// concurrent use.
 type EventLog struct {
+	dropped atomic.Int64
+
 	mu   sync.Mutex
 	buf  []Event
 	next int // write cursor
@@ -33,10 +41,14 @@ func NewEventLog(capacity int) *EventLog {
 	return &EventLog{buf: make([]Event, capacity)}
 }
 
-// Record appends an event, overwriting the oldest entry when full.
+// Record appends an event, overwriting (and counting as dropped) the
+// oldest entry when full.
 func (l *EventLog) Record(kind, detail string, value int64) {
 	now := time.Now().UnixNano()
 	l.mu.Lock()
+	if l.full {
+		l.dropped.Add(1)
+	}
 	l.buf[l.next] = Event{UnixNs: now, Kind: kind, Detail: detail, Value: value}
 	l.next++
 	if l.next == len(l.buf) {
@@ -45,6 +57,10 @@ func (l *EventLog) Record(kind, detail string, value int64) {
 	}
 	l.mu.Unlock()
 }
+
+// Dropped returns how many events have been overwritten before ever being
+// read — the ring's cumulative data loss.
+func (l *EventLog) Dropped() int64 { return l.dropped.Load() }
 
 // Len returns the number of buffered events.
 func (l *EventLog) Len() int {

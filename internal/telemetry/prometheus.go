@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// as cumulative `le`-labelled bucket series plus `_sum` and `_count`.
+// Metric names are sanitized to the Prometheus charset (dots and dashes
+// become underscores), and histogram values are converted from nanoseconds
+// to seconds per Prometheus convention. Only populated buckets are emitted
+// (plus the mandatory `+Inf`), which keeps the 248-bucket log-linear layout
+// from exploding the scrape size.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	// Copy the handle maps under the registry mutex, then read values from
+	// atomics outside it: same straddling contract as Snapshot.
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, name := range SortedNames(counters) {
+		pn := promName(name)
+		bw.WriteString("# TYPE " + pn + " counter\n")
+		bw.WriteString(pn + " " + strconv.FormatInt(counters[name].Value(), 10) + "\n")
+	}
+	if d := r.events.Dropped(); d > 0 {
+		bw.WriteString("# TYPE telemetry_events_dropped counter\n")
+		bw.WriteString("telemetry_events_dropped " + strconv.FormatInt(d, 10) + "\n")
+	}
+	for _, name := range SortedNames(gauges) {
+		pn := promName(name)
+		bw.WriteString("# TYPE " + pn + " gauge\n")
+		bw.WriteString(pn + " " + formatFloat(sanitize(gauges[name].Value())) + "\n")
+	}
+	for _, name := range SortedNames(hists) {
+		writePromHistogram(bw, promName(name)+"_seconds", hists[name])
+	}
+	return bw.Flush()
+}
+
+// writePromHistogram emits one histogram as cumulative le-bucket samples.
+// Bucket upper bounds come from the log-linear layout's exclusive upper
+// edge (low + width), converted to seconds.
+func writePromHistogram(bw *bufio.Writer, pn string, h *Histogram) {
+	var counts [numBuckets]int64
+	var total, sum int64
+	for i := range counts {
+		counts[i] = h.b[i].Load()
+		total += counts[i]
+	}
+	sum = h.sum.Load()
+	bw.WriteString("# TYPE " + pn + " histogram\n")
+	var cum int64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		low, width := bucketBounds(i)
+		le := float64(low+width) / 1e9
+		bw.WriteString(pn + `_bucket{le="` + formatFloat(le) + `"} ` + strconv.FormatInt(cum, 10) + "\n")
+	}
+	bw.WriteString(pn + `_bucket{le="+Inf"} ` + strconv.FormatInt(total, 10) + "\n")
+	bw.WriteString(pn + "_sum " + formatFloat(float64(sum)/1e9) + "\n")
+	// Use the bucket total, not h.count, so _count always equals the +Inf
+	// bucket even while writers race the scrape.
+	bw.WriteString(pn + "_count " + strconv.FormatInt(total, 10) + "\n")
+}
+
+// promName maps a dotted registry name onto the Prometheus metric charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteRune(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -194,6 +194,12 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
 	}
+	// The event ring's loss accounting rides along as a synthetic counter so
+	// every consumer of the snapshot (JSON, Prometheus, jarvisctl stats) sees
+	// it without a dedicated field.
+	if d := r.events.Dropped(); d > 0 {
+		s.Counters["telemetry.events.dropped"] = d
+	}
 	for name, g := range r.gauges {
 		s.Gauges[name] = sanitize(g.Value())
 	}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceData is the immutable, exportable form of a completed trace. Spans
+// are stored flat in creation order; Parent indexes into Spans (-1 marks
+// the root, which is always Spans[0]).
+type TraceData struct {
+	// ID is the 16-hex-digit trace ID — the join key stamped into the
+	// daemon's decision log.
+	ID string `json:"id"`
+	// Name is the root span's name (e.g. "jarvisd.recommend").
+	Name string `json:"name"`
+	// UnixNs is the wall-clock start of the trace; span offsets inside the
+	// trace are monotonic.
+	UnixNs int64 `json:"unixNs"`
+	// DurNs is the root span's duration.
+	DurNs int64      `json:"durNs"`
+	Spans []SpanData `json:"spans"`
+}
+
+// SpanData is one completed span.
+type SpanData struct {
+	Name string `json:"name"`
+	// Parent is the index of the parent span in TraceData.Spans; -1 for
+	// the root.
+	Parent int `json:"parent"`
+	// StartNs is the monotonic offset from the trace start.
+	StartNs     int64        `json:"startNs"`
+	DurNs       int64        `json:"durNs"`
+	Annotations []Annotation `json:"annotations,omitempty"`
+}
+
+// IDString renders a trace ID in its canonical 16-hex-digit form.
+func IDString(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// WriteJSONL writes one compact JSON object per trace, oldest-to-newest in
+// the order given — the format consumed by `jarvisctl trace` and tailable
+// alongside the daemon's decision log.
+func WriteJSONL(w io.Writer, traces []*TraceData) error {
+	enc := json.NewEncoder(w)
+	for _, td := range traces {
+		if err := enc.Encode(td); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event format's JSON Array
+// variant. Ph "X" is a complete (begin+duration) event; "M" is metadata.
+// Timestamps and durations are in microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the trace_event JSON Object wrapper.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders traces in the Chrome trace_event format, loadable in
+// chrome://tracing or Perfetto. Each trace becomes its own "thread" (tid)
+// under one process, named by a metadata event, so concurrent requests
+// render as parallel swimlanes. Timestamps are rebased to the earliest
+// trace start so float64 microseconds keep sub-microsecond precision.
+func WriteChrome(w io.Writer, traces []*TraceData) error {
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	var base int64
+	for i, td := range traces {
+		if i == 0 || td.UnixNs < base {
+			base = td.UnixNs
+		}
+	}
+	for i, td := range traces {
+		tid := i + 1
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  tid,
+			Args: map[string]string{"name": fmt.Sprintf("%s %s", td.Name, td.ID)},
+		})
+		for _, sp := range td.Spans {
+			ev := chromeEvent{
+				Name: sp.Name,
+				Ph:   "X",
+				Pid:  1,
+				Tid:  tid,
+				Ts:   float64(td.UnixNs-base+sp.StartNs) / 1e3,
+				Dur:  float64(sp.DurNs) / 1e3,
+			}
+			if len(sp.Annotations) > 0 || sp.Parent < 0 {
+				ev.Args = make(map[string]string, len(sp.Annotations)+1)
+				if sp.Parent < 0 {
+					ev.Args["traceId"] = td.ID
+				}
+				for _, a := range sp.Annotations {
+					ev.Args[a.K] = a.V
+				}
+			}
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
+	}
+	return json.NewEncoder(w).Encode(out)
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// sample builds a two-trace ring via the public API.
+func sampleTraces(t *testing.T) []*TraceData {
+	t.Helper()
+	tr := New(8)
+	tr.SetSampleEvery(1)
+	tr.SetSeed(99)
+	for i := 0; i < 2; i++ {
+		root := tr.Start("jarvisd.recommend")
+		c := root.Child("rl.select")
+		c.AnnotateFloat("q", 0.5)
+		c.End()
+		root.End()
+	}
+	return tr.Ring().Recent(0)
+}
+
+func TestWriteJSONL(t *testing.T) {
+	traces := sampleTraces(t)
+	var b strings.Builder
+	if err := WriteJSONL(&b, traces); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	var lines int
+	for sc.Scan() {
+		var td TraceData
+		if err := json.Unmarshal(sc.Bytes(), &td); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", lines, err)
+		}
+		if td.ID == "" || len(td.Spans) != 2 {
+			t.Fatalf("line %d malformed: %+v", lines, td)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("wrote %d JSONL lines, want 2", lines)
+	}
+}
+
+func TestWriteChromeWellFormed(t *testing.T) {
+	traces := sampleTraces(t)
+	var b strings.Builder
+	if err := WriteChrome(&b, traces); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("chrome export not valid JSON: %v", err)
+	}
+	// 2 traces x (1 metadata + 2 spans).
+	if len(out.TraceEvents) != 6 {
+		t.Fatalf("events = %d, want 6", len(out.TraceEvents))
+	}
+	var meta, complete, withID int
+	for _, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Errorf("negative timing: %+v", ev)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+		if ev.Args["traceId"] != "" {
+			withID++
+		}
+		if ev.Tid < 1 || ev.Pid != 1 {
+			t.Errorf("bad pid/tid: %+v", ev)
+		}
+	}
+	if meta != 2 || complete != 4 {
+		t.Fatalf("meta=%d complete=%d, want 2/4", meta, complete)
+	}
+	if withID != 2 {
+		t.Fatalf("traceId stamped on %d root events, want 2", withID)
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChrome(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"traceEvents":[]`) {
+		t.Fatalf("empty export should still carry an empty traceEvents array: %s", b.String())
+	}
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// Ring is a bounded buffer of completed traces. When full, pushing a new
+// trace evicts the oldest (the eviction is counted on the
+// trace.ring.evicted telemetry counter, mirroring the telemetry event
+// ring's dropped accounting). All methods are safe for concurrent use.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []*TraceData
+	next int
+	full bool
+}
+
+// NewRing returns a ring holding up to capacity completed traces
+// (capacity < 1 is clamped to 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]*TraceData, capacity)}
+}
+
+// Push retires a completed trace into the ring, evicting the oldest entry
+// when full.
+func (r *Ring) Push(td *TraceData) {
+	r.mu.Lock()
+	if r.full {
+		mRingEvicted.Inc()
+	}
+	r.buf[r.next] = td
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of traces currently held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// snapshot returns the held traces oldest-first.
+func (r *Ring) snapshot() []*TraceData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]*TraceData, 0, n)
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Recent returns up to n traces, newest first. n <= 0 returns everything.
+func (r *Ring) Recent(n int) []*TraceData {
+	all := r.snapshot()
+	// Reverse oldest-first into newest-first.
+	for i, j := 0, len(all)-1; i < j; i, j = i+1, j-1 {
+		all[i], all[j] = all[j], all[i]
+	}
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// Slowest returns up to n traces ordered by descending root duration, ties
+// broken newest-first. n <= 0 returns everything.
+func (r *Ring) Slowest(n int) []*TraceData {
+	all := r.Recent(0) // newest first, so the sort's tie-break is stable
+	sort.SliceStable(all, func(i, j int) bool { return all[i].DurNs > all[j].DurNs })
+	if n > 0 && len(all) > n {
+		all = all[:n]
+	}
+	return all
+}

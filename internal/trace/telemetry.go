@@ -1,0 +1,14 @@
+package trace
+
+import "jarvis/internal/telemetry"
+
+// Tracer self-accounting on the shared registry: how many requests won the
+// sampling draw, how many spans and completed traces that produced, and how
+// many finished traces the bounded ring has already evicted (a high evicted
+// rate means scrape /debug/traces more often or raise -trace-ring).
+var (
+	mSampled     = telemetry.Default.Counter("trace.sampled")
+	mSpans       = telemetry.Default.Counter("trace.spans")
+	mCompleted   = telemetry.Default.Counter("trace.completed")
+	mRingEvicted = telemetry.Default.Counter("trace.ring.evicted")
+)

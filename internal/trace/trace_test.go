@@ -1,0 +1,268 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDisabledTracerReturnsNil(t *testing.T) {
+	tr := New(8)
+	if tr.Enabled() {
+		t.Fatal("fresh tracer enabled")
+	}
+	sp := tr.Start("op")
+	if sp != nil {
+		t.Fatal("disabled tracer sampled a request")
+	}
+	// Every method must be inert on the nil span.
+	child := sp.Child("stage")
+	child.Annotate("k", "v")
+	child.AnnotateInt("n", 42)
+	child.AnnotateFloat("f", 1.5)
+	child.End()
+	sp.End()
+	if sp.TraceID() != 0 {
+		t.Fatal("nil span has a trace ID")
+	}
+	if tr.Ring().Len() != 0 {
+		t.Fatal("disabled tracer completed a trace")
+	}
+}
+
+func TestHeadSamplingOneInN(t *testing.T) {
+	tr := New(64)
+	tr.SetSampleEvery(4)
+	if !tr.Enabled() {
+		t.Fatal("tracer not enabled")
+	}
+	sampled := 0
+	for i := 0; i < 16; i++ {
+		sp := tr.Start("op")
+		want := i%4 == 0 // head sampling: the 1st, 5th, 9th... requests win
+		if (sp != nil) != want {
+			t.Fatalf("request %d: sampled=%v, want %v", i, sp != nil, want)
+		}
+		if sp != nil {
+			sampled++
+			sp.End()
+		}
+	}
+	if sampled != 4 {
+		t.Fatalf("sampled %d of 16 at 1-in-4", sampled)
+	}
+	if got := tr.Ring().Len(); got != 4 {
+		t.Fatalf("ring holds %d traces, want 4", got)
+	}
+}
+
+func TestTraceIDsDeterministic(t *testing.T) {
+	ids := func(seed uint64) []uint64 {
+		tr := New(8)
+		tr.SetSeed(seed)
+		tr.SetSampleEvery(1)
+		var out []uint64
+		for i := 0; i < 4; i++ {
+			sp := tr.Start("op")
+			out = append(out, sp.TraceID())
+			sp.End()
+		}
+		return out
+	}
+	a, b := ids(42), ids(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at trace %d: %x vs %x", i, a[i], b[i])
+		}
+		if a[i] == 0 {
+			t.Fatalf("trace %d got the zero sentinel as ID", i)
+		}
+	}
+	c := ids(43)
+	if a[0] == c[0] {
+		t.Error("different seeds produced the same first trace ID")
+	}
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	tr := New(8)
+	tr.SetSampleEvery(1)
+	tr.SetSeed(7)
+	root := tr.Start("jarvisd.recommend")
+	root.AnnotateInt("depth", 1)
+	sel := root.Child("rl.select")
+	sel.AnnotateFloat("q", 1.25)
+	sel.End()
+	audit := root.Child("policy.audit")
+	audit.Annotate("verdict", "safe")
+	nested := audit.Child("policy.audit.inner")
+	nested.End()
+	audit.End()
+	root.End()
+
+	got := tr.Ring().Recent(1)
+	if len(got) != 1 {
+		t.Fatalf("ring has %d traces", len(got))
+	}
+	td := got[0]
+	if td.Name != "jarvisd.recommend" || td.ID == "" || len(td.ID) != 16 {
+		t.Fatalf("trace header: %+v", td)
+	}
+	if len(td.Spans) != 4 {
+		t.Fatalf("span count = %d, want 4", len(td.Spans))
+	}
+	if td.Spans[0].Parent != -1 || td.Spans[0].Name != "jarvisd.recommend" {
+		t.Fatalf("root span: %+v", td.Spans[0])
+	}
+	byName := map[string]SpanData{}
+	for _, sp := range td.Spans {
+		byName[sp.Name] = sp
+	}
+	if byName["rl.select"].Parent != 0 || byName["policy.audit"].Parent != 0 {
+		t.Errorf("direct children not parented to root: %+v", td.Spans)
+	}
+	if got, want := byName["policy.audit.inner"].Parent, 2; got != want {
+		t.Errorf("nested span parent = %d, want %d (policy.audit)", got, want)
+	}
+	for _, sp := range td.Spans {
+		if sp.DurNs < 0 || sp.StartNs < 0 {
+			t.Errorf("negative timing in span %+v", sp)
+		}
+		if sp.Parent >= 0 && td.Spans[sp.Parent].StartNs > sp.StartNs {
+			t.Errorf("child %q starts before its parent", sp.Name)
+		}
+	}
+	if a := byName["rl.select"].Annotations; len(a) != 1 || a[0].K != "q" {
+		t.Errorf("annotations lost: %+v", a)
+	}
+}
+
+func TestUnendedChildClosedAtCompletion(t *testing.T) {
+	tr := New(8)
+	tr.SetSampleEvery(1)
+	root := tr.Start("op")
+	_ = root.Child("leaked") // never ended: handler returned early
+	root.End()
+	td := tr.Ring().Recent(1)[0]
+	if len(td.Spans) != 2 {
+		t.Fatalf("spans = %d", len(td.Spans))
+	}
+	if td.Spans[1].DurNs < 0 {
+		t.Fatalf("leaked span has negative duration: %+v", td.Spans[1])
+	}
+}
+
+func TestDoubleEndIsIdempotent(t *testing.T) {
+	tr := New(8)
+	tr.SetSampleEvery(1)
+	root := tr.Start("op")
+	root.End()
+	root.End()
+	if got := tr.Ring().Len(); got != 1 {
+		t.Fatalf("double End pushed %d traces", got)
+	}
+}
+
+func TestRingBoundAndOrdering(t *testing.T) {
+	tr := New(3)
+	tr.SetSampleEvery(1)
+	for i := 0; i < 5; i++ {
+		sp := tr.Start("op")
+		sp.AnnotateInt("i", int64(i))
+		sp.End()
+	}
+	if got := tr.Ring().Len(); got != 3 {
+		t.Fatalf("ring len = %d, want 3", got)
+	}
+	recent := tr.Ring().Recent(2)
+	if len(recent) != 2 {
+		t.Fatalf("Recent(2) = %d traces", len(recent))
+	}
+	// Newest first: the last pushed trace annotated i=4.
+	if a := recent[0].Spans[0].Annotations; len(a) != 1 || a[0].V != "4" {
+		t.Fatalf("Recent not newest-first: %+v", recent[0].Spans[0])
+	}
+	if a := recent[1].Spans[0].Annotations; a[0].V != "3" {
+		t.Fatalf("second-most-recent wrong: %+v", recent[1].Spans[0])
+	}
+}
+
+func TestRingSlowest(t *testing.T) {
+	r := NewRing(8)
+	for _, d := range []int64{50, 200, 10, 120} {
+		r.Push(&TraceData{ID: IDString(uint64(d)), DurNs: d})
+	}
+	top := r.Slowest(2)
+	if len(top) != 2 || top[0].DurNs != 200 || top[1].DurNs != 120 {
+		t.Fatalf("Slowest(2) = %+v", top)
+	}
+	all := r.Slowest(0)
+	if len(all) != 4 || all[3].DurNs != 10 {
+		t.Fatalf("Slowest(0) = %+v", all)
+	}
+}
+
+func TestConcurrentChildrenOneTrace(t *testing.T) {
+	tr := New(8)
+	tr.SetSampleEvery(1)
+	root := tr.Start("fanout")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c := root.Child("worker")
+			c.AnnotateInt("n", int64(n))
+			c.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	td := tr.Ring().Recent(1)[0]
+	if len(td.Spans) != 9 {
+		t.Fatalf("spans = %d, want 9", len(td.Spans))
+	}
+	for _, sp := range td.Spans[1:] {
+		if sp.Parent != 0 {
+			t.Fatalf("worker span parent = %d", sp.Parent)
+		}
+	}
+}
+
+// TestDisabledTracingAllocationFree is the disabled-path contract: Start on
+// a disabled tracer, and the full span-method surface on the resulting nil
+// span, allocate nothing. This is what keeps always-on call sites free when
+// -trace-sample is 0.
+func TestDisabledTracingAllocationFree(t *testing.T) {
+	tr := New(8)
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("op")
+		child := sp.Child("stage")
+		child.AnnotateInt("i", 1)
+		child.AnnotateFloat("f", 2.5)
+		child.Annotate("k", "v")
+		child.End()
+		sp.End()
+		_ = sp.TraceID()
+	}); n != 0 {
+		t.Fatalf("disabled tracing path: %v allocs/op, want 0", n)
+	}
+	// Unsampled requests on an enabled tracer must also stay free.
+	tr.SetSampleEvery(1 << 30)
+	tr.Start("burn") // consume the one winning draw
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("op")
+		sp.Child("stage").End()
+		sp.End()
+	}); n != 0 {
+		t.Fatalf("unsampled path: %v allocs/op, want 0", n)
+	}
+}
+
+func TestMix64ZeroRemap(t *testing.T) {
+	if mix64(0, 0) == 0 {
+		t.Error("mix64(0,0) returned the nil sentinel")
+	}
+	if mix64(1, 1) == mix64(1, 2) {
+		t.Error("consecutive ordinals collided")
+	}
+}

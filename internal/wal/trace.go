@@ -1,0 +1,20 @@
+package wal
+
+import "jarvis/internal/trace"
+
+// AppendTraced is Append under a "wal.append" child span annotated with the
+// payload size — the durability cost inside a traced event's journey. A nil
+// span adds one nil check, keeping the allocation-free Append contract for
+// untraced writers.
+func (l *Log) AppendTraced(sp *trace.Span, payload []byte) error {
+	child := sp.Child("wal.append")
+	err := l.Append(payload)
+	if child != nil {
+		child.AnnotateInt("bytes", int64(len(payload)))
+		if err != nil {
+			child.Annotate("error", err.Error())
+		}
+		child.End()
+	}
+	return err
+}

@@ -36,6 +36,7 @@ import (
 	"jarvis/internal/policy"
 	"jarvis/internal/reward"
 	"jarvis/internal/rl"
+	"jarvis/internal/trace"
 )
 
 // Config parameterizes a Jarvis system for one environment.
@@ -269,13 +270,20 @@ func (s *System) TrainingViolations() int {
 // so the fallback never violates the safety table. DegradedRecommendations
 // counts how often the fallback fired.
 func (s *System) Recommend(state env.State, t int) (env.Action, error) {
+	return s.RecommendTraced(nil, state, t)
+}
+
+// RecommendTraced is Recommend with the RL action selection recorded as a
+// child span of sp. A nil span (tracing disabled or the request unsampled)
+// makes it behave exactly like Recommend.
+func (s *System) RecommendTraced(sp *trace.Span, state env.State, t int) (env.Action, error) {
 	if s.agent == nil {
 		return nil, errors.New("jarvis: Train or Restore must run before Recommend")
 	}
 	if !s.env.ValidState(state) {
 		return nil, errors.New("jarvis: invalid state")
 	}
-	act := s.agent.Recommend(state, t)
+	act := s.agent.GreedyTraced(sp, state, t)
 	if _, err := s.env.Transition(state, act); err != nil {
 		s.degraded++
 		return env.NoOp(s.env.K()), nil
@@ -341,10 +349,16 @@ func (s *System) ObserveTransition(prev env.State, act env.Action, t int) (env.S
 // update sequence). Reports whether an update ran — false until the
 // buffer holds a full mini-batch.
 func (s *System) LearnOnline(rng *rand.Rand) (bool, error) {
+	return s.LearnOnlineTraced(nil, rng)
+}
+
+// LearnOnlineTraced is LearnOnline with the replay update recorded as a
+// child span of sp (batch size and loss annotated); nil span = LearnOnline.
+func (s *System) LearnOnlineTraced(sp *trace.Span, rng *rand.Rand) (bool, error) {
 	if s.agent == nil {
 		return false, errors.New("jarvis: Train or Restore must run before LearnOnline")
 	}
-	ran, err := s.agent.LearnStep(rng)
+	ran, err := s.agent.LearnStepTraced(sp, rng)
 	if err != nil {
 		return ran, fmt.Errorf("jarvis: learn online: %w", err)
 	}
@@ -365,8 +379,14 @@ type Decision struct {
 // value of the chosen action and whether this recommendation degraded to
 // the safe NoOp (non-finite Q values or a failed FSM transition check).
 func (s *System) RecommendDecision(state env.State, t int) (Decision, error) {
+	return s.RecommendDecisionTraced(nil, state, t)
+}
+
+// RecommendDecisionTraced is RecommendDecision with the selection recorded
+// under sp; nil span = RecommendDecision.
+func (s *System) RecommendDecisionTraced(sp *trace.Span, state env.State, t int) (Decision, error) {
 	before := s.DegradedRecommendations()
-	act, err := s.Recommend(state, t)
+	act, err := s.RecommendTraced(sp, state, t)
 	if err != nil {
 		return Decision{}, err
 	}
