@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-daemon race-core fmt check bench stats crash trace
+.PHONY: build test vet race race-daemon race-core fmt check bench stats crash trace replay fuzz
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,9 @@ race-daemon:
 
 # The batched compute core's concurrency surface: the nn worker pool, the
 # parallel experiment harness, and the metrics registry and span tracer
-# they report into.
+# they report into, plus the WAL and the replay engine built on it.
 race-core:
-	$(GO) test -race ./internal/nn/ ./internal/rl/ ./internal/experiment/ ./internal/telemetry/ ./internal/trace/ ./internal/wal/
+	$(GO) test -race ./internal/nn/ ./internal/rl/ ./internal/experiment/ ./internal/telemetry/ ./internal/trace/ ./internal/wal/ ./internal/replay/
 
 # The crash-recovery drill: SIGKILL a real daemon mid-online-training,
 # boot a successor on its checkpoint + WAL, and require the recovered
@@ -37,6 +37,23 @@ crash:
 # ID into the decision log.
 trace:
 	$(GO) test -run 'TestRecommendTraceSpanTree|TestEventTraceCoversDurabilityPath|TestTraceEndpoints|TestDecisionLogCarriesTraceID' -count=1 -v ./cmd/jarvisd/
+
+# The replay-determinism smoke: a recorded daemon day must replay into a
+# bit-identical decision log, the engine must verify its own synthetic
+# streams, and a perturbed policy must produce a quantified counterfactual
+# divergence.
+replay:
+	$(GO) test -run 'TestReplayVerifyReproducesDecisionLog|TestReplayWhatIfPerturbedPolicyDiverges|TestReplayerIsSelfConsistent|TestForkEmitsAlignedTail' -count=1 -v ./cmd/jarvisd/ ./internal/replay/
+
+# Short fuzz passes over every decoder that reads untrusted bytes: WAL
+# segment frames, checkpoint/nn payloads, and policy tables. Go fuzzing
+# allows one -fuzz target per invocation, hence the three runs.
+FUZZTIME ?= 5s
+
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzReadSegment -fuzztime $(FUZZTIME) ./internal/wal/
+	$(GO) test -run xxx -fuzz FuzzLoad -fuzztime $(FUZZTIME) ./internal/nn/
+	$(GO) test -run xxx -fuzz FuzzLoadTable -fuzztime $(FUZZTIME) ./internal/policy/
 
 # Measure the batched compute core and write BENCH_core.json, plus the
 # allocation-asserting micro-benchmarks of the root package.

@@ -8,9 +8,12 @@
 // where <experiment> is one of table1, table2, table3, security, roc,
 // fig6, fig7, fig8, fig9, ablation, chaos, or all; or one of the special
 // subcommands: bench measures the batched compute core and writes
-// BENCH_core.json (see -benchout), and trace runs one fully traced
+// BENCH_core.json (see -benchout), trace runs one fully traced
 // decision episode and writes a Chrome trace_event document (see
-// -traceout) for chrome://tracing or Perfetto.
+// -traceout) for chrome://tracing or Perfetto, and whatif replays a
+// recorded jarvisd WAL offline — verifying the daemon reproduces its own
+// decision log bit-for-bit, or counterfactually substituting another
+// policy (see `jarvis whatif -h` and DESIGN.md §12).
 package main
 
 import (
@@ -32,6 +35,11 @@ func main() {
 type stringer interface{ String() string }
 
 func run(args []string, out *os.File) error {
+	// whatif has its own flag surface (WAL paths, fork point, policy
+	// substitution), so it is dispatched before the experiment flags parse.
+	if len(args) > 0 && args[0] == "whatif" {
+		return runWhatIf(args[1:], out)
+	}
 	fs := flag.NewFlagSet("jarvis", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "random seed (all experiments are deterministic per seed)")
 	quick := fs.Bool("quick", false, "reduced scale (seconds instead of minutes)")
@@ -43,7 +51,7 @@ func run(args []string, out *os.File) error {
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("expected one experiment: table1|table2|table3|security|roc|fig6|fig7|fig8|fig9|ablation|chaos|all|bench|trace")
+		return fmt.Errorf("expected one experiment: table1|table2|table3|security|roc|fig6|fig7|fig8|fig9|ablation|chaos|all|bench|trace|whatif")
 	}
 	name := fs.Arg(0)
 	if name == "bench" {

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"jarvis/internal/replay"
+)
+
+// runWhatIf drives the offline replay engine (internal/replay) from the
+// command line. With no substituted policy it runs verify mode: re-execute
+// the recorded WAL under the run's own configuration and assert the
+// regenerated decision stream is bit-identical to the recorded decision
+// log. With -policy and/or -table it runs what-if mode: replay the same
+// stream twice — as recorded and with the substitution applied from -at —
+// and report how the decisions, rewards, and safety outcomes differ.
+func runWhatIf(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("jarvis whatif", flag.ContinueOnError)
+	walDir := fs.String("wal", "", "recorded WAL directory (required)")
+	decisions := fs.String("decisions", "", "recorded decision log to verify against (verify mode; read across rotated files)")
+	ckpt := fs.String("checkpoint", "", "checkpoint base path to seed the replay from, matching the recorded daemon's -checkpoint (empty = the run trained fresh)")
+	ckptRetain := fs.Int("checkpoint-retain", 4, "checkpoint generations kept on disk")
+	at := fs.Int("at", 0, "event sequence number to apply the substitution at (0 = from the beginning)")
+	policy := fs.String("policy", "", "substitute Q function: a checkpoint generation file or raw SaveQ bytes (selects what-if mode)")
+	table := fs.String("table", "", "substitute P_safe table: a checkpoint generation file or raw table JSON (selects what-if mode)")
+	outPath := fs.String("out", "", "also write the full JSON report to this file")
+	allowTail := fs.Bool("allow-truncated-tail", false, "verify: tolerate a decision log whose buffered tail was lost to a crash")
+	seed := fs.Int64("seed", 1, "recorded run's seed")
+	days := fs.Int("learning-days", 7, "recorded run's learning-phase length")
+	episodes := fs.Int("episodes", 60, "recorded run's optimizer training episodes")
+	onlineEvery := fs.Int("online-train-every", 4, "recorded run's online learn cadence")
+	anomalyFilter := fs.Bool("anomaly-filter", false, "recorded run trained the benign-anomaly ANN")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *walDir == "" {
+		fs.Usage()
+		return fmt.Errorf("whatif: -wal is required")
+	}
+	cfg := replay.Config{
+		Seed:             *seed,
+		LearningDays:     *days,
+		Episodes:         *episodes,
+		OnlineTrainEvery: *onlineEvery,
+		AnomalyFilter:    *anomalyFilter,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "jarvis: "+format+"\n", a...)
+		},
+	}
+	src := replay.Source{WALDir: *walDir, CheckpointPath: *ckpt, CheckpointRetain: *ckptRetain}
+
+	if *policy == "" && *table == "" {
+		if *decisions == "" {
+			return fmt.Errorf("whatif: verify mode needs -decisions (or pass -policy/-table for a counterfactual)")
+		}
+		rep, err := replay.Verify(replay.VerifyOptions{
+			Config: cfg, Source: src,
+			DecisionLog:        *decisions,
+			AllowTruncatedTail: *allowTail,
+		})
+		if err != nil {
+			return err
+		}
+		if err := writeReport(*outPath, rep); err != nil {
+			return err
+		}
+		st := rep.Replayed
+		fmt.Fprintf(out, "verify: replayed %d events, %d transitions, %d recommendations (%d learn steps, %d violations)\n",
+			st.Events, st.Transitions, st.Recommends, st.LearnSteps, st.Violations)
+		if rep.Restored {
+			fmt.Fprintf(out, "seeded from checkpoint generation %d\n", rep.CheckpointGen)
+		}
+		if rep.TailLoss > 0 {
+			fmt.Fprintf(out, "recorded log is %d decision(s) short of the replay (buffered tail lost to a crash)\n", rep.TailLoss)
+		}
+		if rep.Match {
+			fmt.Fprintf(out, "decision streams MATCH over %d compared decision(s); q fingerprint %.12s\n",
+				rep.Compared, rep.QFingerprint)
+			return nil
+		}
+		d := rep.Divergence
+		fmt.Fprintf(out, "DIVERGENCE at index %d (seq %d, kind %s, minute %d): %s\n",
+			d.Index, d.Seq, d.Kind, d.Minute, d.Reason)
+		fmt.Fprintf(out, "  recorded: action=%q q=%g verdict=%q\n", d.RecordedAction, d.RecordedQ, d.RecordedVerdict)
+		fmt.Fprintf(out, "  replayed: action=%q q=%g verdict=%q\n", d.ReplayedAction, d.ReplayedQ, d.ReplayedVerdict)
+		return fmt.Errorf("whatif: replay diverged from the recorded decision log")
+	}
+
+	var q, tb []byte
+	if *policy != "" {
+		b, err := os.ReadFile(*policy)
+		if err != nil {
+			return fmt.Errorf("whatif: %w", err)
+		}
+		q = replay.QFromPolicyFile(b)
+	}
+	if *table != "" {
+		b, err := os.ReadFile(*table)
+		if err != nil {
+			return fmt.Errorf("whatif: %w", err)
+		}
+		tb = replay.TableFromPolicyFile(b)
+	}
+	rep, err := replay.WhatIf(replay.WhatIfOptions{
+		Config: cfg, Source: src, At: *at, PolicyQ: q, Table: tb,
+	})
+	if err != nil {
+		return err
+	}
+	if err := writeReport(*outPath, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "what-if from event %d: compared %d decision(s)\n", rep.At, rep.Compared)
+	fmt.Fprintf(out, "  action divergence: %d/%d (rate %.3f)", rep.ActionDivergences, rep.Compared, rep.ActionDivergenceRate)
+	if rep.FirstDivergenceSeq >= 0 {
+		fmt.Fprintf(out, ", first at %s seq %d\n", rep.Divergence.Kind, rep.FirstDivergenceSeq)
+	} else {
+		fmt.Fprintf(out, ", streams agree everywhere\n")
+	}
+	fmt.Fprintf(out, "  reward delta (variant - baseline): %+.4f\n", rep.RewardDelta)
+	fmt.Fprintf(out, "  safety-violation delta: %+d\n", rep.ViolationDelta)
+	fmt.Fprintf(out, "  baseline q %.12s, variant q %.12s\n", rep.BaselineQ, rep.VariantQ)
+	return nil
+}
+
+// writeReport marshals the full report to path (no-op when path is empty).
+func writeReport(path string, rep any) error {
+	if path == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

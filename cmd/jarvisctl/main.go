@@ -7,12 +7,16 @@
 //	jarvisctl stats
 //	jarvisctl -format prom stats
 //	jarvisctl -n 5 -slowest trace
+//	jarvisctl replay
 //
-// stats and trace talk to the daemon's debug HTTP listener (-debug-addr)
-// instead of the TCP protocol: stats renders the /metrics telemetry
-// snapshot (-format text|json|prom picks the representation), and trace
-// fetches recent sampled request traces from /debug/traces and prints each
-// span tree with durations and annotations.
+// stats, trace, and replay talk to the daemon's debug HTTP listener
+// (-debug-addr) instead of the TCP protocol: stats renders the /metrics
+// telemetry snapshot (-format text|json|prom picks the representation),
+// trace fetches recent sampled request traces from /debug/traces and prints
+// each span tree with durations and annotations, and replay asks the daemon
+// (via /debug/replay) to deterministically re-execute its own WAL and
+// verify the regenerated decisions against its decision log — exiting
+// non-zero if the daemon cannot reproduce its own history.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"jarvis/internal/replay"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/trace"
 )
@@ -84,6 +89,11 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("trace takes no arguments")
 		}
 		return runTrace(*debugAddr, *timeout, *traceN, *slowest, out)
+	case len(rest) > 0 && rest[0] == "replay":
+		if len(rest) != 1 {
+			return fmt.Errorf("replay takes no arguments")
+		}
+		return runReplay(*debugAddr, *timeout, out)
 	}
 	req, err := buildRequest(fs.Args())
 	if err != nil {
@@ -136,7 +146,7 @@ func roundTripRetry(addr string, timeout time.Duration, retries int, req request
 
 func buildRequest(args []string) (request, error) {
 	if len(args) == 0 {
-		return request{}, fmt.Errorf("expected a command: state|event <device> <action>|recommend|violations|stats|trace")
+		return request{}, fmt.Errorf("expected a command: state|event <device> <action>|recommend|violations|stats|trace|replay")
 	}
 	switch args[0] {
 	case "state", "recommend", "violations":
@@ -267,6 +277,48 @@ func runTrace(addr string, timeout time.Duration, n int, slowest bool, out io.Wr
 		fmt.Fprintln(out, "no traces retained (is the daemon running with -trace-sample?)")
 	}
 	return nil
+}
+
+// runReplay asks the daemon to verify itself: /debug/replay re-executes
+// the daemon's WAL through the deterministic replay engine and diffs the
+// regenerated decision stream against the recorded decision log. 200 means
+// the daemon reproduces its own history bit-for-bit; 409 carries the first
+// divergence; anything else is an operational error. The replay may need
+// to rebuild the learning state, so give it a generous -timeout.
+func runReplay(addr string, timeout time.Duration, out io.Writer) error {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get("http://" + addr + "/debug/replay")
+	if err != nil {
+		return fmt.Errorf("fetch replay verification from %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusConflict:
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("replay endpoint returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var rep replay.VerifyReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return fmt.Errorf("decode replay report: %w", err)
+	}
+	st := rep.Replayed
+	fmt.Fprintf(out, "replayed %d events, %d transitions, %d recommendations (%d learn steps, %d violations)\n",
+		st.Events, st.Transitions, st.Recommends, st.LearnSteps, st.Violations)
+	if rep.Restored {
+		fmt.Fprintf(out, "seeded from checkpoint generation %d\n", rep.CheckpointGen)
+	}
+	if rep.Match {
+		fmt.Fprintf(out, "decision streams MATCH over %d compared decision(s)\n", rep.Compared)
+		return nil
+	}
+	if d := rep.Divergence; d != nil {
+		fmt.Fprintf(out, "DIVERGENCE at index %d (seq %d, kind %s, minute %d): %s\n",
+			d.Index, d.Seq, d.Kind, d.Minute, d.Reason)
+		fmt.Fprintf(out, "  recorded: action=%q q=%g verdict=%q\n", d.RecordedAction, d.RecordedQ, d.RecordedVerdict)
+		fmt.Fprintf(out, "  replayed: action=%q q=%g verdict=%q\n", d.ReplayedAction, d.ReplayedQ, d.ReplayedVerdict)
+	}
+	return fmt.Errorf("daemon could not reproduce its own decision log")
 }
 
 // renderTrace prints one span tree. Spans are stored flat in creation

@@ -10,33 +10,14 @@ import (
 	"time"
 
 	"jarvis/internal/checkpoint"
-	"jarvis/internal/env"
+	"jarvis/internal/replay"
 )
 
-// checkpointVersion guards the on-disk format; bump on layout changes.
-// v2 added the runtime state a WAL replay builds on: environment state,
-// ingest/learn counters, exploration rate, and the replay buffer.
-const checkpointVersion = 2
-
-// checkpointFile is one checkpoint generation: the training configuration
-// it was produced under (so a restarted daemon can detect mismatches and
-// retrain), the learned P_safe, the trained Q function, and the runtime
-// state the WAL replays on top of.
-type checkpointFile struct {
-	Version      int             `json:"version"`
-	Seed         int64           `json:"seed"`
-	LearningDays int             `json:"learningDays"`
-	Episodes     int             `json:"episodes"`
-	Violations   int             `json:"violations"`
-	State        env.State       `json:"state,omitempty"`
-	Events       int             `json:"events,omitempty"`
-	OnlineSteps  int             `json:"onlineSteps,omitempty"`
-	LearnSteps   int             `json:"learnSteps,omitempty"`
-	Epsilon      float64         `json:"epsilon,omitempty"`
-	Table        json.RawMessage `json:"table"`
-	Q            json.RawMessage `json:"q"`
-	Replay       json.RawMessage `json:"replay,omitempty"`
-}
+// The checkpoint generation layout (replay.Snapshot, currently v3) lives
+// in internal/replay: the daemon writes snapshots, and both crash recovery
+// and the offline replay engine read them with the same validation, so a
+// generation the daemon would restore is exactly one a replay can seed
+// re-execution from.
 
 // loadRetry is the restore policy: a few quick attempts absorb briefly
 // flaky storage. Deterministic rejections (checksum, decode, config
@@ -81,7 +62,7 @@ func (s *server) saveCheckpointLocked() error {
 		mCkptSaveFailures.Inc()
 		return fmt.Errorf("checkpoint: store unavailable")
 	}
-	var table, q, replay bytes.Buffer
+	var table, q, rbuf bytes.Buffer
 	if err := s.sys.SaveTable(&table); err != nil {
 		mCkptSaveFailures.Inc()
 		return fmt.Errorf("checkpoint: %w", err)
@@ -90,12 +71,12 @@ func (s *server) saveCheckpointLocked() error {
 		mCkptSaveFailures.Inc()
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	if err := s.sys.Agent().ReplayBuffer().Save(&replay); err != nil {
+	if err := s.sys.Agent().ReplayBuffer().Save(&rbuf); err != nil {
 		mCkptSaveFailures.Inc()
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	ckpt := checkpointFile{
-		Version:      checkpointVersion,
+	ckpt := replay.Snapshot{
+		Version:      replay.SnapshotVersion,
 		Seed:         s.cfg.Seed,
 		LearningDays: s.cfg.LearningDays,
 		Episodes:     s.cfg.Episodes,
@@ -104,10 +85,11 @@ func (s *server) saveCheckpointLocked() error {
 		Events:       s.eventsIngested,
 		OnlineSteps:  s.onlineSteps,
 		LearnSteps:   s.learnSteps,
+		Recommends:   s.recommendsServed,
 		Epsilon:      s.sys.Agent().Epsilon(),
 		Table:        table.Bytes(),
 		Q:            q.Bytes(),
-		Replay:       replay.Bytes(),
+		Replay:       rbuf.Bytes(),
 	}
 	gen, err := s.store.Save(func(w io.Writer) error {
 		return json.NewEncoder(w).Encode(&ckpt)
@@ -121,42 +103,24 @@ func (s *server) saveCheckpointLocked() error {
 	if s.wal != nil {
 		if err := s.wal.Reset(); err != nil {
 			s.cfg.Logf("jarvisd: wal reset after checkpoint gen %d failed: %v", gen, err)
+		} else {
+			// The journal is empty again; /healthz spans restart from here.
+			s.walSpans = nil
 		}
-	}
-	return nil
-}
-
-// validateCheckpoint rejects a decoded generation the daemon cannot use.
-// Every rejection here is deterministic — retrying the same bytes cannot
-// help — so each is wrapped in checkpoint.ErrCorrupt, which makes the
-// store fall back to the previous generation without burning retries.
-func validateCheckpoint(cfg serverConfig, k int, ckpt *checkpointFile) error {
-	if ckpt.Version != checkpointVersion {
-		return fmt.Errorf("version %d, want %d: %w", ckpt.Version, checkpointVersion, checkpoint.ErrCorrupt)
-	}
-	if ckpt.Seed != cfg.Seed || ckpt.LearningDays != cfg.LearningDays || ckpt.Episodes != cfg.Episodes {
-		return fmt.Errorf("trained with seed=%d days=%d episodes=%d, daemon wants seed=%d days=%d episodes=%d: %w",
-			ckpt.Seed, ckpt.LearningDays, ckpt.Episodes, cfg.Seed, cfg.LearningDays, cfg.Episodes, checkpoint.ErrCorrupt)
-	}
-	if len(ckpt.Table) == 0 || len(ckpt.Q) == 0 {
-		return fmt.Errorf("missing table or Q payload: %w", checkpoint.ErrCorrupt)
-	}
-	if len(ckpt.State) != 0 && len(ckpt.State) != k {
-		return fmt.Errorf("state has %d devices, environment has %d: %w", len(ckpt.State), k, checkpoint.ErrCorrupt)
 	}
 	return nil
 }
 
 // loadCheckpoint decodes the newest usable generation, falling back
 // generation by generation past corrupt or mismatched ones.
-func (s *server) loadCheckpoint() (*checkpointFile, uint64, error) {
-	var ckpt checkpointFile
+func (s *server) loadCheckpoint() (*replay.Snapshot, uint64, error) {
+	var ckpt replay.Snapshot
 	gen, err := s.store.Load(loadRetry, func(r io.Reader) error {
-		ckpt = checkpointFile{}
+		ckpt = replay.Snapshot{}
 		if err := json.NewDecoder(r).Decode(&ckpt); err != nil {
 			return fmt.Errorf("decode: %v: %w", err, checkpoint.ErrCorrupt)
 		}
-		return validateCheckpoint(s.cfg, s.home.Env.K(), &ckpt)
+		return ckpt.Validate(replayConfig(s.cfg), s.home.Env.K())
 	})
 	if err != nil {
 		return nil, 0, err
@@ -167,33 +131,21 @@ func (s *server) loadCheckpoint() (*checkpointFile, uint64, error) {
 // restoreCheckpoint rebuilds the trained system and runtime counters from
 // the newest usable generation, skipping optimizer training. Any failure
 // is returned so the caller can fall back to fresh training.
-func (s *server) restoreCheckpoint(assets *learningAssets) error {
-	ckpt, gen, err := s.loadCheckpoint()
+func (s *server) restoreCheckpoint(assets *replay.Assets) error {
+	ckpt, _, err := s.loadCheckpoint()
 	if err != nil {
 		return err
 	}
-	if err := assets.sys.LoadTable(bytes.NewReader(ckpt.Table)); err != nil {
-		return fmt.Errorf("checkpoint table: %w", err)
-	}
-	if err := assets.sys.Restore(assets.simCfg, assets.trainCfg, bytes.NewReader(ckpt.Q)); err != nil {
+	if err := assets.RestoreSnapshot(ckpt, s.cfg.Logf); err != nil {
 		return err
 	}
 	s.violations = ckpt.Violations
 	s.eventsIngested = ckpt.Events
 	s.onlineSteps = ckpt.OnlineSteps
 	s.learnSteps = ckpt.LearnSteps
+	s.recommendsServed = ckpt.Recommends
 	if len(ckpt.State) == s.home.Env.K() {
 		s.state = ckpt.State
-	}
-	if ckpt.Epsilon > 0 {
-		assets.sys.Agent().SetEpsilon(ckpt.Epsilon)
-	}
-	if len(ckpt.Replay) > 0 {
-		if err := assets.sys.Agent().ReplayBuffer().Load(bytes.NewReader(ckpt.Replay)); err != nil {
-			// The replay buffer is an accelerant, not ground truth; losing
-			// it degrades online learning but nothing else.
-			s.cfg.Logf("jarvisd: checkpoint gen %d replay buffer unloadable (%v); starting empty", gen, err)
-		}
 	}
 	return nil
 }
@@ -206,11 +158,11 @@ func (s *server) restoreNewestQ() error {
 		return fmt.Errorf("checkpoint store unavailable")
 	}
 	gen, err := s.store.Load(loadRetry, func(r io.Reader) error {
-		var ckpt checkpointFile
+		var ckpt replay.Snapshot
 		if err := json.NewDecoder(r).Decode(&ckpt); err != nil {
 			return fmt.Errorf("decode: %v: %w", err, checkpoint.ErrCorrupt)
 		}
-		if err := validateCheckpoint(s.cfg, s.home.Env.K(), &ckpt); err != nil {
+		if err := ckpt.Validate(replayConfig(s.cfg), s.home.Env.K()); err != nil {
 			return err
 		}
 		if err := s.sys.LoadQ(bytes.NewReader(ckpt.Q)); err != nil {

@@ -9,6 +9,8 @@ import (
 	"os/exec"
 	"strings"
 	"testing"
+
+	"jarvis/internal/replay"
 )
 
 // The SIGKILL crash harness: a real child daemon process is killed with no
@@ -95,6 +97,14 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 		if resp := roundTrip(t, enc, dec, req); resp.Error != "" {
 			t.Fatalf("victim event %d: %s", i, resp.Error)
 		}
+		// Interleave served recommendations so the WAL records a full
+		// decision day — the post-crash replay verification re-executes
+		// the policy at each one.
+		if i%4 == 3 {
+			if resp := roundTrip(t, enc, dec, request{Op: "recommend"}); !resp.OK {
+				t.Fatalf("victim recommend after event %d: %s", i, resp.Error)
+			}
+		}
 	}
 	want := roundTrip(t, enc, dec, request{Op: "learnstate"})
 	if !want.OK {
@@ -110,6 +120,29 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 	}
 	cmd.Wait()
 	conn.Close()
+
+	// Before the successor reopens (and appends to) the victim's
+	// artifacts, the offline engine must verify the recorded day exactly
+	// as it died on disk. Every acked event is journaled, but the decision
+	// log buffers writes — the active file's tail went down with the
+	// process, and only rotation-sealed files are trustworthy. Those must
+	// still verify bit for bit under AllowTruncatedTail.
+	vcfg := durableConfig(dir)
+	rep, err := replay.Verify(replay.VerifyOptions{
+		Config:             replayConfig(vcfg),
+		Source:             verifySource(vcfg),
+		DecisionLog:        vcfg.DecisionLogPath,
+		AllowTruncatedTail: true,
+	})
+	if err != nil {
+		t.Fatalf("post-crash verify: %v", err)
+	}
+	if !rep.Match {
+		t.Fatalf("victim's recorded decisions diverge from replay: %+v", rep.Divergence)
+	}
+	if rep.Compared == 0 {
+		t.Fatal("no sealed decisions survived the crash; rotation is not covering the run")
+	}
 
 	// The successor boots on the victim's directories: restore the
 	// post-training checkpoint, then replay the WAL.

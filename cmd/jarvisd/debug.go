@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"jarvis/internal/replay"
 	"jarvis/internal/rl"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/trace"
@@ -26,6 +27,11 @@ import (
 //	/healthz      200 while healthy, 503 once any recommendation has
 //	              degraded to the safe NoOp; reports the violation count
 //	              and the age of the last checkpoint
+//	/debug/replay        verify-mode deterministic replay of the daemon's
+//	                     own WAL against its own decision log (200 on a
+//	                     bit-identical regeneration, 409 with the first
+//	                     divergence otherwise; needs -wal and
+//	                     -log-decisions)
 //	/debug/traces        recent sampled request traces as JSON lines
 //	                     (?n= caps the count, ?sort=slowest ranks by
 //	                     duration); /debug/traces/chrome re-exports them
@@ -42,6 +48,7 @@ func (s *server) startDebug(addr string) error {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/replay", s.handleReplay)
 	mux.HandleFunc("/debug/traces", s.handleTraces)
 	mux.HandleFunc("/debug/traces/chrome", s.handleTracesChrome)
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -163,8 +170,15 @@ type healthStatus struct {
 	Events      int `json:"events,omitempty"`
 	OnlineSteps int `json:"onlineSteps,omitempty"`
 	LearnSteps  int `json:"learnSteps,omitempty"`
-	// WALSegments is the journal's current segment count (0 = disabled).
-	WALSegments int `json:"walSegments,omitempty"`
+	// WALSegments is the journal's current segment count (0 = disabled);
+	// WALSizeBytes is the journal's on-disk size — with the default
+	// retention this is exactly the bytes accumulated since the last
+	// checkpoint barrier, i.e. how much a crash right now would replay.
+	// WALRecordSpans maps each record kind ("evt", "txn", "rec") to the
+	// first/last kind-local sequence number currently in the journal.
+	WALSegments    int                `json:"walSegments,omitempty"`
+	WALSizeBytes   int64              `json:"walSizeBytes,omitempty"`
+	WALRecordSpans map[string]walSpan `json:"walRecordSpans,omitempty"`
 	// TelemetryEventsDropped counts event-ring overwrites: structured
 	// events that aged out before any scrape read them. A climbing value
 	// means scrapes are too rare for the event volume.
@@ -172,6 +186,59 @@ type healthStatus struct {
 	// TracesSampled is the number of completed traces currently retained
 	// in the sampling ring (0 when tracing is disabled).
 	TracesSampled int `json:"tracesSampled,omitempty"`
+}
+
+// handleReplay runs a verify-mode deterministic replay of the daemon's own
+// WAL against its own decision log: it rebuilds the serving state the way a
+// restart would (newest checkpoint generation, else fresh training), streams
+// the journal through the offline replay engine, and diffs the regenerated
+// decision stream against what the daemon actually logged. 200 with the
+// report means the daemon can reproduce its own history bit-for-bit; 409
+// carries the first divergence. The daemon lock is held for the duration —
+// this is an audit probe, not a serving-path endpoint — so the journal and
+// the log are frozen and consistent while they are compared.
+func (s *server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.cfg.WALDir == "" || s.cfg.DecisionLogPath == "" {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{
+			"error": "replay verification needs the daemon started with both -wal and -log-decisions",
+		})
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Flush the buffered decision log so the comparison sees every line the
+	// daemon has produced (the WAL is already durable per its sync policy).
+	if s.decisions != nil {
+		if err := s.decisions.Sync(); err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+	}
+	rep, err := replay.Verify(replay.VerifyOptions{
+		Config: replayConfig(s.cfg),
+		Source: replay.Source{
+			WALDir:           s.cfg.WALDir,
+			CheckpointPath:   s.cfg.CheckpointPath,
+			CheckpointRetain: s.cfg.CheckpointRetain,
+		},
+		DecisionLog: s.cfg.DecisionLogPath,
+	})
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	if !rep.Match {
+		w.WriteHeader(http.StatusConflict)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		s.cfg.Logf("jarvisd: replay report encode: %v", err)
+	}
 }
 
 // handleHealthz reports daemon health: 200 while every recommendation so
@@ -197,6 +264,13 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.wal != nil {
 		h.WALSegments = s.wal.Segments()
+		h.WALSizeBytes = s.wal.SizeBytes()
+		if len(s.walSpans) > 0 {
+			h.WALRecordSpans = make(map[string]walSpan, len(s.walSpans))
+			for k, sp := range s.walSpans {
+				h.WALRecordSpans[k] = sp
+			}
+		}
 	}
 	s.mu.Unlock()
 	h.TelemetryEventsDropped = telemetry.Default.Events().Dropped()

@@ -1,85 +1,16 @@
 package main
 
-import (
-	"bufio"
-	"encoding/json"
-	"os"
-	"sync"
-)
+import "jarvis/internal/replay"
 
-// decisionRecord is one line of the structured decision log (JSON lines,
-// append-only): a recommendation the daemon produced or an applied event it
-// checked, with the state it saw, the action, the Q value backing a
-// recommendation, and the policy verdict ("safe", "unsafe", or "degraded").
-// The log makes the safety behavior auditable offline: every deny and every
-// degraded fallback is on disk, not just in an aggregate counter.
-type decisionRecord struct {
-	UnixNs   int64    `json:"unixNs"`
-	Kind     string   `json:"kind"` // "recommend" | "event"
-	Minute   int      `json:"minute"`
-	State    []string `json:"state"`
-	Action   string   `json:"action"`
-	Q        float64  `json:"q,omitempty"`
-	Degraded bool     `json:"degraded,omitempty"`
-	Verdict  string   `json:"verdict"`
-	// Trace is the hex trace ID when this request was sampled by the span
-	// tracer — the join key into /debug/traces.
-	Trace string `json:"trace,omitempty"`
-	// Anomaly is the benign-anomaly ANN's score for a recommendation's
-	// transition (only with -anomaly-filter).
-	Anomaly float64 `json:"anomaly,omitempty"`
-}
+// decisionRecord is one line of the structured decision log. The concrete
+// type lives in internal/replay so the offline replay engine regenerates
+// exactly the stream the daemon logs — same fields, same JSON encoding —
+// and the verifier can diff the two. The daemon-side alias keeps the rest
+// of this package (and its tests) reading naturally.
+type decisionRecord = replay.LoggedDecision
 
-// decisionLog appends decision records to a file as JSON lines. Writes are
-// buffered; Sync flushes the buffer and fsyncs so a crash loses at most the
-// entries since the last Sync. Safe for concurrent use.
-type decisionLog struct {
-	mu  sync.Mutex
-	f   *os.File
-	w   *bufio.Writer
-	enc *json.Encoder
-}
-
-func openDecisionLog(path string) (*decisionLog, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	w := bufio.NewWriter(f)
-	return &decisionLog{f: f, w: w, enc: json.NewEncoder(w)}, nil
-}
-
-// Record appends one decision line.
-func (l *decisionLog) Record(rec decisionRecord) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.enc.Encode(rec); err != nil {
-		return err
-	}
-	mDecisionsLogged.Inc()
-	return nil
-}
-
-// Sync flushes buffered lines to the OS and fsyncs the file.
-func (l *decisionLog) Sync() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.w.Flush(); err != nil {
-		return err
-	}
-	return l.f.Sync()
-}
-
-// Close flushes, fsyncs, and closes the log, returning the first error.
-func (l *decisionLog) Close() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	err := l.w.Flush()
-	if serr := l.f.Sync(); err == nil {
-		err = serr
-	}
-	if cerr := l.f.Close(); err == nil {
-		err = cerr
-	}
-	return err
+// openDecisionLog opens the size-capped rotating decision log
+// (replay.DecisionLog); rotation is disabled when maxBytes is 0.
+func openDecisionLog(path string, maxBytes int64, keep int) (*replay.DecisionLog, error) {
+	return replay.OpenDecisionLog(path, replay.LogOptions{MaxBytes: maxBytes, Keep: keep})
 }

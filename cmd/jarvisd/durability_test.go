@@ -19,11 +19,20 @@ import (
 func durableConfig(dir string) serverConfig {
 	return serverConfig{
 		Seed: 1, LearningDays: 2, Episodes: 2,
-		CheckpointPath:   filepath.Join(dir, "ckpt", "jarvisd.ckpt"),
-		WALDir:           filepath.Join(dir, "wal"),
-		FixedMinute:      600,
-		OnlineTrainEvery: 4,
-		MaxQueue:         -1, // never shed: every event must reach the learner
+		CheckpointPath:  filepath.Join(dir, "ckpt", "jarvisd.ckpt"),
+		WALDir:          filepath.Join(dir, "wal"),
+		DecisionLogPath: filepath.Join(dir, "decisions.log"),
+		// A small cap forces rotation, so the replay-verification tests
+		// exercise reads across sealed files — and, in the SIGKILL harness,
+		// sealed files are the only decisions that survive the crash (the
+		// active file's tail is buffered). Keep is large: retention pruning
+		// would delete the head of the recorded stream and break the
+		// origin-aligned verification.
+		DecisionLogMaxBytes: 2048,
+		DecisionLogKeep:     1000,
+		FixedMinute:         600,
+		OnlineTrainEvery:    4,
+		MaxQueue:            -1, // never shed: every event must reach the learner
 	}
 }
 

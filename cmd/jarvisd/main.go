@@ -60,6 +60,8 @@ func run(args []string) error {
 	fixedMinute := fs.Int("fixed-minute", 0, "pin the minute-of-day for deterministic replay testing (0 = wall clock)")
 	debugAddr := fs.String("debug-addr", "127.0.0.1:7464", "HTTP address for /metrics, /healthz, /debug/vars and /debug/pprof (empty = disabled)")
 	logDecisions := fs.String("log-decisions", "", "append one JSON line per recommendation/event decision to this file (empty = disabled)")
+	logDecisionsMaxBytes := fs.Int64("log-decisions-max-bytes", 0, "rotate the decision log once the active file would exceed this many bytes (0 = one unbounded file)")
+	logDecisionsKeep := fs.Int("log-decisions-keep", 4, "rotated decision-log files to keep beside the active one")
 	traceSample := fs.Int("trace-sample", 0, "trace one in every N requests through the pipeline (1 = every request, 0 = disabled)")
 	traceRing := fs.Int("trace-ring", 0, "completed traces retained for /debug/traces (0 = default)")
 	anomalyFilter := fs.Bool("anomaly-filter", false, "train the benign-anomaly ANN and score every recommendation through it")
@@ -92,24 +94,26 @@ func run(args []string) error {
 
 	fmt.Fprintf(os.Stderr, "jarvisd: learning phase (%d days) and optimizer training...\n", *learningDays)
 	srv, err := newServer(serverConfig{
-		Seed:             *seed,
-		LearningDays:     *learningDays,
-		Episodes:         *episodes,
-		CheckpointPath:   *ckpt,
-		CheckpointRetain: *ckptRetain,
-		WALDir:           *walDir,
-		WALSync:          syncPolicy,
-		MaxQueue:         *maxQueue,
-		OnlineTrainEvery: *onlineEvery,
-		FixedMinute:      *fixedMinute,
-		DebugAddr:        *debugAddr,
-		DecisionLogPath:  *logDecisions,
-		TraceSample:      *traceSample,
-		TraceRing:        *traceRing,
-		AnomalyFilter:    *anomalyFilter,
-		IdleTimeout:      *idle,
-		WriteTimeout:     *writeTimeout,
-		Logf:             logf,
+		Seed:                *seed,
+		LearningDays:        *learningDays,
+		Episodes:            *episodes,
+		CheckpointPath:      *ckpt,
+		CheckpointRetain:    *ckptRetain,
+		WALDir:              *walDir,
+		WALSync:             syncPolicy,
+		MaxQueue:            *maxQueue,
+		OnlineTrainEvery:    *onlineEvery,
+		FixedMinute:         *fixedMinute,
+		DebugAddr:           *debugAddr,
+		DecisionLogPath:     *logDecisions,
+		DecisionLogMaxBytes: *logDecisionsMaxBytes,
+		DecisionLogKeep:     *logDecisionsKeep,
+		TraceSample:         *traceSample,
+		TraceRing:           *traceRing,
+		AnomalyFilter:       *anomalyFilter,
+		IdleTimeout:         *idle,
+		WriteTimeout:        *writeTimeout,
+		Logf:                logf,
 	})
 	if err != nil {
 		return err

@@ -2,13 +2,9 @@ package main
 
 import (
 	"bufio"
-	"bytes"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"net/http"
 	"sync"
@@ -18,9 +14,8 @@ import (
 	"jarvis"
 	"jarvis/internal/anomaly"
 	"jarvis/internal/checkpoint"
-	"jarvis/internal/dataset"
 	"jarvis/internal/env"
-	"jarvis/internal/reward"
+	"jarvis/internal/replay"
 	"jarvis/internal/rl"
 	"jarvis/internal/smarthome"
 	"jarvis/internal/trace"
@@ -79,6 +74,13 @@ type serverConfig struct {
 	// DecisionLogPath, when non-empty, appends one JSON line per
 	// recommendation and per checked event to this file; see decision.go.
 	DecisionLogPath string
+	// DecisionLogMaxBytes, when positive, rotates the decision log once the
+	// active file would exceed this size (the sealed file is fsynced and
+	// renamed to path.NNNNNN); 0 keeps one unbounded file.
+	DecisionLogMaxBytes int64
+	// DecisionLogKeep caps the rotated decision-log files retained beside
+	// the active one (default 4 when rotation is enabled).
+	DecisionLogKeep int
 
 	// TraceSample, when positive, head-samples one in every TraceSample
 	// requests into the span tracer (1 traces everything). Sampled traces
@@ -165,6 +167,7 @@ type response struct {
 	Events      int    `json:"events,omitempty"`
 	OnlineSteps int    `json:"onlineSteps,omitempty"`
 	LearnSteps  int    `json:"learnSteps,omitempty"`
+	Recommends  int    `json:"recommends,omitempty"`
 	QSum        string `json:"qsum,omitempty"`
 }
 
@@ -183,12 +186,19 @@ type server struct {
 
 	// Online-learning progression, all guarded by mu: events applied,
 	// transitions accepted into the learner, learn steps actually run,
-	// and requests shed by admission control.
-	eventsIngested int
-	onlineSteps    int
-	learnSteps     int
-	shedEvents     int
-	shedRecommends int
+	// recommendations served, and requests shed by admission control.
+	eventsIngested   int
+	onlineSteps      int
+	learnSteps       int
+	recommendsServed int
+	shedEvents       int
+	shedRecommends   int
+
+	// walSpans tracks the first/last kind-local sequence number currently
+	// in the journal (guarded by mu; nil when empty or WAL disabled) —
+	// surfaced by /healthz so an operator can see what a crash would
+	// replay.
+	walSpans map[string]walSpan
 
 	// inflight counts requests currently being served; admission control
 	// sheds work above the configured thresholds. Atomic because it is
@@ -216,9 +226,9 @@ type server struct {
 	debug   *http.Server
 	debugLn net.Listener
 
-	// decisions is the structured decision log (decision.go); nil when
-	// cfg.DecisionLogPath is empty.
-	decisions *decisionLog
+	// decisions is the structured decision log (replay.DecisionLog, opened
+	// via decision.go); nil when cfg.DecisionLogPath is empty.
+	decisions *replay.DecisionLog
 
 	// tracer samples request traces (disabled, never nil, when
 	// cfg.TraceSample <= 0).
@@ -236,98 +246,46 @@ type server struct {
 	restored bool
 }
 
-// learningAssets is everything the deterministic learning phase produces —
-// needed both for fresh training and for rewiring a restored optimizer.
-type learningAssets struct {
-	home     *smarthome.FullHome
-	sys      *jarvis.System
-	simCfg   rl.SimConfig
-	trainCfg jarvis.TrainConfig
-}
-
-// buildLearning runs the (cheap, deterministic) learning phase: simulate
-// the ADL days, learn P_safe, and assemble the reward and agent
-// configuration. The (expensive) optimizer training is NOT run here.
-func buildLearning(cfg serverConfig) (*learningAssets, error) {
-	home := smarthome.NewFullHome()
-	sys, err := jarvis.New(home.Env, jarvis.Config{Seed: cfg.Seed, Filter: cfg.AnomalyFilter})
-	if err != nil {
-		return nil, err
+// replayConfig maps the daemon configuration onto the replay engine's
+// learning configuration. The daemon builds its serving assets through
+// replay.Build with exactly this value, so an offline replay (or a
+// restarted daemon) constructing the same Config reproduces the same
+// assets by definition.
+func replayConfig(cfg serverConfig) replay.Config {
+	return replay.Config{
+		Seed:             cfg.Seed,
+		LearningDays:     cfg.LearningDays,
+		Episodes:         cfg.Episodes,
+		OnlineTrainEvery: cfg.OnlineTrainEvery,
+		AnomalyFilter:    cfg.AnomalyFilter,
+		Logf:             cfg.Logf,
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	gen := dataset.NewGenerator(home, dataset.HomeAConfig())
-	start := time.Date(2020, 9, 7, 0, 0, 0, 0, time.UTC)
-	days, err := gen.Days(start, cfg.LearningDays, rng)
-	if err != nil {
-		return nil, fmt.Errorf("learning phase: %w", err)
-	}
-	if cfg.AnomalyFilter {
-		// The filter must be trained before Learn so the SPL can consult
-		// it while observing the learning episodes.
-		anoms, err := dataset.SynthesizeAnomalies(home, days, 400, rng)
-		if err != nil {
-			return nil, fmt.Errorf("anomaly synthesis: %w", err)
-		}
-		normals, err := dataset.NormalSamples(days, 400, rng)
-		if err != nil {
-			return nil, fmt.Errorf("normal samples: %w", err)
-		}
-		if _, err := sys.TrainFilter(append(anoms, normals...)); err != nil {
-			return nil, fmt.Errorf("filter training: %w", err)
-		}
-	}
-	eps := dataset.Episodes(days)
-	sys.Learn(eps)
-	if err := sys.AllowManual(home.Thermostat, smarthome.ThermostatActOff); err != nil {
-		return nil, err
-	}
-
-	ctx := days[len(days)-1].Context
-	rs, err := reward.New(home.Env, reward.Config{
-		Functionalities: smarthome.Functionalities(
-			home.Env, home.TempSensor, home.Thermostat, ctx.Prices, 0.4, 0.3, 0.3),
-		Preferred: sys.PreferredTimes(eps),
-		Instances: smarthome.InstancesPerDay,
-		Routine: map[int]bool{
-			home.LivingLight: true, home.BedLight: true, home.Thermostat: true,
-			home.Oven: true, home.TV: true, home.Washer: true, home.Dishwasher: true,
-		},
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &learningAssets{
-		home:   home,
-		sys:    sys,
-		simCfg: rl.SimConfig{Initial: home.InitialState(), Reward: rs},
-		trainCfg: jarvis.TrainConfig{Agent: rl.AgentConfig{
-			Episodes: cfg.Episodes, DecideEvery: 15, ReplayEvery: 4,
-		}},
-	}, nil
 }
 
 func newServer(cfg serverConfig) (*server, error) {
 	cfg = cfg.withDefaults()
-	assets, err := buildLearning(cfg)
+	// The deterministic learning phase is shared with the offline replay
+	// engine: both build the same assets from the same Config.
+	assets, err := replay.Build(replayConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
 	s := &server{
 		cfg:        cfg,
-		home:       assets.home,
-		sys:        assets.sys,
-		state:      assets.home.InitialState(),
+		home:       assets.Home,
+		sys:        assets.Sys,
+		state:      assets.Home.InitialState(),
 		startOfDay: time.Now().Truncate(24 * time.Hour),
 		stop:       make(chan struct{}),
 		conns:      make(map[net.Conn]struct{}),
 		tracer:     trace.New(cfg.TraceRing),
-		filter:     assets.sys.Filter(),
+		filter:     assets.Sys.Filter(),
 	}
 	s.tracer.SetSeed(uint64(cfg.Seed))
 	s.tracer.SetSampleEvery(cfg.TraceSample)
 
 	if cfg.DecisionLogPath != "" {
-		dl, err := openDecisionLog(cfg.DecisionLogPath)
+		dl, err := openDecisionLog(cfg.DecisionLogPath, cfg.DecisionLogMaxBytes, cfg.DecisionLogKeep)
 		if err != nil {
 			return nil, fmt.Errorf("decision log: %w", err)
 		}
@@ -359,8 +317,8 @@ func newServer(cfg serverConfig) (*server, error) {
 		}
 	}
 	if !s.restored {
-		if _, err := assets.sys.Train(assets.simCfg, assets.trainCfg); err != nil {
-			return nil, fmt.Errorf("optimizer training: %w", err)
+		if err := assets.Train(); err != nil {
+			return nil, err
 		}
 		if s.store != nil {
 			if err := s.saveCheckpoint(); err != nil {
@@ -682,7 +640,7 @@ func (s *server) dispatch(req request, depth int64, sp *trace.Span) response {
 		prev := s.state
 		s.state = next
 		s.eventsIngested++
-		s.journal(sp, walRecord{K: "evt", N: s.eventsIngested, M: minute, D: di, A: act, U: unsafe})
+		s.journal(sp, replay.Record{K: replay.KindEvent, N: s.eventsIngested, M: minute, D: di, A: act, U: unsafe})
 		// The audit check above is never shed; under pressure only the
 		// learning ingestion below is dropped.
 		if s.shedLearning(depth) {
@@ -690,7 +648,7 @@ func (s *server) dispatch(req request, depth int64, sp *trace.Span) response {
 			mShedEvents.Inc()
 		} else {
 			li := sp.Child("learn.ingest")
-			s.journal(li, walRecord{K: "txn", N: s.onlineSteps + 1, M: minute, D: di, A: act, S: prev})
+			s.journal(li, replay.Record{K: replay.KindTransition, N: s.onlineSteps + 1, M: minute, D: di, A: act, S: prev})
 			s.ingestTransition(li, prev, a, minute)
 			li.End()
 		}
@@ -741,6 +699,12 @@ func (s *server) dispatch(req request, depth int64, sp *trace.Span) response {
 				})
 			}
 		}
+		// Journal the served recommendation: recovery only bumps the
+		// counter, but the offline replay engine re-executes the policy at
+		// this point in the stream to regenerate (or counterfactually
+		// rewrite) the decision below.
+		s.recommendsServed++
+		s.journal(sp, replay.Record{K: replay.KindRecommend, N: s.recommendsServed, M: minute})
 		s.logDecision(sp, decisionRecord{
 			Kind: "recommend", Minute: minute,
 			State:    stateNames(e, s.state),
@@ -766,17 +730,17 @@ func (s *server) dispatch(req request, depth int64, sp *trace.Span) response {
 		return response{OK: true, Minute: minute}
 
 	case "learnstate":
-		var q bytes.Buffer
-		if err := s.sys.SaveQ(&q); err != nil {
+		fp, err := s.sys.QFingerprint()
+		if err != nil {
 			return response{Error: err.Error()}
 		}
-		sum := sha256.Sum256(q.Bytes())
 		return response{OK: true, Minute: minute, Violations: s.violations,
 			ReplaySize:  s.sys.Agent().ReplayBuffer().Len(),
 			Events:      s.eventsIngested,
 			OnlineSteps: s.onlineSteps,
 			LearnSteps:  s.learnSteps,
-			QSum:        hex.EncodeToString(sum[:]),
+			Recommends:  s.recommendsServed,
+			QSum:        fp,
 		}
 	}
 	return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
@@ -797,7 +761,9 @@ func (s *server) logDecision(sp *trace.Span, rec decisionRecord) {
 	}
 	if err := s.decisions.Record(rec); err != nil {
 		s.cfg.Logf("jarvisd: decision log write failed: %v", err)
+		return
 	}
+	mDecisionsLogged.Inc()
 }
 
 func stateNames(e *env.Environment, s env.State) []string {

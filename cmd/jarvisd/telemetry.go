@@ -62,6 +62,7 @@ var (
 	mWALAppendFailures = telemetry.Default.Counter("jarvisd.wal.append_failures")
 	mWALReplayedEvents = telemetry.Default.Counter("jarvisd.wal.replayed.events")
 	mWALReplayedTxns   = telemetry.Default.Counter("jarvisd.wal.replayed.txns")
+	mWALReplayedRecs   = telemetry.Default.Counter("jarvisd.wal.replayed.recs")
 
 	// Online learning driven by live (or replayed) traffic.
 	mOnlineObserved   = telemetry.Default.Counter("jarvisd.online.observed")

@@ -1,60 +1,71 @@
 package main
 
 import (
-	"encoding/json"
-	"math/rand"
-
-	"jarvis/internal/device"
 	"jarvis/internal/env"
+	"jarvis/internal/replay"
+	"jarvis/internal/rl"
 	"jarvis/internal/trace"
 	"jarvis/internal/wal"
 )
 
-// The daemon journals two record kinds to its write-ahead log, both as one
-// JSON object per record:
+// The daemon journals three record kinds to its write-ahead log — evt
+// (every applied device event), txn (every event the learning path
+// accepted), and rec (every recommendation served). The record layout and
+// the full semantics live in internal/replay (replay.Record): the same
+// type is what the offline replay engine re-executes, so the daemon's
+// recovery path and `jarvis whatif` read one format by construction.
 //
-//	evt — every applied device event: the audit trail. Replay re-derives
-//	      the transition and the P_safe verdict, so a restarted daemon
-//	      reaches the exact pre-crash environment state and violation
-//	      count.
-//	txn — every event the learning path accepted (i.e. not shed by
-//	      admission control). Carries the pre-event state, so replay can
-//	      recompute the reward and re-observe the transition into the
-//	      replay buffer, then re-run the same every-Nth learn steps with
-//	      the same per-step seeds. A crashed-and-replayed daemon ends in
-//	      the same training state as one that never crashed.
-//
-// Records carry a sequence number (events and transitions count
-// separately). A checkpoint save persists both counters and then resets
-// the log; if the daemon crashes between the save and the reset, replay
-// skips every record whose sequence the checkpoint already covers, so the
-// overlap window double-applies nothing.
-type walRecord struct {
-	K string          `json:"k"`           // "evt" | "txn"
-	N int             `json:"n"`           // sequence number within the kind
-	M int             `json:"m"`           // minute-of-day at ingest
-	D int             `json:"d"`           // device index
-	A device.ActionID `json:"a"`           // action applied to device D
-	U bool            `json:"u,omitempty"` // evt: flagged unsafe by P_safe
-	S env.State       `json:"s,omitempty"` // txn: state before the event
+// Records carry a per-kind sequence number. A checkpoint save persists
+// all three counters and then resets the log; if the daemon crashes
+// between the save and the reset, replay skips every record whose
+// sequence the checkpoint already covers, so the overlap window
+// double-applies nothing.
+
+// walSpan is the first/last kind-local sequence number currently sitting
+// in the journal — the /healthz view of what a crash would replay.
+type walSpan struct {
+	First int `json:"first"`
+	Last  int `json:"last"`
+}
+
+// noteWALRecord folds one journaled (or boot-replayed) record into the
+// per-kind span map. Caller holds s.mu.
+func (s *server) noteWALRecord(k string, n int) {
+	if s.walSpans == nil {
+		s.walSpans = make(map[string]walSpan)
+	}
+	sp, ok := s.walSpans[k]
+	if !ok {
+		s.walSpans[k] = walSpan{First: n, Last: n}
+		return
+	}
+	if n < sp.First {
+		sp.First = n
+	}
+	if n > sp.Last {
+		sp.Last = n
+	}
+	s.walSpans[k] = sp
 }
 
 // journal appends one record to the WAL. Append failures degrade
 // durability, never availability: they are counted and logged, and the
 // request proceeds. A sampled request's span gets a wal.append child
 // showing the durability cost inside the request.
-func (s *server) journal(sp *trace.Span, rec walRecord) {
+func (s *server) journal(sp *trace.Span, rec replay.Record) {
 	if s.wal == nil {
 		return
 	}
-	b, err := json.Marshal(rec)
+	b, err := rec.Encode()
 	if err == nil {
 		err = s.wal.AppendTraced(sp, b)
 	}
 	if err != nil {
 		mWALAppendFailures.Inc()
 		s.cfg.Logf("jarvisd: wal append (%s #%d) failed: %v", rec.K, rec.N, err)
+		return
 	}
+	s.noteWALRecord(rec.K, rec.N)
 }
 
 // openWAL opens (or creates) the journal and replays whatever survived the
@@ -75,14 +86,18 @@ func (s *server) openWAL() {
 	}
 	events0, txns0 := s.eventsIngested, s.onlineSteps
 	err = wl.Replay(func(b []byte) error {
-		var rec walRecord
-		if err := json.Unmarshal(b, &rec); err != nil {
+		rec, derr := replay.DecodeRecord(b)
+		if derr != nil {
 			// The framing CRC already passed, so this is a foreign or
 			// future-format record: skip it, don't kill recovery.
-			s.cfg.Logf("jarvisd: wal replay: skipping undecodable record: %v", err)
+			s.cfg.Logf("jarvisd: wal replay: skipping undecodable record: %v", derr)
 			return nil
 		}
 		s.applyWALRecord(rec)
+		// Even a record the checkpoint already covers still sits in the
+		// journal until the next reset; the span map reports what is on
+		// disk, not what was applied.
+		s.noteWALRecord(rec.K, rec.N)
 		return nil
 	})
 	if err != nil {
@@ -96,10 +111,10 @@ func (s *server) openWAL() {
 
 // applyWALRecord replays one journaled record through the same code the
 // live path runs, skipping records the restored checkpoint already covers.
-func (s *server) applyWALRecord(rec walRecord) {
+func (s *server) applyWALRecord(rec replay.Record) {
 	e := s.home.Env
 	switch rec.K {
-	case "evt":
+	case replay.KindEvent:
 		if rec.N <= s.eventsIngested {
 			return // captured by the checkpoint this run restored from
 		}
@@ -126,7 +141,7 @@ func (s *server) applyWALRecord(rec walRecord) {
 		s.eventsIngested++
 		mWALReplayedEvents.Inc()
 
-	case "txn":
+	case replay.KindTransition:
 		if rec.N <= s.onlineSteps {
 			return
 		}
@@ -139,6 +154,16 @@ func (s *server) applyWALRecord(rec walRecord) {
 		s.ingestTransition(nil, rec.S, a, rec.M)
 		mWALReplayedTxns.Inc()
 
+	case replay.KindRecommend:
+		// A recommendation has no state effect; daemon recovery only bumps
+		// the counter so a post-crash checkpoint stays sequence-correct.
+		// (The offline engine is what re-executes the policy here.)
+		if rec.N <= s.recommendsServed {
+			return
+		}
+		s.recommendsServed++
+		mWALReplayedRecs.Inc()
+
 	default:
 		s.cfg.Logf("jarvisd: wal replay: unknown record kind %q", rec.K)
 	}
@@ -150,7 +175,8 @@ func (s *server) applyWALRecord(rec walRecord) {
 // come through here with identical inputs, and each learn step draws from
 // an RNG seeded only by (daemon seed, transition count) — never by
 // wall-clock or by how the process got here — so a crashed-and-replayed
-// daemon walks the exact training trajectory of one that never crashed.
+// daemon (and the offline replay engine, which calls rl.StepRNG the same
+// way) walks the exact training trajectory of one that never crashed.
 func (s *server) ingestTransition(sp *trace.Span, prev env.State, a env.Action, minute int) {
 	s.onlineSteps++
 	if _, _, err := s.sys.ObserveTransition(prev, a, minute); err != nil {
@@ -159,8 +185,7 @@ func (s *server) ingestTransition(sp *trace.Span, prev env.State, a env.Action, 
 	}
 	mOnlineObserved.Inc()
 	if s.cfg.OnlineTrainEvery > 0 && s.onlineSteps%s.cfg.OnlineTrainEvery == 0 {
-		rng := rand.New(rand.NewSource(stepSeed(uint64(s.cfg.Seed), uint64(s.onlineSteps))))
-		ran, err := s.sys.LearnOnlineTraced(sp, rng)
+		ran, err := s.sys.LearnOnlineTraced(sp, rl.StepRNG(s.cfg.Seed, s.onlineSteps))
 		switch {
 		case err != nil:
 			s.cfg.Logf("jarvisd: online learn step failed: %v", err)
@@ -169,18 +194,4 @@ func (s *server) ingestTransition(sp *trace.Span, prev env.State, a env.Action, 
 			mOnlineLearnSteps.Inc()
 		}
 	}
-}
-
-// stepSeed mixes the daemon seed and a step counter into an independent
-// RNG seed (splitmix64 finalizer). Deriving per-step seeds this way keeps
-// online learning deterministic in the transition count alone, which is
-// exactly what WAL replay reconstructs.
-func stepSeed(seed, step uint64) int64 {
-	x := seed + 0x9e3779b97f4a7c15*(step+1)
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return int64(x)
 }

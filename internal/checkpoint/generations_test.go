@@ -241,3 +241,54 @@ func TestStoreSaveCallbackFailureLeavesStoreUsable(t *testing.T) {
 		t.Errorf("gen after failed save = %d, want 2", gen)
 	}
 }
+
+// The MANIFEST is the store's only index. When it is missing, the store
+// opens empty even if generation files are still on disk: unindexed files
+// carry no recorded checksums, so trusting them would defeat the
+// corruption detection. Load reports ErrNotExist and the daemon falls
+// back to fresh training.
+func TestStoreMissingManifestOpensEmpty(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, "q.ckpt", 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saveString(t, s, "v1")
+	saveString(t, s, "v2")
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir, "q.ckpt", 3, nil)
+	if err != nil {
+		t.Fatalf("missing MANIFEST must open as a fresh store, got %v", err)
+	}
+	if gens := s2.Generations(); len(gens) != 0 {
+		t.Errorf("store indexed %d generations with no MANIFEST: %+v", len(gens), gens)
+	}
+	if _, err := s2.Load(noSleep, func(io.Reader) error { return nil }); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Load err = %v, want ErrNotExist", err)
+	}
+	// The store keeps working: the next save re-creates the MANIFEST.
+	saveString(t, s2, "v3")
+	if _, got := loadString(t, s2); got != "v3" {
+		t.Errorf("post-recreate Load = %q, want v3", got)
+	}
+}
+
+// A MANIFEST whose every referenced generation file has been deleted must
+// fail Load with ErrNotExist — the same signal as an empty store — so the
+// caller takes the fresh-training fallback instead of crashing.
+func TestStoreAllGenerationFilesDeletedIsNotExist(t *testing.T) {
+	s := testStore(t, 3)
+	saveString(t, s, "v1")
+	saveString(t, s, "v2")
+	for _, g := range s.Generations() {
+		if err := os.Remove(filepath.Join(s.Dir(), g.File)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Load(noSleep, func(io.Reader) error { return nil }); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Load err = %v, want ErrNotExist", err)
+	}
+}

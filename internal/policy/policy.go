@@ -8,6 +8,9 @@
 package policy
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -171,6 +174,19 @@ func (t *Table) Save(w io.Writer) error {
 		return fmt.Errorf("policy: save table: %w", err)
 	}
 	return nil
+}
+
+// Fingerprint digests the serialized table (SHA-256, hex): a stable
+// identity for one learned P_safe, used by replay reports to show which
+// safety table produced a decision stream. Deterministic because the JSON
+// encoder sorts map keys and successor lists are emitted sorted.
+func (t *Table) Fingerprint() (string, error) {
+	var b bytes.Buffer
+	if err := t.Save(&b); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b.Bytes())
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // LoadTable reads a table saved with Save.

@@ -1,0 +1,144 @@
+// Package replay is a deterministic re-execution engine over the daemon's
+// write-ahead log. It rebuilds the exact learning assets a jarvisd run
+// started from (fresh training or a checkpoint generation), streams the
+// recorded event/transition/recommendation records back through the same
+// code paths the live daemon ran, and regenerates the decision stream the
+// daemon logged — either to *verify* that the system reproduces its own
+// history bit-for-bit, or to ask *what if* an alternative policy had been
+// serving from some sequence number on. See DESIGN.md §12.
+package replay
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"jarvis"
+	"jarvis/internal/dataset"
+	"jarvis/internal/reward"
+	"jarvis/internal/rl"
+	"jarvis/internal/smarthome"
+)
+
+// Config pins everything the deterministic learning phase depends on. It
+// must match the configuration of the run that produced the WAL — the
+// daemon persists these fields in every checkpoint generation precisely so
+// a replay (or a restart) can detect a mismatch.
+type Config struct {
+	// Seed drives every stochastic component of the pipeline.
+	Seed int64
+	// LearningDays is the number of simulated ADL days in the learning
+	// phase (default 7).
+	LearningDays int
+	// Episodes is the optimizer training episode count (default 60).
+	Episodes int
+	// OnlineTrainEvery runs one replay learn step every N accepted
+	// transitions (default 4; negative disables online learning). Must
+	// match the recorded run or learning trajectories diverge.
+	OnlineTrainEvery int
+	// AnomalyFilter trains the benign-anomaly ANN, matching the daemon's
+	// -anomaly-filter flag. It changes the learning-phase RNG consumption,
+	// so it must match the recorded run.
+	AnomalyFilter bool
+	// Logf receives operational messages; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.LearningDays <= 0 {
+		c.LearningDays = 7
+	}
+	if c.Episodes <= 0 {
+		c.Episodes = 60
+	}
+	if c.OnlineTrainEvery == 0 {
+		c.OnlineTrainEvery = 4
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Assets is everything the deterministic learning phase produces — the
+// home, the system with its learned P_safe, and the simulator/trainer
+// configuration. Both the daemon (for serving) and the replay engine (for
+// re-execution) build the same assets from the same Config.
+type Assets struct {
+	Home     *smarthome.FullHome
+	Sys      *jarvis.System
+	SimCfg   rl.SimConfig
+	TrainCfg jarvis.TrainConfig
+}
+
+// Build runs the (cheap, deterministic) learning phase: simulate the ADL
+// days, learn P_safe, and assemble the reward and agent configuration.
+// The (expensive) optimizer training is NOT run here — call Train, or
+// RestoreSnapshot with a checkpoint generation.
+func Build(cfg Config) (*Assets, error) {
+	cfg = cfg.withDefaults()
+	home := smarthome.NewFullHome()
+	sys, err := jarvis.New(home.Env, jarvis.Config{Seed: cfg.Seed, Filter: cfg.AnomalyFilter})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := dataset.NewGenerator(home, dataset.HomeAConfig())
+	start := time.Date(2020, 9, 7, 0, 0, 0, 0, time.UTC)
+	days, err := gen.Days(start, cfg.LearningDays, rng)
+	if err != nil {
+		return nil, fmt.Errorf("learning phase: %w", err)
+	}
+	if cfg.AnomalyFilter {
+		// The filter must be trained before Learn so the SPL can consult
+		// it while observing the learning episodes.
+		anoms, err := dataset.SynthesizeAnomalies(home, days, 400, rng)
+		if err != nil {
+			return nil, fmt.Errorf("anomaly synthesis: %w", err)
+		}
+		normals, err := dataset.NormalSamples(days, 400, rng)
+		if err != nil {
+			return nil, fmt.Errorf("normal samples: %w", err)
+		}
+		if _, err := sys.TrainFilter(append(anoms, normals...)); err != nil {
+			return nil, fmt.Errorf("filter training: %w", err)
+		}
+	}
+	eps := dataset.Episodes(days)
+	sys.Learn(eps)
+	if err := sys.AllowManual(home.Thermostat, smarthome.ThermostatActOff); err != nil {
+		return nil, err
+	}
+
+	ctx := days[len(days)-1].Context
+	rs, err := reward.New(home.Env, reward.Config{
+		Functionalities: smarthome.Functionalities(
+			home.Env, home.TempSensor, home.Thermostat, ctx.Prices, 0.4, 0.3, 0.3),
+		Preferred: sys.PreferredTimes(eps),
+		Instances: smarthome.InstancesPerDay,
+		Routine: map[int]bool{
+			home.LivingLight: true, home.BedLight: true, home.Thermostat: true,
+			home.Oven: true, home.TV: true, home.Washer: true, home.Dishwasher: true,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Assets{
+		Home:   home,
+		Sys:    sys,
+		SimCfg: rl.SimConfig{Initial: home.InitialState(), Reward: rs},
+		TrainCfg: jarvis.TrainConfig{Agent: rl.AgentConfig{
+			Episodes: cfg.Episodes, DecideEvery: 15, ReplayEvery: 4,
+		}},
+	}, nil
+}
+
+// Train runs the optimizer (Algorithm 2) on freshly built assets — the
+// state a daemon starts serving from when no checkpoint is available.
+func (a *Assets) Train() error {
+	if _, err := a.Sys.Train(a.SimCfg, a.TrainCfg); err != nil {
+		return fmt.Errorf("optimizer training: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+package replay
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// LoggedDecision is one line of the structured decision log (JSON lines,
+// append-only): a recommendation the daemon produced or an applied event
+// it checked, with the state it saw, the action, the Q value backing a
+// recommendation, and the policy verdict ("safe", "unsafe", or
+// "degraded"). The log makes the safety behavior auditable offline: every
+// deny and every degraded fallback is on disk, not just in an aggregate
+// counter — and the replay engine regenerates exactly this stream from
+// the WAL to prove it.
+type LoggedDecision struct {
+	UnixNs   int64    `json:"unixNs"`
+	Kind     string   `json:"kind"` // "recommend" | "event"
+	Minute   int      `json:"minute"`
+	State    []string `json:"state"`
+	Action   string   `json:"action"`
+	Q        float64  `json:"q,omitempty"`
+	Degraded bool     `json:"degraded,omitempty"`
+	Verdict  string   `json:"verdict"`
+	// Trace is the hex trace ID when this request was sampled by the span
+	// tracer — the join key into /debug/traces.
+	Trace string `json:"trace,omitempty"`
+	// Anomaly is the benign-anomaly ANN's score for a recommendation's
+	// transition (only with -anomaly-filter).
+	Anomaly float64 `json:"anomaly,omitempty"`
+}
+
+// LogOptions tunes the decision log's size-capped rotation. The zero
+// value keeps today's behavior: one unbounded file, no rotation.
+type LogOptions struct {
+	// MaxBytes rotates the active file once appending a record would push
+	// it past this size (0 = never rotate).
+	MaxBytes int64
+	// Keep caps the rotated files retained beside the active one; the
+	// oldest are deleted first (default 4 when rotation is enabled).
+	Keep int
+}
+
+func (o LogOptions) withDefaults() LogOptions {
+	if o.MaxBytes > 0 && o.Keep <= 0 {
+		o.Keep = 4
+	}
+	return o
+}
+
+// DecisionLog appends decision records to a file as JSON lines, rotating
+// the file once it reaches LogOptions.MaxBytes: the active file is
+// flushed, fsynced, and renamed to path.NNNNNN (ascending, newest
+// highest), and the oldest rotated files beyond Keep are deleted. Writes
+// are buffered; Sync flushes the buffer and fsyncs so a crash loses at
+// most the entries since the last Sync — rotation itself always fsyncs,
+// so a sealed rotated file is never torn. Safe for concurrent use.
+type DecisionLog struct {
+	path string
+	opts LogOptions
+
+	mu      sync.Mutex
+	f       *os.File
+	buf     []byte // pending encoded lines
+	size    int64  // bytes in the active file (including unflushed)
+	nextRot uint64 // next rotation suffix
+}
+
+// OpenDecisionLog opens (or creates) the decision log at path.
+func OpenDecisionLog(path string, opts LogOptions) (*DecisionLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := &DecisionLog{path: path, opts: opts.withDefaults(), f: f, size: st.Size(), nextRot: 1}
+	if rots, err := rotatedFiles(path); err == nil && len(rots) > 0 {
+		l.nextRot = rots[len(rots)-1].n + 1
+	}
+	return l, nil
+}
+
+// Record appends one decision line, rotating first when the active file
+// would exceed the size cap.
+func (l *DecisionLog) Record(rec LoggedDecision) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.opts.MaxBytes > 0 && l.size > 0 && l.size+int64(len(line)) > l.opts.MaxBytes {
+		if err := l.rotateLocked(); err != nil {
+			return fmt.Errorf("decision log rotate: %w", err)
+		}
+	}
+	l.buf = append(l.buf, line...)
+	l.size += int64(len(line))
+	// A bounded buffer: flush (without fsync) once enough lines batched.
+	if len(l.buf) >= 32<<10 {
+		return l.flushLocked()
+	}
+	return nil
+}
+
+// rotateLocked seals the active file as path.NNNNNN and opens a fresh
+// one. The seal is durable (flush + fsync + directory fsync) before the
+// rename is reported successful, and retention prunes the oldest rotated
+// files beyond Keep.
+func (l *DecisionLog) rotateLocked() error {
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	rotated := fmt.Sprintf("%s.%06d", l.path, l.nextRot)
+	if err := os.Rename(l.path, rotated); err != nil {
+		return err
+	}
+	l.nextRot++
+	if err := syncParentDir(l.path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f, l.size = f, 0
+	if rots, err := rotatedFiles(l.path); err == nil && l.opts.Keep > 0 {
+		for len(rots) > l.opts.Keep {
+			os.Remove(rots[0].path) // best-effort retention
+			rots = rots[1:]
+		}
+	}
+	return syncParentDir(l.path)
+}
+
+func (l *DecisionLog) flushLocked() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		return err
+	}
+	l.buf = l.buf[:0]
+	return nil
+}
+
+// Sync flushes buffered lines to the OS and fsyncs the file.
+func (l *DecisionLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close flushes, fsyncs, and closes the log, returning the first error.
+func (l *DecisionLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.flushLocked()
+	if serr := l.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+type rotatedFile struct {
+	path string
+	n    uint64
+}
+
+// rotatedFiles lists path's rotated siblings (path.NNNNNN), oldest first.
+func rotatedFiles(path string) ([]rotatedFile, error) {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []rotatedFile
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, base+".") {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimPrefix(name, base+"."), 10, 64)
+		if err != nil {
+			continue // foreign file (e.g. path.bak); leave it alone
+		}
+		out = append(out, rotatedFile{path: filepath.Join(dir, name), n: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].n < out[j].n })
+	return out, nil
+}
+
+// ReadDecisions reads the decision stream at path across its rotated
+// files, oldest first, ending with the active file. A torn trailing line
+// in the active file (a crash mid-append) is tolerated; damage anywhere
+// else is an error.
+func ReadDecisions(path string) ([]LoggedDecision, error) {
+	rots, err := rotatedFiles(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	files := make([]string, 0, len(rots)+1)
+	for _, r := range rots {
+		files = append(files, r.path)
+	}
+	files = append(files, path)
+	var out []LoggedDecision
+	for i, fp := range files {
+		last := i == len(files)-1
+		b, err := os.ReadFile(fp)
+		if err != nil {
+			if os.IsNotExist(err) && last {
+				break // no active file yet
+			}
+			return nil, err
+		}
+		dec := json.NewDecoder(bytes.NewReader(b))
+		for dec.More() {
+			var rec LoggedDecision
+			if err := dec.Decode(&rec); err != nil {
+				if last {
+					// Torn tail from a crash mid-append: everything decoded
+					// so far is intact (rotation fsyncs sealed files).
+					return out, nil
+				}
+				return nil, fmt.Errorf("decision log %s: %w", fp, err)
+			}
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// syncParentDir fsyncs path's directory so renames and creates survive
+// power loss; filesystems that cannot sync directory handles are treated
+// as best-effort.
+func syncParentDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !isDirSyncUnsupported(err) {
+		return err
+	}
+	return nil
+}
+
+// isDirSyncUnsupported reports whether a directory fsync failed because
+// the filesystem does not support syncing directory handles.
+func isDirSyncUnsupported(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)
+}

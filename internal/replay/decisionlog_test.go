@@ -1,0 +1,235 @@
+package replay
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// logDecisionN builds a decision whose Minute encodes its position, so
+// reads can assert ordering and retention windows.
+func logDecisionN(n int) LoggedDecision {
+	return LoggedDecision{
+		UnixNs: int64(n), Kind: "recommend", Minute: n,
+		State:   []string{"tv=off", "fridge=closed", "padding-so-lines-have-some-width"},
+		Action:  "tv:power_on",
+		Q:       float64(n) / 7,
+		Verdict: "safe",
+	}
+}
+
+// writeDecisions appends n decisions and syncs the log.
+func writeDecisions(t *testing.T, l *DecisionLog, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := l.Record(logDecisionN(i)); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+}
+
+func TestDecisionLogRotatesAndReadsAcrossFiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.log")
+	l, err := OpenDecisionLog(path, LogOptions{MaxBytes: 512, Keep: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	writeDecisions(t, l, n)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rots, err := rotatedFiles(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rots) == 0 {
+		t.Fatal("no rotation happened; MaxBytes cap not enforced")
+	}
+	for _, r := range rots {
+		st, err := os.Stat(r.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() > 512 {
+			t.Errorf("sealed %s is %d bytes, over the 512-byte cap", r.path, st.Size())
+		}
+	}
+
+	recs, err := ReadDecisions(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("read %d decisions, wrote %d", len(recs), n)
+	}
+	for i, rec := range recs {
+		if rec.Minute != i {
+			t.Fatalf("decision %d has minute %d; rotation broke ordering", i, rec.Minute)
+		}
+	}
+}
+
+func TestDecisionLogRetentionKeepsNewest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.log")
+	l, err := OpenDecisionLog(path, LogOptions{MaxBytes: 512, Keep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	writeDecisions(t, l, n)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rots, err := rotatedFiles(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rots) > 2 {
+		t.Fatalf("%d rotated files survive, Keep is 2", len(rots))
+	}
+	// The surviving stream is a contiguous suffix of what was written.
+	recs, err := ReadDecisions(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || len(recs) >= n {
+		t.Fatalf("read %d decisions, want a strict suffix of %d (oldest pruned)", len(recs), n)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Minute != recs[i-1].Minute+1 {
+			t.Fatalf("gap inside the surviving window: %d then %d", recs[i-1].Minute, recs[i].Minute)
+		}
+	}
+	if recs[len(recs)-1].Minute != n-1 {
+		t.Errorf("newest surviving decision is %d, want %d", recs[len(recs)-1].Minute, n-1)
+	}
+}
+
+func TestDecisionLogUnboundedNeverRotates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.log")
+	l, err := OpenDecisionLog(path, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	writeDecisions(t, l, n)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rots, _ := rotatedFiles(path); len(rots) != 0 {
+		t.Fatalf("%d rotated files with rotation disabled", len(rots))
+	}
+	recs, err := ReadDecisions(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != n {
+		t.Fatalf("read %d decisions, wrote %d", len(recs), n)
+	}
+}
+
+func TestDecisionLogReopenContinuesRotationSequence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.log")
+	l, err := OpenDecisionLog(path, LogOptions{MaxBytes: 512, Keep: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeDecisions(t, l, 20)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := rotatedFiles(path)
+
+	l2, err := OpenDecisionLog(path, LogOptions{MaxBytes: 512, Keep: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 20; i < 40; i++ {
+		if err := l2.Record(logDecisionN(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := rotatedFiles(path)
+	if len(after) <= len(before) {
+		t.Fatalf("reopened log never rotated (%d files before, %d after)", len(before), len(after))
+	}
+	for i := 1; i < len(after); i++ {
+		if after[i].n != after[i-1].n+1 {
+			t.Fatalf("rotation numbering has a gap: %d then %d (a reopen reused or skipped a suffix)",
+				after[i-1].n, after[i].n)
+		}
+	}
+	recs, err := ReadDecisions(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 40 {
+		t.Fatalf("read %d decisions across the reopen, wrote 40", len(recs))
+	}
+}
+
+func TestReadDecisionsToleratesTornActiveTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.log")
+	l, err := OpenDecisionLog(path, LogOptions{MaxBytes: 512, Keep: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	writeDecisions(t, l, n)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-append: the active file ends in half a JSON line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"unixNs":123,"kind":"recomm`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, err := ReadDecisions(path)
+	if err != nil {
+		t.Fatalf("torn active tail must be tolerated: %v", err)
+	}
+	if len(recs) != n {
+		t.Fatalf("read %d decisions, want the %d intact ones", len(recs), n)
+	}
+}
+
+func TestReadDecisionsRejectsSealedDamage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.log")
+	// A damaged *sealed* file cannot be a torn tail — rotation fsyncs
+	// before renaming — so the reader must refuse rather than silently
+	// skip a chunk of history.
+	if err := os.WriteFile(fmt.Sprintf("%s.%06d", path, 1), []byte(`{"kind":"recommend"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDecisions(path); err == nil {
+		t.Fatal("sealed damage read back without error")
+	}
+}
+
+func TestReadDecisionsMissingActiveFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decisions.log")
+	recs, err := ReadDecisions(path)
+	if err != nil {
+		t.Fatalf("missing log: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("read %d decisions from nothing", len(recs))
+	}
+}

@@ -1,0 +1,61 @@
+package replay
+
+import (
+	"encoding/json"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+)
+
+// The daemon journals three record kinds to its write-ahead log, each as
+// one JSON object per WAL frame:
+//
+//	evt — every applied device event: the audit trail. Replay re-derives
+//	      the transition and the P_safe verdict, so a restarted daemon
+//	      (or the offline replay engine) reaches the exact pre-crash
+//	      environment state and violation count.
+//	txn — every event the learning path accepted (i.e. not shed by
+//	      admission control). Carries the pre-event state, so replay can
+//	      recompute the reward and re-observe the transition into the
+//	      replay buffer, then re-run the same every-Nth learn steps with
+//	      the same per-step seeds. A crashed-and-replayed daemon ends in
+//	      the same training state as one that never crashed.
+//	rec — every recommendation served. Pure re-execution marker: the
+//	      daemon's recovery only bumps its counter (a recommendation has
+//	      no state effect), while the offline engine re-runs the policy
+//	      at the replayed state to regenerate — or counterfactually
+//	      rewrite — the recorded decision.
+//
+// Records carry a sequence number per kind. A checkpoint save persists
+// all three counters and then resets the log; if the daemon crashes
+// between the save and the reset, replay skips every record whose
+// sequence the checkpoint already covers, so the overlap window
+// double-applies nothing.
+const (
+	KindEvent      = "evt"
+	KindTransition = "txn"
+	KindRecommend  = "rec"
+)
+
+// Record is one journaled WAL record.
+type Record struct {
+	K string          `json:"k"`           // KindEvent | KindTransition | KindRecommend
+	N int             `json:"n"`           // sequence number within the kind
+	M int             `json:"m"`           // minute-of-day at ingest
+	D int             `json:"d"`           // device index (evt, txn)
+	A device.ActionID `json:"a"`           // action applied to device D (evt, txn)
+	U bool            `json:"u,omitempty"` // evt: flagged unsafe by P_safe
+	S env.State       `json:"s,omitempty"` // txn: state before the event
+}
+
+// Encode serializes the record for a WAL frame.
+func (r Record) Encode() ([]byte, error) { return json.Marshal(r) }
+
+// DecodeRecord parses one WAL frame payload. The framing CRC has already
+// passed, so a decode failure means a foreign or future-format record the
+// caller should skip, not kill recovery over.
+func DecodeRecord(b []byte) (Record, error) {
+	var r Record
+	err := json.Unmarshal(b, &r)
+	return r, err
+}

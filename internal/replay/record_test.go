@@ -1,0 +1,37 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+
+	"jarvis/internal/env"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{K: KindEvent, N: 7, M: 600, D: 3, A: 1, U: true},
+		{K: KindTransition, N: 12, M: 1439, D: 0, A: 2, S: env.State{0, 1, 0, 2}},
+		{K: KindRecommend, N: 1, M: 0},
+	}
+	for _, want := range recs {
+		b, err := want.Encode()
+		if err != nil {
+			t.Fatalf("encode %+v: %v", want, err)
+		}
+		got, err := DecodeRecord(b)
+		if err != nil {
+			t.Fatalf("decode %s: %v", b, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestDecodeRecordRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{[]byte("not json"), []byte(`[1,2,3]`), {0xff, 0x00}} {
+		if _, err := DecodeRecord(b); err == nil {
+			t.Errorf("DecodeRecord(%q) decoded garbage", b)
+		}
+	}
+}

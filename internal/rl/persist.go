@@ -82,9 +82,16 @@ type replayJSON struct {
 }
 
 // Save persists the replay buffer — contents, ring position, and sampling
-// permutation — as JSON.
+// permutation — as JSON. The permutation is only meaningful while it spans
+// the whole buffer: once Add has grown the buffer past it, SampleInto will
+// rebuild it from scratch on the next draw, so a stale permutation is
+// omitted rather than saved (Load would reject the length mismatch).
 func (r *Replay) Save(w io.Writer) error {
-	out := replayJSON{Cap: cap(r.buf), Next: r.next, Full: r.full, Buf: r.buf, Idx: r.idx}
+	idx := r.idx
+	if len(idx) != len(r.buf) {
+		idx = nil
+	}
+	out := replayJSON{Cap: cap(r.buf), Next: r.next, Full: r.full, Buf: r.buf, Idx: idx}
 	if err := json.NewEncoder(w).Encode(out); err != nil {
 		return fmt.Errorf("rl: save replay: %w", err)
 	}

@@ -240,6 +240,42 @@ func TestReplaySaveLoadPreservesSampling(t *testing.T) {
 	}
 }
 
+// A buffer saved between a sample and the next draw carries a stale
+// permutation (Add grew the buffer past it). Save must omit it — Load
+// rejects the length mismatch — and the restored buffer must still draw
+// the same mini-batches as the original, which rebuilds the permutation
+// on the next sample anyway.
+func TestReplaySaveWithStalePermutationRoundTrips(t *testing.T) {
+	orig := NewReplay(16)
+	for i := 0; i < 8; i++ {
+		orig.Add(Experience{T: i, R: float64(i)})
+	}
+	orig.Sample(4, rand.New(rand.NewSource(99)))
+	orig.Add(Experience{T: 8, R: 8}) // permutation now stale: 8 entries, 9 experiences
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatalf("Save with stale permutation: %v", err)
+	}
+	restored := NewReplay(1)
+	if err := restored.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if restored.Len() != orig.Len() {
+		t.Fatalf("restored len = %d, want %d", restored.Len(), orig.Len())
+	}
+	rngA, rngB := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for round := 0; round < 3; round++ {
+		a := orig.Sample(4, rngA)
+		b := restored.Sample(4, rngB)
+		for i := range a {
+			if a[i].T != b[i].T {
+				t.Fatalf("round %d sample %d: %d vs %d", round, i, a[i].T, b[i].T)
+			}
+		}
+	}
+}
+
 func TestReplayLoadRejectsBadSnapshots(t *testing.T) {
 	cases := map[string]string{
 		"overflow":        `{"cap":2,"next":0,"full":false,"buf":[{},{},{}]}`,

@@ -1,0 +1,26 @@
+package rl
+
+import "math/rand"
+
+// StepSeed mixes a base seed and a step counter into an independent RNG
+// seed (splitmix64 finalizer). Deriving per-step seeds this way keeps
+// online learning deterministic in the transition count alone — never in
+// wall-clock or in how the process reached the step — which is exactly
+// the contract WAL replay and the offline replay engine reconstruct.
+func StepSeed(seed, step uint64) int64 {
+	x := seed + 0x9e3779b97f4a7c15*(step+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// StepRNG is the pure replay stepper's randomness source: the RNG for
+// learn step number step of a run seeded with seed. Both the live daemon
+// and the replay engine draw their per-step RNGs from here, so a replayed
+// learning trajectory is bit-identical to the recorded one.
+func StepRNG(seed int64, step int) *rand.Rand {
+	return rand.New(rand.NewSource(StepSeed(uint64(seed), uint64(step))))
+}

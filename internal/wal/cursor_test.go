@@ -1,0 +1,185 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+func cursorAll(t *testing.T, dir string) []string {
+	t.Helper()
+	c, err := OpenCursor(dir)
+	if err != nil {
+		t.Fatalf("OpenCursor: %v", err)
+	}
+	defer c.Close()
+	var got []string
+	for {
+		rec, err := c.Next()
+		if errors.Is(err, io.EOF) {
+			return got
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		got = append(got, string(rec)) // copy: the buffer is reused
+	}
+}
+
+func TestCursorWalksAllSegmentsInOrder(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentBytes: 64})
+	var want []string
+	for i := 0; i < 20; i++ {
+		want = append(want, fmt.Sprintf("record-%02d-padding-padding", i))
+	}
+	appendAll(t, l, want...)
+	if l.Segments() < 2 {
+		t.Fatal("need rotation for a multi-segment cursor test")
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := cursorAll(t, dir) // log still open for writing: cursor is read-only
+	if len(got) != len(want) {
+		t.Fatalf("cursor saw %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCursorToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	appendAll(t, l, "good-1", "good-2")
+	l.Close()
+	appendRaw(t, segFile(dir, 1), []byte{0x03, 0x00}) // torn header
+
+	got := cursorAll(t, dir)
+	if len(got) != 2 || got[0] != "good-1" || got[1] != "good-2" {
+		t.Errorf("cursor over torn tail = %v, want the 2 good records", got)
+	}
+}
+
+func TestCursorReportsSealedDamage(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentBytes: 32})
+	for i := 0; i < 10; i++ {
+		appendAll(t, l, fmt.Sprintf("record-%02d-xxxxxxxxxxxx", i))
+	}
+	if l.Segments() < 2 {
+		t.Fatal("need at least one sealed segment")
+	}
+	l.Close()
+	appendRaw(t, segFile(dir, 1), []byte{0xDE, 0xAD})
+
+	c, err := OpenCursor(dir)
+	if err != nil {
+		t.Fatalf("OpenCursor: %v", err)
+	}
+	defer c.Close()
+	for {
+		_, err := c.Next()
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cursor over sealed damage = %v, want ErrCorrupt", err)
+		}
+		break
+	}
+	if _, err := c.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("Next after ErrCorrupt = %v, want io.EOF (poisoned)", err)
+	}
+}
+
+func TestCursorSkipAndPos(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	appendAll(t, l, "a", "b", "c", "d")
+	l.Close()
+
+	c, err := OpenCursor(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Skip(2); err != nil {
+		t.Fatalf("Skip: %v", err)
+	}
+	if _, _, idx := c.Pos(); idx != 2 {
+		t.Errorf("index after Skip(2) = %d, want 2", idx)
+	}
+	rec, err := c.Next()
+	if err != nil || string(rec) != "c" {
+		t.Errorf("Next after Skip(2) = %q, %v; want \"c\"", rec, err)
+	}
+	seg, off, idx := c.Pos()
+	if seg != 1 || idx != 3 || off <= 0 {
+		t.Errorf("Pos = (%d, %d, %d), want segment 1, positive offset, index 3", seg, off, idx)
+	}
+	// Skipping past the end stops cleanly.
+	if err := c.Skip(100); err != nil {
+		t.Errorf("Skip past end = %v, want nil", err)
+	}
+	if _, err := c.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("Next at end = %v, want io.EOF", err)
+	}
+}
+
+func TestCursorEmptyAndMissingDir(t *testing.T) {
+	c, err := OpenCursor(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("Next on empty dir = %v, want io.EOF", err)
+	}
+	c.Close()
+
+	c2, err := OpenCursor("/nonexistent/jarvis-wal")
+	if err != nil {
+		t.Fatalf("OpenCursor on missing dir: %v", err)
+	}
+	if _, err := c2.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("Next on missing dir = %v, want io.EOF", err)
+	}
+	c2.Close()
+}
+
+func TestSizeBytesTracksBarrier(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentBytes: 64})
+	if got := l.SizeBytes(); got != 0 {
+		t.Errorf("SizeBytes on empty log = %d, want 0", got)
+	}
+	for i := 0; i < 20; i++ {
+		appendAll(t, l, fmt.Sprintf("record-%02d-padding-padding", i))
+	}
+	want := int64(20 * (headerSize + len("record-00-padding-padding")))
+	if got := l.SizeBytes(); got != want {
+		t.Errorf("SizeBytes = %d, want %d across segments", got, want)
+	}
+	l.Close()
+
+	// Reopen: accounting must survive recovery.
+	l2 := mustOpen(t, dir, Options{SegmentBytes: 64})
+	if got := l2.SizeBytes(); got != want {
+		t.Errorf("SizeBytes after reopen = %d, want %d", got, want)
+	}
+	// Reset is the checkpoint barrier: the counter rewinds to zero.
+	if err := l2.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.SizeBytes(); got != 0 {
+		t.Errorf("SizeBytes after Reset = %d, want 0", got)
+	}
+	appendAll(t, l2, "fresh")
+	if got := l2.SizeBytes(); got != int64(headerSize+len("fresh")) {
+		t.Errorf("SizeBytes after post-Reset append = %d", got)
+	}
+}

@@ -11,6 +11,59 @@ import (
 	"syscall"
 )
 
+// errTornFrame reports tail-shaped damage while decoding a frame: a short
+// header, short payload, impossible length prefix, or checksum mismatch.
+// In the last segment this is a torn write and recovery truncates it; in a
+// sealed segment the caller escalates it to ErrCorrupt.
+var errTornFrame = errors.New("wal: torn frame")
+
+// frameReader decodes consecutive length-prefixed CRC32C frames from a
+// byte stream. The payload buffer is reused between next calls.
+type frameReader struct {
+	br      *bufio.Reader
+	payload []byte
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{br: bufio.NewReader(r)}
+}
+
+// next returns the next complete, checksum-valid payload and the number of
+// bytes its frame occupies. It returns io.EOF at a clean end of input,
+// errTornFrame for tail-shaped damage, and other errors only for I/O
+// failures underneath the stream.
+func (r *frameReader) next() ([]byte, int, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, 0, io.EOF // clean end
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, 0, errTornFrame // torn header
+		}
+		return nil, 0, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > MaxRecordBytes {
+		return nil, 0, errTornFrame // impossible length: tail damage
+	}
+	if cap(r.payload) < int(length) {
+		r.payload = make([]byte, length)
+	}
+	r.payload = r.payload[:length]
+	if _, err := io.ReadFull(r.br, r.payload); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, 0, errTornFrame // torn payload
+		}
+		return nil, 0, err
+	}
+	if crc32.Checksum(r.payload, castagnoli) != sum {
+		return nil, 0, errTornFrame // checksum mismatch: tail damage
+	}
+	return r.payload, headerSize + int(length), nil
+}
+
 // scanSegment walks one segment's records, invoking fn (when non-nil) on
 // each complete, checksum-valid payload. It returns the record count, the
 // offset just past the last good record, and the file size; good < total
@@ -28,33 +81,14 @@ func scanSegment(path string, fn func([]byte) error) (n int, good, total int64, 
 		return 0, 0, 0, fmt.Errorf("wal: %w", err)
 	}
 	total = st.Size()
-	br := bufio.NewReader(f)
-	var hdr [headerSize]byte
-	var payload []byte
+	fr := newFrameReader(f)
 	for {
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return n, good, total, nil // clean end or torn header
+		payload, size, err := fr.next()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, errTornFrame) {
+				return n, good, total, nil // clean end or tail damage
 			}
 			return n, good, total, fmt.Errorf("wal: read %s: %w", path, err)
-		}
-		length := binary.LittleEndian.Uint32(hdr[0:4])
-		sum := binary.LittleEndian.Uint32(hdr[4:8])
-		if length > MaxRecordBytes {
-			return n, good, total, nil // impossible length: tail damage
-		}
-		if cap(payload) < int(length) {
-			payload = make([]byte, length)
-		}
-		payload = payload[:length]
-		if _, err := io.ReadFull(br, payload); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return n, good, total, nil // torn payload
-			}
-			return n, good, total, fmt.Errorf("wal: read %s: %w", path, err)
-		}
-		if crc32.Checksum(payload, castagnoli) != sum {
-			return n, good, total, nil // checksum mismatch: tail damage
 		}
 		if fn != nil {
 			if err := fn(payload); err != nil {
@@ -62,7 +96,7 @@ func scanSegment(path string, fn func([]byte) error) (n int, good, total int64, 
 			}
 		}
 		n++
-		good += int64(headerSize) + int64(length)
+		good += int64(size)
 	}
 }
 

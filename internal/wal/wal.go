@@ -135,15 +135,16 @@ type Log struct {
 	dir  string
 	opts Options
 
-	mu       sync.Mutex
-	f        *os.File // active segment
-	seq      uint64   // active segment number
-	size     int64    // bytes in the active segment
-	sealed   []uint64 // sealed segment numbers, ascending
-	lastSync time.Time
-	appended bool // records appended since Open (Replay is pre-append only)
-	closed   bool
-	rec      RecoveryStats
+	mu          sync.Mutex
+	f           *os.File // active segment
+	seq         uint64   // active segment number
+	size        int64    // bytes in the active segment
+	sealed      []uint64 // sealed segment numbers, ascending
+	sealedBytes int64    // bytes across the sealed segments still on disk
+	lastSync    time.Time
+	appended    bool // records appended since Open (Replay is pre-append only)
+	closed      bool
+	rec         RecoveryStats
 
 	// scratch assembles header+payload into one contiguous write so a
 	// record hits the file in a single syscall; grown on demand, reused.
@@ -170,6 +171,9 @@ func Open(dir string, opts Options) (*Log, error) {
 			return nil, err
 		}
 		l.rec.Records += n
+		if !last {
+			l.sealedBytes += total
+		}
 		if good < total {
 			if !last {
 				return nil, fmt.Errorf("%w: segment %08d has %d damaged trailing bytes", ErrCorrupt, seq, total-good)
@@ -224,6 +228,15 @@ func (l *Log) Segments() int {
 
 // Dir returns the log's directory.
 func (l *Log) Dir() string { return l.dir }
+
+// SizeBytes returns the bytes currently on disk across all segments. With
+// Retain 0 (keep everything) this is exactly the bytes journalled since
+// the last checkpoint barrier (Reset).
+func (l *Log) SizeBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sealedBytes + l.size
+}
 
 // Replay streams every complete record, oldest first, to fn. It must run
 // before the first Append of this process (recovery-time replay); fn
@@ -323,6 +336,7 @@ func (l *Log) rotateLocked() error {
 		return fmt.Errorf("wal: seal segment: %w", err)
 	}
 	l.sealed = append(l.sealed, l.seq)
+	l.sealedBytes += l.size
 	if err := l.openSegment(l.seq + 1); err != nil {
 		return err
 	}
@@ -331,6 +345,9 @@ func (l *Log) rotateLocked() error {
 	if l.opts.Retain > 0 {
 		for len(l.sealed) > l.opts.Retain {
 			seq := l.sealed[0]
+			if st, err := os.Stat(l.segPath(seq)); err == nil {
+				l.sealedBytes -= st.Size()
+			}
 			if err := os.Remove(l.segPath(seq)); err != nil {
 				return fmt.Errorf("wal: retention: %w", err)
 			}
@@ -364,6 +381,7 @@ func (l *Log) Reset() error {
 	}
 	next := l.seq + 1
 	l.sealed = l.sealed[:0]
+	l.sealedBytes = 0
 	if err := l.openSegment(next); err != nil {
 		return err
 	}
@@ -388,7 +406,12 @@ func (l *Log) Close() error {
 }
 
 func (l *Log) segPath(seq uint64) string {
-	return filepath.Join(l.dir, fmt.Sprintf("%08d%s", seq, segSuffix))
+	return segmentPath(l.dir, seq)
+}
+
+// segmentPath names segment seq inside dir.
+func segmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%08d%s", seq, segSuffix))
 }
 
 // openSegment creates segment seq and makes it active, fsyncing the

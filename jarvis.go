@@ -25,6 +25,9 @@
 package jarvis
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -247,6 +250,18 @@ func (s *System) SaveQ(w io.Writer) error {
 		return fmt.Errorf("jarvis: Q backend %T is not persistable", s.agent.Q())
 	}
 	return p.Save(w)
+}
+
+// QFingerprint digests the serialized Q function (SHA-256, hex). Two
+// systems with equal fingerprints are in identical training states — the
+// equality the crash-recovery harness and the replay verifier assert.
+func (s *System) QFingerprint() (string, error) {
+	var b bytes.Buffer
+	if err := s.SaveQ(&b); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b.Bytes())
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // TrainingViolations returns the number of unsafe transitions the trained
