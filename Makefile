@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-daemon race-core fmt check bench stats crash trace replay fuzz
+.PHONY: build test vet race race-daemon race-core fmt check bench serve-bench stats crash trace replay fuzz
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,7 @@ race-daemon:
 # parallel experiment harness, and the metrics registry and span tracer
 # they report into, plus the WAL and the replay engine built on it.
 race-core:
-	$(GO) test -race ./internal/nn/ ./internal/rl/ ./internal/experiment/ ./internal/telemetry/ ./internal/trace/ ./internal/wal/ ./internal/replay/
+	$(GO) test -race ./internal/nn/ ./internal/rl/ ./internal/experiment/ ./internal/telemetry/ ./internal/trace/ ./internal/wal/ ./internal/replay/ ./internal/compiled/ ./internal/wire/
 
 # The crash-recovery drill: SIGKILL a real daemon mid-online-training,
 # boot a successor on its checkpoint + WAL, and require the recovered
@@ -54,12 +54,28 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadSegment -fuzztime $(FUZZTIME) ./internal/wal/
 	$(GO) test -run xxx -fuzz FuzzLoad -fuzztime $(FUZZTIME) ./internal/nn/
 	$(GO) test -run xxx -fuzz FuzzLoadTable -fuzztime $(FUZZTIME) ./internal/policy/
+	$(GO) test -run xxx -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/wire/
 
 # Measure the batched compute core and write BENCH_core.json, plus the
 # allocation-asserting micro-benchmarks of the root package.
 bench:
 	$(GO) run ./cmd/jarvis bench
 	$(GO) test -run xxx -bench 'ForwardBatch|TrainBatchParallel|ReplaySampleInto|NNTrainBatch|NNForward$$|Table3ActionQuality' -benchmem .
+
+# Serving-path benchmark: spawn the legacy shape (JSON + DQN, compiled
+# tables off) and the fast shape (binary wire + tabular + compiled tables),
+# drive both with pipelined recommend load, and write BENCH_serve.json.
+# SERVE_N requests per scenario; SERVE_MIN_SPEEDUP > 0 turns the report
+# into a gate (CI uses 1.0 on tiny N; the real run clears 10x).
+SERVE_N ?= 20000
+SERVE_MIN_SPEEDUP ?= 0
+
+serve-bench:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/jarvisd ./cmd/jarvisd; \
+	$(GO) run ./cmd/jarvisload -jarvisd $$tmp/jarvisd -n $(SERVE_N) -min-speedup $(SERVE_MIN_SPEEDUP)
 
 # Observability smoke probe: boot a small daemon, then scrape /metrics
 # through `jarvisctl stats`, which exits non-zero on any non-200 answer.

@@ -9,6 +9,10 @@
 //	jarvisctl -n 5 -slowest trace
 //	jarvisctl replay
 //
+// Protocol commands negotiate the length-prefixed binary codec by default
+// and silently fall back to JSON lines against daemons that predate it;
+// -wire binary|json pins the codec instead.
+//
 // stats, trace, and replay talk to the daemon's debug HTTP listener
 // (-debug-addr) instead of the TCP protocol: stats renders the /metrics
 // telemetry snapshot (-format text|json|prom picks the representation),
@@ -22,6 +26,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +40,7 @@ import (
 	"jarvis/internal/replay"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/trace"
+	"jarvis/internal/wire"
 )
 
 func main() {
@@ -72,6 +78,7 @@ func run(args []string, out io.Writer) error {
 	debugAddr := fs.String("debug-addr", "127.0.0.1:7464", "jarvisd debug (metrics) address")
 	timeout := fs.Duration("timeout", 5*time.Second, "dial/roundtrip timeout")
 	retries := fs.Int("retries", 3, "retries after a connection failure or busy rejection (0 = single attempt)")
+	wireMode := fs.String("wire", "auto", "protocol codec: auto (negotiate binary, fall back to JSON) | binary | json")
 	format := fs.String("format", "text", "stats representation: text | json | prom")
 	traceN := fs.Int("n", 0, "trace: how many traces to fetch (0 = all retained)")
 	slowest := fs.Bool("slowest", false, "trace: rank by duration instead of recency")
@@ -99,7 +106,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	resp, err := roundTripRetry(*addr, *timeout, *retries, req, time.Sleep)
+	resp, err := dispatchRequest(*wireMode, *addr, *timeout, *retries, req, time.Sleep)
 	if err != nil {
 		return err
 	}
@@ -114,9 +121,20 @@ func run(args []string, out io.Writer) error {
 // it just said no. The client exits non-zero only once every attempt is
 // exhausted.
 func roundTripRetry(addr string, timeout time.Duration, retries int, req request, sleep func(time.Duration)) (response, error) {
+	return retryLoop(roundTrip, addr, timeout, retries, req, sleep)
+}
+
+// retryLoop is roundTripRetry over any single-exchange transport; the
+// binary codec plugs in here with the same busy/backoff semantics. A
+// wire.ErrNotBinary answer is permanent (the daemon spoke, in JSON) and
+// short-circuits the retries so auto-negotiation can fall back at once.
+func retryLoop(rt func(string, time.Duration, request) (response, error), addr string, timeout time.Duration, retries int, req request, sleep func(time.Duration)) (response, error) {
 	backoff := 50 * time.Millisecond
 	for attempt := 0; ; attempt++ {
-		resp, err := roundTrip(addr, timeout, req)
+		resp, err := rt(addr, timeout, req)
+		if err != nil && errors.Is(err, wire.ErrNotBinary) {
+			return response{}, err
+		}
 		var lastErr error
 		switch {
 		case err == nil && !resp.Busy:

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"jarvis/internal/device"
+	"jarvis/internal/env"
+	"jarvis/internal/smarthome"
+	"jarvis/internal/wire"
+)
+
+// The binary protocol speaks device and action indices, not names. Both
+// ends compile in the same 11-device home (jarvisd builds it the same
+// way), so the client can resolve names locally and render responses
+// without the daemon shipping strings.
+var wireHome = sync.OnceValue(func() *env.Environment {
+	return smarthome.NewFullHome().Env
+})
+
+// dispatchRequest routes one protocol request according to -wire:
+// json is the legacy path, binary fails hard if the daemon can't ack the
+// handshake, and auto tries binary first and silently falls back to JSON
+// against older daemons. The downgrade signal (wire.ErrNotBinary) is a
+// protocol answer, so auto does not burn retries before falling back.
+func dispatchRequest(mode, addr string, timeout time.Duration, retries int, req request, sleep func(time.Duration)) (response, error) {
+	switch mode {
+	case "json":
+		return roundTripRetry(addr, timeout, retries, req, sleep)
+	case "binary", "auto":
+	default:
+		return response{}, fmt.Errorf("unknown -wire %q (want auto, binary, or json)", mode)
+	}
+	wreq, err := wireRequest(req)
+	if err != nil {
+		if mode == "auto" {
+			// Not expressible in the compiled-in topology; let the daemon
+			// be the judge over JSON.
+			return roundTripRetry(addr, timeout, retries, req, sleep)
+		}
+		return response{}, err
+	}
+	resp, rerr := retryLoop(func(a string, t time.Duration, _ request) (response, error) {
+		return roundTripWire(a, t, wreq)
+	}, addr, timeout, retries, req, sleep)
+	if rerr != nil && mode == "auto" && errors.Is(rerr, wire.ErrNotBinary) {
+		return roundTripRetry(addr, timeout, retries, req, sleep)
+	}
+	return resp, rerr
+}
+
+// wireRequest translates a name-based protocol request into the
+// index-based binary encoding.
+func wireRequest(req request) (wire.Request, error) {
+	switch req.Op {
+	case "state":
+		return wire.Request{Op: wire.OpState}, nil
+	case "recommend":
+		return wire.Request{Op: wire.OpRecommend}, nil
+	case "violations":
+		return wire.Request{Op: wire.OpViolations}, nil
+	case "event":
+		e := wireHome()
+		di, ok := e.DeviceIndex(req.Device)
+		if !ok {
+			return wire.Request{}, fmt.Errorf("unknown device %q", req.Device)
+		}
+		act, ok := e.Device(di).ActionID(req.Action)
+		if !ok {
+			return wire.Request{}, fmt.Errorf("device %q has no action %q", req.Device, req.Action)
+		}
+		return wire.Request{Op: wire.OpEvent, Device: uint16(di), Action: int16(act)}, nil
+	}
+	return wire.Request{}, fmt.Errorf("op %q has no binary encoding", req.Op)
+}
+
+// roundTripWire performs one binary exchange and converts the answer back
+// into the JSON-shaped response the render layer already understands.
+func roundTripWire(addr string, timeout time.Duration, wreq wire.Request) (response, error) {
+	c, err := wire.Dial(addr, timeout)
+	if err != nil {
+		return response{}, err
+	}
+	defer c.Close()
+	wr, err := c.Do(wreq)
+	if err != nil {
+		return response{}, err
+	}
+	return wireResponse(wr), nil
+}
+
+// wireResponse renders an index-based binary response with the local
+// topology: state IDs become "device=state" strings and the action vector
+// is formatted exactly as the daemon would have.
+func wireResponse(wr *wire.Response) response {
+	resp := response{
+		OK:           wr.OK(),
+		Unsafe:       wr.Unsafe(),
+		Busy:         wr.Busy(),
+		Error:        string(wr.Err),
+		Violations:   int(wr.Violations),
+		Minute:       int(wr.Minute),
+		Degraded:     int(wr.Degraded),
+		RetryAfterMs: int(wr.RetryAfterMs),
+		Q:            wr.Q,
+	}
+	e := wireHome()
+	if len(wr.State) > 0 {
+		resp.State = make([]string, len(wr.State))
+		for i, s := range wr.State {
+			d := e.Device(i)
+			resp.State[i] = d.Name() + "=" + d.StateName(device.StateID(s))
+		}
+	}
+	if wr.Flags&wire.FlagHasAction != 0 {
+		acts := make([]device.ActionID, len(wr.Action))
+		for i, a := range wr.Action {
+			acts[i] = device.ActionID(a)
+		}
+		resp.Action = e.FormatAction(acts)
+	}
+	return resp
+}

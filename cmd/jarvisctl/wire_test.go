@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"jarvis/internal/wire"
+)
+
+// fakeBinaryDaemon acks the binary handshake and answers framed requests
+// with canned responses, mirroring fakeDaemon for the new codec.
+func fakeBinaryDaemon(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	e := wireHome()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				hello := make([]byte, 2)
+				if _, err := io.ReadFull(conn, hello); err != nil ||
+					hello[0] != wire.Magic || hello[1] != wire.Version {
+					return
+				}
+				if _, err := conn.Write(wire.AppendAck(nil)); err != nil {
+					return
+				}
+				r := wire.NewReader(conn)
+				var out []byte
+				for {
+					payload, err := r.ReadFrame()
+					if err != nil {
+						return
+					}
+					req, err := wire.ParseRequest(payload)
+					if err != nil {
+						return
+					}
+					resp := wire.Response{Flags: wire.FlagOK, Minute: 600}
+					switch req.Op {
+					case wire.OpState:
+						resp.State = make([]uint8, e.K())
+						resp.Violations = 2
+					case wire.OpEvent:
+						resp.State = make([]uint8, e.K())
+					case wire.OpRecommend:
+						resp.Action = make([]int16, e.K())
+						resp.Q = 4.25
+					case wire.OpViolations:
+						resp.Violations = 3
+					}
+					out = wire.AppendResponse(out[:0], &resp)
+					if _, err := conn.Write(out); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestWireBinaryCommands drives the client against a binary-only daemon
+// with -wire binary: no JSON round can have happened.
+func TestWireBinaryCommands(t *testing.T) {
+	addr := fakeBinaryDaemon(t)
+	e := wireHome()
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"state"}, e.Device(0).Name() + "="},
+		{[]string{"recommend"}, "q=4.2500"},
+		{[]string{"violations"}, "3 violation"},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		args := append([]string{"-addr", addr, "-wire", "binary"}, c.args...)
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("run(%v): %v", c.args, err)
+		}
+		if !strings.Contains(buf.String(), c.want) {
+			t.Errorf("run(%v) = %q, want it to contain %q", c.args, buf.String(), c.want)
+		}
+	}
+}
+
+// TestWireBinaryRefusesJSONDaemon pins the hard-fail contract: -wire
+// binary against a JSON-only daemon errors immediately (no retry burn)
+// instead of downgrading.
+func TestWireBinaryRefusesJSONDaemon(t *testing.T) {
+	addr := fakeDaemon(t)
+	var buf bytes.Buffer
+	start := time.Now()
+	err := run([]string{"-addr", addr, "-wire", "binary", "state"}, &buf)
+	if err == nil || !errors.Is(err, wire.ErrNotBinary) {
+		t.Fatalf("want ErrNotBinary, got %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("downgrade answer took %s; it should not consume retries", d)
+	}
+}
+
+// TestWireAutoPrefersBinary checks auto mode sticks with the binary codec
+// when the daemon speaks it.
+func TestWireAutoPrefersBinary(t *testing.T) {
+	addr := fakeBinaryDaemon(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", addr, "recommend"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "q=4.2500") {
+		t.Errorf("auto mode answer = %q, want the binary daemon's q", buf.String())
+	}
+}
+
+// TestWireEventResolution pins client-side name resolution errors for the
+// binary codec.
+func TestWireEventResolution(t *testing.T) {
+	if _, err := wireRequest(request{Op: "event", Device: "ghost", Action: "x"}); err == nil {
+		t.Error("unknown device should fail to encode")
+	}
+	if _, err := wireRequest(request{Op: "event", Device: "tv", Action: "explode"}); err == nil {
+		t.Error("unknown action should fail to encode")
+	}
+	wreq, err := wireRequest(request{Op: "event", Device: "tv", Action: "power_on"})
+	if err != nil || wreq.Op != wire.OpEvent {
+		t.Fatalf("tv power_on: %+v, %v", wreq, err)
+	}
+}
+
+// TestWireUnknownMode rejects bad -wire values.
+func TestWireUnknownMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-wire", "carrier-pigeon", "state"}, &buf); err == nil {
+		t.Error("unknown -wire value should error")
+	}
+}

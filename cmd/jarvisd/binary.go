@@ -1,0 +1,267 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"time"
+
+	"jarvis"
+	"jarvis/internal/device"
+	"jarvis/internal/replay"
+	"jarvis/internal/trace"
+	"jarvis/internal/wire"
+)
+
+// maxBatch caps how many already-buffered requests one lock acquisition
+// serves. Batching amortizes the state-lock handoff and the response
+// write; consecutive recommend requests inside a batch additionally share
+// one policy evaluation (the state cannot change between them).
+const maxBatch = 64
+
+// serveBinary runs the binary-protocol loop for one connection: verify the
+// two-byte hello, ack, then read frames — blocking for the first request
+// and coalescing whatever else is already buffered into one batch served
+// under a single lock acquisition and answered with a single write.
+func (s *server) serveBinary(conn net.Conn, br *bufio.Reader) {
+	var hello [2]byte
+	if _, err := io.ReadFull(br, hello[:]); err != nil {
+		return
+	}
+	if hello[0] != wire.Magic || hello[1] != wire.Version {
+		// Unknown protocol revision: close rather than guess; the client
+		// falls back to JSON.
+		return
+	}
+	if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+		return
+	}
+	if _, err := conn.Write(wire.AppendAck(nil)); err != nil {
+		return
+	}
+	r := wire.NewReader(br)
+	reqs := make([]wire.Request, 0, maxBatch)
+	out := make([]byte, 0, 4<<10)
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+			return
+		}
+		frame, err := r.ReadFrame()
+		if err != nil {
+			return
+		}
+		req, err := wire.ParseRequest(frame)
+		if err != nil {
+			return
+		}
+		reqs = append(reqs[:0], req)
+		for len(reqs) < maxBatch {
+			frame, ok, err := r.TryReadFrame()
+			if err != nil {
+				return
+			}
+			if !ok {
+				break
+			}
+			req, err := wire.ParseRequest(frame)
+			if err != nil {
+				return
+			}
+			reqs = append(reqs, req)
+		}
+		out = s.handleBatch(reqs, out[:0])
+		if err := conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err != nil {
+			return
+		}
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+	}
+}
+
+// handleBatch serves one coalesced batch: admission control sees the whole
+// batch at once, the state lock is taken once, and responses are appended
+// into a single output buffer. Per-request telemetry, tracing, journaling,
+// and decision logging are identical to the JSON path.
+func (s *server) handleBatch(reqs []wire.Request, out []byte) []byte {
+	depth := s.inflight.Add(int64(len(reqs)))
+	defer s.inflight.Add(-int64(len(reqs)))
+	mQueueDepth.SetInt(depth)
+	if len(reqs) > 1 {
+		mWireCoalesced.Add(int64(len(reqs) - 1))
+	}
+	var t0 time.Time
+	if mRequestLatency.Enabled() {
+		t0 = time.Now()
+	}
+	s.mu.Lock()
+	// One minute-of-day per batch: requests coalesced into the same lock
+	// acquisition are served at the same instant, which is what makes
+	// consecutive recommend evaluations shareable.
+	minute := s.minuteOfDay(time.Now())
+	var rec jarvis.Decision
+	haveRec := false
+	for _, req := range reqs {
+		if c, ok := mBinRequests[req.Op]; ok {
+			c.Inc()
+		} else {
+			mRequestsUnknown.Inc()
+		}
+		sp := s.tracer.Start(binOpSpanName(req.Op))
+		if sp != nil {
+			sp.AnnotateInt("depth", depth)
+			sp.AnnotateInt("batch", int64(len(reqs)))
+		}
+		if req.Op == wire.OpEvent || req.Op == wire.OpCheckpoint {
+			// The environment (or the policy) is about to change; any
+			// memoized recommendation is stale.
+			haveRec = false
+		}
+		out = s.binDispatchLocked(req, depth, minute, sp, &rec, &haveRec, out)
+		if sp != nil {
+			sp.End()
+		}
+	}
+	s.mu.Unlock()
+	if !t0.IsZero() {
+		mRequestLatency.Observe(time.Since(t0))
+	}
+	return out
+}
+
+// binDispatchLocked serves one binary request under the state lock,
+// appending the framed response to out. rec/haveRec memoize the batch's
+// recommend evaluation: consecutive recommends at the same state and
+// minute are deterministic, so the composition runs once and each request
+// still journals and logs its own served decision.
+func (s *server) binDispatchLocked(req wire.Request, depth int64, minute int,
+	sp *trace.Span, rec *jarvis.Decision, haveRec *bool, out []byte) []byte {
+	e := s.home.Env
+	resp := wire.Response{Minute: minute}
+
+	switch req.Op {
+	case wire.OpState:
+		resp.Flags = wire.FlagOK
+		resp.Violations = s.violations
+		resp.State = s.wireStateIDs()
+
+	case wire.OpEvent:
+		*haveRec = false
+		di := int(req.Device)
+		if di < 0 || di >= e.K() {
+			resp.Err = append(resp.Err, "unknown device index"...)
+			break
+		}
+		unsafe, err := s.applyEvent(sp, depth, minute, di, device.ActionID(req.Action))
+		if err != nil {
+			resp.Err = append(resp.Err, err.Error()...)
+			break
+		}
+		resp.Flags = wire.FlagOK
+		if unsafe {
+			resp.Flags |= wire.FlagUnsafe
+		}
+		resp.Violations = s.violations
+		resp.State = s.wireStateIDs()
+
+	case wire.OpRecommend:
+		if s.shedRecommend(depth) {
+			s.shedRecommends++
+			mShedRecommends.Inc()
+			resp.Flags = wire.FlagBusy
+			resp.RetryAfterMs = 250
+			resp.Err = append(resp.Err, "overloaded: recommendation shed"...)
+			break
+		}
+		// The memoized evaluation is reused only when nothing needs the
+		// full pipeline to run: a sampled request re-evaluates so its span
+		// tree covers the selection, and a decision-logging daemon
+		// re-evaluates so every served recommendation has its own audit
+		// record. The result is bit-identical either way.
+		if !*haveRec || sp != nil || s.decisions != nil {
+			d, err := s.recommendOne(sp, minute)
+			if err != nil {
+				*haveRec = false
+				resp.Err = append(resp.Err, err.Error()...)
+				break
+			}
+			*rec, *haveRec = d, true
+		} else {
+			// Reuse the batch's evaluation, but still journal this served
+			// recommendation like any other — replay regenerates one
+			// decision per journaled record.
+			s.recommendsServed++
+			s.journal(sp, replay.Record{K: replay.KindRecommend, N: s.recommendsServed, M: minute})
+			mWireSharedEvals.Inc()
+		}
+		resp.Flags = wire.FlagOK
+		resp.Q = rec.Value
+		resp.Degraded = s.sys.DegradedRecommendations()
+		resp.Action = s.wireActionIDs(rec.Action)
+
+	case wire.OpViolations:
+		resp.Flags = wire.FlagOK
+		resp.Violations = s.violations
+
+	case wire.OpCheckpoint:
+		if s.store == nil {
+			resp.Err = append(resp.Err, "daemon started without -checkpoint"...)
+			break
+		}
+		if err := s.saveCheckpointLocked(); err != nil {
+			resp.Err = append(resp.Err, err.Error()...)
+			break
+		}
+		resp.Flags = wire.FlagOK
+
+	case wire.OpLearnState:
+		fp, err := s.sys.QFingerprint()
+		if err != nil {
+			resp.Err = append(resp.Err, err.Error()...)
+			break
+		}
+		resp.Flags = wire.FlagOK | wire.FlagHasLearn
+		resp.Violations = s.violations
+		resp.ReplaySize = s.sys.Agent().ReplayBuffer().Len()
+		resp.Events = s.eventsIngested
+		resp.OnlineSteps = s.onlineSteps
+		resp.LearnSteps = s.learnSteps
+		resp.Recommends = s.recommendsServed
+		resp.QSum = append(resp.QSum, fp...)
+
+	default:
+		resp.Err = append(resp.Err, "unknown op"...)
+	}
+	return wire.AppendResponse(out, &resp)
+}
+
+// wireStateIDs copies the current state into the reusable binary scratch
+// buffer (guarded by mu).
+func (s *server) wireStateIDs() []uint8 {
+	if cap(s.wireState) < len(s.state) {
+		s.wireState = make([]uint8, len(s.state))
+	}
+	s.wireState = s.wireState[:len(s.state)]
+	for i, st := range s.state {
+		s.wireState[i] = uint8(st)
+	}
+	return s.wireState
+}
+
+// wireActionIDs copies a composite action into the reusable binary scratch
+// buffer (guarded by mu).
+func (s *server) wireActionIDs(a []device.ActionID) []int16 {
+	if cap(s.wireAction) < len(a) {
+		s.wireAction = make([]int16, len(a))
+	}
+	s.wireAction = s.wireAction[:len(a)]
+	for i, act := range a {
+		s.wireAction[i] = int16(act)
+	}
+	return s.wireAction
+}

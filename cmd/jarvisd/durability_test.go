@@ -250,6 +250,11 @@ func TestWatchdogRollsBackToGenerationAndHealthzReports(t *testing.T) {
 		[]float64{math.Inf(1)}); err != nil {
 		t.Fatalf("poison update: %v", err)
 	}
+	// The poke above bypassed System's mutation hooks; stale-mark the
+	// compiled table the way any in-band mutation would. The rebuild
+	// refuses the non-finite row, so the request below reaches the live
+	// agent — and its watchdog.
+	invalidateCompiledFor(srv)
 
 	resp := srv.handle(request{Op: "recommend"})
 	if !resp.OK {

@@ -14,12 +14,15 @@ import (
 	"jarvis"
 	"jarvis/internal/anomaly"
 	"jarvis/internal/checkpoint"
+	"jarvis/internal/compiled"
+	"jarvis/internal/device"
 	"jarvis/internal/env"
 	"jarvis/internal/replay"
 	"jarvis/internal/rl"
 	"jarvis/internal/smarthome"
 	"jarvis/internal/trace"
 	"jarvis/internal/wal"
+	"jarvis/internal/wire"
 )
 
 // serverConfig sizes the daemon's startup learning phase and its
@@ -28,6 +31,19 @@ type serverConfig struct {
 	Seed         int64
 	LearningDays int
 	Episodes     int
+
+	// UseDNN trains the deep Q network backend instead of the tabular
+	// default (the -dnn flag). The two backends serialize differently, so
+	// checkpoints record it and refuse to restore across a mismatch.
+	UseDNN bool
+
+	// Compiled enables the compiled-policy fast path: after training or
+	// restore, the greedy policy is distilled into a dense state×bucket
+	// decision table that serves steady-state recommendations without
+	// touching the agent. Oversized products (e.g. the per-minute DNN
+	// backend) refuse to compile and the daemon transparently keeps the
+	// agent path. Disabled by CompiledOff (the -compiled=false flag).
+	CompiledOff bool
 
 	// CheckpointPath, when non-empty, enables checkpoint/restore: startup
 	// restores the trained system from the newest usable generation
@@ -244,6 +260,17 @@ type server struct {
 	// restored reports whether startup served from a checkpoint instead of
 	// training.
 	restored bool
+
+	// nextScratch is the recommend cross-check's transition destination
+	// buffer (guarded by mu) — keeps the steady-state recommend path free
+	// of per-request state allocations.
+	nextScratch env.State
+
+	// wireState/wireAction are the binary codec's response scratch buffers
+	// (guarded by mu): state IDs and per-device action IDs are copied here
+	// so binary responses never allocate at steady state.
+	wireState  []uint8
+	wireAction []int16
 }
 
 // replayConfig maps the daemon configuration onto the replay engine's
@@ -258,6 +285,7 @@ func replayConfig(cfg serverConfig) replay.Config {
 		Episodes:         cfg.Episodes,
 		OnlineTrainEvery: cfg.OnlineTrainEvery,
 		AnomalyFilter:    cfg.AnomalyFilter,
+		UseDNN:           cfg.UseDNN,
 		Logf:             cfg.Logf,
 	}
 }
@@ -343,6 +371,20 @@ func newServer(cfg serverConfig) (*server, error) {
 	// restore/train decision produced.
 	if cfg.WALDir != "" {
 		s.openWAL()
+	}
+
+	// Compile the serving policy after every startup mutation (restore,
+	// training, WAL replay) has landed — the table is built once here and
+	// then kept fresh by invalidation hooks on the learn/rollback paths.
+	if !cfg.CompiledOff {
+		if err := s.sys.EnableCompiledPolicy(&s.mu, compiled.Options{}); err != nil {
+			// Advisory: the daemon serves through the agent path either way.
+			cfg.Logf("jarvisd: compiled policy unavailable (%v); serving via agent", err)
+		} else {
+			st := s.sys.CompiledPolicy().Stats()
+			cfg.Logf("jarvisd: compiled policy ready (%d entries, %d distinct decisions, built in %dms)",
+				st.Entries, st.PaletteSize, st.BuildMs)
+		}
 	}
 	return s, nil
 }
@@ -518,8 +560,30 @@ func isTransient(err error) bool {
 	return false
 }
 
+// serve negotiates the codec with a one-byte peek — wire.Magic opens the
+// binary protocol (binary.go), anything else (JSON's '{') keeps the
+// original JSON-lines loop — so old clients are untouched and new ones
+// get length-prefixed frames and batch scoring.
 func (s *server) serve(conn net.Conn) {
-	dec := json.NewDecoder(bufio.NewReader(conn))
+	if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+		return
+	}
+	br := bufio.NewReader(conn)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == wire.Magic {
+		mWireBinary.Inc()
+		s.serveBinary(conn, br)
+		return
+	}
+	mWireJSON.Inc()
+	s.serveJSON(conn, br)
+}
+
+func (s *server) serveJSON(conn net.Conn, br *bufio.Reader) {
+	dec := json.NewDecoder(br)
 	enc := json.NewEncoder(conn)
 	for {
 		// A connection may not sit silent forever: the read deadline turns
@@ -609,6 +673,10 @@ func (s *server) dispatch(req request, depth int64, sp *trace.Span) response {
 	s.mu.Lock()
 	qw.End()
 	defer s.mu.Unlock()
+	return s.dispatchLocked(req, depth, sp)
+}
+
+func (s *server) dispatchLocked(req request, depth int64, sp *trace.Span) response {
 	e := s.home.Env
 	minute := s.minuteOfDay(time.Now())
 
@@ -625,43 +693,10 @@ func (s *server) dispatch(req request, depth int64, sp *trace.Span) response {
 		if !ok {
 			return response{Error: fmt.Sprintf("device %q has no action %q", req.Device, req.Action)}
 		}
-		a := env.NoOp(e.K())
-		a[di] = act
-		next, err := e.Transition(s.state, a)
+		unsafe, err := s.applyEvent(sp, depth, minute, di, act)
 		if err != nil {
 			return response{Error: err.Error()}
 		}
-		table := s.sys.SafeTable()
-		unsafe := !table.SafeTransitionTraced(sp, e.StateKey(s.state), e.StateKey(next), a)
-		if unsafe {
-			s.violations++
-			mEventsUnsafe.Inc()
-		}
-		prev := s.state
-		s.state = next
-		s.eventsIngested++
-		s.journal(sp, replay.Record{K: replay.KindEvent, N: s.eventsIngested, M: minute, D: di, A: act, U: unsafe})
-		// The audit check above is never shed; under pressure only the
-		// learning ingestion below is dropped.
-		if s.shedLearning(depth) {
-			s.shedEvents++
-			mShedEvents.Inc()
-		} else {
-			li := sp.Child("learn.ingest")
-			s.journal(li, replay.Record{K: replay.KindTransition, N: s.onlineSteps + 1, M: minute, D: di, A: act, S: prev})
-			s.ingestTransition(li, prev, a, minute)
-			li.End()
-		}
-		verdict := "safe"
-		if unsafe {
-			verdict = "unsafe"
-		}
-		s.logDecision(sp, decisionRecord{
-			Kind: "event", Minute: minute,
-			State:   stateNames(e, s.state),
-			Action:  e.FormatAction(a),
-			Verdict: verdict,
-		})
 		return response{OK: true, State: stateNames(e, s.state), Unsafe: unsafe, Minute: minute, Violations: s.violations}
 
 	case "recommend":
@@ -671,49 +706,10 @@ func (s *server) dispatch(req request, depth int64, sp *trace.Span) response {
 			return response{Error: "overloaded: recommendation shed", Busy: true,
 				RetryAfterMs: 250, Minute: minute}
 		}
-		d, err := s.sys.RecommendDecisionTraced(sp, s.state, minute)
+		d, err := s.recommendOne(sp, minute)
 		if err != nil {
 			return response{Error: err.Error()}
 		}
-		verdict := "safe"
-		if d.Degraded {
-			verdict = "degraded"
-		}
-		var score float64
-		if next, terr := e.Transition(s.state, d.Action); terr == nil {
-			// Cross-check the recommendation against P_safe before handing
-			// it out. The constrained agent only proposes whitelisted
-			// transitions, so a deny here means the table and the optimizer
-			// have drifted apart — worth a loud verdict in the audit log.
-			if !s.sys.SafeTable().SafeTransitionTraced(sp, e.StateKey(s.state), e.StateKey(next), d.Action) {
-				verdict = "unsafe"
-			}
-			if s.filter != nil {
-				// Score the transition through the benign-anomaly ANN —
-				// the daemon's answer to "how unusual is the action I am
-				// about to suggest".
-				score = s.filter.ScoreTraced(sp, env.Transition{
-					From: s.state, Act: d.Action, To: next,
-					Instance: minute,
-					At:       s.startOfDay.Add(time.Duration(minute) * time.Minute),
-				})
-			}
-		}
-		// Journal the served recommendation: recovery only bumps the
-		// counter, but the offline replay engine re-executes the policy at
-		// this point in the stream to regenerate (or counterfactually
-		// rewrite) the decision below.
-		s.recommendsServed++
-		s.journal(sp, replay.Record{K: replay.KindRecommend, N: s.recommendsServed, M: minute})
-		s.logDecision(sp, decisionRecord{
-			Kind: "recommend", Minute: minute,
-			State:    stateNames(e, s.state),
-			Action:   e.FormatAction(d.Action),
-			Q:        d.Value,
-			Anomaly:  score,
-			Degraded: d.Degraded,
-			Verdict:  verdict,
-		})
 		return response{OK: true, Action: e.FormatAction(d.Action), Minute: minute,
 			Q: d.Value, Degraded: s.sys.DegradedRecommendations()}
 
@@ -744,6 +740,111 @@ func (s *server) dispatch(req request, depth int64, sp *trace.Span) response {
 		}
 	}
 	return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+}
+
+// applyEvent is the codec-independent event op: audit against P_safe,
+// apply the transition, journal, and (when not shed) feed the learner.
+// Callers resolve the device index and action ID; both codecs build their
+// responses from the post-transition server state.
+func (s *server) applyEvent(sp *trace.Span, depth int64, minute, di int, act device.ActionID) (unsafe bool, err error) {
+	e := s.home.Env
+	a := env.NoOp(e.K())
+	a[di] = act
+	next, err := e.Transition(s.state, a)
+	if err != nil {
+		return false, err
+	}
+	table := s.sys.SafeTable()
+	unsafe = !table.SafeTransitionTraced(sp, e.StateKey(s.state), e.StateKey(next), a)
+	if unsafe {
+		s.violations++
+		mEventsUnsafe.Inc()
+	}
+	prev := s.state
+	s.state = next
+	s.eventsIngested++
+	s.journal(sp, replay.Record{K: replay.KindEvent, N: s.eventsIngested, M: minute, D: di, A: act, U: unsafe})
+	// The audit check above is never shed; under pressure only the
+	// learning ingestion below is dropped.
+	if s.shedLearning(depth) {
+		s.shedEvents++
+		mShedEvents.Inc()
+	} else {
+		li := sp.Child("learn.ingest")
+		s.journal(li, replay.Record{K: replay.KindTransition, N: s.onlineSteps + 1, M: minute, D: di, A: act, S: prev})
+		s.ingestTransition(li, prev, a, minute)
+		li.End()
+	}
+	if s.decisions != nil {
+		verdict := "safe"
+		if unsafe {
+			verdict = "unsafe"
+		}
+		s.logDecision(sp, decisionRecord{
+			Kind: "event", Minute: minute,
+			State:   stateNames(e, s.state),
+			Action:  e.FormatAction(a),
+			Verdict: verdict,
+		})
+	}
+	return unsafe, nil
+}
+
+// recommendOne is the codec-independent recommend op (admission control is
+// the caller's): evaluate the policy, cross-check against P_safe, score
+// the anomaly filter, and journal the served recommendation.
+func (s *server) recommendOne(sp *trace.Span, minute int) (jarvis.Decision, error) {
+	e := s.home.Env
+	d, err := s.sys.RecommendDecisionTraced(sp, s.state, minute)
+	if err != nil {
+		return jarvis.Decision{}, err
+	}
+	verdict := "safe"
+	if d.Degraded {
+		verdict = "degraded"
+	}
+	var score float64
+	if s.nextScratch == nil {
+		s.nextScratch = make(env.State, e.K())
+	}
+	if terr := e.TransitionInto(s.nextScratch, s.state, d.Action); terr == nil {
+		// Cross-check the recommendation against P_safe before handing
+		// it out. The constrained agent only proposes whitelisted
+		// transitions, so a deny here means the table and the optimizer
+		// have drifted apart — worth a loud verdict in the audit log.
+		next := s.nextScratch
+		if !s.sys.SafeTable().SafeTransitionTraced(sp, e.StateKey(s.state), e.StateKey(next), d.Action) {
+			verdict = "unsafe"
+		}
+		if s.filter != nil {
+			// Score the transition through the benign-anomaly ANN —
+			// the daemon's answer to "how unusual is the action I am
+			// about to suggest".
+			score = s.filter.ScoreTraced(sp, env.Transition{
+				From: s.state, Act: d.Action, To: next,
+				Instance: minute,
+				At:       s.startOfDay.Add(time.Duration(minute) * time.Minute),
+			})
+		}
+	}
+	// Journal the served recommendation: recovery only bumps the
+	// counter, but the offline replay engine re-executes the policy at
+	// this point in the stream to regenerate (or counterfactually
+	// rewrite) the decision below.
+	s.recommendsServed++
+	s.journal(sp, replay.Record{K: replay.KindRecommend, N: s.recommendsServed, M: minute})
+	if s.decisions != nil {
+		s.logDecision(sp, decisionRecord{
+			Kind: "recommend", Minute: minute,
+			State:    stateNames(e, s.state),
+			Action:   e.FormatAction(d.Action),
+			Q:        d.Value,
+			Anomaly:  score,
+			Degraded: d.Degraded,
+			Verdict:  verdict,
+		})
+	}
+	return d, nil
 }
 
 // logDecision stamps and appends one record to the decision log (no-op

@@ -26,6 +26,35 @@ var (
 	mRequestsUnknown = telemetry.Default.Counter("jarvisd.requests.unknown")
 	mRequestLatency  = telemetry.Default.Histogram("jarvisd.request.latency")
 
+	// Codec negotiation outcomes (one increment per connection) plus the
+	// binary loop's batching effectiveness: requests coalesced into an
+	// already-open batch, and recommend responses served from a shared
+	// in-batch evaluation.
+	mWireJSON        = telemetry.Default.Counter("server.wire.json")
+	mWireBinary      = telemetry.Default.Counter("server.wire.binary")
+	mWireCoalesced   = telemetry.Default.Counter("server.wire.coalesced")
+	mWireSharedEvals = telemetry.Default.Counter("server.wire.shared_evals")
+
+	// Binary-op counters, indexed by opcode; same namespace as the JSON
+	// per-op counters so one scrape sees both codecs.
+	mBinRequests = map[uint8]*telemetry.Counter{
+		1: mRequests["state"],      // wire.OpState
+		2: mRequests["event"],      // wire.OpEvent
+		3: mRequests["recommend"],  // wire.OpRecommend
+		4: mRequests["violations"], // wire.OpViolations
+		5: mRequests["checkpoint"], // wire.OpCheckpoint
+		6: mRequests["learnstate"], // wire.OpLearnState
+	}
+
+	binOpSpans = map[uint8]string{
+		1: "jarvisd.state",
+		2: "jarvisd.event",
+		3: "jarvisd.recommend",
+		4: "jarvisd.violations",
+		5: "jarvisd.checkpoint",
+		6: "jarvisd.learnstate",
+	}
+
 	// Root span names for sampled request traces, one per op. A static map
 	// keeps the traced request path free of string concatenation.
 	opSpanNames = map[string]string{
@@ -72,6 +101,14 @@ var (
 // opSpanName maps a request op to its root span name.
 func opSpanName(op string) string {
 	if n, ok := opSpanNames[op]; ok {
+		return n
+	}
+	return "jarvisd.unknown"
+}
+
+// binOpSpanName is opSpanName for binary opcodes.
+func binOpSpanName(op uint8) string {
+	if n, ok := binOpSpans[op]; ok {
 		return n
 	}
 	return "jarvisd.unknown"

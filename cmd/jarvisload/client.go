@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"time"
+
+	"jarvis/internal/wire"
+)
+
+// flags bundles the flag set so run() can parse test args without
+// touching the global FlagSet.
+type flags struct {
+	fs           *flag.FlagSet
+	daemon       *string
+	addr         *string
+	wire         *string
+	n            *int
+	conns        *int
+	batch        *int
+	warmup       *int
+	out          *string
+	minSpeedup   *float64
+	learningDays *int
+	episodes     *int
+	timeout      *time.Duration
+	startTimeout *time.Duration
+}
+
+func newFlagSet() *flags {
+	f := &flags{fs: flag.NewFlagSet("jarvisload", flag.ContinueOnError)}
+	f.daemon = f.fs.String("jarvisd", "", "path to a jarvisd binary to spawn for each scenario")
+	f.addr = f.fs.String("addr", "", "bench an already-running daemon at this address instead of spawning")
+	f.wire = f.fs.String("wire", "binary", "codec for -addr mode: binary | json")
+	f.n = f.fs.Int("n", 20000, "timed recommend requests per scenario")
+	f.conns = f.fs.Int("conns", 4, "concurrent persistent connections")
+	f.batch = f.fs.Int("batch", 16, "binary-codec pipeline depth: recommends scored per round trip (JSON has no batching; it always runs lockstep)")
+	f.warmup = f.fs.Int("warmup", 200, "untimed warmup requests per scenario")
+	f.out = f.fs.String("out", "BENCH_serve.json", "report path")
+	f.minSpeedup = f.fs.Float64("min-speedup", 0, "fail unless binary+compiled beats json+dnn by this throughput multiple (0 = report only)")
+	f.learningDays = f.fs.Int("learning-days", 2, "spawned daemon learning-phase length")
+	f.episodes = f.fs.Int("episodes", 2, "spawned daemon training episodes")
+	f.timeout = f.fs.Duration("timeout", 10*time.Second, "per-request deadline")
+	f.startTimeout = f.fs.Duration("start-timeout", 5*time.Minute, "how long a spawned daemon may take to start serving")
+	return f
+}
+
+// client issues recommend requests over a persistent connection; the two
+// implementations are the codecs under test. RecommendBatch(n) completes
+// n recommendations before returning — the binary codec pipelines them
+// into one round trip so the daemon can batch-score, while JSON (which
+// has no framing for it) runs them lockstep.
+type client interface {
+	RecommendBatch(n int) error
+	Close() error
+}
+
+func dialClient(addr, wireMode string, timeout time.Duration) (client, error) {
+	switch wireMode {
+	case "binary":
+		c, err := wire.Dial(addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return &binClient{c: c}, nil
+	case "json":
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonClient{
+			conn:    conn,
+			enc:     json.NewEncoder(conn),
+			dec:     json.NewDecoder(bufio.NewReader(conn)),
+			timeout: timeout,
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown -wire %q (want binary or json)", wireMode)
+}
+
+type binClient struct {
+	c *wire.Client
+}
+
+func (b *binClient) RecommendBatch(n int) error {
+	resp, err := b.c.DoBatch(wire.Request{Op: wire.OpRecommend}, n)
+	if err != nil {
+		return err
+	}
+	if !resp.OK() {
+		return fmt.Errorf("daemon: %s", resp.Err)
+	}
+	return nil
+}
+
+func (b *binClient) Close() error { return b.c.Close() }
+
+type jsonClient struct {
+	conn    net.Conn
+	enc     *json.Encoder
+	dec     *json.Decoder
+	timeout time.Duration
+}
+
+// jsonRequest and jsonResponse mirror jarvisd's JSON protocol; only the
+// fields the bench touches are declared.
+type jsonRequest struct {
+	Op string `json:"op"`
+}
+
+type jsonResponse struct {
+	OK    bool    `json:"ok"`
+	Error string  `json:"error,omitempty"`
+	Q     float64 `json:"q,omitempty"`
+}
+
+func (j *jsonClient) RecommendBatch(n int) error {
+	if err := j.conn.SetDeadline(time.Now().Add(j.timeout)); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := j.enc.Encode(jsonRequest{Op: "recommend"}); err != nil {
+			return err
+		}
+		var resp jsonResponse
+		if err := j.dec.Decode(&resp); err != nil {
+			return err
+		}
+		if !resp.OK {
+			return fmt.Errorf("daemon: %s", resp.Error)
+		}
+	}
+	return nil
+}
+
+func (j *jsonClient) Close() error { return j.conn.Close() }

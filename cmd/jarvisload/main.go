@@ -1,0 +1,305 @@
+// Command jarvisload benchmarks the jarvisd serving path end to end and
+// writes BENCH_serve.json. It spawns two daemon configurations — the
+// legacy shape (JSON lines, DQN backend, compiled tables off) and the
+// fast shape (binary wire protocol, tabular backend, compiled policy
+// tables) — drives each with concurrent persistent-connection clients
+// issuing recommend requests, and reports p50/p99 latency plus
+// recommendations per second for both:
+//
+//	jarvisload -jarvisd ./bin/jarvisd -n 20000 -conns 4
+//	jarvisload -addr 127.0.0.1:7463 -wire binary   # bench a running daemon
+//
+// With -min-speedup the process exits non-zero unless the fast shape
+// clears that throughput multiple over the legacy shape — the CI gate
+// for the serving-path optimization work.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jarvisload:", err)
+		os.Exit(1)
+	}
+}
+
+// scenario is one daemon shape under test.
+type scenario struct {
+	Name string
+	Wire string // "json" | "binary"
+	Args []string
+}
+
+// result is one row of BENCH_serve.json.
+type result struct {
+	Scenario string `json:"scenario"`
+	Wire     string `json:"wire"`
+	Requests int    `json:"requests"`
+	Conns    int    `json:"conns"`
+	// Batch is the pipeline depth: recommendations completed per round
+	// trip. Latency percentiles are per round trip, so at Batch > 1 each
+	// sample covers a whole scored batch.
+	Batch      int     `json:"batch"`
+	P50Us      float64 `json:"p50_us"`
+	P99Us      float64 `json:"p99_us"`
+	RecsPerSec float64 `json:"recs_per_sec"`
+	ElapsedMs  float64 `json:"elapsed_ms"`
+}
+
+// report is the BENCH_serve.json envelope, shaped like BENCH_core.json.
+type report struct {
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Date       string   `json:"date"`
+	Results    []result `json:"results"`
+	// Speedup is fast-shape throughput over legacy-shape throughput,
+	// present only when both scenarios ran.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+func run(args []string, out *os.File) error {
+	fs := newFlagSet()
+	if err := fs.fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := fs
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+	}
+
+	if *cfg.addr != "" {
+		// Bench a daemon someone else is running; no spawning.
+		r, err := benchAddr(*cfg.addr, *cfg.wire, *cfg.n, *cfg.conns, *cfg.batch, *cfg.warmup, *cfg.timeout)
+		if err != nil {
+			return err
+		}
+		r.Scenario = "external"
+		rep.Results = append(rep.Results, r)
+		return writeReport(&rep, *cfg.out, out, 0)
+	}
+
+	if *cfg.daemon == "" {
+		return fmt.Errorf("need -jarvisd <binary> (or -addr to bench a running daemon)")
+	}
+	common := []string{
+		"-learning-days", fmt.Sprint(*cfg.learningDays),
+		"-episodes", fmt.Sprint(*cfg.episodes),
+		"-debug-addr", "", // the bench drives the TCP protocol only
+	}
+	scenarios := []scenario{
+		{
+			Name: "json+dnn",
+			Wire: "json",
+			Args: append([]string{"-dnn", "-compiled=false"}, common...),
+		},
+		{
+			Name: "binary+compiled",
+			Wire: "binary",
+			Args: common,
+		},
+	}
+	for _, sc := range scenarios {
+		fmt.Fprintf(out, "jarvisload: starting %s daemon...\n", sc.Name)
+		addr, stop, err := spawnDaemon(*cfg.daemon, sc.Args, *cfg.startTimeout)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		batch := 1
+		if sc.Wire == "binary" {
+			batch = *cfg.batch
+		}
+		r, err := benchAddr(addr, sc.Wire, *cfg.n, *cfg.conns, batch, *cfg.warmup, *cfg.timeout)
+		stop()
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		r.Scenario = sc.Name
+		rep.Results = append(rep.Results, r)
+		fmt.Fprintf(out, "%-16s %8.0f recs/sec  p50 %7.1fµs  p99 %7.1fµs\n",
+			sc.Name, r.RecsPerSec, r.P50Us, r.P99Us)
+	}
+	return writeReport(&rep, *cfg.out, out, *cfg.minSpeedup)
+}
+
+// writeReport computes the speedup, persists the envelope, and enforces
+// -min-speedup.
+func writeReport(rep *report, path string, out *os.File, minSpeedup float64) error {
+	if len(rep.Results) == 2 && rep.Results[0].RecsPerSec > 0 {
+		rep.Speedup = rep.Results[1].RecsPerSec / rep.Results[0].RecsPerSec
+		fmt.Fprintf(out, "speedup: %.1fx\n", rep.Speedup)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	if minSpeedup > 0 && rep.Speedup < minSpeedup {
+		return fmt.Errorf("speedup %.2fx below required %.2fx", rep.Speedup, minSpeedup)
+	}
+	return nil
+}
+
+// spawnDaemon launches a jarvisd binary on an ephemeral port and blocks
+// until its "listening on" banner names the address. stop terminates the
+// daemon and reaps it.
+func spawnDaemon(bin string, extra []string, startTimeout time.Duration) (addr string, stop func(), err error) {
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return "", nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return "", nil, err
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			var a string
+			if n, _ := fmt.Sscanf(line, "jarvisd: listening on %s", &a); n == 1 {
+				select {
+				case addrCh <- a:
+				default:
+				}
+			}
+		}
+	}()
+	stop = func() {
+		_ = cmd.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { _ = cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			_ = cmd.Process.Kill()
+			<-done
+		}
+	}
+	select {
+	case addr = <-addrCh:
+		return addr, stop, nil
+	case <-time.After(startTimeout):
+		stop()
+		return "", nil, fmt.Errorf("daemon did not report a listen address within %s (training still running? raise -start-timeout)", startTimeout)
+	}
+}
+
+// benchAddr drives addr with conns persistent clients until n recommend
+// requests have completed, batch per round trip, collecting per-round-trip
+// latencies.
+func benchAddr(addr, wireMode string, n, conns, batch, warmup int, timeout time.Duration) (result, error) {
+	if conns < 1 {
+		conns = 1
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	clients := make([]client, conns)
+	for i := range clients {
+		c, err := dialClient(addr, wireMode, timeout)
+		if err != nil {
+			for _, p := range clients[:i] {
+				p.Close()
+			}
+			return result{}, err
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	// Warmup primes connection state, the daemon's scratch buffers, and
+	// the compiled-table hit path before the timed window opens.
+	for i := 0; i < warmup; i++ {
+		if err := clients[i%conns].RecommendBatch(batch); err != nil {
+			return result{}, fmt.Errorf("warmup: %w", err)
+		}
+	}
+
+	var (
+		remaining = int64(n)
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		lats      = make([]time.Duration, 0, n)
+		firstErr  error
+	)
+	start := time.Now()
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c client) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, n/(conns*batch)+1)
+			for atomic.AddInt64(&remaining, -int64(batch)) >= 0 {
+				t0 := time.Now()
+				err := c.RecommendBatch(batch)
+				local = append(local, time.Since(t0))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return result{}, firstErr
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	reqs := len(lats) * batch
+	return result{
+		Wire:       wireMode,
+		Requests:   reqs,
+		Conns:      conns,
+		Batch:      batch,
+		P50Us:      float64(percentile(lats, 50)) / 1e3,
+		P99Us:      float64(percentile(lats, 99)) / 1e3,
+		RecsPerSec: float64(reqs) / elapsed.Seconds(),
+		ElapsedMs:  float64(elapsed.Nanoseconds()) / 1e6,
+	}, nil
+}
+
+// percentile reads the p-th percentile from sorted latencies using the
+// nearest-rank method.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}

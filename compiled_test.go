@@ -1,0 +1,315 @@
+package jarvis
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"jarvis/internal/compiled"
+	"jarvis/internal/dataset"
+	"jarvis/internal/env"
+	"jarvis/internal/reward"
+	"jarvis/internal/rl"
+	"jarvis/internal/smarthome"
+)
+
+// compiledFixture is a trained full-home system with the compiled-policy
+// cache enabled under its lock — the daemon's serving shape.
+type compiledFixture struct {
+	home *smarthome.FullHome
+	sys  *System
+	mu   sync.Mutex
+}
+
+func newCompiledFixture(t *testing.T, seed int64) *compiledFixture {
+	t.Helper()
+	home, days := learnWeek(t)
+	sys, err := New(home.Env, Config{Seed: seed})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sys.Learn(dataset.Episodes(days))
+	rs, err := reward.New(home.Env, reward.Config{
+		Functionalities: []reward.Functionality{
+			{Name: "energy", Weight: 1, F: smarthome.EnergyReward(home.Env)},
+		},
+		Instances: smarthome.InstancesPerDay,
+	})
+	if err != nil {
+		t.Fatalf("reward.New: %v", err)
+	}
+	if _, err := sys.Train(rl.SimConfig{
+		Initial: home.InitialState(),
+		Reward:  rs,
+	}, TrainConfig{Agent: rl.AgentConfig{Episodes: 2, DecideEvery: 30, ReplayEvery: 8}}); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	f := &compiledFixture{home: home, sys: sys}
+	if err := sys.EnableCompiledPolicy(&f.mu, compiled.Options{}); err != nil {
+		t.Fatalf("EnableCompiledPolicy: %v", err)
+	}
+	return f
+}
+
+// walkDay drives a simulated day through fn: recommended actions are
+// applied to the state, and every few minutes a random valid device event
+// perturbs it so the walk leaves the recommendation trajectory (covering
+// unpopulated Q rows).
+func (f *compiledFixture) walkDay(t *testing.T, fn func(s env.State, minute int)) {
+	t.Helper()
+	e := f.home.Env
+	rng := rand.New(rand.NewSource(99))
+	s := f.home.InitialState()
+	for minute := 0; minute < smarthome.InstancesPerDay; minute++ {
+		fn(s, minute)
+		act, err := f.sys.Recommend(s, minute)
+		if err != nil {
+			t.Fatalf("minute %d: %v", minute, err)
+		}
+		next, err := e.Transition(s, act)
+		if err != nil {
+			t.Fatalf("minute %d: transition: %v", minute, err)
+		}
+		s = next
+		if minute%7 == 0 {
+			dev := rng.Intn(e.K())
+			valid := e.Device(dev).ValidActions(s[dev])
+			if len(valid) > 0 {
+				a := env.NoOp(e.K())
+				a[dev] = valid[rng.Intn(len(valid))]
+				if next, err := e.Transition(s, a); err == nil {
+					s = next
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledSystemGoldenDay pins the compiled fast path bit-identical to
+// the live agent across a full simulated day of the full home, and checks
+// the day was served entirely from the table.
+func TestCompiledSystemGoldenDay(t *testing.T) {
+	f := newCompiledFixture(t, 21)
+	e := f.home.Env
+	agent := f.sys.Agent()
+	served := 0
+	f.walkDay(t, func(s env.State, minute int) {
+		d, err := f.sys.RecommendDecision(s, minute)
+		if err != nil {
+			t.Fatalf("minute %d: %v", minute, err)
+		}
+		want := agent.Recommend(s, minute)
+		wantV := agent.LastValue()
+		if e.ActionKey(d.Action) != e.ActionKey(want) {
+			t.Fatalf("minute %d: compiled %v, agent %v", minute, d.Action, want)
+		}
+		if math.Float64bits(d.Value) != math.Float64bits(wantV) {
+			t.Fatalf("minute %d: compiled value %v, agent %v", minute, d.Value, wantV)
+		}
+		if d.Degraded {
+			t.Fatalf("minute %d: unexpected degraded decision", minute)
+		}
+		served++
+	})
+	st := f.sys.CompiledPolicy().Stats()
+	if !st.Ready || st.Hits < uint64(served) {
+		t.Fatalf("Stats = %+v, want ready with ≥%d hits", st, served)
+	}
+	if st.Misses != 0 {
+		t.Fatalf("misses = %d on a clean cache", st.Misses)
+	}
+}
+
+// TestCompiledInvalidation covers every mutation surface the daemon can
+// hit: online learn steps, LoadQ (the watchdog's rollback primitive, also
+// SwapPolicy's Q path), and LoadTable (SwapPolicy's P_safe path). Each
+// must invalidate and rebuild, and post-rebuild decisions must again match
+// the live agent.
+func TestCompiledInvalidation(t *testing.T) {
+	f := newCompiledFixture(t, 22)
+	c := f.sys.CompiledPolicy()
+	e := f.home.Env
+	s0 := f.home.InitialState()
+
+	parity := func(tag string) {
+		t.Helper()
+		c.Wait()
+		if c.Policy() == nil {
+			t.Fatalf("%s: no table after rebuild", tag)
+		}
+		for minute := 0; minute < 120; minute += 13 {
+			d, err := f.sys.RecommendDecision(s0, minute)
+			if err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+			want := f.sys.Agent().Recommend(s0, minute)
+			if e.ActionKey(d.Action) != e.ActionKey(want) {
+				t.Fatalf("%s minute %d: compiled %v, agent %v", tag, minute, d.Action, want)
+			}
+		}
+	}
+
+	// Online learning: feed transitions until a replay step runs.
+	before := c.Stats().Rebuilds
+	f.mu.Lock()
+	rng := rand.New(rand.NewSource(77))
+	s := s0
+	ran := false
+	for i := 0; i < 256 && !ran; i++ {
+		act := f.sys.Agent().Recommend(s, i%smarthome.InstancesPerDay)
+		next, _, err := f.sys.ObserveTransition(s, act, i%smarthome.InstancesPerDay)
+		if err != nil {
+			f.mu.Unlock()
+			t.Fatalf("ObserveTransition: %v", err)
+		}
+		s = next
+		if ran, err = f.sys.LearnOnline(rng); err != nil {
+			f.mu.Unlock()
+			t.Fatalf("LearnOnline: %v", err)
+		}
+	}
+	f.mu.Unlock()
+	if !ran {
+		t.Fatal("no online learn step ran")
+	}
+	if c.Stats().Rebuilds == before {
+		c.Wait()
+	}
+	if got := c.Stats().Rebuilds; got <= before {
+		t.Fatalf("learn step did not rebuild: %d → %d", before, got)
+	}
+	parity("learn")
+
+	// LoadQ: the watchdog rollback / SwapPolicy Q substitution path.
+	var q bytes.Buffer
+	if err := f.sys.SaveQ(&q); err != nil {
+		t.Fatal(err)
+	}
+	before = c.Stats().Rebuilds
+	f.mu.Lock()
+	if err := f.sys.LoadQ(bytes.NewReader(q.Bytes())); err != nil {
+		f.mu.Unlock()
+		t.Fatalf("LoadQ: %v", err)
+	}
+	if c.Policy() != nil {
+		f.mu.Unlock()
+		t.Fatal("table still visible right after LoadQ")
+	}
+	f.mu.Unlock()
+	c.Wait()
+	if got := c.Stats().Rebuilds; got <= before {
+		t.Fatalf("LoadQ did not rebuild: %d → %d", before, got)
+	}
+	parity("loadq")
+
+	// LoadTable: the SwapPolicy P_safe substitution path.
+	var tb bytes.Buffer
+	if err := f.sys.SaveTable(&tb); err != nil {
+		t.Fatal(err)
+	}
+	before = c.Stats().Rebuilds
+	f.mu.Lock()
+	if err := f.sys.LoadTable(bytes.NewReader(tb.Bytes())); err != nil {
+		f.mu.Unlock()
+		t.Fatalf("LoadTable: %v", err)
+	}
+	f.mu.Unlock()
+	c.Wait()
+	if got := c.Stats().Rebuilds; got <= before {
+		t.Fatalf("LoadTable did not rebuild: %d → %d", before, got)
+	}
+	parity("loadtable")
+}
+
+// TestCompiledDegradedFallback poisons the live Q function: the rebuild
+// must refuse (non-finite values are uncompilable), lookups must fall back
+// to the agent path, and the degraded NoOp machinery must keep working
+// exactly as without a compiled cache.
+func TestCompiledDegradedFallback(t *testing.T) {
+	f := newCompiledFixture(t, 23)
+	c := f.sys.CompiledPolicy()
+	s0 := f.home.InitialState()
+
+	q, ok := f.sys.Agent().Q().(*rl.TableQ)
+	if !ok {
+		t.Fatalf("backend %T, want TableQ", f.sys.Agent().Q())
+	}
+	minis := f.sys.Agent().Minis()
+	f.mu.Lock()
+	if _, err := q.Update(
+		[]rl.Experience{{S: s0, T: 0, Minis: []int{minis.NoOpIndex() + 1}}},
+		[]float64{math.NaN()},
+	); err != nil {
+		f.mu.Unlock()
+		t.Fatal(err)
+	}
+	c.Invalidate()
+	f.mu.Unlock()
+	c.Wait()
+
+	if c.Policy() != nil {
+		t.Fatal("poisoned Q produced a table")
+	}
+	if st := c.Stats(); st.LastError == "" || st.Disabled {
+		t.Fatalf("Stats = %+v, want transient compile error", st)
+	}
+	degradedBefore := f.sys.DegradedRecommendations()
+	d, err := f.sys.RecommendDecision(s0, 0)
+	if err != nil {
+		t.Fatalf("RecommendDecision: %v", err)
+	}
+	if !d.Degraded || d.Value != 0 {
+		t.Fatalf("Decision = %+v, want degraded NoOp", d)
+	}
+	if f.sys.DegradedRecommendations() <= degradedBefore {
+		t.Fatal("degraded counter did not move")
+	}
+	if st := c.Stats(); st.Misses == 0 {
+		t.Fatal("fallback not counted as a miss")
+	}
+}
+
+// TestCompiledRecommendAllocationFree pins the serving hot path at zero
+// allocations: state validation, key encode, table load, decision copy.
+func TestCompiledRecommendAllocationFree(t *testing.T) {
+	f := newCompiledFixture(t, 24)
+	s := f.home.InitialState()
+	var sink float64
+	allocs := testing.AllocsPerRun(1000, func() {
+		d, err := f.sys.RecommendDecision(s, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink += d.Value
+	})
+	if allocs != 0 {
+		t.Fatalf("RecommendDecision allocates %.1f objects per call, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestCompiledTooLargeFallsBack enables compilation with a tiny cap: the
+// cache must disable itself and the system must keep serving through the
+// agent, bit-identical to an uncompiled system.
+func TestCompiledTooLargeFallsBack(t *testing.T) {
+	f := newCompiledFixture(t, 25)
+	// Re-enable with an impossible cap.
+	if err := f.sys.EnableCompiledPolicy(&f.mu, compiled.Options{MaxEntries: 16}); err == nil {
+		t.Fatal("EnableCompiledPolicy accepted an impossible cap")
+	}
+	c := f.sys.CompiledPolicy()
+	if !c.Disabled() {
+		t.Fatal("cache not disabled")
+	}
+	s0 := f.home.InitialState()
+	d, err := f.sys.RecommendDecision(s0, 300)
+	if err != nil {
+		t.Fatalf("RecommendDecision: %v", err)
+	}
+	want := f.sys.Agent().Recommend(s0, 300)
+	if f.home.Env.ActionKey(d.Action) != f.home.Env.ActionKey(want) {
+		t.Fatalf("fallback decision %v, agent %v", d.Action, want)
+	}
+}

@@ -40,6 +40,10 @@ type Config struct {
 	// -anomaly-filter flag. It changes the learning-phase RNG consumption,
 	// so it must match the recorded run.
 	AnomalyFilter bool
+	// UseDNN selects the deep Q network backend instead of the tabular
+	// default, matching the daemon's -dnn flag. The backends serialize
+	// differently, so it must match any checkpoint being restored.
+	UseDNN bool
 	// Logf receives operational messages; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -128,9 +132,12 @@ func Build(cfg Config) (*Assets, error) {
 		Home:   home,
 		Sys:    sys,
 		SimCfg: rl.SimConfig{Initial: home.InitialState(), Reward: rs},
-		TrainCfg: jarvis.TrainConfig{Agent: rl.AgentConfig{
-			Episodes: cfg.Episodes, DecideEvery: 15, ReplayEvery: 4,
-		}},
+		TrainCfg: jarvis.TrainConfig{
+			Agent: rl.AgentConfig{
+				Episodes: cfg.Episodes, DecideEvery: 15, ReplayEvery: 4,
+			},
+			UseDNN: cfg.UseDNN,
+		},
 	}, nil
 }
 

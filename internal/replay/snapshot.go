@@ -36,6 +36,7 @@ type Snapshot struct {
 	LearnSteps   int             `json:"learnSteps,omitempty"`
 	Recommends   int             `json:"recommends,omitempty"`
 	Epsilon      float64         `json:"epsilon,omitempty"`
+	UseDNN       bool            `json:"useDnn,omitempty"`
 	Table        json.RawMessage `json:"table"`
 	Q            json.RawMessage `json:"q"`
 	Replay       json.RawMessage `json:"replay,omitempty"`
@@ -53,6 +54,12 @@ func (ck *Snapshot) Validate(cfg Config, k int) error {
 	if ck.Seed != cfg.Seed || ck.LearningDays != cfg.LearningDays || ck.Episodes != cfg.Episodes {
 		return fmt.Errorf("trained with seed=%d days=%d episodes=%d, caller wants seed=%d days=%d episodes=%d: %w",
 			ck.Seed, ck.LearningDays, ck.Episodes, cfg.Seed, cfg.LearningDays, cfg.Episodes, checkpoint.ErrCorrupt)
+	}
+	if ck.UseDNN != cfg.UseDNN {
+		// The Q payloads of the two backends are mutually unreadable;
+		// omitempty keeps pre-existing tabular snapshots decoding as false.
+		return fmt.Errorf("trained with useDnn=%t, caller wants useDnn=%t: %w",
+			ck.UseDNN, cfg.UseDNN, checkpoint.ErrCorrupt)
 	}
 	if len(ck.Table) == 0 || len(ck.Q) == 0 {
 		return fmt.Errorf("missing table or Q payload: %w", checkpoint.ErrCorrupt)

@@ -224,6 +224,18 @@ func (a *Agent) Greedy(s env.State, t int) env.Action {
 			q = fresh
 		}
 	}
+	act, best := a.composeGreedy(s, q)
+	a.lastValue = best
+	mGreedy.Inc()
+	return act
+}
+
+// composeGreedy ranks the mini-action values in q and greedily accepts
+// safe, actionable minis into a fresh composite — the shared back half of
+// Greedy and CompileDecision. It returns the composite and the Q value of
+// the highest-ranked accepted mini (the NoOp value when none is accepted).
+// The caller must have established that q is finite.
+func (a *Agent) composeGreedy(s env.State, q []float64) (env.Action, float64) {
 	if cap(a.order) < len(q) {
 		a.order = make([]int, len(q))
 	}
@@ -266,9 +278,28 @@ func (a *Agent) Greedy(s env.State, t int) env.Action {
 			break
 		}
 	}
-	a.lastValue = best
-	mGreedy.Inc()
-	return act
+	return act, best
+}
+
+// CompileDecision evaluates the greedy policy for (s, t) with no serving
+// side effects: no telemetry, no watchdog healing, no degraded counting,
+// and no LastValue mutation. The policy compiler (internal/compiled) calls
+// it while enumerating the state×time product. ok is false when the Q row
+// is non-finite or beyond the watchdog's runaway threshold — regimes the
+// live path handles with rollbacks and degraded fallbacks that a frozen
+// table cannot reproduce, so compilation refuses to cover them and the
+// caller keeps serving through the agent.
+func (a *Agent) CompileDecision(s env.State, t int) (env.Action, float64, bool) {
+	q := a.q.Q(s, t)
+	maxAbs, finite := scanQ(q)
+	if !finite {
+		return nil, 0, false
+	}
+	if a.wd != nil && maxAbs > a.wd.cfg.MaxAbsQ {
+		return nil, 0, false
+	}
+	act, best := a.composeGreedy(s, q)
+	return act, best, true
 }
 
 // LastValue returns the Q value behind the most recent Greedy composition

@@ -38,6 +38,27 @@ type BatchQ interface {
 	QTargetBatch(states []env.State, ts []int) ([][]float64, error)
 }
 
+// TimeBucketed is the optional coarse-time surface a QFunc may implement:
+// backends whose values depend on the time instance only through a bucket
+// index report their resolution here, so the policy compiler
+// (internal/compiled) can enumerate one representative instance per bucket
+// instead of every minute of the day. Backends without it (the DQN, whose
+// features encode the exact minute) compile per instance.
+type TimeBucketed interface {
+	// TimeBuckets returns the bucket count and the episode length in
+	// instances; instance t falls into bucket t*buckets/instances
+	// (clamped to the last bucket).
+	TimeBuckets() (buckets, instances int)
+}
+
+// RowIterator is the optional sparse-enumeration surface a QFunc may
+// implement: backends storing explicit rows report every populated
+// (state-key, bucket) pair, so the policy compiler evaluates only those
+// and defaults the rest to the provable zero-row decision (the safe NoOp).
+type RowIterator interface {
+	Rows(fn func(stateKey uint64, bucket int))
+}
+
 // TableQ is an exact tabular Q function over (state-key, instance bucket,
 // mini-action). It is exact for the small Table I environment and serves
 // as the no-DNN ablation baseline.
@@ -148,7 +169,22 @@ func (t *TableQ) update(batch []Experience, targets []float64) (float64, error) 
 // Size returns the number of populated table rows.
 func (t *TableQ) Size() int { return len(t.q) }
 
+// TimeBuckets implements TimeBucketed: tabular values depend on time only
+// through the bucket fold, so the policy compiler enumerates buckets.
+func (t *TableQ) TimeBuckets() (buckets, instances int) { return t.buckets, t.n }
+
+// Rows implements RowIterator, visiting every populated (state-key, bucket)
+// pair in arbitrary order. Unpopulated rows read as all zeros, for which
+// the greedy composition provably yields the NoOp with value 0.
+func (t *TableQ) Rows(fn func(stateKey uint64, bucket int)) {
+	for k := range t.q {
+		fn(k.s, k.b)
+	}
+}
+
 var _ QFunc = (*TableQ)(nil)
+var _ TimeBucketed = (*TableQ)(nil)
+var _ RowIterator = (*TableQ)(nil)
 
 // DQNConfig parameterizes the deep Q network. The paper's prototype uses
 // two hidden layers and learning rate 0.001 (Section V-A6).

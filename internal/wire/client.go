@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// ErrNotBinary reports that the daemon on the other end never acked the
+// binary handshake — almost always an older JSON-only daemon that killed
+// the connection when its decoder met the magic byte. It is a protocol
+// answer, not a transient fault: callers should fall back to JSON rather
+// than retry.
+var ErrNotBinary = errors.New("daemon does not speak the binary wire protocol")
+
+// Client is a binary-protocol connection to jarvisd. It owns one encode
+// buffer and one Response, reused across calls, so a steady-state
+// request/response exchange performs zero allocations.
+type Client struct {
+	conn    net.Conn
+	r       *Reader
+	timeout time.Duration
+	buf     []byte
+	resp    Response
+}
+
+// Dial connects to addr, performs the binary handshake, and returns a
+// Client. A daemon that does not speak the binary protocol (an old JSON
+// daemon kills the connection when its JSON decoder meets the magic byte)
+// surfaces as an error here — callers fall back to dialing JSON.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(conn, timeout)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient performs the binary handshake over an existing connection.
+func NewClient(conn net.Conn, timeout time.Duration) (*Client, error) {
+	c := &Client{conn: conn, r: NewReader(conn), timeout: timeout}
+	if err := c.deadline(); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(AppendHandshake(c.buf[:0])); err != nil {
+		return nil, fmt.Errorf("wire: handshake send: %w", err)
+	}
+	ack, err := c.r.ReadFrame()
+	if err != nil {
+		return nil, fmt.Errorf("wire: %w (no ack: %v)", ErrNotBinary, err)
+	}
+	if !IsAck(ack) {
+		return nil, fmt.Errorf("wire: %w (bad ack, %d bytes)", ErrNotBinary, len(ack))
+	}
+	return c, nil
+}
+
+// Do sends one request and decodes the daemon's response. The returned
+// Response is owned by the Client and valid until the next Do.
+func (c *Client) Do(req Request) (*Response, error) {
+	if err := c.deadline(); err != nil {
+		return nil, err
+	}
+	c.buf = AppendRequest(c.buf[:0], req)
+	if _, err := c.conn.Write(c.buf); err != nil {
+		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+	payload, err := c.r.ReadFrame()
+	if err != nil {
+		return nil, fmt.Errorf("wire: receive: %w", err)
+	}
+	if err := c.resp.Decode(payload); err != nil {
+		return nil, err
+	}
+	return &c.resp, nil
+}
+
+// DoBatch pipelines n copies of req in one write and drains the n
+// responses, returning the last. The daemon's serve loop coalesces the
+// burst into shared batch evaluations, so this is the high-throughput
+// scoring call: one syscall pair and one policy evaluation amortized
+// over n answers. Like Do, the returned Response is owned by the Client.
+func (c *Client) DoBatch(req Request, n int) (*Response, error) {
+	if n < 1 {
+		n = 1
+	}
+	if err := c.deadline(); err != nil {
+		return nil, err
+	}
+	c.buf = c.buf[:0]
+	for i := 0; i < n; i++ {
+		c.buf = AppendRequest(c.buf, req)
+	}
+	if _, err := c.conn.Write(c.buf); err != nil {
+		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		payload, err := c.r.ReadFrame()
+		if err != nil {
+			return nil, fmt.Errorf("wire: receive %d/%d: %w", i+1, n, err)
+		}
+		if err := c.resp.Decode(payload); err != nil {
+			return nil, err
+		}
+	}
+	return &c.resp, nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) deadline() error {
+	if c.timeout <= 0 {
+		return nil
+	}
+	return c.conn.SetDeadline(time.Now().Add(c.timeout))
+}

@@ -1,0 +1,48 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame throws arbitrary byte streams at the frame reader and the
+// two payload decoders. The invariants: no panic, no frame beyond
+// MaxFrame, and every payload either parses or errors — and everything
+// that parses re-encodes to bytes the decoder accepts again.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(AppendRequest(nil, Request{Op: OpRecommend}))
+	f.Add(AppendRequest(nil, Request{Op: OpEvent, Device: 3, Action: -1}))
+	f.Add(AppendResponse(nil, &Response{Flags: FlagOK, Minute: 600, Q: 1.5,
+		State: []uint8{0, 1}, Action: []int16{-1, 2}}))
+	f.Add(AppendResponse(nil, &Response{Flags: FlagBusy | FlagHasLearn,
+		RetryAfterMs: 250, QSum: []byte("ff"), Err: []byte("overloaded")}))
+	f.Add(AppendAck(nil))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{4, 0, 0, 0, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			payload, err := r.ReadFrame()
+			if err != nil {
+				break
+			}
+			if len(payload) > MaxFrame {
+				t.Fatalf("frame of %d bytes escaped the cap", len(payload))
+			}
+			if req, err := ParseRequest(payload); err == nil {
+				again, err := ParseRequest(AppendRequest(nil, req)[4:])
+				if err != nil || again != req {
+					t.Fatalf("request %+v does not round-trip: %+v, %v", req, again, err)
+				}
+			}
+			var resp Response
+			if err := resp.Decode(payload); err == nil {
+				var again Response
+				if err := again.Decode(AppendResponse(nil, &resp)[4:]); err != nil {
+					t.Fatalf("decoded response %+v does not re-decode: %v", resp, err)
+				}
+			}
+		}
+	})
+}

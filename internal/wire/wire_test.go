@@ -1,0 +1,343 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpState},
+		{Op: OpEvent, Device: 7, Action: 2},
+		{Op: OpEvent, Device: 65535, Action: -1},
+		{Op: OpRecommend},
+		{Op: OpLearnState},
+	}
+	var buf []byte
+	for _, want := range reqs {
+		buf = AppendRequest(buf[:0], want)
+		if n := binary.LittleEndian.Uint32(buf); int(n) != len(buf)-4 {
+			t.Fatalf("frame length %d, payload %d", n, len(buf)-4)
+		}
+		got, err := ParseRequest(buf[4:])
+		if err != nil {
+			t.Fatalf("ParseRequest(%+v): %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip %+v → %+v", want, got)
+		}
+	}
+	if _, err := ParseRequest(buf[4:6]); err == nil {
+		t.Fatal("short request payload accepted")
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{Flags: FlagOK, Minute: 1439, Violations: 3, Degraded: 2, Q: 1.25},
+		{Flags: FlagOK | FlagUnsafe, State: []uint8{0, 1, 2, 3}, Minute: 7},
+		{Flags: FlagOK, Action: []int16{-1, 2, -1, 0}, Q: math.Inf(1)},
+		{Flags: FlagBusy, RetryAfterMs: 250, Err: []byte("overloaded")},
+		{Flags: FlagOK | FlagHasLearn, ReplaySize: 9, Events: 8, OnlineSteps: 7,
+			LearnSteps: 6, Recommends: 5, QSum: []byte("abc123")},
+		{Err: []byte("unknown op")},
+	}
+	var buf []byte
+	var got Response
+	for _, want := range cases {
+		buf = AppendResponse(buf[:0], &want)
+		if err := got.Decode(buf[4:]); err != nil {
+			t.Fatalf("Decode(%+v): %v", want, err)
+		}
+		if got.OK() != (want.Flags&FlagOK != 0) || got.Unsafe() != (want.Flags&FlagUnsafe != 0) ||
+			got.Busy() != (want.Flags&FlagBusy != 0) {
+			t.Fatalf("flag round trip %+v → %+v", want, got)
+		}
+		if got.Minute != want.Minute || got.Violations != want.Violations ||
+			got.Degraded != want.Degraded || got.RetryAfterMs != want.RetryAfterMs {
+			t.Fatalf("counter round trip %+v → %+v", want, got)
+		}
+		if math.Float64bits(got.Q) != math.Float64bits(want.Q) {
+			t.Fatalf("q round trip %v → %v", want.Q, got.Q)
+		}
+		if !bytes.Equal(got.State, want.State) && len(want.State) > 0 {
+			t.Fatalf("state round trip %v → %v", want.State, got.State)
+		}
+		if len(want.Action) > 0 {
+			if len(got.Action) != len(want.Action) {
+				t.Fatalf("action round trip %v → %v", want.Action, got.Action)
+			}
+			for i := range want.Action {
+				if got.Action[i] != want.Action[i] {
+					t.Fatalf("action round trip %v → %v", want.Action, got.Action)
+				}
+			}
+		}
+		if got.ReplaySize != want.ReplaySize || got.Events != want.Events ||
+			got.OnlineSteps != want.OnlineSteps || got.LearnSteps != want.LearnSteps ||
+			got.Recommends != want.Recommends || !bytes.Equal(got.QSum, want.QSum) {
+			t.Fatalf("learnstate round trip %+v → %+v", want, got)
+		}
+		if !bytes.Equal(got.Err, want.Err) {
+			t.Fatalf("err round trip %q → %q", want.Err, got.Err)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	full := AppendResponse(nil, &Response{
+		Flags: FlagOK | FlagHasLearn, State: []uint8{1, 2}, Action: []int16{-1, 3},
+		QSum: []byte("xyz"), Err: []byte("e"),
+	})
+	payload := full[4:]
+	var r Response
+	if err := r.Decode(payload); err != nil {
+		t.Fatalf("full payload rejected: %v", err)
+	}
+	for n := 0; n < len(payload); n++ {
+		if err := r.Decode(payload[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", n, len(payload))
+		}
+	}
+	if err := r.Decode(append(append([]byte{}, payload...), 0xFF)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// TestEncodeDecodeAllocationFree pins the steady-state exchange at zero
+// allocations on both sides once buffers are warm.
+func TestEncodeDecodeAllocationFree(t *testing.T) {
+	req := Request{Op: OpEvent, Device: 3, Action: 1}
+	resp := Response{
+		Flags: FlagOK, Minute: 612, Violations: 2, Q: 3.5,
+		State: []uint8{0, 1, 0, 2}, Action: []int16{-1, 1, -1, -1},
+	}
+	buf := make([]byte, 0, 256)
+	out := make([]byte, 0, 256)
+	var decoded Response
+	out = AppendResponse(out[:0], &resp)
+	if err := decoded.Decode(out[4:]); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		buf = AppendRequest(buf[:0], req)
+		if _, err := ParseRequest(buf[4:]); err != nil {
+			t.Fatal(err)
+		}
+		out = AppendResponse(out[:0], &resp)
+		if err := decoded.Decode(out[4:]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("encode/decode allocates %.1f objects per exchange, want 0", allocs)
+	}
+}
+
+func TestReaderFrames(t *testing.T) {
+	var stream []byte
+	stream = AppendRequest(stream, Request{Op: OpState})
+	stream = AppendRequest(stream, Request{Op: OpRecommend})
+	r := NewReader(bytes.NewReader(stream))
+	for _, wantOp := range []uint8{OpState, OpRecommend} {
+		p, err := r.ReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := ParseRequest(p)
+		if err != nil || req.Op != wantOp {
+			t.Fatalf("frame = %+v, %v; want op %d", req, err, wantOp)
+		}
+	}
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("EOF not surfaced: %v", err)
+	}
+}
+
+func TestReaderRejectsOversizedFrame(t *testing.T) {
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr, MaxFrame+1)
+	r := NewReader(bytes.NewReader(hdr))
+	if _, err := r.ReadFrame(); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestReaderPartialFrame(t *testing.T) {
+	full := AppendRequest(nil, Request{Op: OpState})
+	r := NewReader(bytes.NewReader(full[:len(full)-1]))
+	if _, err := r.ReadFrame(); err != io.ErrUnexpectedEOF {
+		t.Fatalf("partial frame: %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// TestTryReadFrame pins the coalescing contract: only frames fully
+// buffered are returned, and a partial tail never blocks.
+func TestTryReadFrame(t *testing.T) {
+	var stream []byte
+	for i := 0; i < 3; i++ {
+		stream = AppendRequest(stream, Request{Op: OpRecommend, Device: uint16(i)})
+	}
+	partial := AppendRequest(nil, Request{Op: OpState})
+	stream = append(stream, partial[:5]...) // header + 1 byte of a 4th frame
+
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	go func() {
+		srv.Write(stream)
+	}()
+	r := NewReader(cli)
+	// Block for the first frame, then drain the rest without blocking.
+	p, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req, _ := ParseRequest(p); req.Device != 0 {
+		t.Fatalf("first frame device = %d", req.Device)
+	}
+	// net.Pipe is synchronous: the writer's single Write has landed in the
+	// buffer along with frame 1 (one Read drains the whole chunk).
+	got := 1
+	for {
+		p, ok, err := r.TryReadFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		req, err := ParseRequest(p)
+		if err != nil || int(req.Device) != got {
+			t.Fatalf("frame %d = %+v, %v", got, req, err)
+		}
+		got++
+	}
+	if got != 3 {
+		t.Fatalf("drained %d frames, want 3 (partial 4th must not be returned)", got)
+	}
+}
+
+// TestClientHandshake exercises both ends of negotiation: a conforming
+// server acks and serves, a JSON-only server (which just closes on binary
+// bytes) surfaces as a handshake error the caller can fall back on.
+func TestClientHandshake(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		hs := make([]byte, 2)
+		if _, err := io.ReadFull(conn, hs); err != nil || hs[0] != Magic || hs[1] != Version {
+			return
+		}
+		conn.Write(AppendAck(nil))
+		r := NewReader(conn)
+		p, err := r.ReadFrame()
+		if err != nil {
+			return
+		}
+		req, err := ParseRequest(p)
+		if err != nil || req.Op != OpViolations {
+			return
+		}
+		conn.Write(AppendResponse(nil, &Response{Flags: FlagOK, Violations: 42}))
+	}()
+	c, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	resp, err := c.Do(Request{Op: OpViolations})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if !resp.OK() || resp.Violations != 42 {
+		t.Fatalf("response = %+v", resp)
+	}
+}
+
+func TestClientHandshakeDowngrade(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		// An old JSON daemon: the decoder chokes on 0xB7 and the handler
+		// closes the connection without writing anything.
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		io.ReadAll(io.LimitReader(conn, 2))
+		conn.Close()
+	}()
+	if _, err := Dial(ln.Addr().String(), 2*time.Second); !errors.Is(err, ErrNotBinary) {
+		t.Fatalf("handshake against a JSON-only daemon = %v, want ErrNotBinary", err)
+	}
+}
+
+// TestClientDoBatch pipelines a burst through one write and drains every
+// response, the way the load generator exercises batch scoring.
+func TestClientDoBatch(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		hs := make([]byte, 2)
+		if _, err := io.ReadFull(conn, hs); err != nil {
+			return
+		}
+		conn.Write(AppendAck(nil))
+		r := NewReader(conn)
+		var n int
+		var out []byte
+		for {
+			p, err := r.ReadFrame()
+			if err != nil {
+				return
+			}
+			if _, err := ParseRequest(p); err != nil {
+				return
+			}
+			n++
+			out = AppendResponse(out[:0], &Response{Flags: FlagOK, Violations: n})
+			if _, err := conn.Write(out); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	resp, err := c.DoBatch(Request{Op: OpViolations}, 8)
+	if err != nil {
+		t.Fatalf("DoBatch: %v", err)
+	}
+	// The returned response is the last of the burst.
+	if !resp.OK() || resp.Violations != 8 {
+		t.Fatalf("response = %+v", resp)
+	}
+}

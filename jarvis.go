@@ -32,8 +32,10 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"jarvis/internal/anomaly"
+	"jarvis/internal/compiled"
 	"jarvis/internal/device"
 	"jarvis/internal/env"
 	"jarvis/internal/policy"
@@ -69,6 +71,10 @@ type System struct {
 	agent    *rl.Agent
 	sim      *rl.SimEnv
 	degraded int
+	// compiled, when enabled, caches the agent's greedy policy as a dense
+	// state×time-bucket table; steady-state RecommendDecision becomes a
+	// bounds-checked array load. Nil until EnableCompiledPolicy.
+	compiled *compiled.Cache
 }
 
 // New creates a Jarvis system for the environment.
@@ -208,6 +214,7 @@ func (s *System) Train(sim rl.SimConfig, cfg TrainConfig) (rl.TrainStats, error)
 	}
 	s.agent = agent
 	s.sim = simEnv
+	s.invalidateCompiled()
 	return stats, nil
 }
 
@@ -237,6 +244,7 @@ func (s *System) Restore(sim rl.SimConfig, cfg TrainConfig, r io.Reader) error {
 	}
 	s.agent = agent
 	s.sim = simEnv
+	s.invalidateCompiled()
 	return nil
 }
 
@@ -327,6 +335,7 @@ func (s *System) LoadQ(r io.Reader) error {
 	if err := p.Load(r); err != nil {
 		return fmt.Errorf("jarvis: load q: %w", err)
 	}
+	s.invalidateCompiled()
 	return nil
 }
 
@@ -377,6 +386,12 @@ func (s *System) LearnOnlineTraced(sp *trace.Span, rng *rand.Rand) (bool, error)
 	if err != nil {
 		return ran, fmt.Errorf("jarvis: learn online: %w", err)
 	}
+	if ran {
+		// The Q values changed (or a watchdog rollback replaced them mid-
+		// step, which invalidates through LoadQ as well); compiled decisions
+		// may no longer match the agent's.
+		s.invalidateCompiled()
+	}
 	return ran, nil
 }
 
@@ -399,7 +414,32 @@ func (s *System) RecommendDecision(state env.State, t int) (Decision, error) {
 
 // RecommendDecisionTraced is RecommendDecision with the selection recorded
 // under sp; nil span = RecommendDecision.
+//
+// When a compiled policy is enabled and clean, unsampled requests (nil
+// span) are served straight from the table: one state-key encode and a
+// bounds-checked array load, zero allocations. Sampled requests take the
+// agent path so traces keep covering the full selection pipeline — the
+// decisions are bit-identical either way, which the golden tests pin.
 func (s *System) RecommendDecisionTraced(sp *trace.Span, state env.State, t int) (Decision, error) {
+	if c := s.compiled; c != nil && sp == nil {
+		if p := c.Policy(); p != nil {
+			if !s.env.ValidState(state) {
+				return Decision{}, errors.New("jarvis: invalid state")
+			}
+			if d, ok := p.Lookup(state, t); ok {
+				c.Hit()
+				if d.Degraded {
+					s.degraded++
+				}
+				// d.Action aliases the shared palette; Decision consumers
+				// (the daemon, the decision log) treat actions as read-only.
+				return Decision{Action: d.Action, Value: d.Value, Degraded: d.Degraded}, nil
+			}
+			c.Miss()
+		} else if !c.Disabled() {
+			c.Miss()
+		}
+	}
 	before := s.DegradedRecommendations()
 	act, err := s.RecommendTraced(sp, state, t)
 	if err != nil {
@@ -410,6 +450,39 @@ func (s *System) RecommendDecisionTraced(sp *trace.Span, state env.State, t int)
 		d.Value = s.agent.LastValue()
 	}
 	return d, nil
+}
+
+// EnableCompiledPolicy attaches a compiled-policy cache and builds the
+// first table synchronously. lock must be the lock that guards every
+// mutation of this system (the daemon passes its state mutex; the caller
+// must not hold it here). The returned error reports why compilation is
+// unavailable — compiled.ErrTooLarge marks a state×bucket product beyond
+// opts.MaxEntries, permanently disabling the cache — and the system keeps
+// serving through the agent path in every error case, so callers may treat
+// it as advisory.
+func (s *System) EnableCompiledPolicy(lock sync.Locker, opts compiled.Options) error {
+	if s.agent == nil || s.sim == nil {
+		return errors.New("jarvis: Train or Restore must run before EnableCompiledPolicy")
+	}
+	c := compiled.NewCache(lock, func() (*compiled.Policy, error) {
+		return compiled.Compile(s.env, s.agent, s.sim.Instances(), opts)
+	})
+	s.compiled = c
+	return c.RebuildNow()
+}
+
+// CompiledPolicy exposes the compiled-policy cache (nil until
+// EnableCompiledPolicy) for health surfaces and tests.
+func (s *System) CompiledPolicy() *compiled.Cache { return s.compiled }
+
+// invalidateCompiled marks the compiled table stale after any mutation of
+// its inputs (Q values, P_safe, the agent itself). A no-op until
+// EnableCompiledPolicy. Callers in the daemon hold the state lock, which
+// is the cache's correctness contract.
+func (s *System) invalidateCompiled() {
+	if s.compiled != nil {
+		s.compiled.Invalidate()
+	}
 }
 
 // DegradedRecommendations counts the recommendations that fell back to the
@@ -448,5 +521,6 @@ func (s *System) LoadTable(r io.Reader) error {
 		return err
 	}
 	s.table = t
+	s.invalidateCompiled()
 	return nil
 }
