@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-daemon race-core fmt check bench serve-bench stats crash trace replay fuzz
+.PHONY: build test vet race race-daemon race-core fmt check bench serve-bench stats crash trace replay alerts fuzz
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,7 @@ race-daemon:
 # parallel experiment harness, and the metrics registry and span tracer
 # they report into, plus the WAL and the replay engine built on it.
 race-core:
-	$(GO) test -race ./internal/nn/ ./internal/rl/ ./internal/experiment/ ./internal/telemetry/ ./internal/trace/ ./internal/wal/ ./internal/replay/ ./internal/compiled/ ./internal/wire/
+	$(GO) test -race ./internal/nn/ ./internal/rl/ ./internal/experiment/ ./internal/telemetry/ ./internal/trace/ ./internal/wal/ ./internal/replay/ ./internal/compiled/ ./internal/wire/ ./internal/health/
 
 # The crash-recovery drill: SIGKILL a real daemon mid-online-training,
 # boot a successor on its checkpoint + WAL, and require the recovered
@@ -44,6 +44,13 @@ trace:
 # divergence.
 replay:
 	$(GO) test -run 'TestReplayVerifyReproducesDecisionLog|TestReplayWhatIfPerturbedPolicyDiverges|TestReplayerIsSelfConsistent|TestForkEmitsAlignedTail' -count=1 -v ./cmd/jarvisd/ ./internal/replay/
+
+# The alerting smoke: a hair-trigger rule must fire under traffic, appear
+# in /debug/alerts and /healthz, resolve when traffic stops, and log both
+# lifecycle edges; and a deliberately corrupted policy must raise the
+# drift alert, roll back through the watchdog, and resolve.
+alerts:
+	$(GO) test -run 'TestAlertSmokeHairTrigger|TestDriftAlertRollsBackAndResolves' -count=1 -v ./cmd/jarvisd/
 
 # Short fuzz passes over every decoder that reads untrusted bytes: WAL
 # segment frames, checkpoint/nn payloads, and policy tables. Go fuzzing

@@ -8,10 +8,17 @@
 //	jarvisctl -format prom stats
 //	jarvisctl -n 5 -slowest trace
 //	jarvisctl replay
+//	jarvisctl alerts
+//	jarvisctl slo
 //
 // Protocol commands negotiate the length-prefixed binary codec by default
 // and silently fall back to JSON lines against daemons that predate it;
 // -wire binary|json pins the codec instead.
+//
+// alerts and slo render the daemon's policy-health surface: alerts shows
+// the firing/resolved alert state plus the latest shadow-evaluation
+// report (non-zero exit while anything fires), slo shows each objective's
+// rolling-window error-budget burn rate (non-zero exit when out of SLO).
 //
 // stats, trace, and replay talk to the daemon's debug HTTP listener
 // (-debug-addr) instead of the TCP protocol: stats renders the /metrics
@@ -37,6 +44,7 @@ import (
 	"strings"
 	"time"
 
+	"jarvis/internal/health"
 	"jarvis/internal/replay"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/trace"
@@ -101,6 +109,16 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("replay takes no arguments")
 		}
 		return runReplay(*debugAddr, *timeout, out)
+	case len(rest) > 0 && rest[0] == "alerts":
+		if len(rest) != 1 {
+			return fmt.Errorf("alerts takes no arguments")
+		}
+		return runAlerts(*debugAddr, *timeout, out)
+	case len(rest) > 0 && rest[0] == "slo":
+		if len(rest) != 1 {
+			return fmt.Errorf("slo takes no arguments")
+		}
+		return runSLO(*debugAddr, *timeout, out)
 	}
 	req, err := buildRequest(fs.Args())
 	if err != nil {
@@ -164,7 +182,7 @@ func retryLoop(rt func(string, time.Duration, request) (response, error), addr s
 
 func buildRequest(args []string) (request, error) {
 	if len(args) == 0 {
-		return request{}, fmt.Errorf("expected a command: state|event <device> <action>|recommend|violations|stats|trace|replay")
+		return request{}, fmt.Errorf("expected a command: state|event <device> <action>|recommend|violations|stats|trace|replay|alerts|slo")
 	}
 	switch args[0] {
 	case "state", "recommend", "violations":
@@ -179,6 +197,109 @@ func buildRequest(args []string) (request, error) {
 		return request{Op: "event", Device: args[1], Action: args[2]}, nil
 	}
 	return request{}, fmt.Errorf("unknown command %q", args[0])
+}
+
+// alertsDocument mirrors jarvisd's /debug/alerts body.
+type alertsDocument struct {
+	Stats   health.EngineStats   `json:"stats"`
+	Firing  []health.Alert       `json:"firing"`
+	History []health.Transition  `json:"history"`
+	Shadow  *health.ShadowReport `json:"shadow,omitempty"`
+}
+
+// runAlerts fetches /debug/alerts and renders the firing alerts, recent
+// transitions, and the latest shadow-evaluation report. Firing alerts
+// exit non-zero so the command doubles as a scriptable health probe.
+func runAlerts(addr string, timeout time.Duration, out io.Writer) error {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get("http://" + addr + "/debug/alerts")
+	if err != nil {
+		return fmt.Errorf("fetch alerts from %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("alerts endpoint returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var doc alertsDocument
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return fmt.Errorf("decode alerts: %w", err)
+	}
+	st := doc.Stats
+	fmt.Fprintf(out, "alerting: %d rule(s), %d evaluation(s), %d fired, %d resolved\n",
+		st.Rules, st.Evaluations, st.Fired, st.Resolved)
+	if len(doc.Firing) == 0 {
+		fmt.Fprintln(out, "no alerts firing")
+	} else {
+		fmt.Fprintf(out, "%d alert(s) FIRING:\n", len(doc.Firing))
+		for _, a := range doc.Firing {
+			fmt.Fprintf(out, "  [%s] %s: value %g %s %g (breaching %d eval(s), since %s)\n",
+				a.Severity, a.Rule, a.Value, a.Op, a.Threshold, a.Count,
+				time.Unix(0, a.FiredUnixNs).Format(time.RFC3339))
+			if a.Description != "" {
+				fmt.Fprintf(out, "      %s\n", a.Description)
+			}
+		}
+	}
+	if len(doc.History) > 0 {
+		fmt.Fprintln(out, "recent transitions:")
+		for _, tr := range doc.History {
+			fmt.Fprintf(out, "  %s %-8s %s (value %g %s %g)\n",
+				time.Unix(0, tr.UnixNs).Format(time.RFC3339), tr.State, tr.Rule,
+				tr.Value, tr.Op, tr.Threshold)
+		}
+	}
+	if sh := doc.Shadow; sh != nil {
+		fmt.Fprintf(out, "shadow evaluation at %s: divergence %.3f over %d recommendation(s), reward delta %+.3f, violation delta %+d (%dms)\n",
+			time.Unix(0, sh.UnixNs).Format(time.RFC3339), sh.DivergenceRate,
+			sh.Recommends, sh.RewardDelta, sh.ViolationDelta, sh.DurationMs)
+		if sh.Err != "" {
+			fmt.Fprintf(out, "  last shadow error: %s\n", sh.Err)
+		}
+	}
+	if len(doc.Firing) > 0 {
+		return fmt.Errorf("%d alert(s) firing", len(doc.Firing))
+	}
+	return nil
+}
+
+// runSLO fetches /debug/slo and renders each objective's windowed burn
+// rate. An objective out of SLO (burn > 1) exits non-zero.
+func runSLO(addr string, timeout time.Duration, out io.Writer) error {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get("http://" + addr + "/debug/slo")
+	if err != nil {
+		return fmt.Errorf("fetch slo from %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("slo endpoint returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var rep health.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return fmt.Errorf("decode slo: %w", err)
+	}
+	fmt.Fprintf(out, "SLO window %s (%d sample(s) spanning %s)\n",
+		time.Duration(rep.WindowMs)*time.Millisecond, rep.Samples,
+		time.Duration(rep.SpanMs)*time.Millisecond)
+	missed := 0
+	for _, o := range rep.Objectives {
+		status := "ok"
+		if !o.Met {
+			status = "OUT OF SLO"
+			missed++
+		}
+		fmt.Fprintf(out, "  %-26s %-8s burn %.3f (%d bad / %d total)", o.Name, o.Kind, o.BurnRate, o.Bad, o.Total)
+		if o.P99Ns > 0 {
+			fmt.Fprintf(out, " p99=%s", time.Duration(o.P99Ns))
+		}
+		fmt.Fprintf(out, " [%s]\n", status)
+	}
+	if missed > 0 {
+		return fmt.Errorf("%d objective(s) out of SLO", missed)
+	}
+	return nil
 }
 
 func roundTrip(addr string, timeout time.Duration, req request) (response, error) {
@@ -383,4 +504,9 @@ func renderStats(out io.Writer, snap telemetry.Snapshot) {
 				time.Duration(h.P99Ns), time.Duration(h.MaxNs))
 		}
 	}
+	// Observability-loss indicators, surfaced even when zero so an operator
+	// can see the collection pipeline itself is intact: events the ring
+	// dropped before any scrape, and completed traces currently retained.
+	fmt.Fprintf(out, "telemetry events dropped: %d\n", snap.Counters["telemetry.events.dropped"])
+	fmt.Fprintf(out, "traces sampled: %g\n", snap.Gauges["jarvisd.traces.sampled"])
 }

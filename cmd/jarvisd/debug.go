@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"jarvis/internal/compiled"
+	"jarvis/internal/health"
 	"jarvis/internal/replay"
 	"jarvis/internal/rl"
 	"jarvis/internal/telemetry"
@@ -50,6 +51,8 @@ func (s *server) startDebug(addr string) error {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/replay", s.handleReplay)
+	mux.HandleFunc("/debug/alerts", s.handleAlerts)
+	mux.HandleFunc("/debug/slo", s.handleSLO)
 	mux.HandleFunc("/debug/traces", s.handleTraces)
 	mux.HandleFunc("/debug/traces/chrome", s.handleTracesChrome)
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -198,6 +201,13 @@ type healthStatus struct {
 	WireJSONConns   int64 `json:"wireJsonConns,omitempty"`
 	WireCoalesced   int64 `json:"wireCoalesced,omitempty"`
 	WireSharedEvals int64 `json:"wireSharedEvals,omitempty"`
+	// AlertsFiring lists the alert engine's currently firing alerts (see
+	// /debug/alerts for history and stats); SLOBurn maps each objective to
+	// its current error-budget burn rate (> 1 = out of SLO); Shadow is the
+	// latest shadow-evaluation report. All absent when alerting is off.
+	AlertsFiring []health.Alert       `json:"alertsFiring,omitempty"`
+	SLOBurn      map[string]float64   `json:"sloBurn,omitempty"`
+	Shadow       *health.ShadowReport `json:"shadow,omitempty"`
 }
 
 // handleReplay runs a verify-mode deterministic replay of the daemon's own
@@ -287,6 +297,19 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	h.TelemetryEventsDropped = telemetry.Default.Events().Dropped()
 	h.TracesSampled = s.tracer.Ring().Len()
+	if s.health != nil {
+		h.AlertsFiring = s.health.Active()
+	}
+	if s.slo != nil {
+		rep := s.slo.Report()
+		h.SLOBurn = make(map[string]float64, len(rep.Objectives))
+		for _, o := range rep.Objectives {
+			h.SLOBurn[o.Name] = o.BurnRate
+		}
+	}
+	if s.shadow != nil {
+		h.Shadow = s.shadow.Last()
+	}
 	if c := s.sys.CompiledPolicy(); c != nil {
 		st := c.Stats()
 		h.CompiledPolicy = &st

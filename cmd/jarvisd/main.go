@@ -41,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"jarvis/internal/health"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/wal"
 )
@@ -74,6 +75,10 @@ func run(args []string) error {
 	traceSample := fs.Int("trace-sample", 0, "trace one in every N requests through the pipeline (1 = every request, 0 = disabled)")
 	traceRing := fs.Int("trace-ring", 0, "completed traces retained for /debug/traces (0 = default)")
 	anomalyFilter := fs.Bool("anomaly-filter", false, "train the benign-anomaly ANN and score every recommendation through it")
+	alertRules := fs.String("alert-rules", "", "alert rules file (JSON; empty = built-in defaults, \"none\" = disable alerting)")
+	alertLog := fs.String("alert-log", "", "append one JSON line per alert firing/resolved transition to this file (empty = disabled)")
+	sloWindow := fs.Duration("slo-window", 10*time.Minute, "rolling window for SLO error-budget burn rates")
+	shadowEvery := fs.Int("shadow-every", 32, "run one shadow policy evaluation per N online learn steps (<= 0 = disabled; needs -wal and -checkpoint)")
 	profileDir := fs.String("profile-dir", "", "capture cpu.pprof (first -profile-cpu-window) and a shutdown heap.pprof into this directory (empty = disabled)")
 	profileCPUWindow := fs.Duration("profile-cpu-window", 30*time.Second, "how long the automated CPU profile records")
 	idle := fs.Duration("idle-timeout", 5*time.Minute, "drop connections idle longer than this")
@@ -91,6 +96,19 @@ func run(args []string) error {
 		syncPolicy = wal.SyncOnRotate
 	default:
 		return fmt.Errorf("unknown -wal-sync %q (want record, interval, or rotate)", *walSync)
+	}
+	var alertingOff bool
+	var rules []health.Rule
+	switch *alertRules {
+	case "":
+		// nil rules = built-in defaults.
+	case "none", "off":
+		alertingOff = true
+	default:
+		var err error
+		if rules, err = health.LoadRules(*alertRules); err != nil {
+			return err
+		}
 	}
 
 	logf := func(format string, args ...any) {
@@ -121,6 +139,11 @@ func run(args []string) error {
 		DecisionLogKeep:     *logDecisionsKeep,
 		TraceSample:         *traceSample,
 		TraceRing:           *traceRing,
+		AlertRules:          rules,
+		AlertingOff:         alertingOff,
+		AlertLogPath:        *alertLog,
+		SLOWindow:           *sloWindow,
+		ShadowEvery:         *shadowEvery,
 		AnomalyFilter:       *anomalyFilter,
 		IdleTimeout:         *idle,
 		WriteTimeout:        *writeTimeout,

@@ -17,6 +17,7 @@ import (
 	"jarvis/internal/compiled"
 	"jarvis/internal/device"
 	"jarvis/internal/env"
+	"jarvis/internal/health"
 	"jarvis/internal/replay"
 	"jarvis/internal/rl"
 	"jarvis/internal/smarthome"
@@ -114,6 +115,25 @@ type serverConfig struct {
 	// and, on sampled requests, in an anomaly.score span.
 	AnomalyFilter bool
 
+	// AlertRules is the alert engine's rule set (nil = health.DefaultRules;
+	// see the -alert-rules flag for loading a file). AlertingOff disables
+	// the whole health subsystem — engine, SLO tracker, and shadow
+	// evaluator.
+	AlertRules  []health.Rule
+	AlertingOff bool
+	// AlertLogPath appends one JSON line per alert firing/resolved
+	// transition (empty = disabled).
+	AlertLogPath string
+	// SLOWindow is the rolling window SLO burn rates are computed over
+	// (default 10m).
+	SLOWindow time.Duration
+	// ShadowEvery runs one shadow evaluation per N online learn steps
+	// (default 32; <= 0 disables). Shadow evaluation also needs -wal and
+	// -checkpoint: it replays the journal against the newest generation.
+	ShadowEvery int
+	// HealthInterval is the alert/SLO evaluation cadence (default 5s).
+	HealthInterval time.Duration
+
 	// IdleTimeout bounds how long a connection may sit silent between
 	// requests before the daemon drops it (default 5m).
 	IdleTimeout time.Duration
@@ -145,6 +165,15 @@ func (c serverConfig) withDefaults() serverConfig {
 	}
 	if c.OnlineTrainEvery == 0 {
 		c.OnlineTrainEvery = 4
+	}
+	if c.SLOWindow <= 0 {
+		c.SLOWindow = 10 * time.Minute
+	}
+	if c.ShadowEvery == 0 {
+		c.ShadowEvery = 32
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 5 * time.Second
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -245,6 +274,14 @@ type server struct {
 	// decisions is the structured decision log (replay.DecisionLog, opened
 	// via decision.go); nil when cfg.DecisionLogPath is empty.
 	decisions *replay.DecisionLog
+
+	// health/slo/shadow are the policy-health subsystem (health.go): the
+	// alert engine and SLO tracker run on the health ticker; the shadow
+	// evaluator runs on the learn-step cadence. All nil when
+	// cfg.AlertingOff (shadow additionally needs WAL + checkpoint).
+	health *health.Engine
+	slo    *health.Tracker
+	shadow *health.Shadow
 
 	// tracer samples request traces (disabled, never nil, when
 	// cfg.TraceSample <= 0).
@@ -386,6 +423,12 @@ func newServer(cfg serverConfig) (*server, error) {
 				st.Entries, st.PaletteSize, st.BuildMs)
 		}
 	}
+
+	// The health subsystem starts last so its first snapshot already sees
+	// the fully assembled daemon (restored counters, replayed WAL).
+	if err := s.initHealth(); err != nil {
+		return nil, fmt.Errorf("health subsystem: %w", err)
+	}
 	return s, nil
 }
 
@@ -441,6 +484,16 @@ func (s *server) Close() error {
 	}
 	s.connMu.Unlock()
 	s.wg.Wait()
+	if s.health != nil {
+		// The health ticker and any in-flight shadow run are drained by
+		// wg.Wait above, so closing the alert log here races nothing.
+		if herr := s.health.Close(); herr != nil {
+			s.cfg.Logf("jarvisd: alert log close failed: %v", herr)
+			if err == nil {
+				err = herr
+			}
+		}
+	}
 	if s.store != nil {
 		if cerr := s.saveCheckpoint(); cerr != nil {
 			s.cfg.Logf("jarvisd: final checkpoint failed: %v", cerr)

@@ -192,6 +192,7 @@ func (s *server) ingestTransition(sp *trace.Span, prev env.State, a env.Action, 
 		case ran:
 			s.learnSteps++
 			mOnlineLearnSteps.Inc()
+			s.maybeShadowEval()
 		}
 	}
 }

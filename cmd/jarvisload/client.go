@@ -24,6 +24,7 @@ type flags struct {
 	warmup       *int
 	out          *string
 	minSpeedup   *float64
+	sloP99Us     *float64
 	learningDays *int
 	episodes     *int
 	timeout      *time.Duration
@@ -41,6 +42,7 @@ func newFlagSet() *flags {
 	f.warmup = f.fs.Int("warmup", 200, "untimed warmup requests per scenario")
 	f.out = f.fs.String("out", "BENCH_serve.json", "report path")
 	f.minSpeedup = f.fs.Float64("min-speedup", 0, "fail unless binary+compiled beats json+dnn by this throughput multiple (0 = report only)")
+	f.sloP99Us = f.fs.Float64("slo-p99-us", 0, "SLO target: stamp slo_pass per scenario (p99 <= this many µs) into the report and fail when any scenario misses (0 = disabled)")
 	f.learningDays = f.fs.Int("learning-days", 2, "spawned daemon learning-phase length")
 	f.episodes = f.fs.Int("episodes", 2, "spawned daemon training episodes")
 	f.timeout = f.fs.Duration("timeout", 10*time.Second, "per-request deadline")

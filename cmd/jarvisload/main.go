@@ -55,6 +55,11 @@ type result struct {
 	P99Us      float64 `json:"p99_us"`
 	RecsPerSec float64 `json:"recs_per_sec"`
 	ElapsedMs  float64 `json:"elapsed_ms"`
+	// SLOP99Us/SLOPass record the -slo-p99-us gate: present only when a
+	// target was given, so the serve-bench trajectory doubles as an SLO
+	// regression gate.
+	SLOP99Us float64 `json:"slo_p99_us,omitempty"`
+	SLOPass  *bool   `json:"slo_pass,omitempty"`
 }
 
 // report is the BENCH_serve.json envelope, shaped like BENCH_core.json.
@@ -89,7 +94,7 @@ func run(args []string, out *os.File) error {
 		}
 		r.Scenario = "external"
 		rep.Results = append(rep.Results, r)
-		return writeReport(&rep, *cfg.out, out, 0)
+		return writeReport(&rep, *cfg.out, out, 0, *cfg.sloP99Us)
 	}
 
 	if *cfg.daemon == "" {
@@ -132,15 +137,29 @@ func run(args []string, out *os.File) error {
 		fmt.Fprintf(out, "%-16s %8.0f recs/sec  p50 %7.1fµs  p99 %7.1fµs\n",
 			sc.Name, r.RecsPerSec, r.P50Us, r.P99Us)
 	}
-	return writeReport(&rep, *cfg.out, out, *cfg.minSpeedup)
+	return writeReport(&rep, *cfg.out, out, *cfg.minSpeedup, *cfg.sloP99Us)
 }
 
-// writeReport computes the speedup, persists the envelope, and enforces
-// -min-speedup.
-func writeReport(rep *report, path string, out *os.File, minSpeedup float64) error {
+// writeReport computes the speedup, stamps the SLO verdicts, persists the
+// envelope, and enforces -min-speedup / -slo-p99-us. The file is written
+// before any gate fires so a failing run still leaves the evidence.
+func writeReport(rep *report, path string, out *os.File, minSpeedup, sloP99Us float64) error {
 	if len(rep.Results) == 2 && rep.Results[0].RecsPerSec > 0 {
 		rep.Speedup = rep.Results[1].RecsPerSec / rep.Results[0].RecsPerSec
 		fmt.Fprintf(out, "speedup: %.1fx\n", rep.Speedup)
+	}
+	sloMisses := 0
+	if sloP99Us > 0 {
+		for i := range rep.Results {
+			r := &rep.Results[i]
+			pass := r.P99Us <= sloP99Us
+			r.SLOP99Us = sloP99Us
+			r.SLOPass = &pass
+			if !pass {
+				sloMisses++
+				fmt.Fprintf(out, "%s: p99 %.1fµs exceeds SLO target %.1fµs\n", r.Scenario, r.P99Us, sloP99Us)
+			}
+		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -152,6 +171,9 @@ func writeReport(rep *report, path string, out *os.File, minSpeedup float64) err
 	fmt.Fprintf(out, "wrote %s\n", path)
 	if minSpeedup > 0 && rep.Speedup < minSpeedup {
 		return fmt.Errorf("speedup %.2fx below required %.2fx", rep.Speedup, minSpeedup)
+	}
+	if sloMisses > 0 {
+		return fmt.Errorf("%d scenario(s) missed the p99 SLO target of %.1fµs", sloMisses, sloP99Us)
 	}
 	return nil
 }

@@ -1,0 +1,95 @@
+package health
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRulesBareArrayAndWrapped(t *testing.T) {
+	bare := `[{"name":"a","metric":"m","op":">","value":1}]`
+	wrapped := `{"rules":[{"name":"a","metric":"m","op":">","value":1}]}`
+	for _, doc := range []string{bare, wrapped} {
+		rules, err := ParseRules([]byte(doc))
+		if err != nil {
+			t.Fatalf("ParseRules(%s): %v", doc, err)
+		}
+		if len(rules) != 1 || rules[0].Name != "a" {
+			t.Fatalf("rules = %+v", rules)
+		}
+		// Defaults applied.
+		if rules[0].For != 1 || rules[0].ClearFor != 2 || rules[0].Severity != SeverityWarn {
+			t.Fatalf("defaults not applied: %+v", rules[0])
+		}
+	}
+}
+
+func TestParseRulesRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"bad op":    `[{"name":"a","metric":"m","op":"~","value":1}]`,
+		"no name":   `[{"metric":"m","op":">","value":1}]`,
+		"no metric": `[{"name":"a","op":">","value":1}]`,
+		"dup names": `[{"name":"a","metric":"m","op":">","value":1},{"name":"a","metric":"m2","op":">","value":1}]`,
+		"bad quant": `[{"name":"a","metric":"m","op":">","value":1,"quantile":1.5}]`,
+		"not json":  `nope`,
+	}
+	for label, doc := range cases {
+		if _, err := ParseRules([]byte(doc)); err == nil {
+			t.Errorf("%s: ParseRules accepted %s", label, doc)
+		}
+	}
+}
+
+func TestDefaultRulesValid(t *testing.T) {
+	rules := DefaultRules()
+	if len(rules) == 0 {
+		t.Fatal("no default rules")
+	}
+	seen := map[string]bool{}
+	var hasRollback bool
+	for _, r := range rules {
+		if err := r.validate(); err != nil {
+			t.Errorf("default rule invalid: %v", err)
+		}
+		if seen[r.Name] {
+			t.Errorf("duplicate default rule %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Rollback {
+			hasRollback = true
+		}
+	}
+	if !hasRollback {
+		t.Error("no default rule arms the watchdog rollback")
+	}
+	if !seen["policy-drift"] {
+		t.Error("missing the policy-drift rule")
+	}
+}
+
+func TestCompareOps(t *testing.T) {
+	for op, want := range map[string][2]bool{
+		// value 5 vs threshold 5, then 6 vs 5
+		">":  {false, true},
+		">=": {true, true},
+		"<":  {false, false},
+		"<=": {true, false},
+		"==": {true, false},
+		"!=": {false, true},
+	} {
+		r := Rule{Op: op, Value: 5}
+		if got := r.compare(5); got != want[0] {
+			t.Errorf("compare(5 %s 5) = %v", op, got)
+		}
+		if got := r.compare(6); got != want[1] {
+			t.Errorf("compare(6 %s 5) = %v", op, got)
+		}
+	}
+}
+
+func TestLoadRulesMissingFile(t *testing.T) {
+	if _, err := LoadRules("/nonexistent/rules.json"); err == nil {
+		t.Fatal("LoadRules on a missing file succeeded")
+	} else if strings.Contains(err.Error(), "parse") {
+		t.Fatalf("want a read error, got %v", err)
+	}
+}

@@ -1,0 +1,22 @@
+package health
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"jarvis/internal/replay"
+)
+
+var errTest = errors.New("synthetic capture failure")
+
+// replaySourceForTest points at an empty checkpoint store so Shadow.Run
+// takes its skip path instead of replaying.
+func replaySourceForTest(t *testing.T) replay.Source {
+	t.Helper()
+	dir := t.TempDir()
+	return replay.Source{
+		WALDir:         filepath.Join(dir, "wal"),
+		CheckpointPath: filepath.Join(dir, "ckpt", "jarvis.ckpt"),
+	}
+}

@@ -1,0 +1,242 @@
+package health
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"jarvis/internal/telemetry"
+)
+
+// Objective is one service-level objective scored over the tracker's
+// rolling window. Exactly one of three kinds, chosen by which fields are
+// set:
+//
+//   - latency: Histogram + ThresholdNs — the fraction of window
+//     observations at or under ThresholdNs must be ≥ Target;
+//   - ratio: Bad + Total counters — the windowed Bad/Total fraction must
+//     stay ≤ 1−Target;
+//   - budget: Counter + Budget — at most Budget windowed increments.
+type Objective struct {
+	Name string `json:"name"`
+	// Target is the good fraction for latency and ratio kinds, e.g. 0.99.
+	Target float64 `json:"target,omitempty"`
+
+	Histogram   string `json:"histogram,omitempty"`
+	ThresholdNs int64  `json:"thresholdNs,omitempty"`
+
+	Bad   string `json:"bad,omitempty"`
+	Total string `json:"total,omitempty"`
+
+	Counter string  `json:"counter,omitempty"`
+	Budget  float64 `json:"budget,omitempty"`
+}
+
+func (o Objective) kind() string {
+	switch {
+	case o.Histogram != "":
+		return "latency"
+	case o.Counter != "":
+		return "budget"
+	default:
+		return "ratio"
+	}
+}
+
+func (o Objective) validate() error {
+	switch o.kind() {
+	case "latency":
+		if o.ThresholdNs <= 0 || o.Target <= 0 || o.Target >= 1 {
+			return fmt.Errorf("objective %q: latency kind needs thresholdNs > 0 and target in (0,1)", o.Name)
+		}
+	case "budget":
+		if o.Budget <= 0 {
+			return fmt.Errorf("objective %q: budget kind needs budget > 0", o.Name)
+		}
+	case "ratio":
+		if o.Bad == "" || o.Total == "" || o.Target <= 0 || o.Target >= 1 {
+			return fmt.Errorf("objective %q: ratio kind needs bad, total, and target in (0,1)", o.Name)
+		}
+	}
+	if o.Name == "" {
+		return fmt.Errorf("objective missing name")
+	}
+	return nil
+}
+
+// ObjectiveStatus is one objective scored over the current window.
+type ObjectiveStatus struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	Target float64 `json:"target,omitempty"`
+	Budget float64 `json:"budget,omitempty"`
+	Good   int64   `json:"good"`
+	Bad    int64   `json:"bad"`
+	Total  int64   `json:"total"`
+	// BadFraction is Bad/Total over the window (0 when the window is empty).
+	BadFraction float64 `json:"badFraction"`
+	// BurnRate is the error-budget burn: badFraction / (1 − target) for
+	// latency and ratio kinds, windowed-count / budget for budget kinds.
+	// 1.0 means the window consumes its budget exactly; > 1 is out of SLO.
+	BurnRate float64 `json:"burnRate"`
+	// P99Ns reports the windowed p99 for latency objectives.
+	P99Ns int64 `json:"p99Ns,omitempty"`
+	Met   bool  `json:"met"`
+}
+
+// Report is the /debug/slo document.
+type Report struct {
+	WindowMs int64 `json:"windowMs"`
+	// SpanMs is how much of the window the retained samples actually cover.
+	SpanMs     int64             `json:"spanMs"`
+	Samples    int               `json:"samples"`
+	Objectives []ObjectiveStatus `json:"objectives"`
+}
+
+// sample is one retained snapshot.
+type sample struct {
+	at   time.Time
+	snap telemetry.Snapshot
+}
+
+// Tracker scores objectives over a rolling window of telemetry
+// snapshots. Observe is driven by the daemon's health ticker; the window
+// is realized as the delta between the newest retained snapshot and the
+// oldest one still inside the window, using the histogram bucket deltas
+// for latency quantiles. Burn rates are published as gauges
+// (health.slo.burn.<name>) so alert rules can fire on them.
+type Tracker struct {
+	mu         sync.Mutex
+	window     time.Duration
+	objectives []Objective
+	samples    []sample
+	burn       map[string]*telemetry.Gauge
+	now        func() time.Time
+}
+
+// NewTracker builds a tracker. Window <= 0 defaults to 10 minutes.
+func NewTracker(window time.Duration, objectives []Objective, reg *telemetry.Registry) (*Tracker, error) {
+	if window <= 0 {
+		window = 10 * time.Minute
+	}
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	t := &Tracker{
+		window: window,
+		burn:   make(map[string]*telemetry.Gauge, len(objectives)),
+		now:    time.Now,
+	}
+	for _, o := range objectives {
+		if err := o.validate(); err != nil {
+			return nil, err
+		}
+		t.objectives = append(t.objectives, o)
+		t.burn[o.Name] = reg.Gauge("health.slo.burn." + o.Name)
+	}
+	return t, nil
+}
+
+// SetNow substitutes the clock (tests).
+func (t *Tracker) SetNow(now func() time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+}
+
+// Observe appends a snapshot, evicts samples older than the window, and
+// republishes every objective's burn-rate gauge.
+func (t *Tracker) Observe(snap telemetry.Snapshot) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	t.samples = append(t.samples, sample{at: now, snap: snap})
+	// Keep one sample at-or-before the window edge so the delta spans the
+	// full window rather than starting at the first in-window sample.
+	cutoff := now.Add(-t.window)
+	for len(t.samples) >= 2 && !t.samples[1].at.After(cutoff) {
+		t.samples = t.samples[1:]
+	}
+	for _, st := range t.statusesLocked() {
+		t.burn[st.Name].Set(st.BurnRate)
+	}
+}
+
+// Window returns the configured rolling window.
+func (t *Tracker) Window() time.Duration { return t.window }
+
+// Report scores every objective over the current window.
+func (t *Tracker) Report() Report {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := Report{
+		WindowMs:   t.window.Milliseconds(),
+		Samples:    len(t.samples),
+		Objectives: t.statusesLocked(),
+	}
+	if len(t.samples) >= 2 {
+		r.SpanMs = t.samples[len(t.samples)-1].at.Sub(t.samples[0].at).Milliseconds()
+	}
+	return r
+}
+
+// statusesLocked scores the objectives against the retained window.
+// Caller holds t.mu.
+func (t *Tracker) statusesLocked() []ObjectiveStatus {
+	var cur, prev telemetry.Snapshot
+	switch {
+	case len(t.samples) == 0:
+		// No data yet: everything scores as an empty window.
+	case len(t.samples) == 1:
+		// Boot window: the whole first snapshot counts.
+		cur = t.samples[0].snap
+	default:
+		cur = t.samples[len(t.samples)-1].snap
+		prev = t.samples[0].snap
+	}
+	out := make([]ObjectiveStatus, 0, len(t.objectives))
+	for _, o := range t.objectives {
+		out = append(out, scoreObjective(o, cur, prev))
+	}
+	return out
+}
+
+func scoreObjective(o Objective, cur, prev telemetry.Snapshot) ObjectiveStatus {
+	st := ObjectiveStatus{Name: o.Name, Kind: o.kind(), Target: o.Target, Budget: o.Budget}
+	counterDelta := func(name string) int64 {
+		d := cur.Counters[name] - prev.Counters[name]
+		if d < 0 {
+			d = 0
+		}
+		return d
+	}
+	switch st.Kind {
+	case "latency":
+		ch, ph := cur.Histograms[o.Histogram], prev.Histograms[o.Histogram]
+		over, total := telemetry.DeltaCountOver(ch, ph, o.ThresholdNs)
+		st.Bad, st.Total, st.Good = over, total, total-over
+		if p99, ok := telemetry.DeltaQuantile(ch, ph, 0.99); ok {
+			st.P99Ns = p99
+		}
+	case "ratio":
+		st.Bad = counterDelta(o.Bad)
+		st.Total = counterDelta(o.Total)
+		if st.Bad > st.Total { // racing snapshot straddle
+			st.Bad = st.Total
+		}
+		st.Good = st.Total - st.Bad
+	case "budget":
+		st.Bad = counterDelta(o.Counter)
+		st.Total = st.Bad
+	}
+	if st.Total > 0 {
+		st.BadFraction = float64(st.Bad) / float64(st.Total)
+	}
+	if st.Kind == "budget" {
+		st.BurnRate = float64(st.Bad) / o.Budget
+	} else if o.Target < 1 {
+		st.BurnRate = st.BadFraction / (1 - o.Target)
+	}
+	st.Met = st.BurnRate <= 1
+	return st
+}

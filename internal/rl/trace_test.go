@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"time"
@@ -33,9 +34,8 @@ func minUpdateTracedNs(t *testing.T, a *Agent, rng *rand.Rand, trials, iters int
 
 // tracedOverheadAgent wires the overheadBatch DQN into an agent whose
 // replay buffer holds one full mini-batch, so LearnStep and LearnStepTraced
-// both exercise DQN.Update. Every random source is seeded, so two calls
-// build bit-identical agents — the plain-vs-traced comparison below runs
-// the exact same sampling and update sequence on each.
+// both exercise DQN.Update. Every random source is seeded, so repeated
+// calls build bit-identical agents.
 func tracedOverheadAgent(t *testing.T) *Agent {
 	t.Helper()
 	d, batch, _ := overheadBatch(t)
@@ -67,6 +67,22 @@ func tracedOverheadAgent(t *testing.T) *Agent {
 	return a
 }
 
+// minAllocsPerRun repeats testing.AllocsPerRun and keeps the minimum.
+// AllocsPerRun reads the process-global malloc counter, so a background
+// goroutine that allocates inside one measurement window can only inflate
+// that window's result, never deflate it — the minimum over a few windows
+// is the true per-call count. Windows run ~10x longer under the race
+// detector, which made single-window comparisons flaky on loaded machines.
+func minAllocsPerRun(trials, runs int, f func()) float64 {
+	best := math.Inf(1)
+	for i := 0; i < trials; i++ {
+		if n := testing.AllocsPerRun(runs, f); n < best {
+			best = n
+		}
+	}
+	return best
+}
+
 // TestDQNUpdateTraceOverhead is the tracing half of the zero-perturbation
 // contract: with tracing disabled (nil spans end-to-end), the span-threaded
 // learning path must add zero allocations over the plain LearnStep path
@@ -77,27 +93,45 @@ func tracedOverheadAgent(t *testing.T) *Agent {
 func TestDQNUpdateTraceOverhead(t *testing.T) {
 	// Two bit-identical agents, each driven by an identically seeded RNG:
 	// the only difference between the two measurement loops is the call
-	// spelling, so allocation counts must match exactly.
+	// spelling, so allocation counts must match exactly. Windows are
+	// interleaved and each side keeps its minimum so a burst of background
+	// allocation pollutes adjacent windows of BOTH sides instead of just
+	// one (see minAllocsPerRun).
 	plainAgent := tracedOverheadAgent(t)
 	plainRng := rand.New(rand.NewSource(46))
-	plainAllocs := testing.AllocsPerRun(50, func() {
+	plainStep := func() {
 		if _, err := plainAgent.LearnStep(plainRng); err != nil {
 			t.Fatal(err)
 		}
-	})
+	}
 	tracedAgent := tracedOverheadAgent(t)
 	tracedRng := rand.New(rand.NewSource(46))
-	tracedAllocs := testing.AllocsPerRun(50, func() {
+	tracedStep := func() {
 		if _, err := tracedAgent.LearnStepTraced(nil, tracedRng); err != nil {
 			t.Fatal(err)
 		}
-	})
-	if tracedAllocs > plainAllocs {
+	}
+	plainAllocs, tracedAllocs := math.Inf(1), math.Inf(1)
+	for i := 0; i < 5; i++ {
+		if n := testing.AllocsPerRun(50, plainStep); n < plainAllocs {
+			plainAllocs = n
+		}
+		if n := testing.AllocsPerRun(50, tracedStep); n < tracedAllocs {
+			tracedAllocs = n
+		}
+	}
+	t.Logf("LearnStep plain %.1f allocs/op, nil-span traced %.1f allocs/op", plainAllocs, tracedAllocs)
+	// The race runtime injects heap allocations of its own nondeterminism:
+	// two windows of the SAME spelling differ by up to ±4 allocs/op under
+	// -race, so exact equality is only meaningful without it. CI enforces
+	// this branch in the no-race "Instrumentation overhead" leg, matching
+	// the timing comparison below which likewise self-skips under -race.
+	if tracedAllocs > plainAllocs && !raceEnabled {
 		t.Errorf("nil-span LearnStepTraced allocates %.1f objects per call vs %.1f plain: tracing must add 0",
 			tracedAllocs, plainAllocs)
 	}
 	d, batch, targets := overheadBatch(t)
-	if n := testing.AllocsPerRun(50, func() {
+	if n := minAllocsPerRun(5, 50, func() {
 		if _, err := d.Update(batch, targets); err != nil {
 			t.Fatal(err)
 		}

@@ -138,6 +138,14 @@ func (w *Watchdog) healNonFinite(reason string) bool {
 	return w.trip(reason)
 }
 
+// Trip reports an externally detected divergence — e.g. a policy-drift
+// alert from the health engine's shadow evaluation — and runs the same
+// rollback path an internal detection would: restore the newest valid
+// checkpoint generation, re-seed exploration, reset the loss estimate.
+// Returns true when the agent was rolled back. Callers must hold the
+// same serialization lock that guards the agent's learn steps.
+func (w *Watchdog) Trip(reason string) bool { return w.trip(reason) }
+
 // trip records a divergence detection and attempts a rollback. Returns
 // true when the agent was rolled back to a valid generation.
 func (w *Watchdog) trip(reason string) bool {

@@ -93,6 +93,18 @@ func (h *Histogram) ObserveNs(ns int64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// BucketCount is one populated bucket of a histogram snapshot: inclusive
+// lower bound, bucket width, and the observations that landed inside.
+// Exporting the raw (sparse) buckets is what lets a consumer window two
+// snapshots — subtract counts bucket by bucket and re-derive quantiles
+// over just the interval — which the cumulative p50/p95/p99 summaries
+// cannot express. See DeltaQuantile and DeltaCountOver.
+type BucketCount struct {
+	LowNs   int64 `json:"lowNs"`
+	WidthNs int64 `json:"widthNs"`
+	Count   int64 `json:"count"`
+}
+
 // HistogramStats is the JSON-ready summary of a histogram.
 type HistogramStats struct {
 	Count  int64 `json:"count"`
@@ -103,6 +115,8 @@ type HistogramStats struct {
 	P50Ns  int64 `json:"p50Ns"`
 	P95Ns  int64 `json:"p95Ns"`
 	P99Ns  int64 `json:"p99Ns"`
+	// Buckets lists the populated buckets in ascending order.
+	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
 // Stats summarizes the histogram. An empty histogram returns the zero
@@ -132,6 +146,13 @@ func (h *Histogram) Stats() HistogramStats {
 	s.P50Ns = quantile(&counts, total, 0.50, s.MinNs, s.MaxNs)
 	s.P95Ns = quantile(&counts, total, 0.95, s.MinNs, s.MaxNs)
 	s.P99Ns = quantile(&counts, total, 0.99, s.MinNs, s.MaxNs)
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		low, width := bucketBounds(i)
+		s.Buckets = append(s.Buckets, BucketCount{LowNs: low, WidthNs: width, Count: n})
+	}
 	return s
 }
 

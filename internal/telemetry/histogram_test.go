@@ -13,7 +13,7 @@ func TestQuantileEmptyHistogram(t *testing.T) {
 	r := New(0)
 	h := r.Histogram("h")
 	s := h.Stats()
-	if s != (HistogramStats{}) {
+	if s.Count != 0 || s.P50Ns != 0 || s.P99Ns != 0 || len(s.Buckets) != 0 {
 		t.Fatalf("empty histogram stats = %+v, want zero value", s)
 	}
 }

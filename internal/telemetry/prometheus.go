@@ -31,6 +31,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for name, h := range r.hists {
 		hists[name] = h
 	}
+	gaugeFns := make(map[string]func() float64, len(r.gaugeFns))
+	for name, fn := range r.gaugeFns {
+		gaugeFns[name] = fn
+	}
+	infos := make(map[string]map[string]string, len(r.infos))
+	for name, labels := range r.infos {
+		infos[name] = labels
+	}
 	r.mu.Unlock()
 
 	bw := bufio.NewWriter(w)
@@ -47,6 +55,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		pn := promName(name)
 		bw.WriteString("# TYPE " + pn + " gauge\n")
 		bw.WriteString(pn + " " + formatFloat(sanitize(gauges[name].Value())) + "\n")
+	}
+	for _, name := range SortedNames(gaugeFns) {
+		pn := promName(name)
+		bw.WriteString("# TYPE " + pn + " gauge\n")
+		bw.WriteString(pn + " " + formatFloat(sanitize(gaugeFns[name]())) + "\n")
+	}
+	for _, name := range SortedNames(infos) {
+		pn := promName(name)
+		bw.WriteString("# TYPE " + pn + " gauge\n")
+		bw.WriteString(pn + promLabels(infos[name]) + " 1\n")
 	}
 	for _, name := range SortedNames(hists) {
 		writePromHistogram(bw, promName(name)+"_seconds", hists[name])
@@ -101,6 +119,31 @@ func promName(name string) string {
 			b.WriteByte('_')
 		}
 	}
+	return b.String()
+}
+
+// promLabels renders a label set as `{k="v",...}` with keys sorted and
+// values escaped per the exposition format (backslash, quote, newline).
+func promLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range SortedNames(labels) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(promName(k))
+		b.WriteString(`="`)
+		v := labels[k]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
 	return b.String()
 }
 

@@ -76,11 +76,12 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // Snapshot is one JSON-ready view of a registry. Non-finite gauge values
 // are sanitized to 0 so the snapshot always marshals.
 type Snapshot struct {
-	UnixNs     int64                     `json:"unixNs"`
-	Counters   map[string]int64          `json:"counters"`
-	Gauges     map[string]float64        `json:"gauges"`
-	Histograms map[string]HistogramStats `json:"histograms"`
-	Events     []Event                   `json:"events,omitempty"`
+	UnixNs     int64                        `json:"unixNs"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramStats    `json:"histograms"`
+	Infos      map[string]map[string]string `json:"infos,omitempty"`
+	Events     []Event                      `json:"events,omitempty"`
 }
 
 // Registry is a named collection of metrics plus one event log. The zero
@@ -91,7 +92,9 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	gaugeFns map[string]func() float64
 	hists    map[string]*Histogram
+	infos    map[string]map[string]string
 	events   *EventLog
 }
 
@@ -107,7 +110,9 @@ func New(eventCapacity int) *Registry {
 	r := &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() float64),
 		hists:    make(map[string]*Histogram),
+		infos:    make(map[string]map[string]string),
 		events:   NewEventLog(eventCapacity),
 	}
 	r.enabled.Store(true)
@@ -150,6 +155,32 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// GaugeFunc registers a callback evaluated at snapshot time; its result
+// appears among the gauges. Use it for values that already live somewhere
+// (uptime, ring sizes) rather than mirroring them into a Gauge on every
+// change. The callback runs outside the registry lock, so it may itself
+// read registry metrics, but it must be safe to call from any goroutine.
+// Re-registering a name replaces the callback.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fn
+}
+
+// SetInfo records a labelled constant-1 info metric (build version, go
+// version, ...) rendered as `name{k="v",...} 1` in the Prometheus
+// exposition and under "infos" in JSON snapshots. The labels map is
+// copied; re-setting a name replaces its labels.
+func (r *Registry) SetInfo(name string, labels map[string]string) {
+	cp := make(map[string]string, len(labels))
+	for k, v := range labels {
+		cp[k] = v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.infos[name] = cp
+}
+
 // Histogram returns the named histogram, creating it on first use.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
@@ -183,11 +214,10 @@ func sanitize(v float64) float64 {
 // Snapshot captures every metric's current value plus the buffered events.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	s := Snapshot{
 		UnixNs:     time.Now().UnixNano(),
 		Counters:   make(map[string]int64, len(r.counters)),
-		Gauges:     make(map[string]float64, len(r.gauges)),
+		Gauges:     make(map[string]float64, len(r.gauges)+len(r.gaugeFns)),
 		Histograms: make(map[string]HistogramStats, len(r.hists)),
 		Events:     r.events.Events(),
 	}
@@ -205,6 +235,25 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Stats()
+	}
+	if len(r.infos) > 0 {
+		s.Infos = make(map[string]map[string]string, len(r.infos))
+		for name, labels := range r.infos {
+			s.Infos[name] = labels // never mutated after SetInfo's copy
+		}
+	}
+	var fns map[string]func() float64
+	if len(r.gaugeFns) > 0 {
+		fns = make(map[string]func() float64, len(r.gaugeFns))
+		for name, fn := range r.gaugeFns {
+			fns[name] = fn
+		}
+	}
+	r.mu.Unlock()
+	// Gauge callbacks run outside the lock so they may touch the registry
+	// (or anything that does) without deadlocking.
+	for name, fn := range fns {
+		s.Gauges[name] = sanitize(fn())
 	}
 	return s
 }
