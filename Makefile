@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-daemon race-core fmt check bench serve-bench stats crash trace replay alerts fuzz
+.PHONY: build test vet race race-daemon race-core fmt check bench serve-bench stats crash failover trace replay alerts fuzz
 
 build:
 	$(GO) build ./...
@@ -22,15 +22,25 @@ race-daemon:
 
 # The batched compute core's concurrency surface: the nn worker pool, the
 # parallel experiment harness, and the metrics registry and span tracer
-# they report into, plus the WAL and the replay engine built on it.
+# they report into, plus the WAL, the replay engine built on it, and the
+# WAL-shipping replication layer (shipper/follower streams) with its
+# fault injectors.
 race-core:
-	$(GO) test -race ./internal/nn/ ./internal/rl/ ./internal/experiment/ ./internal/telemetry/ ./internal/trace/ ./internal/wal/ ./internal/replay/ ./internal/compiled/ ./internal/wire/ ./internal/health/
+	$(GO) test -race ./internal/nn/ ./internal/rl/ ./internal/experiment/ ./internal/telemetry/ ./internal/trace/ ./internal/wal/ ./internal/replay/ ./internal/compiled/ ./internal/wire/ ./internal/health/ ./internal/replica/ ./internal/fault/
 
 # The crash-recovery drill: SIGKILL a real daemon mid-online-training,
 # boot a successor on its checkpoint + WAL, and require the recovered
 # training state to match a never-crashed control byte for byte.
 crash:
 	$(GO) test -run 'TestCrashRecoverySIGKILL|TestWALReplay|TestWALTornTail' -count=1 -v ./cmd/jarvisd/
+
+# The failover drill: SIGKILL a real primary mid-load while a hot standby
+# streams its WAL, require the standby to promote itself within a bounded
+# lost tail of a never-crashed control, and verify the promoted daemon's
+# decision log replays bit for bit — plus the operator-promotion path and
+# the standby's tolerance of torn journal writes.
+failover:
+	$(GO) test -run 'TestFailoverPromotionSIGKILL|TestOperatorPromote|TestFollowerSurvivesTornJournalWrites' -count=1 -v ./cmd/jarvisd/
 
 # The tracing smoke: a fully sampled daemon produces a span tree covering
 # the pipeline, exports it as Chrome trace_event JSON, and stamps the trace
@@ -47,14 +57,16 @@ replay:
 
 # The alerting smoke: a hair-trigger rule must fire under traffic, appear
 # in /debug/alerts and /healthz, resolve when traffic stops, and log both
-# lifecycle edges; and a deliberately corrupted policy must raise the
-# drift alert, roll back through the watchdog, and resolve.
+# lifecycle edges; a deliberately corrupted policy must raise the drift
+# alert, roll back through the watchdog, and resolve; and a trailing hot
+# standby must burn the replication-lag SLO and fire its default rule.
 alerts:
-	$(GO) test -run 'TestAlertSmokeHairTrigger|TestDriftAlertRollsBackAndResolves' -count=1 -v ./cmd/jarvisd/
+	$(GO) test -run 'TestAlertSmokeHairTrigger|TestDriftAlertRollsBackAndResolves|TestReplicationLagAlertSmoke' -count=1 -v ./cmd/jarvisd/
 
 # Short fuzz passes over every decoder that reads untrusted bytes: WAL
-# segment frames, checkpoint/nn payloads, and policy tables. Go fuzzing
-# allows one -fuzz target per invocation, hence the three runs.
+# segment frames, checkpoint/nn payloads, policy tables, binary wire
+# frames, and replication protocol messages. Go fuzzing allows one -fuzz
+# target per invocation, hence one run per decoder.
 FUZZTIME ?= 5s
 
 fuzz:
@@ -62,6 +74,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzLoad -fuzztime $(FUZZTIME) ./internal/nn/
 	$(GO) test -run xxx -fuzz FuzzLoadTable -fuzztime $(FUZZTIME) ./internal/policy/
 	$(GO) test -run xxx -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run xxx -fuzz FuzzParseMessage -fuzztime $(FUZZTIME) ./internal/replica/
 
 # Measure the batched compute core and write BENCH_core.json, plus the
 # allocation-asserting micro-benchmarks of the root package.

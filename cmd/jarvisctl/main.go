@@ -1,6 +1,8 @@
 // Command jarvisctl is a tiny client for the jarvisd hub daemon:
 //
 //	jarvisctl -addr 127.0.0.1:7463 state
+//	jarvisctl -addr 127.0.0.1:7463,127.0.0.1:7473 recommend   (primary,standby failover)
+//	jarvisctl promote
 //	jarvisctl event oven power_on
 //	jarvisctl recommend
 //	jarvisctl violations
@@ -78,11 +80,12 @@ type response struct {
 	Q            float64  `json:"q,omitempty"`
 	Busy         bool     `json:"busy,omitempty"`
 	RetryAfterMs int      `json:"retryAfterMs,omitempty"`
+	Role         string   `json:"role,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("jarvisctl", flag.ContinueOnError)
-	addr := fs.String("addr", "127.0.0.1:7463", "jarvisd address")
+	addr := fs.String("addr", "127.0.0.1:7463", "jarvisd address, or a comma-separated primary,standby list tried in order")
 	debugAddr := fs.String("debug-addr", "127.0.0.1:7464", "jarvisd debug (metrics) address")
 	timeout := fs.Duration("timeout", 5*time.Second, "dial/roundtrip timeout")
 	retries := fs.Int("retries", 3, "retries after a connection failure or busy rejection (0 = single attempt)")
@@ -124,11 +127,27 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	resp, err := dispatchRequest(*wireMode, *addr, *timeout, *retries, req, time.Sleep)
+	addrs := splitAddrs(*addr)
+	if len(addrs) == 0 {
+		return fmt.Errorf("-addr is empty")
+	}
+	resp, err := dispatchRequest(*wireMode, addrs, *timeout, *retries, req, time.Sleep)
 	if err != nil {
 		return err
 	}
 	return render(out, req, resp)
+}
+
+// splitAddrs parses a comma-separated address list, dropping empty
+// entries so trailing commas are harmless.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // roundTripRetry retries transient failures — a connection that cannot be
@@ -138,18 +157,29 @@ func run(args []string, out io.Writer) error {
 // errors (resp.Error without Busy) are never retried: the daemon answered,
 // it just said no. The client exits non-zero only once every attempt is
 // exhausted.
-func roundTripRetry(addr string, timeout time.Duration, retries int, req request, sleep func(time.Duration)) (response, error) {
-	return retryLoop(roundTrip, addr, timeout, retries, req, sleep)
+func roundTripRetry(addrs []string, timeout time.Duration, retries int, req request, sleep func(time.Duration)) (response, error) {
+	return retryLoop(roundTrip, addrs, timeout, retries, req, sleep)
 }
 
 // retryLoop is roundTripRetry over any single-exchange transport; the
 // binary codec plugs in here with the same busy/backoff semantics. A
 // wire.ErrNotBinary answer is permanent (the daemon spoke, in JSON) and
 // short-circuits the retries so auto-negotiation can fall back at once.
-func retryLoop(rt func(string, time.Duration, request) (response, error), addr string, timeout time.Duration, retries int, req request, sleep func(time.Duration)) (response, error) {
+//
+// With several addresses (primary,standby failover), a transport failure
+// rotates to the next address before sleeping, while a busy rejection
+// stays put — the daemon answered, and its RetryAfterMs hint is about
+// that daemon. The attempt budget stretches to cover at least one try per
+// address, and the final error names every address exhausted.
+func retryLoop(rt func(string, time.Duration, request) (response, error), addrs []string, timeout time.Duration, retries int, req request, sleep func(time.Duration)) (response, error) {
 	backoff := 50 * time.Millisecond
+	attempts := retries + 1
+	if len(addrs) > attempts {
+		attempts = len(addrs)
+	}
+	cur := 0
 	for attempt := 0; ; attempt++ {
-		resp, err := rt(addr, timeout, req)
+		resp, err := rt(addrs[cur], timeout, req)
 		if err != nil && errors.Is(err, wire.ErrNotBinary) {
 			return response{}, err
 		}
@@ -161,8 +191,13 @@ func retryLoop(rt func(string, time.Duration, request) (response, error), addr s
 			lastErr = fmt.Errorf("daemon busy: %s", resp.Error)
 		default:
 			lastErr = err
+			cur = (cur + 1) % len(addrs)
 		}
-		if attempt >= retries {
+		if attempt >= attempts-1 {
+			if len(addrs) > 1 {
+				return response{}, fmt.Errorf("%w (exhausted %d attempt(s) across %s)",
+					lastErr, attempt+1, strings.Join(addrs, ", "))
+			}
 			if attempt > 0 {
 				return response{}, fmt.Errorf("%w (after %d attempts)", lastErr, attempt+1)
 			}
@@ -182,10 +217,10 @@ func retryLoop(rt func(string, time.Duration, request) (response, error), addr s
 
 func buildRequest(args []string) (request, error) {
 	if len(args) == 0 {
-		return request{}, fmt.Errorf("expected a command: state|event <device> <action>|recommend|violations|stats|trace|replay|alerts|slo")
+		return request{}, fmt.Errorf("expected a command: state|event <device> <action>|recommend|violations|promote|stats|trace|replay|alerts|slo")
 	}
 	switch args[0] {
-	case "state", "recommend", "violations":
+	case "state", "recommend", "violations", "promote":
 		if len(args) != 1 {
 			return request{}, fmt.Errorf("%s takes no arguments", args[0])
 		}
@@ -345,6 +380,11 @@ func render(out io.Writer, req request, resp response) error {
 		}
 	case "violations":
 		fmt.Fprintf(out, "%d violation(s) observed\n", resp.Violations)
+	case "promote":
+		// The daemon acknowledges and promotes asynchronously (it has to
+		// drain the buffered stream tail first), so the role in the answer
+		// is usually still "follower".
+		fmt.Fprintf(out, "promotion requested (role at answer time: %s)\n", resp.Role)
 	}
 	return nil
 }

@@ -212,7 +212,7 @@ func flakyDaemon(t *testing.T, failures, busyCount int) (addr string, seen *int3
 func TestRetrySurvivesFlakyServer(t *testing.T) {
 	addr, seen := flakyDaemon(t, 1, 1) // one dead connection, one busy, then ok
 	slept := 0
-	resp, err := roundTripRetry(addr, time.Second, 3, request{Op: "violations"},
+	resp, err := roundTripRetry([]string{addr}, time.Second, 3, request{Op: "violations"},
 		func(time.Duration) { slept++ })
 	if err != nil {
 		t.Fatalf("retry should have recovered: %v", err)
@@ -230,7 +230,7 @@ func TestRetrySurvivesFlakyServer(t *testing.T) {
 
 func TestRetryExhaustionFailsOnce(t *testing.T) {
 	addr, seen := flakyDaemon(t, 100, 0) // never recovers
-	_, err := roundTripRetry(addr, time.Second, 2, request{Op: "state"},
+	_, err := roundTripRetry([]string{addr}, time.Second, 2, request{Op: "state"},
 		func(time.Duration) {})
 	if err == nil {
 		t.Fatal("exhausted retries should fail")
@@ -245,7 +245,7 @@ func TestRetryExhaustionFailsOnce(t *testing.T) {
 
 func TestRetryZeroMeansSingleAttempt(t *testing.T) {
 	addr, seen := flakyDaemon(t, 100, 0)
-	_, err := roundTripRetry(addr, time.Second, 0, request{Op: "state"},
+	_, err := roundTripRetry([]string{addr}, time.Second, 0, request{Op: "state"},
 		func(time.Duration) { t.Error("retries=0 must not sleep") })
 	if err == nil {
 		t.Fatal("want failure")
@@ -255,10 +255,73 @@ func TestRetryZeroMeansSingleAttempt(t *testing.T) {
 	}
 }
 
+// deadAddr returns an address nothing listens on: bind, read the port,
+// close.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestFailoverRotatesToStandby(t *testing.T) {
+	dead := deadAddr(t)
+	live, seen := flakyDaemon(t, 0, 0)
+	resp, err := roundTripRetry([]string{dead, live}, time.Second, 3,
+		request{Op: "violations"}, func(time.Duration) {})
+	if err != nil {
+		t.Fatalf("failover to the standby should have succeeded: %v", err)
+	}
+	if !resp.OK || resp.Violations != 5 {
+		t.Errorf("resp = %+v, want the standby's answer", resp)
+	}
+	if got := atomic.LoadInt32(seen); got != 1 {
+		t.Errorf("standby saw %d connections, want 1", got)
+	}
+}
+
+func TestFailoverExhaustsEveryAddress(t *testing.T) {
+	a, b := deadAddr(t), deadAddr(t)
+	// retries=0 would be one attempt against a single address, but the
+	// budget stretches to cover every listed address once.
+	_, err := roundTripRetry([]string{a, b}, time.Second, 0,
+		request{Op: "state"}, func(time.Duration) {})
+	if err == nil {
+		t.Fatal("want failure with every address dead")
+	}
+	for _, addr := range []string{a, b} {
+		if !strings.Contains(err.Error(), addr) {
+			t.Errorf("error %q should name exhausted address %s", err, addr)
+		}
+	}
+}
+
+func TestBusyRejectionStaysOnSameAddress(t *testing.T) {
+	// First answer is busy, second succeeds; a second (dead) address must
+	// never be dialed, because a busy daemon answered.
+	live, seen := flakyDaemon(t, 0, 1)
+	dead := deadAddr(t)
+	resp, err := roundTripRetry([]string{live, dead}, time.Second, 3,
+		request{Op: "violations"}, func(time.Duration) {})
+	if err != nil {
+		t.Fatalf("busy retry on the same daemon should recover: %v", err)
+	}
+	if !resp.OK {
+		t.Errorf("resp = %+v, want the served answer", resp)
+	}
+	if got := atomic.LoadInt32(seen); got != 2 {
+		t.Errorf("daemon saw %d connections, want 2 (busy then ok)", got)
+	}
+}
+
 func TestProtocolErrorsAreNotRetried(t *testing.T) {
 	addr := fakeDaemon(t)
 	calls := 0
-	resp, err := roundTripRetry(addr, time.Second, 3, request{Op: "event", Device: "ghost", Action: "x"},
+	resp, err := roundTripRetry([]string{addr}, time.Second, 3, request{Op: "event", Device: "ghost", Action: "x"},
 		func(time.Duration) { calls++ })
 	if err != nil {
 		t.Fatalf("a daemon-level error is still a delivered response: %v", err)

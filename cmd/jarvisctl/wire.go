@@ -25,10 +25,10 @@ var wireHome = sync.OnceValue(func() *env.Environment {
 // handshake, and auto tries binary first and silently falls back to JSON
 // against older daemons. The downgrade signal (wire.ErrNotBinary) is a
 // protocol answer, so auto does not burn retries before falling back.
-func dispatchRequest(mode, addr string, timeout time.Duration, retries int, req request, sleep func(time.Duration)) (response, error) {
+func dispatchRequest(mode string, addrs []string, timeout time.Duration, retries int, req request, sleep func(time.Duration)) (response, error) {
 	switch mode {
 	case "json":
-		return roundTripRetry(addr, timeout, retries, req, sleep)
+		return roundTripRetry(addrs, timeout, retries, req, sleep)
 	case "binary", "auto":
 	default:
 		return response{}, fmt.Errorf("unknown -wire %q (want auto, binary, or json)", mode)
@@ -38,15 +38,15 @@ func dispatchRequest(mode, addr string, timeout time.Duration, retries int, req 
 		if mode == "auto" {
 			// Not expressible in the compiled-in topology; let the daemon
 			// be the judge over JSON.
-			return roundTripRetry(addr, timeout, retries, req, sleep)
+			return roundTripRetry(addrs, timeout, retries, req, sleep)
 		}
 		return response{}, err
 	}
 	resp, rerr := retryLoop(func(a string, t time.Duration, _ request) (response, error) {
 		return roundTripWire(a, t, wreq)
-	}, addr, timeout, retries, req, sleep)
+	}, addrs, timeout, retries, req, sleep)
 	if rerr != nil && mode == "auto" && errors.Is(rerr, wire.ErrNotBinary) {
-		return roundTripRetry(addr, timeout, retries, req, sleep)
+		return roundTripRetry(addrs, timeout, retries, req, sleep)
 	}
 	return resp, rerr
 }

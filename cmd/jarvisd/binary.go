@@ -151,6 +151,10 @@ func (s *server) binDispatchLocked(req wire.Request, depth int64, minute int,
 		resp.State = s.wireStateIDs()
 
 	case wire.OpEvent:
+		if s.following.Load() {
+			resp.Err = append(resp.Err, errFollowerReadOnly...)
+			break
+		}
 		*haveRec = false
 		di := int(req.Device)
 		if di < 0 || di >= e.K() {
@@ -176,6 +180,21 @@ func (s *server) binDispatchLocked(req wire.Request, depth int64, minute int,
 			resp.Flags = wire.FlagBusy
 			resp.RetryAfterMs = 250
 			resp.Err = append(resp.Err, "overloaded: recommendation shed"...)
+			break
+		}
+		if s.following.Load() {
+			// Read-only replica serve: evaluate against the replica policy,
+			// but the decision stream (journal, log, counters) belongs to
+			// the primary, so nothing is memoized or recorded.
+			d, err := s.replicaRecommend(sp, minute)
+			if err != nil {
+				resp.Err = append(resp.Err, err.Error()...)
+				break
+			}
+			resp.Flags = wire.FlagOK
+			resp.Q = d.Value
+			resp.Degraded = s.sys.DegradedRecommendations()
+			resp.Action = s.wireActionIDs(d.Action)
 			break
 		}
 		// The memoized evaluation is reused only when nothing needs the
@@ -209,6 +228,10 @@ func (s *server) binDispatchLocked(req wire.Request, depth int64, minute int,
 		resp.Violations = s.violations
 
 	case wire.OpCheckpoint:
+		if s.following.Load() {
+			resp.Err = append(resp.Err, errFollowerReadOnly...)
+			break
+		}
 		if s.store == nil {
 			resp.Err = append(resp.Err, "daemon started without -checkpoint"...)
 			break

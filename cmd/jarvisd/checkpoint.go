@@ -62,38 +62,13 @@ func (s *server) saveCheckpointLocked() error {
 		mCkptSaveFailures.Inc()
 		return fmt.Errorf("checkpoint: store unavailable")
 	}
-	var table, q, rbuf bytes.Buffer
-	if err := s.sys.SaveTable(&table); err != nil {
+	ckpt, err := s.snapshotLocked()
+	if err != nil {
 		mCkptSaveFailures.Inc()
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := s.sys.SaveQ(&q); err != nil {
-		mCkptSaveFailures.Inc()
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := s.sys.Agent().ReplayBuffer().Save(&rbuf); err != nil {
-		mCkptSaveFailures.Inc()
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	ckpt := replay.Snapshot{
-		Version:      replay.SnapshotVersion,
-		Seed:         s.cfg.Seed,
-		LearningDays: s.cfg.LearningDays,
-		Episodes:     s.cfg.Episodes,
-		Violations:   s.violations,
-		State:        s.state,
-		Events:       s.eventsIngested,
-		OnlineSteps:  s.onlineSteps,
-		LearnSteps:   s.learnSteps,
-		Recommends:   s.recommendsServed,
-		Epsilon:      s.sys.Agent().Epsilon(),
-		UseDNN:       s.cfg.UseDNN,
-		Table:        table.Bytes(),
-		Q:            q.Bytes(),
-		Replay:       rbuf.Bytes(),
+		return err
 	}
 	gen, err := s.store.Save(func(w io.Writer) error {
-		return json.NewEncoder(w).Encode(&ckpt)
+		return json.NewEncoder(w).Encode(ckpt)
 	})
 	if err != nil {
 		mCkptSaveFailures.Inc()
@@ -110,6 +85,40 @@ func (s *server) saveCheckpointLocked() error {
 		}
 	}
 	return nil
+}
+
+// snapshotLocked serializes the daemon state as a replay.Snapshot — the
+// payload for both checkpoint generations and replication snapshots, so a
+// follower seeds from exactly the bytes crash recovery would. Caller
+// holds s.mu.
+func (s *server) snapshotLocked() (*replay.Snapshot, error) {
+	var table, q, rbuf bytes.Buffer
+	if err := s.sys.SaveTable(&table); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := s.sys.SaveQ(&q); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := s.sys.Agent().ReplayBuffer().Save(&rbuf); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &replay.Snapshot{
+		Version:      replay.SnapshotVersion,
+		Seed:         s.cfg.Seed,
+		LearningDays: s.cfg.LearningDays,
+		Episodes:     s.cfg.Episodes,
+		Violations:   s.violations,
+		State:        s.state,
+		Events:       s.eventsIngested,
+		OnlineSteps:  s.onlineSteps,
+		LearnSteps:   s.learnSteps,
+		Recommends:   s.recommendsServed,
+		Epsilon:      s.sys.Agent().Epsilon(),
+		UseDNN:       s.cfg.UseDNN,
+		Table:        table.Bytes(),
+		Q:            q.Bytes(),
+		Replay:       rbuf.Bytes(),
+	}, nil
 }
 
 // loadCheckpoint decodes the newest usable generation, falling back

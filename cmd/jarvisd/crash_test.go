@@ -9,6 +9,7 @@ import (
 	"os/exec"
 	"strings"
 	"testing"
+	"time"
 
 	"jarvis/internal/replay"
 )
@@ -23,6 +24,13 @@ import (
 // TestJarvisdChildProcess from a skip into the victim's body.
 const crashChildEnv = "JARVISD_CRASH_CHILD_DIR"
 
+// crashFollowEnv, when also set, starts the child as a hot standby
+// following the primary at that address — the follower half of the
+// failover harness. It self-promotes after two seconds of primary
+// silence and exposes the debug listener so the harness can hit
+// /debug/replay on the promoted daemon.
+const crashFollowEnv = "JARVISD_FOLLOW_ADDR"
+
 // TestJarvisdChildProcess is not a standalone test: it is the victim
 // process the crash harness re-execs (test binary + -test.run). It serves
 // a durable daemon and then blocks until the parent SIGKILLs it.
@@ -31,7 +39,13 @@ func TestJarvisdChildProcess(t *testing.T) {
 	if dir == "" {
 		t.Skip("crash-harness victim body; driven by TestCrashRecoverySIGKILL")
 	}
-	srv, err := newServer(durableConfig(dir))
+	cfg := durableConfig(dir)
+	if fa := os.Getenv(crashFollowEnv); fa != "" {
+		cfg.FollowAddr = fa
+		cfg.PromoteAfter = 2 * time.Second
+		cfg.DebugAddr = "127.0.0.1:0"
+	}
+	srv, err := newServer(cfg)
 	if err != nil {
 		fmt.Printf("JARVISD_ERR=%v\n", err)
 		os.Exit(1)
@@ -41,6 +55,9 @@ func TestJarvisdChildProcess(t *testing.T) {
 		os.Exit(1)
 	}
 	fmt.Printf("JARVISD_ADDR=%s\n", srv.Addr())
+	if da := srv.DebugAddr(); da != "" {
+		fmt.Printf("JARVISD_DEBUG=%s\n", da)
+	}
 	select {} // hold the daemon up; the only way out is SIGKILL
 }
 

@@ -149,6 +149,12 @@ func (s *server) handleTracesChrome(w http.ResponseWriter, r *http.Request) {
 // healthStatus is the /healthz body.
 type healthStatus struct {
 	Status string `json:"status"` // "ok" | "degraded"
+	// Role is the replication role: "primary" (the default) or "follower"
+	// (started with -follow and not yet promoted). Replication carries the
+	// standby's stream position, lag, and promotion timing; absent on a
+	// daemon never configured to follow.
+	Role        string             `json:"role"`
+	Replication *replicationStatus `json:"replication,omitempty"`
 	// DegradedRecommendations counts recommendations that fell back to the
 	// safe NoOp (non-finite Q values or a failed FSM transition check). Any
 	// nonzero value flips the endpoint to 503: the optimizer is no longer
@@ -295,6 +301,8 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
+	h.Role = s.role()
+	h.Replication = s.replicationHealth()
 	h.TelemetryEventsDropped = telemetry.Default.Events().Dropped()
 	h.TracesSampled = s.tracer.Ring().Len()
 	if s.health != nil {

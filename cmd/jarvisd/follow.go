@@ -1,0 +1,458 @@
+package main
+
+// Replication roles (DESIGN.md §15). A daemon is born a primary unless
+// -follow names a primary to stream from; a follower becomes a primary
+// exactly once, by promotion, and never goes back within one process
+// lifetime.
+//
+// Primary side: any connection opening with replica.Magic is handed to a
+// replica.Shipper that snapshots the daemon under the state lock and then
+// tails the live WAL — the same frames the daemon just fsynced — so a
+// follower applies the identical records a post-crash boot replay would.
+//
+// Follower side: the daemon builds its deterministic base exactly like a
+// primary (train or restore), then converges onto the primary's state by
+// adopting shipped snapshots through replay.Assets.RestoreSnapshot and
+// applying shipped records through the same skip-stale logic boot replay
+// uses. Every applied record is re-journaled to the follower's own WAL and
+// re-audited against its own P_safe, so the follower's durability
+// artifacts are always a self-consistent prefix of the primary's history —
+// a promoted follower is indistinguishable from a primary that crashed and
+// recovered at the same position.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"jarvis"
+	"jarvis/internal/env"
+	"jarvis/internal/replay"
+	"jarvis/internal/replica"
+	"jarvis/internal/telemetry"
+	"jarvis/internal/trace"
+)
+
+const (
+	rolePrimary  = "primary"
+	roleFollower = "follower"
+
+	errFollowerReadOnly = "read-only: daemon is following a primary (promote to enable writes)"
+)
+
+var (
+	mReplicaReads   = telemetry.Default.Counter("jarvisd.replica.reads")
+	mReplAppliedEvt = telemetry.Default.Counter("jarvisd.replica.applied.events")
+	mReplAppliedTxn = telemetry.Default.Counter("jarvisd.replica.applied.txns")
+	mReplAppliedRec = telemetry.Default.Counter("jarvisd.replica.applied.recs")
+	mReplAdopted    = telemetry.Default.Counter("jarvisd.replica.adopted.snapshots")
+	mPromotions     = telemetry.Default.Counter("jarvisd.promotions")
+)
+
+// role reports the daemon's replication role.
+func (s *server) role() string {
+	if s.following.Load() {
+		return roleFollower
+	}
+	return rolePrimary
+}
+
+// --- primary side -----------------------------------------------------
+
+// serveReplication hands a replica.Magic connection to a shipper for the
+// lifetime of the connection. Needs a journal to tail; a follower refuses
+// to be followed (no cascading replication).
+func (s *server) serveReplication(conn net.Conn, br *bufio.Reader) {
+	if s.wal == nil {
+		s.cfg.Logf("jarvisd: replication from %s rejected: daemon runs without -wal", conn.RemoteAddr())
+		return
+	}
+	if s.following.Load() {
+		s.cfg.Logf("jarvisd: replication from %s rejected: daemon is itself a follower", conn.RemoteAddr())
+		return
+	}
+	sh := replica.NewShipper(replica.ShipperConfig{
+		WALDir:       s.cfg.WALDir,
+		Snapshot:     s.replicationSnapshot,
+		Counters:     s.replicaCounters,
+		WriteTimeout: s.cfg.WriteTimeout,
+		Logf:         s.cfg.Logf,
+	})
+	if err := sh.ServeConn(conn, br, s.stop); err != nil {
+		s.cfg.Logf("jarvisd: replication stream to %s ended: %v", conn.RemoteAddr(), err)
+	}
+}
+
+// replicationSnapshot serializes the daemon's state for a follower: the
+// exact bytes a checkpoint save would persist, numbered by a process-local
+// generation counter. The snapshot's sequence counters are what make the
+// overlapping WAL re-ship idempotent on the follower.
+func (s *server) replicationSnapshot() (uint64, []byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ck, err := s.snapshotLocked()
+	if err != nil {
+		return 0, nil, err
+	}
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return 0, nil, err
+	}
+	return s.snapshotGen.Add(1), data, nil
+}
+
+// replicaCounters reports the daemon's applied position — shipped in
+// heartbeats on the primary, sent in the hello on the follower.
+func (s *server) replicaCounters() replica.Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return replica.Counters{Events: s.eventsIngested, Steps: s.onlineSteps, Recs: s.recommendsServed}
+}
+
+// --- follower side ----------------------------------------------------
+
+// startFollowing flips the daemon into follower mode and launches the
+// follow loop. Called at the end of newServer, after the deterministic
+// base (train or restore, plus own-WAL replay) is fully assembled.
+func (s *server) startFollowing() {
+	s.following.Store(true)
+	telemetry.Default.GaugeFunc("jarvisd.replica.lag.records", s.replicationLag)
+	s.wg.Add(1)
+	go s.followLoop()
+	s.cfg.Logf("jarvisd: following primary at %s (promote-after %v)", s.cfg.FollowAddr, s.cfg.PromoteAfter)
+}
+
+// followLoop drives the replication client until promotion or shutdown.
+// A stalled primary promotes automatically when PromoteAfter is positive;
+// a fatal apply error forces a full resync (the next connection re-seeds
+// the replica from a fresh snapshot, which adoptSnapshot applies
+// wholesale), so a torn or hostile frame degrades to a reconnect rather
+// than a dead standby.
+func (s *server) followLoop() {
+	defer s.wg.Done()
+	auto := s.cfg.PromoteAfter > 0
+	timeout := s.cfg.PromoteAfter
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	for {
+		f := replica.NewFollower(replica.FollowerConfig{
+			Addr:       s.cfg.FollowAddr,
+			Timeout:    timeout,
+			Have:       s.replicaCounters,
+			OnSnapshot: s.adoptSnapshot,
+			OnRecord:   s.applyShippedRecord,
+			Logf:       s.cfg.Logf,
+		})
+		s.mu.Lock()
+		s.replica = f
+		s.mu.Unlock()
+		err := f.Run(s.followStop)
+		switch {
+		case err == nil:
+			// followStop closed: an operator promote or a shutdown. The
+			// follower drained its buffered tail before returning, so
+			// promotion seals everything the primary handed over.
+			if s.promoteRequested.Load() {
+				s.promote("operator request")
+			}
+			return
+		case errors.Is(err, replica.ErrStalled):
+			if auto {
+				s.promote(fmt.Sprintf("primary silent past %v", timeout))
+				return
+			}
+			s.cfg.Logf("jarvisd: primary silent past %v; automatic promotion disabled, still following", timeout)
+		default:
+			s.cfg.Logf("jarvisd: replication apply failed (%v); resyncing from a fresh snapshot", err)
+		}
+		select {
+		case <-s.followStop:
+			if s.promoteRequested.Load() {
+				s.promote("operator request")
+			}
+			return
+		case <-time.After(time.Second):
+		}
+	}
+}
+
+// adoptSnapshot applies a shipped checkpoint wholesale: the same
+// RestoreSnapshot path boot restore uses, followed by a checkpoint of the
+// follower's own store and a reset of its own WAL. That last step is the
+// barrier alignment: after an adopt, the follower's durability artifacts
+// describe exactly the adopted state, so its own crash recovery — and any
+// later promotion — replays only records applied after this point.
+func (s *server) adoptSnapshot(gen uint64, data []byte) error {
+	var ck replay.Snapshot
+	if err := json.Unmarshal(data, &ck); err != nil {
+		return fmt.Errorf("decode snapshot gen %d: %w", gen, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := ck.Validate(replayConfig(s.cfg), s.home.Env.K()); err != nil {
+		return fmt.Errorf("snapshot gen %d: %w", gen, err)
+	}
+	if err := s.assets.RestoreSnapshot(&ck, s.cfg.Logf); err != nil {
+		return fmt.Errorf("adopt snapshot gen %d: %w", gen, err)
+	}
+	s.violations = ck.Violations
+	s.eventsIngested = ck.Events
+	s.onlineSteps = ck.OnlineSteps
+	s.learnSteps = ck.LearnSteps
+	s.recommendsServed = ck.Recommends
+	if len(ck.State) == s.home.Env.K() {
+		s.state = ck.State
+	}
+	mReplAdopted.Inc()
+	// Persist the adopted state as the follower's own generation. A
+	// follower without a store still resets its journal — the shipped
+	// records that follow are relative to this snapshot.
+	switch {
+	case s.store != nil:
+		if err := s.saveCheckpointLocked(); err != nil {
+			s.cfg.Logf("jarvisd: checkpoint after snapshot adopt failed: %v", err)
+		}
+	case s.wal != nil:
+		if err := s.wal.Reset(); err != nil {
+			s.cfg.Logf("jarvisd: wal reset after snapshot adopt failed: %v", err)
+		} else {
+			s.walSpans = nil
+		}
+	}
+	s.cfg.Logf("jarvisd: adopted primary snapshot gen %d (events=%d steps=%d recs=%d)",
+		gen, ck.Events, ck.OnlineSteps, ck.Recommends)
+	return nil
+}
+
+// applyShippedRecord applies one verbatim WAL record from the primary:
+// re-journal it to the follower's own log, then run it through the same
+// skip-stale apply logic boot replay uses — with the live path's decision
+// logging, so a promoted follower's decision log verifies against its WAL
+// exactly like a primary's does.
+func (s *server) applyShippedRecord(b []byte) error {
+	rec, err := replay.DecodeRecord(b)
+	if err != nil {
+		// Framing CRC passed on the primary and in transit: this is a
+		// foreign or future-format record. Skip it, like boot replay.
+		s.cfg.Logf("jarvisd: replication: skipping undecodable record: %v", err)
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.home.Env
+	switch rec.K {
+	case replay.KindEvent:
+		if rec.N <= s.eventsIngested {
+			return nil // covered by the adopted snapshot
+		}
+		if rec.D < 0 || rec.D >= e.K() {
+			s.cfg.Logf("jarvisd: replication: evt #%d has bad device %d", rec.N, rec.D)
+			return nil
+		}
+		a := env.NoOp(e.K())
+		a[rec.D] = rec.A
+		next, err := e.Transition(s.state, a)
+		if err != nil {
+			s.cfg.Logf("jarvisd: replication: evt #%d does not apply: %v", rec.N, err)
+			return nil
+		}
+		// Re-derive the safety verdict against the replica's own P_safe,
+		// exactly like boot replay: the table is deterministic, so the
+		// follower's violation count stays honest.
+		unsafe := !s.sys.SafeTable().SafeTransition(e.StateKey(s.state), e.StateKey(next), a)
+		if unsafe {
+			s.violations++
+			mEventsUnsafe.Inc()
+		}
+		s.state = next
+		s.eventsIngested++
+		s.journal(nil, rec)
+		mReplAppliedEvt.Inc()
+		if s.decisions != nil {
+			verdict := "safe"
+			if unsafe {
+				verdict = "unsafe"
+			}
+			s.logDecision(nil, decisionRecord{
+				Kind: "event", Minute: rec.M,
+				State:   stateNames(e, s.state),
+				Action:  e.FormatAction(a),
+				Verdict: verdict,
+			})
+		}
+
+	case replay.KindTransition:
+		if rec.N <= s.onlineSteps {
+			return nil
+		}
+		if len(rec.S) != e.K() || rec.D < 0 || rec.D >= e.K() {
+			s.cfg.Logf("jarvisd: replication: txn #%d malformed", rec.N)
+			return nil
+		}
+		a := env.NoOp(e.K())
+		a[rec.D] = rec.A
+		s.journal(nil, rec)
+		s.ingestTransition(nil, rec.S, a, rec.M)
+		mReplAppliedTxn.Inc()
+
+	case replay.KindRecommend:
+		if rec.N <= s.recommendsServed {
+			return nil
+		}
+		s.recommendsServed++
+		s.journal(nil, rec)
+		mReplAppliedRec.Inc()
+		if s.decisions != nil {
+			// Re-execute the policy at this point in the stream — the same
+			// regeneration the offline replay engine performs — so the
+			// follower's decision log carries its own recommendation audit
+			// trail, bit-compatible with a verify replay.
+			d, err := s.sys.RecommendDecision(s.state, rec.M)
+			if err != nil {
+				s.cfg.Logf("jarvisd: replication: rec #%d re-execution failed: %v", rec.N, err)
+				return nil
+			}
+			verdict := "safe"
+			if d.Degraded {
+				verdict = "degraded"
+			}
+			if next, terr := e.Transition(s.state, d.Action); terr == nil {
+				if !s.sys.SafeTable().SafeTransition(e.StateKey(s.state), e.StateKey(next), d.Action) {
+					verdict = "unsafe"
+				}
+			}
+			s.logDecision(nil, decisionRecord{
+				Kind: "recommend", Minute: rec.M,
+				State:    stateNames(e, s.state),
+				Action:   e.FormatAction(d.Action),
+				Q:        d.Value,
+				Degraded: d.Degraded,
+				Verdict:  verdict,
+			})
+		}
+
+	default:
+		s.cfg.Logf("jarvisd: replication: unknown record kind %q", rec.K)
+	}
+	return nil
+}
+
+// replicaRecommend serves a read-only recommendation from the replica
+// policy while following: same evaluation as recommendOne, but nothing is
+// journaled, logged, or counted as served — the decision stream belongs to
+// the primary. Caller holds s.mu.
+func (s *server) replicaRecommend(sp *trace.Span, minute int) (jarvis.Decision, error) {
+	d, err := s.sys.RecommendDecisionTraced(sp, s.state, minute)
+	if err != nil {
+		return jarvis.Decision{}, err
+	}
+	s.replicaReads++
+	mReplicaReads.Inc()
+	return d, nil
+}
+
+// requestPromote arms an operator-requested promotion. It only signals —
+// the follow loop performs the promotion after draining the buffered
+// stream tail — because the caller holds s.mu and the drain's apply
+// callbacks need it. The role flips to primary moments later.
+func (s *server) requestPromote() error {
+	if !s.following.Load() {
+		return fmt.Errorf("not a follower: daemon is already primary")
+	}
+	s.promoteRequested.Store(true)
+	s.followStopOnce.Do(func() { close(s.followStop) })
+	return nil
+}
+
+// promote seals the follower and turns it into a full read-write primary:
+// under the state lock, the role flips and a checkpoint generation is
+// saved covering everything applied (stream, buffered tail, own WAL), so
+// the promoted daemon's artifacts verify exactly like a primary's.
+func (s *server) promote(reason string) {
+	start := time.Now()
+	s.mu.Lock()
+	s.replica = nil
+	s.following.Store(false)
+	s.promotedAt.Store(time.Now().UnixNano())
+	events, steps, recs := s.eventsIngested, s.onlineSteps, s.recommendsServed
+	if s.store != nil {
+		if err := s.saveCheckpointLocked(); err != nil {
+			s.cfg.Logf("jarvisd: promotion checkpoint failed: %v", err)
+		}
+	}
+	s.mu.Unlock()
+	mPromotions.Inc()
+	s.cfg.Logf("jarvisd: promoted to primary (%s) in %v at events=%d steps=%d recs=%d",
+		reason, time.Since(start).Round(time.Millisecond), events, steps, recs)
+}
+
+// replicationLag reports how many records the follower trails the
+// primary's last-announced position by — the jarvisd.replica.lag.records
+// gauge the replication-lag SLO burns against. Zero on a primary, before
+// the first heartbeat, and after promotion.
+func (s *server) replicationLag() float64 {
+	if !s.following.Load() {
+		return 0
+	}
+	s.mu.Lock()
+	f := s.replica
+	have := replica.Counters{Events: s.eventsIngested, Steps: s.onlineSteps, Recs: s.recommendsServed}
+	s.mu.Unlock()
+	if f == nil {
+		return 0
+	}
+	at, _, ok := f.Primary()
+	if !ok {
+		return 0
+	}
+	return float64(have.Behind(at))
+}
+
+// replicationStatus is the /healthz replication block.
+type replicationStatus struct {
+	Role string `json:"role"`
+	// FollowAddr is the primary this daemon follows (or followed, after
+	// promotion).
+	FollowAddr string `json:"followAddr,omitempty"`
+	Connected  bool   `json:"connected"`
+	// LagRecords is the current value of jarvisd.replica.lag.records.
+	LagRecords float64 `json:"lagRecords"`
+	// ReplicaReads counts read-only recommendations served while following.
+	ReplicaReads int `json:"replicaReads,omitempty"`
+	// PrimaryHeardAgoSec is the silence since the primary's last frame.
+	PrimaryHeardAgoSec float64 `json:"primaryHeardAgoSec,omitempty"`
+	// PromotedAgoSec is how long ago this daemon promoted (absent on a
+	// born primary and on a still-following standby).
+	PromotedAgoSec float64 `json:"promotedAgoSec,omitempty"`
+}
+
+// replicationHealth assembles the /healthz replication block; nil when the
+// daemon was born a primary and never configured to follow.
+func (s *server) replicationHealth() *replicationStatus {
+	if s.cfg.FollowAddr == "" {
+		return nil
+	}
+	st := &replicationStatus{
+		Role:       s.role(),
+		FollowAddr: s.cfg.FollowAddr,
+		LagRecords: s.replicationLag(),
+	}
+	s.mu.Lock()
+	f := s.replica
+	st.ReplicaReads = s.replicaReads
+	s.mu.Unlock()
+	if f != nil {
+		st.Connected = f.Connected()
+		if _, heard, ok := f.Primary(); ok {
+			st.PrimaryHeardAgoSec = time.Since(heard).Seconds()
+		}
+	}
+	if at := s.promotedAt.Load(); at > 0 {
+		st.PromotedAgoSec = time.Since(time.Unix(0, at)).Seconds()
+	}
+	return st
+}

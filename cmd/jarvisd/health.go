@@ -144,7 +144,19 @@ func (s *server) initHealth() error {
 	}
 	s.health = eng
 
-	tr, err := health.NewTracker(s.cfg.SLOWindow, defaultObjectives(), telemetry.Default)
+	objectives := defaultObjectives()
+	if s.cfg.FollowAddr != "" {
+		// A hot standby tracks how far it trails the primary as an SLO: the
+		// jarvisd.replica.lag.records gauge (registered when following
+		// starts) against a 256-record budget. The default replication-lag
+		// alert rule fires on this objective's burn gauge.
+		objectives = append(objectives, health.Objective{
+			Name:   "replication-lag",
+			Gauge:  "jarvisd.replica.lag.records",
+			Budget: 256,
+		})
+	}
+	tr, err := health.NewTracker(s.cfg.SLOWindow, objectives, telemetry.Default)
 	if err != nil {
 		eng.Close()
 		return err

@@ -2,15 +2,19 @@ package main
 
 import (
 	"encoding/json"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"jarvis/internal/health"
+	"jarvis/internal/replica"
 	"jarvis/internal/rl"
+	"jarvis/internal/telemetry"
 )
 
 // waitUntil polls cond until it returns true or the deadline passes.
@@ -180,6 +184,98 @@ func TestAlertSmokeHairTrigger(t *testing.T) {
 	if len(rep.Objectives) == 0 || rep.Samples == 0 {
 		t.Errorf("/debug/slo report is empty: %+v", rep)
 	}
+}
+
+// TestReplicationLagAlertSmoke: on a daemon started with -follow, the
+// replication lag gauge must feed the replication-lag SLO and the built-in
+// default rule must fire when the standby trails the primary past its lag
+// budget — and resolve once it catches back up. The primary here is fake:
+// a bare TCP listener speaking only heartbeats, whose advertised position
+// the test moves at will.
+func TestReplicationLagAlertSmoke(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var farAhead atomic.Bool
+	farAhead.Store(true)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				var buf []byte
+				for {
+					var at replica.Counters
+					if farAhead.Load() {
+						// Far past any position the follower could hold:
+						// lag ≈ 100000 records against a budget of 256.
+						at = replica.Counters{Events: 100000}
+					}
+					buf = replica.AppendHeartbeat(buf[:0], at)
+					if _, err := c.Write(buf); err != nil {
+						return
+					}
+					select {
+					case <-done:
+						return
+					case <-time.After(50 * time.Millisecond):
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	logPath := filepath.Join(t.TempDir(), "alerts.jsonl")
+	const rule = "replication-lag"
+	srv := startDebugTestServer(t, serverConfig{
+		Seed: 1, LearningDays: 2, Episodes: 2,
+		HealthInterval: 20 * time.Millisecond,
+		AlertLogPath:   logPath,
+		FollowAddr:     ln.Addr().String(),
+		PromoteAfter:   -1, // heartbeats flow, but never promote under the test
+	})
+
+	// The default rule set carries replication-lag; it must fire once the
+	// burn rate has been over 1 for its For window.
+	waitUntil(t, 15*time.Second, "replication-lag alert to fire", func() bool {
+		return hasTransition(getAlerts(t, srv), rule, "firing")
+	})
+
+	// The gauge itself is exported, and the burn rate and replication role
+	// surface on /healthz.
+	if lag := telemetry.Default.Snapshot().Gauges["jarvisd.replica.lag.records"]; lag <= 0 {
+		t.Errorf("jarvisd.replica.lag.records gauge = %v, want > 0 while trailing", lag)
+	}
+	_, body := httpGet(t, srv, "/healthz")
+	var h healthStatus
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("/healthz is not valid JSON: %v", err)
+	}
+	if h.Role != roleFollower {
+		t.Errorf("/healthz role = %q, want %q", h.Role, roleFollower)
+	}
+	if h.Replication == nil || !h.Replication.Connected {
+		t.Errorf("/healthz replication block missing or disconnected: %+v", h.Replication)
+	}
+	if burn := h.SLOBurn[rule]; burn <= 1 {
+		t.Errorf("/healthz sloBurn[%q] = %v, want > 1 while trailing", rule, burn)
+	}
+
+	// The fake primary drops back to the follower's position: lag reads
+	// zero and the alert resolves on its ClearFor cadence.
+	farAhead.Store(false)
+	waitUntil(t, 15*time.Second, "replication-lag alert to resolve", func() bool {
+		doc := getAlerts(t, srv)
+		return hasTransition(doc, rule, "resolved") && !hasFiring(doc, rule)
+	})
+	assertLoggedLifecycle(t, logPath, rule)
 }
 
 // TestAlertsDisabled: with alerting off, the endpoints 404 and the request

@@ -8,6 +8,7 @@
 //	{"op":"violations"}                              → unsafe transitions seen so far
 //	{"op":"checkpoint"}                              → force a checkpoint save now
 //	{"op":"learnstate"}                              → online-learning fingerprint
+//	{"op":"promote"}                                 → follower only: promote to primary
 //
 // Connections whose first byte is the wire magic (0xB7) are served the
 // length-prefixed binary codec instead — same ops, indices for names,
@@ -15,6 +16,13 @@
 // else falls through to the JSON loop, so old clients are untouched. By
 // default steady-state recommendations come from a compiled policy table
 // (-compiled=false forces the agent path).
+//
+// With -follow, the daemon starts as a hot standby instead: it streams the
+// primary's WAL (connections opening with the replication magic 0xB8),
+// applies every shipped record through the same machinery crash recovery
+// uses, serves read-only recommendations from the replica policy, and
+// promotes itself to a full primary when the primary goes silent past
+// -promote-after (or on an explicit promote op).
 //
 // Every applied event is checked against the learned P_safe; unsafe
 // transitions are executed (the hub is a monitor, not a gate) but flagged
@@ -83,6 +91,8 @@ func run(args []string) error {
 	profileCPUWindow := fs.Duration("profile-cpu-window", 30*time.Second, "how long the automated CPU profile records")
 	idle := fs.Duration("idle-timeout", 5*time.Minute, "drop connections idle longer than this")
 	writeTimeout := fs.Duration("write-timeout", 10*time.Second, "per-response write deadline")
+	follow := fs.String("follow", "", "start as a hot standby streaming the WAL from the primary at this address (empty = primary)")
+	promoteAfter := fs.Duration("promote-after", 5*time.Second, "follower: self-promote to primary after this much primary silence (negative = only on explicit promote)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -147,6 +157,8 @@ func run(args []string) error {
 		AnomalyFilter:       *anomalyFilter,
 		IdleTimeout:         *idle,
 		WriteTimeout:        *writeTimeout,
+		FollowAddr:          *follow,
+		PromoteAfter:        *promoteAfter,
 		Logf:                logf,
 	})
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"jarvis/internal/env"
 	"jarvis/internal/health"
 	"jarvis/internal/replay"
+	"jarvis/internal/replica"
 	"jarvis/internal/rl"
 	"jarvis/internal/smarthome"
 	"jarvis/internal/trace"
@@ -66,6 +68,23 @@ type serverConfig struct {
 	WALDir string
 	// WALSync is the journal fsync cadence (default wal.SyncEveryRecord).
 	WALSync wal.SyncPolicy
+	// WALOpenFile substitutes the journal's segment-file opener (nil uses
+	// the real filesystem) — the disk-fault injection seam the chaos tests
+	// thread internal/fault through.
+	WALOpenFile func(name string, flag int, perm os.FileMode) (wal.File, error)
+
+	// FollowAddr, when non-empty, starts the daemon as a hot standby: it
+	// dials the primary at this address, adopts its snapshot, applies the
+	// shipped WAL stream through the same replay machinery boot recovery
+	// uses, and serves read-only recommendations from the replica policy.
+	// Writes (event, checkpoint) are rejected while following. On primary
+	// silence past PromoteAfter — or an explicit promote op — the standby
+	// seals its state and promotes to a full read-write primary.
+	FollowAddr string
+	// PromoteAfter is the primary-silence budget before automatic
+	// promotion (default 5s; negative = never promote automatically, wait
+	// for an explicit promote op).
+	PromoteAfter time.Duration
 
 	// MaxQueue is the admission-control threshold on concurrently served
 	// requests. Above MaxQueue/2 the learning ingestion of events is shed
@@ -175,6 +194,9 @@ func (c serverConfig) withDefaults() serverConfig {
 	if c.HealthInterval <= 0 {
 		c.HealthInterval = 5 * time.Second
 	}
+	if c.PromoteAfter == 0 {
+		c.PromoteAfter = 5 * time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -214,6 +236,9 @@ type response struct {
 	LearnSteps  int    `json:"learnSteps,omitempty"`
 	Recommends  int    `json:"recommends,omitempty"`
 	QSum        string `json:"qsum,omitempty"`
+	// Role reports the daemon's replication role ("primary" or
+	// "follower") on state/learnstate/promote responses.
+	Role string `json:"role,omitempty"`
 }
 
 // server owns the environment state and the trained Jarvis system. All
@@ -223,6 +248,10 @@ type server struct {
 	cfg  serverConfig
 	home *smarthome.FullHome
 	sys  *jarvis.System
+	// assets is the replay.Build product the server was assembled from,
+	// retained so a following standby can adopt shipped snapshots through
+	// the same RestoreSnapshot path boot restore uses.
+	assets *replay.Assets
 
 	mu         sync.Mutex
 	state      env.State
@@ -294,6 +323,26 @@ type server struct {
 	// or restore (0 = never). Atomic because /healthz reads it off-lock.
 	lastCkpt atomic.Int64
 
+	// Replication (follow.go). following flips true while the daemon is a
+	// hot standby and back to false on promotion; both serving codecs gate
+	// writes on it. followStop ends the follow loop (closed exactly once,
+	// via followStopOnce, by promotion request or shutdown); replica is
+	// the stream client while following; promoteRequested distinguishes an
+	// operator promote from a shutdown when the loop exits cleanly.
+	following        atomic.Bool
+	followStop       chan struct{}
+	followStopOnce   sync.Once
+	promoteRequested atomic.Bool
+	replica          *replica.Follower
+	// replicaReads counts read-only recommendations served while
+	// following (guarded by mu); snapshotGen numbers outgoing replication
+	// snapshots on the primary side.
+	replicaReads int
+	snapshotGen  atomic.Uint64
+	// promotedAt is the unix-ns time of promotion (0 = never promoted, or
+	// started as a primary).
+	promotedAt atomic.Int64
+
 	// restored reports whether startup served from a checkpoint instead of
 	// training.
 	restored bool
@@ -339,12 +388,14 @@ func newServer(cfg serverConfig) (*server, error) {
 		cfg:        cfg,
 		home:       assets.Home,
 		sys:        assets.Sys,
+		assets:     assets,
 		state:      assets.Home.InitialState(),
 		startOfDay: time.Now().Truncate(24 * time.Hour),
 		stop:       make(chan struct{}),
 		conns:      make(map[net.Conn]struct{}),
 		tracer:     trace.New(cfg.TraceRing),
 		filter:     assets.Sys.Filter(),
+		followStop: make(chan struct{}),
 	}
 	s.tracer.SetSeed(uint64(cfg.Seed))
 	s.tracer.SetSampleEvery(cfg.TraceSample)
@@ -429,6 +480,14 @@ func newServer(cfg serverConfig) (*server, error) {
 	if err := s.initHealth(); err != nil {
 		return nil, fmt.Errorf("health subsystem: %w", err)
 	}
+
+	// A standby enters follower mode only after the whole startup sequence
+	// above: it begins from the same deterministic base a primary with this
+	// configuration would, then converges onto the primary's state through
+	// the shipped snapshot and stream.
+	if cfg.FollowAddr != "" {
+		s.startFollowing()
+	}
 	return s, nil
 }
 
@@ -467,6 +526,9 @@ func (s *server) Addr() string {
 // a final checkpoint, and flushes the decision log.
 func (s *server) Close() error {
 	close(s.stop)
+	// End the follow loop (no-op on a primary); shutdown is not a
+	// promotion, so promoteRequested stays false and the loop just exits.
+	s.followStopOnce.Do(func() { close(s.followStop) })
 	var err error
 	if s.ln != nil {
 		err = s.ln.Close()
@@ -614,7 +676,8 @@ func isTransient(err error) bool {
 }
 
 // serve negotiates the codec with a one-byte peek — wire.Magic opens the
-// binary protocol (binary.go), anything else (JSON's '{') keeps the
+// binary protocol (binary.go), replica.Magic opens a replication stream
+// to a follower (follow.go), anything else (JSON's '{') keeps the
 // original JSON-lines loop — so old clients are untouched and new ones
 // get length-prefixed frames and batch scoring.
 func (s *server) serve(conn net.Conn) {
@@ -626,13 +689,16 @@ func (s *server) serve(conn net.Conn) {
 	if err != nil {
 		return
 	}
-	if first[0] == wire.Magic {
+	switch first[0] {
+	case wire.Magic:
 		mWireBinary.Inc()
 		s.serveBinary(conn, br)
-		return
+	case replica.Magic:
+		s.serveReplication(conn, br)
+	default:
+		mWireJSON.Inc()
+		s.serveJSON(conn, br)
 	}
-	mWireJSON.Inc()
-	s.serveJSON(conn, br)
 }
 
 func (s *server) serveJSON(conn net.Conn, br *bufio.Reader) {
@@ -735,9 +801,13 @@ func (s *server) dispatchLocked(req request, depth int64, sp *trace.Span) respon
 
 	switch req.Op {
 	case "state":
-		return response{OK: true, State: stateNames(e, s.state), Minute: minute, Violations: s.violations}
+		return response{OK: true, State: stateNames(e, s.state), Minute: minute,
+			Violations: s.violations, Role: s.role()}
 
 	case "event":
+		if s.following.Load() {
+			return response{Error: errFollowerReadOnly}
+		}
 		di, ok := e.DeviceIndex(req.Device)
 		if !ok {
 			return response{Error: fmt.Sprintf("unknown device %q", req.Device)}
@@ -759,6 +829,17 @@ func (s *server) dispatchLocked(req request, depth int64, sp *trace.Span) respon
 			return response{Error: "overloaded: recommendation shed", Busy: true,
 				RetryAfterMs: 250, Minute: minute}
 		}
+		if s.following.Load() {
+			// Read-only replica serving: evaluate against the replica Q
+			// without journaling or counting a served recommendation — the
+			// decision stream is the primary's to record.
+			d, err := s.replicaRecommend(sp, minute)
+			if err != nil {
+				return response{Error: err.Error()}
+			}
+			return response{OK: true, Action: e.FormatAction(d.Action), Minute: minute,
+				Q: d.Value, Degraded: s.sys.DegradedRecommendations(), Role: roleFollower}
+		}
 		d, err := s.recommendOne(sp, minute)
 		if err != nil {
 			return response{Error: err.Error()}
@@ -770,6 +851,9 @@ func (s *server) dispatchLocked(req request, depth int64, sp *trace.Span) respon
 		return response{OK: true, Violations: s.violations, Minute: minute}
 
 	case "checkpoint":
+		if s.following.Load() {
+			return response{Error: errFollowerReadOnly}
+		}
 		if s.store == nil {
 			return response{Error: "daemon started without -checkpoint"}
 		}
@@ -790,7 +874,14 @@ func (s *server) dispatchLocked(req request, depth int64, sp *trace.Span) respon
 			LearnSteps:  s.learnSteps,
 			Recommends:  s.recommendsServed,
 			QSum:        fp,
+			Role:        s.role(),
 		}
+
+	case "promote":
+		if err := s.requestPromote(); err != nil {
+			return response{Error: err.Error(), Role: s.role()}
+		}
+		return response{OK: true, Minute: minute, Role: s.role()}
 	}
 	return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 }

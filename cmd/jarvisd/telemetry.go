@@ -22,6 +22,7 @@ var (
 		"violations": telemetry.Default.Counter("jarvisd.requests.violations"),
 		"checkpoint": telemetry.Default.Counter("jarvisd.requests.checkpoint"),
 		"learnstate": telemetry.Default.Counter("jarvisd.requests.learnstate"),
+		"promote":    telemetry.Default.Counter("jarvisd.requests.promote"),
 	}
 	mRequestsUnknown = telemetry.Default.Counter("jarvisd.requests.unknown")
 	mRequestLatency  = telemetry.Default.Histogram("jarvisd.request.latency")
@@ -64,6 +65,7 @@ var (
 		"violations": "jarvisd.violations",
 		"checkpoint": "jarvisd.checkpoint",
 		"learnstate": "jarvisd.learnstate",
+		"promote":    "jarvisd.promote",
 	}
 
 	// The daemon's safety-enforcement surface: every applied event is

@@ -75,7 +75,7 @@ func (s *server) journal(sp *trace.Span, rec replay.Record) {
 // keeping the daemon down — the failure is loud in the log and in
 // wal.append.failures staying at zero.
 func (s *server) openWAL() {
-	wl, err := wal.Open(s.cfg.WALDir, wal.Options{Policy: s.cfg.WALSync})
+	wl, err := wal.Open(s.cfg.WALDir, wal.Options{Policy: s.cfg.WALSync, OpenFile: s.cfg.WALOpenFile})
 	if err != nil {
 		s.cfg.Logf("jarvisd: wal unavailable (%v); continuing without journaling", err)
 		return

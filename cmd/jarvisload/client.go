@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"strings"
 	"time"
 
 	"jarvis/internal/wire"
@@ -34,7 +35,7 @@ type flags struct {
 func newFlagSet() *flags {
 	f := &flags{fs: flag.NewFlagSet("jarvisload", flag.ContinueOnError)}
 	f.daemon = f.fs.String("jarvisd", "", "path to a jarvisd binary to spawn for each scenario")
-	f.addr = f.fs.String("addr", "", "bench an already-running daemon at this address instead of spawning")
+	f.addr = f.fs.String("addr", "", "bench an already-running daemon at this address instead of spawning (comma-separated primary,standby list fails over in order)")
 	f.wire = f.fs.String("wire", "binary", "codec for -addr mode: binary | json")
 	f.n = f.fs.Int("n", 20000, "timed recommend requests per scenario")
 	f.conns = f.fs.Int("conns", 4, "concurrent persistent connections")
@@ -50,6 +51,18 @@ func newFlagSet() *flags {
 	return f
 }
 
+// splitAddrs parses a comma-separated address list, dropping empty
+// entries so trailing commas are harmless.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // client issues recommend requests over a persistent connection; the two
 // implementations are the codecs under test. RecommendBatch(n) completes
 // n recommendations before returning — the binary codec pipelines them
@@ -60,7 +73,31 @@ type client interface {
 	Close() error
 }
 
-func dialClient(addr, wireMode string, timeout time.Duration) (client, error) {
+// dialClient connects to the first reachable address. With several
+// addresses (primary,standby failover) each is tried in order, twice
+// through the list — a kill-the-primary bench window only needs the
+// standby to finish promoting by the second pass.
+func dialClient(addrs []string, wireMode string, timeout time.Duration) (client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("no addresses to dial")
+	}
+	var lastErr error
+	for pass := 0; pass < 2; pass++ {
+		for _, addr := range addrs {
+			c, err := dialOne(addr, wireMode, timeout)
+			if err == nil {
+				return c, nil
+			}
+			lastErr = err
+		}
+	}
+	if len(addrs) > 1 {
+		return nil, fmt.Errorf("%w (exhausted %s)", lastErr, strings.Join(addrs, ", "))
+	}
+	return nil, lastErr
+}
+
+func dialOne(addr, wireMode string, timeout time.Duration) (client, error) {
 	switch wireMode {
 	case "binary":
 		c, err := wire.Dial(addr, timeout)

@@ -88,7 +88,7 @@ func run(args []string, out *os.File) error {
 
 	if *cfg.addr != "" {
 		// Bench a daemon someone else is running; no spawning.
-		r, err := benchAddr(*cfg.addr, *cfg.wire, *cfg.n, *cfg.conns, *cfg.batch, *cfg.warmup, *cfg.timeout)
+		r, err := benchAddr(splitAddrs(*cfg.addr), *cfg.wire, *cfg.n, *cfg.conns, *cfg.batch, *cfg.warmup, *cfg.timeout)
 		if err != nil {
 			return err
 		}
@@ -127,7 +127,7 @@ func run(args []string, out *os.File) error {
 		if sc.Wire == "binary" {
 			batch = *cfg.batch
 		}
-		r, err := benchAddr(addr, sc.Wire, *cfg.n, *cfg.conns, batch, *cfg.warmup, *cfg.timeout)
+		r, err := benchAddr([]string{addr}, sc.Wire, *cfg.n, *cfg.conns, batch, *cfg.warmup, *cfg.timeout)
 		stop()
 		if err != nil {
 			return fmt.Errorf("%s: %w", sc.Name, err)
@@ -228,7 +228,7 @@ func spawnDaemon(bin string, extra []string, startTimeout time.Duration) (addr s
 // benchAddr drives addr with conns persistent clients until n recommend
 // requests have completed, batch per round trip, collecting per-round-trip
 // latencies.
-func benchAddr(addr, wireMode string, n, conns, batch, warmup int, timeout time.Duration) (result, error) {
+func benchAddr(addrs []string, wireMode string, n, conns, batch, warmup int, timeout time.Duration) (result, error) {
 	if conns < 1 {
 		conns = 1
 	}
@@ -237,7 +237,7 @@ func benchAddr(addr, wireMode string, n, conns, batch, warmup int, timeout time.
 	}
 	clients := make([]client, conns)
 	for i := range clients {
-		c, err := dialClient(addr, wireMode, timeout)
+		c, err := dialClient(addrs, wireMode, timeout)
 		if err != nil {
 			for _, p := range clients[:i] {
 				p.Close()

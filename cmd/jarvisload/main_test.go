@@ -102,7 +102,7 @@ func fakeRecommendDaemon(t *testing.T) string {
 func TestBenchAddrBothCodecs(t *testing.T) {
 	addr := fakeRecommendDaemon(t)
 	for _, mode := range []string{"binary", "json"} {
-		r, err := benchAddr(addr, mode, 100, 2, 4, 10, 5*time.Second)
+		r, err := benchAddr([]string{addr}, mode, 100, 2, 4, 10, 5*time.Second)
 		if err != nil {
 			t.Fatalf("%s: %v", mode, err)
 		}

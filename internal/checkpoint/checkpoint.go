@@ -41,6 +41,23 @@ var syncDir = func(dir string) error {
 	return nil
 }
 
+// NamedFile is the temp-file surface WriteAtomic needs. *os.File
+// satisfies it; fault-injection tests swap OpenTemp to return wrappers
+// whose writes fail or fall short.
+type NamedFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// OpenTemp creates the temporary file WriteAtomic streams into. A package
+// variable so disk-fault tests can make checkpoint writes fail mid-stream;
+// the default is os.CreateTemp.
+var OpenTemp = func(dir, pattern string) (NamedFile, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
 // WriteAtomic streams fn's output to a temporary file in path's directory,
 // syncs it to stable storage, renames it over path, and fsyncs the parent
 // directory — without the directory sync the rename lives only in the
@@ -49,7 +66,7 @@ var syncDir = func(dir string) error {
 // removed and path is left untouched.
 func WriteAtomic(path string, fn func(io.Writer) error) (err error) {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := OpenTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: create temp: %w", err)
 	}

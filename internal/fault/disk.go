@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// The third injection point: disk faults behind the durability layer. The
+// WAL (wal.Options.OpenFile) and the checkpoint writer (checkpoint.OpenTemp)
+// both accept substitute file handles, and Disk produces handles whose
+// writes start failing after a configurable number of clean bytes — the
+// moment a replication test needs a torn shipped frame, a half-written
+// checkpoint temp, or a full disk, on demand and deterministically.
+
+// DiskMode selects how a Disk handle fails once its clean-byte budget is
+// spent.
+type DiskMode int
+
+const (
+	// DiskWriteError rejects the whole write with a generic I/O error;
+	// nothing of the failing write reaches the file.
+	DiskWriteError DiskMode = iota
+	// DiskShortWrite persists only the bytes left in the budget and returns
+	// io.ErrShortWrite — the torn-frame case: a length prefix whose payload
+	// never fully lands.
+	DiskShortWrite
+	// DiskNoSpace behaves like DiskShortWrite but reports syscall.ENOSPC,
+	// the full-disk signature callers special-case.
+	DiskNoSpace
+)
+
+// ErrInjectedWrite is the error a DiskWriteError handle returns.
+var ErrInjectedWrite = errors.New("fault: injected write error")
+
+// Disk is a deterministic disk-fault injector shared by every handle
+// wrapped through it: writes pass through untouched until CleanBytes total
+// bytes have landed, then fail per the configured mode until Heal. Sync
+// and Close always pass through — the fault modeled is a failing write,
+// not a hung device.
+type Disk struct {
+	mu     sync.Mutex
+	mode   DiskMode
+	budget int64 // clean bytes remaining; < 0 means healed (unlimited)
+	fired  int
+}
+
+// NewDisk builds an injector that lets cleanBytes through before faulting.
+// cleanBytes 0 faults on the first write.
+func NewDisk(mode DiskMode, cleanBytes int64) *Disk {
+	return &Disk{mode: mode, budget: cleanBytes}
+}
+
+// Heal stops injecting: subsequent writes on every wrapped handle succeed.
+func (d *Disk) Heal() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.budget = -1
+}
+
+// Fired reports how many writes have failed so far.
+func (d *Disk) Fired() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.fired
+}
+
+// admit decides one write of n bytes: how many bytes may land and which
+// error (if any) to report.
+func (d *Disk) admit(n int) (allow int, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.budget < 0 || int64(n) <= d.budget {
+		if d.budget >= 0 {
+			d.budget -= int64(n)
+		}
+		return n, nil
+	}
+	d.fired++
+	allow = int(d.budget)
+	d.budget = 0
+	switch d.mode {
+	case DiskShortWrite:
+		return allow, io.ErrShortWrite
+	case DiskNoSpace:
+		return allow, syscall.ENOSPC
+	default:
+		return 0, ErrInjectedWrite
+	}
+}
+
+// DiskFile is one wrapped *os.File. It satisfies both wal.File and
+// checkpoint.NamedFile structurally (Write, Sync, Close, Stat, Name), so
+// one wrapper serves both seams.
+type DiskFile struct {
+	f *os.File
+	d *Disk
+}
+
+// Wrap returns a handle whose writes are subject to the injector. The
+// underlying file is owned by the wrapper (Close closes it).
+func (d *Disk) Wrap(f *os.File) *DiskFile {
+	return &DiskFile{f: f, d: d}
+}
+
+func (df *DiskFile) Write(p []byte) (int, error) {
+	allow, ferr := df.d.admit(len(p))
+	var n int
+	var werr error
+	if allow > 0 {
+		n, werr = df.f.Write(p[:allow])
+	}
+	if werr != nil {
+		return n, werr
+	}
+	return n, ferr
+}
+
+func (df *DiskFile) Sync() error                { return df.f.Sync() }
+func (df *DiskFile) Close() error               { return df.f.Close() }
+func (df *DiskFile) Stat() (os.FileInfo, error) { return df.f.Stat() }
+func (df *DiskFile) Name() string               { return df.f.Name() }
+func (df *DiskFile) Seek(offset int64, whence int) (int64, error) {
+	return df.f.Seek(offset, whence)
+}

@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+	"testing"
+
+	"jarvis/internal/checkpoint"
+	"jarvis/internal/wal"
+)
+
+// walOpenFile adapts a Disk to the wal.Options.OpenFile seam.
+func walOpenFile(d *Disk) func(name string, flag int, perm os.FileMode) (wal.File, error) {
+	return func(name string, flag int, perm os.FileMode) (wal.File, error) {
+		f, err := os.OpenFile(name, flag, perm)
+		if err != nil {
+			return nil, err
+		}
+		return d.Wrap(f), nil
+	}
+}
+
+// TestDiskShortWriteTearsWALFrame drives a WAL through a short-write
+// fault: the failing append leaves a genuinely torn frame on disk, and a
+// plain reopen must truncate it and surface exactly the clean records —
+// the on-disk state a follower journaling shipped frames crashes into.
+func TestDiskShortWriteTearsWALFrame(t *testing.T) {
+	dir := t.TempDir()
+	rec := func(i int) string { return fmt.Sprintf("record-%02d", i) }
+	frame := int64(8 + len(rec(0)))
+	// Three clean frames, then a fault partway into the fourth's payload.
+	d := NewDisk(DiskShortWrite, 3*frame+11)
+
+	l, err := wal.Open(dir, wal.Options{OpenFile: walOpenFile(d)})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var appended []string
+	var failed error
+	for i := 0; i < 6; i++ {
+		if err := l.Append([]byte(rec(i))); err != nil {
+			failed = err
+			break
+		}
+		appended = append(appended, rec(i))
+	}
+	if failed == nil {
+		t.Fatal("no append failed despite the injected fault")
+	}
+	if !errors.Is(failed, io.ErrShortWrite) {
+		t.Fatalf("append error = %v, want io.ErrShortWrite", failed)
+	}
+	if len(appended) != 3 {
+		t.Fatalf("%d clean appends before the fault, want 3", len(appended))
+	}
+	if d.Fired() == 0 {
+		t.Fatal("injector never fired")
+	}
+	l.Close()
+
+	// A crash-restart on this directory: recovery must classify the torn
+	// frame as a tail to truncate, not corruption.
+	l2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("reopen after torn write: %v", err)
+	}
+	defer l2.Close()
+	if l2.Recovery().TruncatedBytes == 0 {
+		t.Fatal("recovery did not truncate the torn frame")
+	}
+	var got []string
+	if err := l2.Replay(func(rec []byte) error {
+		got = append(got, string(rec))
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(got) != len(appended) {
+		t.Fatalf("replay saw %d records, want %d", len(got), len(appended))
+	}
+	for i := range got {
+		if got[i] != appended[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], appended[i])
+		}
+	}
+}
+
+// TestDiskHealRestoresAppends proves the injector is a transient fault:
+// after Heal, the same handle accepts writes again.
+func TestDiskHealRestoresAppends(t *testing.T) {
+	dir := t.TempDir()
+	d := NewDisk(DiskWriteError, 0)
+	l, err := wal.Open(dir, wal.Options{OpenFile: walOpenFile(d)})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if err := l.Append([]byte("doomed")); !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("faulted append = %v, want ErrInjectedWrite", err)
+	}
+	d.Heal()
+	if err := l.Append([]byte("healed")); err != nil {
+		t.Fatalf("append after Heal: %v", err)
+	}
+}
+
+// TestDiskNoSpaceFailsCheckpointKeepsOldGeneration swaps the checkpoint
+// temp-file seam for an ENOSPC disk: the new generation's save must fail
+// cleanly and the previous generation must remain loadable.
+func TestDiskNoSpaceFailsCheckpointKeepsOldGeneration(t *testing.T) {
+	dir := t.TempDir()
+	store, err := checkpoint.OpenStore(dir, "base", 3, nil)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	if _, err := store.Save(func(w io.Writer) error {
+		_, err := w.Write([]byte("generation-one"))
+		return err
+	}); err != nil {
+		t.Fatalf("clean save: %v", err)
+	}
+
+	d := NewDisk(DiskNoSpace, 4)
+	orig := checkpoint.OpenTemp
+	checkpoint.OpenTemp = func(tdir, pattern string) (checkpoint.NamedFile, error) {
+		f, err := os.CreateTemp(tdir, pattern)
+		if err != nil {
+			return nil, err
+		}
+		return d.Wrap(f), nil
+	}
+	defer func() { checkpoint.OpenTemp = orig }()
+
+	_, err = store.Save(func(w io.Writer) error {
+		_, err := w.Write([]byte("generation-two"))
+		return err
+	})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("save on full disk = %v, want ENOSPC", err)
+	}
+	checkpoint.OpenTemp = orig
+
+	var got []byte
+	if _, err := store.Load(checkpoint.LoadOptions{Tries: 1}, func(r io.Reader) error {
+		b, err := io.ReadAll(r)
+		got = b
+		return err
+	}); err != nil {
+		t.Fatalf("load after failed save: %v", err)
+	}
+	if string(got) != "generation-one" {
+		t.Fatalf("loaded %q, want the surviving generation-one", got)
+	}
+}

@@ -160,6 +160,8 @@ func LoadRules(path string) ([]Rule, error) {
 //   - policy drift and safety regression from the shadow evaluator
 //     (both armed for watchdog rollback),
 //   - serving degradation (degraded recommendations, restore failures),
+//   - replication lag on a hot standby (the burn gauge reads zero on a
+//     daemon that follows no one, so the rule is inert on primaries),
 //   - observability loss (telemetry event-ring drops).
 func DefaultRules() []Rule {
 	rules := []Rule{
@@ -199,6 +201,15 @@ func DefaultRules() []Rule {
 			For: 1, ClearFor: 2,
 			Severity:    SeverityCritical,
 			Description: "the watchdog tripped but could not restore a checkpoint generation",
+		},
+		{
+			Name:   "replication-lag",
+			Metric: "health.slo.burn.replication-lag",
+			Op:     ">", Value: 1,
+			For: 2, ClearFor: 2,
+			Severity: SeverityWarn,
+			Description: "hot standby trails the primary past its lag budget " +
+				"(gauge is absent — reads 0 — on daemons not following anyone)",
 		},
 		{
 			Name:   "telemetry-events-dropped",

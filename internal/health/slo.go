@@ -9,14 +9,18 @@ import (
 )
 
 // Objective is one service-level objective scored over the tracker's
-// rolling window. Exactly one of three kinds, chosen by which fields are
+// rolling window. Exactly one of four kinds, chosen by which fields are
 // set:
 //
 //   - latency: Histogram + ThresholdNs — the fraction of window
 //     observations at or under ThresholdNs must be ≥ Target;
 //   - ratio: Bad + Total counters — the windowed Bad/Total fraction must
 //     stay ≤ 1−Target;
-//   - budget: Counter + Budget — at most Budget windowed increments.
+//   - budget: Counter + Budget — at most Budget windowed increments;
+//   - gauge: Gauge + Budget — the gauge's current level must stay at or
+//     under Budget. Unlike the windowed kinds, this scores an
+//     instantaneous level (e.g. replication lag in records), so burn is
+//     simply level/Budget at the newest sample.
 type Objective struct {
 	Name string `json:"name"`
 	// Target is the good fraction for latency and ratio kinds, e.g. 0.99.
@@ -30,12 +34,18 @@ type Objective struct {
 
 	Counter string  `json:"counter,omitempty"`
 	Budget  float64 `json:"budget,omitempty"`
+
+	// Gauge names a telemetry gauge whose current value is the objective's
+	// level; a gauge missing from the snapshot reads as zero.
+	Gauge string `json:"gauge,omitempty"`
 }
 
 func (o Objective) kind() string {
 	switch {
 	case o.Histogram != "":
 		return "latency"
+	case o.Gauge != "":
+		return "gauge"
 	case o.Counter != "":
 		return "budget"
 	default:
@@ -52,6 +62,10 @@ func (o Objective) validate() error {
 	case "budget":
 		if o.Budget <= 0 {
 			return fmt.Errorf("objective %q: budget kind needs budget > 0", o.Name)
+		}
+	case "gauge":
+		if o.Budget <= 0 {
+			return fmt.Errorf("objective %q: gauge kind needs budget > 0", o.Name)
 		}
 	case "ratio":
 		if o.Bad == "" || o.Total == "" || o.Target <= 0 || o.Target >= 1 {
@@ -210,6 +224,7 @@ func scoreObjective(o Objective, cur, prev telemetry.Snapshot) ObjectiveStatus {
 		}
 		return d
 	}
+	var level float64 // gauge kind only
 	switch st.Kind {
 	case "latency":
 		ch, ph := cur.Histograms[o.Histogram], prev.Histograms[o.Histogram]
@@ -228,13 +243,24 @@ func scoreObjective(o Objective, cur, prev telemetry.Snapshot) ObjectiveStatus {
 	case "budget":
 		st.Bad = counterDelta(o.Counter)
 		st.Total = st.Bad
+	case "gauge":
+		// An instantaneous level, not a windowed delta: only the newest
+		// sample matters, and negatives clamp to an empty budget.
+		if level = cur.Gauges[o.Gauge]; level < 0 {
+			level = 0
+		}
+		st.Bad = int64(level)
+		st.Total = st.Bad
 	}
 	if st.Total > 0 {
 		st.BadFraction = float64(st.Bad) / float64(st.Total)
 	}
-	if st.Kind == "budget" {
+	switch {
+	case st.Kind == "budget":
 		st.BurnRate = float64(st.Bad) / o.Budget
-	} else if o.Target < 1 {
+	case st.Kind == "gauge":
+		st.BurnRate = level / o.Budget
+	case o.Target < 1:
 		st.BurnRate = st.BadFraction / (1 - o.Target)
 	}
 	st.Met = st.BurnRate <= 1

@@ -1,0 +1,186 @@
+package replica
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"jarvis/internal/wal"
+	"jarvis/internal/wire"
+)
+
+// activeFollowers backs the replica.followers.active gauge across every
+// shipper in the process.
+var activeFollowers atomic.Int64
+
+// ShipperConfig wires a Shipper to the primary daemon.
+type ShipperConfig struct {
+	// WALDir is the primary's live journal directory, tailed with
+	// wal.OpenTail.
+	WALDir string
+	// Snapshot serializes the primary's current state under its own lock:
+	// generation number plus the same snapshot bytes a checkpoint save
+	// would persist. Called once per connection and again after every WAL
+	// reset (checkpoint barrier).
+	Snapshot func() (gen uint64, data []byte, err error)
+	// Counters reports the primary's journalled position, stamped into
+	// heartbeats.
+	Counters func() Counters
+	// HeartbeatEvery is the idle beacon cadence (default 500ms).
+	HeartbeatEvery time.Duration
+	// Poll is the tail's catch-up sleep at the live tip (default 5ms).
+	Poll time.Duration
+	// WriteTimeout bounds one frame write (default 10s).
+	WriteTimeout time.Duration
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c ShipperConfig) withDefaults() ShipperConfig {
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if c.Poll <= 0 {
+		c.Poll = 5 * time.Millisecond
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Shipper streams the primary's WAL to one follower per connection: an
+// initial snapshot, then every journalled record in order, with heartbeats
+// whenever the stream goes idle and a fresh snapshot after every
+// checkpoint barrier. Stateless across connections — each ServeConn
+// re-seeds the follower from a snapshot, and the follower's stale-record
+// dedup absorbs the overlap.
+type Shipper struct {
+	cfg ShipperConfig
+}
+
+// NewShipper builds a shipper over cfg.
+func NewShipper(cfg ShipperConfig) *Shipper {
+	return &Shipper{cfg: cfg.withDefaults()}
+}
+
+// ServeConn drives one replication connection: consume the two raw magic
+// bytes (the caller only peeked the first to pick this codec), read the
+// framed hello, send a snapshot, then tail the WAL until the connection
+// breaks or stop closes. br is the buffered reader the caller peeked the
+// magic from.
+func (sh *Shipper) ServeConn(conn net.Conn, br *bufio.Reader, stop <-chan struct{}) error {
+	cfg := sh.cfg
+	if err := conn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return err
+	}
+	var raw [2]byte
+	if _, err := io.ReadFull(br, raw[:]); err != nil {
+		return fmt.Errorf("replica: read magic: %w", err)
+	}
+	if raw[0] != Magic || raw[1] != Version {
+		return fmt.Errorf("replica: bad magic/version % x", raw)
+	}
+	rd := wire.NewReaderSize(br, MaxFrame)
+	payload, err := rd.ReadFrame()
+	if err != nil {
+		return fmt.Errorf("replica: read hello: %w", err)
+	}
+	hello, err := ParseMessage(payload)
+	if err != nil {
+		return err
+	}
+	if hello.Kind != MsgHello {
+		return fmt.Errorf("replica: expected hello, got kind 0x%02x", hello.Kind)
+	}
+	if hello.Ver != Version {
+		return fmt.Errorf("replica: protocol version %d, want %d", hello.Ver, Version)
+	}
+	// Nothing further is expected from the follower; the stream is ours.
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		return err
+	}
+	mFollowerConns.Inc()
+	mFollowersActive.SetInt(activeFollowers.Add(1))
+	defer func() { mFollowersActive.SetInt(activeFollowers.Add(-1)) }()
+	cfg.Logf("replica: follower %s connected at position %+v", conn.RemoteAddr(), hello.Have)
+
+	buf := make([]byte, 0, 4<<10)
+	write := func(b []byte) error {
+		if err := conn.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout)); err != nil {
+			return err
+		}
+		_, err := conn.Write(b)
+		return err
+	}
+	sendSnapshot := func() error {
+		gen, data, err := cfg.Snapshot()
+		if err != nil {
+			return fmt.Errorf("replica: snapshot: %w", err)
+		}
+		mShippedSnapshots.Inc()
+		return write(AppendSnapshot(buf[:0], gen, data))
+	}
+
+	if err := sendSnapshot(); err != nil {
+		return err
+	}
+	tail := wal.OpenTail(cfg.WALDir)
+	defer tail.Close()
+	lastBeat := time.Now()
+	timer := time.NewTimer(cfg.Poll)
+	defer timer.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		// Heartbeats flow on cadence even while records stream: they carry
+		// the primary's position, which is what the follower's lag gauge
+		// measures against.
+		if time.Since(lastBeat) >= cfg.HeartbeatEvery {
+			if err := write(AppendHeartbeat(buf[:0], cfg.Counters())); err != nil {
+				return err
+			}
+			mHeartbeatsSent.Inc()
+			lastBeat = time.Now()
+		}
+		rec, err := tail.Next()
+		switch {
+		case err == nil:
+			if err := write(AppendRecord(buf[:0], rec)); err != nil {
+				return err
+			}
+			mShippedRecords.Inc()
+		case errors.Is(err, wal.ErrLogReset):
+			// Checkpoint barrier on the primary: re-seed the follower so it
+			// can mirror the barrier, then keep tailing the fresh log.
+			if err := sendSnapshot(); err != nil {
+				return err
+			}
+		case errors.Is(err, wal.ErrNoRecord):
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(cfg.Poll)
+			select {
+			case <-stop:
+				return nil
+			case <-timer.C:
+			}
+		default:
+			return err
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package replica
+
+import "jarvis/internal/telemetry"
+
+// Metric handles, resolved once at init. The shipper side counts what the
+// primary sent; the applied/seen counters are the follower's view. Both
+// report into the Default registry so one /metrics scrape covers either
+// role.
+var (
+	mFollowerConns    = telemetry.Default.Counter("replica.follower.conns")
+	mFollowersActive  = telemetry.Default.Gauge("replica.followers.active")
+	mShippedSnapshots = telemetry.Default.Counter("replica.shipped.snapshots")
+	mShippedRecords   = telemetry.Default.Counter("replica.shipped.records")
+	mHeartbeatsSent   = telemetry.Default.Counter("replica.heartbeats.sent")
+
+	mAppliedSnapshots = telemetry.Default.Counter("replica.applied.snapshots")
+	mAppliedRecords   = telemetry.Default.Counter("replica.applied.records")
+	mHeartbeatsSeen   = telemetry.Default.Counter("replica.heartbeats.seen")
+	mTailDrained      = telemetry.Default.Counter("replica.tail.drained")
+)

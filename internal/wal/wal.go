@@ -93,6 +93,16 @@ var ErrTooLarge = errors.New("wal: record exceeds MaxRecordBytes")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// File is the writable-segment surface a Log needs from the filesystem.
+// *os.File satisfies it; tests substitute fault-injecting wrappers through
+// Options.OpenFile to exercise torn and failed writes.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Stat() (os.FileInfo, error)
+}
+
 // Options tunes a Log. The zero value is usable: 4 MiB segments, keep all
 // sealed segments, fsync every record.
 type Options struct {
@@ -107,6 +117,9 @@ type Options struct {
 	Policy SyncPolicy
 	// Interval is the SyncInterval group-commit window (default 100ms).
 	Interval time.Duration
+	// OpenFile overrides how segment files open for writing (fault
+	// injection). Nil uses os.OpenFile.
+	OpenFile func(name string, flag int, perm os.FileMode) (File, error)
 }
 
 func (o Options) withDefaults() Options {
@@ -136,7 +149,7 @@ type Log struct {
 	opts Options
 
 	mu          sync.Mutex
-	f           *os.File // active segment
+	f           File     // active segment
 	seq         uint64   // active segment number
 	size        int64    // bytes in the active segment
 	sealed      []uint64 // sealed segment numbers, ascending
@@ -195,7 +208,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	default:
 		l.sealed = segs[:len(segs)-1]
 		seq := segs[len(segs)-1]
-		f, err := os.OpenFile(l.segPath(seq), os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := l.openFile(l.segPath(seq), os.O_WRONLY|os.O_APPEND)
 		if err != nil {
 			return nil, fmt.Errorf("wal: reopen segment: %w", err)
 		}
@@ -414,10 +427,18 @@ func segmentPath(dir string, seq uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%08d%s", seq, segSuffix))
 }
 
+// openFile opens a segment file for writing through the configured hook.
+func (l *Log) openFile(name string, flag int) (File, error) {
+	if l.opts.OpenFile != nil {
+		return l.opts.OpenFile(name, flag, 0o644)
+	}
+	return os.OpenFile(name, flag, 0o644)
+}
+
 // openSegment creates segment seq and makes it active, fsyncing the
 // directory so the new name survives power loss.
 func (l *Log) openSegment(seq uint64) error {
-	f, err := os.OpenFile(l.segPath(seq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.openFile(l.segPath(seq), os.O_WRONLY|os.O_CREATE|os.O_EXCL)
 	if err != nil {
 		return fmt.Errorf("wal: create segment: %w", err)
 	}

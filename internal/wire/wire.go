@@ -304,16 +304,27 @@ func le64(dst []byte, v uint64) []byte {
 type Reader struct {
 	br  *bufio.Reader
 	buf []byte
+	max int
 }
 
 // NewReader wraps r. If r is already a *bufio.Reader it is used directly
 // (the daemon hands over the reader it peeked the codec byte from).
 func NewReader(r io.Reader) *Reader {
+	return NewReaderSize(r, MaxFrame)
+}
+
+// NewReaderSize is NewReader with a custom frame cap for protocols layered
+// on the same framing whose payloads outgrow MaxFrame (the replication
+// stream ships whole checkpoint snapshots in one frame).
+func NewReaderSize(r io.Reader, max int) *Reader {
+	if max <= 0 {
+		max = MaxFrame
+	}
 	br, ok := r.(*bufio.Reader)
 	if !ok {
 		br = bufio.NewReaderSize(r, 32<<10)
 	}
-	return &Reader{br: br}
+	return &Reader{br: br, max: max}
 }
 
 // Buffered returns how many bytes are already readable without I/O.
@@ -383,8 +394,19 @@ func (r *Reader) TryReadFrame() (payload []byte, ok bool, err error) {
 
 func (r *Reader) frameLen(hdr []byte) (int, error) {
 	n := binary.LittleEndian.Uint32(hdr)
-	if n > MaxFrame {
-		return 0, fmt.Errorf("wire: frame length %d exceeds cap %d", n, MaxFrame)
+	max := r.max
+	if max == 0 {
+		max = MaxFrame
+	}
+	if n > uint32(max) {
+		return 0, fmt.Errorf("wire: frame length %d exceeds cap %d", n, max)
 	}
 	return int(n), nil
+}
+
+// AppendFrame appends one length-prefixed frame carrying payload — the
+// write-side primitive shared by every protocol on this framing.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = le32(dst, uint32(len(payload)))
+	return append(dst, payload...)
 }
