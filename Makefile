@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race race-daemon race-core fmt check bench serve-bench stats crash failover trace replay alerts fuzz
+.PHONY: build test vet race race-daemon race-core fmt check bench serve-bench stats top lint-metrics crash failover trace replay alerts fuzz
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,7 @@ race-daemon:
 # WAL-shipping replication layer (shipper/follower streams) with its
 # fault injectors.
 race-core:
-	$(GO) test -race ./internal/nn/ ./internal/rl/ ./internal/experiment/ ./internal/telemetry/ ./internal/trace/ ./internal/wal/ ./internal/replay/ ./internal/compiled/ ./internal/wire/ ./internal/health/ ./internal/replica/ ./internal/fault/
+	$(GO) test -race ./internal/nn/ ./internal/rl/ ./internal/experiment/ ./internal/telemetry/ ./internal/trace/ ./internal/wal/ ./internal/replay/ ./internal/compiled/ ./internal/wire/ ./internal/health/ ./internal/replica/ ./internal/fault/ ./internal/tsdb/
 
 # The crash-recovery drill: SIGKILL a real daemon mid-online-training,
 # boot a successor on its checkpoint + WAL, and require the recovered
@@ -115,6 +115,48 @@ stats:
 		sleep 0.2; \
 	done; \
 	$$tmp/jarvisctl -debug-addr $(STATS_DEBUG_ADDR) stats
+
+# Fleet-view smoke probe: boot a primary (with a WAL to ship and an
+# on-disk metric history) plus a hot standby streaming it, then render one
+# `jarvisctl top` poll over both debug listeners and require the table to
+# carry both roles and the follower's replication state.
+TOP_ADDR ?= 127.0.0.1:7983
+TOP_DEBUG_ADDR ?= 127.0.0.1:7984
+TOP_FOLLOW_ADDR ?= 127.0.0.1:7985
+TOP_FOLLOW_DEBUG_ADDR ?= 127.0.0.1:7986
+
+top:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$ppid $$fpid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/jarvisd ./cmd/jarvisd; \
+	$(GO) build -o $$tmp/jarvisctl ./cmd/jarvisctl; \
+	$$tmp/jarvisd -addr $(TOP_ADDR) -debug-addr $(TOP_DEBUG_ADDR) -wal $$tmp/wal -tsdb $$tmp/tsdb -ts-interval 250ms -learning-days 2 -episodes 2 & \
+	ppid=$$!; \
+	$$tmp/jarvisd -addr $(TOP_FOLLOW_ADDR) -debug-addr $(TOP_FOLLOW_DEBUG_ADDR) -follow $(TOP_ADDR) -promote-after=-1s -learning-days 2 -episodes 2 & \
+	fpid=$$!; \
+	for i in $$(seq 1 150); do \
+		if $$tmp/jarvisctl -debug-addr $(TOP_DEBUG_ADDR),$(TOP_FOLLOW_DEBUG_ADDR) -timeout 1s -once -format json top 2>/dev/null \
+			| grep -q '"role": "follower"'; then break; fi; \
+		sleep 0.2; \
+	done; \
+	$$tmp/jarvisctl -debug-addr $(TOP_DEBUG_ADDR),$(TOP_FOLLOW_DEBUG_ADDR) -once top; \
+	$$tmp/jarvisctl -debug-addr $(TOP_DEBUG_ADDR),$(TOP_FOLLOW_DEBUG_ADDR) -once -format json top > $$tmp/top.json; \
+	grep -q '"role": "primary"' $$tmp/top.json; \
+	grep -q '"role": "follower"' $$tmp/top.json; \
+	grep -q '"replicaConnected": true' $$tmp/top.json
+
+# Metric-name lint: every name registered on the telemetry registry must
+# match ^[a-z][a-z0-9._]*$ — the same contract telemetry.ValidMetricName
+# enforces at runtime — so a bad name fails CI before it ever runs. Test
+# files are exempt: they register invalid names on purpose.
+lint-metrics:
+	@bad=$$(grep -rhoE '\.(Counter|Gauge|Histogram|CounterVec|GaugeVec|HistogramVec|GaugeFunc|SetInfo)\("[^"]*"' \
+		--include='*.go' --exclude='*_test.go' . \
+		| sed -E 's/.*\("([^"]*)"/\1/' \
+		| grep -vE '^[a-z][a-z0-9._]*$$' || true); \
+	if [ -n "$$bad" ]; then echo "invalid metric name(s):"; echo "$$bad"; exit 1; \
+	else echo "metric names clean"; fi
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

@@ -14,6 +14,7 @@ import (
 	"jarvis/internal/rl"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/trace"
+	"jarvis/internal/version"
 )
 
 // benchResult is one row of BENCH_core.json.
@@ -26,17 +27,21 @@ type benchResult struct {
 	MsTotal     float64 `json:"ms_total"`
 }
 
-// benchReport is the BENCH_core.json envelope. Telemetry carries the
-// process-wide metrics snapshot taken after the benchmarks ran — the
-// kernel counters (rl.update.latency, rl.train.steps, experiment.*) that
-// the instrumented packages accumulated while being measured, so a bench
-// artifact records not just ns/op but how much work each kernel did.
+// benchReport is the BENCH_core.json envelope. GeneratedAt and Revision
+// make a directory of bench artifacts orderable: the trajectory can be
+// sorted by wall clock and each point tied back to the exact source that
+// produced it. Telemetry carries the process-wide metrics snapshot taken
+// after the benchmarks ran — the kernel counters (rl.update.latency,
+// rl.train.steps, experiment.*) that the instrumented packages
+// accumulated while being measured, so a bench artifact records not just
+// ns/op but how much work each kernel did.
 type benchReport struct {
-	GoVersion  string              `json:"go_version"`
-	GOMAXPROCS int                 `json:"gomaxprocs"`
-	Date       string              `json:"date"`
-	Results    []benchResult       `json:"results"`
-	Telemetry  *telemetry.Snapshot `json:"telemetry,omitempty"`
+	GoVersion   string              `json:"go_version"`
+	GOMAXPROCS  int                 `json:"gomaxprocs"`
+	GeneratedAt string              `json:"generated_at"`
+	Revision    string              `json:"revision,omitempty"`
+	Results     []benchResult       `json:"results"`
+	Telemetry   *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // coreBenchmarks measures the batched compute core: the nn kernels, the
@@ -168,9 +173,10 @@ func coreBenchmarks() []struct {
 // BENCH_core.json next to the working directory.
 func runBench(path string, out *os.File) error {
 	report := benchReport{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Revision:    version.Revision(),
 	}
 	for _, bench := range coreBenchmarks() {
 		r := testing.Benchmark(bench.fn)

@@ -12,6 +12,8 @@
 //	jarvisctl replay
 //	jarvisctl alerts
 //	jarvisctl slo
+//	jarvisctl -debug-addr 127.0.0.1:7464,127.0.0.1:7474 top
+//	jarvisctl -debug-addr 127.0.0.1:7464,127.0.0.1:7474 -once -format json top
 //
 // Protocol commands negotiate the length-prefixed binary codec by default
 // and silently fall back to JSON lines against daemons that predate it;
@@ -21,6 +23,13 @@
 // the firing/resolved alert state plus the latest shadow-evaluation
 // report (non-zero exit while anything fires), slo shows each objective's
 // rolling-window error-budget burn rate (non-zero exit when out of SLO).
+//
+// top is the fleet view: -debug-addr takes a comma-separated list of
+// daemons, each polled concurrently, and renders one role-aware row per
+// daemon (primary vs follower, replication lag, firing alerts, recommend
+// throughput, and a p99 sparkline from the on-disk metric history). It
+// refreshes every -interval; -once renders a single poll, and
+// -once -format json emits the machine-readable report scripts consume.
 //
 // stats, trace, and replay talk to the daemon's debug HTTP listener
 // (-debug-addr) instead of the TCP protocol: stats renders the /metrics
@@ -93,6 +102,8 @@ func run(args []string, out io.Writer) error {
 	format := fs.String("format", "text", "stats representation: text | json | prom")
 	traceN := fs.Int("n", 0, "trace: how many traces to fetch (0 = all retained)")
 	slowest := fs.Bool("slowest", false, "trace: rank by duration instead of recency")
+	once := fs.Bool("once", false, "top: render a single poll and exit instead of refreshing")
+	interval := fs.Duration("interval", 2*time.Second, "top: refresh cadence of the live view")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,6 +133,11 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("slo takes no arguments")
 		}
 		return runSLO(*debugAddr, *timeout, out)
+	case len(rest) > 0 && rest[0] == "top":
+		if len(rest) != 1 {
+			return fmt.Errorf("top takes no arguments")
+		}
+		return runTop(splitAddrs(*debugAddr), *timeout, *interval, *once, *format, out)
 	}
 	req, err := buildRequest(fs.Args())
 	if err != nil {
@@ -217,7 +233,7 @@ func retryLoop(rt func(string, time.Duration, request) (response, error), addrs 
 
 func buildRequest(args []string) (request, error) {
 	if len(args) == 0 {
-		return request{}, fmt.Errorf("expected a command: state|event <device> <action>|recommend|violations|promote|stats|trace|replay|alerts|slo")
+		return request{}, fmt.Errorf("expected a command: state|event <device> <action>|recommend|violations|promote|stats|trace|replay|alerts|slo|top")
 	}
 	switch args[0] {
 	case "state", "recommend", "violations", "promote":

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeDebugStatus serves one canned /healthz body with a fixed status
+// code (fakeDebug always answers 200).
+func fakeDebugStatus(t *testing.T, status int, body string) string {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.WriteHeader(status)
+		fmt.Fprint(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+// fakeFleetPrimary is a /healthz body for a primary with a metric
+// history, one firing alert, and a hot SLO burn.
+const fakeFleetPrimary = `{
+  "status": "ok", "role": "primary", "violations": 3, "queueDepth": 1,
+  "alertsFiring": [{"rule": "unsafe-event-burst", "severity": "page"}],
+  "sloBurn": {"safety-violations": 1.4, "recommend-p99": 0.02},
+  "tsdb": {"points": 40, "sizeBytes": 8192},
+  "telemetrySeries": 33, "telemetryLabelsDropped": 2
+}`
+
+// fakeFleetFollower follows the primary with a small lag and no store.
+const fakeFleetFollower = `{
+  "status": "ok", "role": "follower", "violations": 0, "queueDepth": 0,
+  "replication": {"followAddr": "127.0.0.1:7463", "connected": true, "lagRecords": 5},
+  "telemetrySeries": 21
+}`
+
+const fakeFleetRate = `{"series": "jarvisd.requests{op=\"recommend\"}", "fn": "rate", "ok": true, "value": 12.5}`
+
+const fakeFleetRaw = `{"series": "jarvisd.request.latency", "fn": "raw", "ok": true,
+  "samples": [{"tsNs": 1, "value": 800}, {"tsNs": 2, "value": 1600}, {"tsNs": 3, "value": 1200}]}`
+
+// rateQuery is the exact query string pollDaemon issues for the labeled
+// throughput series (url.QueryEscape of the flat name).
+const rateQuery = "/debug/tsdb?series=jarvisd.requests%7Bop%3D%22recommend%22%7D&fn=rate"
+const rawQuery = "/debug/tsdb?series=jarvisd.request.latency&fn=raw"
+
+func TestTopOnce(t *testing.T) {
+	primary := fakeDebug(t, map[string]string{
+		"/healthz": fakeFleetPrimary,
+		rateQuery:  fakeFleetRate,
+		rawQuery:   fakeFleetRaw,
+	})
+	follower := fakeDebug(t, map[string]string{"/healthz": fakeFleetFollower})
+
+	var buf bytes.Buffer
+	if err := run([]string{"-debug-addr", primary + "," + follower, "-once", "top"}, &buf); err != nil {
+		t.Fatalf("top -once: %v", err)
+	}
+	got := buf.String()
+	for _, want := range []string{
+		`jarvisd.requests{op="recommend"}`, // legend names the labeled series
+		"primary", "follower",
+		"12.50", // recommend rate from the tsdb query
+		"5",     // follower lag records
+		"unsafe-event-burst[page]",
+		"safety-violations=1.40", // burning objective detail line
+		"dropping labels: 2",
+		"▁", // sparkline rendered from the raw samples
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("top output missing %q:\n%s", want, got)
+		}
+	}
+	// The follower has no store, so its row degrades to bare dashes
+	// rather than erroring the whole view.
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "follower") && !strings.Contains(line, "-") {
+			t.Errorf("follower row should carry dashes for missing tsdb data: %q", line)
+		}
+	}
+}
+
+func TestTopOnceJSON(t *testing.T) {
+	primary := fakeDebug(t, map[string]string{
+		"/healthz": fakeFleetPrimary,
+		rateQuery:  fakeFleetRate,
+		rawQuery:   fakeFleetRaw,
+	})
+	follower := fakeDebug(t, map[string]string{"/healthz": fakeFleetFollower})
+
+	var buf bytes.Buffer
+	if err := run([]string{"-debug-addr", primary + "," + follower, "-once", "-format", "json", "top"}, &buf); err != nil {
+		t.Fatalf("top -once -format json: %v", err)
+	}
+	var rep topReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("top json output does not parse: %v\n%s", err, buf.String())
+	}
+	if len(rep.Daemons) != 2 {
+		t.Fatalf("got %d daemons, want 2", len(rep.Daemons))
+	}
+	p, f := rep.Daemons[0], rep.Daemons[1]
+	if p.Role != "primary" || f.Role != "follower" {
+		t.Errorf("roles = %q, %q; polling order should match -debug-addr order", p.Role, f.Role)
+	}
+	if !p.RecommendRateOK || p.RecommendPerSec != 12.5 {
+		t.Errorf("primary rate = %+v, want 12.5 from the tsdb query", p)
+	}
+	if p.P99Ns != 1200 || len(p.P99SeriesNs) != 3 {
+		t.Errorf("primary p99 = %d over %d samples, want 1200 over 3", p.P99Ns, len(p.P99SeriesNs))
+	}
+	if f.ReplicaLagRecords != 5 || !f.ReplicaConnected {
+		t.Errorf("follower replication = %+v, want lag 5 connected", f)
+	}
+	if f.RecommendRateOK || f.P99Ns != 0 {
+		t.Errorf("follower has no tsdb; rate/p99 should be absent: %+v", f)
+	}
+}
+
+// TestTopUnreachable: a dead daemon gets an UNREACHABLE row; if every
+// daemon is dead, -once exits non-zero so smoke scripts fail loudly.
+func TestTopUnreachable(t *testing.T) {
+	primary := fakeDebug(t, map[string]string{"/healthz": fakeFleetPrimary})
+	var buf bytes.Buffer
+	if err := run([]string{"-debug-addr", primary + ",127.0.0.1:1", "-once", "top"}, &buf); err != nil {
+		t.Fatalf("top with one live daemon should succeed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "UNREACHABLE") {
+		t.Errorf("dead daemon row missing UNREACHABLE:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := run([]string{"-debug-addr", "127.0.0.1:1", "-once", "top"}, &buf); err == nil {
+		t.Error("top -once with no live daemon should exit non-zero")
+	}
+}
+
+// TestTopDegradedDaemon: /healthz answers 503 once recommendations
+// degrade, but the report inside is still valid and must render.
+func TestTopDegradedDaemon(t *testing.T) {
+	addr := fakeDebugStatus(t, 503, `{"status": "degraded", "role": "primary", "violations": 1, "telemetrySeries": 9}`)
+	var buf bytes.Buffer
+	if err := run([]string{"-debug-addr", addr, "-once", "top"}, &buf); err != nil {
+		t.Fatalf("top against a degraded daemon: %v", err)
+	}
+	if !strings.Contains(buf.String(), "degraded") {
+		t.Errorf("degraded status not rendered:\n%s", buf.String())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil, 12); got != "" {
+		t.Errorf("empty series sparkline = %q, want empty", got)
+	}
+	if got := sparkline([]float64{1, 1, 1}, 12); got != "▁▁▁" {
+		t.Errorf("flat series = %q, want all-minimum bars", got)
+	}
+	got := sparkline([]float64{0, 50, 100}, 12)
+	if r := []rune(got); len(r) != 3 || r[0] != '▁' || r[2] != '█' {
+		t.Errorf("ramp series = %q, want min..max ramp", got)
+	}
+	// Width caps keep the live view stable: only the newest points show.
+	if got := sparkline([]float64{9, 9, 9, 9, 1}, 2); []rune(got)[1] != '▁' {
+		t.Errorf("width-capped series = %q, want the newest 2 points", got)
+	}
+}

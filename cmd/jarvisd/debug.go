@@ -16,6 +16,7 @@ import (
 	"jarvis/internal/rl"
 	"jarvis/internal/telemetry"
 	"jarvis/internal/trace"
+	"jarvis/internal/tsdb"
 )
 
 // The debug listener is a second, HTTP-speaking socket so observability
@@ -39,6 +40,10 @@ import (
 //	                     duration); /debug/traces/chrome re-exports them
 //	                     as Chrome trace_event JSON for chrome://tracing
 //	                     and Perfetto
+//	/debug/tsdb          range queries over the on-disk metric history
+//	                     (?series=&fn=rate|delta|p50|p95|p99|raw with
+//	                     from/to or window; no params = index; needs
+//	                     -tsdb)
 //	/debug/vars   expvar, including the same telemetry snapshot
 //	/debug/pprof  the standard Go profiler endpoints
 
@@ -55,6 +60,7 @@ func (s *server) startDebug(addr string) error {
 	mux.HandleFunc("/debug/slo", s.handleSLO)
 	mux.HandleFunc("/debug/traces", s.handleTraces)
 	mux.HandleFunc("/debug/traces/chrome", s.handleTracesChrome)
+	mux.HandleFunc("/debug/tsdb", s.handleTSDB)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -214,6 +220,14 @@ type healthStatus struct {
 	AlertsFiring []health.Alert       `json:"alertsFiring,omitempty"`
 	SLOBurn      map[string]float64   `json:"sloBurn,omitempty"`
 	Shadow       *health.ShadowReport `json:"shadow,omitempty"`
+	// TSDB is the on-disk metric history's footprint (absent without
+	// -tsdb). TelemetrySeries counts every series the registry currently
+	// exports, including labeled vec children; TelemetryLabelsDropped
+	// counts writes lost to vec cardinality caps — nonzero means a label
+	// blowup is being contained.
+	TSDB                   *tsdb.Stats `json:"tsdb,omitempty"`
+	TelemetrySeries        int         `json:"telemetrySeries"`
+	TelemetryLabelsDropped int64       `json:"telemetryLabelsDropped,omitempty"`
 }
 
 // handleReplay runs a verify-mode deterministic replay of the daemon's own
@@ -304,6 +318,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h.Role = s.role()
 	h.Replication = s.replicationHealth()
 	h.TelemetryEventsDropped = telemetry.Default.Events().Dropped()
+	h.TelemetrySeries = telemetry.Default.SeriesCount()
+	h.TelemetryLabelsDropped = telemetry.Default.LabelsDropped()
+	if s.ts != nil {
+		st := s.ts.Stats()
+		h.TSDB = &st
+	}
 	h.TracesSampled = s.tracer.Ring().Len()
 	if s.health != nil {
 		h.AlertsFiring = s.health.Active()

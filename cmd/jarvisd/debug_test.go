@@ -94,9 +94,10 @@ func TestMetricsEndpoint(t *testing.T) {
 	if err := json.Unmarshal(body, &snap2); err != nil {
 		t.Fatalf("second /metrics is not valid JSON: %v", err)
 	}
-	got := snap2.Counters["jarvisd.requests.state"] - snap1.Counters["jarvisd.requests.state"]
+	stateSeries := `jarvisd.requests{op="state"}`
+	got := snap2.Counters[stateSeries] - snap1.Counters[stateSeries]
 	if got < reqs {
-		t.Errorf("jarvisd.requests.state grew by %d, want >= %d", got, reqs)
+		t.Errorf("%s grew by %d, want >= %d", stateSeries, got, reqs)
 	}
 	for name, v := range snap1.Counters {
 		if snap2.Counters[name] < v {

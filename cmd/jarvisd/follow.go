@@ -267,6 +267,7 @@ func (s *server) applyShippedRecord(b []byte) error {
 		if unsafe {
 			s.violations++
 			mEventsUnsafe.Inc()
+			s.mUnsafeByDevice[rec.D].Inc()
 		}
 		s.state = next
 		s.eventsIngested++

@@ -5,13 +5,14 @@ import (
 	"encoding/json"
 	"net/http"
 	"runtime"
-	"runtime/debug"
 	"sync"
 	"time"
 
 	"jarvis/internal/health"
 	"jarvis/internal/replay"
 	"jarvis/internal/telemetry"
+	"jarvis/internal/tsdb"
+	"jarvis/internal/version"
 )
 
 // The policy-health layer (DESIGN.md §14) runs on two cadences, both off
@@ -53,31 +54,7 @@ func registerBuildMetrics() {
 // build info: the module version when released, else the VCS revision
 // with a -dirty suffix, else "devel".
 func buildVersion() string {
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "devel"
-	}
-	if v := bi.Main.Version; v != "" && v != "(devel)" {
-		return v
-	}
-	var rev, dirty string
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.modified":
-			if s.Value == "true" {
-				dirty = "-dirty"
-			}
-		}
-	}
-	if rev == "" {
-		return "devel"
-	}
-	if len(rev) > 12 {
-		rev = rev[:12]
-	}
-	return "devel+" + rev + dirty
+	return version.String()
 }
 
 // defaultObjectives is the daemon's built-in SLO set: the serve-path
@@ -94,15 +71,16 @@ func defaultObjectives() []health.Objective {
 			Target:      0.99,
 		},
 		{
-			Name:   "degraded-recommendations",
-			Bad:    "rl.recommend.degraded",
-			Total:  "jarvisd.requests.recommend",
+			Name: "degraded-recommendations",
+			Bad:  "rl.recommend.degraded",
+			// Labeled series are addressed by their flat snapshot name.
+			Total:  `jarvisd.requests{op="recommend"}`,
 			Target: 0.999,
 		},
 		{
 			Name:   "shed-recommends",
 			Bad:    "jarvisd.shed.recommends",
-			Total:  "jarvisd.requests.recommend",
+			Total:  `jarvisd.requests{op="recommend"}`,
 			Target: 0.99,
 		},
 		{
@@ -163,6 +141,10 @@ func (s *server) initHealth() error {
 	}
 	s.slo = tr
 
+	// The metric history opens after the tracker so it can immediately
+	// become the tracker's window source (tsdb.go).
+	s.initTSDB()
+
 	// Shadow evaluation needs both a journal to replay and a checkpoint
 	// generation to fork from; without either it stays off and the drift
 	// gauges simply never move.
@@ -185,15 +167,27 @@ func (s *server) initHealth() error {
 }
 
 // healthLoop is the evaluation ticker: snapshot → SLO observe → rule
-// evaluation, every HealthInterval until shutdown.
+// evaluation, every HealthInterval until shutdown. With a metric history
+// open it also appends one snapshot per TSInterval — the history the SLO
+// tracker reads its window edges from.
 func (s *server) healthLoop() {
 	defer s.wg.Done()
 	t := time.NewTicker(s.cfg.HealthInterval)
 	defer t.Stop()
+	var tsC <-chan time.Time
+	if s.ts != nil {
+		ts := time.NewTicker(s.cfg.TSInterval)
+		defer ts.Stop()
+		tsC = ts.C
+	}
 	for {
 		select {
 		case <-s.stop:
 			return
+		case <-tsC:
+			if err := s.ts.Append(tsdb.FromSnapshot(telemetry.Default.Snapshot())); err != nil {
+				s.cfg.Logf("jarvisd: tsdb append: %v", err)
+			}
 		case <-t.C:
 			snap := telemetry.Default.Snapshot()
 			s.slo.Observe(snap)

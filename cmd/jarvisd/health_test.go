@@ -122,7 +122,7 @@ func TestAlertSmokeHairTrigger(t *testing.T) {
 		AlertLogPath:   logPath,
 		AlertRules: []health.Rule{{
 			Name:   rule,
-			Metric: "jarvisd.requests.state",
+			Metric: `jarvisd.requests{op="state"}`,
 			Delta:  true,
 			Op:     ">", Value: 0,
 			For: 1, ClearFor: 2,

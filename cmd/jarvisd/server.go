@@ -23,7 +23,9 @@ import (
 	"jarvis/internal/replica"
 	"jarvis/internal/rl"
 	"jarvis/internal/smarthome"
+	"jarvis/internal/telemetry"
 	"jarvis/internal/trace"
+	"jarvis/internal/tsdb"
 	"jarvis/internal/wal"
 	"jarvis/internal/wire"
 )
@@ -153,6 +155,17 @@ type serverConfig struct {
 	// HealthInterval is the alert/SLO evaluation cadence (default 5s).
 	HealthInterval time.Duration
 
+	// TSDBDir, when non-empty, opens an on-disk metric history in this
+	// directory: one delta-encoded telemetry snapshot per TSInterval,
+	// WAL-style segment rotation and retention, served back by
+	// /debug/tsdb. With a store open the SLO tracker reads its window
+	// edges from it instead of an in-memory ring, so burn rates and
+	// /debug/tsdb range queries agree by construction. Requires the
+	// health subsystem (no-op under AlertingOff).
+	TSDBDir string
+	// TSInterval is the history append cadence (default HealthInterval).
+	TSInterval time.Duration
+
 	// IdleTimeout bounds how long a connection may sit silent between
 	// requests before the daemon drops it (default 5m).
 	IdleTimeout time.Duration
@@ -193,6 +206,9 @@ func (c serverConfig) withDefaults() serverConfig {
 	}
 	if c.HealthInterval <= 0 {
 		c.HealthInterval = 5 * time.Second
+	}
+	if c.TSInterval <= 0 {
+		c.TSInterval = c.HealthInterval
 	}
 	if c.PromoteAfter == 0 {
 		c.PromoteAfter = 5 * time.Second
@@ -312,6 +328,17 @@ type server struct {
 	slo    *health.Tracker
 	shadow *health.Shadow
 
+	// mUnsafeByDevice holds the jarvisd.audit.denials{device} children,
+	// indexed by device index — the audit path's per-device denial count
+	// is a slice index plus an atomic add.
+	mUnsafeByDevice []*telemetry.Counter
+
+	// ts is the daemon's on-disk metric history (nil when cfg.TSDBDir is
+	// empty): the health ticker appends one snapshot per TSInterval, the
+	// SLO tracker reads its window edges from it, and /debug/tsdb serves
+	// range queries over it.
+	ts *tsdb.DB
+
 	// tracer samples request traces (disabled, never nil, when
 	// cfg.TraceSample <= 0).
 	tracer *trace.Tracer
@@ -399,6 +426,15 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	s.tracer.SetSeed(uint64(cfg.Seed))
 	s.tracer.SetSampleEvery(cfg.TraceSample)
+
+	// Resolve the per-device audit-denial children up front: device names
+	// are fixed for the life of the environment, so the unsafe paths index
+	// a slice instead of interning labels per event.
+	devs := assets.Home.Env.Devices()
+	s.mUnsafeByDevice = make([]*telemetry.Counter, len(devs))
+	for i, d := range devs {
+		s.mUnsafeByDevice[i] = mAuditDenialsVec.With(d.Name())
+	}
 
 	if cfg.DecisionLogPath != "" {
 		dl, err := openDecisionLog(cfg.DecisionLogPath, cfg.DecisionLogMaxBytes, cfg.DecisionLogKeep)
@@ -579,6 +615,16 @@ func (s *server) Close() error {
 			s.cfg.Logf("jarvisd: decision log close failed: %v", derr)
 			if err == nil {
 				err = derr
+			}
+		}
+	}
+	if s.ts != nil {
+		// The append ticker is drained by wg.Wait above; Close syncs the
+		// active segment so the final interval survives a restart.
+		if terr := s.ts.Close(); terr != nil {
+			s.cfg.Logf("jarvisd: tsdb close failed: %v", terr)
+			if err == nil {
+				err = terr
 			}
 		}
 	}
@@ -903,6 +949,7 @@ func (s *server) applyEvent(sp *trace.Span, depth int64, minute, di int, act dev
 	if unsafe {
 		s.violations++
 		mEventsUnsafe.Inc()
+		s.mUnsafeByDevice[di].Inc()
 	}
 	prev := s.state
 	s.state = next

@@ -1,6 +1,9 @@
 package main
 
-import "jarvis/internal/telemetry"
+import (
+	"jarvis/internal/replay"
+	"jarvis/internal/telemetry"
+)
 
 // Metric handles, resolved once at init. The daemon namespace covers the
 // connection lifecycle, the request loop, checkpointing, and the decision
@@ -13,18 +16,23 @@ var (
 	mAcceptRetries = telemetry.Default.Counter("jarvisd.accept.retries")
 	mAcceptErrors  = telemetry.Default.Counter("jarvisd.accept.errors")
 
-	// Per-op request counters plus one for unknown ops. Resolved into a
-	// map so handle stays a single lookup.
-	mRequests = map[string]*telemetry.Counter{
-		"state":      telemetry.Default.Counter("jarvisd.requests.state"),
-		"event":      telemetry.Default.Counter("jarvisd.requests.event"),
-		"recommend":  telemetry.Default.Counter("jarvisd.requests.recommend"),
-		"violations": telemetry.Default.Counter("jarvisd.requests.violations"),
-		"checkpoint": telemetry.Default.Counter("jarvisd.requests.checkpoint"),
-		"learnstate": telemetry.Default.Counter("jarvisd.requests.learnstate"),
-		"promote":    telemetry.Default.Counter("jarvisd.requests.promote"),
+	// Per-op request counters: one labeled family, jarvisd.requests{op},
+	// with every child resolved at init into a map so handle stays a
+	// single lookup — a vec child IS a *Counter, so the hot path is
+	// byte-identical to the old per-name scalars. Snapshots and SLO
+	// objectives address each series by its flat name, e.g.
+	// `jarvisd.requests{op="recommend"}`.
+	mRequestsVec = telemetry.Default.CounterVec("jarvisd.requests", "op")
+	mRequests    = map[string]*telemetry.Counter{
+		"state":      mRequestsVec.With("state"),
+		"event":      mRequestsVec.With("event"),
+		"recommend":  mRequestsVec.With("recommend"),
+		"violations": mRequestsVec.With("violations"),
+		"checkpoint": mRequestsVec.With("checkpoint"),
+		"learnstate": mRequestsVec.With("learnstate"),
+		"promote":    mRequestsVec.With("promote"),
 	}
-	mRequestsUnknown = telemetry.Default.Counter("jarvisd.requests.unknown")
+	mRequestsUnknown = mRequestsVec.With("unknown")
 	mRequestLatency  = telemetry.Default.Histogram("jarvisd.request.latency")
 
 	// Codec negotiation outcomes (one increment per connection) plus the
@@ -70,8 +78,13 @@ var (
 
 	// The daemon's safety-enforcement surface: every applied event is
 	// checked against the learned P_safe, and unsafe ones are counted here
-	// (the hub is a monitor, so they execute but are flagged).
-	mEventsUnsafe = telemetry.Default.Counter("jarvisd.events.unsafe")
+	// (the hub is a monitor, so they execute but are flagged). The scalar
+	// total backs the safety-violations SLO budget; the labeled family
+	// breaks denials down by offending device (children resolved by device
+	// index into s.mUnsafeByDevice at newServer time, so the audit path
+	// stays a slice index + atomic add).
+	mEventsUnsafe    = telemetry.Default.Counter("jarvisd.events.unsafe")
+	mAuditDenialsVec = telemetry.Default.CounterVec("jarvisd.audit.denials", "device")
 
 	mCkptSaves           = telemetry.Default.Counter("jarvisd.checkpoint.saves")
 	mCkptSaveFailures    = telemetry.Default.Counter("jarvisd.checkpoint.save_failures")
@@ -88,9 +101,17 @@ var (
 	mShedRecommends = telemetry.Default.Counter("jarvisd.shed.recommends")
 
 	// The durability surface: journal append failures (the daemon keeps
-	// serving, but the crash-recovery guarantee narrowed) and what boot
-	// replay reapplied.
+	// serving, but the crash-recovery guarantee narrowed), per-kind append
+	// counts, and what boot replay reapplied. The per-kind family's three
+	// children are resolved here so journal() writes are one map lookup +
+	// atomic add.
 	mWALAppendFailures = telemetry.Default.Counter("jarvisd.wal.append_failures")
+	mWALRecordsVec     = telemetry.Default.CounterVec("jarvisd.wal.records", "kind")
+	mWALRecords        = map[string]*telemetry.Counter{
+		replay.KindEvent:      mWALRecordsVec.With(replay.KindEvent),
+		replay.KindTransition: mWALRecordsVec.With(replay.KindTransition),
+		replay.KindRecommend:  mWALRecordsVec.With(replay.KindRecommend),
+	}
 	mWALReplayedEvents = telemetry.Default.Counter("jarvisd.wal.replayed.events")
 	mWALReplayedTxns   = telemetry.Default.Counter("jarvisd.wal.replayed.txns")
 	mWALReplayedRecs   = telemetry.Default.Counter("jarvisd.wal.replayed.recs")

@@ -261,14 +261,14 @@ func TestMetricsPrometheusFormat(t *testing.T) {
 		t.Fatalf("status = %d", code)
 	}
 	text := string(body)
-	if !strings.Contains(text, "# TYPE jarvisd_requests_recommend counter") {
-		t.Errorf("missing recommend counter TYPE line:\n%s", text)
+	if !strings.Contains(text, "# TYPE jarvisd_requests counter") {
+		t.Errorf("missing requests counter TYPE line:\n%s", text)
 	}
 	// The registry is process-global, so other tests may have served
 	// recommends too: assert a nonzero sample, not an exact count.
 	var sampled bool
 	for _, line := range strings.Split(text, "\n") {
-		if rest, ok := strings.CutPrefix(line, "jarvisd_requests_recommend "); ok {
+		if rest, ok := strings.CutPrefix(line, `jarvisd_requests{op="recommend"} `); ok {
 			sampled = rest != "0"
 		}
 	}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"jarvis/internal/telemetry"
+	"jarvis/internal/tsdb"
+)
+
+// The daemon's metric history (internal/tsdb) hangs off the health
+// ticker: every TSInterval the loop appends one registry snapshot to the
+// on-disk store, and the SLO tracker reads its window edges back out of
+// it through this adapter. /debug/tsdb serves range queries over the
+// same store, so an operator recomputing a burn rate with
+// ?series=...&fn=delta gets the number /debug/slo published — both sides
+// resolve the identical (EdgeBefore, Latest) pair.
+
+// tsdbSource adapts the metric history to health.WindowSource.
+type tsdbSource struct{ db *tsdb.DB }
+
+func (t tsdbSource) Latest() (telemetry.Snapshot, bool) {
+	p, ok := t.db.Latest()
+	return pointSnapshot(p), ok
+}
+
+func (t tsdbSource) EdgeBefore(cutoffNs int64) (telemetry.Snapshot, bool) {
+	p, ok := t.db.EdgeBefore(cutoffNs)
+	return pointSnapshot(p), ok
+}
+
+func pointSnapshot(p tsdb.Point) telemetry.Snapshot {
+	return telemetry.Snapshot{
+		UnixNs:     p.TsNs,
+		Counters:   p.Counters,
+		Gauges:     p.Gauges,
+		Histograms: p.Histograms,
+	}
+}
+
+// initTSDB opens the metric history when configured. A store that cannot
+// open degrades to the tracker's in-memory ring rather than refusing to
+// start — metric history is derived data.
+func (s *server) initTSDB() {
+	if s.cfg.TSDBDir == "" {
+		return
+	}
+	db, err := tsdb.Open(s.cfg.TSDBDir, tsdb.Options{})
+	if err != nil {
+		s.cfg.Logf("jarvisd: tsdb unavailable (%v); SLO window falls back to the in-memory ring", err)
+		return
+	}
+	if rs := db.Recovery(); rs.TruncatedBytes > 0 {
+		s.cfg.Logf("jarvisd: tsdb recovery truncated %d torn bytes", rs.TruncatedBytes)
+	}
+	s.ts = db
+	s.slo.SetSource(tsdbSource{db})
+}
+
+// tsdbIndex is the parameterless /debug/tsdb body: store footprint plus
+// every series the newest point carries.
+type tsdbIndex struct {
+	IntervalMs int64      `json:"intervalMs"`
+	Stats      tsdb.Stats `json:"stats"`
+	Series     []string   `json:"series"`
+}
+
+// tsdbQuery is the /debug/tsdb?series=... body. Value carries the scalar
+// result (rate per second, delta, or quantile nanoseconds); Samples the
+// raw per-point values for fn=raw.
+type tsdbQuery struct {
+	Series  string        `json:"series"`
+	Fn      string        `json:"fn"`
+	FromNs  int64         `json:"fromNs"`
+	ToNs    int64         `json:"toNs"`
+	OK      bool          `json:"ok"`
+	Value   float64       `json:"value,omitempty"`
+	Samples []tsdb.Sample `json:"samples,omitempty"`
+}
+
+// handleTSDB serves the metric history. Without ?series it returns the
+// index; with it, one range query:
+//
+//	/debug/tsdb?series=NAME&fn=rate|delta|p50|p95|p99|raw&window=5m
+//	/debug/tsdb?series=NAME&fn=delta&from=<unixNs>&to=<unixNs>
+//
+// from/to default to [now−window, now] (window default 5m). Labeled
+// series are addressed by their flat snapshot name, URL-escaped, e.g.
+// series=jarvisd.requests%7Bop%3D%22recommend%22%7D.
+func (s *server) handleTSDB(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.ts == nil {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "tsdb disabled (start with -tsdb DIR)"})
+		return
+	}
+	q := r.URL.Query()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+
+	series := q.Get("series")
+	if series == "" {
+		doc := tsdbIndex{
+			IntervalMs: s.cfg.TSInterval.Milliseconds(),
+			Stats:      s.ts.Stats(),
+			Series:     s.ts.SeriesNames(),
+		}
+		if err := enc.Encode(doc); err != nil {
+			s.cfg.Logf("jarvisd: tsdb encode: %v", err)
+		}
+		return
+	}
+
+	window := 5 * time.Minute
+	if ws := q.Get("window"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil || d <= 0 {
+			httpBadRequest(w, enc, "bad window %q", ws)
+			return
+		}
+		window = d
+	}
+	now := time.Now().UnixNano()
+	toNs, err := nsParam(q.Get("to"), now)
+	if err != nil {
+		httpBadRequest(w, enc, "bad to %q", q.Get("to"))
+		return
+	}
+	fromNs, err := nsParam(q.Get("from"), toNs-window.Nanoseconds())
+	if err != nil {
+		httpBadRequest(w, enc, "bad from %q", q.Get("from"))
+		return
+	}
+
+	fn := q.Get("fn")
+	if fn == "" {
+		fn = "raw"
+	}
+	resp := tsdbQuery{Series: series, Fn: fn, FromNs: fromNs, ToNs: toNs}
+	switch fn {
+	case "rate":
+		resp.Value, resp.OK = s.ts.Rate(series, fromNs, toNs)
+	case "delta":
+		resp.Value, resp.OK = s.ts.Delta(series, fromNs, toNs)
+	case "p50", "p95", "p99":
+		qv := map[string]float64{"p50": 0.50, "p95": 0.95, "p99": 0.99}[fn]
+		var ns int64
+		ns, resp.OK = s.ts.QuantileOverTime(series, qv, fromNs, toNs)
+		resp.Value = float64(ns)
+	case "raw":
+		resp.Samples = s.ts.Series(series, fromNs, toNs)
+		resp.OK = len(resp.Samples) > 0
+	default:
+		httpBadRequest(w, enc, "unknown fn %q (want rate, delta, p50, p95, p99, or raw)", fn)
+		return
+	}
+	if err := enc.Encode(resp); err != nil {
+		s.cfg.Logf("jarvisd: tsdb encode: %v", err)
+	}
+}
+
+// nsParam parses a unix-nanosecond query parameter, defaulting when
+// absent.
+func nsParam(v string, def int64) (int64, error) {
+	if v == "" {
+		return def, nil
+	}
+	return strconv.ParseInt(v, 10, 64)
+}
+
+func httpBadRequest(w http.ResponseWriter, enc *json.Encoder, format string, args ...any) {
+	w.WriteHeader(http.StatusBadRequest)
+	enc.Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"net/url"
+	"testing"
+	"time"
+)
+
+// TestTSDBEndpointAndSLOParity is the metric-history acceptance test: the
+// daemon appends snapshots to the on-disk store, /debug/tsdb serves range
+// queries over labeled series, and a burn rate recomputed from a
+// /debug/tsdb delta matches what the SLO tracker published — both read
+// the same window edges from the same store.
+func TestTSDBEndpointAndSLOParity(t *testing.T) {
+	srv := startDebugTestServer(t, serverConfig{
+		Seed: 1, LearningDays: 2, Episodes: 2,
+		HealthInterval: 20 * time.Millisecond,
+		TSDBDir:        t.TempDir(),
+		TSInterval:     20 * time.Millisecond,
+	})
+	if srv.ts == nil {
+		t.Fatal("tsdb did not open")
+	}
+
+	// A baseline point must land before the traffic so the windowed delta
+	// sees the increase. The registry is process-global, so the unsafe
+	// counter may already be nonzero from other tests — everything below
+	// is relative to this baseline.
+	waitUntil(t, 10*time.Second, "baseline tsdb point", func() bool {
+		return srv.ts.Stats().Points >= 1
+	})
+	base, _ := srv.ts.Latest()
+	baseUnsafe := base.Counters["jarvisd.events.unsafe"]
+
+	for i := 0; i < 7; i++ {
+		if resp := srv.handle(request{Op: "recommend"}); !resp.OK {
+			t.Fatalf("recommend: %+v", resp)
+		}
+	}
+	// Powering off the door sensor is never natural, so P_safe flags it.
+	// Toggle it back on between denials (off→off is a no-op the audit
+	// passes): two unsafe events put the safety-violations budget
+	// objective at a nonzero burn (2/5), which is what makes the parity
+	// check non-trivial.
+	unsafeEvents := 0
+	for i := 0; i < 2; i++ {
+		resp := srv.handle(request{Op: "event", Device: "door-sensor", Action: "power_off"})
+		if !resp.OK {
+			t.Fatalf("sensor-off: %+v", resp)
+		}
+		if resp.Unsafe {
+			unsafeEvents++
+		}
+		if resp := srv.handle(request{Op: "event", Device: "door-sensor", Action: "power_on"}); !resp.OK {
+			t.Fatalf("sensor-on: %+v", resp)
+		}
+	}
+	if unsafeEvents == 0 {
+		t.Fatal("no event was flagged unsafe; the parity check would be trivial")
+	}
+
+	// Wait for a post-traffic point.
+	waitUntil(t, 10*time.Second, "post-traffic tsdb point", func() bool {
+		p, ok := srv.ts.Latest()
+		return ok && p.Counters["jarvisd.events.unsafe"] >= baseUnsafe+int64(unsafeEvents)
+	})
+
+	// Index: store footprint plus the labeled series the snapshots carry.
+	code, body := httpGet(t, srv, "/debug/tsdb")
+	if code != 200 {
+		t.Fatalf("/debug/tsdb status = %d: %s", code, body)
+	}
+	var idx tsdbIndex
+	if err := json.Unmarshal(body, &idx); err != nil {
+		t.Fatalf("/debug/tsdb is not valid JSON: %v", err)
+	}
+	if idx.Stats.Points < 2 {
+		t.Fatalf("store has %d points, want >= 2", idx.Stats.Points)
+	}
+	wantSeries := `jarvisd.requests{op="recommend"}`
+	found := false
+	for _, s := range idx.Series {
+		if s == wantSeries {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("series index missing %s:\n%v", wantSeries, idx.Series)
+	}
+
+	query := func(series, fn string) tsdbQuery {
+		t.Helper()
+		code, body := httpGet(t, srv,
+			"/debug/tsdb?series="+url.QueryEscape(series)+"&fn="+fn+"&window=10m")
+		if code != 200 {
+			t.Fatalf("query %s %s: status %d: %s", series, fn, code, body)
+		}
+		var q tsdbQuery
+		if err := json.Unmarshal(body, &q); err != nil {
+			t.Fatalf("query %s %s: bad JSON: %v", series, fn, err)
+		}
+		return q
+	}
+
+	// A labeled series answers range queries by its flat name.
+	if q := query(wantSeries, "delta"); !q.OK || q.Value < 7 {
+		t.Errorf("delta(%s) = %+v, want ok with value >= 7", wantSeries, q)
+	}
+	if q := query(wantSeries, "rate"); !q.OK || q.Value <= 0 {
+		t.Errorf("rate(%s) = %+v, want ok with a positive rate", wantSeries, q)
+	}
+	if q := query("jarvisd.request.latency", "p99"); !q.OK || q.Value <= 0 {
+		t.Errorf("p99(jarvisd.request.latency) = %+v, want ok with a positive quantile", q)
+	}
+	if q := query(wantSeries, "raw"); !q.OK || len(q.Samples) < 2 {
+		t.Errorf("raw(%s) = %+v, want >= 2 samples", wantSeries, q)
+	}
+
+	// Parity: the safety-violations objective is windowed-delta / budget
+	// (budget 5). Traffic has stopped, so the unsafe counter is flat and
+	// the two reads — the HTTP range query and the tracker's report —
+	// resolve deltas over the same stored history.
+	unsafeDelta := query("jarvisd.events.unsafe", "delta")
+	if !unsafeDelta.OK || unsafeDelta.Value < float64(unsafeEvents) {
+		t.Fatalf("delta(jarvisd.events.unsafe) = %+v, want >= %d", unsafeDelta, unsafeEvents)
+	}
+	var burn float64
+	foundObj := false
+	for _, st := range srv.slo.Report().Objectives {
+		if st.Name == "safety-violations" {
+			burn, foundObj = st.BurnRate, true
+		}
+	}
+	if !foundObj {
+		t.Fatal("safety-violations objective missing from the SLO report")
+	}
+	if want := unsafeDelta.Value / 5; math.Abs(burn-want) > 1e-9 {
+		t.Errorf("SLO burn = %v but tsdb recomputation = %v; the two windows disagree", burn, want)
+	}
+
+	// /healthz surfaces the store footprint and the registry cardinality.
+	code, body = httpGet(t, srv, "/healthz")
+	var h healthStatus
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("/healthz is not valid JSON: %v", err)
+	}
+	if h.TSDB == nil || h.TSDB.Points < 2 || h.TSDB.SizeBytes <= 0 {
+		t.Errorf("/healthz tsdb block = %+v, want a live footprint", h.TSDB)
+	}
+	if h.TelemetrySeries <= 0 {
+		t.Errorf("/healthz telemetrySeries = %d, want > 0", h.TelemetrySeries)
+	}
+}
+
+// TestTSDBDisabledEndpoint: without -tsdb the endpoint 404s with a hint
+// instead of panicking.
+func TestTSDBDisabledEndpoint(t *testing.T) {
+	srv := startDebugTestServer(t, serverConfig{Seed: 1, LearningDays: 2, Episodes: 2})
+	code, body := httpGet(t, srv, "/debug/tsdb")
+	if code != 404 {
+		t.Fatalf("/debug/tsdb without a store: status %d: %s", code, body)
+	}
+}

@@ -65,6 +65,9 @@ func (s *server) journal(sp *trace.Span, rec replay.Record) {
 		s.cfg.Logf("jarvisd: wal append (%s #%d) failed: %v", rec.K, rec.N, err)
 		return
 	}
+	if c, ok := mWALRecords[rec.K]; ok {
+		c.Inc()
+	}
 	s.noteWALRecord(rec.K, rec.N)
 }
 
@@ -136,6 +139,7 @@ func (s *server) applyWALRecord(rec replay.Record) {
 		if !table.SafeTransition(e.StateKey(s.state), e.StateKey(next), a) {
 			s.violations++
 			mEventsUnsafe.Inc()
+			s.mUnsafeByDevice[rec.D].Inc()
 		}
 		s.state = next
 		s.eventsIngested++

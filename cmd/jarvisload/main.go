@@ -25,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"jarvis/internal/version"
 )
 
 func main() {
@@ -63,11 +65,14 @@ type result struct {
 }
 
 // report is the BENCH_serve.json envelope, shaped like BENCH_core.json.
+// GeneratedAt and Revision order the serve-bench trajectory and tie each
+// artifact to the source that produced it.
 type report struct {
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Date       string   `json:"date"`
-	Results    []result `json:"results"`
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	GeneratedAt string   `json:"generated_at"`
+	Revision    string   `json:"revision,omitempty"`
+	Results     []result `json:"results"`
 	// Speedup is fast-shape throughput over legacy-shape throughput,
 	// present only when both scenarios ran.
 	Speedup float64 `json:"speedup,omitempty"`
@@ -81,9 +86,10 @@ func run(args []string, out *os.File) error {
 	cfg := fs
 
 	rep := report{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Revision:    version.Revision(),
 	}
 
 	if *cfg.addr != "" {

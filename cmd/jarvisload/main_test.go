@@ -132,6 +132,11 @@ func TestExternalAddrModeWritesReport(t *testing.T) {
 	if len(rep.Results) != 1 || rep.Results[0].Requests != 50 || rep.Results[0].Wire != "binary" {
 		t.Fatalf("report: %+v", rep)
 	}
+	// The trajectory stamp: generated_at must be a parseable RFC3339
+	// instant (revision is empty in test builds, which carry no VCS info).
+	if _, err := time.Parse(time.RFC3339, rep.GeneratedAt); err != nil {
+		t.Errorf("generated_at %q does not parse: %v", rep.GeneratedAt, err)
+	}
 }
 
 // TestSLOP99Gate drives -addr mode with -slo-p99-us at both extremes: a

@@ -113,6 +113,19 @@ type sample struct {
 	snap telemetry.Snapshot
 }
 
+// WindowSource supplies window-edge snapshots from a durable store (the
+// daemon's tsdb). EdgeBefore returns the newest stored snapshot at or
+// before the cutoff (unix nanoseconds), falling back to the oldest
+// retained one; Latest returns the newest. Both report ok=false only
+// when the store is empty. A tracker given a source scores its window
+// from the store — the same edges a /debug/tsdb range query resolves, so
+// the two computations agree by construction — instead of its in-memory
+// ring.
+type WindowSource interface {
+	EdgeBefore(cutoffNs int64) (telemetry.Snapshot, bool)
+	Latest() (telemetry.Snapshot, bool)
+}
+
 // Tracker scores objectives over a rolling window of telemetry
 // snapshots. Observe is driven by the daemon's health ticker; the window
 // is realized as the delta between the newest retained snapshot and the
@@ -124,6 +137,7 @@ type Tracker struct {
 	window     time.Duration
 	objectives []Objective
 	samples    []sample
+	source     WindowSource
 	burn       map[string]*telemetry.Gauge
 	now        func() time.Time
 }
@@ -158,18 +172,33 @@ func (t *Tracker) SetNow(now func() time.Time) {
 	t.now = now
 }
 
+// SetSource points the tracker at a durable window store. From then on
+// the in-memory sample ring stops accumulating and every score reads its
+// window edges from the source.
+func (t *Tracker) SetSource(src WindowSource) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.source = src
+	t.samples = nil
+}
+
 // Observe appends a snapshot, evicts samples older than the window, and
-// republishes every objective's burn-rate gauge.
+// republishes every objective's burn-rate gauge. With a WindowSource set
+// the snapshot argument is ignored — the source (which the caller
+// appends to on its own cadence) is the single authority on window
+// edges.
 func (t *Tracker) Observe(snap telemetry.Snapshot) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	now := t.now()
-	t.samples = append(t.samples, sample{at: now, snap: snap})
-	// Keep one sample at-or-before the window edge so the delta spans the
-	// full window rather than starting at the first in-window sample.
-	cutoff := now.Add(-t.window)
-	for len(t.samples) >= 2 && !t.samples[1].at.After(cutoff) {
-		t.samples = t.samples[1:]
+	if t.source == nil {
+		now := t.now()
+		t.samples = append(t.samples, sample{at: now, snap: snap})
+		// Keep one sample at-or-before the window edge so the delta spans the
+		// full window rather than starting at the first in-window sample.
+		cutoff := now.Add(-t.window)
+		for len(t.samples) >= 2 && !t.samples[1].at.After(cutoff) {
+			t.samples = t.samples[1:]
+		}
 	}
 	for _, st := range t.statusesLocked() {
 		t.burn[st.Name].Set(st.BurnRate)
@@ -188,7 +217,14 @@ func (t *Tracker) Report() Report {
 		Samples:    len(t.samples),
 		Objectives: t.statusesLocked(),
 	}
-	if len(t.samples) >= 2 {
+	switch {
+	case t.source != nil:
+		if cur, ok := t.source.Latest(); ok {
+			if prev, ok := t.source.EdgeBefore(t.now().Add(-t.window).UnixNano()); ok {
+				r.SpanMs = (cur.UnixNs - prev.UnixNs) / int64(time.Millisecond)
+			}
+		}
+	case len(t.samples) >= 2:
 		r.SpanMs = t.samples[len(t.samples)-1].at.Sub(t.samples[0].at).Milliseconds()
 	}
 	return r
@@ -199,6 +235,14 @@ func (t *Tracker) Report() Report {
 func (t *Tracker) statusesLocked() []ObjectiveStatus {
 	var cur, prev telemetry.Snapshot
 	switch {
+	case t.source != nil:
+		// Durable store: the window is [EdgeBefore(now−window), Latest] —
+		// the exact edges a /debug/tsdb query over the same interval
+		// resolves, so burn rates agree between the two by construction.
+		var ok bool
+		if cur, ok = t.source.Latest(); ok {
+			prev, _ = t.source.EdgeBefore(t.now().Add(-t.window).UnixNano())
+		}
 	case len(t.samples) == 0:
 		// No data yet: everything scores as an empty window.
 	case len(t.samples) == 1:

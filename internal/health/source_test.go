@@ -1,0 +1,118 @@
+package health
+
+import (
+	"testing"
+	"time"
+
+	"jarvis/internal/telemetry"
+)
+
+// memSource is a WindowSource over an in-memory point list — the same
+// edge semantics the tsdb serves (newest at-or-before cutoff, oldest
+// fallback).
+type memSource struct {
+	snaps []telemetry.Snapshot
+}
+
+func (m *memSource) add(s telemetry.Snapshot) { m.snaps = append(m.snaps, s) }
+
+func (m *memSource) Latest() (telemetry.Snapshot, bool) {
+	if len(m.snaps) == 0 {
+		return telemetry.Snapshot{}, false
+	}
+	return m.snaps[len(m.snaps)-1], true
+}
+
+func (m *memSource) EdgeBefore(cutoffNs int64) (telemetry.Snapshot, bool) {
+	if len(m.snaps) == 0 {
+		return telemetry.Snapshot{}, false
+	}
+	for i := len(m.snaps) - 1; i >= 0; i-- {
+		if m.snaps[i].UnixNs <= cutoffNs {
+			return m.snaps[i], true
+		}
+	}
+	return m.snaps[0], true
+}
+
+func TestTrackerWithWindowSource(t *testing.T) {
+	reg := telemetry.New(8)
+	obj := Objective{Name: "degraded", Bad: "bad", Total: "total", Target: 0.99}
+	tr, err := NewTracker(time.Minute, []Objective{obj}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1700000000, 0)
+	now := base
+	tr.SetNow(func() time.Time { return now })
+
+	src := &memSource{}
+	tr.SetSource(src)
+
+	bad, total := reg.Counter("bad"), reg.Counter("total")
+	stamp := func(at time.Time) telemetry.Snapshot {
+		s := reg.Snapshot()
+		s.UnixNs = at.UnixNano()
+		return s
+	}
+
+	// t+0: baseline inside the window.
+	total.Add(1000)
+	src.add(stamp(base))
+	// t+30s: +5 bad / +1000 total.
+	bad.Add(5)
+	total.Add(1000)
+	now = base.Add(30 * time.Second)
+	src.add(stamp(now))
+	tr.Observe(telemetry.Snapshot{}) // snap arg ignored with a source
+
+	st := statusByName(t, tr.Report(), "degraded")
+	if st.Bad != 5 || st.Total != 1000 {
+		t.Fatalf("windowed bad/total = %d/%d, want 5/1000 (edges from the source)", st.Bad, st.Total)
+	}
+	if st.BurnRate < 0.49 || st.BurnRate > 0.51 {
+		t.Fatalf("burn = %v, want 0.5", st.BurnRate)
+	}
+	if g := reg.Snapshot().Gauges["health.slo.burn.degraded"]; g < 0.49 || g > 0.51 {
+		t.Fatalf("burn gauge = %v, want 0.5", g)
+	}
+
+	// Advance past the window: the old baseline falls off and the newest
+	// at-or-before edge moves up.
+	now = base.Add(2 * time.Minute)
+	bad.Add(1)
+	total.Add(100)
+	src.add(stamp(now))
+	tr.Observe(telemetry.Snapshot{})
+	st = statusByName(t, tr.Report(), "degraded")
+	// Edge before now-1m is the t+30s sample: window = +1 bad / +100 total.
+	if st.Bad != 1 || st.Total != 100 {
+		t.Fatalf("windowed bad/total after roll = %d/%d, want 1/100", st.Bad, st.Total)
+	}
+
+	// SpanMs reflects the source edges, not the (empty) ring.
+	if r := tr.Report(); r.SpanMs != (90 * time.Second).Milliseconds() {
+		t.Fatalf("SpanMs = %d, want 90000", r.SpanMs)
+	}
+}
+
+func TestTrackerSourceSinglePointIsEmptyWindow(t *testing.T) {
+	reg := telemetry.New(8)
+	obj := Objective{Name: "b", Counter: "c", Budget: 10}
+	tr, err := NewTracker(time.Minute, []Objective{obj}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &memSource{}
+	tr.SetSource(src)
+	reg.Counter("c").Add(7)
+	s := reg.Snapshot()
+	s.UnixNs = time.Unix(1700000000, 0).UnixNano()
+	src.add(s)
+	// One point: both edges resolve to it, so the window is empty — a
+	// freshly-started store never replays pre-history as burn.
+	st := statusByName(t, tr.Report(), "b")
+	if st.Bad != 0 || st.BurnRate != 0 {
+		t.Fatalf("single-point window scored bad=%d burn=%v, want empty", st.Bad, st.BurnRate)
+	}
+}

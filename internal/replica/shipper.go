@@ -17,6 +17,17 @@ import (
 // shipper in the process.
 var activeFollowers atomic.Int64
 
+// peerHost labels a follower by its host, not host:port — reconnects (new
+// ephemeral port) keep writing the same series instead of minting one per
+// connection.
+func peerHost(addr net.Addr) string {
+	s := addr.String()
+	if host, _, err := net.SplitHostPort(s); err == nil {
+		return host
+	}
+	return s
+}
+
 // ShipperConfig wires a Shipper to the primary daemon.
 type ShipperConfig struct {
 	// WALDir is the primary's live journal directory, tailed with
@@ -110,6 +121,16 @@ func (sh *Shipper) ServeConn(conn net.Conn, br *bufio.Reader, stop <-chan struct
 	mFollowerConns.Inc()
 	mFollowersActive.SetInt(activeFollowers.Add(1))
 	defer func() { mFollowersActive.SetInt(activeFollowers.Add(-1)) }()
+	// Per-peer children resolve once here; the stream loop below only
+	// touches the returned handles. Lag is the primary's view of this
+	// stream: its own journalled position minus what the snapshot plus the
+	// shipped records already cover, refreshed on the heartbeat cadence
+	// and zeroed when the stream ends.
+	peer := peerHost(conn.RemoteAddr())
+	pRecords := mPeerRecords.With(peer)
+	pLag := mPeerLag.With(peer)
+	defer pLag.Set(0)
+	var covered, shipped int
 	cfg.Logf("replica: follower %s connected at position %+v", conn.RemoteAddr(), hello.Have)
 
 	buf := make([]byte, 0, 4<<10)
@@ -125,6 +146,7 @@ func (sh *Shipper) ServeConn(conn net.Conn, br *bufio.Reader, stop <-chan struct
 		if err != nil {
 			return fmt.Errorf("replica: snapshot: %w", err)
 		}
+		covered, shipped = cfg.Counters().Total(), 0
 		mShippedSnapshots.Inc()
 		return write(AppendSnapshot(buf[:0], gen, data))
 	}
@@ -147,10 +169,16 @@ func (sh *Shipper) ServeConn(conn net.Conn, br *bufio.Reader, stop <-chan struct
 		// the primary's position, which is what the follower's lag gauge
 		// measures against.
 		if time.Since(lastBeat) >= cfg.HeartbeatEvery {
-			if err := write(AppendHeartbeat(buf[:0], cfg.Counters())); err != nil {
+			at := cfg.Counters()
+			if err := write(AppendHeartbeat(buf[:0], at)); err != nil {
 				return err
 			}
 			mHeartbeatsSent.Inc()
+			if lag := at.Total() - covered - shipped; lag > 0 {
+				pLag.SetInt(int64(lag))
+			} else {
+				pLag.Set(0)
+			}
 			lastBeat = time.Now()
 		}
 		rec, err := tail.Next()
@@ -160,6 +188,8 @@ func (sh *Shipper) ServeConn(conn net.Conn, br *bufio.Reader, stop <-chan struct
 				return err
 			}
 			mShippedRecords.Inc()
+			pRecords.Inc()
+			shipped++
 		case errors.Is(err, wal.ErrLogReset):
 			// Checkpoint barrier on the primary: re-seed the follower so it
 			// can mirror the barrier, then keep tailing the fresh log.

@@ -13,6 +13,15 @@ var (
 	mShippedRecords   = telemetry.Default.Counter("replica.shipped.records")
 	mHeartbeatsSent   = telemetry.Default.Counter("replica.heartbeats.sent")
 
+	// Per-follower families, labeled by the peer's host. Children are
+	// resolved once per connection in ServeConn, so the stream loop's
+	// per-record cost is one extra atomic add. Two followers on the same
+	// host share a series; reconnects reuse it (the label deliberately
+	// omits the ephemeral port so a flapping follower cannot burn the
+	// vec's cardinality cap).
+	mPeerRecords = telemetry.Default.CounterVec("replica.peer.records", "peer")
+	mPeerLag     = telemetry.Default.GaugeVec("replica.peer.lag.records", "peer")
+
 	mAppliedSnapshots = telemetry.Default.Counter("replica.applied.snapshots")
 	mAppliedRecords   = telemetry.Default.Counter("replica.applied.records")
 	mHeartbeatsSeen   = telemetry.Default.Counter("replica.heartbeats.seen")

@@ -141,12 +141,12 @@ func (t *TableQ) Q(s env.State, inst int) []float64 {
 // Update implements QFunc using the temporal-difference rule
 // Q ← Q + α(target − Q).
 func (t *TableQ) Update(batch []Experience, targets []float64) (float64, error) {
-	if !mUpdateLatency.Enabled() {
+	if !mUpdateLatencyTable.Enabled() {
 		return t.update(batch, targets)
 	}
 	t0 := time.Now()
 	loss, err := t.update(batch, targets)
-	mUpdateLatency.Observe(time.Since(t0))
+	mUpdateLatencyTable.Observe(time.Since(t0))
 	return loss, err
 }
 
@@ -337,12 +337,12 @@ func (d *DQN) QTargetBatch(states []env.State, ts []int) ([][]float64, error) {
 // how TestDQNUpdateInstrumentationOverhead pins the instrumented-vs-bare
 // delta to ≤ 3% ns/op and 0 allocs/op.
 func (d *DQN) Update(batch []Experience, targets []float64) (float64, error) {
-	if !mUpdateLatency.Enabled() {
+	if !mUpdateLatencyDQN.Enabled() {
 		return d.update(batch, targets)
 	}
 	t0 := time.Now()
 	loss, err := d.update(batch, targets)
-	mUpdateLatency.Observe(time.Since(t0))
+	mUpdateLatencyDQN.Observe(time.Since(t0))
 	return loss, err
 }
 

@@ -14,9 +14,13 @@ var (
 	mEpsilon       = telemetry.Default.Gauge("rl.epsilon")
 	mReplaySize    = telemetry.Default.Gauge("rl.replay.size")
 
-	// Q-function learning: one observation per Update call, for either
-	// backend.
-	mUpdateLatency = telemetry.Default.Histogram("rl.update.latency")
+	// Q-function learning: one observation per Update call, labeled by
+	// backend. Both children are resolved here, so the Update wrappers
+	// keep the scalar-handle shape (one atomic enabled check, then an
+	// Observe on a held *Histogram) the overhead gate measures.
+	mUpdateLatencyVec   = telemetry.Default.HistogramVec("rl.update.latency", "backend")
+	mUpdateLatencyTable = mUpdateLatencyVec.With("table")
+	mUpdateLatencyDQN   = mUpdateLatencyVec.With("dqn")
 
 	// Recommendation outcomes: greedy compositions served vs NaN-degraded
 	// NoOp fallbacks.

@@ -130,8 +130,9 @@ func TestTrainingMovesTelemetry(t *testing.T) {
 			t.Errorf("counter %s did not move: %d -> %d", name, before.Counters[name], after.Counters[name])
 		}
 	}
-	if after.Histograms["rl.update.latency"].Count <= before.Histograms["rl.update.latency"].Count {
-		t.Error("rl.update.latency recorded no observations during training")
+	lat := `rl.update.latency{backend="table"}`
+	if after.Histograms[lat].Count <= before.Histograms[lat].Count {
+		t.Errorf("%s recorded no observations during training", lat)
 	}
 	if eps := after.Gauges["rl.epsilon"]; eps <= 0 || eps > 1 {
 		t.Errorf("rl.epsilon gauge = %v, want (0, 1]", eps)

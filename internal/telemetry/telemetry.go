@@ -95,6 +95,10 @@ type Registry struct {
 	gaugeFns map[string]func() float64
 	hists    map[string]*Histogram
 	infos    map[string]map[string]string
+	cvecs    map[string]*CounterVec
+	gvecs    map[string]*GaugeVec
+	hvecs    map[string]*HistogramVec
+	helps    map[string]string
 	events   *EventLog
 }
 
@@ -113,6 +117,10 @@ func New(eventCapacity int) *Registry {
 		gaugeFns: make(map[string]func() float64),
 		hists:    make(map[string]*Histogram),
 		infos:    make(map[string]map[string]string),
+		cvecs:    make(map[string]*CounterVec),
+		gvecs:    make(map[string]*GaugeVec),
+		hvecs:    make(map[string]*HistogramVec),
+		helps:    make(map[string]string),
 		events:   NewEventLog(eventCapacity),
 	}
 	r.enabled.Store(true)
@@ -181,6 +189,16 @@ func (r *Registry) SetInfo(name string, labels map[string]string) {
 	r.infos[name] = cp
 }
 
+// SetHelp records an exposition-format help string for a metric name,
+// rendered as an escaped `# HELP` line before the metric's samples. The
+// name is the base (un-labeled) metric name; vec families share one help
+// line across their children.
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.helps[name] = help
+}
+
 // Histogram returns the named histogram, creating it on first use.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
@@ -236,6 +254,24 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Stats()
 	}
+	// Labeled series flatten into the same maps under name{k="v",...}
+	// keys, so every snapshot consumer — jarvisctl stats, SLO objectives,
+	// alert rules, the tsdb — addresses a labeled series by one string.
+	for _, v := range r.cvecs {
+		for _, c := range v.core.snapshot() {
+			s.Counters[c.flat] = c.v.Value()
+		}
+	}
+	for _, v := range r.gvecs {
+		for _, c := range v.core.snapshot() {
+			s.Gauges[c.flat] = sanitize(c.v.Value())
+		}
+	}
+	for _, v := range r.hvecs {
+		for _, c := range v.core.snapshot() {
+			s.Histograms[c.flat] = c.v.Stats()
+		}
+	}
 	if len(r.infos) > 0 {
 		s.Infos = make(map[string]map[string]string, len(r.infos))
 		for name, labels := range r.infos {
@@ -267,6 +303,24 @@ func SortedNames[V any](m map[string]V) []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// ValidMetricName reports whether a base metric name fits the registry's
+// naming contract: ^[a-z][a-z0-9._]*$ (lower-case dotted names; the
+// Prometheus exporter maps dots onto underscores). The CI metric-name
+// lint enforces this over every registration site; labeled series derive
+// their flat names from a valid base plus a label block.
+func ValidMetricName(name string) bool {
+	if name == "" || name[0] < 'a' || name[0] > 'z' {
+		return false
+	}
+	for i := 1; i < len(name); i++ {
+		c := name[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '.' && c != '_' {
+			return false
+		}
+	}
+	return true
 }
 
 var expvarOnce sync.Once

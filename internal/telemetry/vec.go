@@ -1,0 +1,351 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labeled metric vectors: a CounterVec/GaugeVec/HistogramVec is a family
+// of series sharing one metric name and one ordered label-key set, with
+// each distinct label-value tuple owning its own child metric. The design
+// constraints mirror the scalar metrics:
+//
+//   - the read path is lock-free: With resolves a label tuple through an
+//     atomically-published interned map (one atomic pointer load plus one
+//     map lookup on the hit path), so concurrent writers never contend;
+//   - a single-label hit is allocation-free once the caller holds the
+//     values slice (hot paths should resolve children once, exactly like
+//     scalar handles — the child IS a *Counter/*Gauge/*Histogram);
+//   - cardinality is bounded: each vec accepts at most its cap of
+//     distinct label tuples (DefaultVecCap unless SetCap raised it).
+//     Tuples beyond the cap all share one detached overflow child that is
+//     never exported, and every write that lands there is counted on the
+//     registry's telemetry.labels.dropped counter — so a label blowup
+//     degrades visibly instead of eating unbounded memory.
+//
+// Labeled series surface everywhere scalars do, flattened to
+// `name{key="value",...}` (exposition-format escaping) in JSON snapshots
+// — so SLO objectives, alert rules, and tsdb queries address a labeled
+// series by its flat name — and as properly labeled samples in the
+// Prometheus text exposition.
+
+// DefaultVecCap bounds the distinct label tuples a vec accepts before
+// overflow. Raise per-vec with SetCap before the first overflow.
+const DefaultVecCap = 256
+
+// labelSep joins multi-label tuple values into one interning key. 0x1f
+// (ASCII unit separator) cannot appear in sane label values; a value that
+// does contain it merely risks colliding two tuples into one series.
+const labelSep = "\x1f"
+
+// vecChild pairs one child metric with its rendered identity.
+type vecChild[T any] struct {
+	// flat is the snapshot key: name{k="v",...} with escaped values.
+	flat string
+	// promLabels is the Prometheus-rendered label block {k="v",...}.
+	promLabels string
+	vals       []string
+	v          *T
+}
+
+// vecCore is the label-interning machinery shared by the three vec kinds.
+type vecCore[T any] struct {
+	name    string
+	keys    []string
+	newT    func() *T
+	dropped *Counter
+
+	// children is the interned tuple→child map, republished copy-on-write
+	// under mu so readers never lock.
+	children atomic.Pointer[map[string]*vecChild[T]]
+	mu       sync.Mutex
+	max      int
+	overflow *T // shared sink for tuples beyond max; never exported
+}
+
+func newVecCore[T any](name string, keys []string, dropped *Counter, newT func() *T) *vecCore[T] {
+	v := &vecCore[T]{
+		name:    name,
+		keys:    keys,
+		newT:    newT,
+		dropped: dropped,
+		max:     DefaultVecCap,
+	}
+	m := make(map[string]*vecChild[T])
+	v.children.Store(&m)
+	return v
+}
+
+// setCap raises (or lowers) the tuple cap. Existing children survive a
+// lowered cap; only new tuples are turned away.
+func (v *vecCore[T]) setCap(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if n > 0 {
+		v.max = n
+	}
+}
+
+// key builds the interning key for a tuple. Single-label vecs use the
+// value itself (no allocation); multi-label tuples join on labelSep.
+func (v *vecCore[T]) key(vals []string) string {
+	if len(vals) == 1 {
+		return vals[0]
+	}
+	return strings.Join(vals, labelSep)
+}
+
+// with resolves the child for a label tuple, interning it on first use.
+// The hit path is one atomic load and one map lookup. A tuple arriving
+// with the wrong arity, or beyond the cap, lands on the overflow child
+// and bumps telemetry.labels.dropped.
+func (v *vecCore[T]) with(vals []string) *T {
+	if len(vals) != len(v.keys) {
+		v.dropped.Inc()
+		return v.overflowChild()
+	}
+	k := v.key(vals)
+	if c, ok := (*v.children.Load())[k]; ok {
+		return c.v
+	}
+	return v.intern(k, vals)
+}
+
+// intern publishes a new child under mu, copy-on-write. Double-checked:
+// a racing intern of the same tuple returns the winner.
+func (v *vecCore[T]) intern(k string, vals []string) *T {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	old := *v.children.Load()
+	if c, ok := old[k]; ok {
+		return c.v
+	}
+	if len(old) >= v.max {
+		v.dropped.Inc()
+		return v.overflowLocked()
+	}
+	cp := make([]string, len(vals))
+	copy(cp, vals)
+	child := &vecChild[T]{
+		flat:       flatName(v.name, v.keys, cp),
+		promLabels: promLabelBlock(v.keys, cp),
+		vals:       cp,
+		v:          v.newT(),
+	}
+	next := make(map[string]*vecChild[T], len(old)+1)
+	for kk, vv := range old {
+		next[kk] = vv
+	}
+	next[k] = child
+	v.children.Store(&next)
+	return child.v
+}
+
+// overflowChild lazily builds the shared beyond-cap sink (callers without
+// mu held; intern uses overflowLocked).
+func (v *vecCore[T]) overflowChild() *T {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.overflowLocked()
+}
+
+func (v *vecCore[T]) overflowLocked() *T {
+	if v.overflow == nil {
+		v.overflow = v.newT()
+	}
+	return v.overflow
+}
+
+// snapshot returns the children sorted by flat name.
+func (v *vecCore[T]) snapshot() []*vecChild[T] {
+	m := *v.children.Load()
+	out := make([]*vecChild[T], 0, len(m))
+	for _, c := range m {
+		out = append(out, c)
+	}
+	sortChildren(out)
+	return out
+}
+
+// len reports the interned tuple count.
+func (v *vecCore[T]) len() int { return len(*v.children.Load()) }
+
+func sortChildren[T any](cs []*vecChild[T]) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].flat < cs[j-1].flat; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// flatName renders the snapshot key for a labeled series:
+// name{k="v",...} with exposition-format value escaping, label keys in
+// declaration order. This exact string addresses the series in SLO
+// objectives, alert rules, and tsdb queries.
+func flatName(name string, keys, vals []string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 16)
+	b.WriteString(name)
+	writeLabelBlock(&b, keys, vals, false)
+	return b.String()
+}
+
+// promLabelBlock renders {k="v",...} with keys mapped onto the Prometheus
+// charset — the label block appended to every exposition sample.
+func promLabelBlock(keys, vals []string) string {
+	var b strings.Builder
+	writeLabelBlock(&b, keys, vals, true)
+	return b.String()
+}
+
+func writeLabelBlock(b *strings.Builder, keys, vals []string, prom bool) {
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if prom {
+			b.WriteString(promName(k))
+		} else {
+			b.WriteString(k)
+		}
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(vals[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format: backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ core *vecCore[Counter] }
+
+// With returns the counter for a label-value tuple, interning it on first
+// use. Hot paths resolve children once and hold the *Counter.
+func (v *CounterVec) With(vals ...string) *Counter { return v.core.with(vals) }
+
+// SetCap raises the vec's distinct-tuple cap (default DefaultVecCap).
+func (v *CounterVec) SetCap(n int) { v.core.setCap(n) }
+
+// Len reports how many label tuples are interned.
+func (v *CounterVec) Len() int { return v.core.len() }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ core *vecCore[Gauge] }
+
+// With returns the gauge for a label-value tuple, interning on first use.
+func (v *GaugeVec) With(vals ...string) *Gauge { return v.core.with(vals) }
+
+// SetCap raises the vec's distinct-tuple cap (default DefaultVecCap).
+func (v *GaugeVec) SetCap(n int) { v.core.setCap(n) }
+
+// Len reports how many label tuples are interned.
+func (v *GaugeVec) Len() int { return v.core.len() }
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ core *vecCore[Histogram] }
+
+// With returns the histogram for a label-value tuple, interning on first
+// use.
+func (v *HistogramVec) With(vals ...string) *Histogram { return v.core.with(vals) }
+
+// SetCap raises the vec's distinct-tuple cap (default DefaultVecCap).
+func (v *HistogramVec) SetCap(n int) { v.core.setCap(n) }
+
+// Len reports how many label tuples are interned.
+func (v *HistogramVec) Len() int { return v.core.len() }
+
+// CounterVec returns the named labeled-counter family, creating it on
+// first use with the given label keys. A later call with different keys
+// returns the original family unchanged (first registration wins).
+func (r *Registry) CounterVec(name string, keys ...string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.cvecs[name]
+	if !ok {
+		v = &CounterVec{core: newVecCore(name, keys, r.labelsDroppedLocked(), func() *Counter {
+			return &Counter{en: &r.enabled}
+		})}
+		r.cvecs[name] = v
+	}
+	return v
+}
+
+// GaugeVec returns the named labeled-gauge family, creating it on first
+// use.
+func (r *Registry) GaugeVec(name string, keys ...string) *GaugeVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.gvecs[name]
+	if !ok {
+		v = &GaugeVec{core: newVecCore(name, keys, r.labelsDroppedLocked(), func() *Gauge {
+			return &Gauge{en: &r.enabled}
+		})}
+		r.gvecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns the named labeled-histogram family, creating it on
+// first use.
+func (r *Registry) HistogramVec(name string, keys ...string) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.hvecs[name]
+	if !ok {
+		v = &HistogramVec{core: newVecCore(name, keys, r.labelsDroppedLocked(), func() *Histogram {
+			return newHistogram(&r.enabled)
+		})}
+		r.hvecs[name] = v
+	}
+	return v
+}
+
+// labelsDroppedLocked lazily registers the registry's shared
+// cardinality-overflow counter. Caller holds r.mu.
+func (r *Registry) labelsDroppedLocked() *Counter {
+	c, ok := r.counters["telemetry.labels.dropped"]
+	if !ok {
+		c = &Counter{en: &r.enabled}
+		r.counters["telemetry.labels.dropped"] = c
+	}
+	return c
+}
+
+// LabelsDropped reports writes lost to vec cardinality caps (the
+// telemetry.labels.dropped counter).
+func (r *Registry) LabelsDropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.labelsDroppedLocked().Value()
+}
+
+// SeriesCount reports every live series the registry would export: scalar
+// counters, gauges, gauge funcs, histograms, infos, plus each vec's
+// interned children. The /healthz cardinality block reads this.
+func (r *Registry) SeriesCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.counters) + len(r.gauges) + len(r.gaugeFns) + len(r.hists) + len(r.infos)
+	for _, v := range r.cvecs {
+		n += v.Len()
+	}
+	for _, v := range r.gvecs {
+		n += v.Len()
+	}
+	for _, v := range r.hvecs {
+		n += v.Len()
+	}
+	return n
+}

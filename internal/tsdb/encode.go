@@ -1,0 +1,350 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"sort"
+
+	"jarvis/internal/telemetry"
+)
+
+// Sample payload grammar — see the package comment. The encoder and
+// decoder share one invariant: series ids are assigned in first-seen
+// order within a record stream, and a full record (kind 1) resets both
+// the dictionary and every baseline to zero, so a full record's deltas
+// are absolute values and every segment (which always opens with a full
+// record) decodes independently.
+
+const (
+	kindFull  = 1
+	kindDelta = 2
+
+	typeCounter = 0
+	typeGauge   = 1
+	typeHist    = 2
+)
+
+var errMalformed = errors.New("tsdb: malformed sample payload")
+
+// zigzag encoding maps signed deltas onto uvarints.
+func zig(n int64) uint64   { return uint64(n<<1) ^ uint64(n>>63) }
+func unzig(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// histBase is the decoder/encoder baseline for one histogram series.
+type histBase struct {
+	stats   telemetry.HistogramStats // Buckets unused; scalar fields only
+	buckets map[int64]telemetry.BucketCount
+}
+
+// encoder carries the active segment's dictionary and per-series
+// baselines between appends.
+type encoder struct {
+	ids      map[string]uint64
+	counters map[string]int64
+	gauges   map[string]uint64 // float bits
+	hists    map[string]*histBase
+}
+
+func newEncoder() *encoder {
+	return &encoder{
+		ids:      make(map[string]uint64),
+		counters: make(map[string]int64),
+		gauges:   make(map[string]uint64),
+		hists:    make(map[string]*histBase),
+	}
+}
+
+// observe advances the baselines to p after p's record is written.
+func (e *encoder) observe(p Point) {
+	for name, v := range p.Counters {
+		e.counters[name] = v
+	}
+	for name, v := range p.Gauges {
+		e.gauges[name] = math.Float64bits(v)
+	}
+	for name, h := range p.Histograms {
+		hb := e.hists[name]
+		if hb == nil {
+			hb = &histBase{buckets: make(map[int64]telemetry.BucketCount)}
+			e.hists[name] = hb
+		}
+		hb.stats = telemetry.HistogramStats{
+			Count: h.Count, SumNs: h.SumNs, MinNs: h.MinNs, MaxNs: h.MaxNs,
+			MeanNs: h.MeanNs, P50Ns: h.P50Ns, P95Ns: h.P95Ns, P99Ns: h.P99Ns,
+		}
+		for _, b := range h.Buckets {
+			hb.buckets[b.LowNs] = b
+		}
+	}
+}
+
+// encodePoint appends p's sample payload to buf. With full set, every
+// series is written against zero baselines (enc must be freshly made, so
+// its dictionary starts empty); otherwise only the series that changed
+// since enc's baselines are written. Either way enc's dictionary absorbs
+// the ids assigned here — the caller must keep using the same encoder
+// (and call observe after a successful write) so encoder and decoder
+// dictionaries stay aligned.
+func encodePoint(buf []byte, p Point, enc *encoder, full bool) []byte {
+	if full {
+		buf = append(buf, kindFull)
+	} else {
+		buf = append(buf, kindDelta)
+	}
+	buf = binary.AppendUvarint(buf, uint64(p.TsNs))
+
+	type entry struct {
+		name string
+		typ  byte
+	}
+	entries := make([]entry, 0, len(p.Counters)+len(p.Gauges)+len(p.Histograms))
+	for name, v := range p.Counters {
+		if full || v != enc.counters[name] {
+			entries = append(entries, entry{name, typeCounter})
+		}
+	}
+	for name, v := range p.Gauges {
+		if _, seen := enc.ids[name]; full || !seen || math.Float64bits(v) != enc.gauges[name] {
+			entries = append(entries, entry{name, typeGauge})
+		}
+	}
+	for name, h := range p.Histograms {
+		hb := enc.hists[name]
+		if full || hb == nil || h.Count != hb.stats.Count || h.SumNs != hb.stats.SumNs {
+			entries = append(entries, entry{name, typeHist})
+		}
+	}
+	// Deterministic order keeps encode output reproducible for tests and
+	// makes first-seen id assignment stable.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for _, en := range entries {
+		id, seen := enc.ids[en.name]
+		if !seen {
+			id = uint64(len(enc.ids))
+			enc.ids[en.name] = id
+			buf = binary.AppendUvarint(buf, id)
+			buf = append(buf, en.typ)
+			buf = binary.AppendUvarint(buf, uint64(len(en.name)))
+			buf = append(buf, en.name...)
+		} else {
+			buf = binary.AppendUvarint(buf, id)
+		}
+		switch en.typ {
+		case typeCounter:
+			buf = binary.AppendUvarint(buf, zig(p.Counters[en.name]-enc.counters[en.name]))
+		case typeGauge:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Gauges[en.name]))
+		case typeHist:
+			buf = appendHistDelta(buf, p.Histograms[en.name], enc.hists[en.name])
+		}
+	}
+	return buf
+}
+
+func appendHistDelta(buf []byte, h telemetry.HistogramStats, base *histBase) []byte {
+	var bs telemetry.HistogramStats
+	var prevBuckets map[int64]telemetry.BucketCount
+	if base != nil {
+		bs = base.stats
+		prevBuckets = base.buckets
+	}
+	buf = binary.AppendUvarint(buf, zig(h.Count-bs.Count))
+	buf = binary.AppendUvarint(buf, zig(h.SumNs-bs.SumNs))
+	buf = binary.AppendUvarint(buf, zig(h.MinNs-bs.MinNs))
+	buf = binary.AppendUvarint(buf, zig(h.MaxNs-bs.MaxNs))
+	buf = binary.AppendUvarint(buf, zig(h.MeanNs-bs.MeanNs))
+	buf = binary.AppendUvarint(buf, zig(h.P50Ns-bs.P50Ns))
+	buf = binary.AppendUvarint(buf, zig(h.P95Ns-bs.P95Ns))
+	buf = binary.AppendUvarint(buf, zig(h.P99Ns-bs.P99Ns))
+	changed := make([]telemetry.BucketCount, 0, len(h.Buckets))
+	for _, b := range h.Buckets {
+		if prev, ok := prevBuckets[b.LowNs]; !ok || prev.Count != b.Count {
+			changed = append(changed, b)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(changed)))
+	for _, b := range changed {
+		prev := prevBuckets[b.LowNs] // zero value if new
+		buf = binary.AppendUvarint(buf, uint64(b.LowNs))
+		buf = binary.AppendUvarint(buf, uint64(b.WidthNs))
+		buf = binary.AppendUvarint(buf, zig(b.Count-prev.Count))
+	}
+	return buf
+}
+
+// decoder replays a record stream, materializing one Point per record.
+type decoder struct {
+	names    []string
+	types    []byte
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*histBase
+}
+
+func newDecoder() *decoder {
+	d := &decoder{}
+	d.reset()
+	return d
+}
+
+func (d *decoder) reset() {
+	d.names = d.names[:0]
+	d.types = d.types[:0]
+	d.counters = make(map[string]int64)
+	d.gauges = make(map[string]float64)
+	d.hists = make(map[string]*histBase)
+}
+
+type byteReader struct {
+	data []byte
+	off  int
+	err  bool
+}
+
+func (r *byteReader) uvarint() uint64 {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.err = true
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *byteReader) byte() byte {
+	if r.off >= len(r.data) {
+		r.err = true
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+func (r *byteReader) bytes(n int) []byte {
+	if n < 0 || r.off+n > len(r.data) {
+		r.err = true
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *byteReader) u64() uint64 {
+	b := r.bytes(8)
+	if r.err {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// decode applies one payload and returns the materialized point.
+func (d *decoder) decode(payload []byte) (Point, error) {
+	r := &byteReader{data: payload}
+	kind := r.byte()
+	if kind == kindFull {
+		d.reset()
+	} else if kind != kindDelta {
+		return Point{}, errMalformed
+	}
+	ts := int64(r.uvarint())
+	n := r.uvarint()
+	if r.err || n > uint64(len(payload)) {
+		return Point{}, errMalformed
+	}
+	for i := uint64(0); i < n; i++ {
+		id := r.uvarint()
+		var name string
+		var typ byte
+		switch {
+		case id < uint64(len(d.names)):
+			name, typ = d.names[id], d.types[id]
+		case id == uint64(len(d.names)):
+			typ = r.byte()
+			nameLen := r.uvarint()
+			if r.err || nameLen > uint64(len(payload)) {
+				return Point{}, errMalformed
+			}
+			name = string(r.bytes(int(nameLen)))
+			if r.err || (typ != typeCounter && typ != typeGauge && typ != typeHist) {
+				return Point{}, errMalformed
+			}
+			d.names = append(d.names, name)
+			d.types = append(d.types, typ)
+		default:
+			return Point{}, errMalformed
+		}
+		switch typ {
+		case typeCounter:
+			d.counters[name] += unzig(r.uvarint())
+		case typeGauge:
+			d.gauges[name] = math.Float64frombits(r.u64())
+		case typeHist:
+			hb := d.hists[name]
+			if hb == nil {
+				hb = &histBase{buckets: make(map[int64]telemetry.BucketCount)}
+				d.hists[name] = hb
+			}
+			hb.stats.Count += unzig(r.uvarint())
+			hb.stats.SumNs += unzig(r.uvarint())
+			hb.stats.MinNs += unzig(r.uvarint())
+			hb.stats.MaxNs += unzig(r.uvarint())
+			hb.stats.MeanNs += unzig(r.uvarint())
+			hb.stats.P50Ns += unzig(r.uvarint())
+			hb.stats.P95Ns += unzig(r.uvarint())
+			hb.stats.P99Ns += unzig(r.uvarint())
+			nb := r.uvarint()
+			if r.err || nb > uint64(len(payload)) {
+				return Point{}, errMalformed
+			}
+			for j := uint64(0); j < nb; j++ {
+				low := int64(r.uvarint())
+				width := int64(r.uvarint())
+				delta := unzig(r.uvarint())
+				b := hb.buckets[low]
+				b.LowNs, b.WidthNs = low, width
+				b.Count += delta
+				hb.buckets[low] = b
+			}
+		}
+		if r.err {
+			return Point{}, errMalformed
+		}
+	}
+	if r.err || r.off != len(payload) {
+		return Point{}, errMalformed
+	}
+	return d.materialize(ts), nil
+}
+
+// materialize deep-copies the running state into an immutable Point.
+func (d *decoder) materialize(ts int64) Point {
+	p := Point{
+		TsNs:       ts,
+		Counters:   make(map[string]int64, len(d.counters)),
+		Gauges:     make(map[string]float64, len(d.gauges)),
+		Histograms: make(map[string]telemetry.HistogramStats, len(d.hists)),
+	}
+	for k, v := range d.counters {
+		p.Counters[k] = v
+	}
+	for k, v := range d.gauges {
+		p.Gauges[k] = v
+	}
+	for k, hb := range d.hists {
+		hs := hb.stats
+		hs.Buckets = make([]telemetry.BucketCount, 0, len(hb.buckets))
+		for _, b := range hb.buckets {
+			if b.Count != 0 {
+				hs.Buckets = append(hs.Buckets, b)
+			}
+		}
+		sort.Slice(hs.Buckets, func(i, j int) bool { return hs.Buckets[i].LowNs < hs.Buckets[j].LowNs })
+		p.Histograms[k] = hs
+	}
+	return p
+}

@@ -1,0 +1,57 @@
+// Package version exposes the build's VCS identity from the embedded Go
+// build info. Bench artifacts stamp it so a trajectory of BENCH_*.json
+// files is orderable by the exact source revision that produced each one,
+// and jarvisd reports it in jarvisd.build.info.
+package version
+
+import "runtime/debug"
+
+// Revision returns the full VCS revision the binary was built from, with
+// a "-dirty" suffix when the working tree had local modifications. Empty
+// when the build carries no VCS stamp (e.g. `go test` binaries or builds
+// outside a repository).
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	return rev + dirty
+}
+
+// String derives a git-describe-style version: the module version when
+// released, else the short revision with a devel prefix, else "devel".
+func String() string {
+	bi, ok := debug.ReadBuildInfo()
+	if ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+	}
+	rev := Revision()
+	if rev == "" {
+		return "devel"
+	}
+	// Trim to the short hash but keep any -dirty suffix.
+	var dirty string
+	if n := len(rev); n > len("-dirty") && rev[n-len("-dirty"):] == "-dirty" {
+		rev, dirty = rev[:n-len("-dirty")], "-dirty"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return "devel+" + rev + dirty
+}

@@ -1,0 +1,21 @@
+package version
+
+import (
+	"strings"
+	"testing"
+)
+
+// Test binaries carry no VCS stamp, so both helpers exercise their
+// fallback paths: Revision is empty and String degrades to "devel".
+func TestFallbacks(t *testing.T) {
+	if rev := Revision(); rev != "" && strings.ContainsAny(rev, " \t\n") {
+		t.Errorf("Revision() = %q, want a bare hash or empty", rev)
+	}
+	s := String()
+	if s == "" {
+		t.Error("String() must never be empty")
+	}
+	if Revision() == "" && s != "devel" {
+		t.Errorf("String() without a VCS stamp = %q, want devel", s)
+	}
+}
